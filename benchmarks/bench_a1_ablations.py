@@ -1,0 +1,140 @@
+"""A1 — Ablations of the runtime's two main design choices.
+
+DESIGN.md calls out two performance-bearing decisions in the profile
+runtime; this bench measures what each buys by disabling it:
+
+* **Per-connection RTStatement caching** (`ConnectedProfile` keeps the
+  statement built for each entry).  Ablation: clear the cache before
+  every execution, forcing re-preparation each time — the behaviour a
+  naive runtime would have.
+* **Shipping pre-parsed statements in dialect customizations**
+  (`DialectCustomization` stores ASTs, so building an RTStatement skips
+  the parser).  Ablation: build statements through the default
+  customization, which must parse the SQL text.
+
+Expected shape: caching dominates (it amortises both parse and plan);
+pre-parsed customizations still help when statements must be rebuilt
+(new connections), cutting parse out of the build cost.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.common import fresh_name, make_emps_db, report
+from repro.profiles.customization import (
+    ConnectedProfile,
+    DefaultCustomization,
+    DialectCustomization,
+)
+from repro.profiles.customizer import customize_profile
+from repro.profiles.model import EntryInfo, Profile
+
+SQL = (
+    "SELECT state, COUNT(*) FROM emps WHERE sales > ? "
+    "GROUP BY state ORDER BY state LIMIT 3"
+)
+
+
+def make_profile():
+    profile = Profile(name=fresh_name("a1"), context_type="Default")
+    profile.data.add(EntryInfo(index=0, sql=SQL, role="QUERY"))
+    return profile
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return make_emps_db(200, name="a1")
+
+
+def run_cached(connected, executions):
+    for _ in range(executions):
+        connected.execute(0, [1])
+
+
+def run_uncached(connected, executions):
+    for _ in range(executions):
+        connected._statements.clear()  # ablation: no statement cache
+        connected.execute(0, [1])
+
+
+class TestStatementCacheAblation:
+    def test_cache_speeds_up_repeated_execution(self, engine):
+        _database, session = engine
+        profile = make_profile()
+
+        def best_of(fn, *args, repeats=3):
+            best = float("inf")
+            for _ in range(repeats):
+                start = time.perf_counter()
+                fn(*args)
+                best = min(best, time.perf_counter() - start)
+            return best
+
+        connected = ConnectedProfile(profile, session)
+        cached = best_of(run_cached, connected, 100)
+        uncached = best_of(run_uncached, connected, 100)
+        report(
+            "A1a: RTStatement cache (100 executions)",
+            [
+                ("cached (default design)", f"{cached * 1000:.1f}ms"),
+                ("cache ablated", f"{uncached * 1000:.1f}ms"),
+                ("ratio", f"{uncached / cached:.2f}x"),
+            ],
+            ("configuration", "time"),
+        )
+        assert uncached > cached
+
+
+class TestPreparsedCustomizationAblation:
+    def test_preparsed_statements_build_faster(self, engine):
+        _database, session = engine
+        profile = make_profile()
+        customize_profile(profile, "standard")
+        dialect_customization = profile.customizations[0]
+        assert isinstance(dialect_customization, DialectCustomization)
+        default_customization = DefaultCustomization()
+        entry = profile.get_entry(0)
+
+        def build_many(customization, count):
+            start = time.perf_counter()
+            for _ in range(count):
+                statement = customization.make_statement(entry, session)
+                statement.execute([1])
+            return time.perf_counter() - start
+
+        preparsed = min(
+            build_many(dialect_customization, 100) for _ in range(3)
+        )
+        parsing = min(
+            build_many(default_customization, 100) for _ in range(3)
+        )
+        report(
+            "A1b: statement build cost (100 fresh builds + executes)",
+            [
+                ("pre-parsed customization", f"{preparsed * 1000:.1f}ms"),
+                ("default (parses text)", f"{parsing * 1000:.1f}ms"),
+                ("ratio", f"{parsing / preparsed:.2f}x"),
+            ],
+            ("configuration", "time"),
+        )
+        assert preparsed < parsing
+
+
+@pytest.mark.benchmark(group="a1-cache")
+def test_cached_execution(benchmark, engine):
+    _database, session = engine
+    connected = ConnectedProfile(make_profile(), session)
+    benchmark(connected.execute, 0, [1])
+
+
+@pytest.mark.benchmark(group="a1-cache")
+def test_uncached_execution(benchmark, engine):
+    _database, session = engine
+    connected = ConnectedProfile(make_profile(), session)
+
+    def no_cache():
+        connected._statements.clear()
+        return connected.execute(0, [1])
+
+    benchmark(no_cache)

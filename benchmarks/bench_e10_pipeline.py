@@ -1,0 +1,183 @@
+"""E10 — Translation/customization pipeline cost (paper slides 12-19).
+
+Measures the paper's tooling phases on programs of growing clause count:
+scanning, checking (offline and online), code generation, profile
+serialization, packaging, and per-dialect customization.
+
+Expected shape: every phase scales roughly linearly in the number of
+``#sql`` clauses; online checking dominates translation time (it plans
+every statement against the exemplar); customization cost is proportional
+to clauses x dialects and is paid once per deployment.
+"""
+
+import os
+import tempfile
+import time
+
+import pytest
+
+from benchmarks.common import fresh_name, report
+from repro.engine import Database
+from repro.profiles.customizer import customize_profile
+from repro.profiles.serialization import (
+    profile_from_bytes,
+    profile_to_bytes,
+)
+from repro.translator import TranslationOptions, Translator
+
+
+def exemplar():
+    database = Database(name=fresh_name("e10"))
+    session = database.create_session(autocommit=True)
+    session.execute(
+        "create table emps (name varchar(50), id char(5), "
+        "state char(20), sales decimal(8,2))"
+    )
+    return database
+
+
+def program_with_clauses(count: int) -> str:
+    lines = []
+    for i in range(count):
+        kind = i % 3
+        lines.append(f"def op_{i}(x):")
+        if kind == 0:
+            lines.append(
+                "    #sql { UPDATE emps SET sales = sales + :x "
+                f"WHERE id = 'E{i:04d}' }};"
+            )
+        elif kind == 1:
+            lines.append(
+                "    #sql { DELETE FROM emps "
+                f"WHERE sales < :x AND id = 'E{i:04d}' }};"
+            )
+        else:
+            lines.append(
+                "    #sql { INSERT INTO emps VALUES "
+                "('N', 'E0000', 'CA', :x) };"
+            )
+        lines.append("    pass")
+    return "\n".join(lines) + "\n"
+
+
+def translate(source, online):
+    options = TranslationOptions(
+        exemplar=exemplar() if online else None
+    )
+    translator = Translator(options)
+    return translator.translate_source(source, "pipeline_mod")
+
+
+class TestPipelineShape:
+    def test_phase_breakdown_scales_linearly(self):
+        rows = []
+        timings = {}
+        for clause_count in (4, 16, 64):
+            source = program_with_clauses(clause_count)
+
+            start = time.perf_counter()
+            offline_result = translate(source, online=False)
+            offline_time = time.perf_counter() - start
+
+            start = time.perf_counter()
+            online_result = translate(source, online=True)
+            online_time = time.perf_counter() - start
+
+            profile = online_result.profiles[0]
+            start = time.perf_counter()
+            payload = profile_to_bytes(profile)
+            profile_from_bytes(payload)
+            serialise_time = time.perf_counter() - start
+
+            start = time.perf_counter()
+            customize_profile(profile, "acme")
+            customize_profile(profile, "zenith")
+            customize_time = time.perf_counter() - start
+
+            timings[clause_count] = (
+                offline_time, online_time, customize_time
+            )
+            rows.append(
+                (
+                    clause_count,
+                    f"{offline_time * 1000:.1f}ms",
+                    f"{online_time * 1000:.1f}ms",
+                    f"{serialise_time * 1000:.2f}ms",
+                    f"{customize_time * 1000:.1f}ms",
+                    len(payload),
+                )
+            )
+            del offline_result
+        report(
+            "E10: pipeline phases by clause count",
+            rows,
+            ("clauses", "offline translate", "online translate",
+             "ser+deser", "customize x2", "profile bytes"),
+        )
+        # Roughly linear scaling: 16x the clauses should cost well under
+        # 100x any phase (quadratic behaviour would show here).
+        for phase_index in range(3):
+            small = timings[4][phase_index]
+            large = timings[64][phase_index]
+            assert large < small * 100
+
+    def test_online_checking_costs_more_than_offline(self):
+        source = program_with_clauses(32)
+
+        def best_of(fn, repeats=3):
+            best = float("inf")
+            for _ in range(repeats):
+                start = time.perf_counter()
+                fn()
+                best = min(best, time.perf_counter() - start)
+            return best
+
+        offline = best_of(lambda: translate(source, online=False))
+        online = best_of(lambda: translate(source, online=True))
+        # Semantic analysis does strictly more work.
+        assert online > offline
+
+    def test_profile_size_grows_with_clauses(self):
+        small = translate(program_with_clauses(4), False).profiles[0]
+        large = translate(program_with_clauses(64), False).profiles[0]
+        assert len(profile_to_bytes(large)) > len(profile_to_bytes(small))
+
+    def test_translate_file_produces_all_artifacts(self):
+        with tempfile.TemporaryDirectory() as workdir:
+            source_path = os.path.join(workdir, "pipe.psqlj")
+            with open(source_path, "w") as handle:
+                handle.write(program_with_clauses(8))
+            translator = Translator(
+                TranslationOptions(exemplar=exemplar())
+            )
+            result = translator.translate_file(
+                source_path, output_dir=workdir, package=True
+            )
+            assert os.path.exists(result.module_path)
+            assert len(result.profile_paths) == 1
+            assert os.path.exists(result.pjar_path)
+
+
+@pytest.mark.benchmark(group="e10-translate")
+def test_offline_translation_speed(benchmark):
+    source = program_with_clauses(16)
+    result = benchmark(translate, source, False)
+    assert result.profiles
+
+
+@pytest.mark.benchmark(group="e10-translate")
+def test_online_translation_speed(benchmark):
+    source = program_with_clauses(16)
+    result = benchmark(translate, source, True)
+    assert result.profiles
+
+
+@pytest.mark.benchmark(group="e10-customize")
+def test_customization_speed(benchmark):
+    profile = translate(program_with_clauses(16), False).profiles[0]
+
+    def customize():
+        customize_profile(profile, "acme")
+        customize_profile(profile, "zenith")
+
+    benchmark(customize)

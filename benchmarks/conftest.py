@@ -1,0 +1,13 @@
+"""Benchmark-suite fixtures and global-state hygiene."""
+
+import pytest
+
+from repro.dbapi.driver import registry
+from repro.runtime import ConnectionContext
+
+
+@pytest.fixture(autouse=True)
+def _clean_global_state():
+    yield
+    registry.clear()
+    ConnectionContext.set_default_context(None)

@@ -1,0 +1,173 @@
+"""SQLJ Part 2: Python classes as SQL data types.
+
+Reproduces the paper's Address / Address2Line walkthrough: CREATE TYPE
+with attribute and method maps, a subtype declared UNDER its supertype,
+object columns, ``new`` constructors in INSERT, ``>>`` attribute and
+method access in queries, attribute-path UPDATE, and substitutability
+with dynamic dispatch.
+
+Run:  python examples/address_book.py
+"""
+
+import os
+import tempfile
+
+from repro.engine import Database
+from repro.procedures import build_par
+
+ADDRESS_MODULE = '''
+"""The paper's Address and Address2Line classes."""
+
+
+class Address:
+    recommended_width = 25
+
+    def __init__(self, street="Unknown", zip="None"):
+        self.street = street
+        self.zip = zip
+
+    def to_string(self):
+        return "Street= " + self.street + " ZIP= " + self.zip
+
+    @staticmethod
+    def contiguous(a1, a2):
+        return "yes" if a1.zip[:3] == a2.zip[:3] else "no"
+
+    def __eq__(self, other):
+        return (type(other) is type(self)
+                and self.street == other.street
+                and self.zip == other.zip)
+
+    def __hash__(self):
+        return hash((self.street, self.zip))
+
+
+class Address2Line(Address):
+    def __init__(self, street="Unknown", line2=" ", zip="None"):
+        super().__init__(street, zip)
+        self.line2 = line2
+
+    def to_string(self):
+        return ("Street= " + self.street + " Line2= " + self.line2
+                + " ZIP= " + self.zip)
+'''
+
+
+def main():
+    database = Database(name="addressbook")
+    session = database.create_session(autocommit=True)
+
+    with tempfile.TemporaryDirectory() as workdir:
+        par_path = build_par(
+            os.path.join(workdir, "address.par"),
+            {"addressmod": ADDRESS_MODULE},
+        )
+        session.execute(
+            f"call sqlj.install_par('{par_path}', 'address_par')"
+        )
+
+    # CREATE TYPE: SQL names for the class, its fields and methods.
+    session.execute("""
+        create type addr
+        external name 'address_par:addressmod.Address' language python (
+          zip_attr char(10) external name zip,
+          street_attr varchar(50) external name street,
+          static rec_width_attr integer external name recommended_width,
+          method addr () returns addr external name Address,
+          method addr (s_parm varchar(50), z_parm char(10)) returns addr
+            external name Address,
+          method to_string () returns varchar(255)
+            external name to_string;
+          static method contiguous (a1 addr, a2 addr) returns char(3)
+            external name contiguous
+        )
+    """)
+    session.execute("""
+        create type addr_2_line under addr
+        external name 'address_par:addressmod.Address2Line'
+        language python (
+          line2_attr varchar(100) external name line2,
+          method addr_2_line (s_parm varchar(50), s2_parm char(100),
+            z_parm char(10)) returns addr_2_line
+            external name Address2Line,
+          method to_string () returns varchar(255)
+            external name to_string
+        )
+    """)
+    session.execute("grant usage on datatype addr to public")
+    session.execute("grant usage on datatype addr_2_line to public")
+    print("types addr and addr_2_line registered")
+
+    # Columns typed by the classes; objects built with ``new``.
+    session.execute(
+        "create table emps ("
+        " name varchar(30), home_addr addr, mailing_addr addr_2_line)"
+    )
+    session.execute(
+        "insert into emps values('Bob Smith',"
+        " new addr('432 Elm Street', '95123'),"
+        " new addr_2_line('PO Box 99', 'attn: Bob Smith',"
+        " '95123-0099'))"
+    )
+    session.execute(
+        "insert into emps values('Ann Jones',"
+        " new addr('9 Oak Lane', '95321'),"
+        " new addr_2_line('1 Main St', 'suite 4', '95321-0001'))"
+    )
+
+    print("\nattribute access with >> :")
+    result = session.execute(
+        "select name, home_addr>>zip_attr, home_addr>>street_attr, "
+        "mailing_addr>>zip_attr from emps "
+        "where home_addr>>zip_attr <> mailing_addr>>zip_attr"
+    )
+    for name, home_zip, street, mail_zip in result.rows:
+        print(f"  {name}: home {street} / {home_zip.strip()}, "
+              f"mailing zip {mail_zip.strip()}")
+
+    print("\nmethods and object comparison:")
+    result = session.execute(
+        "select name, home_addr>>to_string(), "
+        "mailing_addr>>to_string() from emps "
+        "where home_addr <> mailing_addr"
+    )
+    for name, home, mailing in result.rows:
+        print(f"  {name}:")
+        print(f"    home:    {home}")
+        print(f"    mailing: {mailing}")
+
+    print("\nstatic members:")
+    width = session.execute(
+        "select addr>>rec_width_attr from emps limit 1"
+    ).rows[0][0]
+    print(f"  addr>>rec_width_attr = {width}")
+    result = session.execute(
+        "select name, addr>>contiguous(home_addr, mailing_addr) "
+        "from emps order by name"
+    )
+    for name, verdict in result.rows:
+        print(f"  {name}: home/mailing contiguous? {verdict.strip()}")
+
+    print("\nattribute update:")
+    session.execute(
+        "update emps set home_addr>>zip_attr = '99123' "
+        "where name = 'Bob Smith'"
+    )
+    print("  Bob's home zip ->", session.execute(
+        "select home_addr>>zip_attr from emps "
+        "where name = 'Bob Smith'"
+    ).rows[0][0].strip())
+
+    print("\nsubstitutability (subtype stored in supertype column):")
+    session.execute(
+        "update emps set home_addr = mailing_addr "
+        "where home_addr is not null"
+    )
+    for (text,) in session.execute(
+        "select home_addr>>to_string() from emps"
+    ).rows:
+        print(f"  {text}")  # dispatches Address2Line.to_string
+
+
+if __name__ == "__main__":
+    main()

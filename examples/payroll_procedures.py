@@ -1,0 +1,204 @@
+"""SQLJ Part 1: Python functions as SQL stored procedures and functions.
+
+Reproduces the paper's complete Part 1 walkthrough: the ``emps`` table,
+the Routines1/2/3 classes packaged into an archive, ``sqlj.install_par``
+(the paper's ``install_jar``), CREATE FUNCTION / PROCEDURE with EXTERNAL
+NAME, invocation from queries, CALL with OUT parameters through a
+CallableStatement, and a dynamic result set.
+
+Run:  python examples/payroll_procedures.py
+"""
+
+import os
+import tempfile
+
+from repro.dbapi import DriverManager
+from repro.engine import Database
+from repro.procedures import build_par
+from repro.sqltypes import typecodes
+
+ROUTINES1 = '''
+"""Routines1: region (no SQL) and correct_states (SQL update)."""
+from repro.dbapi import DriverManager
+
+
+def region(s):
+    if s in ("MN", "VT", "NH"):
+        return 1
+    if s in ("FL", "GA", "AL"):
+        return 2
+    if s in ("CA", "AZ", "NV"):
+        return 3
+    return 4
+
+
+def correct_states(old_spelling, new_spelling):
+    conn = DriverManager.get_connection("JDBC:DEFAULT:CONNECTION")
+    stmt = conn.prepare_statement(
+        "UPDATE emps SET state = ? WHERE state = ?")
+    stmt.set_string(1, new_spelling)
+    stmt.set_string(2, old_spelling)
+    stmt.execute_update()
+'''
+
+ROUTINES2 = '''
+"""Routines2: best_two_emps with OUT-parameter containers."""
+from repro.dbapi import DriverManager
+
+
+def best_two_emps(n1, id1, r1, s1, n2, id2, r2, s2, region_parm):
+    conn = DriverManager.get_connection("DBAPI:DEFAULT:CONNECTION")
+    stmt = conn.prepare_statement(
+        "SELECT name, id, region_of(state) as region, sales FROM emps "
+        "WHERE region_of(state) > ? AND sales IS NOT NULL "
+        "ORDER BY sales DESC")
+    stmt.set_int(1, region_parm)
+    r = stmt.execute_query()
+    if r.next():
+        n1[0] = r.get_string("name")
+        id1[0] = r.get_string("id")
+        r1[0] = r.get_int("region")
+        s1[0] = r.get_decimal("sales")
+    else:
+        n1[0] = "****"
+        return
+    if r.next():
+        n2[0] = r.get_string("name")
+        id2[0] = r.get_string("id")
+        r2[0] = r.get_int("region")
+        s2[0] = r.get_decimal("sales")
+    else:
+        n2[0] = "****"
+'''
+
+ROUTINES3 = '''
+"""Routines3: ordered_emps returning a dynamic result set."""
+from repro.dbapi import DriverManager
+
+
+def ordered_emps(region_parm, rs):
+    conn = DriverManager.get_connection("DBAPI:DEFAULT:CONNECTION")
+    stmt = conn.prepare_statement(
+        "SELECT name, region_of(state) as region, sales FROM emps "
+        "WHERE region_of(state) > ? AND sales IS NOT NULL "
+        "ORDER BY sales DESC")
+    stmt.set_int(1, region_parm)
+    rs[0] = stmt.execute_query()
+'''
+
+
+def main():
+    database = Database(name="payroll")
+    session = database.create_session(autocommit=True)
+
+    # The paper's example table, with a misspelled state to correct.
+    session.execute(
+        "create table emps (name varchar(50), id char(5), "
+        "state char(20), sales decimal(6,2))"
+    )
+    for row in [
+        "('Alice', 'E1', 'CA', 100.50)",
+        "('Bob', 'E2', 'MN', 50.25)",
+        "('Carol', 'E3', 'CAL', 75.00)",  # misspelled CA
+        "('Dan', 'E4', 'FL', 200.00)",
+        "('Eve', 'E5', 'VT', 10.00)",
+    ]:
+        session.execute(f"insert into emps values {row}")
+
+    # Package and install the routines archive.
+    with tempfile.TemporaryDirectory() as workdir:
+        par_path = build_par(
+            os.path.join(workdir, "routines1.par"),
+            {
+                "routines1": ROUTINES1,
+                "routines2": ROUTINES2,
+                "routines3": ROUTINES3,
+            },
+        )
+        session.execute(
+            f"call sqlj.install_par('file:{par_path}', 'routines1_par')"
+        )
+    print("installed archive 'routines1_par'")
+
+    # SQL names for the Python callables (paper syntax).
+    session.execute(
+        "create function region_of(state char(20)) returns integer "
+        "no sql external name 'routines1_par:routines1.region' "
+        "language python parameter style python"
+    )
+    session.execute(
+        "create procedure correct_states(old char(20), new char(20)) "
+        "modifies sql data "
+        "external name 'routines1_par:routines1.correct_states' "
+        "language python parameter style python"
+    )
+    session.execute(
+        "create procedure best2 ("
+        "out n1 varchar(50), out id1 varchar(5), out r1 integer, "
+        "out s1 decimal(6,2), out n2 varchar(50), out id2 varchar(5), "
+        "out r2 integer, out s2 decimal(6,2), region integer) "
+        "reads sql data "
+        "external name 'routines1_par:routines2.best_two_emps' "
+        "language python parameter style python"
+    )
+    session.execute(
+        "create procedure ranked_emps (region integer) "
+        "dynamic result sets 1 reads sql data "
+        "external name 'routines1_par:routines3.ordered_emps' "
+        "language python parameter style python"
+    )
+
+    # Invoking: functions in queries, procedures via CALL.
+    print("\nemployees in region 3:")
+    result = session.execute(
+        "select name, region_of(state) as region from emps "
+        "where region_of(state) = 3"
+    )
+    for name, region in result.rows:
+        print(f"  {name}: region {region}")
+
+    session.execute("call correct_states ('CAL', 'CA')")
+    print("\nafter correct_states('CAL', 'CA'):")
+    for (name,) in session.execute(
+        "select name from emps where state = 'CA' order by name"
+    ).rows:
+        print(f"  {name} is now in CA")
+
+    # OUT parameters through a CallableStatement (paper's JDBC caller).
+    conn = DriverManager.get_connection(
+        "pydbc:standard:unused", database=database
+    )
+    stmt = conn.prepare_call("{call best2(?,?,?,?,?,?,?,?,?)}")
+    for index, code in [
+        (1, typecodes.VARCHAR), (2, typecodes.VARCHAR),
+        (3, typecodes.INTEGER), (4, typecodes.DECIMAL),
+        (5, typecodes.VARCHAR), (6, typecodes.VARCHAR),
+        (7, typecodes.INTEGER), (8, typecodes.DECIMAL),
+    ]:
+        stmt.register_out_parameter(index, code)
+    stmt.set_int(9, 2)
+    stmt.execute()
+    print("\nbest two employees in regions above 2:")
+    print(f"  1. {stmt.get_string(1)} "
+          f"(id {stmt.get_string(2).strip()}, "
+          f"region {stmt.get_int(3)}, sales {stmt.get_decimal(4)})")
+    print(f"  2. {stmt.get_string(5)} "
+          f"(id {stmt.get_string(6).strip()}, "
+          f"region {stmt.get_int(7)}, sales {stmt.get_decimal(8)})")
+
+    # Dynamic result set (the paper's ranked_emps loop).
+    stmt = conn.prepare_call("{call ranked_emps(?)}")
+    stmt.set_int(1, 1)
+    stmt.execute()
+    rs = stmt.get_result_set()
+    print("\nranked employees (regions above 1):")
+    while rs.next():
+        print(
+            f"  Name = {rs.get_string(1)}  "
+            f"Region = {rs.get_int(2)}  "
+            f"Sales = {rs.get_decimal(3)}"
+        )
+
+
+if __name__ == "__main__":
+    main()

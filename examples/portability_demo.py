@@ -1,0 +1,119 @@
+"""Binary portability: one translated binary, three database vendors.
+
+Demonstrates the paper's deployment story end to end:
+
+1. translate a ``.psqlj`` program into a module + profile and package
+   them into a pjar (the paper's ``Foo.jar``);
+2. run the vendor customizers over the pjar (Customizer1, Customizer2 in
+   the installation-phase slides) — here for the ``acme`` (TOP n, ``+``
+   concat) and ``zenith`` (FETCH FIRST) engine dialects;
+3. deploy the same binary against all three engines and show identical
+   results, including the vendor-specific SQL each customization ships.
+
+Run:  python examples/portability_demo.py
+"""
+
+import importlib
+import os
+import sys
+import tempfile
+
+from repro.engine import Database
+from repro.profiles.customizer import customize_pjar
+from repro.profiles.pjar import read_pjar, unpack_pjar
+from repro.profiles.serialization import profile_from_bytes
+from repro.translator import TranslationOptions, Translator
+
+PROGRAM = """
+#sql iterator TopEarners (str name, str badge);
+#sql context Payroll;
+
+def top_earners(ctx):
+    out = []
+    it: TopEarners
+    #sql [ctx] it = { SELECT name, id || '*' AS badge FROM emps
+                      WHERE sales IS NOT NULL
+                      ORDER BY sales DESC LIMIT 3 };
+    while it.next():
+        out.append((it.name(), it.badge()))
+    it.close()
+    return out
+"""
+
+EMPS_DDL = (
+    "create table emps (name varchar(50), id char(5), "
+    "state char(20), sales decimal(6,2))"
+)
+
+EMPS_ROWS = [
+    "('Alice', 'E1', 'CA', 100.50)",
+    "('Bob', 'E2', 'MN', 50.25)",
+    "('Carol', 'E3', 'NV', 75.00)",
+    "('Dan', 'E4', 'FL', 200.00)",
+    "('Eve', 'E5', 'VT', 10.00)",
+]
+
+
+def make_engine(name, dialect):
+    database = Database(name=name, dialect=dialect)
+    session = database.create_session(autocommit=True)
+    session.execute(EMPS_DDL)
+    for row in EMPS_ROWS:
+        session.execute(f"insert into emps values {row}")
+    return database
+
+
+def main():
+    with tempfile.TemporaryDirectory() as workdir:
+        # -- translation phase ----------------------------------------
+        exemplar = make_engine("exemplar", "standard")
+        source_path = os.path.join(workdir, "earners.psqlj")
+        with open(source_path, "w") as handle:
+            handle.write(PROGRAM)
+        translator = Translator(TranslationOptions(exemplar=exemplar))
+        result = translator.translate_file(
+            source_path, output_dir=os.path.join(workdir, "build"),
+            package=True,
+        )
+        print(f"translated and packaged -> "
+              f"{os.path.basename(result.pjar_path)}")
+
+        # -- customization phase ---------------------------------------
+        customize_pjar(
+            result.pjar_path, ["standard", "acme", "zenith"]
+        )
+        members = read_pjar(result.pjar_path)
+        profile = profile_from_bytes(
+            members["earners_SJProfile0.ser"]
+        )
+        print("\ncustomizations now inside the binary:")
+        for customization in profile.customizations:
+            print(f"  {customization.describe()}")
+            for text in customization.sql_texts:
+                print(f"      {text}")
+
+        # -- installation + execution phase ----------------------------
+        deploy_dir = os.path.join(workdir, "deploy")
+        unpack_pjar(result.pjar_path, deploy_dir)
+        sys.path.insert(0, deploy_dir)
+        try:
+            module = importlib.import_module("earners")
+        finally:
+            sys.path.remove(deploy_dir)
+
+        print("\nsame binary against three vendors:")
+        outputs = {}
+        for dialect in ("standard", "acme", "zenith"):
+            engine = make_engine(f"engine_{dialect}", dialect)
+            ctx = module.Payroll(engine)
+            outputs[dialect] = module.top_earners(ctx)
+            print(f"  {dialect:8s}: {outputs[dialect]}")
+
+        assert outputs["standard"] == outputs["acme"] == \
+            outputs["zenith"]
+        print("\nall three engines returned identical results — "
+              "binary portability holds")
+
+
+if __name__ == "__main__":
+    main()

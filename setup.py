@@ -1,0 +1,35 @@
+"""Setup script for PySQLJ.
+
+A classic setup.py (rather than a PEP 517 pyproject build) so that
+``pip install -e .`` works in fully offline environments: the legacy
+editable path needs only an installed setuptools, no build isolation and
+no wheel package.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "PySQLJ: a Python reproduction of 'SQLJ: Java and Relational "
+        "Databases' (SIGMOD 1998)"
+    ),
+    long_description=open("README.md").read()
+    if __import__("os").path.exists("README.md")
+    else "",
+    long_description_content_type="text/markdown",
+    license="MIT",
+    python_requires=">=3.9",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    entry_points={
+        "console_scripts": ["psqlj = repro.translator.cli:main"],
+    },
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Developers",
+        "Topic :: Database",
+        "Programming Language :: Python :: 3",
+    ],
+)

@@ -1,0 +1,19 @@
+"""PySQLJ: a Python reproduction of "SQLJ: Java and Relational Databases"
+(SIGMOD 1998 tutorial).
+
+Layers (bottom-up):
+
+* :mod:`repro.engine` — from-scratch in-memory relational engine,
+* :mod:`repro.dbapi` — JDBC-shaped connectivity (PyDBC),
+* :mod:`repro.translator`, :mod:`repro.profiles`, :mod:`repro.runtime`
+  — SQLJ Part 0: embedded SQL, profiles, customizers,
+* :mod:`repro.procedures` — SQLJ Part 1: Python callables as SQL routines,
+* :mod:`repro.datatypes` — SQLJ Part 2: Python classes as SQL types.
+"""
+
+from repro import errors
+from repro.engine import Database, Session
+
+__version__ = "1.0.0"
+
+__all__ = ["errors", "Database", "Session", "__version__"]

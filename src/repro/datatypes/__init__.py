@@ -1,0 +1,26 @@
+"""SQLJ Part 2: host-language classes as SQL data types.
+
+``CREATE TYPE addr EXTERNAL NAME Address LANGUAGE PYTHON (...)`` binds a
+Python class to a SQL type name, maps SQL attribute/method names onto
+Python fields/methods, and makes the class usable as a column or
+parameter type with value semantics.  Subtypes declared ``UNDER`` a
+supertype inherit its members and are substitutable for it.
+
+Expression-level behaviour (``new``, ``>>`` access, dynamic dispatch)
+lives in :mod:`repro.engine.expressions`; this package owns registration,
+DDL generation from reflection, and object serialization.
+"""
+
+from repro.datatypes.ddlgen import create_type_ddl_for_class
+from repro.datatypes.registration import execute_create_type
+from repro.datatypes.serialization import (
+    deserialize_object,
+    serialize_object,
+)
+
+__all__ = [
+    "execute_create_type",
+    "create_type_ddl_for_class",
+    "serialize_object",
+    "deserialize_object",
+]

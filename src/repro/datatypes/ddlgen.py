@@ -1,0 +1,152 @@
+"""Generating CREATE TYPE DDL from a Python class by reflection.
+
+The paper writes CREATE TYPE statements by hand; for Python users this
+helper derives one from the class itself — annotated constructor
+parameters become attribute types, public methods become SQL methods —
+which the examples and tests use to register types concisely.  The output
+is ordinary DDL, so everything still flows through the same
+``CREATE TYPE`` code path.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import List, Optional, Type
+
+from repro import errors
+from repro.procedures.reflection import descriptor_for_annotation
+
+__all__ = ["create_type_ddl_for_class"]
+
+
+def _sql_name(python_name: str) -> str:
+    """Convert camelCase / mixedCase Python names to snake_case SQL."""
+    out: List[str] = []
+    for ch in python_name:
+        if ch.isupper() and out and out[-1] != "_":
+            out.append("_")
+        out.append(ch.lower())
+    return "".join(out)
+
+
+def _spelling_for(annotation) -> Optional[str]:
+    descriptor = descriptor_for_annotation(annotation)
+    if descriptor is None:
+        return None
+    return descriptor.sql_spelling()
+
+
+def create_type_ddl_for_class(
+    cls: Type,
+    type_name: Optional[str] = None,
+    external_name: Optional[str] = None,
+    under: Optional[str] = None,
+) -> str:
+    """Build a CREATE TYPE statement for ``cls``.
+
+    Attributes are taken from class-level annotations and class attributes
+    with mappable types; methods from public callables with annotated
+    returns.  The class's ``__init__`` becomes the constructor method
+    entry when all its parameters are annotated with mappable types.
+    """
+    type_name = type_name or _sql_name(cls.__name__)
+    external_name = external_name or f"'{cls.__module__}.{cls.__name__}'"
+    members: List[str] = []
+
+    annotations = {}
+    for klass in reversed(cls.__mro__):
+        annotations.update(getattr(klass, "__annotations__", {}))
+    own_annotations = getattr(cls, "__annotations__", {})
+
+    for field_name, annotation in annotations.items():
+        if field_name.startswith("_"):
+            continue
+        if under is not None and field_name not in own_annotations:
+            continue  # inherited members come from the supertype
+        spelling = _spelling_for(annotation)
+        if spelling is None:
+            continue
+        is_static = hasattr(cls, field_name) and not callable(
+            getattr(cls, field_name)
+        )
+        prefix = "static " if is_static else ""
+        members.append(
+            f"{prefix}{_sql_name(field_name)} {spelling} "
+            f"external name {field_name}"
+        )
+
+    init = inspect.signature(cls.__init__)
+    init_params = [
+        p for name, p in init.parameters.items() if name != "self"
+        and p.kind in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD)
+    ]
+    param_clauses: List[str] = []
+    constructor_usable = True
+    for parameter in init_params:
+        if parameter.annotation is inspect.Parameter.empty:
+            constructor_usable = False
+            break
+        spelling = _spelling_for(parameter.annotation)
+        if spelling is None:
+            constructor_usable = False
+            break
+        param_clauses.append(f"{_sql_name(parameter.name)} {spelling}")
+    if constructor_usable:
+        members.append(
+            f"method {type_name} ({', '.join(param_clauses)}) "
+            f"returns {type_name} external name {cls.__name__}"
+        )
+
+    for method_name, member in inspect.getmembers(cls):
+        if method_name.startswith("_") or not callable(member):
+            continue
+        if under is not None and method_name not in cls.__dict__:
+            continue
+        try:
+            signature = inspect.signature(member)
+        except (TypeError, ValueError):
+            continue
+        parameters = [
+            p for name, p in signature.parameters.items() if name != "self"
+        ]
+        clauses: List[str] = []
+        usable = True
+        for parameter in parameters:
+            if parameter.annotation is inspect.Parameter.empty:
+                usable = False
+                break
+            spelling = _spelling_for(parameter.annotation)
+            if spelling is None:
+                usable = False
+                break
+            clauses.append(f"{_sql_name(parameter.name)} {spelling}")
+        if not usable:
+            continue
+        returns_clause = ""
+        if signature.return_annotation is not inspect.Signature.empty:
+            spelling = _spelling_for(signature.return_annotation)
+            if spelling is not None:
+                returns_clause = f" returns {spelling}"
+        static_prefix = (
+            "static "
+            if isinstance(
+                inspect.getattr_static(cls, method_name), staticmethod
+            )
+            else ""
+        )
+        members.append(
+            f"{static_prefix}method {_sql_name(method_name)} "
+            f"({', '.join(clauses)}){returns_clause} "
+            f"external name {method_name}"
+        )
+
+    if not members:
+        raise errors.CatalogError(
+            f"class {cls.__name__!r} exposes no mappable members"
+        )
+    under_clause = f" under {under}" if under else ""
+    body = ",\n  ".join(members)
+    return (
+        f"create type {type_name}{under_clause} "
+        f"external name {external_name} language python (\n  {body}\n)"
+    )

@@ -1,0 +1,213 @@
+"""CREATE TYPE execution (SQLJ Part 2).
+
+Binds a SQL type name to a Python class and records the SQL↔Python member
+maps.  Following the paper:
+
+* the EXTERNAL NAME of the type names the class (``Address``); member
+  clauses name fields and methods (``zip_attr char(10) external name
+  zip``, ``method to_string() returns varchar(255) external name
+  toString``);
+* a method whose SQL name equals the type name is a constructor;
+* ``STATIC`` marks class-level attributes/methods (the paper's
+  ``recommended_width`` and ``contiguous``);
+* ``UNDER`` declares a subtype whose class must subclass the supertype's
+  class; members are inherited through the supertype chain.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any, Optional
+
+from repro import errors
+from repro.engine import ast
+from repro.engine.catalog import (
+    AttributeBinding,
+    MethodBinding,
+    UserDefinedType,
+    parse_external_name,
+)
+from repro.procedures.registration import resolve_external
+
+__all__ = ["execute_create_type", "resolve_type_class"]
+
+
+def resolve_type_class(session: Any, external_name: str) -> type:
+    """Resolve a type's EXTERNAL NAME to a Python class.
+
+    Accepts ``par:module.Class``, ``module.Class``, or a bare class name,
+    which is searched across all installed archives (the Java analogy:
+    resolving a class name through the database's class path).
+    """
+    par_name, module_name, member = parse_external_name(external_name)
+    if par_name is not None or module_name:
+        target = resolve_external(session, external_name)
+    else:
+        target = _search_archives_for_class(session, member)
+    if not inspect.isclass(target):
+        raise errors.RoutineResolutionError(
+            f"EXTERNAL NAME {external_name!r} does not resolve to a class"
+        )
+    return target
+
+
+def _search_archives_for_class(session: Any, class_name: str) -> type:
+    loader = session.database.par_loader
+    for par_key in sorted(session.catalog.pars):
+        par = session.catalog.pars[par_key]
+        for module_name in sorted(par.modules):
+            module = loader.load_module(par, module_name)
+            candidate = getattr(module, class_name, None)
+            if inspect.isclass(candidate):
+                return candidate
+    raise errors.RoutineResolutionError(
+        f"no installed archive defines a class named {class_name!r}"
+    )
+
+
+def _member_name(external: str) -> str:
+    """Member clauses may carry ``module.Class.member`` externals; only
+    the last path component names the Python member."""
+    return external.split(":")[-1].split(".")[-1]
+
+
+def execute_create_type(stmt: ast.CreateType, session: Any) -> None:
+    catalog = session.catalog
+    if stmt.language not in ("PYTHON", "JAVA"):
+        raise errors.FeatureNotSupportedError(
+            f"LANGUAGE {stmt.language} types are not supported"
+        )
+    if not stmt.external_name:
+        raise errors.SQLSyntaxError(
+            f"type {stmt.name!r} requires an EXTERNAL NAME clause"
+        )
+
+    python_class = resolve_type_class(session, stmt.external_name)
+
+    supertype: Optional[UserDefinedType] = None
+    if stmt.under is not None:
+        supertype = catalog.get_type(stmt.under)
+        if not issubclass(python_class, supertype.python_class):
+            raise errors.CatalogError(
+                f"class {python_class.__name__!r} does not subclass "
+                f"{supertype.python_class.__name__!r}; it cannot be "
+                f"UNDER {supertype.name!r}"
+            )
+
+    udt = UserDefinedType(
+        name=stmt.name,
+        external_name=stmt.external_name,
+        python_class=python_class,
+        owner=session.user,
+        supertype=supertype,
+    )
+
+    # Register first so member clauses may reference the type itself
+    # (constructors return the type being defined).
+    catalog.create_type(udt)
+    try:
+        _bind_members(stmt, udt, session)
+    except Exception:
+        catalog.types.pop(udt.name, None)
+        raise
+
+
+def _bind_members(
+    stmt: ast.CreateType, udt: UserDefinedType, session: Any
+) -> None:
+    catalog = session.catalog
+    python_class = udt.python_class
+    simple_type_name = stmt.name.split(".")[-1]
+
+    for attr in stmt.attributes:
+        field_name = _member_name(attr.external_name)
+        if attr.static and not hasattr(python_class, field_name):
+            raise errors.RoutineResolutionError(
+                f"class {python_class.__name__!r} has no static attribute "
+                f"{field_name!r}"
+            )
+        if attr.sql_name in udt.attributes:
+            raise errors.DuplicateObjectError(
+                f"duplicate attribute {attr.sql_name!r} in type "
+                f"{udt.name!r}"
+            )
+        udt.attributes[attr.sql_name] = AttributeBinding(
+            sql_name=attr.sql_name,
+            field_name=field_name,
+            descriptor=catalog.resolve_type(attr.type_spelling),
+            static=attr.static,
+        )
+
+    for method in stmt.methods:
+        python_name = _member_name(method.external_name)
+        param_descriptors = [
+            catalog.resolve_type(p.type_spelling) for p in method.params
+        ]
+        returns = (
+            catalog.resolve_type(method.returns)
+            if method.returns is not None
+            else None
+        )
+        is_constructor = method.sql_name == simple_type_name
+        if is_constructor:
+            if python_name != python_class.__name__:
+                raise errors.RoutineResolutionError(
+                    f"constructor of type {udt.name!r} must have external "
+                    f"name {python_class.__name__!r}, got {python_name!r}"
+                )
+            udt.constructors.append(
+                MethodBinding(
+                    sql_name=method.sql_name,
+                    python_name=python_class.__name__,
+                    param_descriptors=param_descriptors,
+                    returns=returns,
+                    static=True,
+                    is_constructor=True,
+                )
+            )
+            continue
+        target = getattr(python_class, python_name, None)
+        if target is None or not callable(target):
+            raise errors.RoutineResolutionError(
+                f"class {python_class.__name__!r} has no method "
+                f"{python_name!r}"
+            )
+        if method.sql_name in udt.methods:
+            raise errors.DuplicateObjectError(
+                f"duplicate method {method.sql_name!r} in type "
+                f"{udt.name!r}"
+            )
+        udt.methods[method.sql_name] = MethodBinding(
+            sql_name=method.sql_name,
+            python_name=python_name,
+            param_descriptors=param_descriptors,
+            returns=returns,
+            static=method.static,
+        )
+
+    if stmt.ordering is not None:
+        _bind_ordering(stmt, udt)
+
+
+def _bind_ordering(stmt: ast.CreateType, udt: UserDefinedType) -> None:
+    """Resolve ``ordering ... by method <name>`` against the class.
+
+    The named method must be an instance method taking one argument (the
+    other instance) and returning an integer comparator result (negative
+    / zero / positive); for EQUALS ONLY orderings zero/non-zero is
+    enough.
+    """
+    binding = udt.find_method(stmt.ordering.method)
+    if binding is not None:
+        python_name = binding.python_name
+    else:
+        python_name = stmt.ordering.method
+    target = getattr(udt.python_class, python_name, None)
+    if target is None or not callable(target):
+        raise errors.RoutineResolutionError(
+            f"ordering method {stmt.ordering.method!r} of type "
+            f"{udt.name!r} does not resolve to a method of "
+            f"{udt.python_class.__name__!r}"
+        )
+    udt.ordering_kind = stmt.ordering.kind
+    udt.ordering_method = python_name

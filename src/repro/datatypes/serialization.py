@@ -1,0 +1,37 @@
+"""Object serialization for Part 2 values.
+
+The paper requires stored classes to implement ``java.io.Serializable``;
+the Python analogue is picklability.  These helpers are used by the dbapi
+layer for objects-by-value transport and by the E8 benchmark's
+BLOB-mapping baseline (the approach Part 2 makes unnecessary).
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any
+
+from repro import errors
+
+__all__ = ["serialize_object", "deserialize_object"]
+
+
+def serialize_object(obj: Any) -> bytes:
+    """Serialise a UDT instance to bytes."""
+    try:
+        return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:
+        raise errors.DataError(
+            f"object of class {type(obj).__name__!r} is not serialisable: "
+            f"{exc}"
+        ) from exc
+
+
+def deserialize_object(payload: bytes) -> Any:
+    """Reconstruct a UDT instance from bytes."""
+    try:
+        return pickle.loads(payload)
+    except Exception as exc:
+        raise errors.DataError(
+            f"cannot deserialise object payload: {exc}"
+        ) from exc

@@ -1,0 +1,132 @@
+"""Connection: one session's JDBC-shaped handle.
+
+Carries the JDBC 2.0 per-connection *type map* the paper describes for
+SQL3 ADTs ("Java mapping maintained per Connection"): entries map SQL UDT
+names to host classes and are consulted by ``get_udts`` consumers; Part 2
+objects themselves round-trip through ``get_object``/``set_object``
+without any mapping ("this just works").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro import errors
+from repro.dbapi.statement import (
+    CallableStatement,
+    PreparedStatement,
+    Statement,
+)
+from repro.engine.database import Session
+
+__all__ = ["Connection"]
+
+
+class Connection:
+    """Mirrors ``java.sql.Connection`` over an engine session."""
+
+    def __init__(
+        self,
+        session: Session,
+        url: str = "",
+        owns_session: bool = True,
+    ) -> None:
+        self.session = session
+        self.url = url
+        self.owns_session = owns_session
+        self._closed = False
+        #: JDBC 2.0 per-connection type map (SQL UDT name -> Python class).
+        self.type_map: Dict[str, type] = {}
+
+    # ------------------------------------------------------------------
+    # statement factories
+    # ------------------------------------------------------------------
+    def create_statement(self) -> Statement:
+        self._check_open()
+        return Statement(self)
+
+    def prepare_statement(self, sql: str) -> PreparedStatement:
+        self._check_open()
+        return PreparedStatement(self, sql)
+
+    def prepare_call(self, sql: str) -> CallableStatement:
+        self._check_open()
+        return CallableStatement(self, sql)
+
+    # ------------------------------------------------------------------
+    # transactions
+    # ------------------------------------------------------------------
+    @property
+    def autocommit(self) -> bool:
+        return self.session.autocommit
+
+    def set_auto_commit(self, enabled: bool) -> None:
+        self._check_open()
+        self.session.autocommit = bool(enabled)
+
+    def commit(self) -> None:
+        self._check_open()
+        self.session.commit()
+
+    def rollback(self) -> None:
+        self._check_open()
+        self.session.rollback()
+
+    # ------------------------------------------------------------------
+    # type map (JDBC 2.0)
+    # ------------------------------------------------------------------
+    def get_type_map(self) -> Dict[str, type]:
+        return dict(self.type_map)
+
+    def set_type_map(self, mapping: Dict[str, type]) -> None:
+        for name, cls in mapping.items():
+            if not isinstance(cls, type):
+                raise errors.DataError(
+                    f"type map entry {name!r} must map to a class"
+                )
+        self.type_map = {k.lower(): v for k, v in mapping.items()}
+
+    # ------------------------------------------------------------------
+    # metadata / lifecycle
+    # ------------------------------------------------------------------
+    def get_meta_data(self):
+        from repro.dbapi.metadata import DatabaseMetaData
+
+        self._check_open()
+        return DatabaseMetaData(self)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Close the connection.
+
+        Default connections (obtained inside a routine via
+        ``DBAPI:DEFAULT:CONNECTION``) share the caller's session; closing
+        them is a no-op, as in SQLJ implementations.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self.owns_session:
+            self.session.close()
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise errors.ConnectionClosedError("connection is closed")
+
+    # ------------------------------------------------------------------
+    @property
+    def user(self) -> str:
+        return self.session.user
+
+    @property
+    def dialect_name(self) -> str:
+        return self.session.dialect.name

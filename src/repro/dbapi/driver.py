@@ -1,0 +1,105 @@
+"""DriverManager and the database registry.
+
+``DriverManager.get_connection(url)`` resolves PyDBC URLs:
+
+* ``pydbc:<dialect>:<name>`` — connect to the registered database
+  ``<name>`` (creating it on first use with the given dialect, the way a
+  test JDBC driver would spin up an embedded database),
+* ``DBAPI:DEFAULT:CONNECTION`` / ``JDBC:DEFAULT:CONNECTION`` — inside an
+  external routine, a connection sharing the invoking session (paper,
+  Part 1 examples).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional
+
+from repro import errors
+from repro.dbapi.connection import Connection
+from repro.engine.database import Database
+
+__all__ = ["DriverManager", "DatabaseRegistry", "registry"]
+
+_DEFAULT_URLS = ("dbapi:default:connection", "jdbc:default:connection")
+
+
+class DatabaseRegistry:
+    """Process-wide registry of embedded databases, keyed by name."""
+
+    def __init__(self) -> None:
+        self._databases: Dict[str, Database] = {}
+        self._lock = threading.Lock()
+
+    def register(self, database: Database) -> Database:
+        with self._lock:
+            self._databases[database.name] = database
+        return database
+
+    def get_or_create(self, name: str, dialect: str) -> Database:
+        with self._lock:
+            database = self._databases.get(name)
+            if database is None:
+                database = Database(name=name, dialect=dialect)
+                self._databases[name] = database
+            elif database.dialect.name != dialect:
+                raise errors.ConnectionError_(
+                    f"database {name!r} runs dialect "
+                    f"{database.dialect.name!r}, not {dialect!r}"
+                )
+            return database
+
+    def lookup(self, name: str) -> Optional[Database]:
+        with self._lock:
+            return self._databases.get(name)
+
+    def drop(self, name: str) -> None:
+        with self._lock:
+            self._databases.pop(name, None)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._databases.clear()
+
+
+#: Default process-wide registry used by DriverManager.
+registry = DatabaseRegistry()
+
+
+class DriverManager:
+    """Entry point mirroring ``java.sql.DriverManager``."""
+
+    @staticmethod
+    def get_connection(
+        url: str,
+        user: Optional[str] = None,
+        database: Optional[Database] = None,
+    ) -> Connection:
+        """Open a connection for ``url``.
+
+        ``database`` short-circuits the registry (used by tests and by the
+        SQLJ runtime when a connection context wraps an existing engine
+        instance).
+        """
+        if url.lower() in _DEFAULT_URLS:
+            from repro.procedures.invocation import (
+                default_connection_session,
+            )
+
+            session = default_connection_session()
+            return Connection(session, url=url, owns_session=False)
+
+        if database is not None:
+            session = database.create_session(user=user, autocommit=True)
+            return Connection(session, url=url)
+
+        parts = url.split(":")
+        if len(parts) != 3 or parts[0].lower() != "pydbc":
+            raise errors.ConnectionError_(
+                f"malformed PyDBC URL {url!r}; expected "
+                "'pydbc:<dialect>:<name>'"
+            )
+        _scheme, dialect, name = parts
+        target = registry.get_or_create(name, dialect.lower())
+        session = target.create_session(user=user, autocommit=True)
+        return Connection(session, url=url)

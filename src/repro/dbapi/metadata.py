@@ -1,0 +1,258 @@
+"""DatabaseMetaData: catalog introspection.
+
+Implements the JDBC 2.0 metadata surface the paper calls out, most
+notably ``get_udts`` ("Metadata for user-defined types"), whose result
+matches the paper's example::
+
+    types = [typecodes.PY_OBJECT]
+    rs = dmd.get_udts("catalog-name", "schema-name", "%", types)
+
+plus ``get_tables``, ``get_columns``, ``get_procedures`` and
+``get_procedure_columns`` for completeness.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from typing import Any, List, Optional, Sequence
+
+from repro.dbapi.resultset import ResultSet
+from repro.engine.database import StatementResult
+from repro.engine.expressions import ColumnInfo, RowShape
+from repro.sqltypes import (
+    IntegerType,
+    VarCharType,
+    typecodes,
+)
+
+__all__ = ["DatabaseMetaData"]
+
+
+def _like_to_fnmatch(pattern: Optional[str]) -> str:
+    """Convert a SQL LIKE metadata pattern (%/_) to fnmatch (*/?)."""
+    if pattern is None:
+        return "*"
+    return pattern.replace("%", "*").replace("_", "?")
+
+
+def _shape(*columns: Any) -> RowShape:
+    return RowShape([ColumnInfo(None, name, desc) for name, desc in columns])
+
+
+def _rowset(shape: RowShape, rows: List[List[Any]]) -> ResultSet:
+    return ResultSet(StatementResult("rowset", rows=rows, shape=shape))
+
+
+class DatabaseMetaData:
+    """Mirrors ``java.sql.DatabaseMetaData`` (the slices SQLJ uses)."""
+
+    def __init__(self, connection: Any) -> None:
+        self.connection = connection
+        self._catalog = connection.session.catalog
+        self._database = connection.session.database
+
+    # ------------------------------------------------------------------
+    def get_database_product_name(self) -> str:
+        return f"PySQLJ engine ({self._database.dialect.name} dialect)"
+
+    def get_database_product_version(self) -> str:
+        return "1.0"
+
+    def get_user_name(self) -> str:
+        return self.connection.session.user
+
+    def get_url(self) -> str:
+        return self.connection.url
+
+    # ------------------------------------------------------------------
+    def get_udts(
+        self,
+        catalog: Optional[str] = None,
+        schema_pattern: Optional[str] = None,
+        type_name_pattern: str = "%",
+        types: Optional[Sequence[int]] = None,
+    ) -> ResultSet:
+        """User-defined types, per the paper's JDBC 2.0 example.
+
+        Columns: TYPE_CAT, TYPE_SCHEM, TYPE_NAME, CLASS_NAME, DATA_TYPE,
+        REMARKS.  All Part 2 types report DATA_TYPE = PY_OBJECT.
+        """
+        del catalog, schema_pattern  # single-catalog engine
+        name_filter = _like_to_fnmatch(type_name_pattern)
+        wanted = set(types) if types is not None else None
+        rows: List[List[Any]] = []
+        for name in sorted(self._catalog.types):
+            udt = self._catalog.types[name]
+            data_type = typecodes.PY_OBJECT
+            if wanted is not None and data_type not in wanted:
+                continue
+            if not fnmatch.fnmatchcase(name, name_filter):
+                continue
+            remarks = (
+                f"under {udt.supertype.name}" if udt.supertype else ""
+            )
+            rows.append(
+                [
+                    self._database.name,
+                    None,
+                    name,
+                    udt.python_class.__module__
+                    + "." + udt.python_class.__name__,
+                    data_type,
+                    remarks,
+                ]
+            )
+        shape = _shape(
+            ("type_cat", VarCharType(None)),
+            ("type_schem", VarCharType(None)),
+            ("type_name", VarCharType(None)),
+            ("class_name", VarCharType(None)),
+            ("data_type", IntegerType()),
+            ("remarks", VarCharType(None)),
+        )
+        return _rowset(shape, rows)
+
+    # ------------------------------------------------------------------
+    def get_tables(
+        self,
+        catalog: Optional[str] = None,
+        schema_pattern: Optional[str] = None,
+        table_name_pattern: str = "%",
+        types: Optional[Sequence[str]] = None,
+    ) -> ResultSet:
+        """Tables and views: TABLE_CAT, TABLE_SCHEM, TABLE_NAME,
+        TABLE_TYPE, REMARKS."""
+        del catalog, schema_pattern
+        name_filter = _like_to_fnmatch(table_name_pattern)
+        wanted = {t.upper() for t in types} if types else {"TABLE", "VIEW"}
+        rows: List[List[Any]] = []
+        entries = [
+            (name, "TABLE") for name in self._catalog.tables
+        ] + [(name, "VIEW") for name in self._catalog.views]
+        for name, kind in sorted(entries):
+            if kind not in wanted:
+                continue
+            if not fnmatch.fnmatchcase(name, name_filter):
+                continue
+            rows.append([self._database.name, None, name, kind, ""])
+        shape = _shape(
+            ("table_cat", VarCharType(None)),
+            ("table_schem", VarCharType(None)),
+            ("table_name", VarCharType(None)),
+            ("table_type", VarCharType(None)),
+            ("remarks", VarCharType(None)),
+        )
+        return _rowset(shape, rows)
+
+    def get_columns(
+        self,
+        catalog: Optional[str] = None,
+        schema_pattern: Optional[str] = None,
+        table_name_pattern: str = "%",
+        column_name_pattern: str = "%",
+    ) -> ResultSet:
+        """Columns: TABLE_NAME, COLUMN_NAME, DATA_TYPE, TYPE_NAME,
+        ORDINAL_POSITION, IS_NULLABLE."""
+        del catalog, schema_pattern
+        table_filter = _like_to_fnmatch(table_name_pattern)
+        column_filter = _like_to_fnmatch(column_name_pattern)
+        rows: List[List[Any]] = []
+        for table_name in sorted(self._catalog.tables):
+            if not fnmatch.fnmatchcase(table_name, table_filter):
+                continue
+            table = self._catalog.tables[table_name]
+            for position, column in enumerate(table.columns, start=1):
+                if not fnmatch.fnmatchcase(column.name, column_filter):
+                    continue
+                rows.append(
+                    [
+                        table_name,
+                        column.name,
+                        column.descriptor.type_code,
+                        column.descriptor.sql_spelling(),
+                        position,
+                        "NO" if column.not_null else "YES",
+                    ]
+                )
+        shape = _shape(
+            ("table_name", VarCharType(None)),
+            ("column_name", VarCharType(None)),
+            ("data_type", IntegerType()),
+            ("type_name", VarCharType(None)),
+            ("ordinal_position", IntegerType()),
+            ("is_nullable", VarCharType(None)),
+        )
+        return _rowset(shape, rows)
+
+    def get_procedures(
+        self,
+        catalog: Optional[str] = None,
+        schema_pattern: Optional[str] = None,
+        procedure_name_pattern: str = "%",
+    ) -> ResultSet:
+        """Routines: PROCEDURE_NAME, ROUTINE_KIND, EXTERNAL_NAME,
+        LANGUAGE, DYNAMIC_RESULT_SETS."""
+        del catalog, schema_pattern
+        name_filter = _like_to_fnmatch(procedure_name_pattern)
+        rows: List[List[Any]] = []
+        for name in sorted(self._catalog.routines):
+            if not fnmatch.fnmatchcase(name, name_filter):
+                continue
+            routine = self._catalog.routines[name]
+            rows.append(
+                [
+                    name,
+                    routine.kind,
+                    routine.external_name,
+                    routine.language,
+                    routine.dynamic_result_sets,
+                ]
+            )
+        shape = _shape(
+            ("procedure_name", VarCharType(None)),
+            ("routine_kind", VarCharType(None)),
+            ("external_name", VarCharType(None)),
+            ("language", VarCharType(None)),
+            ("dynamic_result_sets", IntegerType()),
+        )
+        return _rowset(shape, rows)
+
+    def get_procedure_columns(
+        self,
+        catalog: Optional[str] = None,
+        schema_pattern: Optional[str] = None,
+        procedure_name_pattern: str = "%",
+        column_name_pattern: str = "%",
+    ) -> ResultSet:
+        """Routine parameters: PROCEDURE_NAME, COLUMN_NAME, COLUMN_TYPE
+        (mode), DATA_TYPE, TYPE_NAME, ORDINAL_POSITION."""
+        del catalog, schema_pattern
+        name_filter = _like_to_fnmatch(procedure_name_pattern)
+        column_filter = _like_to_fnmatch(column_name_pattern)
+        rows: List[List[Any]] = []
+        for name in sorted(self._catalog.routines):
+            if not fnmatch.fnmatchcase(name, name_filter):
+                continue
+            routine = self._catalog.routines[name]
+            for position, param in enumerate(routine.params, start=1):
+                if not fnmatch.fnmatchcase(param.name, column_filter):
+                    continue
+                rows.append(
+                    [
+                        name,
+                        param.name,
+                        param.mode,
+                        param.descriptor.type_code,
+                        param.descriptor.sql_spelling(),
+                        position,
+                    ]
+                )
+        shape = _shape(
+            ("procedure_name", VarCharType(None)),
+            ("column_name", VarCharType(None)),
+            ("column_type", VarCharType(None)),
+            ("data_type", IntegerType()),
+            ("type_name", VarCharType(None)),
+            ("ordinal_position", IntegerType()),
+        )
+        return _rowset(shape, rows)

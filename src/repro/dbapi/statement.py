@@ -1,0 +1,415 @@
+"""Statement, PreparedStatement and CallableStatement.
+
+These mirror the JDBC classes the paper's examples use:
+
+* ``Statement.execute_query`` / ``execute_update`` for dynamic SQL,
+* ``PreparedStatement`` with 1-based ``set_xxx`` binders (the JDBC side of
+  the paper's "SQLJ more concise than JDBC" comparison),
+* ``CallableStatement`` with ``{call proc(?, ...)}`` escape syntax,
+  ``register_out_parameter``, 1-based ``get_xxx`` for OUT values, and
+  ``get_result_set`` / ``get_more_results`` for dynamic result sets.
+"""
+
+from __future__ import annotations
+
+import datetime
+import decimal
+import re
+from typing import Any, Dict, List, Optional, Union
+
+from repro import errors
+from repro.dbapi.resultset import ResultSet
+from repro.engine import ast
+from repro.engine.database import StatementResult
+
+__all__ = [
+    "Statement",
+    "PreparedStatement",
+    "CallableStatement",
+    "BatchUpdateError",
+]
+
+_CALL_ESCAPE_RE = re.compile(
+    r"^\s*\{\s*\?\s*=\s*call\s+(?P<fncall>.+?)\s*\}\s*$|"
+    r"^\s*\{\s*call\s+(?P<call>.+?)\s*\}\s*$",
+    re.IGNORECASE | re.DOTALL,
+)
+
+
+def strip_call_escape(sql: str) -> str:
+    """Normalise the JDBC ``{call ...}`` escape to a CALL statement."""
+    match = _CALL_ESCAPE_RE.match(sql)
+    if match:
+        body = match.group("call") or match.group("fncall")
+        return f"CALL {body}"
+    return sql
+
+
+class BatchUpdateError(errors.SQLException):
+    """A batch execution failed part-way (JDBC's BatchUpdateException).
+
+    ``update_counts`` holds the counts of the statements that completed
+    before the failure.
+    """
+
+    default_sqlstate = "HY000"
+
+    def __init__(self, message: str, update_counts: List[int]) -> None:
+        super().__init__(message)
+        self.update_counts = update_counts
+
+
+class Statement:
+    """Dynamic (unprepared) statement execution."""
+
+    def __init__(self, connection: Any) -> None:
+        self.connection = connection
+        self._result: Optional[StatementResult] = None
+        self._result_set_index = 0
+        self._closed = False
+        self._batch: List[Any] = []
+
+    # ------------------------------------------------------------------
+    def _run(self, sql: str, params: List[Any]) -> StatementResult:
+        self._check_open()
+        session = self.connection.session
+        result = session.execute(strip_call_escape(sql), params)
+        self._result = result
+        self._result_set_index = 0
+        return result
+
+    def execute_query(self, sql: str) -> ResultSet:
+        result = self._run(sql, [])
+        if not result.is_rowset:
+            raise errors.DataError(
+                "execute_query used for a statement that returns no rows"
+            )
+        return ResultSet(result, self)
+
+    def execute_update(self, sql: str) -> int:
+        result = self._run(sql, [])
+        if result.is_rowset:
+            raise errors.DataError(
+                "execute_update used for a statement that returns rows"
+            )
+        return result.update_count
+
+    def execute(self, sql: str) -> bool:
+        """Execute any statement; True if a result set is available."""
+        result = self._run(sql, [])
+        return result.is_rowset or bool(result.result_sets)
+
+    # ------------------------------------------------------------------
+    # multiple-results protocol (dynamic result sets from CALL)
+    # ------------------------------------------------------------------
+    def _available_results(self) -> List[StatementResult]:
+        if self._result is None:
+            return []
+        if self._result.is_rowset:
+            return [self._result]
+        return self._result.result_sets
+
+    def get_result_set(self) -> Optional[ResultSet]:
+        results = self._available_results()
+        if self._result_set_index >= len(results):
+            return None
+        return ResultSet(results[self._result_set_index], self)
+
+    def get_more_results(self) -> bool:
+        results = self._available_results()
+        self._result_set_index += 1
+        return self._result_set_index < len(results)
+
+    def get_update_count(self) -> int:
+        if self._result is None or self._result.is_rowset:
+            return -1
+        if self._result.kind == "update":
+            return self._result.update_count
+        return -1
+
+    # ------------------------------------------------------------------
+    # batch updates (JDBC 2.0)
+    # ------------------------------------------------------------------
+    def add_batch(self, sql: str) -> None:
+        """Queue a statement for batched execution."""
+        self._check_open()
+        self._batch.append(sql)
+
+    def clear_batch(self) -> None:
+        self._batch.clear()
+
+    def execute_batch(self) -> List[int]:
+        """Run the queued statements; returns their update counts.
+
+        A failure raises :class:`BatchUpdateError` carrying the counts of
+        the statements that completed; the rest are not attempted (and
+        the batch is cleared either way).
+        """
+        self._check_open()
+        counts: List[int] = []
+        try:
+            for sql in self._batch:
+                result = self._run(sql, [])
+                if result.is_rowset:
+                    raise errors.DataError(
+                        "queries are not allowed in a batch"
+                    )
+                counts.append(result.update_count)
+        except errors.SQLException as exc:
+            self._batch.clear()
+            error = BatchUpdateError(
+                f"batch failed after {len(counts)} statement(s): "
+                f"{exc.message}",
+                counts,
+            )
+            error.__cause__ = exc
+            raise error from exc
+        self._batch.clear()
+        return counts
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self._closed = True
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise errors.InvalidCursorStateError("statement is closed")
+        self.connection._check_open()
+
+
+class PreparedStatement(Statement):
+    """Pre-parsed (and for queries pre-planned) parameterised statement."""
+
+    def __init__(self, connection: Any, sql: str) -> None:
+        super().__init__(connection)
+        self.sql = strip_call_escape(sql)
+        self._plan = connection.session.prepare(self.sql)
+        self._params: Dict[int, Any] = {}
+
+    # ------------------------------------------------------------------
+    # binder methods (1-based indexes, as in JDBC)
+    # ------------------------------------------------------------------
+    def _bind(self, index: int, value: Any) -> None:
+        if index < 1:
+            raise errors.DataError("parameter indexes are 1-based")
+        self._params[index] = value
+
+    def set_object(self, index: int, value: Any) -> None:
+        self._bind(index, value)
+
+    def set_string(self, index: int, value: Optional[str]) -> None:
+        if value is not None and not isinstance(value, str):
+            raise errors.InvalidCastError("set_string expects str or None")
+        self._bind(index, value)
+
+    def set_int(self, index: int, value: Optional[int]) -> None:
+        if value is not None and not isinstance(value, int):
+            raise errors.InvalidCastError("set_int expects int or None")
+        self._bind(index, value)
+
+    def set_float(self, index: int, value: Optional[float]) -> None:
+        if value is not None:
+            value = float(value)
+        self._bind(index, value)
+
+    def set_decimal(
+        self, index: int, value: Optional[decimal.Decimal]
+    ) -> None:
+        if value is not None and not isinstance(value, decimal.Decimal):
+            value = decimal.Decimal(str(value))
+        self._bind(index, value)
+
+    def set_boolean(self, index: int, value: Optional[bool]) -> None:
+        if value is not None:
+            value = bool(value)
+        self._bind(index, value)
+
+    def set_date(self, index: int, value: Optional[datetime.date]) -> None:
+        self._bind(index, value)
+
+    def set_bytes(self, index: int, value: Optional[bytes]) -> None:
+        if value is not None and not isinstance(value, (bytes, bytearray)):
+            raise errors.InvalidCastError("set_bytes expects bytes or None")
+        self._bind(index, bytes(value) if value is not None else None)
+
+    def set_null(self, index: int, _type_code: int = 0) -> None:
+        self._bind(index, None)
+
+    def clear_parameters(self) -> None:
+        self._params.clear()
+
+    # ------------------------------------------------------------------
+    # batch updates (JDBC 2.0): one prepared statement, many bindings
+    # ------------------------------------------------------------------
+    def add_batch(self, sql: Optional[str] = None) -> None:
+        """Queue the current parameter bindings for batched execution."""
+        if sql is not None:
+            raise errors.DataError(
+                "prepared statements batch their own SQL; bind "
+                "parameters and call add_batch() with no argument"
+            )
+        self._check_open()
+        self._batch.append(self._param_list())
+
+    def execute_batch(self) -> List[int]:
+        """Execute once per queued binding; returns the update counts."""
+        self._check_open()
+        counts: List[int] = []
+        try:
+            for params in self._batch:
+                result = self._plan.execute(params)
+                if result.is_rowset:
+                    raise errors.DataError(
+                        "queries are not allowed in a batch"
+                    )
+                counts.append(result.update_count)
+            if (
+                self.connection.autocommit
+                and self.connection.session.transaction_log.active
+            ):
+                self.connection.session.commit()
+        except errors.SQLException as exc:
+            self._batch.clear()
+            error = BatchUpdateError(
+                f"batch failed after {len(counts)} statement(s): "
+                f"{exc.message}",
+                counts,
+            )
+            error.__cause__ = exc
+            raise error from exc
+        self._batch.clear()
+        return counts
+
+    def _param_list(self) -> List[Any]:
+        if not self._params:
+            return []
+        highest = max(self._params)
+        return [self._params.get(i + 1) for i in range(highest)]
+
+    # ------------------------------------------------------------------
+    def _run_prepared(self) -> StatementResult:
+        self._check_open()
+        result = self._plan.execute(self._param_list())
+        if (
+            self.connection.autocommit
+            and self.connection.session.transaction_log.active
+        ):
+            self.connection.session.commit()
+        self._result = result
+        self._result_set_index = 0
+        return result
+
+    def execute_query(self, sql: Optional[str] = None) -> ResultSet:
+        if sql is not None:
+            raise errors.DataError(
+                "prepared statements execute their own SQL"
+            )
+        result = self._run_prepared()
+        if not result.is_rowset:
+            raise errors.DataError(
+                "execute_query used for a statement that returns no rows"
+            )
+        return ResultSet(result, self)
+
+    def execute_update(self, sql: Optional[str] = None) -> int:
+        if sql is not None:
+            raise errors.DataError(
+                "prepared statements execute their own SQL"
+            )
+        result = self._run_prepared()
+        if result.is_rowset:
+            raise errors.DataError(
+                "execute_update used for a statement that returns rows"
+            )
+        return result.update_count
+
+    def execute(self, sql: Optional[str] = None) -> bool:
+        if sql is not None:
+            raise errors.DataError(
+                "prepared statements execute their own SQL"
+            )
+        result = self._run_prepared()
+        return result.is_rowset or bool(result.result_sets)
+
+
+class CallableStatement(PreparedStatement):
+    """Stored-procedure invocation with OUT parameters.
+
+    ``?`` markers are numbered 1..n in order of appearance; IN markers are
+    bound with ``set_xxx``, OUT markers registered with
+    ``register_out_parameter`` and read back with ``get_xxx`` after
+    ``execute``.
+    """
+
+    def __init__(self, connection: Any, sql: str) -> None:
+        super().__init__(connection, sql)
+        statement = self._plan.statement
+        if not isinstance(statement, ast.Call):
+            raise errors.SQLSyntaxError(
+                "CallableStatement requires a CALL statement"
+            )
+        self._call = statement
+        self._registered: Dict[int, int] = {}
+        self._out_by_marker: Dict[int, Any] = {}
+        # marker index (0-based) -> argument position in the CALL
+        self._marker_positions: Dict[int, int] = {}
+        for position, arg in enumerate(statement.args):
+            if isinstance(arg, ast.Parameter):
+                self._marker_positions[arg.index] = position
+
+    def register_out_parameter(self, index: int, type_code: int) -> None:
+        """Declare marker ``index`` (1-based) as an OUT parameter."""
+        if index - 1 not in self._marker_positions:
+            raise errors.DataError(
+                f"no ? marker at index {index} to register as OUT"
+            )
+        self._registered[index] = type_code
+
+    def _run_prepared(self) -> StatementResult:
+        result = super()._run_prepared()
+        self._out_by_marker = {}
+        if result.kind == "call":
+            for marker, position in self._marker_positions.items():
+                if position < len(result.out_values):
+                    self._out_by_marker[marker + 1] = \
+                        result.out_values[position]
+        return result
+
+    # ------------------------------------------------------------------
+    # OUT value accessors (1-based marker indexes)
+    # ------------------------------------------------------------------
+    def _out(self, index: Union[int, str]) -> Any:
+        if not isinstance(index, int):
+            raise errors.DataError("OUT parameters are accessed by index")
+        if index not in self._registered:
+            raise errors.DataError(
+                f"parameter {index} was not registered as OUT"
+            )
+        return self._out_by_marker.get(index)
+
+    def get_object(self, index: Union[int, str]) -> Any:
+        return self._out(index)
+
+    def get_string(self, index: Union[int, str]) -> Optional[str]:
+        value = self._out(index)
+        return None if value is None else str(value)
+
+    def get_int(self, index: Union[int, str]) -> Optional[int]:
+        value = self._out(index)
+        return None if value is None else int(value)
+
+    def get_decimal(
+        self, index: Union[int, str]
+    ) -> Optional[decimal.Decimal]:
+        value = self._out(index)
+        if value is None or isinstance(value, decimal.Decimal):
+            return value
+        return decimal.Decimal(str(value))
+
+    def get_float(self, index: Union[int, str]) -> Optional[float]:
+        value = self._out(index)
+        return None if value is None else float(value)
+
+    def get_boolean(self, index: Union[int, str]) -> Optional[bool]:
+        value = self._out(index)
+        return None if value is None else bool(value)

@@ -1,0 +1,22 @@
+"""From-scratch in-memory relational engine.
+
+This package is the substrate standing in for the commercial DBMSs
+(Oracle, Sybase ASA, DB2, ...) the paper's SQLJ implementations targeted.
+It provides a SQL lexer/parser, a catalog with tables, views, routines and
+user-defined types, an iterator-model executor, session transactions and a
+privilege system — everything the SQLJ layers above need to behave as the
+paper describes.
+"""
+
+from repro.engine.database import Database, Session
+from repro.engine.dialects import DIALECTS, Dialect
+from repro.engine.persistence import load_database, save_database
+
+__all__ = [
+    "Database",
+    "Session",
+    "Dialect",
+    "DIALECTS",
+    "save_database",
+    "load_database",
+]

@@ -1,0 +1,507 @@
+"""Abstract syntax tree for the engine's SQL dialect.
+
+All nodes are frozen-ish dataclasses (mutable for planner annotation
+convenience but treated as immutable by convention).  The tree covers the
+statements the paper exercises: queries with joins/grouping/ordering, DML,
+DDL for tables and views, the SQLJ Part 1 ``CREATE PROCEDURE/FUNCTION ...
+EXTERNAL NAME`` forms, the Part 2 ``CREATE TYPE ... UNDER`` form with
+``>>`` attribute/method references and ``NEW`` constructor calls, GRANT /
+REVOKE, CALL, and transaction control.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Union
+
+__all__ = [
+    "Expression", "Literal", "ColumnRef", "Parameter", "Unary", "Binary",
+    "IsNull", "Between", "InList", "InSubquery", "Like", "CaseExpr",
+    "WhenClause", "Cast", "FunctionCall", "AggregateCall", "ScalarSubquery",
+    "Exists", "NewObject", "AttributeRef", "MethodCall", "Statement",
+    "SelectItem", "StarItem", "TableName", "SubqueryRef", "Join", "OrderItem",
+    "Select", "SetOperation", "ValuesSource", "Insert", "AttributePath",
+    "Assignment", "Update", "Delete", "ColumnDef", "CreateTable",
+    "CreateView", "AlterTable", "Drop", "ParamDef", "CreateRoutine", "AttrDef", "MethodDef",
+    "OrderingSpec", "CreateType", "Grant", "Revoke", "Call", "Commit",
+    "Explain", "Rollback", "Savepoint", "RollbackTo",
+    "ReleaseSavepoint", "QueryExpr",
+]
+
+
+class Node:
+    """Common base so ``isinstance(x, Node)`` identifies AST objects."""
+
+
+class Expression(Node):
+    """Base class for scalar expressions."""
+
+
+@dataclass
+class Literal(Expression):
+    """A SQL literal: number, string, TRUE/FALSE, NULL."""
+
+    value: Any
+
+
+@dataclass
+class ColumnRef(Expression):
+    """Possibly-qualified column reference (``t.col`` or ``col``)."""
+
+    name: str
+    table: Optional[str] = None
+
+    def display(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass
+class Parameter(Expression):
+    """A ``?`` dynamic parameter; ``index`` is 0-based order of appearance."""
+
+    index: int
+
+
+@dataclass
+class Unary(Expression):
+    """Unary operator: ``-``, ``+`` or ``NOT``."""
+
+    op: str
+    operand: Expression
+
+
+@dataclass
+class Binary(Expression):
+    """Binary operator: arithmetic, comparison, AND/OR, ``||`` concat."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+
+@dataclass
+class IsNull(Expression):
+    operand: Expression
+    negated: bool = False
+
+
+@dataclass
+class Between(Expression):
+    operand: Expression
+    low: Expression
+    high: Expression
+    negated: bool = False
+
+
+@dataclass
+class InList(Expression):
+    operand: Expression
+    items: List[Expression] = field(default_factory=list)
+    negated: bool = False
+
+
+@dataclass
+class InSubquery(Expression):
+    operand: Expression
+    subquery: "QueryExpr" = None  # type: ignore[assignment]
+    negated: bool = False
+
+
+@dataclass
+class Like(Expression):
+    operand: Expression
+    pattern: Expression
+    escape: Optional[Expression] = None
+    negated: bool = False
+
+
+@dataclass
+class WhenClause(Node):
+    condition: Expression
+    result: Expression
+
+
+@dataclass
+class CaseExpr(Expression):
+    """Searched or simple CASE (simple form carries ``operand``)."""
+
+    operand: Optional[Expression]
+    whens: List[WhenClause]
+    else_result: Optional[Expression]
+
+
+@dataclass
+class Cast(Expression):
+    operand: Expression
+    target_type: str
+
+
+@dataclass
+class FunctionCall(Expression):
+    """Scalar function call — built-in or a Part 1 external function."""
+
+    name: str
+    args: List[Expression] = field(default_factory=list)
+
+
+@dataclass
+class AggregateCall(Expression):
+    """COUNT/SUM/AVG/MIN/MAX; ``argument is None`` means ``COUNT(*)``."""
+
+    name: str
+    argument: Optional[Expression]
+    distinct: bool = False
+
+
+@dataclass
+class ScalarSubquery(Expression):
+    query: "QueryExpr"
+
+
+@dataclass
+class Exists(Expression):
+    query: "QueryExpr"
+    negated: bool = False
+
+
+@dataclass
+class NewObject(Expression):
+    """SQLJ Part 2 constructor invocation: ``new addr('s', 'z')``."""
+
+    type_name: str
+    args: List[Expression] = field(default_factory=list)
+
+
+@dataclass
+class AttributeRef(Expression):
+    """SQLJ Part 2 attribute access: ``home_addr>>zip``.
+
+    ``target`` may also name a UDT (for static attributes).
+    """
+
+    target: Expression
+    attribute: str
+
+
+@dataclass
+class MethodCall(Expression):
+    """SQLJ Part 2 method invocation: ``home_addr>>to_string()``."""
+
+    target: Expression
+    method: str
+    args: List[Expression] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# Query structure
+# ---------------------------------------------------------------------------
+
+
+class Statement(Node):
+    """Base class for executable statements."""
+
+
+@dataclass
+class SelectItem(Node):
+    expression: Expression
+    alias: Optional[str] = None
+
+
+@dataclass
+class StarItem(Node):
+    """``*`` or ``t.*`` in a select list."""
+
+    table: Optional[str] = None
+
+
+class TableRef(Node):
+    """Base for FROM-clause items."""
+
+
+@dataclass
+class TableName(TableRef):
+    name: str
+    alias: Optional[str] = None
+
+
+@dataclass
+class SubqueryRef(TableRef):
+    query: "QueryExpr"
+    alias: str = ""
+
+
+@dataclass
+class Join(TableRef):
+    kind: str  # INNER, LEFT, RIGHT, FULL, CROSS
+    left: TableRef
+    right: TableRef
+    condition: Optional[Expression] = None
+
+
+@dataclass
+class OrderItem(Node):
+    expression: Expression
+    ascending: bool = True
+
+
+@dataclass
+class Select(Statement):
+    """A single SELECT block (set operations wrap these)."""
+
+    items: List[Node] = field(default_factory=list)
+    from_clause: List[TableRef] = field(default_factory=list)
+    where: Optional[Expression] = None
+    group_by: List[Expression] = field(default_factory=list)
+    having: Optional[Expression] = None
+    order_by: List[OrderItem] = field(default_factory=list)
+    distinct: bool = False
+    limit: Optional[Expression] = None
+    offset: Optional[Expression] = None
+
+
+@dataclass
+class SetOperation(Statement):
+    op: str  # UNION, INTERSECT, EXCEPT
+    all: bool
+    left: "QueryExpr"
+    right: "QueryExpr"
+    order_by: List[OrderItem] = field(default_factory=list)
+
+
+#: Anything that produces a rowset.
+QueryExpr = Union[Select, SetOperation]
+
+
+# ---------------------------------------------------------------------------
+# DML
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ValuesSource(Node):
+    rows: List[List[Expression]] = field(default_factory=list)
+
+
+@dataclass
+class Insert(Statement):
+    table: str
+    columns: Optional[List[str]]
+    source: Union[ValuesSource, Select, SetOperation] = None  # type: ignore
+
+
+@dataclass
+class AttributePath(Node):
+    """Assignment target ``column>>attr`` (Part 2 in-place field update)."""
+
+    column: str
+    attributes: List[str] = field(default_factory=list)
+
+
+@dataclass
+class Assignment(Node):
+    target: Union[str, AttributePath]
+    value: Expression
+
+
+@dataclass
+class Update(Statement):
+    table: str
+    assignments: List[Assignment] = field(default_factory=list)
+    where: Optional[Expression] = None
+
+
+@dataclass
+class Delete(Statement):
+    table: str
+    where: Optional[Expression] = None
+
+
+# ---------------------------------------------------------------------------
+# DDL
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ColumnDef(Node):
+    name: str
+    type_spelling: str
+    not_null: bool = False
+    default: Optional[Expression] = None
+    unique: bool = False
+    primary_key: bool = False
+
+
+@dataclass
+class CreateTable(Statement):
+    name: str
+    columns: List[ColumnDef] = field(default_factory=list)
+
+
+@dataclass
+class CreateView(Statement):
+    name: str
+    column_names: Optional[List[str]] = None
+    query: QueryExpr = None  # type: ignore[assignment]
+
+
+@dataclass
+class AlterTable(Statement):
+    """ALTER TABLE <t> ADD [COLUMN] <def> | DROP [COLUMN] <name>."""
+
+    table: str
+    action: str  # ADD or DROP
+    column_def: Optional[ColumnDef] = None
+    column_name: Optional[str] = None
+
+
+@dataclass
+class Drop(Statement):
+    kind: str  # TABLE, VIEW, PROCEDURE, FUNCTION, TYPE
+    name: str
+    if_exists: bool = False
+
+
+@dataclass
+class ParamDef(Node):
+    """Routine parameter with SQLJ Part 1 mode (IN / OUT / INOUT)."""
+
+    name: str
+    type_spelling: str
+    mode: str = "IN"
+
+
+@dataclass
+class CreateRoutine(Statement):
+    """CREATE PROCEDURE / CREATE FUNCTION with EXTERNAL NAME binding.
+
+    ``external_name`` has the paper's form ``par_name:module.function`` (the
+    archive part is optional for system routines).
+    """
+
+    kind: str  # PROCEDURE or FUNCTION
+    name: str
+    params: List[ParamDef] = field(default_factory=list)
+    returns: Optional[str] = None
+    data_access: str = "CONTAINS SQL"  # NO SQL | READS | MODIFIES | CONTAINS
+    dynamic_result_sets: int = 0
+    external_name: str = ""
+    language: str = "PYTHON"
+    parameter_style: str = "PYTHON"
+
+
+@dataclass
+class AttrDef(Node):
+    """Attribute mapping inside CREATE TYPE."""
+
+    sql_name: str
+    type_spelling: str
+    external_name: str
+    static: bool = False
+
+
+@dataclass
+class MethodDef(Node):
+    """Method mapping inside CREATE TYPE.
+
+    A method whose ``sql_name`` equals the type name is a constructor
+    (mirroring the paper's ``method addr(...) returns addr``).
+    """
+
+    sql_name: str
+    params: List[ParamDef] = field(default_factory=list)
+    returns: Optional[str] = None
+    external_name: str = ""
+    static: bool = False
+
+
+@dataclass
+class OrderingSpec(Node):
+    """Part 2 ordering clause: ``ordering full by method cmp`` or
+    ``ordering equals only by method eq``.
+
+    FULL orderings make instances comparable with the relational
+    operators and sortable; EQUALS ONLY permits ``=``/``<>`` only.
+    """
+
+    kind: str  # FULL or EQUALS
+    method: str
+
+
+@dataclass
+class CreateType(Statement):
+    name: str
+    external_name: str
+    under: Optional[str] = None
+    language: str = "PYTHON"
+    attributes: List[AttrDef] = field(default_factory=list)
+    methods: List[MethodDef] = field(default_factory=list)
+    ordering: Optional[OrderingSpec] = None
+
+
+# ---------------------------------------------------------------------------
+# Access control, CALL, transactions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Grant(Statement):
+    """GRANT <privilege> ON [<kind>] <object> TO <grantees>."""
+
+    privilege: str  # SELECT, INSERT, UPDATE, DELETE, EXECUTE, USAGE
+    object_kind: str  # TABLE, PAR, DATATYPE, ROUTINE
+    object_name: str
+    grantees: List[str] = field(default_factory=list)
+
+
+@dataclass
+class Revoke(Statement):
+    privilege: str
+    object_kind: str
+    object_name: str
+    grantees: List[str] = field(default_factory=list)
+
+
+@dataclass
+class Call(Statement):
+    """CALL procedure(args); OUT arguments are ``Parameter`` nodes."""
+
+    procedure: str
+    args: List[Expression] = field(default_factory=list)
+
+
+@dataclass
+class Explain(Statement):
+    """EXPLAIN <query>: return the compiled plan as text rows."""
+
+    query: QueryExpr = None  # type: ignore[assignment]
+
+
+@dataclass
+class Savepoint(Statement):
+    """SAVEPOINT <name>."""
+
+    name: str
+
+
+@dataclass
+class RollbackTo(Statement):
+    """ROLLBACK TO SAVEPOINT <name>."""
+
+    name: str
+
+
+@dataclass
+class ReleaseSavepoint(Statement):
+    """RELEASE SAVEPOINT <name>."""
+
+    name: str
+
+
+@dataclass
+class Commit(Statement):
+    pass
+
+
+@dataclass
+class Rollback(Statement):
+    pass

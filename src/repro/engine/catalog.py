@@ -1,0 +1,457 @@
+"""System catalog.
+
+Holds every named object the engine knows about: tables, views, external
+routines (SQLJ Part 1), user-defined types (SQLJ Part 2) and installed
+archives ("pars" — the Python analogue of the paper's jar files).  The
+catalog is also where EXTERNAL NAME strings get resolved and where the
+UDT subtype graph for substitutability lives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro import errors
+from repro.sqltypes import ObjectType, TypeDescriptor, parse_type
+
+__all__ = [
+    "Column",
+    "Table",
+    "View",
+    "RoutineParam",
+    "Routine",
+    "AttributeBinding",
+    "MethodBinding",
+    "UserDefinedType",
+    "InstalledPar",
+    "Catalog",
+    "parse_external_name",
+]
+
+
+@dataclass
+class Column:
+    """One column of a table or view."""
+
+    name: str
+    descriptor: TypeDescriptor
+    not_null: bool = False
+    default: Any = None  # AST expression or None
+    unique: bool = False
+    primary_key: bool = False
+
+
+class Table:
+    """Base table: schema plus a row heap (attached by the storage layer)."""
+
+    def __init__(self, name: str, columns: List[Column], owner: str) -> None:
+        self.name = name
+        self.columns = columns
+        self.owner = owner
+        self.rows: List[List[Any]] = []
+        self._column_index = {c.name: i for i, c in enumerate(columns)}
+        if len(self._column_index) != len(columns):
+            raise errors.DuplicateObjectError(
+                f"duplicate column name in table {name!r}"
+            )
+
+    def add_column(self, column: Column, fill_value: Any = None) -> None:
+        """Append a column, extending every stored row with ``fill``."""
+        if column.name in self._column_index:
+            raise errors.DuplicateObjectError(
+                f"column {column.name!r} already exists in table "
+                f"{self.name!r}"
+            )
+        self.columns.append(column)
+        self._column_index[column.name] = len(self.columns) - 1
+        for row in self.rows:
+            row.append(fill_value)
+
+    def remove_column(self, name: str) -> Column:
+        """Drop a column and its values from every stored row."""
+        position = self.column_position(name)
+        if len(self.columns) == 1:
+            raise errors.CatalogError(
+                f"cannot drop the only column of table {self.name!r}"
+            )
+        column = self.columns.pop(position)
+        self._column_index = {
+            c.name: i for i, c in enumerate(self.columns)
+        }
+        for row in self.rows:
+            del row[position]
+        return column
+
+    def column_position(self, name: str) -> int:
+        """0-based position of ``name``; raises UndefinedColumnError."""
+        try:
+            return self._column_index[name]
+        except KeyError:
+            raise errors.UndefinedColumnError(
+                f"column {name!r} does not exist in table {self.name!r}"
+            ) from None
+
+    def has_column(self, name: str) -> bool:
+        return name in self._column_index
+
+
+@dataclass
+class View:
+    """A named stored query."""
+
+    name: str
+    query: Any  # ast.QueryExpr
+    owner: str
+    column_names: Optional[List[str]] = None
+
+
+@dataclass
+class RoutineParam:
+    """Resolved routine parameter (SQLJ Part 1 modes included)."""
+
+    name: str
+    descriptor: TypeDescriptor
+    mode: str = "IN"  # IN / OUT / INOUT
+
+
+@dataclass
+class Routine:
+    """An SQL routine bound to an external Python callable.
+
+    ``callable`` is resolved lazily by :mod:`repro.procedures` from
+    ``external_name`` (``par_name:module.function``); SQL built-ins and
+    directly-registered Python functions set it eagerly.
+    """
+
+    name: str
+    kind: str  # PROCEDURE or FUNCTION
+    params: List[RoutineParam]
+    returns: Optional[TypeDescriptor]
+    data_access: str
+    dynamic_result_sets: int
+    external_name: str
+    language: str
+    parameter_style: str
+    owner: str
+    par_name: Optional[str] = None
+    callable: Optional[Callable[..., Any]] = None
+
+    @property
+    def is_function(self) -> bool:
+        return self.kind == "FUNCTION"
+
+    def in_params(self) -> List[RoutineParam]:
+        return [p for p in self.params if p.mode in ("IN", "INOUT")]
+
+    def out_params(self) -> List[RoutineParam]:
+        return [p for p in self.params if p.mode in ("OUT", "INOUT")]
+
+
+@dataclass
+class AttributeBinding:
+    """SQL attribute of a UDT mapped onto a Python instance/class field."""
+
+    sql_name: str
+    field_name: str
+    descriptor: TypeDescriptor
+    static: bool = False
+
+
+@dataclass
+class MethodBinding:
+    """SQL method of a UDT mapped onto a Python method.
+
+    A binding whose SQL name equals the type name is a constructor; its
+    ``python_name`` then names the class itself.
+    """
+
+    sql_name: str
+    python_name: str
+    param_descriptors: List[TypeDescriptor]
+    returns: Optional[TypeDescriptor]
+    static: bool = False
+    is_constructor: bool = False
+
+
+class UserDefinedType:
+    """SQLJ Part 2 user-defined type: a Python class usable as a SQL type."""
+
+    def __init__(
+        self,
+        name: str,
+        external_name: str,
+        python_class: type,
+        owner: str,
+        supertype: Optional["UserDefinedType"] = None,
+    ) -> None:
+        self.name = name
+        self.external_name = external_name
+        self.python_class = python_class
+        self.owner = owner
+        self.supertype = supertype
+        self.attributes: Dict[str, AttributeBinding] = {}
+        self.methods: Dict[str, MethodBinding] = {}
+        self.constructors: List[MethodBinding] = []
+        #: Part 2 ordering spec: None (host-language default ordering),
+        #: or ("FULL"|"EQUALS", python comparison method name).
+        self.ordering_kind: Optional[str] = None
+        self.ordering_method: Optional[str] = None
+
+    # -- resolution through the supertype chain --------------------------
+    def find_attribute(self, sql_name: str) -> Optional[AttributeBinding]:
+        udt: Optional[UserDefinedType] = self
+        while udt is not None:
+            binding = udt.attributes.get(sql_name)
+            if binding is not None:
+                return binding
+            udt = udt.supertype
+        return None
+
+    def find_method(self, sql_name: str) -> Optional[MethodBinding]:
+        udt: Optional[UserDefinedType] = self
+        while udt is not None:
+            binding = udt.methods.get(sql_name)
+            if binding is not None:
+                return binding
+            udt = udt.supertype
+        return None
+
+    def find_ordering(self) -> Optional[Tuple[str, str]]:
+        """Nearest ordering spec up the supertype chain, if any."""
+        udt: Optional[UserDefinedType] = self
+        while udt is not None:
+            if udt.ordering_kind is not None:
+                assert udt.ordering_method is not None
+                return udt.ordering_kind, udt.ordering_method
+            udt = udt.supertype
+        return None
+
+    def is_subtype_of(self, other: "UserDefinedType") -> bool:
+        udt: Optional[UserDefinedType] = self
+        while udt is not None:
+            if udt is other:
+                return True
+            udt = udt.supertype
+        return False
+
+    def descriptor(self) -> ObjectType:
+        """ObjectType descriptor bound to this UDT's Python class."""
+        return ObjectType(self.name, self.python_class)
+
+
+@dataclass
+class InstalledPar:
+    """An installed archive of Python modules (the paper's jar file).
+
+    ``modules`` maps dotted module names to source text.  ``path`` is the
+    SQLJ path: an ordered list of ``(pattern, par_name)`` pairs consulted
+    when a module referenced from this archive is not found inside it
+    (``sqlj.alter_module_path``).
+    """
+
+    name: str
+    url: str
+    modules: Dict[str, str] = field(default_factory=dict)
+    deployment_descriptor: Optional[str] = None
+    path: List[Tuple[str, str]] = field(default_factory=list)
+    owner: str = ""
+
+
+def parse_external_name(external: str) -> Tuple[Optional[str], str, str]:
+    """Split an EXTERNAL NAME string into (par, module, member).
+
+    Formats accepted (from the paper):
+
+    * ``par_name:module.member`` — archive-qualified,
+    * ``module.member`` — resolved against the default path,
+    * ``member`` — a bare class name (Part 2 CREATE TYPE member clauses).
+    """
+    par: Optional[str] = None
+    rest = external.strip()
+    if ":" in rest:
+        par, rest = rest.split(":", 1)
+        par = par.strip().lower()
+        rest = rest.strip()
+    if "." in rest:
+        module, member = rest.rsplit(".", 1)
+    else:
+        module, member = "", rest
+    if not member:
+        raise errors.RoutineResolutionError(
+            f"malformed EXTERNAL NAME {external!r}"
+        )
+    return par, module, member
+
+
+class Catalog:
+    """Namespace of all persistent objects in one database."""
+
+    def __init__(self) -> None:
+        self.tables: Dict[str, Table] = {}
+        self.views: Dict[str, View] = {}
+        self.routines: Dict[str, Routine] = {}
+        self.types: Dict[str, UserDefinedType] = {}
+        self.pars: Dict[str, InstalledPar] = {}
+
+    # -- tables / views ---------------------------------------------------
+    def create_table(self, table: Table) -> None:
+        key = table.name
+        if key in self.tables or key in self.views:
+            raise errors.DuplicateObjectError(
+                f"table or view {key!r} already exists"
+            )
+        self.tables[key] = table
+
+    def drop_table(self, name: str) -> Table:
+        try:
+            return self.tables.pop(name)
+        except KeyError:
+            raise errors.UndefinedTableError(
+                f"table {name!r} does not exist"
+            ) from None
+
+    def get_table(self, name: str) -> Table:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise errors.UndefinedTableError(
+                f"table {name!r} does not exist"
+            ) from None
+
+    def create_view(self, view: View) -> None:
+        if view.name in self.views or view.name in self.tables:
+            raise errors.DuplicateObjectError(
+                f"table or view {view.name!r} already exists"
+            )
+        self.views[view.name] = view
+
+    def drop_view(self, name: str) -> View:
+        try:
+            return self.views.pop(name)
+        except KeyError:
+            raise errors.UndefinedObjectError(
+                f"view {name!r} does not exist"
+            ) from None
+
+    def get_relation(self, name: str):
+        """Return the Table or View called ``name``."""
+        if name in self.tables:
+            return self.tables[name]
+        if name in self.views:
+            return self.views[name]
+        raise errors.UndefinedTableError(
+            f"table or view {name!r} does not exist"
+        )
+
+    # -- routines ----------------------------------------------------------
+    def create_routine(self, routine: Routine) -> None:
+        if routine.name in self.routines:
+            raise errors.DuplicateObjectError(
+                f"routine {routine.name!r} already exists"
+            )
+        self.routines[routine.name] = routine
+
+    def drop_routine(self, name: str) -> Routine:
+        try:
+            return self.routines.pop(name)
+        except KeyError:
+            raise errors.UndefinedRoutineError(
+                f"routine {name!r} does not exist"
+            ) from None
+
+    def get_routine(self, name: str) -> Routine:
+        try:
+            return self.routines[name]
+        except KeyError:
+            raise errors.UndefinedRoutineError(
+                f"routine {name!r} does not exist"
+            ) from None
+
+    def find_function(self, name: str) -> Optional[Routine]:
+        routine = self.routines.get(name)
+        if routine is not None and routine.is_function:
+            return routine
+        return None
+
+    # -- user-defined types -------------------------------------------------
+    def create_type(self, udt: UserDefinedType) -> None:
+        if udt.name in self.types:
+            raise errors.DuplicateObjectError(
+                f"type {udt.name!r} already exists"
+            )
+        self.types[udt.name] = udt
+
+    def drop_type(self, name: str) -> UserDefinedType:
+        udt = self.get_type(name)
+        for other in self.types.values():
+            if other.supertype is udt:
+                raise errors.CatalogError(
+                    f"type {name!r} has subtype {other.name!r}; "
+                    "drop the subtype first"
+                )
+        for table in self.tables.values():
+            for column in table.columns:
+                if isinstance(column.descriptor, ObjectType) and \
+                        column.descriptor.udt_name == name:
+                    raise errors.CatalogError(
+                        f"type {name!r} is used by table {table.name!r}"
+                    )
+        return self.types.pop(name)
+
+    def get_type(self, name: str) -> UserDefinedType:
+        try:
+            return self.types[name]
+        except KeyError:
+            raise errors.UndefinedTypeError(
+                f"type {name!r} does not exist"
+            ) from None
+
+    def type_for_class(self, python_class: type) -> Optional[UserDefinedType]:
+        """Most-derived UDT whose bound class is ``python_class`` (or the
+        nearest registered ancestor, supporting substitutability)."""
+        best: Optional[UserDefinedType] = None
+        for udt in self.types.values():
+            if udt.python_class is python_class:
+                return udt
+            if isinstance(python_class, type) and issubclass(
+                python_class, udt.python_class
+            ):
+                if best is None or issubclass(
+                    udt.python_class, best.python_class
+                ):
+                    best = udt
+        return best
+
+    # -- archives ------------------------------------------------------------
+    def install_par(self, par: InstalledPar) -> None:
+        if par.name in self.pars:
+            raise errors.ParInstallationError(
+                f"archive {par.name!r} is already installed"
+            )
+        self.pars[par.name] = par
+
+    def remove_par(self, name: str) -> InstalledPar:
+        try:
+            return self.pars.pop(name)
+        except KeyError:
+            raise errors.UndefinedParError(
+                f"archive {name!r} is not installed"
+            ) from None
+
+    def get_par(self, name: str) -> InstalledPar:
+        try:
+            return self.pars[name]
+        except KeyError:
+            raise errors.UndefinedParError(
+                f"archive {name!r} is not installed"
+            ) from None
+
+    # -- type resolution -------------------------------------------------------
+    def resolve_type(self, spelling: str) -> TypeDescriptor:
+        """Parse a type spelling, binding UDT names to their classes."""
+        descriptor = parse_type(spelling)
+        if isinstance(descriptor, ObjectType):
+            udt = self.get_type(descriptor.udt_name)
+            return udt.descriptor()
+        return descriptor

@@ -1,0 +1,381 @@
+"""Database facade and sessions.
+
+:class:`Database` owns the catalog, the privilege manager and the dialect;
+:class:`Session` is one user's connection-like handle: it parses,
+dispatches and executes statements, holds the open transaction, and is the
+object the dbapi layer and the SQLJ runtime drive.
+
+At construction a database bootstraps the SQLJ system procedures
+(``sqlj.install_par`` and friends, Part 1) by delegating to
+:mod:`repro.procedures`; the import happens lazily to keep the engine
+package free of upward dependencies.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Any, Iterator, List, Optional, Sequence, Union
+
+from repro import errors
+from repro.engine import ast
+from repro.engine.catalog import Catalog, InstalledPar, Routine, \
+    UserDefinedType
+from repro.engine.dialects import DIALECTS, STANDARD, Dialect
+from repro.engine.executor import QueryPlan
+from repro.engine.expressions import RowShape
+from repro.engine.parser import Parser
+from repro.engine.planner import plan_query
+from repro.engine.privileges import PrivilegeManager
+from repro.engine.storage import TransactionLog
+from repro.sqltypes import ObjectType
+
+__all__ = ["Database", "Session", "StatementResult", "PreparedStatementPlan"]
+
+
+class StatementResult:
+    """Uniform result of executing one statement.
+
+    Attributes
+    ----------
+    kind:
+        ``"rowset"``, ``"update"``, ``"ddl"`` or ``"call"``.
+    rows / shape:
+        Materialised rows and their :class:`RowShape` (rowset results).
+    update_count:
+        Affected-row count for DML (0 for DDL).
+    out_values:
+        For CALL: list aligned with the procedure's OUT/INOUT parameters.
+    result_sets:
+        For CALL: dynamic result sets produced by the procedure, each a
+        ``(rows, shape)`` pair (SQLJ Part 1 "dynamic result sets").
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        rows: Optional[List[List[Any]]] = None,
+        shape: Optional[RowShape] = None,
+        update_count: int = 0,
+        out_values: Optional[List[Any]] = None,
+        result_sets: Optional[List[Any]] = None,
+        function_value: Any = None,
+    ) -> None:
+        self.kind = kind
+        self.rows = rows if rows is not None else []
+        self.shape = shape
+        self.update_count = update_count
+        self.out_values = out_values or []
+        self.result_sets = result_sets or []
+        self.function_value = function_value
+
+    @property
+    def is_rowset(self) -> bool:
+        return self.kind == "rowset"
+
+    def column_names(self) -> List[str]:
+        if self.shape is None:
+            return []
+        return [column.name for column in self.shape.columns]
+
+
+class PreparedStatementPlan:
+    """A statement prepared once and executable many times.
+
+    Queries keep their compiled :class:`QueryPlan`; other statements keep
+    the parsed AST (re-binding names per execution, which is what lets
+    prepared DML observe later catalog changes).
+    """
+
+    def __init__(self, session: "Session", sql: str) -> None:
+        self.session = session
+        self.sql = sql
+        self.statement = Parser(sql, session.database.dialect) \
+            .parse_statement()
+        self._query_plan: Optional[QueryPlan] = None
+        if isinstance(self.statement, (ast.Select, ast.SetOperation)):
+            self._query_plan, self._shape = plan_query(
+                self.statement, session
+            )
+
+    def execute(self, params: Sequence[Any] = ()) -> StatementResult:
+        if self._query_plan is not None:
+            rows = self._query_plan.run(self.session, params)
+            return self.session.finish_rowset(rows, self._shape)
+        return self.session.execute_statement(self.statement, params)
+
+
+class Database:
+    """One database instance: catalog + privileges + dialect."""
+
+    def __init__(
+        self,
+        name: str = "db",
+        dialect: Union[str, Dialect] = STANDARD,
+        admin_user: str = "dba",
+    ) -> None:
+        if isinstance(dialect, str):
+            try:
+                dialect = DIALECTS[dialect]
+            except KeyError:
+                raise errors.ConnectionError_(
+                    f"unknown dialect {dialect!r}"
+                ) from None
+        self.name = name
+        self.dialect = dialect
+        self.admin_user = admin_user
+        self.catalog = Catalog()
+        self.privileges = PrivilegeManager(admin_user)
+        self._bootstrap()
+
+    def _bootstrap(self) -> None:
+        # Lazy imports avoid a package cycle: procedures/datatypes build on
+        # the engine, and the engine only reaches them through these hooks.
+        from repro.procedures.invocation import execute_call, invoke_function
+        from repro.procedures.registration import execute_create_routine
+        from repro.procedures.system import register_system_routines
+        from repro.datatypes.registration import execute_create_type
+
+        self._invoke_function = invoke_function
+        self._execute_call = execute_call
+        self._execute_create_routine = execute_create_routine
+        self._execute_create_type = execute_create_type
+        register_system_routines(self)
+
+    def create_session(
+        self, user: Optional[str] = None, autocommit: bool = False
+    ) -> "Session":
+        return Session(self, user or self.admin_user, autocommit)
+
+
+class Session:
+    """One user's connection to a database."""
+
+    def __init__(
+        self, database: Database, user: str, autocommit: bool = False
+    ) -> None:
+        self.database = database
+        self.user = user
+        self.autocommit = autocommit
+        self.transaction_log = TransactionLog()
+        self._routine_depth = 0
+        self.closed = False
+
+    # ------------------------------------------------------------------
+    # convenience accessors
+    # ------------------------------------------------------------------
+    @property
+    def catalog(self) -> Catalog:
+        return self.database.catalog
+
+    @property
+    def dialect(self) -> Dialect:
+        return self.database.dialect
+
+    # ------------------------------------------------------------------
+    # privilege helpers used across the engine
+    # ------------------------------------------------------------------
+    def check_table_privilege(self, privilege: str, name: str) -> None:
+        relation = self.catalog.get_relation(name)
+        self.database.privileges.require(
+            self.user, privilege, "TABLE", name, relation.owner
+        )
+
+    def check_execute_privilege(self, routine: Routine) -> None:
+        self.database.privileges.require(
+            self.user, "EXECUTE", "ROUTINE", routine.name, routine.owner
+        )
+
+    def check_usage_privilege(
+        self, obj: Union[UserDefinedType, InstalledPar]
+    ) -> None:
+        if isinstance(obj, UserDefinedType):
+            kind = "DATATYPE"
+        else:
+            kind = "PAR"
+        self.database.privileges.require(
+            self.user, "USAGE", kind, obj.name, obj.owner
+        )
+
+    @contextlib.contextmanager
+    def impersonate(self, user: str) -> Iterator[None]:
+        """Temporarily run as ``user`` (definer's-rights execution)."""
+        previous = self.user
+        self.user = user
+        try:
+            yield
+        finally:
+            self.user = previous
+
+    # ------------------------------------------------------------------
+    # statement execution
+    # ------------------------------------------------------------------
+    def execute(
+        self, sql: str, params: Sequence[Any] = ()
+    ) -> StatementResult:
+        """Parse and execute one statement."""
+        self._check_open()
+        statement = Parser(sql, self.dialect).parse_statement()
+        return self.execute_statement(statement, params)
+
+    def prepare(self, sql: str) -> PreparedStatementPlan:
+        """Parse (and for queries, plan) once for repeated execution."""
+        self._check_open()
+        return PreparedStatementPlan(self, sql)
+
+    def execute_statement(
+        self, statement: ast.Statement, params: Sequence[Any] = ()
+    ) -> StatementResult:
+        """Execute a pre-parsed statement."""
+        self._check_open()
+        result = self._dispatch(statement, params)
+        if (
+            self.autocommit
+            and self._routine_depth == 0
+            and self.transaction_log.active
+        ):
+            self.transaction_log.commit()
+        return result
+
+    def _dispatch(
+        self, statement: ast.Statement, params: Sequence[Any]
+    ) -> StatementResult:
+        from repro.engine import ddl, dml
+
+        if isinstance(statement, (ast.Select, ast.SetOperation)):
+            plan, shape = plan_query(statement, self)
+            rows = plan.run(self, params)
+            return self.finish_rowset(rows, shape)
+        if isinstance(statement, ast.Insert):
+            count = dml.execute_insert(statement, self, params)
+            return StatementResult("update", update_count=count)
+        if isinstance(statement, ast.Update):
+            count = dml.execute_update(statement, self, params)
+            return StatementResult("update", update_count=count)
+        if isinstance(statement, ast.Delete):
+            count = dml.execute_delete(statement, self, params)
+            return StatementResult("update", update_count=count)
+        if isinstance(statement, ast.CreateTable):
+            ddl.execute_create_table(statement, self)
+            return StatementResult("ddl")
+        if isinstance(statement, ast.CreateView):
+            ddl.execute_create_view(statement, self)
+            return StatementResult("ddl")
+        if isinstance(statement, ast.AlterTable):
+            ddl.execute_alter_table(statement, self)
+            return StatementResult("ddl")
+        if isinstance(statement, ast.CreateRoutine):
+            self.database._execute_create_routine(statement, self)
+            return StatementResult("ddl")
+        if isinstance(statement, ast.CreateType):
+            self.database._execute_create_type(statement, self)
+            return StatementResult("ddl")
+        if isinstance(statement, ast.Drop):
+            ddl.execute_drop(statement, self)
+            return StatementResult("ddl")
+        if isinstance(statement, ast.Grant):
+            ddl.execute_grant(statement, self)
+            return StatementResult("ddl")
+        if isinstance(statement, ast.Revoke):
+            ddl.execute_revoke(statement, self)
+            return StatementResult("ddl")
+        if isinstance(statement, ast.Call):
+            return self.database._execute_call(statement, self, params)
+        if isinstance(statement, ast.Explain):
+            return self._explain(statement)
+        if isinstance(statement, ast.Commit):
+            self.commit()
+            return StatementResult("ddl")
+        if isinstance(statement, ast.Rollback):
+            self.rollback()
+            return StatementResult("ddl")
+        if isinstance(statement, ast.Savepoint):
+            self.transaction_log.set_savepoint(statement.name)
+            return StatementResult("ddl")
+        if isinstance(statement, ast.RollbackTo):
+            self.transaction_log.rollback_to(statement.name)
+            return StatementResult("ddl")
+        if isinstance(statement, ast.ReleaseSavepoint):
+            self.transaction_log.release(statement.name)
+            return StatementResult("ddl")
+        raise errors.FeatureNotSupportedError(
+            f"cannot execute {type(statement).__name__}"
+        )
+
+    def _explain(self, statement: ast.Explain) -> StatementResult:
+        from repro.engine.explain import format_plan
+        from repro.sqltypes import VarCharType
+        from repro.engine.expressions import ColumnInfo
+
+        plan, _shape = plan_query(statement.query, self)
+        shape = RowShape(
+            [ColumnInfo(None, "query_plan", VarCharType(None))]
+        )
+        rows = [[line] for line in format_plan(plan.root)]
+        return StatementResult("rowset", rows=rows, shape=shape)
+
+    def finish_rowset(
+        self, rows: List[List[Any]], shape: RowShape
+    ) -> StatementResult:
+        """Copy object-typed values out of storage (value semantics)."""
+        import copy
+        import datetime
+        import decimal
+
+        scalars = (
+            str, int, float, bool, bytes, decimal.Decimal,
+            datetime.date, datetime.time, datetime.datetime, type(None),
+        )
+        object_positions = [
+            index
+            for index, column in enumerate(shape.columns)
+            if isinstance(column.descriptor, ObjectType)
+            or column.descriptor is None
+        ]
+        if object_positions:
+            for row in rows:
+                for index in object_positions:
+                    value = row[index]
+                    if not isinstance(value, scalars):
+                        row[index] = copy.deepcopy(value)
+        return StatementResult("rowset", rows=rows, shape=shape)
+
+    # ------------------------------------------------------------------
+    # routines
+    # ------------------------------------------------------------------
+    def invoke_function(self, routine: Routine, args: List[Any]) -> Any:
+        """Invoke a Part 1 external function from an expression."""
+        return self.database._invoke_function(self, routine, args)
+
+    @contextlib.contextmanager
+    def routine_call(self) -> Iterator[None]:
+        """Marks the dynamic extent of an external routine invocation
+        (suppresses autocommit for statements the routine runs)."""
+        self._routine_depth += 1
+        try:
+            yield
+        finally:
+            self._routine_depth -= 1
+
+    # ------------------------------------------------------------------
+    # transactions / lifecycle
+    # ------------------------------------------------------------------
+    def after_mutation(self) -> None:
+        """Hook called by DML execution; reserved for statistics."""
+
+    def commit(self) -> None:
+        self._check_open()
+        self.transaction_log.commit()
+
+    def rollback(self) -> None:
+        self._check_open()
+        self.transaction_log.rollback()
+
+    def close(self) -> None:
+        if not self.closed:
+            if self.transaction_log.active:
+                self.transaction_log.rollback()
+            self.closed = True
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise errors.ConnectionClosedError("session is closed")

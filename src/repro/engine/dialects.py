@@ -1,0 +1,64 @@
+"""Engine dialects.
+
+The paper's headline Part 0 property is *binary portability*: one
+translated SQLJ binary runs against different database systems once a
+vendor customizer has adapted its profile.  To make that property testable
+without three commercial DBMSs, the engine supports named dialects that
+differ in accepted SQL surface syntax — the same kind of differences
+(row-limit syntax, string concatenation spelling) that real vendor
+customizers papered over.
+
+A profile customized for dialect X contains SQL text the X parser accepts;
+running an uncustomized (standard) profile against a non-standard dialect
+fails exactly like shipping un-customized SQLJ binaries would have.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["Dialect", "DIALECTS", "STANDARD", "ACME", "ZENITH"]
+
+
+@dataclass(frozen=True)
+class Dialect:
+    """Surface-syntax profile of one simulated vendor.
+
+    Attributes
+    ----------
+    name:
+        Registry key, also used in dbapi URLs (``pydbc:acme:mydb``).
+    limit_style:
+        How a row limit is spelled: ``"limit"`` (``LIMIT n``), ``"top"``
+        (``SELECT TOP n ...``) or ``"fetch_first"``
+        (``FETCH FIRST n ROWS ONLY``).
+    plus_concatenates_strings:
+        Whether ``'a' + 'b'`` performs string concatenation (Sybase-style).
+    allows_double_pipe_concat:
+        Whether the ISO ``||`` operator is accepted.
+    """
+
+    name: str
+    limit_style: str = "limit"
+    plus_concatenates_strings: bool = False
+    allows_double_pipe_concat: bool = True
+
+
+#: ISO-flavoured default dialect; the SQLJ translator checks against this.
+STANDARD = Dialect("standard")
+
+#: A Sybase/SQL-Server-flavoured vendor: TOP n, ``+`` concatenation, no ||.
+ACME = Dialect(
+    "acme",
+    limit_style="top",
+    plus_concatenates_strings=True,
+    allows_double_pipe_concat=False,
+)
+
+#: A DB2-flavoured vendor: FETCH FIRST n ROWS ONLY.
+ZENITH = Dialect("zenith", limit_style="fetch_first")
+
+DIALECTS: Dict[str, Dialect] = {
+    d.name: d for d in (STANDARD, ACME, ZENITH)
+}

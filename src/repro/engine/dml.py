@@ -1,0 +1,354 @@
+"""INSERT / UPDATE / DELETE execution.
+
+Each function takes the parsed statement, the executing session and the
+dynamic parameter values, performs privilege and constraint checks, and
+mutates the target table through the transactional
+:class:`~repro.engine.storage.RowStore`.
+
+UPDATE supports the SQLJ Part 2 attribute-path targets from the paper::
+
+    update emps set home_addr>>zip = '99123' where name = 'Bob Smith'
+
+which copy the stored object, mutate the mapped Python field, and store
+the result back (value semantics).
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro import errors
+from repro.engine import ast
+from repro.engine.catalog import Column, Table
+from repro.engine.expressions import Env, ExpressionCompiler, RowShape
+from repro.engine.planner import plan_query, table_shape
+from repro.engine.storage import RowStore, store_value
+from repro.sqltypes import ObjectType
+
+__all__ = ["execute_insert", "execute_update", "execute_delete"]
+
+
+def _check_not_null(column: Column, value: Any, table: Table) -> None:
+    if value is None and column.not_null:
+        raise errors.NotNullViolationError(
+            f"column {column.name!r} of table {table.name!r} is NOT NULL"
+        )
+
+
+def _unique_columns(table: Table) -> List[int]:
+    return [
+        position
+        for position, column in enumerate(table.columns)
+        if column.unique
+    ]
+
+
+def _values_collide(left: Any, right: Any) -> bool:
+    from repro.sqltypes import compare_values
+
+    if left is None or right is None:
+        return False  # NULLs never collide (SQL UNIQUE semantics)
+    try:
+        return compare_values(left, right) == 0
+    except errors.SQLException:
+        return False
+
+
+def _check_unique(
+    table: Table,
+    row: List[Any],
+    exclude_positions: Optional[set] = None,
+    extra_rows: Sequence[List[Any]] = (),
+) -> None:
+    """Raise if ``row`` collides with stored (or pending) rows on any
+    UNIQUE/PRIMARY KEY column."""
+    for position in _unique_columns(table):
+        value = row[position]
+        if value is None:
+            continue
+        column = table.columns[position]
+        label = "PRIMARY KEY" if column.primary_key else "UNIQUE"
+        for index, existing in enumerate(table.rows):
+            if exclude_positions and index in exclude_positions:
+                continue
+            if _values_collide(existing[position], value):
+                raise errors.UniqueViolationError(
+                    f"duplicate value for {label} column "
+                    f"{column.name!r} of table {table.name!r}"
+                )
+        for pending in extra_rows:
+            if pending is not row and _values_collide(
+                pending[position], value
+            ):
+                raise errors.UniqueViolationError(
+                    f"duplicate value for {label} column "
+                    f"{column.name!r} of table {table.name!r}"
+                )
+
+
+def _default_value(
+    column: Column, session: Any, params: Sequence[Any]
+) -> Any:
+    if column.default is None:
+        return None
+    compiler = ExpressionCompiler(RowShape([]), session)
+    return compiler.compile(column.default).fn(Env([], params, None, session))
+
+
+def execute_insert(
+    stmt: ast.Insert, session: Any, params: Sequence[Any]
+) -> int:
+    table = session.catalog.get_table(stmt.table)
+    session.check_table_privilege("INSERT", stmt.table)
+
+    if stmt.columns is None:
+        target_positions = list(range(len(table.columns)))
+    else:
+        target_positions = [
+            table.column_position(name) for name in stmt.columns
+        ]
+        if len(set(target_positions)) != len(target_positions):
+            raise errors.SQLSyntaxError(
+                "duplicate column in INSERT column list"
+            )
+
+    store = RowStore(table, session.transaction_log)
+    inserted = 0
+
+    if isinstance(stmt.source, ast.ValuesSource):
+        compiler = ExpressionCompiler(RowShape([]), session)
+        for value_row in stmt.source.rows:
+            if len(value_row) != len(target_positions):
+                raise errors.SQLSyntaxError(
+                    f"INSERT expects {len(target_positions)} values, "
+                    f"got {len(value_row)}"
+                )
+            env = Env([], params, None, session)
+            values = [compiler.compile(expr).fn(env) for expr in value_row]
+            row = _build_row(
+                table, target_positions, values, session, params
+            )
+            _check_unique(table, row)
+            store.insert(row)
+            inserted += 1
+        session.after_mutation()
+        return inserted
+
+    plan, shape = plan_query(stmt.source, session)
+    if len(shape) != len(target_positions):
+        raise errors.SQLSyntaxError(
+            f"INSERT expects {len(target_positions)} columns, the query "
+            f"supplies {len(shape)}"
+        )
+    for source_row in plan.run(session, params):
+        row = _build_row(
+            table, target_positions, source_row, session, params
+        )
+        _check_unique(table, row)
+        store.insert(row)
+        inserted += 1
+    session.after_mutation()
+    return inserted
+
+
+def _build_row(
+    table: Table,
+    target_positions: List[int],
+    values: Sequence[Any],
+    session: Any,
+    params: Sequence[Any],
+) -> List[Any]:
+    row: List[Any] = [None] * len(table.columns)
+    supplied = set(target_positions)
+    for position, value in zip(target_positions, values):
+        column = table.columns[position]
+        coerced = column.descriptor.coerce(value)
+        _check_udt_usage(session, column)
+        row[position] = store_value(coerced, column.descriptor)
+    for position, column in enumerate(table.columns):
+        if position not in supplied:
+            default = _default_value(column, session, params)
+            row[position] = store_value(
+                column.descriptor.coerce(default), column.descriptor
+            )
+    for position, column in enumerate(table.columns):
+        _check_not_null(column, row[position], table)
+    return row
+
+
+def _check_udt_usage(session: Any, column: Column) -> None:
+    descriptor = column.descriptor
+    if isinstance(descriptor, ObjectType):
+        udt = session.catalog.types.get(descriptor.udt_name)
+        if udt is not None:
+            session.check_usage_privilege(udt)
+
+
+def _matching_positions(
+    table: Table,
+    where: Optional[ast.Expression],
+    session: Any,
+    params: Sequence[Any],
+) -> List[int]:
+    if where is None:
+        return list(range(len(table.rows)))
+    shape = table_shape(table)
+    compiler = ExpressionCompiler(shape, session)
+    predicate = compiler.compile_predicate(where)
+    return [
+        index
+        for index, row in enumerate(table.rows)
+        if predicate(Env(row, params, None, session))
+    ]
+
+
+def execute_delete(
+    stmt: ast.Delete, session: Any, params: Sequence[Any]
+) -> int:
+    table = session.catalog.get_table(stmt.table)
+    session.check_table_privilege("DELETE", stmt.table)
+    positions = _matching_positions(table, stmt.where, session, params)
+    if positions:
+        RowStore(table, session.transaction_log).delete_at(positions)
+    session.after_mutation()
+    return len(positions)
+
+
+def execute_update(
+    stmt: ast.Update, session: Any, params: Sequence[Any]
+) -> int:
+    table = session.catalog.get_table(stmt.table)
+    session.check_table_privilege("UPDATE", stmt.table)
+    shape = table_shape(table)
+    compiler = ExpressionCompiler(shape, session)
+
+    # Compile and validate assignments up front, independent of row
+    # matches: target columns must exist and value types must be
+    # assignable (strong typing at plan time, not first-match time).
+    compiled: List[Tuple[ast.Assignment, Any]] = []
+    for assignment in stmt.assignments:
+        value = compiler.compile(assignment.value)
+        target = assignment.target
+        if isinstance(target, str):
+            position = table.column_position(target)
+            column = table.columns[position]
+            if isinstance(assignment.value, ast.Literal):
+                column.descriptor.coerce(assignment.value.value)
+            elif value.descriptor is not None and not \
+                    column.descriptor.assignable_from(value.descriptor):
+                raise errors.InvalidCastError(
+                    f"cannot store {value.descriptor.sql_spelling()} "
+                    f"into column {column.name!r} "
+                    f"({column.descriptor.sql_spelling()})"
+                )
+        else:
+            position = table.column_position(target.column)
+            descriptor = table.columns[position].descriptor
+            if not isinstance(descriptor, ObjectType):
+                raise errors.SQLSyntaxError(
+                    f"column {target.column!r} is not of an object type; "
+                    ">> assignment is not applicable"
+                )
+        compiled.append((assignment, value.fn))
+
+    positions = _matching_positions(table, stmt.where, session, params)
+    store = RowStore(table, session.transaction_log)
+
+    # Evaluate all replacement rows against pre-update state, then apply.
+    replacements: List[Tuple[int, List[Any]]] = []
+    for position in positions:
+        old_row = table.rows[position]
+        env = Env(old_row, params, None, session)
+        new_row = list(old_row)
+        for assignment, value_fn in compiled:
+            value = value_fn(env)
+            _apply_assignment(table, new_row, assignment, value, session)
+        for column, cell in zip(table.columns, new_row):
+            _check_not_null(column, cell, table)
+        replacements.append((position, new_row))
+
+    replaced_positions = {position for position, _row in replacements}
+    pending_rows = [row for _position, row in replacements]
+    for _position, new_row in replacements:
+        _check_unique(
+            table,
+            new_row,
+            exclude_positions=replaced_positions,
+            extra_rows=pending_rows,
+        )
+
+    for position, new_row in replacements:
+        store.update_at(position, new_row)
+    session.after_mutation()
+    return len(replacements)
+
+
+def _apply_assignment(
+    table: Table,
+    row: List[Any],
+    assignment: ast.Assignment,
+    value: Any,
+    session: Any,
+) -> None:
+    target = assignment.target
+    if isinstance(target, str):
+        position = table.column_position(target)
+        column = table.columns[position]
+        _check_udt_usage(session, column)
+        row[position] = store_value(
+            column.descriptor.coerce(value), column.descriptor
+        )
+        return
+
+    # Part 2 attribute path: copy object, set the mapped field, store back.
+    position = table.column_position(target.column)
+    column = table.columns[position]
+    descriptor = column.descriptor
+    if not isinstance(descriptor, ObjectType):
+        raise errors.SQLSyntaxError(
+            f"column {target.column!r} is not of an object type; "
+            ">> assignment is not applicable"
+        )
+    current = row[position]
+    if current is None:
+        raise errors.NullValueError(
+            f"cannot assign attribute of NULL value in column "
+            f"{target.column!r}"
+        )
+    updated = copy.deepcopy(current)
+    node = updated
+    path = target.attributes
+    for attr_name in path[:-1]:
+        node = _read_attribute(session, node, attr_name)
+        if node is None:
+            raise errors.NullValueError(
+                f"intermediate attribute {attr_name!r} is NULL"
+            )
+    _write_attribute(session, node, path[-1], value)
+    row[position] = updated
+
+
+def _binding_for(session: Any, obj: Any, attr_name: str):
+    udt = session.catalog.type_for_class(type(obj))
+    if udt is None:
+        raise errors.UndefinedTypeError(
+            f"class {type(obj).__name__!r} is not registered as a SQL type"
+        )
+    binding = udt.find_attribute(attr_name)
+    if binding is None:
+        raise errors.UndefinedColumnError(
+            f"type {udt.name!r} has no attribute {attr_name!r}"
+        )
+    return binding
+
+
+def _read_attribute(session: Any, obj: Any, attr_name: str) -> Any:
+    return getattr(obj, _binding_for(session, obj, attr_name).field_name)
+
+
+def _write_attribute(
+    session: Any, obj: Any, attr_name: str, value: Any
+) -> None:
+    binding = _binding_for(session, obj, attr_name)
+    setattr(obj, binding.field_name, binding.descriptor.coerce(value))

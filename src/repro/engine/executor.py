@@ -1,0 +1,584 @@
+"""Iterator-model query operators.
+
+Each operator exposes ``rows(ctx)`` returning an iterator of value lists.
+``ctx`` carries the executing session, the statement's dynamic parameters
+and (for correlated subqueries) the enclosing row environment.  Plans are
+fully compiled — operators hold closures produced by
+:class:`repro.engine.expressions.ExpressionCompiler`, so per-row work is
+plain Python calls.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
+
+from repro import errors
+from repro.engine.catalog import Table
+from repro.engine.expressions import Env, RowShape
+from repro.sqltypes import compare_values
+from repro.sqltypes.values import sort_key
+
+__all__ = [
+    "RuntimeContext",
+    "Operator",
+    "SingleRow",
+    "SeqScan",
+    "Filter",
+    "Project",
+    "NestedLoopJoin",
+    "Sort",
+    "Limit",
+    "Distinct",
+    "GroupAggregate",
+    "UnionOp",
+    "QueryPlan",
+    "AGGREGATE_FACTORIES",
+]
+
+
+class RuntimeContext:
+    """Execution-time state shared by all operators of one run."""
+
+    __slots__ = ("session", "params", "outer_env")
+
+    def __init__(
+        self,
+        session: Any,
+        params: Sequence[Any],
+        outer_env: Optional[Env] = None,
+    ) -> None:
+        self.session = session
+        self.params = params
+        self.outer_env = outer_env
+
+    def env(self, row: Sequence[Any]) -> Env:
+        return Env(row, self.params, self.outer_env, self.session)
+
+
+class Operator:
+    """Base operator; subclasses implement :meth:`rows`."""
+
+    def rows(self, ctx: RuntimeContext) -> Iterator[List[Any]]:
+        raise NotImplementedError
+
+
+class SingleRow(Operator):
+    """Produces exactly one empty row (``SELECT 1`` with no FROM)."""
+
+    def rows(self, ctx: RuntimeContext) -> Iterator[List[Any]]:
+        yield []
+
+
+class SeqScan(Operator):
+    """Full scan over a base table's heap."""
+
+    def __init__(self, table: Table) -> None:
+        self.table = table
+
+    def rows(self, ctx: RuntimeContext) -> Iterator[List[Any]]:
+        # Iterate over a snapshot so DML statements reading their own
+        # target table (e.g. INSERT INTO t SELECT ... FROM t) terminate.
+        return iter(list(self.table.rows))
+
+
+class Filter(Operator):
+    def __init__(
+        self, child: Operator, predicate: Callable[[Env], bool]
+    ) -> None:
+        self.child = child
+        self.predicate = predicate
+
+    def rows(self, ctx: RuntimeContext) -> Iterator[List[Any]]:
+        predicate = self.predicate
+        for row in self.child.rows(ctx):
+            if predicate(ctx.env(row)):
+                yield row
+
+
+class Project(Operator):
+    def __init__(
+        self, child: Operator, items: List[Callable[[Env], Any]]
+    ) -> None:
+        self.child = child
+        self.items = items
+
+    def rows(self, ctx: RuntimeContext) -> Iterator[List[Any]]:
+        items = self.items
+        for row in self.child.rows(ctx):
+            env = ctx.env(row)
+            yield [item(env) for item in items]
+
+
+class NestedLoopJoin(Operator):
+    """Nested-loop join supporting INNER/LEFT/RIGHT/FULL/CROSS."""
+
+    def __init__(
+        self,
+        kind: str,
+        left: Operator,
+        right: Operator,
+        predicate: Optional[Callable[[Env], bool]],
+        left_width: int,
+        right_width: int,
+    ) -> None:
+        self.kind = kind
+        self.left = left
+        self.right = right
+        self.predicate = predicate
+        self.left_width = left_width
+        self.right_width = right_width
+
+    def rows(self, ctx: RuntimeContext) -> Iterator[List[Any]]:
+        right_rows = list(self.right.rows(ctx))
+        right_matched = [False] * len(right_rows)
+        null_right = [None] * self.right_width
+        null_left = [None] * self.left_width
+        predicate = self.predicate
+        kind = self.kind
+
+        for left_row in self.left.rows(ctx):
+            matched = False
+            for index, right_row in enumerate(right_rows):
+                combined = list(left_row) + list(right_row)
+                if predicate is None or predicate(ctx.env(combined)):
+                    matched = True
+                    right_matched[index] = True
+                    yield combined
+            if not matched and kind in ("LEFT", "FULL"):
+                yield list(left_row) + null_right
+
+        if kind in ("RIGHT", "FULL"):
+            for index, right_row in enumerate(right_rows):
+                if not right_matched[index]:
+                    yield null_left + list(right_row)
+
+
+class Sort(Operator):
+    def __init__(
+        self,
+        child: Operator,
+        keys: List[Tuple[Callable[[Env], Any], bool]],
+    ) -> None:
+        self.child = child
+        self.keys = keys
+
+    def rows(self, ctx: RuntimeContext) -> Iterator[List[Any]]:
+        materialised = list(self.child.rows(ctx))
+        # Stable multi-key sort: apply keys right-to-left.
+        for key_fn, ascending in reversed(self.keys):
+            materialised.sort(
+                key=lambda row, fn=key_fn: sort_key(fn(ctx.env(row))),
+                reverse=not ascending,
+            )
+        return iter(materialised)
+
+
+class Limit(Operator):
+    def __init__(
+        self,
+        child: Operator,
+        limit: Optional[Callable[[Env], Any]],
+        offset: Optional[Callable[[Env], Any]],
+    ) -> None:
+        self.child = child
+        self.limit = limit
+        self.offset = offset
+
+    def rows(self, ctx: RuntimeContext) -> Iterator[List[Any]]:
+        empty_env = ctx.env([])
+        remaining = None
+        if self.limit is not None:
+            remaining = int(self.limit(empty_env))
+            if remaining < 0:
+                raise errors.DataError("LIMIT must be non-negative")
+        to_skip = 0
+        if self.offset is not None:
+            to_skip = int(self.offset(empty_env))
+            if to_skip < 0:
+                raise errors.DataError("OFFSET must be non-negative")
+        for row in self.child.rows(ctx):
+            if to_skip > 0:
+                to_skip -= 1
+                continue
+            if remaining is not None:
+                if remaining == 0:
+                    return
+                remaining -= 1
+            yield row
+
+
+class _RowSet:
+    """Duplicate detector tolerating unhashable (Part 2 object) values."""
+
+    def __init__(self) -> None:
+        self._hashed: set = set()
+        self._unhashable: List[tuple] = []
+
+    @staticmethod
+    def _normalise(value: Any) -> Any:
+        if isinstance(value, str):
+            return value.rstrip(" ")  # CHAR padding is insignificant
+        return value
+
+    @staticmethod
+    def _values_equal(left: Any, right: Any) -> bool:
+        """NULL-as-a-value equality used for DISTINCT/GROUP BY."""
+        if left is None or right is None:
+            return left is None and right is None
+        return compare_values(left, right) == 0
+
+    def add(self, row: Sequence[Any]) -> bool:
+        """Add the row; returns True if it was new."""
+        key = tuple(self._normalise(v) for v in row)
+        try:
+            if key in self._hashed:
+                return False
+            self._hashed.add(key)
+            return True
+        except TypeError:
+            for seen in self._unhashable:
+                if len(seen) == len(key) and all(
+                    self._values_equal(a, b) for a, b in zip(seen, key)
+                ):
+                    return False
+            self._unhashable.append(key)
+            return True
+
+
+class Distinct(Operator):
+    def __init__(self, child: Operator) -> None:
+        self.child = child
+
+    def rows(self, ctx: RuntimeContext) -> Iterator[List[Any]]:
+        seen = _RowSet()
+        for row in self.child.rows(ctx):
+            if seen.add(row):
+                yield row
+
+
+# ---------------------------------------------------------------------------
+# Aggregation
+# ---------------------------------------------------------------------------
+
+
+class _Accumulator:
+    """Base aggregate accumulator."""
+
+    def add(self, value: Any) -> None:
+        raise NotImplementedError
+
+    def result(self) -> Any:
+        raise NotImplementedError
+
+
+class _CountStar(_Accumulator):
+    def __init__(self) -> None:
+        self.count = 0
+
+    def add(self, value: Any) -> None:
+        self.count += 1
+
+    def result(self) -> int:
+        return self.count
+
+
+class _Count(_Accumulator):
+    def __init__(self) -> None:
+        self.count = 0
+
+    def add(self, value: Any) -> None:
+        if value is not None:
+            self.count += 1
+
+    def result(self) -> int:
+        return self.count
+
+
+class _Sum(_Accumulator):
+    def __init__(self) -> None:
+        self.total: Any = None
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        self.total = value if self.total is None else self.total + value
+
+    def result(self) -> Any:
+        return self.total
+
+
+class _Avg(_Accumulator):
+    def __init__(self) -> None:
+        self.total: Any = None
+        self.count = 0
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        self.total = value if self.total is None else self.total + value
+        self.count += 1
+
+    def result(self) -> Any:
+        if self.count == 0:
+            return None
+        if isinstance(self.total, float):
+            return self.total / self.count
+        import decimal
+
+        return decimal.Decimal(self.total) / decimal.Decimal(self.count)
+
+
+class _MinMax(_Accumulator):
+    def __init__(self, want_max: bool) -> None:
+        self.want_max = want_max
+        self.best: Any = None
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        if self.best is None:
+            self.best = value
+            return
+        comparison = compare_values(value, self.best)
+        if comparison is None:
+            return
+        if (comparison > 0) == self.want_max and comparison != 0:
+            self.best = value
+
+    def result(self) -> Any:
+        return self.best
+
+
+class _DistinctWrapper(_Accumulator):
+    """Feeds only first occurrences of each value into ``inner``."""
+
+    def __init__(self, inner: _Accumulator) -> None:
+        self.inner = inner
+        self.seen = _RowSet()
+
+    def add(self, value: Any) -> None:
+        if value is None or self.seen.add([value]):
+            self.inner.add(value)
+
+    def result(self) -> Any:
+        return self.inner.result()
+
+
+AGGREGATE_FACTORIES = {
+    "COUNT*": _CountStar,
+    "COUNT": _Count,
+    "SUM": _Sum,
+    "AVG": _Avg,
+    "MIN": functools.partial(_MinMax, want_max=False),
+    "MAX": functools.partial(_MinMax, want_max=True),
+}
+
+
+class AggregateSpec:
+    """One aggregate to compute: factory + optional argument closure."""
+
+    def __init__(
+        self,
+        name: str,
+        argument: Optional[Callable[[Env], Any]],
+        distinct: bool,
+    ) -> None:
+        self.name = name
+        self.argument = argument
+        self.distinct = distinct
+        key = "COUNT*" if name == "COUNT" and argument is None else name
+        self.factory = AGGREGATE_FACTORIES[key]
+
+    def new_accumulator(self) -> _Accumulator:
+        accumulator = self.factory()
+        if self.distinct:
+            accumulator = _DistinctWrapper(accumulator)
+        return accumulator
+
+
+class GroupAggregate(Operator):
+    """Hash aggregation.
+
+    Output rows are ``group-key values ++ aggregate results``.  With no
+    GROUP BY keys the whole input forms one group, and an empty input
+    still yields that single group (COUNT = 0, SUM = NULL) per SQL.
+    """
+
+    def __init__(
+        self,
+        child: Operator,
+        keys: List[Callable[[Env], Any]],
+        aggregates: List[AggregateSpec],
+    ) -> None:
+        self.child = child
+        self.keys = keys
+        self.aggregates = aggregates
+
+    def rows(self, ctx: RuntimeContext) -> Iterator[List[Any]]:
+        groups: dict = {}
+        order: List[Any] = []
+        unhashable_groups: List[Tuple[tuple, list, list]] = []
+
+        for row in self.child.rows(ctx):
+            env = ctx.env(row)
+            key_values = [key(env) for key in self.keys]
+            key = tuple(
+                v.rstrip(" ") if isinstance(v, str) else v
+                for v in key_values
+            )
+            try:
+                state = groups.get(key)
+                if state is None:
+                    state = (
+                        key_values,
+                        [spec.new_accumulator() for spec in self.aggregates],
+                    )
+                    groups[key] = state
+                    order.append(key)
+            except TypeError:
+                state = None
+                for existing_key, values, accs in unhashable_groups:
+                    if all(
+                        (a is None and b is None)
+                        or (
+                            a is not None
+                            and b is not None
+                            and compare_values(a, b) == 0
+                        )
+                        for a, b in zip(existing_key, key)
+                    ):
+                        state = (values, accs)
+                        break
+                if state is None:
+                    state = (
+                        key_values,
+                        [spec.new_accumulator() for spec in self.aggregates],
+                    )
+                    unhashable_groups.append((key, state[0], state[1]))
+            for spec, accumulator in zip(self.aggregates, state[1]):
+                accumulator.add(
+                    spec.argument(env) if spec.argument is not None else 0
+                )
+
+        if not groups and not unhashable_groups and not self.keys:
+            yield [acc.result() for acc in (
+                spec.new_accumulator() for spec in self.aggregates
+            )]
+            return
+
+        for key in order:
+            key_values, accumulators = groups[key]
+            yield list(key_values) + [a.result() for a in accumulators]
+        for _key, key_values, accumulators in unhashable_groups:
+            yield list(key_values) + [a.result() for a in accumulators]
+
+
+class UnionOp(Operator):
+    """UNION / INTERSECT / EXCEPT, with or without ALL.
+
+    Bag semantics for the ALL variants follow the SQL standard:
+    INTERSECT ALL keeps min(m, n) duplicates, EXCEPT ALL keeps
+    max(m - n, 0).
+    """
+
+    def __init__(
+        self,
+        left: Operator,
+        right: Operator,
+        all_rows: bool,
+        op: str = "UNION",
+    ):
+        self.left = left
+        self.right = right
+        self.all_rows = all_rows
+        self.op = op
+
+    @staticmethod
+    def _key(row: Sequence[Any]) -> tuple:
+        return tuple(
+            v.rstrip(" ") if isinstance(v, str) else v for v in row
+        )
+
+    def rows(self, ctx: RuntimeContext) -> Iterator[List[Any]]:
+        if self.op == "UNION":
+            yield from self._union(ctx)
+        elif self.op == "INTERSECT":
+            yield from self._intersect(ctx)
+        else:
+            yield from self._except(ctx)
+
+    def _union(self, ctx: RuntimeContext) -> Iterator[List[Any]]:
+        if self.all_rows:
+            yield from self.left.rows(ctx)
+            yield from self.right.rows(ctx)
+            return
+        seen = _RowSet()
+        for source in (self.left, self.right):
+            for row in source.rows(ctx):
+                if seen.add(row):
+                    yield row
+
+    def _intersect(self, ctx: RuntimeContext) -> Iterator[List[Any]]:
+        counts: dict = {}
+        for row in self.right.rows(ctx):
+            key = self._key(row)
+            counts[key] = counts.get(key, 0) + 1
+        emitted = set()
+        for row in self.left.rows(ctx):
+            key = self._key(row)
+            if counts.get(key, 0) > 0:
+                if self.all_rows:
+                    counts[key] -= 1
+                    yield row
+                elif key not in emitted:
+                    emitted.add(key)
+                    yield row
+
+    def _except(self, ctx: RuntimeContext) -> Iterator[List[Any]]:
+        counts: dict = {}
+        for row in self.right.rows(ctx):
+            key = self._key(row)
+            counts[key] = counts.get(key, 0) + 1
+        emitted = set()
+        for row in self.left.rows(ctx):
+            key = self._key(row)
+            if self.all_rows:
+                if counts.get(key, 0) > 0:
+                    counts[key] -= 1
+                else:
+                    yield row
+            else:
+                if counts.get(key, 0) == 0 and key not in emitted:
+                    emitted.add(key)
+                    yield row
+
+
+class QueryPlan:
+    """A compiled query: root operator plus output shape."""
+
+    def __init__(self, root: Operator, shape: RowShape) -> None:
+        self.root = root
+        self.shape = shape
+
+    def run(
+        self, session: Any, params: Sequence[Any] = ()
+    ) -> List[List[Any]]:
+        """Execute and materialise all rows."""
+        ctx = RuntimeContext(session, params)
+        return [list(row) for row in self.root.rows(ctx)]
+
+    def run_correlated(
+        self,
+        session: Any,
+        outer_env: Env,
+        limit: Optional[int] = None,
+    ) -> List[List[Any]]:
+        """Execute as a correlated subquery of ``outer_env``'s row."""
+        ctx = RuntimeContext(session, outer_env.params, outer_env)
+        rows: List[List[Any]] = []
+        for row in self.root.rows(ctx):
+            rows.append(list(row))
+            if limit is not None and len(rows) >= limit:
+                break
+        return rows

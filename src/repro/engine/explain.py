@@ -1,0 +1,77 @@
+"""EXPLAIN: textual rendering of compiled query plans.
+
+``EXPLAIN <query>`` returns one row per plan line, e.g.::
+
+    Sort (1 key)
+      Project
+        Filter
+          SeqScan on emps
+
+Plans are rule-based and deterministic (see the planner), so EXPLAIN
+output is stable enough to assert on in tests.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.engine.executor import (
+    Distinct,
+    Filter,
+    GroupAggregate,
+    Limit,
+    NestedLoopJoin,
+    Operator,
+    Project,
+    SeqScan,
+    SingleRow,
+    Sort,
+    UnionOp,
+)
+
+__all__ = ["describe_operator", "format_plan"]
+
+
+def describe_operator(operator: Operator) -> str:
+    """One-line description of a single operator."""
+    if isinstance(operator, SeqScan):
+        return f"SeqScan on {operator.table.name}"
+    if isinstance(operator, SingleRow):
+        return "Result (no table)"
+    if isinstance(operator, Filter):
+        return "Filter"
+    if isinstance(operator, Project):
+        return f"Project ({len(operator.items)} columns)"
+    if isinstance(operator, NestedLoopJoin):
+        return f"NestedLoopJoin ({operator.kind})"
+    if isinstance(operator, Sort):
+        keys = len(operator.keys)
+        return f"Sort ({keys} key{'s' if keys != 1 else ''})"
+    if isinstance(operator, Limit):
+        return "Limit"
+    if isinstance(operator, Distinct):
+        return "Distinct"
+    if isinstance(operator, GroupAggregate):
+        return (
+            f"GroupAggregate ({len(operator.keys)} group keys, "
+            f"{len(operator.aggregates)} aggregates)"
+        )
+    if isinstance(operator, UnionOp):
+        label = operator.op.capitalize()
+        return f"{label} ALL" if operator.all_rows else label
+    return type(operator).__name__
+
+
+def _children(operator: Operator) -> List[Operator]:
+    if isinstance(operator, (UnionOp, NestedLoopJoin)):
+        return [operator.left, operator.right]
+    child = getattr(operator, "child", None)
+    return [child] if child is not None else []
+
+
+def format_plan(operator: Operator, indent: int = 0) -> List[str]:
+    """Render the operator tree as indented lines, root first."""
+    lines = ["  " * indent + describe_operator(operator)]
+    for child in _children(operator):
+        lines.extend(format_plan(child, indent + 1))
+    return lines

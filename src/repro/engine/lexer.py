@@ -1,0 +1,245 @@
+"""SQL tokenizer.
+
+Produces a stream of :class:`Token` objects for the recursive-descent
+parser.  Notable dialect points from the paper:
+
+* ``>>`` is a single operator token — SQLJ Part 2 uses it to reference
+  fields and methods of host-language instances inside SQL, "avoiding
+  ambiguities with SQL dot-qualified names".
+* ``?`` is the dynamic parameter marker (JDBC style); the SQLJ translator
+  rewrites ``:hostvar`` references into ``?`` before the engine sees them.
+* String literals use single quotes with ``''`` escaping; delimited
+  identifiers use double quotes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from repro import errors
+
+__all__ = ["Token", "Lexer", "tokenize", "KEYWORDS"]
+
+#: Reserved and semi-reserved words recognised by the parser.  Kept as a
+#: frozenset so membership checks in the hot tokenizer loop stay O(1).
+KEYWORDS = frozenset(
+    """
+    ADD ALL ALTER AND AS ASC AVG BEGIN BETWEEN BY CALL CASCADE CASE
+    CAST CHAR CHARACTER COLUMN COMMIT CONTAINS COUNT CREATE CROSS
+    CURRENT_DATE
+    CURRENT_TIME CURRENT_TIMESTAMP CURRENT_USER DATA DATATYPE DECIMAL
+    DEFAULT DELETE DESC DISTINCT DROP DYNAMIC ELSE END ESCAPE EXECUTE
+    EXCEPT EXISTS EXPLAIN EXTERNAL FALSE FETCH FIRST FROM FULL FUNCTION
+    GRANT GROUP INTERSECT HAVING IN INNER INOUT INSERT INTEGER INTO IS JAVA JOIN KEY LANGUAGE
+    LEFT LIKE LIMIT MAX METHOD MIN MODIFIES NAME NEW NEXT NO NOT NULL
+    OFFSET ON
+    ONLY OPTION OR ORDER ORDERING OUT OUTER PAR PARAMETER PRIMARY
+    PROCEDURE PUBLIC PYTHON READS RELEASE RESTRICT RESULT RETURNS
+    REVOKE RIGHT ROLLBACK ROW ROWS SAVEPOINT SELECT SET SETS SPECIFIC SQL STATIC STYLE SUM
+    TABLE THEN TO TOP TRUE TYPE UNDER UNION UNIQUE UPDATE USAGE USING
+    VALUES VARCHAR VIEW WHEN WHERE WITH
+    """.split()
+)
+
+_MULTI_CHAR_OPS = (">>", "<>", "!=", ">=", "<=", "||")
+_SINGLE_CHAR_OPS = "+-*/%(),.;=<>?:"
+
+
+class Token:
+    """One lexical token with its source position.
+
+    ``pos`` is the absolute character offset of the token's first
+    character; the parser uses it to recover original-case source text for
+    case-sensitive fragments such as EXTERNAL NAME clauses.
+    """
+
+    __slots__ = ("kind", "value", "line", "column", "pos")
+
+    #: kinds
+    KEYWORD = "KEYWORD"
+    IDENT = "IDENT"
+    STRING = "STRING"
+    NUMBER = "NUMBER"
+    OP = "OP"
+    EOF = "EOF"
+
+    def __init__(
+        self, kind: str, value: str, line: int, column: int, pos: int = -1
+    ) -> None:
+        self.kind = kind
+        self.value = value
+        self.line = line
+        self.column = column
+        self.pos = pos
+
+    def matches(self, kind: str, value: Optional[str] = None) -> bool:
+        """True if this token has the given kind (and value, if supplied)."""
+        if self.kind != kind:
+            return False
+        return value is None or self.value == value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.value!r}, {self.line}:{self.column})"
+
+
+class Lexer:
+    """Single-pass tokenizer over SQL text."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def _error(self, message: str) -> errors.SQLParseError:
+        return errors.SQLParseError(message, self.line, self.column)
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.pos < len(self.text) and self.text[self.pos] == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+            self.pos += 1
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.text[index] if index < len(self.text) else ""
+
+    def _skip_whitespace_and_comments(self) -> None:
+        while self.pos < len(self.text):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "-" and self._peek(1) == "-":
+                while self.pos < len(self.text) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while self.pos < len(self.text) and not (
+                    self._peek() == "*" and self._peek(1) == "/"
+                ):
+                    self._advance()
+                if self.pos >= len(self.text):
+                    raise self._error("unterminated block comment")
+                self._advance(2)
+            else:
+                return
+
+    def tokens(self) -> Iterator[Token]:
+        """Yield all tokens, ending with a single EOF token."""
+        while True:
+            self._skip_whitespace_and_comments()
+            if self.pos >= len(self.text):
+                yield Token(Token.EOF, "", self.line, self.column, self.pos)
+                return
+            yield self._next_token()
+
+    def _next_token(self) -> Token:
+        line, column, start_pos = self.line, self.column, self.pos
+        ch = self._peek()
+
+        if ch == "'":
+            return self._string_literal(line, column, start_pos)
+        if ch == '"':
+            return self._delimited_identifier(line, column, start_pos)
+        if ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+            return self._number(line, column, start_pos)
+        if ch.isalpha() or ch == "_":
+            return self._word(line, column, start_pos)
+
+        two = self.text[self.pos: self.pos + 2]
+        if two in _MULTI_CHAR_OPS:
+            self._advance(2)
+            return Token(Token.OP, two, line, column, start_pos)
+        if ch in _SINGLE_CHAR_OPS:
+            self._advance()
+            return Token(Token.OP, ch, line, column, start_pos)
+        raise self._error(f"unexpected character {ch!r}")
+
+    def _string_literal(self, line: int, column: int, start_pos: int) -> Token:
+        self._advance()  # opening quote
+        parts: List[str] = []
+        while True:
+            if self.pos >= len(self.text):
+                raise self._error("unterminated string literal")
+            ch = self._peek()
+            if ch == "'":
+                if self._peek(1) == "'":
+                    parts.append("'")
+                    self._advance(2)
+                else:
+                    self._advance()
+                    return Token(
+                        Token.STRING, "".join(parts), line, column, start_pos
+                    )
+            else:
+                parts.append(ch)
+                self._advance()
+
+    def _delimited_identifier(self, line: int, column: int, start_pos: int) -> Token:
+        self._advance()
+        parts: List[str] = []
+        while True:
+            if self.pos >= len(self.text):
+                raise self._error("unterminated delimited identifier")
+            ch = self._peek()
+            if ch == '"':
+                if self._peek(1) == '"':
+                    parts.append('"')
+                    self._advance(2)
+                else:
+                    self._advance()
+                    if not parts:
+                        raise self._error("empty delimited identifier")
+                    # Delimited identifiers keep their exact case.
+                    return Token(
+                        Token.IDENT, "".join(parts), line, column, start_pos
+                    )
+            else:
+                parts.append(ch)
+                self._advance()
+
+    def _number(self, line: int, column: int, start_pos: int) -> Token:
+        start = self.pos
+        seen_dot = False
+        seen_exp = False
+        while self.pos < len(self.text):
+            ch = self._peek()
+            if ch.isdigit():
+                self._advance()
+            elif ch == "." and not seen_dot and not seen_exp:
+                seen_dot = True
+                self._advance()
+            elif ch in "eE" and not seen_exp and (
+                self._peek(1).isdigit()
+                or (self._peek(1) in "+-" and self._peek(2).isdigit())
+            ):
+                seen_exp = True
+                self._advance(2 if self._peek(1) in "+-" else 1)
+            else:
+                break
+        return Token(
+            Token.NUMBER, self.text[start: self.pos], line, column, start_pos
+        )
+
+    def _word(self, line: int, column: int, start_pos: int) -> Token:
+        start = self.pos
+        while self.pos < len(self.text) and (
+            self._peek().isalnum() or self._peek() == "_"
+        ):
+            self._advance()
+        word = self.text[start: self.pos]
+        upper = word.upper()
+        if upper in KEYWORDS:
+            return Token(Token.KEYWORD, upper, line, column, start_pos)
+        # Regular identifiers fold to lower case (SQL is case-insensitive;
+        # we normalise to lower rather than the standard's upper for
+        # readability of catalog dumps).
+        return Token(Token.IDENT, word.lower(), line, column, start_pos)
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize ``text`` fully and return the token list (incl. EOF)."""
+    return list(Lexer(text).tokens())

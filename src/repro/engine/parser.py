@@ -1,0 +1,1168 @@
+"""Recursive-descent SQL parser.
+
+Builds :mod:`repro.engine.ast` trees from SQL text.  The grammar covers
+everything the paper's examples need:
+
+* queries with joins, grouping, set operations, ordering and row limits
+  (limit syntax per :class:`~repro.engine.dialects.Dialect`),
+* INSERT / UPDATE / DELETE, including Part 2 attribute-path update targets
+  (``set home_addr>>zip = ...``),
+* CREATE TABLE / VIEW / PROCEDURE / FUNCTION / TYPE, DROP, GRANT / REVOKE,
+* CALL with OUT-parameter markers, COMMIT / ROLLBACK,
+* Part 2 expressions: ``new type(args)`` constructors and ``>>``
+  attribute / method references.
+
+The parser is dialect-aware so that one engine binary can simulate several
+vendors (see :mod:`repro.engine.dialects`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from repro import errors
+from repro.engine import ast
+from repro.engine.dialects import STANDARD, Dialect
+from repro.engine.lexer import Lexer, Token
+
+__all__ = ["Parser", "parse_statement", "parse_expression"]
+
+#: Keywords that may still be used as ordinary identifiers (column or
+#: table names).  ``name`` matters most — the paper's example table has a
+#: ``name`` column.
+_NON_RESERVED = frozenset(
+    """
+    NAME DATA TYPE LANGUAGE RESULT SETS STYLE PAR USAGE KEY ORDERING
+    METHOD STATIC PUBLIC OPTION FIRST NEXT ONLY TOP ROW ROWS SQL JAVA
+    PYTHON DATATYPE READS MODIFIES CONTAINS EXTERNAL PARAMETER DYNAMIC
+    UNDER NO BEGIN CASCADE RESTRICT NEW
+    """.split()
+)
+
+_COMPARISON_OPS = frozenset(["=", "<>", "!=", "<", "<=", ">", ">="])
+_AGGREGATE_NAMES = frozenset(["COUNT", "SUM", "AVG", "MIN", "MAX"])
+
+#: Multi-word type names that begin with a keyword.
+_TYPE_KEYWORDS = frozenset(
+    ["CHAR", "CHARACTER", "VARCHAR", "DECIMAL", "INTEGER"]
+)
+
+
+class Parser:
+    """One-shot parser over a single SQL statement."""
+
+    def __init__(self, text: str, dialect: Dialect = STANDARD) -> None:
+        self.text = text
+        self.dialect = dialect
+        self.tokens = list(Lexer(text).tokens())
+        self.index = 0
+        self._param_count = 0
+
+    # ------------------------------------------------------------------
+    # token-stream helpers
+    # ------------------------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def _peek(self, offset: int = 1) -> Token:
+        index = min(self.index + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _advance(self) -> Token:
+        token = self.current
+        if token.kind != Token.EOF:
+            self.index += 1
+        return token
+
+    def _error(self, message: str) -> errors.SQLParseError:
+        token = self.current
+        return errors.SQLParseError(message, token.line, token.column)
+
+    def _at_keyword(self, *words: str) -> bool:
+        return self.current.kind == Token.KEYWORD and self.current.value in words
+
+    def _accept_keyword(self, *words: str) -> Optional[str]:
+        if self._at_keyword(*words):
+            return self._advance().value
+        return None
+
+    def _expect_keyword(self, *words: str) -> str:
+        if not self._at_keyword(*words):
+            raise self._error(
+                f"expected {' or '.join(words)}, found {self.current.value!r}"
+            )
+        return self._advance().value
+
+    def _at_op(self, *ops: str) -> bool:
+        return self.current.kind == Token.OP and self.current.value in ops
+
+    def _accept_op(self, *ops: str) -> Optional[str]:
+        if self._at_op(*ops):
+            return self._advance().value
+        return None
+
+    def _expect_op(self, op: str) -> None:
+        if not self._at_op(op):
+            raise self._error(
+                f"expected {op!r}, found {self.current.value!r}"
+            )
+        self._advance()
+
+    def _expect_identifier(self, what: str = "identifier") -> str:
+        token = self.current
+        if token.kind == Token.IDENT:
+            self._advance()
+            return token.value
+        if token.kind == Token.KEYWORD and token.value in _NON_RESERVED:
+            self._advance()
+            return token.value.lower()
+        raise self._error(f"expected {what}, found {token.value!r}")
+
+    def _at_identifier(self) -> bool:
+        token = self.current
+        return token.kind == Token.IDENT or (
+            token.kind == Token.KEYWORD and token.value in _NON_RESERVED
+        )
+
+    def _qualified_name(self) -> str:
+        """Parse a dotted name such as ``sqlj.install_par``."""
+        parts = [self._expect_identifier("name")]
+        while self._at_op(".") and self._peek().kind in (
+            Token.IDENT,
+            Token.KEYWORD,
+        ):
+            self._advance()
+            parts.append(self._expect_identifier("name part"))
+        return ".".join(parts)
+
+    # ------------------------------------------------------------------
+    # entry points
+    # ------------------------------------------------------------------
+    def parse_statement(self) -> ast.Statement:
+        """Parse exactly one statement (trailing ``;`` allowed)."""
+        statement = self._statement()
+        self._accept_op(";")
+        if self.current.kind != Token.EOF:
+            raise self._error(
+                f"unexpected trailing input {self.current.value!r}"
+            )
+        return statement
+
+    def parse_expression_only(self) -> ast.Expression:
+        """Parse a standalone scalar expression (used in tests/tools)."""
+        expr = self._expression()
+        if self.current.kind != Token.EOF:
+            raise self._error(
+                f"unexpected trailing input {self.current.value!r}"
+            )
+        return expr
+
+    def _statement(self) -> ast.Statement:
+        if self._at_keyword("SELECT") or self._at_op("("):
+            return self._query_expression()
+        if self._at_keyword("INSERT"):
+            return self._insert()
+        if self._at_keyword("UPDATE"):
+            return self._update()
+        if self._at_keyword("DELETE"):
+            return self._delete()
+        if self._at_keyword("CREATE"):
+            return self._create()
+        if self._at_keyword("DROP"):
+            return self._drop()
+        if self._at_keyword("GRANT"):
+            return self._grant_or_revoke(is_grant=True)
+        if self._at_keyword("REVOKE"):
+            return self._grant_or_revoke(is_grant=False)
+        if self._at_keyword("CALL"):
+            return self._call()
+        if self._accept_keyword("EXPLAIN"):
+            query = self._query_expression()
+            return ast.Explain(query)
+        if self._at_keyword("ALTER"):
+            return self._alter_table()
+        if self._accept_keyword("COMMIT"):
+            self._accept_work()
+            return ast.Commit()
+        if self._accept_keyword("ROLLBACK"):
+            self._accept_work()
+            if self._accept_keyword("TO"):
+                self._accept_keyword("SAVEPOINT")
+                return ast.RollbackTo(
+                    self._expect_identifier("savepoint name")
+                )
+            return ast.Rollback()
+        if self._accept_keyword("SAVEPOINT"):
+            return ast.Savepoint(
+                self._expect_identifier("savepoint name")
+            )
+        if self._accept_keyword("RELEASE"):
+            self._accept_keyword("SAVEPOINT")
+            return ast.ReleaseSavepoint(
+                self._expect_identifier("savepoint name")
+            )
+        raise self._error(
+            f"unrecognised statement start {self.current.value!r}"
+        )
+
+    def _accept_work(self) -> None:
+        """Consume the optional WORK noise word after COMMIT/ROLLBACK."""
+        if self.current.kind == Token.IDENT and \
+                self.current.value == "work":
+            self._advance()
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def _query_expression(self) -> ast.QueryExpr:
+        left = self._intersect_term()
+        while self._at_keyword("UNION", "EXCEPT"):
+            op = self._advance().value
+            all_rows = bool(self._accept_keyword("ALL"))
+            if not all_rows:
+                self._accept_keyword("DISTINCT")
+            right = self._intersect_term()
+            left = ast.SetOperation(op, all_rows, left, right)
+            self._hoist_order_by(left, right)
+        if isinstance(left, ast.SetOperation) and self._at_keyword("ORDER"):
+            left.order_by = self._order_by()
+        return left
+
+    def _intersect_term(self) -> ast.QueryExpr:
+        left = self._query_term()
+        while self._at_keyword("INTERSECT"):
+            self._advance()
+            all_rows = bool(self._accept_keyword("ALL"))
+            if not all_rows:
+                self._accept_keyword("DISTINCT")
+            right = self._query_term()
+            left = ast.SetOperation("INTERSECT", all_rows, left, right)
+            self._hoist_order_by(left, right)
+        return left
+
+    @staticmethod
+    def _hoist_order_by(
+        operation: ast.SetOperation, right: ast.QueryExpr
+    ) -> None:
+        # An ORDER BY written after the last operand belongs to the
+        # whole set operation, but _select_block has already consumed
+        # it into the right-hand SELECT; hoist it.
+        if isinstance(right, ast.Select) and right.order_by:
+            operation.order_by = right.order_by
+            right.order_by = []
+
+    def _query_term(self) -> ast.QueryExpr:
+        if self._accept_op("("):
+            query = self._query_expression()
+            self._expect_op(")")
+            return query
+        return self._select_block()
+
+    def _select_block(self) -> ast.Select:
+        self._expect_keyword("SELECT")
+        select = ast.Select()
+
+        if self._accept_keyword("DISTINCT"):
+            select.distinct = True
+        else:
+            self._accept_keyword("ALL")
+
+        # Dialect "acme": SELECT TOP n ...
+        if self.dialect.limit_style == "top" and self._at_keyword("TOP"):
+            self._advance()
+            select.limit = self._primary()
+
+        select.items = self._select_items()
+
+        if self._accept_keyword("FROM"):
+            select.from_clause = [self._table_reference()]
+            while self._accept_op(","):
+                select.from_clause.append(self._table_reference())
+
+        if self._accept_keyword("WHERE"):
+            select.where = self._expression()
+
+        if self._at_keyword("GROUP"):
+            self._advance()
+            self._expect_keyword("BY")
+            select.group_by.append(self._expression())
+            while self._accept_op(","):
+                select.group_by.append(self._expression())
+
+        if self._accept_keyword("HAVING"):
+            select.having = self._expression()
+
+        if self._at_keyword("ORDER"):
+            select.order_by = self._order_by()
+
+        self._row_limit_clause(select)
+        return select
+
+    def _row_limit_clause(self, select: ast.Select) -> None:
+        style = self.dialect.limit_style
+        if style == "limit" and self._accept_keyword("LIMIT"):
+            select.limit = self._primary()
+            if self._accept_keyword("OFFSET"):
+                select.offset = self._primary()
+        elif style == "fetch_first" and self._at_keyword("FETCH"):
+            self._advance()
+            self._expect_keyword("FIRST", "NEXT")
+            select.limit = self._primary()
+            self._expect_keyword("ROWS", "ROW")
+            self._expect_keyword("ONLY")
+
+    def _select_items(self) -> List[ast.Node]:
+        items: List[ast.Node] = [self._select_item()]
+        while self._accept_op(","):
+            items.append(self._select_item())
+        return items
+
+    def _select_item(self) -> ast.Node:
+        if self._at_op("*"):
+            self._advance()
+            return ast.StarItem()
+        # t.* form
+        if (
+            self._at_identifier()
+            and self._peek().matches(Token.OP, ".")
+            and self._peek(2).matches(Token.OP, "*")
+        ):
+            table = self._expect_identifier()
+            self._advance()  # .
+            self._advance()  # *
+            return ast.StarItem(table)
+        expr = self._expression()
+        alias: Optional[str] = None
+        if self._accept_keyword("AS"):
+            alias = self._expect_identifier("column alias")
+        elif self._at_identifier():
+            alias = self._expect_identifier("column alias")
+        return ast.SelectItem(expr, alias)
+
+    def _order_by(self) -> List[ast.OrderItem]:
+        self._expect_keyword("ORDER")
+        self._expect_keyword("BY")
+        items = [self._order_item()]
+        while self._accept_op(","):
+            items.append(self._order_item())
+        return items
+
+    def _order_item(self) -> ast.OrderItem:
+        expr = self._expression()
+        ascending = True
+        if self._accept_keyword("DESC"):
+            ascending = False
+        else:
+            self._accept_keyword("ASC")
+        return ast.OrderItem(expr, ascending)
+
+    def _table_reference(self) -> ast.TableRef:
+        left = self._table_primary()
+        while True:
+            if self._at_keyword("CROSS"):
+                self._advance()
+                self._expect_keyword("JOIN")
+                right = self._table_primary()
+                left = ast.Join("CROSS", left, right)
+                continue
+            kind = None
+            if self._at_keyword("JOIN"):
+                kind = "INNER"
+                self._advance()
+            elif self._at_keyword("INNER"):
+                self._advance()
+                self._expect_keyword("JOIN")
+                kind = "INNER"
+            elif self._at_keyword("LEFT", "RIGHT", "FULL"):
+                kind = self._advance().value
+                self._accept_keyword("OUTER")
+                self._expect_keyword("JOIN")
+            if kind is None:
+                return left
+            right = self._table_primary()
+            self._expect_keyword("ON")
+            condition = self._expression()
+            left = ast.Join(kind, left, right, condition)
+
+    def _table_primary(self) -> ast.TableRef:
+        if self._accept_op("("):
+            # Either a parenthesised join or a derived table.
+            if self._at_keyword("SELECT"):
+                query = self._query_expression()
+                self._expect_op(")")
+                self._accept_keyword("AS")
+                alias = self._expect_identifier("derived-table alias")
+                return ast.SubqueryRef(query, alias)
+            inner = self._table_reference()
+            self._expect_op(")")
+            return inner
+        name = self._qualified_name()
+        alias: Optional[str] = None
+        if self._accept_keyword("AS"):
+            alias = self._expect_identifier("table alias")
+        elif self._at_identifier():
+            alias = self._expect_identifier("table alias")
+        return ast.TableName(name, alias)
+
+    # ------------------------------------------------------------------
+    # DML
+    # ------------------------------------------------------------------
+    def _insert(self) -> ast.Insert:
+        self._expect_keyword("INSERT")
+        self._expect_keyword("INTO")
+        table = self._qualified_name()
+        columns: Optional[List[str]] = None
+        if self._at_op("(") and self._is_column_list_ahead():
+            self._advance()
+            columns = [self._expect_identifier("column name")]
+            while self._accept_op(","):
+                columns.append(self._expect_identifier("column name"))
+            self._expect_op(")")
+        if self._accept_keyword("VALUES"):
+            source = ast.ValuesSource([self._value_row()])
+            while self._accept_op(","):
+                source.rows.append(self._value_row())
+            return ast.Insert(table, columns, source)
+        query = self._query_expression()
+        return ast.Insert(table, columns, query)
+
+    def _is_column_list_ahead(self) -> bool:
+        """Distinguish ``INSERT INTO t (a, b) VALUES`` from
+        ``INSERT INTO t (SELECT ...)``."""
+        return not self._peek().matches(Token.KEYWORD, "SELECT")
+
+    def _value_row(self) -> List[ast.Expression]:
+        self._expect_op("(")
+        row = [self._expression()]
+        while self._accept_op(","):
+            row.append(self._expression())
+        self._expect_op(")")
+        return row
+
+    def _update(self) -> ast.Update:
+        self._expect_keyword("UPDATE")
+        table = self._qualified_name()
+        self._expect_keyword("SET")
+        assignments = [self._assignment()]
+        while self._accept_op(","):
+            assignments.append(self._assignment())
+        where = self._expression() if self._accept_keyword("WHERE") else None
+        return ast.Update(table, assignments, where)
+
+    def _assignment(self) -> ast.Assignment:
+        column = self._expect_identifier("column name")
+        if self._at_op(">>"):
+            attributes = []
+            while self._accept_op(">>"):
+                attributes.append(self._expect_identifier("attribute name"))
+            self._expect_op("=")
+            value = self._expression()
+            return ast.Assignment(
+                ast.AttributePath(column, attributes), value
+            )
+        self._expect_op("=")
+        return ast.Assignment(column, self._expression())
+
+    def _delete(self) -> ast.Delete:
+        self._expect_keyword("DELETE")
+        self._expect_keyword("FROM")
+        table = self._qualified_name()
+        where = self._expression() if self._accept_keyword("WHERE") else None
+        return ast.Delete(table, where)
+
+    # ------------------------------------------------------------------
+    # DDL
+    # ------------------------------------------------------------------
+    def _create(self) -> ast.Statement:
+        self._expect_keyword("CREATE")
+        if self._at_keyword("TABLE"):
+            return self._create_table()
+        if self._at_keyword("VIEW"):
+            return self._create_view()
+        if self._at_keyword("PROCEDURE", "FUNCTION"):
+            return self._create_routine()
+        if self._at_keyword("TYPE"):
+            return self._create_type()
+        raise self._error(
+            f"cannot CREATE {self.current.value!r}"
+        )
+
+    def _create_table(self) -> ast.CreateTable:
+        self._expect_keyword("TABLE")
+        name = self._qualified_name()
+        self._expect_op("(")
+        columns = [self._column_def()]
+        while self._accept_op(","):
+            columns.append(self._column_def())
+        self._expect_op(")")
+        return ast.CreateTable(name, columns)
+
+    def _column_def(self) -> ast.ColumnDef:
+        name = self._expect_identifier("column name")
+        type_spelling = self._type_spelling()
+        definition = ast.ColumnDef(name, type_spelling)
+        while True:
+            if self._at_keyword("NOT") and self._peek().matches(
+                Token.KEYWORD, "NULL"
+            ):
+                self._advance()
+                self._advance()
+                definition.not_null = True
+            elif self._accept_keyword("DEFAULT"):
+                definition.default = self._expression()
+            elif self._accept_keyword("UNIQUE"):
+                definition.unique = True
+            elif self._at_keyword("PRIMARY"):
+                self._advance()
+                self._expect_keyword("KEY")
+                definition.primary_key = True
+                definition.unique = True
+                definition.not_null = True
+            else:
+                break
+        return definition
+
+    def _type_spelling(self) -> str:
+        """Consume a type and return its canonical spelling string."""
+        token = self.current
+        if token.kind == Token.KEYWORD and token.value in _TYPE_KEYWORDS:
+            self._advance()
+            name = token.value
+            if name == "CHARACTER" and self._at_keyword("VARYING"):
+                # Not in KEYWORDS; handled as ident below.  Kept for safety.
+                self._advance()
+                name = "VARCHAR"
+            params = self._maybe_type_params()
+            return name + params
+        if token.kind == Token.IDENT or (
+            token.kind == Token.KEYWORD and token.value in _NON_RESERVED
+        ):
+            name = self._expect_identifier("type name")
+            if name == "double" and self._at_identifier():
+                follower = self._expect_identifier()
+                if follower != "precision":
+                    raise self._error(
+                        f"unexpected token {follower!r} after DOUBLE"
+                    )
+                return "DOUBLE PRECISION"
+            params = self._maybe_type_params()
+            return name + params
+        raise self._error(f"expected a type, found {token.value!r}")
+
+    def _maybe_type_params(self) -> str:
+        if not self._at_op("("):
+            return ""
+        self._advance()
+        first = self.current
+        if first.kind != Token.NUMBER:
+            raise self._error("expected numeric type parameter")
+        self._advance()
+        text = f"({first.value}"
+        if self._accept_op(","):
+            second = self.current
+            if second.kind != Token.NUMBER:
+                raise self._error("expected numeric type parameter")
+            self._advance()
+            text += f",{second.value}"
+        self._expect_op(")")
+        return text + ")"
+
+    def _create_view(self) -> ast.CreateView:
+        self._expect_keyword("VIEW")
+        name = self._qualified_name()
+        column_names: Optional[List[str]] = None
+        if self._accept_op("("):
+            column_names = [self._expect_identifier("column name")]
+            while self._accept_op(","):
+                column_names.append(self._expect_identifier("column name"))
+            self._expect_op(")")
+        self._expect_keyword("AS")
+        query = self._query_expression()
+        return ast.CreateView(name, column_names, query)
+
+    # -- routines (SQLJ Part 1) ----------------------------------------
+    def _create_routine(self) -> ast.CreateRoutine:
+        kind = self._expect_keyword("PROCEDURE", "FUNCTION")
+        name = self._qualified_name()
+        params: List[ast.ParamDef] = []
+        if self._accept_op("("):
+            if not self._at_op(")"):
+                params.append(self._param_def(kind))
+                while self._accept_op(","):
+                    params.append(self._param_def(kind))
+            self._expect_op(")")
+
+        routine = ast.CreateRoutine(kind=kind, name=name, params=params)
+
+        if kind == "FUNCTION":
+            self._expect_keyword("RETURNS")
+            routine.returns = self._type_spelling()
+
+        # Characteristic clauses may appear in any order.
+        while True:
+            if self._accept_keyword("MODIFIES"):
+                self._expect_keyword("SQL")
+                self._expect_keyword("DATA")
+                routine.data_access = "MODIFIES SQL DATA"
+            elif self._accept_keyword("READS"):
+                self._expect_keyword("SQL")
+                self._expect_keyword("DATA")
+                routine.data_access = "READS SQL DATA"
+            elif self._at_keyword("NO") and self._peek().matches(
+                Token.KEYWORD, "SQL"
+            ):
+                self._advance()
+                self._advance()
+                routine.data_access = "NO SQL"
+            elif self._at_keyword("CONTAINS") and self._peek().matches(
+                Token.KEYWORD, "SQL"
+            ):
+                self._advance()
+                self._advance()
+                routine.data_access = "CONTAINS SQL"
+            elif self._accept_keyword("DYNAMIC"):
+                self._expect_keyword("RESULT")
+                self._expect_keyword("SETS")
+                count = self.current
+                if count.kind != Token.NUMBER:
+                    raise self._error("expected result-set count")
+                self._advance()
+                routine.dynamic_result_sets = int(count.value)
+            elif self._accept_keyword("EXTERNAL"):
+                self._expect_keyword("NAME")
+                routine.external_name = self._external_name()
+            elif self._accept_keyword("LANGUAGE"):
+                routine.language = self._expect_keyword("PYTHON", "JAVA", "SQL")
+            elif self._accept_keyword("PARAMETER"):
+                self._expect_keyword("STYLE")
+                routine.parameter_style = self._expect_keyword(
+                    "PYTHON", "JAVA", "SQL"
+                )
+            else:
+                break
+        return routine
+
+    def _param_def(self, routine_kind: str) -> ast.ParamDef:
+        mode = "IN"
+        if self._at_keyword("IN", "OUT", "INOUT") and not (
+            # ``IN`` could in principle collide with nothing here; modes
+            # are only recognised when followed by an identifier.
+            False
+        ):
+            keyword = self.current.value
+            nxt = self._peek()
+            if nxt.kind == Token.IDENT or (
+                nxt.kind == Token.KEYWORD and nxt.value in _NON_RESERVED
+            ):
+                mode = keyword
+                self._advance()
+        name = self._expect_identifier("parameter name")
+        type_spelling = self._type_spelling()
+        return ast.ParamDef(name, type_spelling, mode)
+
+    def _external_name(self) -> str:
+        """Parse an EXTERNAL NAME value.
+
+        Accepts either a string literal (``'routines1_par:routines1.region'``)
+        or the paper's unquoted form (``routines1_jar:Routines1.region``).
+        The unquoted form is recovered from source text so that host-language
+        case is preserved.
+        """
+        if self.current.kind == Token.STRING:
+            return self._advance().value
+        start = self.current
+        if start.kind not in (Token.IDENT, Token.KEYWORD):
+            raise self._error("expected EXTERNAL NAME value")
+        end_pos = start.pos + len(start.value)
+        self._advance()
+        while self._at_op(":", ".") or self.current.kind in (
+            Token.IDENT,
+            Token.NUMBER,
+        ):
+            if self._at_op(":") or self._at_op("."):
+                token = self._advance()
+                end_pos = token.pos + 1
+                continue
+            token = self.current
+            # Stop at clause keywords that could follow.
+            if token.kind == Token.KEYWORD:
+                break
+            self._advance()
+            end_pos = token.pos + len(token.value)
+        return self.text[start.pos:end_pos]
+
+    # -- user-defined types (SQLJ Part 2) --------------------------------
+    def _create_type(self) -> ast.CreateType:
+        self._expect_keyword("TYPE")
+        name = self._qualified_name()
+        under: Optional[str] = None
+        if self._accept_keyword("UNDER"):
+            under = self._qualified_name()
+        external_name = ""
+        language = "PYTHON"
+        # Header clauses before the member list, any order.
+        while True:
+            if self._accept_keyword("EXTERNAL"):
+                self._expect_keyword("NAME")
+                external_name = self._external_name()
+            elif self._accept_keyword("LANGUAGE"):
+                language = self._expect_keyword("PYTHON", "JAVA")
+            else:
+                break
+        create = ast.CreateType(
+            name=name,
+            external_name=external_name,
+            under=under,
+            language=language,
+        )
+        if self._accept_op("("):
+            if not self._at_op(")"):
+                self._type_member(create)
+                while self._accept_op(",") or self._accept_op(";"):
+                    if self._at_op(")"):
+                        break
+                    self._type_member(create)
+            self._expect_op(")")
+        return create
+
+    def _type_member(self, create: ast.CreateType) -> None:
+        static = bool(self._accept_keyword("STATIC"))
+        if self._accept_keyword("METHOD"):
+            self._method_def(create, static)
+            return
+        if not static and self._at_keyword("ORDERING"):
+            self._ordering_spec(create)
+            return
+        # attribute: name type EXTERNAL NAME ext
+        sql_name = self._expect_identifier("attribute name")
+        type_spelling = self._type_spelling()
+        self._expect_keyword("EXTERNAL")
+        self._expect_keyword("NAME")
+        external = self._external_name()
+        create.attributes.append(
+            ast.AttrDef(sql_name, type_spelling, external, static)
+        )
+
+    def _ordering_spec(self, create: ast.CreateType) -> None:
+        """``ordering [full | equals only] by method <name>``"""
+        self._expect_keyword("ORDERING")
+        if create.ordering is not None:
+            raise self._error("duplicate ORDERING clause")
+        kind = "FULL"
+        if self._accept_keyword("FULL"):
+            kind = "FULL"
+        elif self._at_identifier() and self.current.value == "equals":
+            self._advance()
+            self._expect_keyword("ONLY")
+            kind = "EQUALS"
+        self._expect_keyword("BY")
+        self._expect_keyword("METHOD")
+        method = self._expect_identifier("ordering method name")
+        create.ordering = ast.OrderingSpec(kind, method)
+
+    def _method_def(self, create: ast.CreateType, static: bool) -> None:
+        sql_name = self._expect_identifier("method name")
+        params: List[ast.ParamDef] = []
+        self._expect_op("(")
+        if not self._at_op(")"):
+            params.append(self._param_def("METHOD"))
+            while self._accept_op(","):
+                params.append(self._param_def("METHOD"))
+        self._expect_op(")")
+        returns: Optional[str] = None
+        if self._accept_keyword("RETURNS"):
+            returns = self._type_spelling()
+        self._expect_keyword("EXTERNAL")
+        self._expect_keyword("NAME")
+        external = self._external_name()
+        create.methods.append(
+            ast.MethodDef(sql_name, params, returns, external, static)
+        )
+
+    def _alter_table(self) -> ast.AlterTable:
+        self._expect_keyword("ALTER")
+        self._expect_keyword("TABLE")
+        table = self._qualified_name()
+        if self._accept_keyword("ADD"):
+            self._accept_keyword("COLUMN")
+            return ast.AlterTable(
+                table, "ADD", column_def=self._column_def()
+            )
+        if self._accept_keyword("DROP"):
+            self._accept_keyword("COLUMN")
+            name = self._expect_identifier("column name")
+            return ast.AlterTable(table, "DROP", column_name=name)
+        raise self._error(
+            "expected ADD or DROP after ALTER TABLE"
+        )
+
+    def _drop(self) -> ast.Drop:
+        self._expect_keyword("DROP")
+        kind = self._expect_keyword(
+            "TABLE", "VIEW", "PROCEDURE", "FUNCTION", "TYPE"
+        )
+        name = self._qualified_name()
+        self._accept_keyword("CASCADE", "RESTRICT")
+        return ast.Drop(kind, name)
+
+    # ------------------------------------------------------------------
+    # access control
+    # ------------------------------------------------------------------
+    def _grant_or_revoke(
+        self, is_grant: bool
+    ) -> Union[ast.Grant, ast.Revoke]:
+        self._expect_keyword("GRANT" if is_grant else "REVOKE")
+        privilege = self._privilege_name()
+        self._expect_keyword("ON")
+        object_kind = self._object_kind_for(privilege)
+        object_name = self._qualified_name()
+        self._expect_keyword("TO" if is_grant else "FROM")
+        grantees = [self._grantee()]
+        while self._accept_op(","):
+            grantees.append(self._grantee())
+        node_class = ast.Grant if is_grant else ast.Revoke
+        return node_class(privilege, object_kind, object_name, grantees)
+
+    def _privilege_name(self) -> str:
+        token = self.current
+        if token.kind == Token.KEYWORD and token.value in (
+            "SELECT",
+            "INSERT",
+            "UPDATE",
+            "DELETE",
+            "EXECUTE",
+            "USAGE",
+            "ALL",
+        ):
+            self._advance()
+            return token.value
+        raise self._error(f"expected a privilege, found {token.value!r}")
+
+    def _object_kind_for(self, privilege: str) -> str:
+        """Resolve the optional object-kind keyword after ON.
+
+        ``grant usage on datatype addr`` names the kind explicitly; the
+        paper's ``grant usage on routines1_jar`` leaves it implicit (an
+        installed archive).  Table privileges default to TABLE.
+        """
+        if self._at_keyword("DATATYPE", "TYPE"):
+            self._advance()
+            return "DATATYPE"
+        if self._at_keyword("TABLE"):
+            self._advance()
+            return "TABLE"
+        if self._at_keyword("PAR"):
+            self._advance()
+            return "PAR"
+        if self._at_keyword("PROCEDURE", "FUNCTION"):
+            self._advance()
+            return "ROUTINE"
+        if privilege == "USAGE":
+            return "PAR"
+        if privilege == "EXECUTE":
+            return "ROUTINE"
+        return "TABLE"
+
+    def _grantee(self) -> str:
+        if self._accept_keyword("PUBLIC"):
+            return "public"
+        return self._expect_identifier("grantee")
+
+    # ------------------------------------------------------------------
+    # CALL
+    # ------------------------------------------------------------------
+    def _call(self) -> ast.Call:
+        self._expect_keyword("CALL")
+        name = self._qualified_name()
+        args: List[ast.Expression] = []
+        if self._accept_op("("):
+            if not self._at_op(")"):
+                args.append(self._expression())
+                while self._accept_op(","):
+                    args.append(self._expression())
+            self._expect_op(")")
+        return ast.Call(name, args)
+
+    # ------------------------------------------------------------------
+    # expressions (precedence climbing)
+    # ------------------------------------------------------------------
+    def _expression(self) -> ast.Expression:
+        return self._or_expression()
+
+    def _or_expression(self) -> ast.Expression:
+        left = self._and_expression()
+        while self._at_keyword("OR"):
+            self._advance()
+            left = ast.Binary("OR", left, self._and_expression())
+        return left
+
+    def _and_expression(self) -> ast.Expression:
+        left = self._not_expression()
+        while self._at_keyword("AND"):
+            self._advance()
+            left = ast.Binary("AND", left, self._not_expression())
+        return left
+
+    def _not_expression(self) -> ast.Expression:
+        if self._accept_keyword("NOT"):
+            return ast.Unary("NOT", self._not_expression())
+        return self._predicate()
+
+    def _predicate(self) -> ast.Expression:
+        if self._at_keyword("EXISTS"):
+            self._advance()
+            self._expect_op("(")
+            query = self._query_expression()
+            self._expect_op(")")
+            return ast.Exists(query)
+
+        left = self._additive()
+
+        if self._at_op(*_COMPARISON_OPS):
+            op = self._advance().value
+            if op == "!=":
+                op = "<>"
+            right = self._additive()
+            return ast.Binary(op, left, right)
+
+        negated = False
+        if self._at_keyword("NOT") and self._peek().kind == Token.KEYWORD \
+                and self._peek().value in ("IN", "BETWEEN", "LIKE", "NULL"):
+            self._advance()
+            negated = True
+
+        if self._accept_keyword("IS"):
+            is_negated = bool(self._accept_keyword("NOT"))
+            self._expect_keyword("NULL")
+            return ast.IsNull(left, is_negated)
+
+        if self._accept_keyword("BETWEEN"):
+            low = self._additive()
+            self._expect_keyword("AND")
+            high = self._additive()
+            return ast.Between(left, low, high, negated)
+
+        if self._accept_keyword("LIKE"):
+            pattern = self._additive()
+            escape = None
+            if self._accept_keyword("ESCAPE"):
+                escape = self._additive()
+            return ast.Like(left, pattern, escape, negated)
+
+        if self._accept_keyword("IN"):
+            self._expect_op("(")
+            if self._at_keyword("SELECT"):
+                query = self._query_expression()
+                self._expect_op(")")
+                return ast.InSubquery(left, query, negated)
+            items = [self._expression()]
+            while self._accept_op(","):
+                items.append(self._expression())
+            self._expect_op(")")
+            return ast.InList(left, items, negated)
+
+        if negated:
+            raise self._error("dangling NOT in predicate")
+        return left
+
+    def _additive(self) -> ast.Expression:
+        left = self._multiplicative()
+        while True:
+            if self._at_op("+", "-"):
+                op = self._advance().value
+                left = ast.Binary(op, left, self._multiplicative())
+            elif self._at_op("||"):
+                if not self.dialect.allows_double_pipe_concat:
+                    raise self._error(
+                        f"dialect {self.dialect.name!r} does not support ||"
+                    )
+                self._advance()
+                left = ast.Binary("||", left, self._multiplicative())
+            else:
+                return left
+
+    def _multiplicative(self) -> ast.Expression:
+        left = self._unary()
+        while self._at_op("*", "/", "%"):
+            op = self._advance().value
+            left = ast.Binary(op, left, self._unary())
+        return left
+
+    def _unary(self) -> ast.Expression:
+        if self._at_op("-", "+"):
+            op = self._advance().value
+            return ast.Unary(op, self._unary())
+        return self._postfix()
+
+    def _postfix(self) -> ast.Expression:
+        expr = self._primary()
+        while self._at_op(">>"):
+            self._advance()
+            member = self._expect_identifier("member name")
+            if self._at_op("("):
+                args = self._call_args()
+                expr = ast.MethodCall(expr, member, args)
+            else:
+                expr = ast.AttributeRef(expr, member)
+        return expr
+
+    def _call_args(self) -> List[ast.Expression]:
+        self._expect_op("(")
+        args: List[ast.Expression] = []
+        if not self._at_op(")"):
+            args.append(self._expression())
+            while self._accept_op(","):
+                args.append(self._expression())
+        self._expect_op(")")
+        return args
+
+    def _primary(self) -> ast.Expression:
+        token = self.current
+
+        if token.kind == Token.NUMBER:
+            self._advance()
+            return ast.Literal(self._number_value(token.value))
+
+        if token.kind == Token.STRING:
+            self._advance()
+            return ast.Literal(token.value)
+
+        if token.kind == Token.OP:
+            if token.value == "?":
+                self._advance()
+                param = ast.Parameter(self._param_count)
+                self._param_count += 1
+                return param
+            if token.value == "(":
+                self._advance()
+                if self._at_keyword("SELECT"):
+                    query = self._query_expression()
+                    self._expect_op(")")
+                    return ast.ScalarSubquery(query)
+                expr = self._expression()
+                self._expect_op(")")
+                return expr
+
+        if token.kind == Token.KEYWORD:
+            return self._keyword_primary(token)
+
+        if token.kind == Token.IDENT:
+            return self._identifier_primary()
+
+        raise self._error(f"unexpected token {token.value!r} in expression")
+
+    def _keyword_primary(self, token: Token) -> ast.Expression:
+        value = token.value
+        if value == "NULL":
+            self._advance()
+            return ast.Literal(None)
+        if value == "TRUE":
+            self._advance()
+            return ast.Literal(True)
+        if value == "FALSE":
+            self._advance()
+            return ast.Literal(False)
+        if value in ("CURRENT_DATE", "CURRENT_TIME", "CURRENT_TIMESTAMP",
+                     "CURRENT_USER"):
+            self._advance()
+            return ast.FunctionCall(value.lower(), [])
+        if value in _AGGREGATE_NAMES:
+            return self._aggregate_call()
+        if value == "CASE":
+            return self._case_expression()
+        if value == "CAST":
+            self._advance()
+            self._expect_op("(")
+            operand = self._expression()
+            self._expect_keyword("AS")
+            target = self._type_spelling()
+            self._expect_op(")")
+            return ast.Cast(operand, target)
+        if value == "NEW" and (
+            self._peek().kind == Token.IDENT
+            or (
+                self._peek().kind == Token.KEYWORD
+                and self._peek().value in _NON_RESERVED
+            )
+        ):
+            self._advance()
+            type_name = self._qualified_name()
+            args = self._call_args()
+            return ast.NewObject(type_name, args)
+        if value in _NON_RESERVED:
+            return self._identifier_primary()
+        raise self._error(f"unexpected keyword {value!r} in expression")
+
+    def _aggregate_call(self) -> ast.Expression:
+        name = self._advance().value  # COUNT/SUM/AVG/MIN/MAX
+        self._expect_op("(")
+        if name == "COUNT" and self._at_op("*"):
+            self._advance()
+            self._expect_op(")")
+            return ast.AggregateCall("COUNT", None)
+        distinct = bool(self._accept_keyword("DISTINCT"))
+        if not distinct:
+            self._accept_keyword("ALL")
+        argument = self._expression()
+        self._expect_op(")")
+        return ast.AggregateCall(name, argument, distinct)
+
+    def _case_expression(self) -> ast.CaseExpr:
+        self._expect_keyword("CASE")
+        operand: Optional[ast.Expression] = None
+        if not self._at_keyword("WHEN"):
+            operand = self._expression()
+        whens: List[ast.WhenClause] = []
+        while self._accept_keyword("WHEN"):
+            condition = self._expression()
+            self._expect_keyword("THEN")
+            result = self._expression()
+            whens.append(ast.WhenClause(condition, result))
+        if not whens:
+            raise self._error("CASE requires at least one WHEN clause")
+        else_result: Optional[ast.Expression] = None
+        if self._accept_keyword("ELSE"):
+            else_result = self._expression()
+        self._expect_keyword("END")
+        return ast.CaseExpr(operand, whens, else_result)
+
+    def _identifier_primary(self) -> ast.Expression:
+        name = self._expect_identifier()
+        # function call (possibly schema-qualified)
+        if self._at_op("."):
+            # qualified: could be table.column or schema.function(...)
+            self._advance()
+            second = self._expect_identifier("name part")
+            if self._at_op("("):
+                args = self._call_args()
+                return ast.FunctionCall(f"{name}.{second}", args)
+            return ast.ColumnRef(second, table=name)
+        if self._at_op("("):
+            args = self._call_args()
+            return ast.FunctionCall(name, args)
+        return ast.ColumnRef(name)
+
+    @staticmethod
+    def _number_value(text: str):
+        if "." in text or "e" in text or "E" in text:
+            import decimal
+
+            if "e" in text or "E" in text:
+                return float(text)
+            return decimal.Decimal(text)
+        return int(text)
+
+
+def parse_statement(
+    text: str, dialect: Dialect = STANDARD
+) -> ast.Statement:
+    """Parse one SQL statement under the given dialect."""
+    return Parser(text, dialect).parse_statement()
+
+
+def parse_expression(
+    text: str, dialect: Dialect = STANDARD
+) -> ast.Expression:
+    """Parse a standalone scalar expression (testing/tooling helper)."""
+    return Parser(text, dialect).parse_expression_only()

@@ -1,0 +1,610 @@
+"""Query planner: AST → compiled operator tree.
+
+Responsible for name resolution (FROM-clause shapes, select-list aliases,
+star expansion), aggregate rewriting (GROUP BY keys and aggregate calls
+become columns of an intermediate shape), ORDER BY alias/position
+substitution, and privilege checks on referenced relations.
+
+The planner is deliberately rule-based (no cost model): scans feed
+nested-loop joins feed filters.  For the paper's workloads that is
+sufficient, and it keeps plans deterministic for the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro import errors
+from repro.engine import ast
+from repro.engine.catalog import Table, View
+from repro.engine.executor import (
+    AggregateSpec,
+    Distinct,
+    Filter,
+    GroupAggregate,
+    Limit,
+    NestedLoopJoin,
+    Operator,
+    Project,
+    QueryPlan,
+    SeqScan,
+    SingleRow,
+    Sort,
+    UnionOp,
+)
+from repro.engine.expressions import (
+    ColumnInfo,
+    Compiled,
+    ExpressionCompiler,
+    RowShape,
+)
+from repro.sqltypes import (
+    DecimalType,
+    DoubleType,
+    IntegerType,
+    TypeDescriptor,
+    common_supertype,
+)
+
+__all__ = ["plan_query", "table_shape"]
+
+
+def table_shape(table: Table, alias: Optional[str] = None) -> RowShape:
+    """Row shape of a base table (optionally under an alias)."""
+    qualifier = alias or table.name
+    return RowShape(
+        [
+            ColumnInfo(qualifier, column.name, column.descriptor)
+            for column in table.columns
+        ]
+    )
+
+
+# ---------------------------------------------------------------------------
+# AST utilities
+# ---------------------------------------------------------------------------
+
+_SUBQUERY_FIELDS = (ast.ScalarSubquery, ast.Exists, ast.InSubquery)
+
+
+def _walk(node: Any, visit: Callable[[ast.Node], bool]) -> None:
+    """Depth-first walk; ``visit`` returns False to stop descending.
+
+    Does not descend into nested query expressions — their aggregates and
+    references belong to the inner query level.
+    """
+    if not isinstance(node, ast.Node):
+        return
+    if not visit(node):
+        return
+    if isinstance(node, _SUBQUERY_FIELDS):
+        return
+    if not dataclasses.is_dataclass(node):
+        return
+    for field in dataclasses.fields(node):
+        value = getattr(node, field.name)
+        if isinstance(value, ast.Node):
+            _walk(value, visit)
+        elif isinstance(value, list):
+            for item in value:
+                _walk(item, visit)
+
+
+def _transform(
+    node: Any, replace: Callable[[ast.Node], Optional[ast.Node]]
+) -> Any:
+    """Bottom-up-ish rewrite: ``replace`` may substitute any node."""
+    if not isinstance(node, ast.Node):
+        return node
+    replacement = replace(node)
+    if replacement is not None:
+        return replacement
+    if isinstance(node, _SUBQUERY_FIELDS) or not dataclasses.is_dataclass(
+        node
+    ):
+        return node
+    changes = {}
+    for field in dataclasses.fields(node):
+        value = getattr(node, field.name)
+        if isinstance(value, ast.Node):
+            new_value = _transform(value, replace)
+            if new_value is not value:
+                changes[field.name] = new_value
+        elif isinstance(value, list):
+            new_list = [
+                _transform(item, replace) if isinstance(item, ast.Node)
+                else item
+                for item in value
+            ]
+            if any(a is not b for a, b in zip(new_list, value)):
+                changes[field.name] = new_list
+    if changes:
+        return dataclasses.replace(node, **changes)
+    return node
+
+
+def _collect_aggregates(node: Any, found: List[ast.AggregateCall]) -> None:
+    def visit(candidate: ast.Node) -> bool:
+        if isinstance(candidate, ast.AggregateCall):
+            if not any(candidate == existing for existing in found):
+                found.append(candidate)
+            return False
+        return True
+
+    _walk(node, visit)
+
+
+def _contains_aggregate(node: Any) -> bool:
+    found: List[ast.AggregateCall] = []
+    _collect_aggregates(node, found)
+    return bool(found)
+
+
+# ---------------------------------------------------------------------------
+# FROM clause
+# ---------------------------------------------------------------------------
+
+
+def _plan_table_ref(
+    ref: ast.TableRef,
+    session: Any,
+    outer: Optional[ExpressionCompiler],
+) -> Tuple[Operator, RowShape]:
+    if isinstance(ref, ast.TableName):
+        return _plan_named_relation(ref, session)
+    if isinstance(ref, ast.SubqueryRef):
+        plan, shape = plan_query(ref.query, session, outer=outer)
+        return plan.root, shape.with_alias(ref.alias)
+    if isinstance(ref, ast.Join):
+        return _plan_join(ref, session, outer)
+    raise errors.FeatureNotSupportedError(
+        f"unsupported FROM item {type(ref).__name__}"
+    )
+
+
+def _plan_named_relation(
+    ref: ast.TableName, session: Any
+) -> Tuple[Operator, RowShape]:
+    relation = session.catalog.get_relation(ref.name)
+    if isinstance(relation, View):
+        session.check_table_privilege("SELECT", ref.name)
+        # Views run with definer's rights over their underlying tables.
+        with session.impersonate(relation.owner):
+            plan, shape = plan_query(relation.query, session)
+        if relation.column_names:
+            if len(relation.column_names) != len(shape):
+                raise errors.CatalogError(
+                    f"view {relation.name!r} column list does not match "
+                    "its query"
+                )
+            shape = RowShape(
+                [
+                    ColumnInfo(None, name, col.descriptor)
+                    for name, col in zip(
+                        relation.column_names, shape.columns
+                    )
+                ]
+            )
+        return plan.root, shape.with_alias(ref.alias or ref.name)
+    session.check_table_privilege("SELECT", ref.name)
+    return SeqScan(relation), table_shape(relation, ref.alias)
+
+
+def _plan_join(
+    ref: ast.Join,
+    session: Any,
+    outer: Optional[ExpressionCompiler],
+) -> Tuple[Operator, RowShape]:
+    left_op, left_shape = _plan_table_ref(ref.left, session, outer)
+    right_op, right_shape = _plan_table_ref(ref.right, session, outer)
+    merged = left_shape.merge(right_shape)
+    predicate = None
+    if ref.condition is not None:
+        compiler = ExpressionCompiler(merged, session, outer)
+        predicate = compiler.compile_predicate(ref.condition)
+    operator = NestedLoopJoin(
+        ref.kind,
+        left_op,
+        right_op,
+        predicate,
+        len(left_shape),
+        len(right_shape),
+    )
+    return operator, merged
+
+
+# ---------------------------------------------------------------------------
+# SELECT planning
+# ---------------------------------------------------------------------------
+
+
+def _expand_items(
+    items: Sequence[ast.Node], shape: RowShape
+) -> List[Tuple[ast.Expression, Optional[str]]]:
+    """Expand ``*`` / ``t.*`` into explicit column references."""
+    expanded: List[Tuple[ast.Expression, Optional[str]]] = []
+    for item in items:
+        if isinstance(item, ast.StarItem):
+            matched = False
+            for column in shape.columns:
+                if item.table is None or column.alias == item.table:
+                    matched = True
+                    expanded.append(
+                        (
+                            ast.ColumnRef(column.name, table=column.alias),
+                            column.name,
+                        )
+                    )
+            if not matched:
+                raise errors.UndefinedTableError(
+                    f"no FROM item called {item.table!r} for "
+                    f"{item.table}.*"
+                )
+        else:
+            assert isinstance(item, ast.SelectItem)
+            expanded.append((item.expression, item.alias))
+    return expanded
+
+
+def _output_name(
+    expr: ast.Expression, alias: Optional[str], position: int
+) -> str:
+    if alias:
+        return alias
+    if isinstance(expr, ast.ColumnRef):
+        return expr.name
+    if isinstance(expr, ast.AttributeRef):
+        return expr.attribute
+    if isinstance(expr, ast.MethodCall):
+        return expr.method
+    if isinstance(expr, ast.FunctionCall):
+        return expr.name.split(".")[-1]
+    if isinstance(expr, ast.AggregateCall):
+        return expr.name.lower()
+    return f"column{position + 1}"
+
+
+def _aggregate_result_type(
+    call: ast.AggregateCall, argument: Optional[Compiled]
+) -> Optional[TypeDescriptor]:
+    if call.name == "COUNT":
+        return IntegerType()
+    arg_type = argument.descriptor if argument else None
+    if call.name in ("MIN", "MAX"):
+        return arg_type
+    if call.name == "SUM":
+        if isinstance(arg_type, DecimalType):
+            return DecimalType(38, arg_type.scale)
+        return arg_type
+    # AVG
+    if isinstance(arg_type, DecimalType):
+        return DecimalType(38, max(arg_type.scale, 6))
+    if isinstance(arg_type, DoubleType):
+        return DoubleType()
+    if arg_type is not None:
+        return DecimalType(38, 6)
+    return None
+
+
+def _plan_select(
+    select: ast.Select,
+    session: Any,
+    outer: Optional[ExpressionCompiler],
+) -> Tuple[QueryPlan, RowShape]:
+    # 1. FROM
+    if select.from_clause:
+        operator, shape = _plan_table_ref(
+            select.from_clause[0], session, outer
+        )
+        for extra in select.from_clause[1:]:
+            right_op, right_shape = _plan_table_ref(extra, session, outer)
+            operator = NestedLoopJoin(
+                "CROSS", operator, right_op, None, len(shape),
+                len(right_shape),
+            )
+            shape = shape.merge(right_shape)
+    else:
+        operator, shape = SingleRow(), RowShape([])
+
+    compiler = ExpressionCompiler(shape, session, outer)
+
+    # 2. WHERE
+    if select.where is not None:
+        if _contains_aggregate(select.where):
+            raise errors.SQLSyntaxError(
+                "aggregates are not allowed in WHERE"
+            )
+        operator = Filter(operator, compiler.compile_predicate(select.where))
+
+    # 3. Aggregation
+    items = _expand_items(select.items, shape)
+    needs_aggregation = bool(select.group_by) or select.having is not None \
+        or any(_contains_aggregate(expr) for expr, _ in items) \
+        or any(_contains_aggregate(o.expression) for o in select.order_by)
+
+    having = select.having
+    order_items = list(select.order_by)
+
+    if needs_aggregation:
+        operator, shape, items, having, order_items = _plan_aggregation(
+            select, session, outer, operator, shape, compiler, items
+        )
+        compiler = ExpressionCompiler(shape, session, outer)
+
+    # 4. HAVING (already rewritten to post-aggregation shape)
+    if having is not None:
+        operator = Filter(operator, compiler.compile_predicate(having))
+
+    # 5. Projection
+    compiled_items = [compiler.compile(expr) for expr, _ in items]
+    output_shape = RowShape(
+        [
+            ColumnInfo(
+                expr.table if isinstance(expr, ast.ColumnRef) and alias is
+                None else None,
+                _output_name(expr, alias, position),
+                compiled.descriptor,
+            )
+            for position, ((expr, alias), compiled) in enumerate(
+                zip(items, compiled_items)
+            )
+        ]
+    )
+
+    limit_fn, offset_fn = _compile_limits(select, session)
+
+    if select.distinct:
+        operator = Project(operator, [c.fn for c in compiled_items])
+        operator = Distinct(operator)
+        if order_items:
+            rewritten = _substitute_order_targets(
+                order_items, items, output_shape
+            )
+            out_compiler = ExpressionCompiler(output_shape, session, outer)
+            keys = [
+                (out_compiler.compile_sort_key(o.expression),
+                 o.ascending)
+                for o in rewritten
+            ]
+            operator = Sort(operator, keys)
+    else:
+        if order_items:
+            keys = []
+            for order in order_items:
+                target = _order_source_expression(order.expression, items)
+                keys.append(
+                    (compiler.compile_sort_key(target), order.ascending)
+                )
+            operator = Sort(operator, keys)
+        operator = Project(operator, [c.fn for c in compiled_items])
+
+    if limit_fn is not None or offset_fn is not None:
+        operator = Limit(operator, limit_fn, offset_fn)
+
+    return QueryPlan(operator, output_shape), output_shape
+
+
+def _compile_limits(select: ast.Select, session: Any):
+    empty_compiler = ExpressionCompiler(RowShape([]), session)
+    limit_fn = (
+        empty_compiler.compile(select.limit).fn
+        if select.limit is not None
+        else None
+    )
+    offset_fn = (
+        empty_compiler.compile(select.offset).fn
+        if select.offset is not None
+        else None
+    )
+    return limit_fn, offset_fn
+
+
+def _order_source_expression(
+    expr: ast.Expression,
+    items: List[Tuple[ast.Expression, Optional[str]]],
+) -> ast.Expression:
+    """Resolve ORDER BY aliases and positions to source expressions."""
+    if isinstance(expr, ast.Literal) and isinstance(expr.value, int):
+        position = expr.value
+        if not 1 <= position <= len(items):
+            raise errors.SQLSyntaxError(
+                f"ORDER BY position {position} is out of range"
+            )
+        return items[position - 1][0]
+    if isinstance(expr, ast.ColumnRef) and expr.table is None:
+        for item_expr, alias in items:
+            if alias == expr.name:
+                return item_expr
+    return expr
+
+
+def _substitute_order_targets(
+    order_items: List[ast.OrderItem],
+    items: List[Tuple[ast.Expression, Optional[str]]],
+    output_shape: RowShape,
+) -> List[ast.OrderItem]:
+    """For the DISTINCT path, rewrite positions to output column refs."""
+    rewritten: List[ast.OrderItem] = []
+    for order in order_items:
+        expr = order.expression
+        if isinstance(expr, ast.Literal) and isinstance(expr.value, int):
+            position = expr.value
+            if not 1 <= position <= len(output_shape):
+                raise errors.SQLSyntaxError(
+                    f"ORDER BY position {position} is out of range"
+                )
+            expr = ast.ColumnRef(output_shape.columns[position - 1].name)
+            rewritten.append(ast.OrderItem(expr, order.ascending))
+        else:
+            rewritten.append(order)
+    return rewritten
+
+
+def _plan_aggregation(
+    select: ast.Select,
+    session: Any,
+    outer: Optional[ExpressionCompiler],
+    operator: Operator,
+    shape: RowShape,
+    compiler: ExpressionCompiler,
+    items: List[Tuple[ast.Expression, Optional[str]]],
+):
+    """Insert a GroupAggregate and rewrite downstream expressions.
+
+    Returns (operator, post_shape, rewritten_items, rewritten_having,
+    rewritten_order_items).
+    """
+    # Collect every distinct aggregate call at this query level.
+    aggregates: List[ast.AggregateCall] = []
+    for expr, _alias in items:
+        _collect_aggregates(expr, aggregates)
+    if select.having is not None:
+        _collect_aggregates(select.having, aggregates)
+    for order in select.order_by:
+        _collect_aggregates(order.expression, aggregates)
+
+    # Compile group keys and aggregate arguments against the input shape.
+    key_columns: List[ColumnInfo] = []
+    key_fns = []
+    replacements: List[Tuple[ast.Expression, ast.Expression]] = []
+    for index, key_expr in enumerate(select.group_by):
+        compiled = compiler.compile(key_expr)
+        key_fns.append(compiled.fn)
+        if isinstance(key_expr, ast.ColumnRef):
+            info = ColumnInfo(key_expr.table, key_expr.name,
+                              compiled.descriptor)
+            replacement = ast.ColumnRef(key_expr.name, table=key_expr.table)
+        else:
+            info = ColumnInfo(None, f"$grp{index}", compiled.descriptor)
+            replacement = ast.ColumnRef(f"$grp{index}")
+        key_columns.append(info)
+        replacements.append((key_expr, replacement))
+
+    agg_columns: List[ColumnInfo] = []
+    agg_specs: List[AggregateSpec] = []
+    for index, call in enumerate(aggregates):
+        argument = (
+            compiler.compile(call.argument)
+            if call.argument is not None
+            else None
+        )
+        agg_specs.append(
+            AggregateSpec(
+                call.name,
+                argument.fn if argument else None,
+                call.distinct,
+            )
+        )
+        agg_columns.append(
+            ColumnInfo(
+                None, f"$agg{index}", _aggregate_result_type(call, argument)
+            )
+        )
+        replacements.append((call, ast.ColumnRef(f"$agg{index}")))
+
+    operator = GroupAggregate(operator, key_fns, agg_specs)
+    post_shape = RowShape(key_columns + agg_columns)
+
+    def replace(node: ast.Node) -> Optional[ast.Node]:
+        for pattern, replacement in replacements:
+            if type(node) is type(pattern) and node == pattern:
+                return replacement
+        return None
+
+    rewritten_items = [
+        (_transform(expr, replace), alias) for expr, alias in items
+    ]
+    rewritten_having = (
+        _transform(select.having, replace)
+        if select.having is not None
+        else None
+    )
+    rewritten_order = [
+        ast.OrderItem(_transform(o.expression, replace), o.ascending)
+        for o in select.order_by
+    ]
+
+    # Validate: non-aggregated plain columns must be group keys.
+    post_compiler = ExpressionCompiler(post_shape, session, outer)
+    for expr, _alias in rewritten_items:
+        _check_grouped(expr, post_compiler)
+    if rewritten_having is not None:
+        _check_grouped(rewritten_having, post_compiler)
+
+    return operator, post_shape, rewritten_items, rewritten_having, \
+        rewritten_order
+
+
+def _check_grouped(
+    expr: ast.Expression, post_compiler: ExpressionCompiler
+) -> None:
+    """Compiling against the post-aggregation shape surfaces ungrouped
+    column references as UndefinedColumnError with a clearer message."""
+    try:
+        post_compiler.compile(expr)
+    except errors.UndefinedColumnError as exc:
+        raise errors.SQLSyntaxError(
+            f"{exc.message}; columns used outside aggregates must appear "
+            "in GROUP BY"
+        ) from None
+
+
+# ---------------------------------------------------------------------------
+# entry point
+# ---------------------------------------------------------------------------
+
+
+def plan_query(
+    query: ast.Node,
+    session: Any,
+    outer: Optional[ExpressionCompiler] = None,
+) -> Tuple[QueryPlan, RowShape]:
+    """Plan a query expression; returns the plan and its output shape."""
+    if isinstance(query, ast.Select):
+        return _plan_select(query, session, outer)
+    if isinstance(query, ast.SetOperation):
+        return _plan_set_operation(query, session, outer)
+    raise errors.FeatureNotSupportedError(
+        f"cannot plan {type(query).__name__}"
+    )
+
+
+def _plan_set_operation(
+    op: ast.SetOperation,
+    session: Any,
+    outer: Optional[ExpressionCompiler],
+) -> Tuple[QueryPlan, RowShape]:
+    left_plan, left_shape = plan_query(op.left, session, outer)
+    right_plan, right_shape = plan_query(op.right, session, outer)
+    if len(left_shape) != len(right_shape):
+        raise errors.SQLSyntaxError(
+            f"{op.op} operands must have the same number of columns"
+        )
+    columns: List[ColumnInfo] = []
+    for left_col, right_col in zip(left_shape.columns, right_shape.columns):
+        descriptor = left_col.descriptor
+        if descriptor is not None and right_col.descriptor is not None:
+            descriptor = common_supertype(descriptor, right_col.descriptor)
+        columns.append(ColumnInfo(None, left_col.name, descriptor))
+    shape = RowShape(columns)
+    operator: Operator = UnionOp(
+        left_plan.root, right_plan.root, op.all, op.op
+    )
+    if op.order_by:
+        out_compiler = ExpressionCompiler(shape, session, outer)
+        keys = []
+        for order in op.order_by:
+            expr = order.expression
+            if isinstance(expr, ast.Literal) and isinstance(expr.value, int):
+                position = expr.value
+                if not 1 <= position <= len(shape):
+                    raise errors.SQLSyntaxError(
+                        f"ORDER BY position {position} is out of range"
+                    )
+                expr = ast.ColumnRef(shape.columns[position - 1].name)
+            keys.append(
+                (out_compiler.compile_sort_key(expr), order.ascending)
+            )
+        operator = Sort(operator, keys)
+    return QueryPlan(operator, shape), shape

@@ -1,0 +1,124 @@
+"""Privilege bookkeeping (GRANT / REVOKE).
+
+The paper's Part 1 and Part 2 sections use four privilege surfaces:
+
+* table privileges (SELECT/INSERT/UPDATE/DELETE),
+* EXECUTE on the SQL names of external routines,
+* USAGE on installed archives (``grant usage on routines1_jar to smith``),
+* USAGE on datatypes (``grant usage on datatype addr to public``).
+
+Owners implicitly hold every privilege on their objects, the database
+administrator holds everything, and the pseudo-grantee ``public`` reaches
+all users.  Routines run with definer's rights (the paper: "Methods run
+with 'definer's rights'"), implemented by
+:meth:`repro.engine.database.Session.impersonate`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro import errors
+
+__all__ = ["PrivilegeManager", "TABLE_PRIVILEGES"]
+
+TABLE_PRIVILEGES = ("SELECT", "INSERT", "UPDATE", "DELETE")
+
+_VALID = {
+    "TABLE": set(TABLE_PRIVILEGES) | {"ALL"},
+    "ROUTINE": {"EXECUTE"},
+    "DATATYPE": {"USAGE"},
+    "PAR": {"USAGE"},
+}
+
+
+class PrivilegeManager:
+    """Tracks grants per (object kind, object name)."""
+
+    def __init__(self, admin_user: str) -> None:
+        self.admin_user = admin_user
+        # (kind, object) -> privilege -> set of grantees
+        self._grants: Dict[Tuple[str, str], Dict[str, Set[str]]] = {}
+
+    # ------------------------------------------------------------------
+    def _validate(self, privilege: str, kind: str) -> List[str]:
+        if kind not in _VALID:
+            raise errors.CatalogError(f"unknown object kind {kind!r}")
+        if privilege not in _VALID[kind]:
+            raise errors.CatalogError(
+                f"privilege {privilege} cannot be granted on a {kind}"
+            )
+        if privilege == "ALL":
+            return list(TABLE_PRIVILEGES)
+        return [privilege]
+
+    def grant(
+        self,
+        privilege: str,
+        kind: str,
+        object_name: str,
+        grantees: List[str],
+        grantor: str,
+        owner: str,
+    ) -> None:
+        if grantor not in (owner, self.admin_user):
+            raise errors.PrivilegeError(
+                f"user {grantor!r} may not grant on {object_name!r} "
+                f"(owner {owner!r})"
+            )
+        for actual in self._validate(privilege, kind):
+            slot = self._grants.setdefault((kind, object_name), {})
+            slot.setdefault(actual, set()).update(grantees)
+
+    def revoke(
+        self,
+        privilege: str,
+        kind: str,
+        object_name: str,
+        grantees: List[str],
+        revoker: str,
+        owner: str,
+    ) -> None:
+        if revoker not in (owner, self.admin_user):
+            raise errors.PrivilegeError(
+                f"user {revoker!r} may not revoke on {object_name!r}"
+            )
+        for actual in self._validate(privilege, kind):
+            slot = self._grants.get((kind, object_name), {})
+            holders = slot.get(actual)
+            if holders:
+                holders.difference_update(grantees)
+
+    # ------------------------------------------------------------------
+    def holds(
+        self,
+        user: str,
+        privilege: str,
+        kind: str,
+        object_name: str,
+        owner: str,
+    ) -> bool:
+        if user in (owner, self.admin_user):
+            return True
+        holders = self._grants.get((kind, object_name), {}).get(
+            privilege, set()
+        )
+        return user in holders or "public" in holders
+
+    def require(
+        self,
+        user: str,
+        privilege: str,
+        kind: str,
+        object_name: str,
+        owner: str,
+    ) -> None:
+        if not self.holds(user, privilege, kind, object_name, owner):
+            raise errors.PrivilegeError(
+                f"user {user!r} lacks {privilege} on {kind.lower()} "
+                f"{object_name!r}"
+            )
+
+    def drop_object(self, kind: str, object_name: str) -> None:
+        """Forget grants when an object is dropped."""
+        self._grants.pop((kind, object_name), None)

@@ -1,0 +1,155 @@
+"""Row storage and undo logging.
+
+Tables keep their rows in Python lists (this is an in-memory engine); what
+this module adds is *transactional mutation*: every insert/delete/update
+goes through a :class:`TransactionLog` that can undo the work on ROLLBACK.
+
+Part 2 objects are stored **by value**: inserting an object deep-copies it
+into the heap and fetching copies it back out, so a caller mutating its
+own instance never changes stored data — the paper's "objects-by-value"
+JDBC semantics.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Callable, List, Optional
+
+from repro.engine.catalog import Table
+from repro.sqltypes import ObjectType
+
+__all__ = ["TransactionLog", "store_value", "fetch_value", "RowStore"]
+
+
+def store_value(value: Any, descriptor: Any) -> Any:
+    """Prepare ``value`` for storage under ``descriptor``.
+
+    UDT instances are deep-copied (stored by value); scalars are already
+    immutable in Python.
+    """
+    if value is not None and isinstance(descriptor, ObjectType):
+        return copy.deepcopy(value)
+    return value
+
+
+def fetch_value(value: Any, descriptor: Any) -> Any:
+    """Materialise a stored value for a client (copy-out for objects)."""
+    if value is not None and isinstance(descriptor, ObjectType):
+        return copy.deepcopy(value)
+    return value
+
+
+class TransactionLog:
+    """Undo log for one session's open transaction, with savepoints.
+
+    A savepoint records the current undo-log length; rolling back to it
+    unwinds only the mutations performed since, and discards any later
+    savepoints (standard SQL savepoint semantics).
+    """
+
+    def __init__(self) -> None:
+        self._undo: List[Callable[[], None]] = []
+        self._savepoints: dict = {}
+        self.active = False
+
+    def record(self, undo: Callable[[], None]) -> None:
+        """Register an undo action for a mutation just performed."""
+        self.active = True
+        self._undo.append(undo)
+
+    def commit(self) -> int:
+        """Discard undo actions; returns how many mutations were kept."""
+        count = len(self._undo)
+        self._undo.clear()
+        self._savepoints.clear()
+        self.active = False
+        return count
+
+    def rollback(self) -> int:
+        """Apply undo actions in reverse order; returns how many ran."""
+        count = len(self._undo)
+        for undo in reversed(self._undo):
+            undo()
+        self._undo.clear()
+        self._savepoints.clear()
+        self.active = False
+        return count
+
+    # -- savepoints ------------------------------------------------------
+    def set_savepoint(self, name: str) -> None:
+        """Create (or move) the named savepoint at the current position."""
+        self._savepoints[name] = len(self._undo)
+
+    def rollback_to(self, name: str) -> int:
+        """Undo every mutation after the named savepoint."""
+        from repro import errors
+
+        if name not in self._savepoints:
+            raise errors.TransactionError(
+                f"savepoint {name!r} does not exist"
+            )
+        mark = self._savepoints[name]
+        count = len(self._undo) - mark
+        while len(self._undo) > mark:
+            self._undo.pop()()
+        # Savepoints created after this one are gone.
+        self._savepoints = {
+            n: position
+            for n, position in self._savepoints.items()
+            if position <= mark
+        }
+        return count
+
+    def release(self, name: str) -> None:
+        """Forget the named savepoint (its changes remain pending)."""
+        from repro import errors
+
+        if name not in self._savepoints:
+            raise errors.TransactionError(
+                f"savepoint {name!r} does not exist"
+            )
+        del self._savepoints[name]
+
+
+class RowStore:
+    """Transactional mutation interface over a table's row list."""
+
+    def __init__(self, table: Table, log: Optional[TransactionLog]) -> None:
+        self.table = table
+        self.log = log
+
+    def insert(self, row: List[Any]) -> None:
+        rows = self.table.rows
+        rows.append(row)
+        if self.log is not None:
+            def undo(r=row, rs=rows) -> None:
+                # Remove by identity: list.remove would delete the first
+                # *equal* row, which reorders the table when the insert
+                # duplicated an existing row.
+                for index in range(len(rs) - 1, -1, -1):
+                    if rs[index] is r:
+                        del rs[index]
+                        return
+            self.log.record(undo)
+
+    def delete_at(self, positions: List[int]) -> int:
+        """Delete rows at the given positions (any order)."""
+        rows = self.table.rows
+        saved = [(pos, rows[pos]) for pos in sorted(positions)]
+        for pos in sorted(positions, reverse=True):
+            del rows[pos]
+        if self.log is not None:
+            def undo(saved=saved, rs=rows) -> None:
+                for pos, row in saved:
+                    rs.insert(pos, row)
+            self.log.record(undo)
+        return len(positions)
+
+    def update_at(self, position: int, new_row: List[Any]) -> None:
+        rows = self.table.rows
+        old_row = rows[position]
+        rows[position] = new_row
+        if self.log is not None:
+            def undo(pos=position, row=old_row, rs=rows) -> None:
+                rs[pos] = row
+            self.log.record(undo)

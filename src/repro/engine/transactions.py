@@ -1,0 +1,10 @@
+"""Transaction primitives.
+
+The undo-log implementation lives next to the row heaps in
+:mod:`repro.engine.storage`; this module re-exports it under the name the
+architecture documentation uses.
+"""
+
+from repro.engine.storage import RowStore, TransactionLog
+
+__all__ = ["TransactionLog", "RowStore"]

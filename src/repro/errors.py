@@ -1,0 +1,396 @@
+"""Exception hierarchy shared by every layer of PySQLJ.
+
+The paper (Part 1, "Error Handling") specifies that exceptions which escape
+an external routine surface to SQL callers as SQLSTATE error codes, and the
+JDBC API that SQLJ builds on reports all database errors as
+``SQLException``.  This module is the Python equivalent: a single rooted
+hierarchy carrying a five-character SQLSTATE, an optional vendor code, and
+exception chaining, so that errors propagate uniformly from the storage
+layer to the embedded-SQL runtime.
+
+SQLSTATE class values follow ISO/ANSI SQL:
+
+========  =====================================================
+class     meaning
+========  =====================================================
+``02``    no data
+``08``    connection exception
+``0A``    feature not supported
+``21``    cardinality violation
+``22``    data exception (truncation, overflow, bad cast, ...)
+``23``    integrity constraint violation
+``24``    invalid cursor state
+``25``    invalid transaction state
+``26``    invalid SQL statement name
+``28``    invalid authorization specification
+``2F``    SQL routine exception
+``38``    external routine exception
+``39``    external routine invocation exception
+``42``    syntax error or access rule violation
+``44``    with check option violation
+``46``    SQLJ-specific (install_jar / path errors, per SQLJ Part 1)
+========  =====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+__all__ = [
+    "SQLException",
+    "SQLWarning",
+    "SQLSyntaxError",
+    "SQLParseError",
+    "CatalogError",
+    "DuplicateObjectError",
+    "UndefinedObjectError",
+    "UndefinedTableError",
+    "UndefinedColumnError",
+    "UndefinedTypeError",
+    "UndefinedRoutineError",
+    "UndefinedParError",
+    "DataError",
+    "StringTruncationError",
+    "NumericOverflowError",
+    "InvalidCastError",
+    "DivisionByZeroError",
+    "NullValueError",
+    "IntegrityError",
+    "NotNullViolationError",
+    "UniqueViolationError",
+    "CardinalityError",
+    "PrivilegeError",
+    "AuthorizationError",
+    "ConnectionError_",
+    "ConnectionClosedError",
+    "InvalidCursorStateError",
+    "TransactionError",
+    "FeatureNotSupportedError",
+    "ExternalRoutineError",
+    "ExternalRoutineInvocationError",
+    "RoutineResolutionError",
+    "ParInstallationError",
+    "PathResolutionError",
+    "TranslationError",
+    "CheckerError",
+    "ProfileError",
+    "CustomizationError",
+    "NoDataWarning",
+]
+
+
+class SQLException(Exception):
+    """Root of all database errors, mirroring ``java.sql.SQLException``.
+
+    Parameters
+    ----------
+    message:
+        Human-readable description.  For exceptions raised out of external
+        routines the paper specifies this is the string given in the
+        routine's ``throw``; :mod:`repro.procedures` relies on that.
+    sqlstate:
+        Five-character ISO SQLSTATE.  Subclasses supply a default.
+    vendor_code:
+        Implementation-specific numeric code (0 when unused).
+    """
+
+    default_sqlstate = "HY000"  # general error
+
+    def __init__(
+        self,
+        message: str = "",
+        sqlstate: Optional[str] = None,
+        vendor_code: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.message = message
+        self.sqlstate = sqlstate or self.default_sqlstate
+        self.vendor_code = vendor_code
+        self._next: Optional["SQLException"] = None
+
+    # -- JDBC-style exception chaining -----------------------------------
+    def get_next_exception(self) -> Optional["SQLException"]:
+        """Return the next chained exception, if any."""
+        return self._next
+
+    def set_next_exception(self, exc: "SQLException") -> None:
+        """Append ``exc`` to the end of this exception's chain."""
+        tail = self
+        while tail._next is not None:
+            tail = tail._next
+        tail._next = exc
+
+    def chain(self) -> Iterator["SQLException"]:
+        """Iterate over this exception and everything chained behind it."""
+        node: Optional[SQLException] = self
+        while node is not None:
+            yield node
+            node = node._next
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[SQLSTATE {self.sqlstate}] {self.message}"
+
+
+class SQLWarning(SQLException):
+    """Non-fatal condition reported on a connection or statement."""
+
+    default_sqlstate = "01000"
+
+
+class NoDataWarning(SQLWarning):
+    """SQLSTATE class 02: a fetch or select returned no rows."""
+
+    default_sqlstate = "02000"
+
+
+# ---------------------------------------------------------------------------
+# Syntax and catalog errors (class 42)
+# ---------------------------------------------------------------------------
+
+
+class SQLSyntaxError(SQLException):
+    """Malformed SQL text."""
+
+    default_sqlstate = "42000"
+
+
+class SQLParseError(SQLSyntaxError):
+    """Syntax error with source position information."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+        self.line = line
+        self.column = column
+
+
+class CatalogError(SQLException):
+    """Access-rule or name-resolution failure against the catalog."""
+
+    default_sqlstate = "42000"
+
+
+class DuplicateObjectError(CatalogError):
+    """An object with the given name already exists."""
+
+    default_sqlstate = "42710"
+
+
+class UndefinedObjectError(CatalogError):
+    """Referenced object does not exist."""
+
+    default_sqlstate = "42704"
+
+
+class UndefinedTableError(UndefinedObjectError):
+    default_sqlstate = "42P01"
+
+
+class UndefinedColumnError(UndefinedObjectError):
+    default_sqlstate = "42703"
+
+
+class UndefinedTypeError(UndefinedObjectError):
+    default_sqlstate = "42704"
+
+
+class UndefinedRoutineError(UndefinedObjectError):
+    default_sqlstate = "42883"
+
+
+class UndefinedParError(UndefinedObjectError):
+    """Referenced archive (the paper's jar) is not installed."""
+
+    default_sqlstate = "46110"
+
+
+# ---------------------------------------------------------------------------
+# Data exceptions (class 22)
+# ---------------------------------------------------------------------------
+
+
+class DataError(SQLException):
+    default_sqlstate = "22000"
+
+
+class StringTruncationError(DataError):
+    """String value too long for CHAR/VARCHAR target."""
+
+    default_sqlstate = "22001"
+
+
+class NumericOverflowError(DataError):
+    """Numeric value out of range for the target type."""
+
+    default_sqlstate = "22003"
+
+
+class InvalidCastError(DataError):
+    """Value cannot be converted to the requested type."""
+
+    default_sqlstate = "22018"
+
+
+class DivisionByZeroError(DataError):
+    default_sqlstate = "22012"
+
+
+class NullValueError(DataError):
+    """NULL encountered where a value is required (e.g. NULL into int)."""
+
+    default_sqlstate = "22004"
+
+
+# ---------------------------------------------------------------------------
+# Constraints, cursors, transactions
+# ---------------------------------------------------------------------------
+
+
+class IntegrityError(SQLException):
+    default_sqlstate = "23000"
+
+
+class NotNullViolationError(IntegrityError):
+    default_sqlstate = "23502"
+
+
+class UniqueViolationError(IntegrityError):
+    default_sqlstate = "23505"
+
+
+class CardinalityError(SQLException):
+    """Scalar subquery or single-row select produced more than one row."""
+
+    default_sqlstate = "21000"
+
+
+class InvalidCursorStateError(SQLException):
+    """Fetch before first row, after close, etc."""
+
+    default_sqlstate = "24000"
+
+
+class TransactionError(SQLException):
+    default_sqlstate = "25000"
+
+
+# ---------------------------------------------------------------------------
+# Authorization (classes 28 and 42501)
+# ---------------------------------------------------------------------------
+
+
+class AuthorizationError(SQLException):
+    """Unknown or invalid authorization identifier."""
+
+    default_sqlstate = "28000"
+
+
+class PrivilegeError(CatalogError):
+    """Current user lacks a required privilege."""
+
+    default_sqlstate = "42501"
+
+
+# ---------------------------------------------------------------------------
+# Connection-level errors (class 08)
+# ---------------------------------------------------------------------------
+
+
+class ConnectionError_(SQLException):
+    """Connection exception.  Trailing underscore avoids shadowing the
+    Python builtin ``ConnectionError``."""
+
+    default_sqlstate = "08000"
+
+
+class ConnectionClosedError(ConnectionError_):
+    default_sqlstate = "08003"
+
+
+class FeatureNotSupportedError(SQLException):
+    default_sqlstate = "0A000"
+
+
+# ---------------------------------------------------------------------------
+# External routines (SQLJ Part 1, classes 38/39/46)
+# ---------------------------------------------------------------------------
+
+
+class ExternalRoutineError(SQLException):
+    """An exception escaped the body of an external routine.
+
+    Per the paper: "Exceptions that are uncaught when you return from a
+    Java method become SQLSTATE error codes.  The message text of the
+    SQLSTATE is the string specified in the Java throw."
+    """
+
+    default_sqlstate = "38000"
+
+    @classmethod
+    def from_python(cls, exc: BaseException) -> "ExternalRoutineError":
+        """Wrap an arbitrary Python exception escaping a routine body."""
+        if isinstance(exc, SQLException):
+            wrapped = cls(exc.message, sqlstate=exc.sqlstate)
+        else:
+            wrapped = cls(str(exc) or type(exc).__name__)
+        wrapped.__cause__ = exc
+        return wrapped
+
+
+class ExternalRoutineInvocationError(SQLException):
+    """The routine could not be invoked at all (bad signature, missing
+    container for an OUT parameter, unloadable module, ...)."""
+
+    default_sqlstate = "39000"
+
+
+class RoutineResolutionError(CatalogError):
+    """EXTERNAL NAME did not resolve to a callable."""
+
+    default_sqlstate = "46002"
+
+
+class ParInstallationError(SQLException):
+    """install_par / remove_par / replace_par failure."""
+
+    default_sqlstate = "46100"
+
+
+class PathResolutionError(SQLException):
+    """Cross-archive name resolution via the SQL path failed."""
+
+    default_sqlstate = "46120"
+
+
+# ---------------------------------------------------------------------------
+# Translator / profile errors (SQLJ Part 0)
+# ---------------------------------------------------------------------------
+
+
+class TranslationError(SQLException):
+    """Error detected by the SQLJ translator at translate time."""
+
+    default_sqlstate = "42000"
+
+    def __init__(self, message: str, line: int = 0) -> None:
+        if line:
+            message = f"{message} (source line {line})"
+        super().__init__(message)
+        self.line = line
+
+
+class CheckerError(TranslationError):
+    """Error reported by an installed SQLChecker during semantic analysis."""
+
+
+class ProfileError(SQLException):
+    """Profile is malformed, missing, or of an unsupported version."""
+
+    default_sqlstate = "46130"
+
+
+class CustomizationError(ProfileError):
+    """A customizer could not process a profile entry."""
+
+    default_sqlstate = "46131"

@@ -1,0 +1,30 @@
+"""SQLJ Part 1: host-language methods as SQL stored procedures.
+
+The paper's jar files become "par" files (Python archives): zip files of
+Python module sources plus an optional deployment descriptor.  This
+package provides:
+
+* :mod:`repro.procedures.archives` — building and reading par files,
+* :mod:`repro.procedures.loader` — executing archive modules with
+  cross-archive imports resolved through the SQL path,
+* :mod:`repro.procedures.paths` — ``sqlj.alter_module_path`` semantics,
+* :mod:`repro.procedures.reflection` — signature discovery/validation,
+* :mod:`repro.procedures.registration` — ``CREATE PROCEDURE/FUNCTION ...
+  EXTERNAL NAME``,
+* :mod:`repro.procedures.invocation` — CALL and function invocation with
+  OUT-parameter containers, dynamic result sets and SQLSTATE mapping,
+* :mod:`repro.procedures.system` — the ``sqlj.*`` system procedures,
+* :mod:`repro.procedures.descriptors` — deployment descriptors.
+"""
+
+from repro.procedures.archives import build_par, build_par_bytes, read_par
+from repro.procedures.descriptors import DeploymentDescriptor
+from repro.procedures.invocation import default_connection_session
+
+__all__ = [
+    "build_par",
+    "build_par_bytes",
+    "read_par",
+    "DeploymentDescriptor",
+    "default_connection_session",
+]

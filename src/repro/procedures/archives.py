@@ -1,0 +1,124 @@
+"""Par files: the Python analogue of the paper's jar files.
+
+A par file is a zip archive whose members are Python module sources
+(``module.py``, with package dots encoded as directories) plus an optional
+``deployment.sqlj`` descriptor (see
+:mod:`repro.procedures.descriptors`).  ``sqlj.install_par`` reads one of
+these, registers every module it contains, and retains the archive keyed
+by the SQL-level par name — exactly the paper's ``install_jar`` contract.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import zipfile
+from typing import Dict, Optional, Tuple
+
+from repro import errors
+
+__all__ = [
+    "DESCRIPTOR_MEMBER",
+    "build_par",
+    "build_par_bytes",
+    "read_par",
+    "url_to_path",
+]
+
+#: Zip member holding the deployment descriptor.
+DESCRIPTOR_MEMBER = "deployment.sqlj"
+
+
+def _module_to_member(module_name: str) -> str:
+    return module_name.replace(".", "/") + ".py"
+
+
+def _member_to_module(member: str) -> Optional[str]:
+    if not member.endswith(".py"):
+        return None
+    return member[: -len(".py")].replace("/", ".")
+
+
+def build_par_bytes(
+    modules: Dict[str, str], descriptor: Optional[str] = None
+) -> bytes:
+    """Build a par archive in memory.
+
+    ``modules`` maps dotted module names to Python source text.
+    """
+    if not modules:
+        raise errors.ParInstallationError(
+            "a par archive must contain at least one module"
+        )
+    buffer = io.BytesIO()
+    with zipfile.ZipFile(buffer, "w", zipfile.ZIP_DEFLATED) as archive:
+        for module_name in sorted(modules):
+            archive.writestr(
+                _module_to_member(module_name), modules[module_name]
+            )
+        if descriptor is not None:
+            archive.writestr(DESCRIPTOR_MEMBER, descriptor)
+    return buffer.getvalue()
+
+
+def build_par(
+    path: str, modules: Dict[str, str], descriptor: Optional[str] = None
+) -> str:
+    """Write a par archive to ``path`` and return the path."""
+    payload = build_par_bytes(modules, descriptor)
+    with open(path, "wb") as handle:
+        handle.write(payload)
+    return path
+
+
+def url_to_path(url: str) -> str:
+    """Resolve the paper's ``file:~/classes/routines1.jar`` style URLs."""
+    if url.startswith("file://"):
+        url = url[len("file://"):]
+    elif url.startswith("file:"):
+        url = url[len("file:"):]
+    return os.path.expanduser(url)
+
+
+def read_par(source) -> Tuple[Dict[str, str], Optional[str]]:
+    """Read a par archive from a path/URL/bytes.
+
+    Returns ``(modules, descriptor)`` where modules maps dotted module
+    names to source text.
+    """
+    if isinstance(source, (bytes, bytearray)):
+        handle = io.BytesIO(bytes(source))
+    else:
+        path = url_to_path(str(source))
+        if not os.path.exists(path):
+            raise errors.ParInstallationError(
+                f"archive {source!r} does not exist"
+            )
+        handle = open(path, "rb")
+
+    try:
+        with zipfile.ZipFile(handle) as archive:
+            modules: Dict[str, str] = {}
+            descriptor: Optional[str] = None
+            for member in archive.namelist():
+                if member.endswith("/"):
+                    continue
+                if member == DESCRIPTOR_MEMBER:
+                    descriptor = archive.read(member).decode("utf-8")
+                    continue
+                module_name = _member_to_module(member)
+                if module_name is None:
+                    continue  # ignore non-module payload
+                modules[module_name] = archive.read(member).decode("utf-8")
+    except zipfile.BadZipFile:
+        raise errors.ParInstallationError(
+            f"{source!r} is not a valid par archive"
+        ) from None
+    finally:
+        handle.close()
+
+    if not modules:
+        raise errors.ParInstallationError(
+            f"archive {source!r} contains no Python modules"
+        )
+    return modules, descriptor

@@ -1,0 +1,118 @@
+"""Deployment descriptors (SQLJ Part 1).
+
+A deployment descriptor is "a text file containing the create and grant
+statements to do on install_jar, and the drop and revoke statements to do
+on remove_jar".  The paper's syntax::
+
+    SQLActions[ ] = {
+        BEGIN INSTALL
+            create procedure ... ;
+            grant execute on ... ;
+        END INSTALL,
+        BEGIN REMOVE
+            drop procedure ... ;
+        END REMOVE
+    }
+
+``install_par`` runs the INSTALL actions implicitly after registering the
+archive; ``remove_par`` runs the REMOVE actions before dropping it.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List
+
+from repro import errors
+
+__all__ = ["DeploymentDescriptor", "split_sql_statements"]
+
+_INSTALL_RE = re.compile(
+    r"BEGIN\s+INSTALL(?P<body>.*?)END\s+INSTALL", re.IGNORECASE | re.DOTALL
+)
+_REMOVE_RE = re.compile(
+    r"BEGIN\s+REMOVE(?P<body>.*?)END\s+REMOVE", re.IGNORECASE | re.DOTALL
+)
+_HEADER_RE = re.compile(r"SQLActions\s*\[\s*\]\s*=\s*\{", re.IGNORECASE)
+
+
+def split_sql_statements(text: str) -> List[str]:
+    """Split SQL text on ``;`` while honouring string literals and
+    line comments."""
+    statements: List[str] = []
+    current: List[str] = []
+    in_string = False
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if in_string:
+            current.append(ch)
+            if ch == "'":
+                if i + 1 < len(text) and text[i + 1] == "'":
+                    current.append("'")
+                    i += 1
+                else:
+                    in_string = False
+        elif ch == "'":
+            in_string = True
+            current.append(ch)
+        elif ch == "-" and text[i: i + 2] == "--":
+            while i < len(text) and text[i] != "\n":
+                i += 1
+            continue
+        elif ch == ";":
+            statement = "".join(current).strip()
+            if statement:
+                statements.append(statement)
+            current = []
+        else:
+            current.append(ch)
+        i += 1
+    tail = "".join(current).strip()
+    if tail:
+        statements.append(tail)
+    return statements
+
+
+@dataclass
+class DeploymentDescriptor:
+    """Parsed deployment descriptor: install and remove action lists."""
+
+    install_actions: List[str] = field(default_factory=list)
+    remove_actions: List[str] = field(default_factory=list)
+
+    @classmethod
+    def parse(cls, text: str) -> "DeploymentDescriptor":
+        if not _HEADER_RE.search(text):
+            raise errors.ParInstallationError(
+                "deployment descriptor lacks the SQLActions[] header"
+            )
+        install_match = _INSTALL_RE.search(text)
+        remove_match = _REMOVE_RE.search(text)
+        descriptor = cls()
+        if install_match:
+            descriptor.install_actions = split_sql_statements(
+                install_match.group("body")
+            )
+        if remove_match:
+            descriptor.remove_actions = split_sql_statements(
+                remove_match.group("body")
+            )
+        return descriptor
+
+    def render(self) -> str:
+        """Serialise back to the paper's textual form."""
+        def block(statements: List[str]) -> str:
+            return "".join(f"    {s};\n" for s in statements)
+
+        return (
+            "SQLActions[ ] = {\n"
+            "  BEGIN INSTALL\n"
+            f"{block(self.install_actions)}"
+            "  END INSTALL,\n"
+            "  BEGIN REMOVE\n"
+            f"{block(self.remove_actions)}"
+            "  END REMOVE\n"
+            "}\n"
+        )

@@ -1,0 +1,82 @@
+"""SQLJ module paths (the paper's ``sqlj.alter_java_path``).
+
+When a module loaded from one archive imports a name not found in that
+archive, the engine consults the archive's *path*: an ordered list of
+``(pattern, par_name)`` pairs.  The first pattern matching the imported
+module name designates the archive to resolve it from — mirroring the
+paper's class-loader behaviour ("the class loader supplied by the SQL
+system ... will use the SQL path to resolve the name").
+
+Path specifications use the paper's syntax::
+
+    (property.*, property_par) (project.*, project_par) (*, admin_par)
+
+``*`` matches any (dotted) name; ``pkg.*`` and the paper's ``pkg/*``
+spelling both match names in package ``pkg``.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import re
+from typing import List, Optional, Tuple
+
+from repro import errors
+from repro.engine.catalog import Catalog, InstalledPar
+
+__all__ = ["parse_path_spec", "pattern_matches", "resolve_module_source"]
+
+_ENTRY_RE = re.compile(r"\(\s*([^,()]+?)\s*,\s*([^,()]+?)\s*\)")
+
+
+def parse_path_spec(spec: str) -> List[Tuple[str, str]]:
+    """Parse a path specification into (pattern, par_name) pairs."""
+    entries = _ENTRY_RE.findall(spec)
+    remainder = _ENTRY_RE.sub("", spec).strip()
+    if remainder or not entries:
+        raise errors.PathResolutionError(
+            f"malformed path specification {spec!r}"
+        )
+    normalised = []
+    for pattern, par_name in entries:
+        normalised.append(
+            (pattern.strip().replace("/", "."), par_name.strip().lower())
+        )
+    return normalised
+
+
+def pattern_matches(pattern: str, module_name: str) -> bool:
+    """True if a path pattern covers ``module_name``.
+
+    ``*`` is fully wild (crosses dots) so the paper's ``(*, admin_jar)``
+    catch-all entry behaves as written.
+    """
+    if pattern == "*":
+        return True
+    return fnmatch.fnmatchcase(module_name, pattern)
+
+
+def resolve_module_source(
+    catalog: Catalog, par: InstalledPar, module_name: str
+) -> Optional[Tuple[InstalledPar, str]]:
+    """Find ``module_name`` starting from ``par``.
+
+    Looks in the archive itself first, then walks its path entries.
+    Returns ``(defining_par, source)`` or None.
+    """
+    source = par.modules.get(module_name)
+    if source is not None:
+        return par, source
+    for pattern, target_name in par.path:
+        if not pattern_matches(pattern, module_name):
+            continue
+        target = catalog.pars.get(target_name)
+        if target is None:
+            raise errors.PathResolutionError(
+                f"path of archive {par.name!r} references archive "
+                f"{target_name!r}, which is not installed"
+            )
+        source = target.modules.get(module_name)
+        if source is not None:
+            return target, source
+    return None

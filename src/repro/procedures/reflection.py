@@ -1,0 +1,209 @@
+"""Reflection over archive contents.
+
+``install_par`` "uses reflection to determine their names, methods and
+signatures" (the paper, on ``install_jar``).  This module provides that
+reflection for Python: enumerating the callables and classes an archive
+module defines, mapping Python type annotations to SQL type descriptors,
+and validating a Python callable's signature against a routine's declared
+SQL signature (IN parameters, OUT containers, result-set containers).
+"""
+
+from __future__ import annotations
+
+import datetime
+import decimal
+import inspect
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro import errors
+from repro.engine.catalog import Routine
+from repro.sqltypes import (
+    BlobType,
+    BooleanType,
+    DateType,
+    DecimalType,
+    DoubleType,
+    IntegerType,
+    TimestampType,
+    TimeType,
+    TypeDescriptor,
+    VarCharType,
+)
+
+__all__ = [
+    "ReflectedCallable",
+    "reflect_module",
+    "descriptor_for_annotation",
+    "validate_signature",
+    "expected_parameter_count",
+]
+
+_ANNOTATION_MAP = {
+    int: IntegerType,
+    str: lambda: VarCharType(None),
+    float: DoubleType,
+    bool: BooleanType,
+    bytes: BlobType,
+    decimal.Decimal: DecimalType,
+    datetime.date: DateType,
+    datetime.time: TimeType,
+    datetime.datetime: TimestampType,
+}
+
+
+@dataclass
+class ReflectedCallable:
+    """Summary of one callable discovered in an archive module."""
+
+    name: str
+    qualified_name: str
+    kind: str  # "function" or "class"
+    parameter_names: List[str]
+    parameter_types: List[Optional[TypeDescriptor]]
+    return_type: Optional[TypeDescriptor]
+
+
+def descriptor_for_annotation(annotation: Any) -> Optional[TypeDescriptor]:
+    """Map a Python annotation to a SQL descriptor (None when unmapped)."""
+    factory = _ANNOTATION_MAP.get(annotation)
+    if factory is None:
+        return None
+    return factory()
+
+
+def _reflect_callable(
+    name: str, obj: Any, module_name: str
+) -> Optional[ReflectedCallable]:
+    kind = "class" if inspect.isclass(obj) else "function"
+    try:
+        signature = inspect.signature(obj)
+    except (TypeError, ValueError):
+        return None
+    parameter_names: List[str] = []
+    parameter_types: List[Optional[TypeDescriptor]] = []
+    for parameter in signature.parameters.values():
+        if parameter.kind in (
+            inspect.Parameter.VAR_POSITIONAL,
+            inspect.Parameter.VAR_KEYWORD,
+        ):
+            continue
+        parameter_names.append(parameter.name)
+        annotation = (
+            parameter.annotation
+            if parameter.annotation is not inspect.Parameter.empty
+            else None
+        )
+        parameter_types.append(
+            descriptor_for_annotation(annotation) if annotation else None
+        )
+    return_annotation = (
+        signature.return_annotation
+        if signature.return_annotation is not inspect.Signature.empty
+        else None
+    )
+    return ReflectedCallable(
+        name=name,
+        qualified_name=f"{module_name}.{name}",
+        kind=kind,
+        parameter_names=parameter_names,
+        parameter_types=parameter_types,
+        return_type=(
+            descriptor_for_annotation(return_annotation)
+            if return_annotation
+            else None
+        ),
+    )
+
+
+def reflect_module(module: Any) -> Dict[str, ReflectedCallable]:
+    """Enumerate public callables and classes defined in ``module``."""
+    found: Dict[str, ReflectedCallable] = {}
+    module_name = getattr(module, "__name__", "<module>")
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isfunction(obj) or inspect.isclass(obj)):
+            continue
+        if getattr(obj, "__module__", module_name) not in (
+            module_name, None
+        ):
+            continue  # re-exported from elsewhere
+        reflected = _reflect_callable(name, obj, module_name)
+        if reflected is not None:
+            found[name] = reflected
+    return found
+
+
+def expected_parameter_count(routine: Routine) -> int:
+    """Python parameters the callable must accept: one per SQL parameter
+    (OUT/INOUT passed as containers) plus one container per dynamic
+    result set."""
+    return len(routine.params) + routine.dynamic_result_sets
+
+
+def validate_signature(routine: Routine, target: Any) -> None:
+    """Check that ``target`` can be invoked for ``routine``.
+
+    Raises :class:`repro.errors.RoutineResolutionError` on arity mismatch.
+    Missing annotations are tolerated (Python is dynamically typed); when
+    annotations are present they must be compatible with the declared SQL
+    parameter types.
+    """
+    if not callable(target):
+        raise errors.RoutineResolutionError(
+            f"external name of routine {routine.name!r} does not resolve "
+            "to a callable"
+        )
+    try:
+        signature = inspect.signature(target)
+    except (TypeError, ValueError):
+        return  # builtins without introspectable signatures: trust them
+
+    expected = expected_parameter_count(routine)
+    positional = [
+        p
+        for p in signature.parameters.values()
+        if p.kind
+        in (
+            inspect.Parameter.POSITIONAL_ONLY,
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+        )
+    ]
+    has_varargs = any(
+        p.kind is inspect.Parameter.VAR_POSITIONAL
+        for p in signature.parameters.values()
+    )
+    required = len([p for p in positional if p.default is p.empty])
+    if has_varargs:
+        if required > expected:
+            raise errors.RoutineResolutionError(
+                f"routine {routine.name!r} supplies {expected} arguments "
+                f"but the callable requires at least {required}"
+            )
+        return
+    if not (required <= expected <= len(positional)):
+        raise errors.RoutineResolutionError(
+            f"routine {routine.name!r} supplies {expected} arguments but "
+            f"the callable accepts "
+            f"{required}..{len(positional)}"
+        )
+
+    # Annotation compatibility for IN parameters (best effort).
+    in_modes = [p for p in routine.params if p.mode in ("IN", "INOUT")]
+    for sql_param, py_param in zip(routine.params, positional):
+        if sql_param.mode != "IN":
+            continue
+        if py_param.annotation is inspect.Parameter.empty:
+            continue
+        descriptor = descriptor_for_annotation(py_param.annotation)
+        if descriptor is None:
+            continue
+        if not descriptor.comparable_with(sql_param.descriptor):
+            raise errors.RoutineResolutionError(
+                f"parameter {sql_param.name!r} of routine "
+                f"{routine.name!r}: SQL type "
+                f"{sql_param.descriptor.sql_spelling()} does not match "
+                f"annotation {py_param.annotation!r}"
+            )
+    del in_modes

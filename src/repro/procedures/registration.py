@@ -1,0 +1,110 @@
+"""CREATE PROCEDURE / CREATE FUNCTION execution (SQLJ Part 1).
+
+The paper: "The key role of create procedure is to define an SQL synonym
+for the Java method."  Registration resolves the EXTERNAL NAME against an
+installed archive (or, for convenience in tests and examples, a directly
+importable Python module), validates the callable's signature against the
+declared SQL signature, and records the routine in the catalog.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Any
+
+from repro import errors
+from repro.engine import ast
+from repro.engine.catalog import Routine, RoutineParam, parse_external_name
+from repro.procedures.reflection import validate_signature
+
+__all__ = ["execute_create_routine", "resolve_external"]
+
+
+def resolve_external(session: Any, external_name: str) -> Any:
+    """Resolve an EXTERNAL NAME string to a Python callable.
+
+    ``par:module.member`` resolves through the archive loader (checking
+    USAGE on the archive); ``module.member`` without an archive part is
+    resolved with the ordinary import machinery.
+    """
+    par_name, module_name, member = parse_external_name(external_name)
+    if par_name is not None:
+        par = session.catalog.get_par(par_name)
+        session.check_usage_privilege(par)
+        loader = session.database.par_loader
+        return loader.resolve_member(par, module_name, member)
+    if not module_name:
+        raise errors.RoutineResolutionError(
+            f"EXTERNAL NAME {external_name!r} has no module part"
+        )
+    try:
+        module = importlib.import_module(module_name)
+    except ImportError as exc:
+        raise errors.RoutineResolutionError(
+            f"cannot import module {module_name!r}: {exc}"
+        ) from exc
+    try:
+        return getattr(module, member)
+    except AttributeError:
+        raise errors.RoutineResolutionError(
+            f"module {module_name!r} has no attribute {member!r}"
+        ) from None
+
+
+def execute_create_routine(stmt: ast.CreateRoutine, session: Any) -> None:
+    catalog = session.catalog
+
+    if stmt.language not in ("PYTHON", "JAVA"):
+        raise errors.FeatureNotSupportedError(
+            f"LANGUAGE {stmt.language} routines are not supported"
+        )
+    if not stmt.external_name:
+        raise errors.SQLSyntaxError(
+            f"routine {stmt.name!r} requires an EXTERNAL NAME clause"
+        )
+
+    params = []
+    for param in stmt.params:
+        if stmt.kind == "FUNCTION" and param.mode != "IN":
+            raise errors.SQLSyntaxError(
+                f"function {stmt.name!r} may not declare "
+                f"{param.mode} parameter {param.name!r}"
+            )
+        params.append(
+            RoutineParam(
+                param.name,
+                catalog.resolve_type(param.type_spelling),
+                param.mode,
+            )
+        )
+
+    returns = (
+        catalog.resolve_type(stmt.returns) if stmt.returns is not None
+        else None
+    )
+    if stmt.kind == "PROCEDURE" and returns is not None:
+        raise errors.SQLSyntaxError("procedures cannot declare RETURNS")
+    if stmt.dynamic_result_sets and stmt.kind == "FUNCTION":
+        raise errors.SQLSyntaxError(
+            "functions cannot declare DYNAMIC RESULT SETS"
+        )
+
+    par_name, _module, _member = parse_external_name(stmt.external_name)
+    target = resolve_external(session, stmt.external_name)
+
+    routine = Routine(
+        name=stmt.name,
+        kind=stmt.kind,
+        params=params,
+        returns=returns,
+        data_access=stmt.data_access,
+        dynamic_result_sets=stmt.dynamic_result_sets,
+        external_name=stmt.external_name,
+        language=stmt.language,
+        parameter_style=stmt.parameter_style,
+        owner=session.user,
+        par_name=par_name,
+        callable=target,
+    )
+    validate_signature(routine, target)
+    catalog.create_routine(routine)

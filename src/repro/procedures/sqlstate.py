@@ -1,0 +1,48 @@
+"""Mapping host-language exceptions to SQLSTATEs.
+
+The paper's Part 1 error-handling rule: exceptions caught inside the
+routine are invisible to SQL; exceptions that escape "become SQLSTATE
+error codes", with the thrown message as the SQLSTATE's message text.
+This module centralises that mapping for every invocation path.
+"""
+
+from __future__ import annotations
+
+from repro import errors
+
+__all__ = ["to_sql_exception", "SQLSTATE_BY_EXCEPTION"]
+
+#: Python exception type -> SQLSTATE for common host-language failures.
+SQLSTATE_BY_EXCEPTION = {
+    ZeroDivisionError: "22012",
+    ValueError: "22023",
+    TypeError: "39004",
+    AttributeError: "39004",
+    KeyError: "22023",
+    IndexError: "22023",
+    OverflowError: "22003",
+    MemoryError: "53200",
+    RecursionError: "54001",
+}
+
+
+def to_sql_exception(exc: BaseException) -> errors.SQLException:
+    """Convert an exception escaping a routine body into SQLException.
+
+    SQLExceptions pass through untouched (they already carry a SQLSTATE —
+    e.g. an engine error raised by SQL the routine executed).  Everything
+    else becomes an :class:`repro.errors.ExternalRoutineError` whose
+    message is the raised exception's text, per the paper.
+    """
+    if isinstance(exc, errors.SQLException):
+        return exc
+    sqlstate = "38000"
+    for exc_type, state in SQLSTATE_BY_EXCEPTION.items():
+        if isinstance(exc, exc_type):
+            sqlstate = state
+            break
+    wrapped = errors.ExternalRoutineError(
+        str(exc) or type(exc).__name__, sqlstate=sqlstate
+    )
+    wrapped.__cause__ = exc
+    return wrapped

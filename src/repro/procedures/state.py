@@ -1,0 +1,58 @@
+"""Session-scoped state for external routines.
+
+The paper (Part 1 technical objectives): "Initially support persistence
+only for duration of a call.  Consider session and database persistence
+as follow-on."  This module implements the *session* follow-on: a routine
+body can obtain a dict that lives as long as the invoking session, so
+repeated calls within one connection can share state — without touching
+any global.
+
+Usage inside a routine body::
+
+    from repro.procedures.state import session_state
+
+    def counter():
+        state = session_state()
+        state["calls"] = state.get("calls", 0) + 1
+        return state["calls"]
+
+Call-duration persistence is the default (locals); database persistence
+is provided by :mod:`repro.engine.persistence`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.procedures.invocation import default_connection_session
+
+__all__ = ["session_state", "call_state"]
+
+
+def session_state() -> Dict[str, Any]:
+    """State dict scoped to the invoking session.
+
+    Only callable from inside an external routine invocation; the dict is
+    created on first use and lives until the session closes.
+    """
+    session = default_connection_session()
+    state = getattr(session, "_routine_session_state", None)
+    if state is None:
+        state = {}
+        session._routine_session_state = state
+    return state
+
+
+def call_state() -> Dict[str, Any]:
+    """State dict scoped to the *outermost* routine invocation.
+
+    Useful for helpers shared by a routine and the nested routines it
+    triggers; discarded when the outermost invocation returns (the
+    paper's initial "duration of a call" persistence, made explicit).
+    """
+    session = default_connection_session()
+    state = getattr(session, "_routine_call_state", None)
+    if state is None:  # pragma: no cover - guarded by invocation setup
+        state = {}
+        session._routine_call_state = state
+    return state

@@ -1,0 +1,192 @@
+"""The ``sqlj`` system procedures.
+
+Registered into every database at bootstrap:
+
+* ``sqlj.install_par(url, par_name)`` — read an archive, register all of
+  its modules (loading each to reflect its contents), and implicitly run
+  the deployment descriptor's INSTALL actions.
+* ``sqlj.remove_par(par_name)`` — run the descriptor's REMOVE actions and
+  uninstall the archive.
+* ``sqlj.replace_par(url, par_name)`` — swap an installed archive's
+  contents in place, re-resolving every routine bound to it (the paper
+  lists replace/refresh as follow-on facilities; it is implemented here).
+* ``sqlj.alter_module_path(par_name, path)`` — set the archive's SQL
+  path used for cross-archive name resolution.
+
+System procedures execute with the *caller's* rights (installation and
+descriptor actions are performed by, and owned by, the installing user).
+"""
+
+from __future__ import annotations
+
+from repro import errors
+from repro.engine.catalog import InstalledPar, Routine, RoutineParam
+from repro.engine.database import Database, Session
+from repro.procedures.archives import read_par
+from repro.procedures.descriptors import DeploymentDescriptor
+from repro.procedures.loader import ParModuleLoader
+from repro.procedures.paths import parse_path_spec
+from repro.procedures.registration import resolve_external
+from repro.sqltypes import VarCharType
+
+__all__ = ["register_system_routines", "install_par", "remove_par",
+           "replace_par", "alter_module_path"]
+
+
+def install_par(session: Session, url: str, par_name: str) -> None:
+    """Implementation of ``sqlj.install_par``."""
+    if not par_name:
+        raise errors.ParInstallationError("par name must not be empty")
+    modules, descriptor_text = read_par(url)
+    par = InstalledPar(
+        name=par_name.lower(),
+        url=str(url),
+        modules=modules,
+        deployment_descriptor=descriptor_text,
+        owner=session.user,
+    )
+    session.catalog.install_par(par)
+    loader = session.database.par_loader
+
+    try:
+        # Reflection pass: load every module now so that installation
+        # errors surface at install time, as the paper's install_jar does
+        # when it reflects over the archive.  Unresolved *imports* are
+        # tolerated — the paper's path mechanism (alter_module_path) is
+        # configured after installation, so cross-archive references must
+        # stay lazy, exactly like Java class loading.
+        for module_name in modules:
+            try:
+                loader.load_module(par, module_name)
+            except errors.SQLException as exc:
+                if isinstance(exc.__cause__, ImportError):
+                    continue  # resolved later through the SQL path
+                raise
+        if descriptor_text is not None:
+            descriptor = DeploymentDescriptor.parse(descriptor_text)
+            for statement in descriptor.install_actions:
+                session.execute(statement)
+    except Exception:
+        loader.invalidate_par(par.name)
+        session.catalog.pars.pop(par.name, None)
+        raise
+
+
+def remove_par(session: Session, par_name: str) -> None:
+    """Implementation of ``sqlj.remove_par``."""
+    par = session.catalog.get_par(par_name.lower())
+    _require_par_ownership(session, par)
+
+    if par.deployment_descriptor is not None:
+        descriptor = DeploymentDescriptor.parse(par.deployment_descriptor)
+        for statement in descriptor.remove_actions:
+            session.execute(statement)
+
+    dependents = [
+        routine.name
+        for routine in session.catalog.routines.values()
+        if routine.par_name == par.name
+    ]
+    if dependents:
+        raise errors.ParInstallationError(
+            f"archive {par.name!r} is still referenced by routines: "
+            f"{', '.join(sorted(dependents))}"
+        )
+
+    session.catalog.remove_par(par.name)
+    session.database.par_loader.invalidate_par(par.name)
+    session.database.privileges.drop_object("PAR", par.name)
+
+
+def replace_par(session: Session, url: str, par_name: str) -> None:
+    """Implementation of ``sqlj.replace_par``."""
+    par = session.catalog.get_par(par_name.lower())
+    _require_par_ownership(session, par)
+    modules, descriptor_text = read_par(url)
+
+    old_modules = par.modules
+    old_descriptor = par.deployment_descriptor
+    old_url = par.url
+    loader = session.database.par_loader
+
+    par.modules = modules
+    par.deployment_descriptor = descriptor_text
+    par.url = str(url)
+    loader.invalidate_par(par.name)
+
+    # Re-resolve every routine bound to this archive against the new
+    # contents; roll the whole replacement back if any resolution fails.
+    try:
+        for routine in session.catalog.routines.values():
+            if routine.par_name == par.name:
+                routine.callable = resolve_external(
+                    session, routine.external_name
+                )
+    except Exception:
+        par.modules = old_modules
+        par.deployment_descriptor = old_descriptor
+        par.url = old_url
+        loader.invalidate_par(par.name)
+        for routine in session.catalog.routines.values():
+            if routine.par_name == par.name:
+                routine.callable = resolve_external(
+                    session, routine.external_name
+                )
+        raise
+
+
+def alter_module_path(session: Session, par_name: str, path: str) -> None:
+    """Implementation of ``sqlj.alter_module_path``."""
+    par = session.catalog.get_par(par_name.lower())
+    _require_par_ownership(session, par)
+    par.path = parse_path_spec(path)
+    session.database.par_loader.invalidate_par(par.name)
+
+
+def _require_par_ownership(session: Session, par: InstalledPar) -> None:
+    if session.user not in (par.owner, session.database.admin_user):
+        raise errors.PrivilegeError(
+            f"user {session.user!r} may not administer archive "
+            f"{par.name!r}"
+        )
+
+
+def _system_routine(name: str, params, target, database: Database) -> None:
+    routine = Routine(
+        name=name,
+        kind="PROCEDURE",
+        params=[RoutineParam(p, VarCharType(None), "IN") for p in params],
+        returns=None,
+        data_access="MODIFIES SQL DATA",
+        dynamic_result_sets=0,
+        external_name=f"<system>.{name}",
+        language="SYSTEM",
+        parameter_style="PYTHON",
+        owner=database.admin_user,
+        callable=target,
+    )
+    database.catalog.create_routine(routine)
+    database.privileges.grant(
+        "EXECUTE",
+        "ROUTINE",
+        name,
+        ["public"],
+        grantor=database.admin_user,
+        owner=database.admin_user,
+    )
+
+
+def register_system_routines(database: Database) -> None:
+    """Install the ``sqlj.*`` procedures and the archive loader."""
+    database.par_loader = ParModuleLoader(database)
+    _system_routine(
+        "sqlj.install_par", ["url", "par"], install_par, database
+    )
+    _system_routine("sqlj.remove_par", ["par"], remove_par, database)
+    _system_routine(
+        "sqlj.replace_par", ["url", "par"], replace_par, database
+    )
+    _system_routine(
+        "sqlj.alter_module_path", ["par", "path"], alter_module_path,
+        database,
+    )

@@ -1,0 +1,47 @@
+"""SQLJ profiles (Part 0 binary portability layer).
+
+A *profile* is the serialized description of every SQL operation a
+translated program performs: one :class:`~repro.profiles.model.EntryInfo`
+per ``#sql`` clause, grouped per connection-context type, written next to
+the generated host code as ``<Program>_SJProfile<N>.ser``.
+
+At deployment time a vendor *customizer* installs
+:class:`~repro.profiles.customization.Customization` objects into the
+profile — rewriting SQL into the vendor dialect and optionally
+pre-compiling plans.  At run time a
+:class:`~repro.profiles.customization.ConnectedProfile` binds the profile
+to a connection and yields
+:class:`~repro.profiles.customization.RTStatement` objects that execute
+each entry, through the best customization that accepts the connection
+(falling back to the default JDBC-style dynamic path).
+"""
+
+from repro.profiles.customization import (
+    ConnectedProfile,
+    Customization,
+    DefaultCustomization,
+    DialectCustomization,
+    RTStatement,
+)
+from repro.profiles.customizer import customize_profile, customize_pjar
+from repro.profiles.model import EntryInfo, Profile, ProfileData, TypeInfo
+from repro.profiles.pjar import build_pjar, read_pjar
+from repro.profiles.serialization import load_profile, save_profile
+
+__all__ = [
+    "TypeInfo",
+    "EntryInfo",
+    "ProfileData",
+    "Profile",
+    "Customization",
+    "DefaultCustomization",
+    "DialectCustomization",
+    "ConnectedProfile",
+    "RTStatement",
+    "save_profile",
+    "load_profile",
+    "customize_profile",
+    "customize_pjar",
+    "build_pjar",
+    "read_pjar",
+]

@@ -1,0 +1,79 @@
+"""The profile customizer utility.
+
+Deployment-time tool from the paper's "SQLJ installation phase" slides:
+it takes translated binaries (a ``.ser`` profile file, or a packaged
+``.pjar``) and installs vendor customizations into each profile —
+repeatedly, so one binary can accumulate customizations for several
+target databases (Customizer1 then Customizer2 in the slides).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List
+
+from repro import errors
+from repro.profiles.customization import DialectCustomization
+from repro.profiles.model import Profile
+from repro.profiles.pjar import read_pjar, write_pjar_members
+from repro.profiles.serialization import (
+    SER_SUFFIX,
+    load_profile,
+    profile_from_bytes,
+    profile_to_bytes,
+    save_profile,
+)
+
+__all__ = ["customize_profile", "customize_profile_file", "customize_pjar"]
+
+
+def customize_profile(profile: Profile, dialect_name: str) -> Profile:
+    """Install a dialect customization into ``profile`` (in place)."""
+    customization = DialectCustomization(dialect_name, profile)
+    profile.add_customization(customization)
+    return profile
+
+
+def customize_profile_file(path: str, dialect_name: str) -> str:
+    """Customize a ``.ser`` profile file in place; returns the path."""
+    profile = load_profile(path)
+    customize_profile(profile, dialect_name)
+    directory = os.path.dirname(path) or "."
+    expected = os.path.join(directory, profile.name + SER_SUFFIX)
+    if os.path.abspath(expected) != os.path.abspath(path):
+        raise errors.CustomizationError(
+            f"profile file {path!r} does not match profile name "
+            f"{profile.name!r}"
+        )
+    save_profile(profile, directory)
+    return path
+
+
+def customize_pjar(
+    path: str, dialect_names: Iterable[str]
+) -> List[str]:
+    """Customize every profile inside a packaged ``.pjar``.
+
+    Returns the names of the customized profiles.  Mirrors the paper's
+    jar-level installation: ``Foo.jar`` goes in, the same jar with
+    customizations added to each ``ProfileN.ser`` member comes out.
+    """
+    members = read_pjar(path)
+    customized: List[str] = []
+    dialects = list(dialect_names)
+    if not dialects:
+        raise errors.CustomizationError("no dialects given to customize")
+    for member_name, payload in list(members.items()):
+        if not member_name.endswith(SER_SUFFIX):
+            continue
+        profile = profile_from_bytes(payload)
+        for dialect_name in dialects:
+            customize_profile(profile, dialect_name)
+        members[member_name] = profile_to_bytes(profile)
+        customized.append(profile.name)
+    if not customized:
+        raise errors.CustomizationError(
+            f"pjar {path!r} contains no profiles"
+        )
+    write_pjar_members(path, members)
+    return customized

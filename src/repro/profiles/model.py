@@ -1,0 +1,110 @@
+"""Profile object model.
+
+Mirrors the paper's "SQLJ profile objects" slide: ``Profile``,
+``ProfileData``, ``EntryInfo``, ``TypeInfo`` (the runtime-side
+``Customization``, ``ConnectedProfile`` and ``RTStatement`` live in
+:mod:`repro.profiles.customization`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+__all__ = ["TypeInfo", "EntryInfo", "ProfileData", "Profile", "ROLES"]
+
+#: Statement roles recorded in entries.
+ROLES = ("QUERY", "UPDATE", "CALL", "DDL", "TXN")
+
+
+@dataclass
+class TypeInfo:
+    """Type of one parameter or result column of a profile entry.
+
+    ``sql_type`` is the SQL spelling from describe-time analysis (may be
+    None when the translator checked offline only); ``python_type_name``
+    is the host-side type name the program declared or that describe
+    inferred; ``name`` is the column/parameter name when known.
+    """
+
+    name: Optional[str] = None
+    sql_type: Optional[str] = None
+    python_type_name: Optional[str] = None
+    mode: str = "IN"  # IN / OUT / INOUT for CALL entries
+
+
+@dataclass
+class EntryInfo:
+    """One ``#sql`` clause as recorded in a profile.
+
+    ``sql`` is the canonical SQL text with host variables replaced by
+    ``?`` markers, in host-variable order.  ``role`` classifies the
+    statement; ``result_types`` describe the rowset for QUERY entries;
+    ``iterator_class`` names the typed-iterator class a query entry binds
+    to (if any); ``source_line`` points back into the ``.psqlj`` source.
+    """
+
+    index: int
+    sql: str
+    role: str
+    param_types: List[TypeInfo] = field(default_factory=list)
+    result_types: List[TypeInfo] = field(default_factory=list)
+    iterator_class: Optional[str] = None
+    source_line: int = 0
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return f"#{self.index} [{self.role}] {self.sql}"
+
+
+@dataclass
+class ProfileData:
+    """The ordered entries of one profile."""
+
+    entries: List[EntryInfo] = field(default_factory=list)
+
+    def add(self, entry: EntryInfo) -> None:
+        self.entries.append(entry)
+
+    def get_entry(self, index: int) -> EntryInfo:
+        return self.entries[index]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+
+@dataclass
+class Profile:
+    """A translated program's SQL operations for one connection context.
+
+    ``customizations`` is the ordered list a customizer utility has
+    installed; at run time the first customization accepting the target
+    connection wins (see
+    :class:`repro.profiles.customization.ConnectedProfile`).
+    """
+
+    name: str
+    context_type: str
+    data: ProfileData = field(default_factory=ProfileData)
+    customizations: List[Any] = field(default_factory=list)
+    #: translator version stamp, for forward-compat checks on load
+    version: str = "1.0"
+
+    def add_customization(self, customization: Any) -> None:
+        """Install (or replace same-keyed) customization."""
+        key = getattr(customization, "key", None)
+        if key is not None:
+            self.customizations = [
+                c for c in self.customizations
+                if getattr(c, "key", None) != key
+            ]
+        self.customizations.append(customization)
+
+    def entry_count(self) -> int:
+        return len(self.data)
+
+    def get_entry(self, index: int) -> EntryInfo:
+        return self.data.get_entry(index)

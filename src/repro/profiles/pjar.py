@@ -1,0 +1,84 @@
+"""Packaging translated programs (the paper's ``Foo.jar``).
+
+A ``.pjar`` is a zip holding the generated host module(s) (``Foo.py`` —
+standing in for ``Foo.class``) and the serialized profiles
+(``Foo_SJProfile0.ser``, ...).  The customizer utility
+(:mod:`repro.profiles.customizer`) rewrites profiles inside the archive,
+and :func:`unpack_pjar` deploys the members next to each other so the
+generated module can be imported and finds its profiles.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import zipfile
+from typing import Dict, Iterable
+
+from repro import errors
+
+__all__ = [
+    "build_pjar",
+    "read_pjar",
+    "write_pjar_members",
+    "unpack_pjar",
+]
+
+
+def build_pjar(path: str, member_paths: Iterable[str]) -> str:
+    """Create a pjar at ``path`` from existing files.
+
+    Each member is stored under its base name (generated modules and
+    their profiles live side by side, as the paper's jar layout shows).
+    """
+    member_paths = list(member_paths)
+    if not member_paths:
+        raise errors.ProfileError("cannot build an empty pjar")
+    with zipfile.ZipFile(path, "w", zipfile.ZIP_DEFLATED) as archive:
+        for member_path in member_paths:
+            if not os.path.exists(member_path):
+                raise errors.ProfileError(
+                    f"pjar member {member_path!r} does not exist"
+                )
+            archive.write(member_path, os.path.basename(member_path))
+    return path
+
+
+def read_pjar(path: str) -> Dict[str, bytes]:
+    """Read all members of a pjar into memory."""
+    if not os.path.exists(path):
+        raise errors.ProfileError(f"pjar {path!r} does not exist")
+    try:
+        with zipfile.ZipFile(path) as archive:
+            return {
+                name: archive.read(name)
+                for name in archive.namelist()
+                if not name.endswith("/")
+            }
+    except zipfile.BadZipFile:
+        raise errors.ProfileError(
+            f"{path!r} is not a valid pjar archive"
+        ) from None
+
+
+def write_pjar_members(path: str, members: Dict[str, bytes]) -> str:
+    """Rewrite a pjar with the given members (used by the customizer)."""
+    buffer = io.BytesIO()
+    with zipfile.ZipFile(buffer, "w", zipfile.ZIP_DEFLATED) as archive:
+        for name in sorted(members):
+            archive.writestr(name, members[name])
+    with open(path, "wb") as handle:
+        handle.write(buffer.getvalue())
+    return path
+
+
+def unpack_pjar(path: str, directory: str) -> Dict[str, str]:
+    """Extract a pjar into ``directory``; returns member name -> path."""
+    os.makedirs(directory, exist_ok=True)
+    extracted: Dict[str, str] = {}
+    for name, payload in read_pjar(path).items():
+        target = os.path.join(directory, name)
+        with open(target, "wb") as handle:
+            handle.write(payload)
+        extracted[name] = target
+    return extracted

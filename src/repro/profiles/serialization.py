@@ -1,0 +1,70 @@
+"""Profile serialization (`*.ser` files).
+
+The paper serializes profiles with Java object serialization; the Python
+analogue is pickle.  AST nodes, TypeInfos and customizations are all
+plain dataclasses, so profiles round-trip losslessly — including the
+pre-parsed statements a dialect customization carries.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import pickle
+from typing import Union
+
+from repro import errors
+from repro.profiles.model import Profile
+
+__all__ = ["save_profile", "load_profile", "profile_to_bytes",
+           "profile_from_bytes", "SER_SUFFIX"]
+
+#: File suffix for serialized profiles, matching the paper's ``.ser``.
+SER_SUFFIX = ".ser"
+
+
+def profile_to_bytes(profile: Profile) -> bytes:
+    """Serialise a profile to bytes."""
+    try:
+        return pickle.dumps(profile, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:
+        raise errors.ProfileError(
+            f"profile {profile.name!r} is not serialisable: {exc}"
+        ) from exc
+
+
+def profile_from_bytes(payload: bytes) -> Profile:
+    """Deserialise a profile from bytes."""
+    try:
+        profile = pickle.loads(payload)
+    except Exception as exc:
+        raise errors.ProfileError(
+            f"cannot deserialise profile: {exc}"
+        ) from exc
+    if not isinstance(profile, Profile):
+        raise errors.ProfileError(
+            f"payload is a {type(profile).__name__}, not a Profile"
+        )
+    return profile
+
+
+def save_profile(profile: Profile, directory: str) -> str:
+    """Write ``<directory>/<name>.ser``; returns the path."""
+    path = os.path.join(directory, profile.name + SER_SUFFIX)
+    with open(path, "wb") as handle:
+        handle.write(profile_to_bytes(profile))
+    return path
+
+
+def load_profile(source: Union[str, bytes, io.IOBase]) -> Profile:
+    """Load a profile from a path, bytes, or binary stream."""
+    if isinstance(source, (bytes, bytearray)):
+        return profile_from_bytes(bytes(source))
+    if isinstance(source, str):
+        if not os.path.exists(source):
+            raise errors.ProfileError(
+                f"profile file {source!r} does not exist"
+            )
+        with open(source, "rb") as handle:
+            return profile_from_bytes(handle.read())
+    return profile_from_bytes(source.read())

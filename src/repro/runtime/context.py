@@ -1,0 +1,157 @@
+"""Connection contexts (SQLJ Part 0).
+
+A connection-context *type* identifies an exemplar schema ("views,
+tables, privileges" — the paper); translated programs declare them with
+``#sql context Department;`` and the translator generates a subclass of
+:class:`ConnectionContext`.  A context *instance* wraps one connection
+and caches one :class:`ConnectedProfile` per profile, so each clause's
+RTStatement is built once per connection.
+
+The default context (used by clauses without ``[ctx]``) is process-wide
+state managed with :meth:`ConnectionContext.set_default_context`,
+mirroring ``sqlj.runtime.ref.DefaultContext``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Sequence
+
+from repro import errors
+from repro.engine.database import Database, Session, StatementResult
+from repro.profiles.customization import ConnectedProfile
+from repro.profiles.model import Profile
+
+__all__ = ["ConnectionContext", "ExecutionContext"]
+
+
+class ExecutionContext:
+    """Per-context execution bookkeeping (update counts, warnings)."""
+
+    def __init__(self) -> None:
+        self.update_count: int = -1
+        self.warnings: list = []
+
+    def record(self, result: StatementResult) -> None:
+        if result.kind == "update":
+            self.update_count = result.update_count
+        else:
+            self.update_count = -1
+
+
+class ConnectionContext:
+    """Wraps one database connection for SQLJ execution.
+
+    Accepts a PyDBC URL, a :class:`repro.dbapi.Connection`, an engine
+    :class:`Session`, or a :class:`Database` (a session is opened on it).
+    """
+
+    _default_context: Optional["ConnectionContext"] = None
+
+    def __init__(
+        self, target: Any = None, user: Optional[str] = None
+    ) -> None:
+        self._owns_session = False
+        self.session = self._resolve(target, user)
+        self.execution_context = ExecutionContext()
+        self._connected_profiles: Dict[int, ConnectedProfile] = {}
+        self._closed = False
+
+    def _resolve(self, target: Any, user: Optional[str]) -> Session:
+        from repro.dbapi.connection import Connection
+        from repro.dbapi.driver import DriverManager
+
+        if isinstance(target, Session):
+            return target
+        if isinstance(target, Connection):
+            return target.session
+        if isinstance(target, Database):
+            self._owns_session = True
+            return target.create_session(user=user, autocommit=True)
+        if isinstance(target, str):
+            self._owns_session = True
+            return DriverManager.get_connection(target, user=user).session
+        if target is None:
+            default = ConnectionContext._default_context
+            if default is None:
+                raise errors.ConnectionError_(
+                    "no default connection context has been installed"
+                )
+            return default.session
+        raise errors.ConnectionError_(
+            f"cannot build a connection context from "
+            f"{type(target).__name__}"
+        )
+
+    # ------------------------------------------------------------------
+    # default-context management
+    # ------------------------------------------------------------------
+    @classmethod
+    def set_default_context(
+        cls, context: Optional["ConnectionContext"]
+    ) -> None:
+        ConnectionContext._default_context = context
+
+    @classmethod
+    def get_default_context(cls) -> "ConnectionContext":
+        context = ConnectionContext._default_context
+        if context is None:
+            raise errors.ConnectionError_(
+                "no default connection context has been installed; "
+                "call ConnectionContext.set_default_context(...) first"
+            )
+        return context
+
+    # ------------------------------------------------------------------
+    # profile execution
+    # ------------------------------------------------------------------
+    def connected_profile(self, profile: Profile) -> ConnectedProfile:
+        connected = self._connected_profiles.get(id(profile))
+        if connected is None:
+            connected = ConnectedProfile(profile, self.session)
+            self._connected_profiles[id(profile)] = connected
+        return connected
+
+    def execute_entry(
+        self, profile: Profile, index: int, params: Sequence[Any]
+    ) -> StatementResult:
+        self._check_open()
+        result = self.connected_profile(profile).execute(index, params)
+        self.execution_context.record(result)
+        return result
+
+    # ------------------------------------------------------------------
+    # transactions / lifecycle
+    # ------------------------------------------------------------------
+    def commit(self) -> None:
+        self._check_open()
+        self.session.commit()
+
+    def rollback(self) -> None:
+        self._check_open()
+        self.session.rollback()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._connected_profiles.clear()
+        if self._owns_session:
+            self.session.close()
+        if ConnectionContext._default_context is self:
+            ConnectionContext._default_context = None
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise errors.ConnectionClosedError(
+                "connection context is closed"
+            )
+
+    def __enter__(self) -> "ConnectionContext":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

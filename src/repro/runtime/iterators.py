@@ -1,0 +1,228 @@
+"""Strongly typed iterators (SQLJ Part 0 cursors).
+
+Two flavours, exactly as the paper presents them:
+
+* **Positional** — ``#sql public iterator ByPos (str, int);`` — columns
+  are bound by position via ``FETCH :iter INTO :a, :b``; the declared
+  arity must match the query, and each fetched value must be of the
+  declared host type.
+* **Named** — ``#sql public iterator ByName (int year, str name);`` —
+  columns are bound by *result-column name*; the query's column names
+  must cover the declared names, in any order, and values are read
+  through generated accessor methods (``iter.year()``).
+
+Type safety: at bind time the iterator validates the result's column
+count/names and, where the result shape carries SQL type descriptors,
+their compatibility with the declared host types; at read time each value
+is checked against the declared host type, so an ill-typed column fails
+deterministically rather than corrupting downstream code.
+"""
+
+from __future__ import annotations
+
+import datetime
+import decimal
+from typing import Any, List, Optional, Tuple
+
+from repro import errors
+from repro.engine.database import StatementResult
+from repro.sqltypes import TypeDescriptor
+
+__all__ = ["SQLJIterator", "PositionalIterator", "NamedIterator"]
+
+#: Host types considered compatible with each value class.
+_COMPATIBLE = {
+    int: (int,),
+    float: (float, int, decimal.Decimal),
+    str: (str,),
+    bool: (bool,),
+    bytes: (bytes,),
+    decimal.Decimal: (decimal.Decimal, int),
+    datetime.date: (datetime.date,),
+    datetime.time: (datetime.time,),
+    datetime.datetime: (datetime.datetime,),
+}
+
+
+def _descriptor_python_type(descriptor: Optional[TypeDescriptor]):
+    if descriptor is None:
+        return None
+    python_types = descriptor.python_types
+    return python_types[0] if python_types else None
+
+
+def check_host_type(value: Any, host_type: Optional[type]) -> Any:
+    """Validate a fetched value against a declared host type."""
+    if value is None or host_type is None or host_type is object:
+        return value
+    allowed = _COMPATIBLE.get(host_type)
+    if allowed is None:
+        # UDT / arbitrary class declared in the iterator.
+        if isinstance(value, host_type):
+            return value
+        raise errors.InvalidCastError(
+            f"column value of class {type(value).__name__} does not "
+            f"match declared iterator type {host_type.__name__}"
+        )
+    if isinstance(value, bool) and host_type is not bool:
+        raise errors.InvalidCastError(
+            "BOOLEAN column bound to non-bool iterator type"
+        )
+    if isinstance(value, allowed):
+        return float(value) if host_type is float else value
+    raise errors.InvalidCastError(
+        f"column value of class {type(value).__name__} does not match "
+        f"declared iterator type {host_type.__name__}"
+    )
+
+
+def _static_type_compatible(
+    declared: Optional[type], descriptor: Optional[TypeDescriptor]
+) -> bool:
+    if declared is None or descriptor is None or declared is object:
+        return True
+    value_type = _descriptor_python_type(descriptor)
+    if value_type is None:
+        return True
+    allowed = _COMPATIBLE.get(declared)
+    if allowed is None:  # declared UDT class
+        return issubclass(value_type, declared) or value_type is object
+    return value_type in allowed
+
+
+class SQLJIterator:
+    """Common cursor behaviour over a materialised rowset."""
+
+    def __init__(self, result: StatementResult) -> None:
+        if not result.is_rowset:
+            raise errors.DataError(
+                "iterator bound to a statement that returns no rows"
+            )
+        self._result = result
+        self._position = -1
+        self._closed = False
+        self._end = False
+
+    # -- paper API --------------------------------------------------------
+    def next(self) -> bool:
+        """Advance; False at end (named-iterator loop protocol)."""
+        self._check_open()
+        if self._position + 1 >= len(self._result.rows):
+            self._end = True
+            return False
+        self._position += 1
+        return True
+
+    def endfetch(self) -> bool:
+        """True once a FETCH has moved past the last row."""
+        return self._end
+
+    def close(self) -> None:
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def row_count(self) -> int:
+        return len(self._result.rows)
+
+    # -- internals ----------------------------------------------------------
+    def _check_open(self) -> None:
+        if self._closed:
+            raise errors.InvalidCursorStateError("iterator is closed")
+
+    def _current_row(self) -> List[Any]:
+        self._check_open()
+        if self._end or not 0 <= self._position < len(self._result.rows):
+            raise errors.InvalidCursorStateError(
+                "iterator is not positioned on a row"
+            )
+        return self._result.rows[self._position]
+
+
+class PositionalIterator(SQLJIterator):
+    """Cursor with positionally-bound, type-checked columns.
+
+    Subclasses (generated by the translator) set ``_column_types`` to a
+    tuple of host types.
+    """
+
+    _column_types: Tuple[Optional[type], ...] = ()
+
+    def __init__(self, result: StatementResult) -> None:
+        super().__init__(result)
+        declared = type(self)._column_types
+        width = len(result.shape) if result.shape else 0
+        if len(declared) != width:
+            raise errors.InvalidCastError(
+                f"iterator {type(self).__name__} declares {len(declared)} "
+                f"columns but the query produces {width}"
+            )
+        if result.shape is not None:
+            for index, (host_type, column) in enumerate(
+                zip(declared, result.shape.columns)
+            ):
+                if not _static_type_compatible(
+                    host_type, column.descriptor
+                ):
+                    raise errors.InvalidCastError(
+                        f"iterator {type(self).__name__} column "
+                        f"{index + 1} declares "
+                        f"{getattr(host_type, '__name__', host_type)} but "
+                        f"the query returns "
+                        f"{column.descriptor.sql_spelling()}"
+                    )
+
+    def fetch_row(self) -> Optional[Tuple[Any, ...]]:
+        """FETCH: advance and return the typed row, or None at end."""
+        if not self.next():
+            return None
+        row = self._current_row()
+        return tuple(
+            check_host_type(value, host_type)
+            for value, host_type in zip(row, type(self)._column_types)
+        )
+
+
+class NamedIterator(SQLJIterator):
+    """Cursor with name-bound, type-checked columns.
+
+    Subclasses set ``_columns`` to ``((name, host_type), ...)``; the
+    translator also generates one accessor method per column.
+    """
+
+    _columns: Tuple[Tuple[str, Optional[type]], ...] = ()
+
+    def __init__(self, result: StatementResult) -> None:
+        super().__init__(result)
+        shape = result.shape
+        available = {}
+        if shape is not None:
+            for index, column in enumerate(shape.columns):
+                available.setdefault(column.name, index)
+        self._bindings = {}
+        for name, host_type in type(self)._columns:
+            key = name.lower()
+            if key not in available:
+                raise errors.UndefinedColumnError(
+                    f"iterator {type(self).__name__} requires column "
+                    f"{name!r}, absent from the query result"
+                )
+            index = available[key]
+            if shape is not None and not _static_type_compatible(
+                host_type, shape.columns[index].descriptor
+            ):
+                raise errors.InvalidCastError(
+                    f"iterator {type(self).__name__} column {name!r} "
+                    f"declares "
+                    f"{getattr(host_type, '__name__', host_type)} but the "
+                    f"query returns "
+                    f"{shape.columns[index].descriptor.sql_spelling()}"
+                )
+            self._bindings[key] = (index, host_type)
+
+    def _get(self, name: str) -> Any:
+        row = self._current_row()
+        index, host_type = self._bindings[name.lower()]
+        return check_host_type(row[index], host_type)

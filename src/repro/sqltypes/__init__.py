@@ -1,0 +1,63 @@
+"""SQL type system for PySQLJ.
+
+Provides the descriptor objects used by the engine catalog, the dbapi
+metadata layer, and the SQLJ translator's type checker, plus the
+JDBC-2.0-style type codes the paper highlights (``JAVA_OBJECT`` — here
+``PY_OBJECT`` — ``STRUCT``, ``BLOB``, ...).
+"""
+
+from repro.sqltypes import typecodes
+from repro.sqltypes.core import (
+    BigIntType,
+    BlobType,
+    BooleanType,
+    CharType,
+    ClobType,
+    DateType,
+    DecimalType,
+    DoubleType,
+    IntegerType,
+    ObjectType,
+    RealType,
+    SmallIntType,
+    TimestampType,
+    TimeType,
+    TypeDescriptor,
+    VarCharType,
+    parse_type,
+    type_from_python_value,
+)
+from repro.sqltypes.values import (
+    NULL,
+    coerce,
+    common_supertype,
+    compare_values,
+    is_null,
+)
+
+__all__ = [
+    "typecodes",
+    "TypeDescriptor",
+    "CharType",
+    "VarCharType",
+    "ClobType",
+    "BlobType",
+    "SmallIntType",
+    "IntegerType",
+    "BigIntType",
+    "DecimalType",
+    "RealType",
+    "DoubleType",
+    "BooleanType",
+    "DateType",
+    "TimeType",
+    "TimestampType",
+    "ObjectType",
+    "parse_type",
+    "type_from_python_value",
+    "NULL",
+    "is_null",
+    "coerce",
+    "common_supertype",
+    "compare_values",
+]

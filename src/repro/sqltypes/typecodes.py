@@ -1,0 +1,104 @@
+"""Generic SQL type codes, mirroring ``java.sql.Types``.
+
+The paper's JDBC 2.0 section introduces new codes for the SQLJ features:
+``JAVA_OBJECT`` (a class stored by value — here :data:`PY_OBJECT`),
+``STRUCT``, ``BLOB``, ``CLOB``, ``ARRAY``, ``REF`` and ``DISTINCT``.  The
+numeric values follow the JDBC constants so that readers of the paper can
+map them one-to-one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+BIT = -7
+TINYINT = -6
+SMALLINT = 5
+INTEGER = 4
+BIGINT = -5
+FLOAT = 6
+REAL = 7
+DOUBLE = 8
+NUMERIC = 2
+DECIMAL = 3
+CHAR = 1
+VARCHAR = 12
+LONGVARCHAR = -1
+DATE = 91
+TIME = 92
+TIMESTAMP = 93
+BINARY = -2
+VARBINARY = -3
+LONGVARBINARY = -4
+NULL = 0
+OTHER = 1111
+BOOLEAN = 16
+
+# JDBC 2.0 additions highlighted by the paper
+BLOB = 2004
+CLOB = 2005
+ARRAY = 2003
+REF = 2006
+STRUCT = 2002
+DISTINCT = 2001
+#: The paper's ``JAVA_OBJECT``: a host-language class stored by value.
+PY_OBJECT = 2000
+#: Alias preserving the paper's name.
+JAVA_OBJECT = PY_OBJECT
+
+_NAMES: Dict[int, str] = {
+    BIT: "BIT",
+    TINYINT: "TINYINT",
+    SMALLINT: "SMALLINT",
+    INTEGER: "INTEGER",
+    BIGINT: "BIGINT",
+    FLOAT: "FLOAT",
+    REAL: "REAL",
+    DOUBLE: "DOUBLE",
+    NUMERIC: "NUMERIC",
+    DECIMAL: "DECIMAL",
+    CHAR: "CHAR",
+    VARCHAR: "VARCHAR",
+    LONGVARCHAR: "LONGVARCHAR",
+    DATE: "DATE",
+    TIME: "TIME",
+    TIMESTAMP: "TIMESTAMP",
+    BINARY: "BINARY",
+    VARBINARY: "VARBINARY",
+    LONGVARBINARY: "LONGVARBINARY",
+    NULL: "NULL",
+    OTHER: "OTHER",
+    BOOLEAN: "BOOLEAN",
+    BLOB: "BLOB",
+    CLOB: "CLOB",
+    ARRAY: "ARRAY",
+    REF: "REF",
+    STRUCT: "STRUCT",
+    DISTINCT: "DISTINCT",
+    PY_OBJECT: "PY_OBJECT",
+}
+
+
+def type_code_name(code: int) -> str:
+    """Return the symbolic name of a type code (``"INTEGER"`` for 4)."""
+    return _NAMES.get(code, f"UNKNOWN({code})")
+
+
+def is_numeric(code: int) -> bool:
+    """True for codes whose values participate in SQL arithmetic."""
+    return code in (
+        TINYINT,
+        SMALLINT,
+        INTEGER,
+        BIGINT,
+        FLOAT,
+        REAL,
+        DOUBLE,
+        NUMERIC,
+        DECIMAL,
+    )
+
+
+def is_character(code: int) -> bool:
+    """True for character-string type codes."""
+    return code in (CHAR, VARCHAR, LONGVARCHAR, CLOB)

@@ -1,0 +1,41 @@
+"""SQLJ Part 0 translator.
+
+Translates ``.psqlj`` sources — Python programs with embedded ``#sql``
+clauses — into importable Python modules plus serialized profiles,
+running ahead-of-time syntax and semantic checks on every clause (the
+:class:`~repro.translator.checker.SQLChecker` framework) before any code
+is generated.  Pipeline (paper slides "SQLJ compilation phases")::
+
+    Foo.psqlj --[Translator]--> Foo.py + Foo_SJProfile0.ser ...
+              --[packaging]--> Foo.pjar
+              --[customizer]--> Foo.pjar with vendor customizations
+
+Python has no compile step, so the generated module is immediately
+importable; profile loading happens at import time.
+"""
+
+from repro.translator.checker import (
+    CheckMessage,
+    OfflineChecker,
+    OnlineChecker,
+    SQLChecker,
+)
+from repro.translator.translator import (
+    TranslationOptions,
+    TranslationResult,
+    Translator,
+    translate_file,
+    translate_source,
+)
+
+__all__ = [
+    "Translator",
+    "TranslationOptions",
+    "TranslationResult",
+    "translate_file",
+    "translate_source",
+    "SQLChecker",
+    "OfflineChecker",
+    "OnlineChecker",
+    "CheckMessage",
+]

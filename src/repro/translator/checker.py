@@ -1,0 +1,305 @@
+"""The SQLChecker framework (translate-time analysis).
+
+The paper: "Database vendors plug-in SQL syntax checkers and semantic
+analyzers using SQLChecker framework."  A checker receives each profile
+entry during translation and returns messages; any error message fails
+the translation — this is the paper's headline "ahead-of-time syntax and
+type checking".
+
+Two checkers ship with the translator:
+
+* :class:`OfflineChecker` — parses every entry's SQL against the
+  standard grammar.  No connection needed; catches syntax errors.
+* :class:`OnlineChecker` — connects to an *exemplar schema* (any engine
+  :class:`~repro.engine.database.Database` or session whose catalog
+  matches the deployment target) and performs full semantic analysis:
+  unknown tables/columns/routines/types, type mismatches in predicates
+  and assignments, arity errors — and *describes* query entries, feeding
+  result-shape information back for typed-iterator checking.
+
+Vendors (tests, applications) can subclass :class:`SQLChecker` and
+register additional analyzers per connection-context type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional
+
+from repro import errors
+from repro.engine import ast
+from repro.engine.database import Database, Session
+from repro.engine.expressions import ExpressionCompiler, RowShape
+from repro.engine.parser import Parser
+from repro.engine.planner import plan_query, table_shape
+from repro.profiles.model import EntryInfo, TypeInfo
+from repro.sqltypes import ObjectType, TypeDescriptor
+
+__all__ = ["CheckMessage", "SQLChecker", "OfflineChecker", "OnlineChecker"]
+
+
+@dataclass
+class CheckMessage:
+    """One diagnostic produced by a checker."""
+
+    severity: str  # "error" or "warning"
+    message: str
+    line: int = 0
+    checker: str = ""
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity == "error"
+
+    def format(self) -> str:
+        location = f"line {self.line}: " if self.line else ""
+        source = f" [{self.checker}]" if self.checker else ""
+        return f"{location}{self.severity}: {self.message}{source}"
+
+
+class SQLChecker:
+    """Base class for pluggable translate-time checkers."""
+
+    name = "checker"
+
+    def check(self, entry: EntryInfo) -> List[CheckMessage]:
+        """Analyse one entry; return diagnostics (empty when clean)."""
+        raise NotImplementedError
+
+    def describe(self, entry: EntryInfo) -> Optional[List[TypeInfo]]:
+        """Result-column description for QUERY entries, when derivable."""
+        return None
+
+    def _error(self, message: str, entry: EntryInfo) -> CheckMessage:
+        return CheckMessage("error", message, entry.source_line, self.name)
+
+    def _warning(self, message: str, entry: EntryInfo) -> CheckMessage:
+        return CheckMessage(
+            "warning", message, entry.source_line, self.name
+        )
+
+
+class OfflineChecker(SQLChecker):
+    """Syntax-only checking against the standard grammar."""
+
+    name = "offline-syntax"
+
+    def check(self, entry: EntryInfo) -> List[CheckMessage]:
+        try:
+            Parser(entry.sql).parse_statement()
+        except errors.SQLException as exc:
+            return [self._error(f"syntax error: {exc.message}", entry)]
+        return []
+
+
+def _python_type_name(descriptor: Optional[TypeDescriptor]) -> Optional[str]:
+    if descriptor is None:
+        return None
+    if isinstance(descriptor, ObjectType):
+        cls = descriptor.python_class
+        if cls is None:
+            return None
+        return f"{cls.__module__}.{cls.__name__}"
+    python_types = descriptor.python_types
+    return python_types[0].__name__ if python_types else None
+
+
+class OnlineChecker(SQLChecker):
+    """Semantic analysis against an exemplar schema.
+
+    The exemplar plays the paper's role of the "exemplar schema, e.g.
+    views, tables, privileges" identified by a connection-context type.
+    """
+
+    name = "online-semantic"
+
+    def __init__(self, exemplar: Any) -> None:
+        if isinstance(exemplar, Database):
+            self.session: Session = exemplar.create_session()
+        elif isinstance(exemplar, Session):
+            self.session = exemplar
+        else:
+            raise errors.CheckerError(
+                "OnlineChecker requires a Database or Session exemplar"
+            )
+
+    # ------------------------------------------------------------------
+    def check(self, entry: EntryInfo) -> List[CheckMessage]:
+        try:
+            statement = Parser(entry.sql).parse_statement()
+        except errors.SQLException as exc:
+            return [self._error(f"syntax error: {exc.message}", entry)]
+        try:
+            self._analyse(statement, entry)
+        except errors.SQLException as exc:
+            return [self._error(exc.message, entry)]
+        return []
+
+    def describe(self, entry: EntryInfo) -> Optional[List[TypeInfo]]:
+        try:
+            statement = Parser(entry.sql).parse_statement()
+        except errors.SQLException:
+            return None
+        if not isinstance(statement, (ast.Select, ast.SetOperation)):
+            return None
+        try:
+            _plan, shape = plan_query(statement, self.session)
+        except errors.SQLException:
+            return None
+        return [
+            TypeInfo(
+                name=column.name,
+                sql_type=(
+                    column.descriptor.sql_spelling()
+                    if column.descriptor is not None
+                    else None
+                ),
+                python_type_name=_python_type_name(column.descriptor),
+            )
+            for column in shape.columns
+        ]
+
+    # ------------------------------------------------------------------
+    def _analyse(
+        self, statement: ast.Statement, entry: Optional[EntryInfo] = None
+    ) -> None:
+        if isinstance(statement, (ast.Select, ast.SetOperation)):
+            plan_query(statement, self.session)
+        elif isinstance(statement, ast.Insert):
+            self._analyse_insert(statement)
+        elif isinstance(statement, ast.Update):
+            self._analyse_update(statement)
+        elif isinstance(statement, ast.Delete):
+            self._analyse_delete(statement)
+        elif isinstance(statement, ast.Call):
+            self._analyse_call(statement, entry)
+        # DDL / GRANT / transaction statements: parse-checked only.
+
+    def _analyse_insert(self, statement: ast.Insert) -> None:
+        table = self.session.catalog.get_table(statement.table)
+        if statement.columns is None:
+            positions = list(range(len(table.columns)))
+        else:
+            positions = [
+                table.column_position(name) for name in statement.columns
+            ]
+        compiler = ExpressionCompiler(RowShape([]), self.session)
+        if isinstance(statement.source, ast.ValuesSource):
+            for row in statement.source.rows:
+                if len(row) != len(positions):
+                    raise errors.SQLSyntaxError(
+                        f"INSERT expects {len(positions)} values, got "
+                        f"{len(row)}"
+                    )
+                for position, expr in zip(positions, row):
+                    column = table.columns[position]
+                    compiled = compiler.compile(expr)
+                    if isinstance(expr, ast.Literal):
+                        column.descriptor.coerce(expr.value)
+                    elif compiled.descriptor is not None and not \
+                            column.descriptor.assignable_from(
+                                compiled.descriptor
+                            ):
+                        raise errors.InvalidCastError(
+                            f"cannot store "
+                            f"{compiled.descriptor.sql_spelling()} into "
+                            f"column {column.name!r} "
+                            f"({column.descriptor.sql_spelling()})"
+                        )
+        else:
+            _plan, shape = plan_query(statement.source, self.session)
+            if len(shape) != len(positions):
+                raise errors.SQLSyntaxError(
+                    f"INSERT expects {len(positions)} columns, the query "
+                    f"supplies {len(shape)}"
+                )
+
+    def _analyse_update(self, statement: ast.Update) -> None:
+        table = self.session.catalog.get_table(statement.table)
+        shape = table_shape(table)
+        compiler = ExpressionCompiler(shape, self.session)
+        for assignment in statement.assignments:
+            compiled = compiler.compile(assignment.value)
+            if isinstance(assignment.target, str):
+                position = table.column_position(assignment.target)
+                column = table.columns[position]
+                if isinstance(assignment.value, ast.Literal):
+                    column.descriptor.coerce(assignment.value.value)
+                elif compiled.descriptor is not None and not \
+                        column.descriptor.assignable_from(
+                            compiled.descriptor
+                        ):
+                    raise errors.InvalidCastError(
+                        f"cannot store "
+                        f"{compiled.descriptor.sql_spelling()} into column "
+                        f"{column.name!r} "
+                        f"({column.descriptor.sql_spelling()})"
+                    )
+            else:
+                self._analyse_attribute_path(table, assignment.target)
+        if statement.where is not None:
+            compiler.compile(statement.where)
+
+    def _analyse_attribute_path(
+        self, table: Any, target: ast.AttributePath
+    ) -> None:
+        position = table.column_position(target.column)
+        descriptor = table.columns[position].descriptor
+        if not isinstance(descriptor, ObjectType):
+            raise errors.SQLSyntaxError(
+                f"column {target.column!r} is not of an object type"
+            )
+        udt = self.session.catalog.get_type(descriptor.udt_name)
+        for attribute in target.attributes:
+            binding = udt.find_attribute(attribute)
+            if binding is None:
+                raise errors.UndefinedColumnError(
+                    f"type {udt.name!r} has no attribute {attribute!r}"
+                )
+            if isinstance(binding.descriptor, ObjectType):
+                udt = self.session.catalog.get_type(
+                    binding.descriptor.udt_name
+                )
+
+    def _analyse_delete(self, statement: ast.Delete) -> None:
+        table = self.session.catalog.get_table(statement.table)
+        if statement.where is not None:
+            compiler = ExpressionCompiler(table_shape(table), self.session)
+            compiler.compile(statement.where)
+
+    def _analyse_call(
+        self, statement: ast.Call, entry: Optional[EntryInfo] = None
+    ) -> None:
+        routine = self.session.catalog.get_routine(statement.procedure)
+        if routine.is_function:
+            raise errors.SQLSyntaxError(
+                f"{statement.procedure!r} is a function, not a procedure"
+            )
+        if len(statement.args) != len(routine.params):
+            raise errors.SQLSyntaxError(
+                f"procedure {statement.procedure!r} takes "
+                f"{len(routine.params)} arguments, got "
+                f"{len(statement.args)}"
+            )
+        if entry is None:
+            return
+        # Host-variable modes must match the routine's parameter modes:
+        # ``:OUT x`` on an IN parameter (or vice versa) is a translate-
+        # time error, like registering the wrong JDBC OUT parameter.
+        for position, arg in enumerate(statement.args):
+            if not isinstance(arg, ast.Parameter):
+                continue
+            if arg.index >= len(entry.param_types):
+                continue
+            declared = entry.param_types[arg.index].mode
+            actual = routine.params[position].mode
+            if declared != actual and not (
+                declared == "IN" and actual == "IN"
+            ):
+                raise errors.SQLSyntaxError(
+                    f"host variable "
+                    f"{entry.param_types[arg.index].name!r} is declared "
+                    f":{declared} but parameter "
+                    f"{routine.params[position].name!r} of "
+                    f"{statement.procedure!r} is {actual}"
+                )

@@ -1,0 +1,414 @@
+"""Scanning ``.psqlj`` sources for ``#sql`` clauses.
+
+A clause starts with ``#sql`` as the first token of a (logical) line and
+ends at the first ``;`` outside braces and SQL strings.  Clause forms
+(paper, "SQLJ clauses"):
+
+* ``#sql context Department;`` — connection-context declaration,
+* ``#sql [public] iterator ByPos (str, int);`` — positional iterator,
+* ``#sql [public] iterator ByName (int year, str name);`` — named,
+* ``#sql { SQL text with :hostvars };`` — executable,
+* ``#sql [ctx] { ... };`` — executable against a context expression,
+* ``#sql iter = { SELECT ... };`` — query assigned to a typed iterator,
+* ``#sql { FETCH :iter INTO :a, :b };`` — positional fetch.
+
+Everything else in the file is ordinary Python and passes through
+untouched.  Because ``#sql`` is a Python comment, a ``.psqlj`` file is
+syntactically valid Python before translation, which is also how the
+translator finds iterator variable *annotations* (``positer: ByPos``) —
+the Python stand-in for Java's declared variable types.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+from repro import errors
+
+__all__ = [
+    "ContextDecl",
+    "IteratorDecl",
+    "ExecutableClause",
+    "SourceLine",
+    "ScannedProgram",
+    "scan_source",
+]
+
+_SQL_CLAUSE_RE = re.compile(r"^(\s*)#sql\b", re.IGNORECASE)
+_ANNOTATION_RE = re.compile(
+    r"^\s*(?P<var>[A-Za-z_][A-Za-z0-9_]*)\s*:\s*"
+    r"(?P<cls>[A-Za-z_][A-Za-z0-9_\.]*)\s*(?:#.*)?$"
+)
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+
+@dataclass
+class SourceLine:
+    """A pass-through Python line."""
+
+    text: str
+    line: int
+
+
+@dataclass
+class ContextDecl:
+    """``#sql context Name;``"""
+
+    name: str
+    indent: str
+    line: int
+    public: bool = False
+
+
+@dataclass
+class IteratorDecl:
+    """``#sql [public] iterator Name (cols);``
+
+    ``columns`` holds ``(column_name_or_None, type_name)`` pairs; a
+    declaration is *named* iff every column carries a name.
+    """
+
+    name: str
+    columns: List[Tuple[Optional[str], str]]
+    indent: str
+    line: int
+    public: bool = False
+
+    @property
+    def positional(self) -> bool:
+        return any(name is None for name, _ in self.columns)
+
+
+@dataclass
+class ExecutableClause:
+    """``#sql [ctx] target = { sql };`` (context/target optional)."""
+
+    sql: str
+    indent: str
+    line: int
+    context_expr: Optional[str] = None
+    target: Optional[str] = None
+
+
+ScannedItem = Union[SourceLine, ContextDecl, IteratorDecl, ExecutableClause]
+
+
+@dataclass
+class ScannedProgram:
+    """Result of scanning one source file."""
+
+    items: List[ScannedItem] = field(default_factory=list)
+    #: (line, variable, class name) triples, in source order; variables
+    #: may be re-annotated (e.g. the same name in two functions), so
+    #: resolution picks the nearest annotation preceding the use.
+    annotation_entries: List[Tuple[int, str, str]] = field(
+        default_factory=list
+    )
+
+    @property
+    def annotations(self) -> dict:
+        """Last-wins view of the annotations (name -> class)."""
+        return {var: cls for _line, var, cls in self.annotation_entries}
+
+    def annotation_for(
+        self, variable: str, before_line: int
+    ) -> Optional[str]:
+        """Nearest ``variable: Class`` annotation at or before a line."""
+        best: Optional[str] = None
+        for line, var, cls in self.annotation_entries:
+            if var == variable and line <= before_line:
+                best = cls
+        return best
+
+    def iterator_decls(self) -> List[IteratorDecl]:
+        return [i for i in self.items if isinstance(i, IteratorDecl)]
+
+    def context_decls(self) -> List[ContextDecl]:
+        return [i for i in self.items if isinstance(i, ContextDecl)]
+
+    def executable_clauses(self) -> List[ExecutableClause]:
+        return [i for i in self.items if isinstance(i, ExecutableClause)]
+
+
+class _ClauseReader:
+    """Reads one clause's text (joined across lines) and parses it."""
+
+    def __init__(self, text: str, line: int, indent: str) -> None:
+        self.text = text
+        self.pos = 0
+        self.line = line
+        self.indent = indent
+
+    def error(self, message: str) -> errors.TranslationError:
+        return errors.TranslationError(message, line=self.line)
+
+    def skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos] in " \t\r\n":
+            self.pos += 1
+
+    def peek(self) -> str:
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def take_ident(self) -> Optional[str]:
+        self.skip_ws()
+        match = _IDENT_RE.match(self.text, self.pos)
+        if not match:
+            return None
+        self.pos = match.end()
+        return match.group()
+
+    def take_keyword(self, word: str) -> bool:
+        saved = self.pos
+        ident = self.take_ident()
+        if ident is not None and ident.lower() == word:
+            return True
+        self.pos = saved
+        return False
+
+    def expect(self, char: str) -> None:
+        self.skip_ws()
+        if self.peek() != char:
+            raise self.error(
+                f"expected {char!r} in #sql clause, found "
+                f"{self.peek() or 'end of clause'!r}"
+            )
+        self.pos += 1
+
+    def take_bracketed(self) -> str:
+        """Consume ``[ ... ]`` (supports nesting) and return the inside."""
+        self.expect("[")
+        depth = 1
+        start = self.pos
+        while self.pos < len(self.text):
+            ch = self.text[self.pos]
+            if ch == "[":
+                depth += 1
+            elif ch == "]":
+                depth -= 1
+                if depth == 0:
+                    inside = self.text[start: self.pos].strip()
+                    self.pos += 1
+                    return inside
+            self.pos += 1
+        raise self.error("unterminated [context] in #sql clause")
+
+    def take_braced_sql(self) -> str:
+        """Consume ``{ sql }`` honouring SQL string literals."""
+        self.expect("{")
+        start = self.pos
+        depth = 1
+        in_string = False
+        while self.pos < len(self.text):
+            ch = self.text[self.pos]
+            if in_string:
+                if ch == "'":
+                    if self.text[self.pos + 1: self.pos + 2] == "'":
+                        self.pos += 1
+                    else:
+                        in_string = False
+            elif ch == "'":
+                in_string = True
+            elif ch == "{":
+                depth += 1
+            elif ch == "}":
+                depth -= 1
+                if depth == 0:
+                    sql = self.text[start: self.pos]
+                    self.pos += 1
+                    return sql.strip()
+            self.pos += 1
+        raise self.error("unterminated { sql } in #sql clause")
+
+    def at_end(self) -> bool:
+        self.skip_ws()
+        return self.pos >= len(self.text)
+
+
+def _parse_clause(
+    text: str, line: int, indent: str
+) -> Union[ContextDecl, IteratorDecl, ExecutableClause]:
+    reader = _ClauseReader(text, line, indent)
+    public = reader.take_keyword("public")
+
+    if reader.take_keyword("context"):
+        name = reader.take_ident()
+        if name is None:
+            raise reader.error("context declaration requires a name")
+        if not reader.at_end():
+            raise reader.error("unexpected text after context declaration")
+        return ContextDecl(name, indent, line, public)
+
+    if reader.take_keyword("iterator"):
+        return _parse_iterator(reader, public)
+
+    if public:
+        raise reader.error("'public' applies only to declarations")
+
+    context_expr: Optional[str] = None
+    reader.skip_ws()
+    if reader.peek() == "[":
+        context_expr = reader.take_bracketed()
+        if not context_expr:
+            raise reader.error("empty [context] in #sql clause")
+
+    target: Optional[str] = None
+    saved = reader.pos
+    ident = reader.take_ident()
+    if ident is not None:
+        reader.skip_ws()
+        if reader.peek() == "=":
+            reader.pos += 1
+            target = ident
+        else:
+            reader.pos = saved
+
+    sql = reader.take_braced_sql()
+    if not sql:
+        raise reader.error("empty SQL text in #sql clause")
+    if not reader.at_end():
+        raise reader.error("unexpected text after #sql clause")
+    return ExecutableClause(sql, indent, line, context_expr, target)
+
+
+def _parse_iterator(reader: _ClauseReader, public: bool) -> IteratorDecl:
+    name = reader.take_ident()
+    if name is None:
+        raise reader.error("iterator declaration requires a name")
+    reader.expect("(")
+    columns: List[Tuple[Optional[str], str]] = []
+    while True:
+        reader.skip_ws()
+        if reader.peek() == ")":
+            reader.pos += 1
+            break
+        first = reader.take_ident()
+        if first is None:
+            raise reader.error("expected a type in iterator declaration")
+        # dotted type names
+        type_name = first
+        while reader.peek() == ".":
+            reader.pos += 1
+            part = reader.take_ident()
+            if part is None:
+                raise reader.error("malformed dotted type name")
+            type_name += "." + part
+        saved = reader.pos
+        second = reader.take_ident()
+        if second is not None:
+            # "type name" pair: first token(s) are the type, second the
+            # column name — the paper's ``iterator ByName (int year, ...)``.
+            columns.append((second, type_name))
+        else:
+            reader.pos = saved
+            columns.append((None, type_name))
+        reader.skip_ws()
+        if reader.peek() == ",":
+            reader.pos += 1
+        elif reader.peek() == ")":
+            reader.pos += 1
+            break
+        else:
+            raise reader.error(
+                "expected ',' or ')' in iterator declaration"
+            )
+    if not columns:
+        raise reader.error("iterator must declare at least one column")
+    named = [c for c, _ in columns if c is not None]
+    if named and len(named) != len(columns):
+        raise reader.error(
+            "iterator columns must be all named or all positional"
+        )
+    if not reader.at_end():
+        raise reader.error("unexpected text after iterator declaration")
+    return IteratorDecl(name, columns, reader.indent, reader.line, public)
+
+
+def scan_source(source: str) -> ScannedProgram:
+    """Scan ``.psqlj`` text into pass-through lines and parsed clauses."""
+    program = ScannedProgram()
+    lines = source.splitlines()
+    index = 0
+    while index < len(lines):
+        raw = lines[index]
+        match = _SQL_CLAUSE_RE.match(raw)
+        if not match:
+            annotation = _ANNOTATION_RE.match(raw)
+            if annotation:
+                program.annotation_entries.append(
+                    (
+                        index + 1,
+                        annotation.group("var"),
+                        annotation.group("cls"),
+                    )
+                )
+            program.items.append(SourceLine(raw, index + 1))
+            index += 1
+            continue
+
+        indent = match.group(1)
+        start_line = index + 1
+        # Accumulate clause text until an unquoted ';' outside braces.
+        collected: List[str] = []
+        text_after = raw[match.end():]
+        done = False
+        while True:
+            chunk = text_after
+            collected.append(chunk)
+            joined = "\n".join(collected)
+            if _clause_complete(joined):
+                done = True
+                break
+            index += 1
+            if index >= len(lines):
+                break
+            text_after = lines[index]
+        if not done:
+            raise errors.TranslationError(
+                "#sql clause is not terminated with ';'", line=start_line
+            )
+        joined = "\n".join(collected)
+        clause_text = joined[: _terminator_pos(joined)]
+        program.items.append(
+            _parse_clause(clause_text.strip(), start_line, indent)
+        )
+        index += 1
+    return program
+
+
+def _scan_states(text: str):
+    """Yield (position, char, depth, in_string) over clause text."""
+    depth = 0
+    in_string = False
+    position = 0
+    while position < len(text):
+        ch = text[position]
+        if in_string:
+            if ch == "'":
+                if text[position + 1: position + 2] == "'":
+                    position += 1
+                else:
+                    in_string = False
+        elif ch == "'":
+            in_string = True
+        elif ch == "{":
+            depth += 1
+        elif ch == "}":
+            depth -= 1
+        yield position, ch, depth, in_string
+        position += 1
+
+
+def _terminator_pos(text: str) -> int:
+    for position, ch, depth, in_string in _scan_states(text):
+        if ch == ";" and depth == 0 and not in_string:
+            return position
+    raise errors.TranslationError("#sql clause is not terminated with ';'")
+
+
+def _clause_complete(text: str) -> bool:
+    for _position, ch, depth, in_string in _scan_states(text):
+        if ch == ";" and depth == 0 and not in_string:
+            return True
+    return False

@@ -1,0 +1,162 @@
+"""``psqlj`` command line: translate, package, customize.
+
+Examples::
+
+    psqlj app.psqlj                          # translate next to source
+    psqlj app.psqlj -d build --package       # emit build/app.pjar too
+    psqlj app.psqlj --exemplar pydbc:standard:payroll
+    psqlj --customize acme,zenith build/app.pjar
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import errors
+from repro.profiles.customizer import customize_pjar, customize_profile_file
+from repro.translator.translator import TranslationOptions, Translator
+
+__all__ = ["main", "build_arg_parser"]
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="psqlj",
+        description="PySQLJ translator and profile customizer",
+    )
+    parser.add_argument(
+        "inputs", nargs="+",
+        help=".psqlj sources to translate, or .pjar/.ser files with "
+             "--customize",
+    )
+    parser.add_argument(
+        "-d", "--output-dir", default=None,
+        help="directory for generated modules and profiles",
+    )
+    parser.add_argument(
+        "--package", action="store_true",
+        help="also package each translation into a .pjar",
+    )
+    parser.add_argument(
+        "--exemplar", default=None,
+        help="PyDBC URL of an exemplar schema for online checking",
+    )
+    parser.add_argument(
+        "--customize", default=None, metavar="DIALECTS",
+        help="comma-separated dialects to customize the given .pjar/.ser "
+             "files for (no translation is performed)",
+    )
+    parser.add_argument(
+        "--show", action="store_true",
+        help="print the entries and customizations of the given "
+             ".ser/.pjar files (no translation is performed)",
+    )
+    parser.add_argument(
+        "--warnings-as-errors", action="store_true",
+        help="fail translation on checker warnings",
+    )
+    return parser
+
+
+def _customize(paths: List[str], dialects: List[str]) -> int:
+    status = 0
+    for path in paths:
+        try:
+            if path.endswith(".ser"):
+                for dialect in dialects:
+                    customize_profile_file(path, dialect)
+            else:
+                customize_pjar(path, dialects)
+            print(f"customized {path} for {', '.join(dialects)}")
+        except errors.SQLException as exc:
+            print(f"error: {path}: {exc}", file=sys.stderr)
+            status = 1
+    return status
+
+
+def _show(paths: List[str]) -> int:
+    from repro.profiles.pjar import read_pjar
+    from repro.profiles.serialization import (
+        load_profile,
+        profile_from_bytes,
+    )
+
+    status = 0
+    for path in paths:
+        try:
+            if path.endswith(".ser"):
+                profiles = [load_profile(path)]
+            else:
+                profiles = [
+                    profile_from_bytes(payload)
+                    for name, payload in sorted(read_pjar(path).items())
+                    if name.endswith(".ser")
+                ]
+        except errors.SQLException as exc:
+            print(f"error: {path}: {exc}", file=sys.stderr)
+            status = 1
+            continue
+        print(f"{path}:")
+        for profile in profiles:
+            print(
+                f"  profile {profile.name} "
+                f"(context {profile.context_type}, "
+                f"{profile.entry_count()} entries)"
+            )
+            for entry in profile.data:
+                print(f"    {entry.describe()}")
+                for param in entry.param_types:
+                    mode = f" [{param.mode}]" if param.mode != "IN" else ""
+                    print(f"      param :{param.name}{mode}")
+            for customization in profile.customizations:
+                print(f"    customization: {customization.describe()}")
+    return status
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_arg_parser().parse_args(argv)
+
+    if args.show:
+        return _show(args.inputs)
+
+    if args.customize:
+        dialects = [d.strip() for d in args.customize.split(",") if d.strip()]
+        return _customize(args.inputs, dialects)
+
+    options = TranslationOptions(
+        warnings_as_errors=args.warnings_as_errors
+    )
+    if args.exemplar:
+        from repro.dbapi.driver import DriverManager
+
+        options.exemplar = DriverManager.get_connection(
+            args.exemplar
+        ).session
+    translator = Translator(options)
+
+    status = 0
+    for path in args.inputs:
+        try:
+            result = translator.translate_file(
+                path, output_dir=args.output_dir, package=args.package
+            )
+        except errors.TranslationError as exc:
+            print(f"error: {path}: {exc}", file=sys.stderr)
+            for message in getattr(exc, "messages", []):
+                print(f"  {message.format()}", file=sys.stderr)
+            status = 1
+            continue
+        print(f"translated {path} -> {result.module_path}")
+        for profile_path in result.profile_paths:
+            print(f"  profile {profile_path}")
+        if result.pjar_path:
+            print(f"  packaged {result.pjar_path}")
+        for message in result.messages:
+            print(f"  {message.format()}")
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,223 @@
+"""Host-variable processing.
+
+SQLJ host variables appear in SQL text as ``:name``, optionally preceded
+by a mode keyword: ``:IN x`` (default), ``:OUT x``, ``:INOUT x``.  The
+translator rewrites them to ``?`` markers (collecting the Python
+expressions/targets to bind, in order) before recording the SQL in a
+profile entry.  OUT and INOUT modes are only meaningful in CALL clauses,
+where the named variables receive the procedure's output parameters.
+
+``FETCH :iter INTO :a, :b`` is special: the iterator variable and the
+INTO targets are host-side, so the whole clause is handled by the
+translator rather than shipped to the database.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro import errors
+
+__all__ = [
+    "HostVariable",
+    "extract_host_variables",
+    "parse_fetch",
+    "FetchClause",
+    "SelectInto",
+    "parse_select_into",
+]
+
+_HOSTVAR_RE = re.compile(
+    r":(?:(?P<mode>IN|OUT|INOUT)\s+)?(?P<name>[A-Za-z_][A-Za-z0-9_]*)",
+    re.IGNORECASE,
+)
+
+
+def _is_sql_keyword(word: str) -> bool:
+    from repro.engine.lexer import KEYWORDS
+
+    return word.upper() in KEYWORDS
+
+
+@dataclass
+class HostVariable:
+    """One ``:name`` reference: Python variable name plus its mode."""
+
+    name: str
+    mode: str = "IN"  # IN / OUT / INOUT
+
+    @property
+    def is_output(self) -> bool:
+        return self.mode in ("OUT", "INOUT")
+
+    @property
+    def is_input(self) -> bool:
+        return self.mode in ("IN", "INOUT")
+_FETCH_RE = re.compile(
+    r"^\s*FETCH\s+:(?P<iter>[A-Za-z_][A-Za-z0-9_]*)\s+"
+    r"INTO\s+(?P<targets>.+?)\s*$",
+    re.IGNORECASE | re.DOTALL,
+)
+
+
+def extract_host_variables(sql: str) -> Tuple[str, List[HostVariable]]:
+    """Replace ``:[mode] name`` host variables with ``?``.
+
+    Returns the rewritten SQL and the host variables in marker order.
+    Colons inside SQL string literals are left alone.
+    """
+    out: List[str] = []
+    variables: List[HostVariable] = []
+    in_string = False
+    i = 0
+    while i < len(sql):
+        ch = sql[i]
+        if in_string:
+            out.append(ch)
+            if ch == "'":
+                if sql[i + 1: i + 2] == "'":
+                    out.append("'")
+                    i += 1
+                else:
+                    in_string = False
+            i += 1
+            continue
+        if ch == "'":
+            in_string = True
+            out.append(ch)
+            i += 1
+            continue
+        if ch == ":":
+            match = _HOSTVAR_RE.match(sql, i)
+            if not match:
+                raise errors.TranslationError(
+                    f"malformed host variable reference near column {i} "
+                    f"of: {sql!r}"
+                )
+            mode = (match.group("mode") or "IN").upper()
+            name = match.group("name")
+            if match.group("mode") is not None and _is_sql_keyword(name):
+                # ``:out FROM ...`` — "out" is the variable, the keyword
+                # belongs to the surrounding SQL.
+                mode = "IN"
+                name = match.group("mode")
+                i += 1 + len(name)
+            else:
+                i = match.end()
+            variables.append(HostVariable(name, mode))
+            out.append("?")
+            continue
+        out.append(ch)
+        i += 1
+    return "".join(out), variables
+
+
+@dataclass
+class FetchClause:
+    """Parsed ``FETCH :iter INTO :a, :b``."""
+
+    iterator_var: str
+    targets: List[str]
+
+
+@dataclass
+class SelectInto:
+    """Parsed single-row ``SELECT ... INTO :a, :b FROM ...``.
+
+    ``sql`` is the query with the INTO clause removed; executing it must
+    yield exactly one row (SQLSTATE 02000 on none, 21000 on several),
+    whose columns are assigned to ``targets`` in order.
+    """
+
+    sql: str
+    targets: List[str]
+
+
+def parse_select_into(sql: str) -> Optional[SelectInto]:
+    """Detect and split a ``SELECT ... INTO :targets FROM ...`` clause.
+
+    Returns None when ``sql`` is not a SELECT or has no top-level INTO.
+    """
+    if not re.match(r"\s*SELECT\b", sql, re.IGNORECASE):
+        return None
+    # Find a top-level INTO (outside strings and parentheses).
+    depth = 0
+    in_string = False
+    into_start = None
+    i = 0
+    upper = sql.upper()
+    while i < len(sql):
+        ch = sql[i]
+        if in_string:
+            if ch == "'":
+                if sql[i + 1: i + 2] == "'":
+                    i += 1
+                else:
+                    in_string = False
+        elif ch == "'":
+            in_string = True
+        elif ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        elif depth == 0 and upper.startswith("INTO", i) and (
+            i == 0 or not (sql[i - 1].isalnum() or sql[i - 1] == "_")
+        ) and not (
+            i + 4 < len(sql) and (sql[i + 4].isalnum() or sql[i + 4] == "_")
+        ):
+            into_start = i
+            break
+        i += 1
+    if into_start is None:
+        return None
+
+    remainder = sql[into_start + 4:]
+    match = re.search(r"\bFROM\b", remainder, re.IGNORECASE)
+    if match:
+        target_text = remainder[: match.start()]
+        tail = " " + remainder[match.start():]
+    else:
+        target_text = remainder
+        tail = ""
+    targets: List[str] = []
+    for part in target_text.split(","):
+        part = part.strip()
+        if not part.startswith(":"):
+            raise errors.TranslationError(
+                f"SELECT INTO target {part!r} must be a :hostvar"
+            )
+        name = part[1:]
+        if not re.fullmatch(r"[A-Za-z_][A-Za-z0-9_]*", name):
+            raise errors.TranslationError(
+                f"malformed SELECT INTO target {part!r}"
+            )
+        targets.append(name)
+    if not targets:
+        raise errors.TranslationError("SELECT INTO requires targets")
+    rewritten = sql[:into_start].rstrip() + tail
+    return SelectInto(rewritten, targets)
+
+
+def parse_fetch(sql: str) -> Optional[FetchClause]:
+    """Return the parsed FETCH clause, or None if ``sql`` is not one."""
+    match = _FETCH_RE.match(sql)
+    if not match:
+        return None
+    targets: List[str] = []
+    for part in match.group("targets").split(","):
+        part = part.strip()
+        if not part.startswith(":"):
+            raise errors.TranslationError(
+                f"FETCH INTO target {part!r} must be a :hostvar"
+            )
+        name = part[1:]
+        if not re.fullmatch(r"[A-Za-z_][A-Za-z0-9_]*", name):
+            raise errors.TranslationError(
+                f"malformed FETCH INTO target {part!r}"
+            )
+        targets.append(name)
+    if not targets:
+        raise errors.TranslationError("FETCH INTO requires targets")
+    return FetchClause(match.group("iter"), targets)

@@ -1,0 +1,526 @@
+"""The SQLJ translator driver.
+
+Orchestrates the paper's translation phase: scan ``#sql`` clauses, build
+profile entries (host variables become ``?`` markers), run the SQLChecker
+framework over every entry (semantic analysis slide), verify typed
+iterators against declared shapes, then emit the generated Python module
+and serialized profiles (code-generation slides).
+
+Any error-severity check message fails translation — ahead-of-time
+checking is the point.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro import errors
+from repro.profiles.model import EntryInfo, Profile, TypeInfo
+from repro.profiles.pjar import build_pjar
+from repro.profiles.serialization import save_profile
+from repro.runtime.api import resolve_type_name
+from repro.runtime.iterators import _static_type_compatible
+from repro.sqltypes import parse_type
+from repro.translator.checker import (
+    CheckMessage,
+    OfflineChecker,
+    OnlineChecker,
+    SQLChecker,
+)
+from repro.translator.clauses import (
+    ExecutableClause,
+    IteratorDecl,
+    ScannedProgram,
+    scan_source,
+)
+from repro.translator.codegen import CodeGenerator
+from repro.translator.hostvars import (
+    FetchClause,
+    SelectInto,
+    extract_host_variables,
+    parse_fetch,
+    parse_select_into,
+)
+
+__all__ = [
+    "TranslationOptions",
+    "TranslationResult",
+    "Translator",
+    "translate_source",
+    "translate_file",
+]
+
+_ROLE_BY_FIRST_WORD = {
+    "SELECT": "QUERY",
+    "INSERT": "UPDATE",
+    "UPDATE": "UPDATE",
+    "DELETE": "UPDATE",
+    "CALL": "CALL",
+    "COMMIT": "TXN",
+    "ROLLBACK": "TXN",
+}
+
+
+@dataclass
+class TranslationOptions:
+    """Configuration of one translator run.
+
+    ``exemplar`` enables online semantic checking (a Database or Session
+    whose catalog mirrors the deployment target).  ``checkers`` appends
+    plug-in checkers applied to every entry; ``context_checkers`` maps a
+    connection-context *expression* (as written in ``[ctx]``) to extra
+    checkers for that context's clauses — the paper's per-context
+    SQLChecker0/SQLChecker1 picture.  ``warnings_as_errors`` hardens CI
+    builds.
+    """
+
+    exemplar: Any = None
+    checkers: List[SQLChecker] = field(default_factory=list)
+    context_checkers: Dict[str, List[SQLChecker]] = field(
+        default_factory=dict
+    )
+    warnings_as_errors: bool = False
+
+
+@dataclass
+class TranslationResult:
+    """Everything a translator run produced."""
+
+    module_name: str
+    python_source: str
+    profiles: List[Profile]
+    messages: List[CheckMessage] = field(default_factory=list)
+    module_path: Optional[str] = None
+    profile_paths: List[str] = field(default_factory=list)
+    pjar_path: Optional[str] = None
+
+
+class Translator:
+    """Translates ``.psqlj`` source into Python + profiles."""
+
+    def __init__(self, options: Optional[TranslationOptions] = None):
+        self.options = options or TranslationOptions()
+        self._offline = OfflineChecker()
+        self._online: Optional[OnlineChecker] = None
+        if self.options.exemplar is not None:
+            self._online = OnlineChecker(self.options.exemplar)
+
+    # ------------------------------------------------------------------
+    def translate_source(
+        self, source: str, module_name: str
+    ) -> TranslationResult:
+        if not re.fullmatch(r"[A-Za-z_][A-Za-z0-9_]*", module_name):
+            raise errors.TranslationError(
+                f"invalid module name {module_name!r}"
+            )
+        program = scan_source(source)
+        iterator_decls = {d.name: d for d in program.iterator_decls()}
+
+        profiles: List[Profile] = []
+        profile_by_context: Dict[Optional[str], Profile] = {}
+        profile_vars: Dict[str, str] = {}
+        entry_refs: Dict[int, tuple] = {}
+        fetches: Dict[int, FetchClause] = {}
+        iterator_classes: Dict[int, Optional[str]] = {}
+        scalar_targets: Dict[int, str] = {}
+        select_intos: Dict[int, SelectInto] = {}
+        entry_clauses: List[Tuple[Profile, EntryInfo, ExecutableClause]] = []
+        messages: List[CheckMessage] = []
+
+        for clause in program.executable_clauses():
+            fetch = parse_fetch(clause.sql)
+            if fetch is not None:
+                fetches[id(clause)] = fetch
+                messages.extend(
+                    self._check_fetch(clause, fetch, program, iterator_decls)
+                )
+                continue
+
+            select_into = None
+            clause_sql = clause.sql
+            if clause.target is None:
+                select_into = parse_select_into(clause.sql)
+                if select_into is not None:
+                    clause_sql = select_into.sql
+                    select_intos[id(clause)] = select_into
+
+            sql, hostvars = extract_host_variables(clause_sql)
+            first_word = (
+                sql.lstrip("( \t\r\n").split(None, 1)[0].upper()
+                if sql.strip() else ""
+            )
+            role = _ROLE_BY_FIRST_WORD.get(first_word, "DDL")
+            if sql.lstrip().startswith("("):
+                role = "QUERY"
+            if first_word.startswith("VALUES"):
+                # Scalar expression clause: ``#sql x = { VALUES(f(:a)) }``
+                # executes as a one-row, one-column query.
+                role = "VALUES"
+                sql = "SELECT " + sql.lstrip()[len("VALUES"):].strip()
+
+            if role != "CALL":
+                bad_modes = [
+                    hv.name for hv in hostvars if hv.mode != "IN"
+                ]
+                if bad_modes:
+                    messages.append(
+                        CheckMessage(
+                            "error",
+                            "OUT/INOUT host variables are only allowed "
+                            f"in CALL clauses: {', '.join(bad_modes)}",
+                            clause.line,
+                            "translator",
+                        )
+                    )
+
+            profile = profile_by_context.get(clause.context_expr)
+            if profile is None:
+                index = len(profiles)
+                profile = Profile(
+                    name=f"{module_name}_SJProfile{index}",
+                    context_type=clause.context_expr or "DefaultContext",
+                )
+                profiles.append(profile)
+                profile_by_context[clause.context_expr] = profile
+                profile_vars[profile.name] = f"_sqlj_profile_{index}"
+
+            entry = EntryInfo(
+                index=len(profile.data),
+                sql=sql,
+                role="QUERY" if role == "VALUES" else role,
+                param_types=[
+                    TypeInfo(name=v.name, mode=v.mode) for v in hostvars
+                ],
+                source_line=clause.line,
+            )
+            profile.data.add(entry)
+            entry_refs[id(clause)] = (
+                profile_vars[profile.name],
+                entry.index,
+                hostvars,
+            )
+            entry_clauses.append((profile, entry, clause))
+
+            iterator_classes[id(clause)] = None
+            if clause.target is not None:
+                if role == "VALUES":
+                    scalar_targets[id(clause)] = clause.target
+                else:
+                    messages.extend(
+                        self._check_assignment(
+                            clause, entry, program, iterator_decls,
+                            iterator_classes,
+                        )
+                    )
+
+        # Run the checker stack over every entry.
+        for profile, entry, clause in entry_clauses:
+            for checker in self._checkers_for(clause.context_expr):
+                messages.extend(checker.check(entry))
+            if entry.role == "QUERY" and self._online is not None:
+                described = self._online.describe(entry)
+                if described is not None:
+                    entry.result_types = described
+                    messages.extend(
+                        self._check_iterator_shape(
+                            clause, entry, iterator_decls,
+                            iterator_classes,
+                        )
+                    )
+                    select_into = select_intos.get(id(clause))
+                    if select_into is not None and \
+                            len(described) != len(select_into.targets):
+                        messages.append(
+                            CheckMessage(
+                                "error",
+                                f"SELECT INTO has "
+                                f"{len(select_into.targets)} targets "
+                                f"but the query returns "
+                                f"{len(described)} columns",
+                                clause.line,
+                                "translator",
+                            )
+                        )
+
+        hard_errors = [m for m in messages if m.is_error]
+        if self.options.warnings_as_errors:
+            hard_errors = messages
+        if hard_errors:
+            summary = "; ".join(m.format() for m in hard_errors)
+            error = errors.TranslationError(
+                f"translation failed with {len(hard_errors)} error(s): "
+                f"{summary}"
+            )
+            error.messages = messages  # type: ignore[attr-defined]
+            raise error
+
+        generator = CodeGenerator(
+            program,
+            f"{module_name}.psqlj",
+            profiles,
+            profile_vars,
+            entry_refs,
+            fetches,
+            iterator_classes,
+            scalar_targets,
+            select_intos,
+        )
+        return TranslationResult(
+            module_name=module_name,
+            python_source=generator.generate(),
+            profiles=profiles,
+            messages=messages,
+        )
+
+    # ------------------------------------------------------------------
+    def translate_file(
+        self,
+        path: str,
+        output_dir: Optional[str] = None,
+        package: bool = False,
+    ) -> TranslationResult:
+        """Translate ``path`` and write the module + profiles (and
+        optionally a ``.pjar``) into ``output_dir``."""
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        base = os.path.splitext(os.path.basename(path))[0]
+        module_name = re.sub(r"\W", "_", base)
+        result = self.translate_source(source, module_name)
+
+        directory = output_dir or os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        module_path = os.path.join(directory, module_name + ".py")
+        with open(module_path, "w", encoding="utf-8") as handle:
+            handle.write(result.python_source)
+        result.module_path = module_path
+        for profile in result.profiles:
+            result.profile_paths.append(save_profile(profile, directory))
+        if package:
+            pjar_path = os.path.join(directory, module_name + ".pjar")
+            build_pjar(
+                pjar_path, [module_path] + result.profile_paths
+            )
+            result.pjar_path = pjar_path
+        return result
+
+    # ------------------------------------------------------------------
+    def _checkers_for(self, context_expr: Optional[str]):
+        stack: List[SQLChecker] = [self._offline]
+        if self._online is not None:
+            stack.append(self._online)
+        stack.extend(self.options.checkers)
+        if context_expr is not None:
+            stack.extend(
+                self.options.context_checkers.get(context_expr, [])
+            )
+        return stack
+
+    def _resolve_iterator_class(
+        self,
+        variable: str,
+        clause: ExecutableClause,
+        program: ScannedProgram,
+        iterator_decls: Dict[str, IteratorDecl],
+    ) -> Tuple[Optional[str], List[CheckMessage]]:
+        class_name = program.annotation_for(variable, clause.line)
+        if class_name is None:
+            return None, [
+                CheckMessage(
+                    "error",
+                    f"iterator variable {variable!r} has no type "
+                    f"annotation; declare it as e.g. "
+                    f"'{variable}: SomeIterator' before the #sql clause",
+                    clause.line,
+                    "translator",
+                )
+            ]
+        return class_name, []
+
+    def _check_assignment(
+        self,
+        clause: ExecutableClause,
+        entry: EntryInfo,
+        program: ScannedProgram,
+        iterator_decls: Dict[str, IteratorDecl],
+        iterator_classes: Dict[int, Optional[str]],
+    ) -> List[CheckMessage]:
+        messages: List[CheckMessage] = []
+        if entry.role != "QUERY":
+            messages.append(
+                CheckMessage(
+                    "error",
+                    "assignment clauses require a query (SELECT)",
+                    clause.line,
+                    "translator",
+                )
+            )
+            return messages
+        class_name, resolution_messages = self._resolve_iterator_class(
+            clause.target, clause, program, iterator_decls
+        )
+        messages.extend(resolution_messages)
+        if class_name is not None:
+            iterator_classes[id(clause)] = class_name
+            entry.iterator_class = class_name
+            if class_name not in iterator_decls:
+                messages.append(
+                    CheckMessage(
+                        "error",
+                        f"iterator class {class_name!r} is not declared "
+                        f"with '#sql iterator {class_name} (...)' in this "
+                        f"file",
+                        clause.line,
+                        "translator",
+                    )
+                )
+        return messages
+
+    def _check_fetch(
+        self,
+        clause: ExecutableClause,
+        fetch: FetchClause,
+        program: ScannedProgram,
+        iterator_decls: Dict[str, IteratorDecl],
+    ) -> List[CheckMessage]:
+        messages: List[CheckMessage] = []
+        class_name = program.annotation_for(
+            fetch.iterator_var, clause.line
+        )
+        if class_name is None:
+            messages.append(
+                CheckMessage(
+                    "error",
+                    f"FETCH iterator {fetch.iterator_var!r} has no type "
+                    "annotation",
+                    clause.line,
+                    "translator",
+                )
+            )
+            return messages
+        decl = iterator_decls.get(class_name)
+        if decl is None:
+            messages.append(
+                CheckMessage(
+                    "error",
+                    f"iterator class {class_name!r} is not declared in "
+                    "this file",
+                    clause.line,
+                    "translator",
+                )
+            )
+            return messages
+        if not decl.positional:
+            messages.append(
+                CheckMessage(
+                    "error",
+                    f"FETCH requires a positional iterator; "
+                    f"{class_name!r} is named",
+                    clause.line,
+                    "translator",
+                )
+            )
+        elif len(fetch.targets) != len(decl.columns):
+            messages.append(
+                CheckMessage(
+                    "error",
+                    f"FETCH INTO has {len(fetch.targets)} targets but "
+                    f"iterator {class_name!r} declares "
+                    f"{len(decl.columns)} columns",
+                    clause.line,
+                    "translator",
+                )
+            )
+        return messages
+
+    def _check_iterator_shape(
+        self,
+        clause: ExecutableClause,
+        entry: EntryInfo,
+        iterator_decls: Dict[str, IteratorDecl],
+        iterator_classes: Dict[int, Optional[str]],
+    ) -> List[CheckMessage]:
+        """Typed-iterator conformance against the described query shape."""
+        class_name = iterator_classes.get(id(clause))
+        if class_name is None:
+            return []
+        decl = iterator_decls.get(class_name)
+        if decl is None:
+            return []
+        messages: List[CheckMessage] = []
+        described = entry.result_types
+
+        if decl.positional:
+            if len(decl.columns) != len(described):
+                messages.append(
+                    CheckMessage(
+                        "error",
+                        f"iterator {class_name!r} declares "
+                        f"{len(decl.columns)} columns but the query "
+                        f"returns {len(described)}",
+                        clause.line,
+                        "translator",
+                    )
+                )
+                return messages
+            pairs = list(zip(decl.columns, described))
+        else:
+            by_name = {t.name: t for t in described if t.name}
+            pairs = []
+            for column_name, type_name in decl.columns:
+                info = by_name.get(column_name.lower())
+                if info is None:
+                    messages.append(
+                        CheckMessage(
+                            "error",
+                            f"iterator {class_name!r} requires column "
+                            f"{column_name!r}, absent from the query",
+                            clause.line,
+                            "translator",
+                        )
+                    )
+                    continue
+                pairs.append(((column_name, type_name), info))
+
+        for (column_name, type_name), info in pairs:
+            if info.sql_type is None:
+                continue
+            try:
+                host_type = resolve_type_name(type_name)
+                descriptor = parse_type(info.sql_type)
+            except errors.SQLException:
+                continue
+            if not _static_type_compatible(host_type, descriptor):
+                label = column_name or "column"
+                messages.append(
+                    CheckMessage(
+                        "error",
+                        f"iterator {class_name!r} {label!r} declares "
+                        f"{type_name} but the query returns "
+                        f"{info.sql_type}",
+                        clause.line,
+                        "translator",
+                    )
+                )
+        return messages
+
+
+def translate_source(
+    source: str,
+    module_name: str,
+    options: Optional[TranslationOptions] = None,
+) -> TranslationResult:
+    """Translate ``.psqlj`` text; returns sources and profiles in memory."""
+    return Translator(options).translate_source(source, module_name)
+
+
+def translate_file(
+    path: str,
+    output_dir: Optional[str] = None,
+    options: Optional[TranslationOptions] = None,
+    package: bool = False,
+) -> TranslationResult:
+    """Translate a ``.psqlj`` file to disk (module + profiles [+ pjar])."""
+    return Translator(options).translate_file(path, output_dir, package)

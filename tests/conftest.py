@@ -1,0 +1,90 @@
+"""Shared fixtures: fresh databases, the paper's example schema and
+archives, and cleanup of process-global state (driver registry, default
+connection context) between tests."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.dbapi.driver import registry
+from repro.engine import Database
+from repro.procedures import build_par
+from repro.runtime import ConnectionContext
+
+from tests import paper_assets
+
+
+@pytest.fixture(autouse=True)
+def _clean_global_state():
+    """Isolate tests from the process-wide registry and default context."""
+    yield
+    registry.clear()
+    ConnectionContext.set_default_context(None)
+
+
+@pytest.fixture
+def db():
+    """A fresh standard-dialect database."""
+    return Database(name="testdb")
+
+
+@pytest.fixture
+def session(db):
+    """An autocommit admin session on the fresh database."""
+    return db.create_session(autocommit=True)
+
+
+@pytest.fixture
+def emps(session):
+    """The paper's ``emps`` table, loaded with a small dataset."""
+    session.execute(paper_assets.EMPS_DDL)
+    for statement in paper_assets.emps_insert_statements():
+        session.execute(statement)
+    return session
+
+
+@pytest.fixture
+def routines_par(tmp_path):
+    """A par file holding the paper's Routines1-3 (translated to Python)."""
+    return build_par(
+        os.path.join(str(tmp_path), "routines.par"),
+        {
+            "routines1": paper_assets.ROUTINES1_SOURCE,
+            "routines2": paper_assets.ROUTINES2_SOURCE,
+            "routines3": paper_assets.ROUTINES3_SOURCE,
+        },
+    )
+
+
+@pytest.fixture
+def payroll(emps, routines_par):
+    """emps + installed routines par + the paper's routine definitions."""
+    session = emps
+    session.execute(
+        f"call sqlj.install_par('{routines_par}', 'routines_par')"
+    )
+    for statement in paper_assets.ROUTINE_DDL:
+        session.execute(statement)
+    return session
+
+
+@pytest.fixture
+def address_par(tmp_path):
+    """A par file holding the paper's Address / Address2Line classes."""
+    return build_par(
+        os.path.join(str(tmp_path), "address.par"),
+        {"addressmod": paper_assets.ADDRESS_SOURCE},
+    )
+
+
+@pytest.fixture
+def address_types(session, address_par):
+    """Session with the paper's addr / addr_2_line types registered."""
+    session.execute(
+        f"call sqlj.install_par('{address_par}', 'address_par')"
+    )
+    session.execute(paper_assets.CREATE_TYPE_ADDR)
+    session.execute(paper_assets.CREATE_TYPE_ADDR_2_LINE)
+    return session

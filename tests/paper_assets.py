@@ -1,0 +1,261 @@
+"""The paper's running examples, translated to PySQLJ.
+
+Everything here is a direct transliteration of the tutorial's slides:
+the ``emps`` table, the ``Routines1``/``Routines2``/``Routines3``
+classes (Part 1), their CREATE PROCEDURE/FUNCTION statements, and the
+``Address``/``Address2Line`` classes with their CREATE TYPE statements
+(Part 2).  Tests and benchmarks build on these shared assets.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+# ---------------------------------------------------------------------------
+# Schema (paper: "Example table")
+# ---------------------------------------------------------------------------
+
+EMPS_DDL = (
+    "create table emps ("
+    " name varchar(50),"
+    " id char(5),"
+    " state char(20),"
+    " sales decimal(6,2))"
+)
+
+EMPS_ROWS = [
+    ("Alice", "E1", "CA", "100.50"),
+    ("Bob", "E2", "MN", "50.25"),
+    ("Carol", "E3", "NV", "75.00"),
+    ("Dan", "E4", "FL", "200.00"),
+    ("Eve", "E5", "VT", "10.00"),
+    ("Frank", "E6", "TX", None),
+    ("Grace", "E7", "GA", "120.75"),
+    ("Hank", "E8", "AZ", "99.99"),
+]
+
+
+def emps_insert_statements() -> List[str]:
+    statements = []
+    for name, emp_id, state, sales in EMPS_ROWS:
+        sales_text = "NULL" if sales is None else sales
+        statements.append(
+            f"insert into emps values ('{name}', '{emp_id}', '{state}', "
+            f"{sales_text})"
+        )
+    return statements
+
+
+#: state -> region mapping implemented by Routines1.region.
+REGION_BY_STATE = {
+    "MN": 1, "VT": 1, "NH": 1,
+    "FL": 2, "GA": 2, "AL": 2,
+    "CA": 3, "AZ": 3, "NV": 3,
+}
+
+
+def region_of(state: str) -> int:
+    """Reference implementation of the paper's region function."""
+    return REGION_BY_STATE.get(state, 4)
+
+
+# ---------------------------------------------------------------------------
+# Part 1 routines (paper: Routines1, Routines2, Routines3)
+# ---------------------------------------------------------------------------
+
+ROUTINES1_SOURCE = '''
+"""The paper's Routines1: region (plain computation) and correct_states
+(SQL update through the default connection)."""
+
+from repro.dbapi import DriverManager
+
+
+def region(s):
+    if s in ("MN", "VT", "NH"):
+        return 1
+    if s in ("FL", "GA", "AL"):
+        return 2
+    if s in ("CA", "AZ", "NV"):
+        return 3
+    return 4
+
+
+def correct_states(old_spelling, new_spelling):
+    conn = DriverManager.get_connection("JDBC:DEFAULT:CONNECTION")
+    stmt = conn.prepare_statement(
+        "UPDATE emps SET state = ? WHERE state = ?")
+    stmt.set_string(1, new_spelling)
+    stmt.set_string(2, old_spelling)
+    stmt.execute_update()
+'''
+
+ROUTINES2_SOURCE = '''
+"""The paper's Routines2: best_two_emps with eight OUT parameters."""
+
+from repro.dbapi import DriverManager
+
+
+def best_two_emps(n1, id1, r1, s1, n2, id2, r2, s2, region_parm):
+    conn = DriverManager.get_connection("DBAPI:DEFAULT:CONNECTION")
+    stmt = conn.prepare_statement(
+        "SELECT name, id, region_of(state) as region, sales FROM emps "
+        "WHERE region_of(state) > ? AND sales IS NOT NULL "
+        "ORDER BY sales DESC")
+    stmt.set_int(1, region_parm)
+    r = stmt.execute_query()
+    if r.next():
+        n1[0] = r.get_string("name")
+        id1[0] = r.get_string("id")
+        r1[0] = r.get_int("region")
+        s1[0] = r.get_decimal("sales")
+    else:
+        n1[0] = "****"
+        return
+    if r.next():
+        n2[0] = r.get_string("name")
+        id2[0] = r.get_string("id")
+        r2[0] = r.get_int("region")
+        s2[0] = r.get_decimal("sales")
+    else:
+        n2[0] = "****"
+'''
+
+ROUTINES3_SOURCE = '''
+"""The paper's Routines3: ordered_emps returning a dynamic result set."""
+
+from repro.dbapi import DriverManager
+
+
+def ordered_emps(region_parm, rs):
+    conn = DriverManager.get_connection("DBAPI:DEFAULT:CONNECTION")
+    stmt = conn.prepare_statement(
+        "SELECT name, region_of(state) as region, sales FROM emps "
+        "WHERE region_of(state) > ? AND sales IS NOT NULL "
+        "ORDER BY sales DESC")
+    stmt.set_int(1, region_parm)
+    rs[0] = stmt.execute_query()
+'''
+
+#: CREATE statements from the paper (par name adapted).
+ROUTINE_DDL = [
+    (
+        "create function region_of(state char(20)) returns integer "
+        "no sql external name 'routines_par:routines1.region' "
+        "language python parameter style python"
+    ),
+    (
+        "create procedure correct_states(old char(20), new char(20)) "
+        "modifies sql data "
+        "external name 'routines_par:routines1.correct_states' "
+        "language python parameter style python"
+    ),
+    (
+        "create procedure best2 ("
+        " out n1 varchar(50), out id1 varchar(5), out r1 integer,"
+        " out s1 decimal(6,2), out n2 varchar(50), out id2 varchar(5),"
+        " out r2 integer, out s2 decimal(6,2), region integer) "
+        "reads sql data "
+        "external name 'routines_par:routines2.best_two_emps' "
+        "language python parameter style python"
+    ),
+    (
+        "create procedure ranked_emps (region integer) "
+        "dynamic result sets 1 reads sql data "
+        "external name 'routines_par:routines3.ordered_emps' "
+        "language python parameter style python"
+    ),
+]
+
+
+# ---------------------------------------------------------------------------
+# Part 2 classes (paper: Address, Address2Line)
+# ---------------------------------------------------------------------------
+
+ADDRESS_SOURCE = '''
+"""The paper's Address and Address2Line example classes."""
+
+
+class Address:
+    recommended_width = 25
+
+    def __init__(self, street="Unknown", zip="None"):
+        self.street = street
+        self.zip = zip
+
+    def to_string(self):
+        return "Street= " + self.street + " ZIP= " + self.zip
+
+    def remove_leading_blanks(self):
+        self.street = self.street.lstrip(" ")
+
+    @staticmethod
+    def contiguous(a1, a2):
+        return "yes" if a1.zip[:3] == a2.zip[:3] else "no"
+
+    def __eq__(self, other):
+        return (
+            type(other) is type(self)
+            and self.street == other.street
+            and self.zip == other.zip
+        )
+
+    def __hash__(self):
+        return hash((self.street, self.zip))
+
+
+class Address2Line(Address):
+    def __init__(self, street="Unknown", line2=" ", zip="None"):
+        super().__init__(street, zip)
+        self.line2 = line2
+
+    def to_string(self):
+        return (
+            "Street= " + self.street + " Line2= " + self.line2
+            + " ZIP= " + self.zip
+        )
+
+    def __eq__(self, other):
+        return (
+            type(other) is type(self)
+            and self.street == other.street
+            and self.zip == other.zip
+            and self.line2 == other.line2
+        )
+
+    def __hash__(self):
+        return hash((self.street, self.zip, self.line2))
+'''
+
+CREATE_TYPE_ADDR = """
+create type addr external name 'address_par:addressmod.Address'
+language python (
+  zip_attr char(10) external name zip,
+  street_attr varchar(50) external name street,
+  static rec_width_attr integer external name recommended_width,
+  method addr () returns addr external name Address,
+  method addr (s_parm varchar(50), z_parm char(10)) returns addr
+    external name Address,
+  method to_string () returns varchar(255) external name to_string,
+  method remove_leading_blanks () external name remove_leading_blanks;
+  static method contiguous (a1 addr, a2 addr) returns char(3)
+    external name contiguous
+)
+"""
+
+CREATE_TYPE_ADDR_2_LINE = """
+create type addr_2_line under addr
+external name 'address_par:addressmod.Address2Line' language python (
+  line2_attr varchar(100) external name line2,
+  method addr_2_line () returns addr_2_line external name Address2Line,
+  method addr_2_line (s_parm varchar(50), s2_parm char(100),
+    z_parm char(10)) returns addr_2_line external name Address2Line,
+  method to_string () returns varchar(255) external name to_string
+)
+"""
+
+PEOPLE_WITH_ADDRESSES_DDL = (
+    "create table emps_addr ("
+    " name varchar(30),"
+    " home_addr addr,"
+    " mailing_addr addr_2_line)"
+)

@@ -1,0 +1,148 @@
+"""Tests for the ``psqlj`` command line."""
+
+import os
+
+import pytest
+
+from repro.dbapi.driver import registry
+from repro.engine import Database
+from repro.profiles.pjar import read_pjar
+from repro.profiles.serialization import load_profile, profile_from_bytes
+from repro.translator.cli import main
+
+GOOD = "#sql { DELETE FROM people };\n"
+BAD = "#sql { SELEKT 1 };\n"
+
+
+@pytest.fixture
+def exemplar_url():
+    database = Database(name="cli_db")
+    session = database.create_session(autocommit=True)
+    session.execute("create table people (name varchar(50))")
+    registry.register(database)
+    return "pydbc:standard:cli_db"
+
+
+def write(tmp_path, name, content):
+    path = tmp_path / name
+    path.write_text(content)
+    return str(path)
+
+
+class TestTranslateCommand:
+    def test_translate_success(self, tmp_path, capsys):
+        source = write(tmp_path, "app.psqlj", GOOD)
+        status = main([source, "-d", str(tmp_path / "out")])
+        captured = capsys.readouterr()
+        assert status == 0
+        assert "translated" in captured.out
+        assert os.path.exists(tmp_path / "out" / "app.py")
+        assert os.path.exists(
+            tmp_path / "out" / "app_SJProfile0.ser"
+        )
+
+    def test_translate_failure_reports_messages(self, tmp_path, capsys):
+        source = write(tmp_path, "bad.psqlj", BAD)
+        status = main([source])
+        captured = capsys.readouterr()
+        assert status == 1
+        assert "error" in captured.err
+        assert "syntax" in captured.err.lower()
+
+    def test_package_flag(self, tmp_path):
+        source = write(tmp_path, "app.psqlj", GOOD)
+        status = main(
+            [source, "-d", str(tmp_path / "out"), "--package"]
+        )
+        assert status == 0
+        pjar = str(tmp_path / "out" / "app.pjar")
+        assert set(read_pjar(pjar)) == {"app.py", "app_SJProfile0.ser"}
+
+    def test_exemplar_checking(self, tmp_path, capsys, exemplar_url):
+        good = write(
+            tmp_path, "ok.psqlj", "#sql { DELETE FROM people };\n"
+        )
+        assert main([good, "--exemplar", exemplar_url,
+                     "-d", str(tmp_path)]) == 0
+        bad = write(
+            tmp_path, "semantic.psqlj", "#sql { DELETE FROM ghosts };\n"
+        )
+        assert main([bad, "--exemplar", exemplar_url,
+                     "-d", str(tmp_path)]) == 1
+        assert "ghosts" in capsys.readouterr().err
+
+    def test_multiple_inputs(self, tmp_path):
+        first = write(tmp_path, "one.psqlj", GOOD)
+        second = write(tmp_path, "two.psqlj", GOOD)
+        assert main([first, second, "-d", str(tmp_path / "out")]) == 0
+        assert os.path.exists(tmp_path / "out" / "one.py")
+        assert os.path.exists(tmp_path / "out" / "two.py")
+
+    def test_partial_failure_status(self, tmp_path):
+        good = write(tmp_path, "one.psqlj", GOOD)
+        bad = write(tmp_path, "two.psqlj", BAD)
+        assert main([good, bad, "-d", str(tmp_path / "out")]) == 1
+
+
+class TestCustomizeCommand:
+    def test_customize_ser_file(self, tmp_path, capsys):
+        source = write(tmp_path, "app.psqlj", GOOD)
+        main([source, "-d", str(tmp_path)])
+        ser = str(tmp_path / "app_SJProfile0.ser")
+        status = main(["--customize", "acme,zenith", ser])
+        assert status == 0
+        profile = load_profile(ser)
+        assert {c.dialect_name for c in profile.customizations} == \
+            {"acme", "zenith"}
+
+    def test_customize_pjar(self, tmp_path):
+        source = write(tmp_path, "app.psqlj", GOOD)
+        main([source, "-d", str(tmp_path), "--package"])
+        pjar = str(tmp_path / "app.pjar")
+        assert main(["--customize", "acme", pjar]) == 0
+        profile = profile_from_bytes(
+            read_pjar(pjar)["app_SJProfile0.ser"]
+        )
+        assert profile.customizations[0].dialect_name == "acme"
+
+    def test_customize_unknown_dialect(self, tmp_path, capsys):
+        source = write(tmp_path, "app.psqlj", GOOD)
+        main([source, "-d", str(tmp_path)])
+        ser = str(tmp_path / "app_SJProfile0.ser")
+        assert main(["--customize", "oracle", ser]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestShowCommand:
+    def test_show_ser(self, tmp_path, capsys):
+        source = write(
+            tmp_path, "app.psqlj",
+            "def f(x):\n"
+            "    #sql { CALL p(:OUT a, :IN x) };\n"
+            "    pass\n",
+        )
+        main([source, "-d", str(tmp_path)])
+        capsys.readouterr()
+        status = main(
+            ["--show", str(tmp_path / "app_SJProfile0.ser")]
+        )
+        captured = capsys.readouterr()
+        assert status == 0
+        assert "CALL p(?, ?)" in captured.out
+        assert "param :a [OUT]" in captured.out
+        assert "param :x" in captured.out
+
+    def test_show_pjar_with_customizations(self, tmp_path, capsys):
+        source = write(tmp_path, "app.psqlj", GOOD)
+        main([source, "-d", str(tmp_path), "--package"])
+        pjar = str(tmp_path / "app.pjar")
+        main(["--customize", "acme", pjar])
+        capsys.readouterr()
+        assert main(["--show", pjar]) == 0
+        captured = capsys.readouterr()
+        assert "DELETE FROM people" in captured.out
+        assert "acme" in captured.out
+
+    def test_show_missing_file(self, tmp_path, capsys):
+        assert main(["--show", str(tmp_path / "ghost.ser")]) == 1
+        assert "error" in capsys.readouterr().err

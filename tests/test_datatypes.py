@@ -1,0 +1,522 @@
+"""Tests for SQLJ Part 2: Python classes as SQL types."""
+
+import pytest
+
+from repro import errors
+from repro.datatypes import create_type_ddl_for_class
+from repro.datatypes.serialization import (
+    deserialize_object,
+    serialize_object,
+)
+
+from tests import paper_assets
+
+
+@pytest.fixture
+def people(address_types):
+    """Session with addr types and the paper's emps_addr table."""
+    session = address_types
+    session.execute(paper_assets.PEOPLE_WITH_ADDRESSES_DDL)
+    session.execute(
+        "insert into emps_addr values('Bob Smith',"
+        " new addr('432 Elm Street', '95123'),"
+        " new addr_2_line('PO Box 99', 'attn: Bob Smith', '95123-0099'))"
+    )
+    return session
+
+
+class TestCreateType:
+    def test_types_registered(self, address_types):
+        addr = address_types.catalog.get_type("addr")
+        sub = address_types.catalog.get_type("addr_2_line")
+        assert addr.python_class.__name__ == "Address"
+        assert sub.supertype is addr
+
+    def test_attribute_bindings(self, address_types):
+        addr = address_types.catalog.get_type("addr")
+        assert addr.attributes["zip_attr"].field_name == "zip"
+        assert addr.attributes["rec_width_attr"].static
+
+    def test_constructors_by_arity(self, address_types):
+        addr = address_types.catalog.get_type("addr")
+        arities = sorted(
+            len(c.param_descriptors) for c in addr.constructors
+        )
+        assert arities == [0, 2]
+
+    def test_subtype_inherits_members(self, address_types):
+        sub = address_types.catalog.get_type("addr_2_line")
+        assert sub.find_attribute("zip_attr") is not None  # inherited
+        assert sub.find_attribute("line2_attr") is not None  # own
+        assert sub.find_method("remove_leading_blanks") is not None
+
+    def test_subtype_overrides_method(self, address_types):
+        sub = address_types.catalog.get_type("addr_2_line")
+        binding = sub.find_method("to_string")
+        assert binding is sub.methods["to_string"]
+
+    def test_under_requires_subclass(self, address_types):
+        # Address is not a subclass of Address2Line.
+        with pytest.raises(errors.CatalogError):
+            address_types.execute(
+                "create type not_a_sub under addr_2_line external name "
+                "'address_par:addressmod.Address' language python ()"
+            )
+
+    def test_unknown_method_rejected(self, session, address_par):
+        session.execute(
+            f"call sqlj.install_par('{address_par}', 'address_par')"
+        )
+        with pytest.raises(errors.RoutineResolutionError):
+            session.execute(
+                "create type bad external name "
+                "'address_par:addressmod.Address' language python ("
+                "method nope () external name not_a_method)"
+            )
+
+    def test_unknown_static_attribute_rejected(self, session, address_par):
+        session.execute(
+            f"call sqlj.install_par('{address_par}', 'address_par')"
+        )
+        with pytest.raises(errors.RoutineResolutionError):
+            session.execute(
+                "create type bad external name "
+                "'address_par:addressmod.Address' language python ("
+                "static nope integer external name not_a_field)"
+            )
+
+    def test_duplicate_type_rejected(self, address_types):
+        with pytest.raises(errors.DuplicateObjectError):
+            address_types.execute(paper_assets.CREATE_TYPE_ADDR)
+
+    def test_bare_class_name_resolution(self, session, address_par):
+        # The paper writes ``external name Address`` with no module.
+        session.execute(
+            f"call sqlj.install_par('{address_par}', 'address_par')"
+        )
+        session.execute(
+            "create type addr2 external name Address language python ("
+            "zip_attr char(10) external name zip,"
+            "method addr2 () returns addr2 external name Address)"
+        )
+        assert session.catalog.get_type(
+            "addr2"
+        ).python_class.__name__ == "Address"
+
+    def test_drop_type(self, address_types):
+        address_types.execute("drop type addr_2_line")
+        address_types.execute("drop type addr")
+        with pytest.raises(errors.UndefinedTypeError):
+            address_types.catalog.get_type("addr")
+
+    def test_drop_supertype_blocked_by_subtype(self, address_types):
+        with pytest.raises(errors.CatalogError):
+            address_types.execute("drop type addr")
+
+    def test_drop_type_blocked_by_column(self, people):
+        # Both types are used by emps_addr columns.
+        with pytest.raises(errors.CatalogError):
+            people.execute("drop type addr_2_line")
+        with pytest.raises(errors.CatalogError):
+            people.execute("drop type addr")
+
+
+class TestColumnsOfObjectType:
+    def test_paper_select_attributes(self, people):
+        result = people.execute(
+            "select name, home_addr>>zip_attr, home_addr>>street_attr, "
+            "mailing_addr>>zip_attr from emps_addr "
+            "where home_addr>>zip_attr <> mailing_addr>>zip_attr"
+        )
+        row = result.rows[0]
+        assert row[0] == "Bob Smith"
+        assert row[1].strip() == "95123"
+        assert row[2] == "432 Elm Street"
+
+    def test_methods_and_comparison(self, people):
+        result = people.execute(
+            "select name, home_addr>>to_string(), "
+            "mailing_addr>>to_string() from emps_addr "
+            "where home_addr <> mailing_addr"
+        )
+        assert result.rows[0][1].startswith("Street= 432 Elm Street")
+        assert "Line2=" in result.rows[0][2]
+
+    def test_static_attribute_via_type_name(self, people):
+        assert people.execute(
+            "select addr>>rec_width_attr from emps_addr"
+        ).rows == [[25]]
+
+    def test_static_method(self, people):
+        assert people.execute(
+            "select addr>>contiguous(home_addr, mailing_addr) "
+            "from emps_addr"
+        ).rows[0][0].strip() == "yes"
+
+    def test_update_attribute_path(self, people):
+        people.execute(
+            "update emps_addr set home_addr>>zip_attr = '99123' "
+            "where name = 'Bob Smith'"
+        )
+        assert people.execute(
+            "select home_addr>>zip_attr from emps_addr"
+        ).rows[0][0].strip() == "99123"
+
+    def test_update_whole_column_substitutability(self, people):
+        # ``set home_addr = mailing_addr`` — normal substitutability.
+        people.execute(
+            "update emps_addr set home_addr = mailing_addr "
+            "where home_addr is not null"
+        )
+        result = people.execute(
+            "select home_addr>>to_string() from emps_addr"
+        )
+        assert "Line2=" in result.rows[0][0]  # dynamic dispatch
+
+    def test_supertype_column_rejects_unrelated_value(self, people):
+        with pytest.raises(errors.InvalidCastError):
+            people.execute(
+                "update emps_addr set home_addr = name"
+            )
+
+    def test_subtype_column_rejects_supertype_value(self, people):
+        with pytest.raises(errors.InvalidCastError):
+            people.execute(
+                "update emps_addr set mailing_addr = "
+                "new addr('plain', '11111')"
+            )
+
+    def test_null_object_column(self, people):
+        people.execute(
+            "insert into emps_addr values ('Nobody', null, null)"
+        )
+        result = people.execute(
+            "select home_addr>>zip_attr, home_addr>>to_string() "
+            "from emps_addr where name = 'Nobody'"
+        )
+        assert result.rows == [[None, None]]
+
+    def test_attribute_update_on_null_object_fails(self, people):
+        people.execute(
+            "insert into emps_addr values ('Nobody', null, null)"
+        )
+        with pytest.raises(errors.NullValueError):
+            people.execute(
+                "update emps_addr set home_addr>>zip_attr = '1' "
+                "where name = 'Nobody'"
+            )
+
+    def test_method_mutating_object_does_not_change_stored_value(
+        self, people
+    ):
+        # remove_leading_blanks mutates the *copy* used in the query.
+        people.execute(
+            "update emps_addr set home_addr>>street_attr = '  padded' "
+        )
+        people.execute(
+            "select home_addr>>remove_leading_blanks() from emps_addr"
+        )
+        assert people.execute(
+            "select home_addr>>street_attr from emps_addr"
+        ).rows[0][0] == "  padded"
+
+    def test_objects_by_value_on_insert(self, people, db):
+        # Mutating the host object after set_object must not affect the
+        # stored row.
+        from repro.dbapi import DriverManager
+
+        par = db.catalog.get_par("address_par")
+        loader = db.par_loader
+        module = loader.load_module(par, "addressmod")
+        address = module.Address("First Street", "00001")
+
+        conn = DriverManager.get_connection("pydbc:standard:x",
+                                            database=db)
+        stmt = conn.prepare_statement(
+            "insert into emps_addr values ('Obj', ?, null)"
+        )
+        stmt.set_object(1, address)
+        stmt.execute_update()
+        address.street = "Mutated After Insert"
+        assert people.execute(
+            "select home_addr>>street_attr from emps_addr "
+            "where name = 'Obj'"
+        ).rows == [["First Street"]]
+
+    def test_get_object_returns_copy(self, people, db):
+        from repro.dbapi import DriverManager
+
+        conn = DriverManager.get_connection("pydbc:standard:x",
+                                            database=db)
+        rs = conn.create_statement().execute_query(
+            "select home_addr from emps_addr where name = 'Bob Smith'"
+        )
+        rs.next()
+        fetched = rs.get_object(1)
+        fetched.street = "Client-side mutation"
+        assert people.execute(
+            "select home_addr>>street_attr from emps_addr"
+        ).rows == [["432 Elm Street"]]
+
+    def test_constructor_arity_mismatch(self, people):
+        with pytest.raises(errors.UndefinedRoutineError):
+            people.execute(
+                "insert into emps_addr values "
+                "('X', new addr('only-street'), null)"
+            )
+
+    def test_unknown_attribute(self, people):
+        with pytest.raises(errors.UndefinedColumnError):
+            people.execute(
+                "select home_addr>>no_such_attr from emps_addr"
+            )
+
+    def test_unknown_method(self, people):
+        with pytest.raises(errors.UndefinedRoutineError):
+            people.execute(
+                "select home_addr>>no_such_method() from emps_addr"
+            )
+
+    def test_constructor_coerces_char_params(self, people):
+        people.execute(
+            "insert into emps_addr values "
+            "('Y', new addr('s', '9'), null)"
+        )
+        # z_parm is char(10): padded to ten characters in the object.
+        assert people.execute(
+            "select home_addr>>zip_attr from emps_addr where name = 'Y'"
+        ).rows == [["9".ljust(10)]]
+
+    def test_group_by_object_column(self, people):
+        people.execute(
+            "insert into emps_addr values ('Bob Twin',"
+            " new addr('432 Elm Street', '95123     '), null)"
+        )
+        result = people.execute(
+            "select count(*) from emps_addr group by home_addr"
+        )
+        assert sorted(r[0] for r in result.rows) == [2]
+
+
+class TestMethodExceptionMapping:
+    def test_method_exception_becomes_sqlstate(self, session, tmp_path):
+        from repro.procedures import build_par
+
+        par = build_par(
+            str(tmp_path / "angry.par"),
+            {
+                "angry": (
+                    "class Angry:\n"
+                    "    def __init__(self):\n"
+                    "        pass\n"
+                    "    def shout(self):\n"
+                    "        raise RuntimeError('objection!')\n"
+                )
+            },
+        )
+        session.execute(f"call sqlj.install_par('{par}', 'ap')")
+        session.execute(
+            "create type angry external name 'ap:angry.Angry' "
+            "language python ("
+            "method angry () returns angry external name Angry,"
+            "method shout () external name shout)"
+        )
+        session.execute("create table a_table (a angry)")
+        session.execute("insert into a_table values (new angry())")
+        with pytest.raises(errors.ExternalRoutineError) as info:
+            session.execute("select a>>shout() from a_table")
+        assert info.value.message == "objection!"
+
+
+class TestDdlGeneration:
+    def test_generates_valid_create_type(self, session):
+        ddl = create_type_ddl_for_class(PlainPoint)
+        assert "create type plain_point" in ddl
+        assert "external name" in ddl
+        session.execute(ddl)
+        udt = session.catalog.get_type("plain_point")
+        assert udt.python_class is PlainPoint
+        session.execute("create table pts (p plain_point)")
+        session.execute("insert into pts values (new plain_point(1, 2))")
+        assert session.execute(
+            "select p>>magnitude_squared() from pts"
+        ).rows == [[5]]
+
+    def test_snake_case_conversion(self):
+        ddl = create_type_ddl_for_class(PlainPoint)
+        assert "magnitude_squared" in ddl
+
+    def test_unmappable_class_rejected(self):
+        class Opaque:
+            def __init__(self, blob):
+                self.blob = blob
+
+        with pytest.raises(errors.CatalogError):
+            create_type_ddl_for_class(Opaque)
+
+
+class PlainPoint:
+    """Module-level class so CREATE TYPE can import it by dotted name."""
+
+    x: int
+    y: int
+
+    def __init__(self, x: int, y: int):
+        self.x = x
+        self.y = y
+
+    def magnitude_squared(self) -> int:
+        return self.x * self.x + self.y * self.y
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        point = PlainPoint(3, 4)
+        again = deserialize_object(serialize_object(point))
+        assert again.x == 3 and again.y == 4
+
+    def test_unserialisable_rejected(self):
+        with pytest.raises(errors.DataError):
+            serialize_object(lambda: None)
+
+    def test_bad_payload_rejected(self):
+        with pytest.raises(errors.DataError):
+            deserialize_object(b"garbage")
+
+
+MONEY_MODULE = '''
+class Money:
+    def __init__(self, currency="USD", cents=0):
+        self.currency = currency
+        self.cents = int(cents)
+
+    def compare_to(self, other):
+        if self.currency != other.currency:
+            return -1 if self.currency < other.currency else 1
+        return (self.cents > other.cents) - (self.cents < other.cents)
+
+    def same_currency(self, other):
+        return 0 if self.currency == other.currency else 1
+'''
+
+
+class TestOrderingSpecs:
+    @pytest.fixture
+    def money(self, session, tmp_path):
+        from repro.procedures import build_par
+
+        par = build_par(
+            str(tmp_path / "money.par"), {"moneymod": MONEY_MODULE}
+        )
+        session.execute(f"call sqlj.install_par('{par}', 'money_par')")
+        session.execute("""
+            create type money external name 'money_par:moneymod.Money'
+            language python (
+              cents_attr integer external name cents,
+              method money (c varchar(3), cents integer) returns money
+                external name Money,
+              method compare_to (other money) returns integer
+                external name compare_to,
+              ordering full by method compare_to
+            )
+        """)
+        session.execute("create table prices (item varchar(10), p money)")
+        for item, cents in [("b", 300), ("a", 100), ("c", 200)]:
+            session.execute(
+                f"insert into prices values ('{item}', "
+                f"new money('USD', {cents}))"
+            )
+        return session
+
+    def test_full_ordering_enables_relational_operators(self, money):
+        result = money.execute(
+            "select item from prices where p > new money('USD', 150) "
+            "order by item"
+        )
+        assert [r[0] for r in result.rows] == ["b", "c"]
+
+    def test_full_ordering_enables_order_by(self, money):
+        result = money.execute(
+            "select item from prices order by p desc"
+        )
+        assert [r[0] for r in result.rows] == ["b", "c", "a"]
+
+    def test_equality_through_ordering_method(self, money):
+        result = money.execute(
+            "select item from prices where p = new money('USD', 200)"
+        )
+        assert result.rows == [["c"]]
+
+    def test_ordering_inherited_by_subtypes(self, money, tmp_path):
+        from repro.procedures import build_par
+
+        par = build_par(
+            str(tmp_path / "money2.par"),
+            {"money2mod": (
+                "from moneymod import Money\n"
+                "class TaxedMoney(Money):\n"
+                "    pass\n"
+            )},
+        )
+        money.execute(f"call sqlj.install_par('{par}', 'money2_par')")
+        money.execute(
+            "call sqlj.alter_module_path('money2_par', '(*, money_par)')"
+        )
+        money.execute("""
+            create type taxed_money under money
+            external name 'money2_par:money2mod.TaxedMoney'
+            language python ()
+        """)
+        udt = money.catalog.get_type("taxed_money")
+        assert udt.find_ordering() == ("FULL", "compare_to")
+
+    def test_equals_only_ordering_rejects_relational(self, session,
+                                                     tmp_path):
+        from repro.procedures import build_par
+
+        par = build_par(
+            str(tmp_path / "money3.par"), {"money3mod": MONEY_MODULE}
+        )
+        session.execute(f"call sqlj.install_par('{par}', 'm3')")
+        session.execute("""
+            create type currency external name 'm3:money3mod.Money'
+            language python (
+              method currency (c varchar(3), cents integer)
+                returns currency external name Money,
+              method same_currency (other currency) returns integer
+                external name same_currency,
+              ordering equals only by method same_currency
+            )
+        """)
+        session.execute("create table wallets (w currency)")
+        session.execute(
+            "insert into wallets values (new currency('USD', 1))"
+        )
+        # equality works...
+        assert session.execute(
+            "select count(*) from wallets "
+            "where w = new currency('USD', 999)"
+        ).rows == [[1]]
+        # ...ordering comparisons are compile-time errors.
+        with pytest.raises(errors.InvalidCastError):
+            session.execute(
+                "select count(*) from wallets "
+                "where w < new currency('USD', 999)"
+            )
+        with pytest.raises(errors.InvalidCastError):
+            session.execute("select w from wallets order by w")
+
+    def test_unknown_ordering_method_rejected(self, session, tmp_path):
+        from repro.procedures import build_par
+
+        par = build_par(
+            str(tmp_path / "money4.par"), {"money4mod": MONEY_MODULE}
+        )
+        session.execute(f"call sqlj.install_par('{par}', 'm4')")
+        with pytest.raises(errors.RoutineResolutionError):
+            session.execute("""
+                create type bad_money external name 'm4:money4mod.Money'
+                language python (
+                  ordering full by method nonexistent
+                )
+            """)

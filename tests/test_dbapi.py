@@ -1,0 +1,446 @@
+"""Tests for the PyDBC (JDBC-shaped) connectivity layer."""
+
+import decimal
+
+import pytest
+
+from repro import errors
+from repro.dbapi import DriverManager
+from repro.dbapi.statement import strip_call_escape
+from repro.sqltypes import typecodes
+
+D = decimal.Decimal
+
+
+@pytest.fixture
+def conn(db, emps):
+    connection = DriverManager.get_connection(
+        "pydbc:standard:unused", database=db
+    )
+    yield connection
+    connection.close()
+
+
+class TestDriverManager:
+    def test_url_creates_database(self):
+        connection = DriverManager.get_connection("pydbc:standard:fresh")
+        connection.session.execute("create table t (a integer)")
+        # A second connection to the same URL sees the same database.
+        second = DriverManager.get_connection("pydbc:standard:fresh")
+        assert second.session.execute(
+            "select count(*) from t"
+        ).rows == [[0]]
+
+    def test_url_dialect_selected(self):
+        connection = DriverManager.get_connection("pydbc:acme:acmedb")
+        assert connection.dialect_name == "acme"
+
+    def test_dialect_conflict_rejected(self):
+        DriverManager.get_connection("pydbc:acme:conflicted")
+        with pytest.raises(errors.ConnectionError_):
+            DriverManager.get_connection("pydbc:zenith:conflicted")
+
+    def test_malformed_url(self):
+        with pytest.raises(errors.ConnectionError_):
+            DriverManager.get_connection("jdbc:odbc:acme.cs")
+
+    def test_unknown_dialect(self):
+        with pytest.raises(errors.ConnectionError_):
+            DriverManager.get_connection("pydbc:oracle:whatever")
+
+    def test_default_connection_outside_routine_fails(self):
+        with pytest.raises(errors.ConnectionError_):
+            DriverManager.get_connection("DBAPI:DEFAULT:CONNECTION")
+
+    def test_user_parameter(self, db):
+        connection = DriverManager.get_connection(
+            "pydbc:standard:x", user="smith", database=db
+        )
+        assert connection.user == "smith"
+
+
+class TestStatement:
+    def test_execute_query(self, conn):
+        rs = conn.create_statement().execute_query(
+            "select name from emps where state = 'CA'"
+        )
+        assert rs.next()
+        assert rs.get_string(1) == "Alice"
+        assert not rs.next()
+
+    def test_execute_update(self, conn):
+        stmt = conn.create_statement()
+        count = stmt.execute_update(
+            "update emps set sales = 0 where sales is null"
+        )
+        assert count == 1
+        assert stmt.get_update_count() == 1
+
+    def test_execute_query_on_update_rejected(self, conn):
+        with pytest.raises(errors.DataError):
+            conn.create_statement().execute_query(
+                "delete from emps where 1 = 0"
+            )
+
+    def test_execute_update_on_query_rejected(self, conn):
+        with pytest.raises(errors.DataError):
+            conn.create_statement().execute_update("select 1")
+
+    def test_generic_execute(self, conn):
+        stmt = conn.create_statement()
+        assert stmt.execute("select 1") is True
+        assert stmt.execute("delete from emps where 1 = 0") is False
+
+    def test_closed_statement(self, conn):
+        stmt = conn.create_statement()
+        stmt.close()
+        with pytest.raises(errors.InvalidCursorStateError):
+            stmt.execute_query("select 1")
+
+
+class TestPreparedStatement:
+    def test_binding_and_reuse(self, conn):
+        stmt = conn.prepare_statement(
+            "select name from emps where sales > ? order by name"
+        )
+        stmt.set_decimal(1, D("100"))
+        first = [r.get_string(1) for r in stmt.execute_query()]
+        stmt.set_decimal(1, D("150"))
+        second = [r.get_string(1) for r in stmt.execute_query()]
+        assert first == ["Alice", "Dan", "Grace"]
+        assert second == ["Dan"]
+
+    def test_set_null(self, conn):
+        stmt = conn.prepare_statement(
+            "update emps set sales = ? where name = 'Alice'"
+        )
+        stmt.set_null(1)
+        stmt.execute_update()
+        rs = conn.create_statement().execute_query(
+            "select sales from emps where name = 'Alice'"
+        )
+        rs.next()
+        assert rs.get_decimal(1) is None
+        assert rs.was_null()
+
+    def test_unbound_parameter_fails(self, conn):
+        stmt = conn.prepare_statement(
+            "select name from emps where sales > ?"
+        )
+        with pytest.raises(errors.DataError):
+            stmt.execute_query()
+
+    def test_clear_parameters(self, conn):
+        stmt = conn.prepare_statement(
+            "select name from emps where sales > ?"
+        )
+        stmt.set_int(1, 0)
+        stmt.clear_parameters()
+        with pytest.raises(errors.DataError):
+            stmt.execute_query()
+
+    def test_type_checked_binders(self, conn):
+        stmt = conn.prepare_statement("select ?")
+        with pytest.raises(errors.InvalidCastError):
+            stmt.set_string(1, 42)
+        with pytest.raises(errors.InvalidCastError):
+            stmt.set_int(1, "42")
+
+    def test_one_based_indexes(self, conn):
+        stmt = conn.prepare_statement("select ?")
+        with pytest.raises(errors.DataError):
+            stmt.set_int(0, 1)
+
+    def test_prepared_insert(self, conn):
+        stmt = conn.prepare_statement(
+            "insert into emps values (?, ?, ?, ?)"
+        )
+        for i in range(3):
+            stmt.set_string(1, f"N{i}")
+            stmt.set_string(2, f"P{i}")
+            stmt.set_string(3, "CA")
+            stmt.set_decimal(4, D(i))
+            assert stmt.execute_update() == 1
+        rs = conn.create_statement().execute_query(
+            "select count(*) from emps where id like 'P%'"
+        )
+        rs.next()
+        assert rs.get_int(1) == 3
+
+
+class TestResultSet:
+    def test_column_access_by_name_and_index(self, conn):
+        rs = conn.create_statement().execute_query(
+            "select name, sales from emps where name = 'Alice'"
+        )
+        rs.next()
+        assert rs.get_string("name") == rs.get_string(1)
+        assert rs.get_decimal("sales") == rs.get_decimal(2)
+
+    def test_find_column(self, conn):
+        rs = conn.create_statement().execute_query(
+            "select name, sales from emps"
+        )
+        assert rs.find_column("sales") == 2
+        with pytest.raises(errors.UndefinedColumnError):
+            rs.find_column("wages")
+
+    def test_access_before_next_fails(self, conn):
+        rs = conn.create_statement().execute_query("select 1")
+        with pytest.raises(errors.InvalidCursorStateError):
+            rs.get_int(1)
+
+    def test_access_after_end_fails(self, conn):
+        rs = conn.create_statement().execute_query("select 1")
+        while rs.next():
+            pass
+        with pytest.raises(errors.InvalidCursorStateError):
+            rs.get_int(1)
+
+    def test_closed_resultset(self, conn):
+        rs = conn.create_statement().execute_query("select 1")
+        rs.close()
+        with pytest.raises(errors.InvalidCursorStateError):
+            rs.next()
+
+    def test_iteration_protocol(self, conn):
+        rs = conn.create_statement().execute_query(
+            "select name from emps order by name limit 2"
+        )
+        assert [r.get_string(1) for r in rs] == ["Alice", "Bob"]
+
+    def test_fetch_all(self, conn):
+        rs = conn.create_statement().execute_query(
+            "select name from emps order by name limit 2"
+        )
+        assert rs.fetch_all() == [["Alice"], ["Bob"]]
+        assert rs.fetch_all() == []
+
+    def test_typed_getters(self, conn):
+        rs = conn.create_statement().execute_query(
+            "select name, sales from emps where name = 'Alice'"
+        )
+        rs.next()
+        assert rs.get_float("sales") == pytest.approx(100.5)
+        assert rs.get_int("sales") == 100
+        with pytest.raises(errors.InvalidCastError):
+            rs.get_date("name")
+
+    def test_metadata(self, conn):
+        rs = conn.create_statement().execute_query(
+            "select name, sales from emps"
+        )
+        md = rs.get_meta_data()
+        assert md.get_column_count() == 2
+        assert md.get_column_name(1) == "name"
+        assert md.get_column_type(2) == typecodes.DECIMAL
+        assert md.get_column_type_name(2) == "DECIMAL(6,2)"
+
+    def test_out_of_range_column(self, conn):
+        rs = conn.create_statement().execute_query("select 1")
+        rs.next()
+        with pytest.raises(errors.DataError):
+            rs.get_int(5)
+
+
+class TestConnection:
+    def test_autocommit_default_true(self, conn):
+        assert conn.autocommit is True
+
+    def test_manual_transaction(self, db, emps):
+        connection = DriverManager.get_connection(
+            "pydbc:standard:x", database=db
+        )
+        connection.set_auto_commit(False)
+        connection.create_statement().execute_update("delete from emps")
+        connection.rollback()
+        rs = connection.create_statement().execute_query(
+            "select count(*) from emps"
+        )
+        rs.next()
+        assert rs.get_int(1) == 8
+
+    def test_close_is_idempotent(self, conn):
+        conn.close()
+        conn.close()
+        with pytest.raises(errors.ConnectionClosedError):
+            conn.create_statement()
+
+    def test_context_manager(self, db):
+        with DriverManager.get_connection(
+            "pydbc:standard:x", database=db
+        ) as connection:
+            assert not connection.closed
+        assert connection.closed
+
+    def test_type_map(self, conn):
+        class Fake:
+            pass
+
+        conn.set_type_map({"ADDR": Fake})
+        assert conn.get_type_map() == {"addr": Fake}
+        with pytest.raises(errors.DataError):
+            conn.set_type_map({"addr": "not-a-class"})
+
+
+class TestCallEscape:
+    def test_strip_call_escape(self):
+        assert strip_call_escape("{call p(?, ?)}") == "CALL p(?, ?)"
+        assert strip_call_escape("  { CALL p() }  ") == "CALL p()"
+        assert strip_call_escape("select 1") == "select 1"
+
+    def test_multiline_escape(self):
+        assert strip_call_escape(
+            "{call best2(?,\n ?)}"
+        ) == "CALL best2(?,\n ?)"
+
+
+class TestMetadata:
+    def test_get_tables(self, conn):
+        md = conn.get_meta_data()
+        rs = md.get_tables()
+        names = [r.get_string("table_name") for r in rs]
+        assert "emps" in names
+
+    def test_get_tables_pattern(self, conn):
+        conn.session.execute("create table orders (a integer)")
+        md = conn.get_meta_data()
+        names = [
+            r.get_string("table_name")
+            for r in md.get_tables(table_name_pattern="ord%")
+        ]
+        assert names == ["orders"]
+
+    def test_get_columns(self, conn):
+        md = conn.get_meta_data()
+        rs = md.get_columns(table_name_pattern="emps")
+        columns = {
+            r.get_string("column_name"): r.get_int("data_type") for r in rs
+        }
+        assert columns["sales"] == typecodes.DECIMAL
+        assert columns["name"] == typecodes.VARCHAR
+
+    def test_get_udts_matches_paper_example(self, address_types, db):
+        connection = DriverManager.get_connection(
+            "pydbc:standard:x", database=db
+        )
+        dmd = connection.get_meta_data()
+        types = [typecodes.PY_OBJECT]
+        rs = dmd.get_udts("catalog-name", "schema-name", "%", types)
+        found = {r.get_string("type_name"): r for r in rs}
+        assert set(found) == {"addr", "addr_2_line"}
+
+    def test_get_udts_class_names(self, address_types, db):
+        connection = DriverManager.get_connection(
+            "pydbc:standard:x", database=db
+        )
+        rs = connection.get_meta_data().get_udts()
+        by_name = {}
+        while rs.next():
+            by_name[rs.get_string("type_name")] = (
+                rs.get_string("class_name"),
+                rs.get_string("remarks"),
+            )
+        assert by_name["addr"][0].endswith("Address")
+        assert by_name["addr_2_line"][1] == "under addr"
+
+    def test_get_procedures(self, payroll, db):
+        connection = DriverManager.get_connection(
+            "pydbc:standard:x", database=db
+        )
+        rs = connection.get_meta_data().get_procedures(
+            procedure_name_pattern="ranked%"
+        )
+        rs.next()
+        assert rs.get_string("procedure_name") == "ranked_emps"
+        assert rs.get_int("dynamic_result_sets") == 1
+
+    def test_get_procedure_columns(self, payroll, db):
+        connection = DriverManager.get_connection(
+            "pydbc:standard:x", database=db
+        )
+        rs = connection.get_meta_data().get_procedure_columns(
+            procedure_name_pattern="best2"
+        )
+        modes = [r.get_string("column_type") for r in rs]
+        assert modes.count("OUT") == 8
+        assert modes.count("IN") == 1
+
+    def test_product_name(self, conn):
+        md = conn.get_meta_data()
+        assert "PySQLJ" in md.get_database_product_name()
+        assert md.get_user_name() == "dba"
+
+
+class TestScrollableResultSet:
+    @pytest.fixture
+    def rs(self, conn):
+        return conn.create_statement().execute_query(
+            "select name from emps order by name"
+        )
+
+    def test_first_and_last(self, rs):
+        assert rs.first()
+        assert rs.get_string(1) == "Alice"
+        assert rs.last()
+        assert rs.get_string(1) == "Hank"
+
+    def test_previous(self, rs):
+        rs.last()
+        assert rs.previous()
+        assert rs.get_string(1) == "Grace"
+
+    def test_previous_past_start(self, rs):
+        rs.first()
+        assert not rs.previous()
+        assert rs.is_before_first()
+
+    def test_absolute_positive(self, rs):
+        assert rs.absolute(3)
+        assert rs.get_string(1) == "Carol"
+        assert rs.get_row() == 3
+
+    def test_absolute_negative_counts_from_end(self, rs):
+        assert rs.absolute(-1)
+        assert rs.get_string(1) == "Hank"
+        assert rs.absolute(-8)
+        assert rs.get_string(1) == "Alice"
+
+    def test_absolute_out_of_range(self, rs):
+        assert not rs.absolute(100)
+        assert rs.is_after_last()
+        assert not rs.absolute(-100)
+        assert rs.is_before_first()
+
+    def test_absolute_zero_is_before_first(self, rs):
+        assert not rs.absolute(0)
+        assert rs.is_before_first()
+
+    def test_relative(self, rs):
+        rs.first()
+        assert rs.relative(2)
+        assert rs.get_string(1) == "Carol"
+        assert rs.relative(-1)
+        assert rs.get_string(1) == "Bob"
+
+    def test_before_first_and_after_last(self, rs):
+        rs.after_last()
+        assert rs.is_after_last()
+        assert not rs.next()
+        rs.before_first()
+        assert rs.next()
+        assert rs.get_string(1) == "Alice"
+
+    def test_get_row_outside_rows(self, rs):
+        assert rs.get_row() == 0
+        rs.first()
+        assert rs.get_row() == 1
+
+    def test_empty_set(self, conn):
+        rs = conn.create_statement().execute_query(
+            "select name from emps where 1 = 2"
+        )
+        assert not rs.first()
+        assert not rs.last()
+        assert not rs.is_before_first()
+        assert not rs.is_after_last()

@@ -1,0 +1,239 @@
+"""Direct unit tests for engine internals: catalog, storage,
+privilege manager, dialects and the built-in function registry."""
+
+import pytest
+
+from repro import errors
+from repro.engine.catalog import (
+    Catalog,
+    Column,
+    InstalledPar,
+    Table,
+    parse_external_name,
+)
+from repro.engine.dialects import ACME, DIALECTS, STANDARD, ZENITH
+from repro.engine.functions import BUILTINS, NULL_TOLERANT, lookup_builtin
+from repro.engine.privileges import PrivilegeManager
+from repro.engine.storage import RowStore, TransactionLog
+from repro.sqltypes import IntegerType, VarCharType
+
+
+def make_table(name="t"):
+    return Table(
+        name,
+        [Column("a", IntegerType()), Column("b", VarCharType(10))],
+        owner="owner",
+    )
+
+
+class TestCatalog:
+    def test_table_lifecycle(self):
+        catalog = Catalog()
+        table = make_table()
+        catalog.create_table(table)
+        assert catalog.get_table("t") is table
+        assert catalog.get_relation("t") is table
+        catalog.drop_table("t")
+        with pytest.raises(errors.UndefinedTableError):
+            catalog.get_table("t")
+
+    def test_duplicate_table(self):
+        catalog = Catalog()
+        catalog.create_table(make_table())
+        with pytest.raises(errors.DuplicateObjectError):
+            catalog.create_table(make_table())
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(errors.DuplicateObjectError):
+            Table(
+                "t",
+                [Column("a", IntegerType()), Column("a", IntegerType())],
+                owner="o",
+            )
+
+    def test_column_position(self):
+        table = make_table()
+        assert table.column_position("b") == 1
+        assert table.has_column("a")
+        assert not table.has_column("z")
+        with pytest.raises(errors.UndefinedColumnError):
+            table.column_position("z")
+
+    def test_par_lifecycle(self):
+        catalog = Catalog()
+        par = InstalledPar(name="p", url="u", modules={"m": "x = 1"})
+        catalog.install_par(par)
+        assert catalog.get_par("p") is par
+        with pytest.raises(errors.ParInstallationError):
+            catalog.install_par(par)
+        catalog.remove_par("p")
+        with pytest.raises(errors.UndefinedParError):
+            catalog.get_par("p")
+
+    @pytest.mark.parametrize(
+        "external, expected",
+        [
+            ("par:mod.func", ("par", "mod", "func")),
+            ("par:pkg.mod.func", ("par", "pkg.mod", "func")),
+            ("mod.func", (None, "mod", "func")),
+            ("Address", (None, "", "Address")),
+            ("PAR:mod.f", ("par", "mod", "f")),  # par names fold
+        ],
+    )
+    def test_parse_external_name(self, external, expected):
+        assert parse_external_name(external) == expected
+
+    def test_malformed_external_name(self):
+        with pytest.raises(errors.RoutineResolutionError):
+            parse_external_name("par:mod.")
+
+
+class TestStorageAndTransactions:
+    def test_insert_undo(self):
+        table = make_table()
+        log = TransactionLog()
+        store = RowStore(table, log)
+        store.insert([1, "x"])
+        store.insert([2, "y"])
+        assert len(table.rows) == 2
+        log.rollback()
+        assert table.rows == []
+
+    def test_delete_undo_restores_positions(self):
+        table = make_table()
+        table.rows = [[1, "a"], [2, "b"], [3, "c"], [4, "d"]]
+        log = TransactionLog()
+        RowStore(table, log).delete_at([0, 2])
+        assert table.rows == [[2, "b"], [4, "d"]]
+        log.rollback()
+        assert table.rows == [[1, "a"], [2, "b"], [3, "c"], [4, "d"]]
+
+    def test_update_undo(self):
+        table = make_table()
+        table.rows = [[1, "a"]]
+        log = TransactionLog()
+        RowStore(table, log).update_at(0, [9, "z"])
+        assert table.rows == [[9, "z"]]
+        log.rollback()
+        assert table.rows == [[1, "a"]]
+
+    def test_commit_clears_log(self):
+        table = make_table()
+        log = TransactionLog()
+        RowStore(table, log).insert([1, "a"])
+        assert log.active
+        committed = log.commit()
+        assert committed == 1
+        assert not log.active
+        assert log.rollback() == 0
+        assert table.rows == [[1, "a"]]
+
+    def test_interleaved_operations_roll_back_in_order(self):
+        table = make_table()
+        table.rows = [[1, "a"], [2, "b"]]
+        log = TransactionLog()
+        store = RowStore(table, log)
+        store.update_at(0, [10, "a"])
+        store.insert([3, "c"])
+        store.delete_at([1])
+        log.rollback()
+        assert table.rows == [[1, "a"], [2, "b"]]
+
+    def test_no_log_means_no_undo(self):
+        table = make_table()
+        RowStore(table, None).insert([1, "a"])
+        assert table.rows == [[1, "a"]]
+
+
+class TestPrivilegeManager:
+    def test_grant_check_revoke(self):
+        manager = PrivilegeManager(admin_user="dba")
+        manager.grant("SELECT", "TABLE", "t", ["smith"], "owner",
+                      "owner")
+        assert manager.holds("smith", "SELECT", "TABLE", "t", "owner")
+        manager.revoke("SELECT", "TABLE", "t", ["smith"], "owner",
+                       "owner")
+        assert not manager.holds("smith", "SELECT", "TABLE", "t",
+                                 "owner")
+
+    def test_all_expands_to_table_privileges(self):
+        manager = PrivilegeManager(admin_user="dba")
+        manager.grant("ALL", "TABLE", "t", ["smith"], "owner", "owner")
+        for privilege in ("SELECT", "INSERT", "UPDATE", "DELETE"):
+            assert manager.holds(
+                "smith", privilege, "TABLE", "t", "owner"
+            )
+
+    def test_owner_and_admin_implicit(self):
+        manager = PrivilegeManager(admin_user="dba")
+        assert manager.holds("owner", "SELECT", "TABLE", "t", "owner")
+        assert manager.holds("dba", "DELETE", "TABLE", "t", "owner")
+
+    def test_public_grantee(self):
+        manager = PrivilegeManager(admin_user="dba")
+        manager.grant("USAGE", "PAR", "p", ["public"], "owner", "owner")
+        assert manager.holds("anyone", "USAGE", "PAR", "p", "owner")
+
+    def test_only_owner_or_admin_grants(self):
+        manager = PrivilegeManager(admin_user="dba")
+        with pytest.raises(errors.PrivilegeError):
+            manager.grant("SELECT", "TABLE", "t", ["x"], "random",
+                          "owner")
+        manager.grant("SELECT", "TABLE", "t", ["x"], "dba", "owner")
+
+    def test_invalid_privilege_kind(self):
+        manager = PrivilegeManager(admin_user="dba")
+        with pytest.raises(errors.CatalogError):
+            manager.grant("EXECUTE", "TABLE", "t", ["x"], "owner",
+                          "owner")
+        with pytest.raises(errors.CatalogError):
+            manager.grant("SELECT", "PAR", "p", ["x"], "owner", "owner")
+
+    def test_drop_object_forgets_grants(self):
+        manager = PrivilegeManager(admin_user="dba")
+        manager.grant("SELECT", "TABLE", "t", ["smith"], "owner",
+                      "owner")
+        manager.drop_object("TABLE", "t")
+        assert not manager.holds("smith", "SELECT", "TABLE", "t",
+                                 "owner")
+
+    def test_require_raises(self):
+        manager = PrivilegeManager(admin_user="dba")
+        with pytest.raises(errors.PrivilegeError):
+            manager.require("smith", "SELECT", "TABLE", "t", "owner")
+
+
+class TestDialects:
+    def test_registry_contents(self):
+        assert set(DIALECTS) == {"standard", "acme", "zenith"}
+
+    def test_standard_profile(self):
+        assert STANDARD.limit_style == "limit"
+        assert STANDARD.allows_double_pipe_concat
+        assert not STANDARD.plus_concatenates_strings
+
+    def test_acme_profile(self):
+        assert ACME.limit_style == "top"
+        assert ACME.plus_concatenates_strings
+        assert not ACME.allows_double_pipe_concat
+
+    def test_zenith_profile(self):
+        assert ZENITH.limit_style == "fetch_first"
+        assert ZENITH.allows_double_pipe_concat
+
+    def test_dialects_are_frozen(self):
+        with pytest.raises(Exception):
+            STANDARD.limit_style = "top"  # type: ignore[misc]
+
+
+class TestFunctionRegistry:
+    def test_lookup_case_insensitive(self):
+        assert lookup_builtin("UPPER") is lookup_builtin("upper")
+        assert lookup_builtin("no_such_function") is None
+
+    def test_null_tolerant_subset(self):
+        assert NULL_TOLERANT <= set(BUILTINS)
+
+    def test_every_builtin_callable(self):
+        for name, fn in BUILTINS.items():
+            assert callable(fn), name

@@ -1,0 +1,99 @@
+"""Unit tests for the SQLException hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestSQLStates:
+    def test_root_default_state(self):
+        assert errors.SQLException("boom").sqlstate == "HY000"
+
+    def test_explicit_state_overrides_default(self):
+        exc = errors.SQLException("boom", sqlstate="42ABC")
+        assert exc.sqlstate == "42ABC"
+
+    @pytest.mark.parametrize(
+        "cls, state",
+        [
+            (errors.SQLSyntaxError, "42000"),
+            (errors.UndefinedTableError, "42P01"),
+            (errors.UndefinedColumnError, "42703"),
+            (errors.UndefinedRoutineError, "42883"),
+            (errors.StringTruncationError, "22001"),
+            (errors.NumericOverflowError, "22003"),
+            (errors.InvalidCastError, "22018"),
+            (errors.DivisionByZeroError, "22012"),
+            (errors.NotNullViolationError, "23502"),
+            (errors.CardinalityError, "21000"),
+            (errors.PrivilegeError, "42501"),
+            (errors.InvalidCursorStateError, "24000"),
+            (errors.ConnectionClosedError, "08003"),
+            (errors.FeatureNotSupportedError, "0A000"),
+            (errors.ExternalRoutineError, "38000"),
+            (errors.ExternalRoutineInvocationError, "39000"),
+            (errors.ParInstallationError, "46100"),
+            (errors.PathResolutionError, "46120"),
+            (errors.NoDataWarning, "02000"),
+        ],
+    )
+    def test_default_states(self, cls, state):
+        assert cls("x").sqlstate == state
+
+    def test_all_exceptions_subclass_root(self):
+        for name in errors.__all__:
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                assert issubclass(obj, errors.SQLException)
+
+    def test_message_attribute(self):
+        exc = errors.DataError("bad value")
+        assert exc.message == "bad value"
+        assert "22000" in str(exc)
+        assert "bad value" in str(exc)
+
+
+class TestChaining:
+    def test_chain_order(self):
+        first = errors.SQLException("one")
+        second = errors.SQLException("two")
+        third = errors.SQLException("three")
+        first.set_next_exception(second)
+        first.set_next_exception(third)
+        assert [e.message for e in first.chain()] == ["one", "two", "three"]
+
+    def test_get_next_exception(self):
+        first = errors.SQLException("one")
+        assert first.get_next_exception() is None
+        second = errors.SQLException("two")
+        first.set_next_exception(second)
+        assert first.get_next_exception() is second
+
+    def test_parse_error_position(self):
+        exc = errors.SQLParseError("bad token", line=3, column=7)
+        assert exc.line == 3
+        assert exc.column == 7
+        assert "line 3" in exc.message
+
+    def test_translation_error_line(self):
+        exc = errors.TranslationError("oops", line=12)
+        assert "line 12" in exc.message
+
+
+class TestExternalRoutineWrapping:
+    def test_wraps_plain_exception_message(self):
+        wrapped = errors.ExternalRoutineError.from_python(
+            RuntimeError("kaboom")
+        )
+        assert wrapped.message == "kaboom"
+        assert wrapped.sqlstate == "38000"
+        assert isinstance(wrapped.__cause__, RuntimeError)
+
+    def test_preserves_sqlstate_of_sql_exceptions(self):
+        inner = errors.DivisionByZeroError("div")
+        wrapped = errors.ExternalRoutineError.from_python(inner)
+        assert wrapped.sqlstate == "22012"
+
+    def test_empty_message_falls_back_to_type_name(self):
+        wrapped = errors.ExternalRoutineError.from_python(ValueError())
+        assert wrapped.message == "ValueError"

@@ -1,0 +1,624 @@
+"""Integration tests for SELECT execution through the engine."""
+
+import decimal
+
+import pytest
+
+from repro import errors
+
+D = decimal.Decimal
+
+
+def rows(session, sql, params=()):
+    return session.execute(sql, params).rows
+
+
+class TestProjectionAndFilter:
+    def test_projection(self, emps):
+        result = emps.execute("select name from emps order by name")
+        assert [r[0] for r in result.rows] == [
+            "Alice", "Bob", "Carol", "Dan", "Eve", "Frank", "Grace",
+            "Hank",
+        ]
+
+    def test_star_expansion(self, emps):
+        result = emps.execute("select * from emps limit 1")
+        assert result.column_names() == ["name", "id", "state", "sales"]
+
+    def test_where_filters(self, emps):
+        assert rows(emps, "select name from emps where state = 'CA'") == \
+            [["Alice"]]
+
+    def test_char_comparison_ignores_padding(self, emps):
+        # state is CHAR(20): stored padded, compared trimmed.
+        assert rows(emps, "select name from emps where state = 'MN'") == \
+            [["Bob"]]
+
+    def test_parameters(self, emps):
+        result = rows(
+            emps, "select name from emps where sales > ?", [D("100")]
+        )
+        assert sorted(r[0] for r in result) == ["Alice", "Dan", "Grace"]
+
+    def test_null_never_matches_comparison(self, emps):
+        assert rows(emps, "select name from emps where sales <> 0") != []
+        names = [r[0] for r in rows(
+            emps, "select name from emps where sales <> 0")]
+        assert "Frank" not in names  # NULL sales: unknown, filtered
+
+    def test_is_null(self, emps):
+        assert rows(emps, "select name from emps where sales is null") == \
+            [["Frank"]]
+
+    def test_arithmetic_in_projection(self, emps):
+        result = rows(
+            emps,
+            "select sales * 2 from emps where name = 'Alice'",
+        )
+        assert result == [[D("201.00")]]
+
+    def test_between(self, emps):
+        names = [r[0] for r in rows(
+            emps,
+            "select name from emps where sales between 50 and 101 "
+            "order by name",
+        )]
+        assert names == ["Alice", "Bob", "Carol", "Hank"]
+
+    def test_in_list(self, emps):
+        names = [r[0] for r in rows(
+            emps,
+            "select name from emps where state in ('CA', 'MN') "
+            "order by name",
+        )]
+        assert names == ["Alice", "Bob"]
+
+    def test_like(self, emps):
+        names = [r[0] for r in rows(
+            emps, "select name from emps where name like '%a%'"
+        )]
+        assert sorted(names) == ["Carol", "Dan", "Frank", "Grace", "Hank"]
+
+    def test_case_expression(self, emps):
+        result = rows(
+            emps,
+            "select name, case when sales >= 100 then 'high' "
+            "when sales is null then 'none' else 'low' end "
+            "from emps order by name",
+        )
+        by_name = {r[0]: r[1] for r in result}
+        assert by_name["Alice"] == "high"
+        assert by_name["Bob"] == "low"
+        assert by_name["Frank"] == "none"
+
+    def test_functions(self, emps):
+        assert rows(
+            emps,
+            "select upper(name), length(name) from emps "
+            "where name = 'Bob'",
+        ) == [["BOB", 3]]
+
+    def test_concat_operator(self, emps):
+        assert rows(
+            emps,
+            "select name || '!' from emps where name = 'Bob'",
+        ) == [["Bob!"]]
+
+    def test_select_without_from(self, session):
+        assert rows(session, "select 1 + 2") == [[3]]
+
+    def test_unknown_column_fails(self, emps):
+        with pytest.raises(errors.UndefinedColumnError):
+            emps.execute("select wages from emps")
+
+    def test_unknown_table_fails(self, session):
+        with pytest.raises(errors.UndefinedTableError):
+            session.execute("select * from nowhere")
+
+    def test_type_mismatch_comparison_fails_at_plan_time(self, emps):
+        with pytest.raises(errors.InvalidCastError):
+            emps.execute("select name from emps where sales = 'lots'")
+
+    def test_division_by_zero(self, emps):
+        with pytest.raises(errors.DivisionByZeroError):
+            emps.execute("select sales / 0 from emps")
+
+    def test_integer_division_truncates_toward_zero(self, session):
+        assert rows(session, "select 7 / 2")[0][0] == 3
+        assert rows(session, "select -7 / 2")[0][0] == -3
+
+
+class TestOrderingAndLimits:
+    def test_order_desc(self, emps):
+        result = rows(
+            emps,
+            "select name from emps where sales is not null "
+            "order by sales desc",
+        )
+        assert result[0] == ["Dan"]
+        assert result[-1] == ["Eve"]
+
+    def test_nulls_sort_last(self, emps):
+        result = rows(emps, "select name from emps order by sales")
+        assert result[-1] == ["Frank"]
+
+    def test_order_by_position(self, emps):
+        result = rows(
+            emps,
+            "select name, sales from emps where sales is not null "
+            "order by 2 desc",
+        )
+        assert result[0][0] == "Dan"
+
+    def test_order_by_alias(self, emps):
+        result = rows(
+            emps, "select sales * 2 as double_sales from emps "
+            "where sales is not null order by double_sales desc limit 1"
+        )
+        assert result == [[D("400.00")]]
+
+    def test_multi_key_order(self, emps):
+        emps.execute(
+            "insert into emps values ('Zoe', 'E9', 'CA', 100.50)"
+        )
+        result = rows(
+            emps,
+            "select name from emps where sales = 100.50 "
+            "order by sales desc, name",
+        )
+        assert result == [["Alice"], ["Zoe"]]
+
+    def test_limit(self, emps):
+        assert len(rows(emps, "select name from emps limit 3")) == 3
+
+    def test_limit_offset(self, emps):
+        all_names = rows(emps, "select name from emps order by name")
+        page = rows(
+            emps, "select name from emps order by name limit 2 offset 2"
+        )
+        assert page == all_names[2:4]
+
+    def test_limit_zero(self, emps):
+        assert rows(emps, "select name from emps limit 0") == []
+
+    def test_negative_limit_rejected(self, emps):
+        with pytest.raises(errors.DataError):
+            emps.execute("select name from emps limit ?", [-1])
+
+    def test_distinct(self, emps):
+        emps.execute("insert into emps values ('Al2', 'E9', 'CA', 1)")
+        states = rows(
+            emps, "select distinct state from emps order by state"
+        )
+        assert len(states) == len({r[0] for r in states})
+
+    def test_distinct_with_order(self, emps):
+        result = rows(
+            emps,
+            "select distinct state from emps order by state desc limit 2",
+        )
+        assert [r[0].strip() for r in result] == ["VT", "TX"]
+
+
+class TestAggregation:
+    def test_count_star(self, emps):
+        assert rows(emps, "select count(*) from emps") == [[8]]
+
+    def test_count_column_skips_nulls(self, emps):
+        assert rows(emps, "select count(sales) from emps") == [[7]]
+
+    def test_sum_avg_min_max(self, emps):
+        result = rows(
+            emps,
+            "select sum(sales), min(sales), max(sales) from emps",
+        )[0]
+        assert result[0] == D("656.49")
+        assert result[1] == D("10.00")
+        assert result[2] == D("200.00")
+
+    def test_avg(self, emps):
+        result = rows(emps, "select avg(sales) from emps")[0][0]
+        assert abs(result - D("656.49") / 7) < D("0.0001")
+
+    def test_empty_input_aggregates(self, session):
+        session.execute("create table empty_t (a integer)")
+        assert rows(session, "select count(*), sum(a) from empty_t") == \
+            [[0, None]]
+
+    def test_group_by(self, emps):
+        result = rows(
+            emps,
+            "select state, count(*) from emps group by state "
+            "order by state",
+        )
+        by_state = {r[0].strip(): r[1] for r in result}
+        assert by_state["CA"] == 1
+        assert len(result) == 8
+
+    def test_group_by_with_having(self, emps):
+        emps.execute("insert into emps values ('Ann', 'E9', 'CA', 5)")
+        result = rows(
+            emps,
+            "select state, count(*) as n from emps group by state "
+            "having count(*) > 1",
+        )
+        assert [r[0].strip() for r in result] == ["CA"]
+        assert result[0][1] == 2
+
+    def test_group_key_null_forms_group(self, emps):
+        emps.execute("insert into emps values ('Nil', 'E9', 'CA', null)")
+        result = rows(
+            emps,
+            "select sales, count(*) from emps where sales is null "
+            "group by sales",
+        )
+        assert result == [[None, 2]]
+
+    def test_count_distinct(self, emps):
+        emps.execute("insert into emps values ('Dup', 'E9', 'CA', 1)")
+        assert rows(
+            emps, "select count(distinct state) from emps"
+        ) == [[8]]
+
+    def test_ungrouped_column_rejected(self, emps):
+        with pytest.raises(errors.SQLSyntaxError):
+            emps.execute("select name, count(*) from emps group by state")
+
+    def test_aggregate_in_where_rejected(self, emps):
+        with pytest.raises(errors.SQLSyntaxError):
+            emps.execute("select name from emps where count(*) > 1")
+
+    def test_order_by_aggregate(self, emps):
+        result = rows(
+            emps,
+            "select state from emps where sales is not null "
+            "group by state order by sum(sales) desc limit 1",
+        )
+        assert result[0][0].strip() == "FL"
+
+    def test_expression_over_aggregates(self, emps):
+        result = rows(
+            emps,
+            "select max(sales) - min(sales) from emps",
+        )
+        assert result == [[D("190.00")]]
+
+
+class TestJoins:
+    @pytest.fixture
+    def regions(self, emps):
+        emps.execute(
+            "create table regions (state char(20), region integer)"
+        )
+        for state, region in [
+            ("CA", 3), ("MN", 1), ("NV", 3), ("FL", 2), ("VT", 1),
+            ("GA", 2), ("AZ", 3),
+        ]:
+            emps.execute(
+                f"insert into regions values ('{state}', {region})"
+            )
+        return emps
+
+    def test_inner_join(self, regions):
+        result = rows(
+            regions,
+            "select e.name, r.region from emps e "
+            "join regions r on e.state = r.state order by e.name",
+        )
+        assert ["Frank"] not in [[r[0]] for r in result]  # TX unmatched
+        by_name = {r[0]: r[1] for r in result}
+        assert by_name["Alice"] == 3
+
+    def test_left_join_keeps_unmatched(self, regions):
+        result = rows(
+            regions,
+            "select e.name, r.region from emps e "
+            "left join regions r on e.state = r.state "
+            "where r.region is null",
+        )
+        assert [r[0] for r in result] == ["Frank"]
+
+    def test_right_join(self, regions):
+        regions.execute("insert into regions values ('HI', 5)")
+        result = rows(
+            regions,
+            "select e.name, r.state from emps e "
+            "right join regions r on e.state = r.state "
+            "where e.name is null",
+        )
+        assert [r[1].strip() for r in result] == ["HI"]
+
+    def test_full_join(self, regions):
+        regions.execute("insert into regions values ('HI', 5)")
+        result = rows(
+            regions,
+            "select e.name, r.state from emps e "
+            "full join regions r on e.state = r.state",
+        )
+        names = [r[0] for r in result]
+        states = [r[1].strip() if r[1] else None for r in result]
+        assert None in names  # unmatched region HI
+        assert "Frank" in names and None in states  # unmatched emp TX
+
+    def test_cross_join_cardinality(self, regions):
+        result = rows(
+            regions, "select count(*) from emps cross join regions"
+        )
+        assert result == [[8 * 7]]
+
+    def test_implicit_cross_join(self, regions):
+        result = rows(
+            regions,
+            "select count(*) from emps e, regions r "
+            "where e.state = r.state",
+        )
+        assert result == [[7]]
+
+    def test_ambiguous_column_rejected(self, regions):
+        with pytest.raises(errors.CatalogError):
+            regions.execute(
+                "select state from emps join regions "
+                "on emps.state = regions.state"
+            )
+
+    def test_self_join_with_aliases(self, emps):
+        result = rows(
+            emps,
+            "select a.name, b.name from emps a join emps b "
+            "on a.sales < b.sales where a.name = 'Eve' and "
+            "b.name = 'Dan'",
+        )
+        assert result == [["Eve", "Dan"]]
+
+
+class TestSubqueries:
+    def test_scalar_subquery(self, emps):
+        result = rows(
+            emps,
+            "select name from emps "
+            "where sales = (select max(sales) from emps)",
+        )
+        assert result == [["Dan"]]
+
+    def test_scalar_subquery_cardinality_error(self, emps):
+        with pytest.raises(errors.CardinalityError):
+            emps.execute(
+                "select name from emps "
+                "where sales = (select sales from emps "
+                "where sales is not null)"
+            )
+
+    def test_in_subquery(self, emps):
+        emps.execute("create table vips (vip_name varchar(50))")
+        emps.execute("insert into vips values ('Alice'), ('Dan')")
+        result = rows(
+            emps,
+            "select name from emps where name in "
+            "(select vip_name from vips) order by name",
+        )
+        assert result == [["Alice"], ["Dan"]]
+
+    def test_correlated_exists(self, emps):
+        emps.execute("create table bonus (emp_name varchar(50))")
+        emps.execute("insert into bonus values ('Bob')")
+        result = rows(
+            emps,
+            "select name from emps e where exists "
+            "(select 1 from bonus b where b.emp_name = e.name)",
+        )
+        assert result == [["Bob"]]
+
+    def test_correlated_scalar(self, emps):
+        result = rows(
+            emps,
+            "select name from emps e where sales > "
+            "(select avg(sales) from emps x where x.state <> e.state) "
+            "order by name",
+        )
+        assert "Dan" in [r[0] for r in result]
+
+    def test_not_in_with_null_subquery_is_empty(self, emps):
+        # NULL in the subquery makes NOT IN unknown for every row.
+        result = rows(
+            emps,
+            "select name from emps where name not in "
+            "(select state from emps where sales is null "
+            "union all select null)",
+        )
+        assert result == []
+
+
+class TestUnion:
+    def test_union_removes_duplicates(self, emps):
+        result = rows(
+            emps,
+            "select state from emps union select state from emps",
+        )
+        assert len(result) == 8
+
+    def test_union_all_keeps_duplicates(self, emps):
+        result = rows(
+            emps,
+            "select state from emps union all select state from emps",
+        )
+        assert len(result) == 16
+
+    def test_union_column_count_mismatch(self, emps):
+        with pytest.raises(errors.SQLSyntaxError):
+            emps.execute(
+                "select name, state from emps union select name from emps"
+            )
+
+    def test_union_order_by(self, emps):
+        result = rows(
+            emps,
+            "select name from emps where state = 'CA' union "
+            "select name from emps where state = 'MN' order by 1 desc",
+        )
+        assert result == [["Bob"], ["Alice"]]
+
+
+class TestViews:
+    def test_view_query(self, emps):
+        emps.execute(
+            "create view high_rollers as "
+            "select name, sales from emps where sales > 90"
+        )
+        result = rows(
+            emps, "select name from high_rollers order by name"
+        )
+        assert result == [["Alice"], ["Dan"], ["Grace"], ["Hank"]]
+
+    def test_view_with_column_names(self, emps):
+        emps.execute(
+            "create view v2 (who, amount) as select name, sales from emps"
+        )
+        assert rows(
+            emps, "select who from v2 where amount = 200.00"
+        ) == [["Dan"]]
+
+    def test_view_sees_later_inserts(self, emps):
+        emps.execute("create view all_emps as select name from emps")
+        before = len(rows(emps, "select * from all_emps"))
+        emps.execute("insert into emps values ('New', 'E9', 'CA', 1)")
+        assert len(rows(emps, "select * from all_emps")) == before + 1
+
+    def test_view_of_view(self, emps):
+        emps.execute("create view v1 as select name, sales from emps")
+        emps.execute(
+            "create view v2 as select name from v1 where sales > 100"
+        )
+        assert sorted(r[0] for r in rows(emps, "select * from v2")) == \
+            ["Alice", "Dan", "Grace"]
+
+    def test_duplicate_view_name_rejected(self, emps):
+        emps.execute("create view dup_v as select 1")
+        with pytest.raises(errors.DuplicateObjectError):
+            emps.execute("create view dup_v as select 2")
+
+
+class TestIntersectExcept:
+    @pytest.fixture
+    def two_sets(self, session):
+        session.execute("create table a (v integer)")
+        session.execute("create table b (v integer)")
+        session.execute(
+            "insert into a values (1), (2), (2), (3), (3), (3)"
+        )
+        session.execute("insert into b values (2), (3), (3), (4)")
+        return session
+
+    def q(self, session, sql):
+        return sorted(r[0] for r in session.execute(sql).rows)
+
+    def test_intersect_distinct(self, two_sets):
+        assert self.q(
+            two_sets, "select v from a intersect select v from b"
+        ) == [2, 3]
+
+    def test_intersect_all_keeps_min_count(self, two_sets):
+        assert self.q(
+            two_sets, "select v from a intersect all select v from b"
+        ) == [2, 3, 3]
+
+    def test_except_distinct(self, two_sets):
+        assert self.q(
+            two_sets, "select v from a except select v from b"
+        ) == [1]
+
+    def test_except_all_keeps_surplus(self, two_sets):
+        assert self.q(
+            two_sets, "select v from a except all select v from b"
+        ) == [1, 2, 3]
+
+    def test_intersect_binds_tighter_than_union(self, two_sets):
+        # a UNION (b INTERSECT b) — INTERSECT evaluated first.
+        result = self.q(
+            two_sets,
+            "select v from a union select v from b "
+            "intersect select v from b",
+        )
+        assert result == [1, 2, 3, 4]
+
+    def test_except_with_order_by(self, two_sets):
+        result = [
+            r[0] for r in two_sets.execute(
+                "select v from b except select v from a order by v desc"
+            ).rows
+        ]
+        assert result == [4]
+
+    def test_explain_shows_operator(self, two_sets):
+        lines = [
+            r[0] for r in two_sets.execute(
+                "explain select v from a intersect select v from b"
+            ).rows
+        ]
+        assert lines[0] == "Intersect"
+
+    def test_arity_mismatch(self, two_sets):
+        with pytest.raises(errors.SQLSyntaxError):
+            two_sets.execute(
+                "select v, v from a intersect select v from b"
+            )
+
+
+class TestMultiKeyGrouping:
+    @pytest.fixture
+    def sales_facts(self, session):
+        session.execute(
+            "create table facts (region varchar(5), product varchar(5), "
+            "amount integer)"
+        )
+        for region, product, amount in [
+            ("east", "ax", 10), ("east", "ax", 5), ("east", "bx", 1),
+            ("west", "ax", 7), ("west", "bx", 2), ("west", "bx", 3),
+        ]:
+            session.execute(
+                f"insert into facts values ('{region}', '{product}', "
+                f"{amount})"
+            )
+        return session
+
+    def test_two_group_keys(self, sales_facts):
+        result = sales_facts.execute(
+            "select region, product, sum(amount) from facts "
+            "group by region, product order by region, product"
+        ).rows
+        assert result == [
+            ["east", "ax", 15], ["east", "bx", 1],
+            ["west", "ax", 7], ["west", "bx", 5],
+        ]
+
+    def test_group_by_expression(self, sales_facts):
+        result = sales_facts.execute(
+            "select upper(region), count(*) from facts "
+            "group by upper(region) order by 1"
+        ).rows
+        assert result == [["EAST", 3], ["WEST", 3]]
+
+    def test_having_on_second_key(self, sales_facts):
+        result = sales_facts.execute(
+            "select region, product from facts group by region, product "
+            "having sum(amount) > 5 order by region, product"
+        ).rows
+        assert result == [["east", "ax"], ["west", "ax"]]
+
+
+class TestScalarSubqueryInProjection:
+    def test_uncorrelated(self, emps):
+        result = rows(
+            emps,
+            "select name, (select max(sales) from emps) from emps "
+            "where name = 'Bob'",
+        )
+        assert result == [["Bob", D("200.00")]]
+
+    def test_correlated_in_projection(self, emps):
+        result = rows(
+            emps,
+            "select name, (select count(*) from emps x "
+            "where x.sales > e.sales) from emps e "
+            "where name in ('Dan', 'Eve') order by name",
+        )
+        assert result == [["Dan", 0], ["Eve", 6]]

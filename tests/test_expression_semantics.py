@@ -1,0 +1,268 @@
+"""Systematic SQL expression semantics: three-valued logic, NULL
+propagation, CASE, LIKE, CAST and built-in functions."""
+
+import decimal
+
+import pytest
+
+D = decimal.Decimal
+
+
+def value(session, expression, params=()):
+    """Evaluate a scalar expression through the engine."""
+    rows = session.execute(f"select {expression}", params).rows
+    assert len(rows) == 1
+    return rows[0][0]
+
+
+@pytest.fixture
+def s(db):
+    session = db.create_session(autocommit=True)
+    # A one-row table carrying a NULL and a non-NULL value for 3VL tests.
+    session.execute(
+        "create table v (t boolean, f boolean, u boolean, "
+        "n integer, x integer)"
+    )
+    session.execute(
+        "insert into v values (true, false, null, null, 7)"
+    )
+    return session
+
+
+def predicate_rows(session, condition):
+    """Rows surviving WHERE <condition>: 1 if true, 0 if false/unknown."""
+    return len(
+        session.execute(f"select 1 from v where {condition}").rows
+    )
+
+
+class TestThreeValuedLogic:
+    # Kleene AND truth table
+    @pytest.mark.parametrize(
+        "condition, expected",
+        [
+            ("t and t", 1),
+            ("t and f", 0),
+            ("t and u", 0),  # unknown: filtered
+            ("f and u", 0),
+            ("u and u", 0),
+            ("f and f", 0),
+        ],
+    )
+    def test_and(self, s, condition, expected):
+        assert predicate_rows(s, condition) == expected
+
+    @pytest.mark.parametrize(
+        "condition, expected",
+        [
+            ("t or f", 1),
+            ("t or u", 1),  # true dominates unknown
+            ("f or u", 0),
+            ("u or u", 0),
+            ("f or f", 0),
+        ],
+    )
+    def test_or(self, s, condition, expected):
+        assert predicate_rows(s, condition) == expected
+
+    @pytest.mark.parametrize(
+        "condition, expected",
+        [
+            ("not f", 1),
+            ("not t", 0),
+            ("not u", 0),  # NOT unknown = unknown
+        ],
+    )
+    def test_not(self, s, condition, expected):
+        assert predicate_rows(s, condition) == expected
+
+    def test_null_comparisons_are_unknown(self, s):
+        assert predicate_rows(s, "n = n") == 0
+        assert predicate_rows(s, "n <> n") == 0
+        assert predicate_rows(s, "n < 5") == 0
+        assert predicate_rows(s, "x = 7 and n = 1") == 0
+        assert predicate_rows(s, "x = 7 or n = 1") == 1
+
+    def test_is_null_is_never_unknown(self, s):
+        assert predicate_rows(s, "n is null") == 1
+        assert predicate_rows(s, "n is not null") == 0
+        assert predicate_rows(s, "x is not null") == 1
+
+    def test_between_with_null_bound(self, s):
+        assert predicate_rows(s, "x between n and 10") == 0
+        assert predicate_rows(s, "x between 1 and 10") == 1
+        # FALSE via one bound is decisive even if the other is NULL.
+        assert predicate_rows(s, "x between 100 and n") == 0
+
+    def test_in_list_with_null(self, s):
+        assert predicate_rows(s, "x in (7, n)") == 1  # found: true
+        assert predicate_rows(s, "x in (1, n)") == 0  # unknown
+        assert predicate_rows(s, "x not in (1, n)") == 0  # unknown
+        assert predicate_rows(s, "x not in (1, 2)") == 1
+
+
+class TestNullPropagation:
+    @pytest.mark.parametrize(
+        "expression",
+        [
+            "1 + null", "null - 1", "2 * null", "null / 2",
+            "null || 'x'", "'x' || null", "-(null)",
+            "upper(null)", "length(null)", "abs(null)",
+            "cast(null as integer)",
+        ],
+    )
+    def test_null_in_gives_null_out(self, s, expression):
+        assert value(s, expression) is None
+
+    def test_coalesce_is_null_tolerant(self, s):
+        assert value(s, "coalesce(null, null, 3)") == 3
+        assert value(s, "coalesce(null, null)") is None
+
+    def test_nullif(self, s):
+        assert value(s, "nullif(1, 1)") is None
+        assert value(s, "nullif(1, 2)") == 1
+
+
+class TestCase:
+    def test_searched_case_first_match_wins(self, s):
+        assert value(
+            s,
+            "case when 1 = 2 then 'a' when 1 = 1 then 'b' "
+            "when 2 = 2 then 'c' end",
+        ) == "b"
+
+    def test_searched_case_no_match_no_else(self, s):
+        assert value(s, "case when 1 = 2 then 'a' end") is None
+
+    def test_simple_case(self, s):
+        assert value(
+            s, "case 2 when 1 then 'one' when 2 then 'two' else 'many' "
+            "end"
+        ) == "two"
+
+    def test_simple_case_null_operand_never_matches(self, s):
+        assert value(
+            s,
+            "case cast(null as integer) when 1 then 'one' "
+            "else 'other' end",
+        ) == "other"
+
+    def test_unknown_condition_skipped(self, s):
+        assert value(
+            s,
+            "case when cast(null as integer) = 1 then 'bad' "
+            "else 'good' end",
+        ) == "good"
+
+
+class TestLike:
+    @pytest.mark.parametrize(
+        "text, pattern, matches",
+        [
+            ("hello", "h%", True),
+            ("hello", "%o", True),
+            ("hello", "h_llo", True),
+            ("hello", "h__o", False),
+            ("hello", "hello", True),
+            ("hello", "HELLO", False),  # LIKE is case sensitive
+            ("50%", "50!%", True),
+            ("505", "50!%", False),
+            ("a_b", "a!_b", True),
+            ("axb", "a!_b", False),
+            ("", "%", True),
+            ("", "_", False),
+        ],
+    )
+    def test_patterns(self, s, text, pattern, matches):
+        escape = " escape '!'" if "!" in pattern else ""
+        expression = f"'{text}' like '{pattern}'{escape}"
+        assert predicate_rows(s, expression) == (1 if matches else 0)
+
+    def test_null_operand(self, s):
+        assert predicate_rows(s, "cast(null as varchar) like '%'") == 0
+
+    def test_not_like(self, s):
+        assert predicate_rows(s, "'abc' not like 'a%'") == 0
+        assert predicate_rows(s, "'xyz' not like 'a%'") == 1
+
+
+class TestCast:
+    @pytest.mark.parametrize(
+        "expression, expected",
+        [
+            ("cast('42' as integer)", 42),
+            ("cast(42 as varchar(10))", "42"),
+            ("cast(1.50 as varchar(10))", "1.50"),
+            ("cast(true as varchar(10))", "true"),
+            ("cast(1.5 as double precision)", 1.5),
+            ("cast('1.50' as decimal(6,2))", D("1.50")),
+            ("cast(7 as decimal(6,2))", D("7.00")),
+            ("cast('true' as boolean)", True),
+        ],
+    )
+    def test_casts(self, s, expression, expected):
+        result = value(s, expression)
+        if expected is not None:
+            assert result == expected
+
+    def test_cast_failure(self, s):
+        from repro import errors
+
+        with pytest.raises(errors.InvalidCastError):
+            value(s, "cast('pears' as integer)")
+
+    def test_cast_overflow(self, s):
+        from repro import errors
+
+        with pytest.raises(errors.NumericOverflowError):
+            value(s, "cast(99999 as smallint)")
+
+
+class TestBuiltins:
+    @pytest.mark.parametrize(
+        "expression, expected",
+        [
+            ("upper('abc')", "ABC"),
+            ("lower('ABC')", "abc"),
+            ("length('hello')", 5),
+            ("substring('hello', 2, 3)", "ell"),
+            ("substring('hello', 2)", "ello"),
+            ("trim('  x  ')", "x"),
+            ("ltrim('  x')", "x"),
+            ("rtrim('x  ')", "x"),
+            ("replace('banana', 'na', 'NA')", "baNANA"),
+            ("position('ll', 'hello')", 3),
+            ("position('zz', 'hello')", 0),
+            ("abs(-5)", 5),
+            ("mod(7, 3)", 1),
+            ("round(2.567, 2)", D("2.57")),
+            ("floor(2.9)", 2),
+            ("ceiling(2.1)", 3),
+            ("power(2, 10)", 1024.0),
+            ("sqrt(16)", 4.0),
+            ("sign(-3)", -1),
+            ("concat('a', 1, 'b')", "a1b"),
+        ],
+    )
+    def test_functions(self, s, expression, expected):
+        assert value(s, expression) == expected
+
+    def test_mod_by_zero(self, s):
+        from repro import errors
+
+        with pytest.raises(errors.DivisionByZeroError):
+            value(s, "mod(1, 0)")
+
+    def test_sqrt_negative(self, s):
+        from repro import errors
+
+        with pytest.raises(errors.DataError):
+            value(s, "sqrt(-1)")
+
+    def test_current_user(self, s):
+        assert value(s, "current_user") == "dba"
+
+    def test_current_date_is_a_date(self, s):
+        import datetime
+
+        assert isinstance(value(s, "current_date"), datetime.date)

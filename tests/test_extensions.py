@@ -1,0 +1,327 @@
+"""Tests for the follow-on features: batch updates, EXPLAIN, routine
+session state, and database persistence."""
+
+import pytest
+
+from repro import errors
+from repro.dbapi import BatchUpdateError, DriverManager
+from repro.engine import Database
+from repro.engine.persistence import load_database, save_database
+from repro.procedures import build_par
+
+
+@pytest.fixture
+def conn(db, emps):
+    return DriverManager.get_connection("pydbc:standard:x", database=db)
+
+
+class TestBatchUpdates:
+    def test_statement_batch(self, conn, emps):
+        stmt = conn.create_statement()
+        stmt.add_batch("insert into emps values ('B1', 'X1', 'CA', 1)")
+        stmt.add_batch("insert into emps values ('B2', 'X2', 'CA', 2)")
+        stmt.add_batch("update emps set sales = 3 where id = 'X1'")
+        counts = stmt.execute_batch()
+        assert counts == [1, 1, 1]
+        assert emps.execute(
+            "select count(*) from emps where id like 'X%'"
+        ).rows == [[2]]
+
+    def test_prepared_batch(self, conn, emps):
+        stmt = conn.prepare_statement(
+            "insert into emps values (?, ?, 'CA', ?)"
+        )
+        for i in range(5):
+            stmt.set_string(1, f"P{i}")
+            stmt.set_string(2, f"Q{i}")
+            stmt.set_int(3, i)
+            stmt.add_batch()
+        counts = stmt.execute_batch()
+        assert counts == [1] * 5
+        assert emps.execute(
+            "select count(*) from emps where id like 'Q%'"
+        ).rows == [[5]]
+
+    def test_batch_clears_after_execution(self, conn):
+        stmt = conn.create_statement()
+        stmt.add_batch("insert into emps values ('C', 'Y1', 'CA', 1)")
+        stmt.execute_batch()
+        assert stmt.execute_batch() == []
+
+    def test_clear_batch(self, conn):
+        stmt = conn.create_statement()
+        stmt.add_batch("insert into emps values ('C', 'Y1', 'CA', 1)")
+        stmt.clear_batch()
+        assert stmt.execute_batch() == []
+
+    def test_failure_reports_completed_counts(self, conn):
+        stmt = conn.create_statement()
+        stmt.add_batch("insert into emps values ('D1', 'Z1', 'CA', 1)")
+        stmt.add_batch("insert into nowhere values (1)")
+        stmt.add_batch("insert into emps values ('D2', 'Z2', 'CA', 1)")
+        with pytest.raises(BatchUpdateError) as info:
+            stmt.execute_batch()
+        assert info.value.update_counts == [1]
+
+    def test_queries_rejected_in_batch(self, conn):
+        stmt = conn.create_statement()
+        stmt.add_batch("select * from emps")
+        with pytest.raises(BatchUpdateError):
+            stmt.execute_batch()
+
+    def test_prepared_batch_rejects_sql_argument(self, conn):
+        stmt = conn.prepare_statement("select ?")
+        with pytest.raises(errors.DataError):
+            stmt.add_batch("select 1")
+
+
+class TestExplain:
+    def test_simple_scan(self, emps):
+        rows = emps.execute("explain select * from emps").rows
+        assert rows == [["Project (4 columns)"], ["  SeqScan on emps"]]
+
+    def test_full_pipeline_shape(self, emps):
+        lines = [
+            r[0] for r in emps.execute(
+                "explain select state, count(*) from emps "
+                "where sales > 1 group by state order by state limit 2"
+            ).rows
+        ]
+        assert lines[0] == "Limit"
+        assert any("GroupAggregate" in line for line in lines)
+        assert any("Filter" in line for line in lines)
+        assert lines[-1].strip() == "SeqScan on emps"
+
+    def test_join_plan(self, emps):
+        emps.execute("create table r2 (state char(20), n integer)")
+        lines = [
+            r[0] for r in emps.execute(
+                "explain select * from emps e join r2 on "
+                "e.state = r2.state"
+            ).rows
+        ]
+        assert any("NestedLoopJoin (INNER)" in line for line in lines)
+        assert sum("SeqScan" in line for line in lines) == 2
+
+    def test_union_plan(self, emps):
+        lines = [
+            r[0] for r in emps.execute(
+                "explain select name from emps union "
+                "select state from emps"
+            ).rows
+        ]
+        assert lines[0] == "Union"
+
+    def test_explain_column_name(self, emps):
+        result = emps.execute("explain select 1")
+        assert result.column_names() == ["query_plan"]
+
+    def test_explain_does_not_execute(self, emps):
+        emps.execute("explain select 1 / 0")  # would raise if executed
+
+
+class TestRoutineSessionState:
+    STATE_MODULE = '''
+from repro.procedures.state import call_state, session_state
+
+
+def count_call():
+    state = session_state()
+    state["n"] = state.get("n", 0) + 1
+    return state["n"]
+
+
+def outer_marks():
+    call_state()["mark"] = "set-by-outer"
+    return inner_reads()
+
+
+def inner_reads():
+    return call_state().get("mark", "missing")
+'''
+
+    @pytest.fixture
+    def stateful(self, db, tmp_path):
+        session = db.create_session(autocommit=True)
+        par = build_par(
+            str(tmp_path / "state.par"), {"statemod": self.STATE_MODULE}
+        )
+        session.execute(f"call sqlj.install_par('{par}', 'sp')")
+        session.execute(
+            "create function count_call() returns integer no sql "
+            "external name 'sp:statemod.count_call' "
+            "language python parameter style python"
+        )
+        session.execute(
+            "create function outer_marks() returns varchar(20) no sql "
+            "external name 'sp:statemod.outer_marks' "
+            "language python parameter style python"
+        )
+        session.execute(
+            "create function inner_reads() returns varchar(20) no sql "
+            "external name 'sp:statemod.inner_reads' "
+            "language python parameter style python"
+        )
+        return session
+
+    def test_session_state_persists_across_calls(self, stateful):
+        assert stateful.execute("select count_call()").rows == [[1]]
+        assert stateful.execute("select count_call()").rows == [[2]]
+        assert stateful.execute("select count_call()").rows == [[3]]
+
+    def test_session_state_is_per_session(self, stateful, db):
+        stateful.execute("select count_call()")
+        db.privileges.grant(
+            "EXECUTE", "ROUTINE", "count_call", ["other"],
+            grantor="dba", owner="dba",
+        )
+        other = db.create_session(user="other", autocommit=True)
+        assert other.execute("select count_call()").rows == [[1]]
+
+    def test_call_state_shared_with_nested_calls(self, stateful):
+        # outer_marks writes call_state, then calls inner_reads directly
+        # (same outermost invocation) — the mark is visible.
+        assert stateful.execute(
+            "select outer_marks()"
+        ).rows == [["set-by-outer"]]
+
+    def test_call_state_cleared_between_invocations(self, stateful):
+        stateful.execute("select outer_marks()")
+        # A fresh outermost invocation starts with empty call state.
+        assert stateful.execute(
+            "select inner_reads()"
+        ).rows == [["missing"]]
+
+    def test_session_state_outside_routine_rejected(self):
+        from repro.procedures.state import session_state
+
+        with pytest.raises(errors.ConnectionError_):
+            session_state()
+
+
+class TestPersistence:
+    def make_database(self, tmp_path):
+        database = Database(name="persistme")
+        session = database.create_session(autocommit=True)
+        session.execute(
+            "create table emps (name varchar(50), sales decimal(6,2))"
+        )
+        session.execute(
+            "insert into emps values ('Alice', 100.50), ('Bob', 50.25)"
+        )
+        session.execute(
+            "create view rich as select name from emps where sales > 99"
+        )
+        par = build_par(
+            str(tmp_path / "p.par"),
+            {"pmod": (
+                "def double(x):\n"
+                "    return x * 2\n"
+                "class Tag:\n"
+                "    def __init__(self, label='x'):\n"
+                "        self.label = label\n"
+                "    def shout(self):\n"
+                "        return self.label.upper()\n"
+            )},
+        )
+        session.execute(f"call sqlj.install_par('{par}', 'p_par')")
+        session.execute(
+            "create function double(x integer) returns integer no sql "
+            "external name 'p_par:pmod.double' "
+            "language python parameter style python"
+        )
+        session.execute("""
+            create type tag external name 'p_par:pmod.Tag'
+            language python (
+              label_attr varchar(20) external name label,
+              method tag (label varchar(20)) returns tag
+                external name Tag,
+              method shout () returns varchar(20) external name shout
+            )
+        """)
+        session.execute("grant select on emps to smith")
+        return database
+
+    def test_roundtrip_schema_and_data(self, tmp_path):
+        database = self.make_database(tmp_path)
+        path = save_database(database, str(tmp_path / "db.pysqlj"))
+        restored = load_database(path)
+        session = restored.create_session(autocommit=True)
+        assert session.execute(
+            "select name from emps order by name"
+        ).rows == [["Alice"], ["Bob"]]
+        assert session.execute("select * from rich").rows == [["Alice"]]
+
+    def test_routines_work_after_load(self, tmp_path):
+        database = self.make_database(tmp_path)
+        path = save_database(database, str(tmp_path / "db.pysqlj"))
+        restored = load_database(path)
+        session = restored.create_session(autocommit=True)
+        assert session.execute("select double(21)").rows == [[42]]
+
+    def test_types_work_after_load(self, tmp_path):
+        database = self.make_database(tmp_path)
+        path = save_database(database, str(tmp_path / "db.pysqlj"))
+        restored = load_database(path)
+        session = restored.create_session(autocommit=True)
+        session.execute("create table tags (t tag)")
+        session.execute("insert into tags values (new tag('hello'))")
+        assert session.execute(
+            "select t>>shout() from tags"
+        ).rows == [["HELLO"]]
+
+    def test_grants_survive(self, tmp_path):
+        database = self.make_database(tmp_path)
+        path = save_database(database, str(tmp_path / "db.pysqlj"))
+        restored = load_database(path)
+        smith = restored.create_session(user="smith", autocommit=True)
+        assert len(smith.execute("select * from emps").rows) == 2
+        other = restored.create_session(user="eve", autocommit=True)
+        with pytest.raises(errors.PrivilegeError):
+            other.execute("select * from emps")
+
+    def test_system_routines_rebootstrapped(self, tmp_path):
+        database = self.make_database(tmp_path)
+        path = save_database(database, str(tmp_path / "db.pysqlj"))
+        restored = load_database(path)
+        assert "sqlj.install_par" in restored.catalog.routines
+
+    def test_par_class_rows_rejected_at_save(self, tmp_path):
+        database = self.make_database(tmp_path)
+        session = database.create_session(autocommit=True)
+        session.execute("create table tags (t tag)")
+        session.execute("insert into tags values (new tag('x'))")
+        with pytest.raises(errors.DataError):
+            save_database(database, str(tmp_path / "bad.pysqlj"))
+
+    def test_bad_image_rejected(self, tmp_path):
+        path = tmp_path / "junk.pysqlj"
+        path.write_bytes(b"not a database")
+        with pytest.raises(errors.DataError):
+            load_database(str(path))
+
+    def test_wrong_object_rejected(self, tmp_path):
+        import pickle
+
+        path = tmp_path / "dict.pysqlj"
+        path.write_bytes(pickle.dumps({"hello": 1}))
+        with pytest.raises(errors.DataError):
+            load_database(str(path))
+
+
+class TestPersistenceOfConstraints:
+    def test_unique_survives_roundtrip(self, tmp_path):
+        database = Database(name="cst")
+        session = database.create_session(autocommit=True)
+        session.execute(
+            "create table u (id integer primary key, "
+            "email varchar(30) unique)"
+        )
+        session.execute("insert into u values (1, 'a@x')")
+        path = save_database(database, str(tmp_path / "c.pysqlj"))
+        restored = load_database(path)
+        reopened = restored.create_session(autocommit=True)
+        with pytest.raises(errors.UniqueViolationError):
+            reopened.execute("insert into u values (1, 'b@x')")
+        with pytest.raises(errors.NotNullViolationError):
+            reopened.execute("insert into u values (null, 'c@x')")

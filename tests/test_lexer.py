@@ -1,0 +1,128 @@
+"""Unit tests for the SQL tokenizer."""
+
+import pytest
+
+from repro import errors
+from repro.engine.lexer import Token, tokenize
+
+
+def kinds_and_values(sql):
+    return [(t.kind, t.value) for t in tokenize(sql) if t.kind != Token.EOF]
+
+
+class TestBasicTokens:
+    def test_keywords_fold_upper(self):
+        assert kinds_and_values("select FROM Where") == [
+            ("KEYWORD", "SELECT"),
+            ("KEYWORD", "FROM"),
+            ("KEYWORD", "WHERE"),
+        ]
+
+    def test_identifiers_fold_lower(self):
+        assert kinds_and_values("Emps SaLes") == [
+            ("IDENT", "emps"),
+            ("IDENT", "sales"),
+        ]
+
+    def test_non_reserved_words_are_keywords_at_lex_level(self):
+        # NAME is a (non-reserved) keyword; the parser decides whether it
+        # may serve as an identifier.
+        assert kinds_and_values("name") == [("KEYWORD", "NAME")]
+
+    def test_numbers(self):
+        assert kinds_and_values("1 2.5 .5 1e3 1.5E-2") == [
+            ("NUMBER", "1"),
+            ("NUMBER", "2.5"),
+            ("NUMBER", ".5"),
+            ("NUMBER", "1e3"),
+            ("NUMBER", "1.5E-2"),
+        ]
+
+    def test_string_literal(self):
+        assert kinds_and_values("'hello'") == [("STRING", "hello")]
+
+    def test_string_with_escaped_quote(self):
+        assert kinds_and_values("'it''s'") == [("STRING", "it's")]
+
+    def test_empty_string(self):
+        assert kinds_and_values("''") == [("STRING", "")]
+
+    def test_delimited_identifier_keeps_case(self):
+        assert kinds_and_values('"MixedCase"') == [("IDENT", "MixedCase")]
+
+    def test_delimited_identifier_with_quote(self):
+        assert kinds_and_values('"a""b"') == [("IDENT", 'a"b')]
+
+    def test_eof_token_present(self):
+        tokens = tokenize("select")
+        assert tokens[-1].kind == Token.EOF
+
+
+class TestOperators:
+    def test_shift_operator_single_token(self):
+        # The Part 2 attribute accessor must lex as one token.
+        assert kinds_and_values("a>>b") == [
+            ("IDENT", "a"),
+            ("OP", ">>"),
+            ("IDENT", "b"),
+        ]
+
+    def test_comparison_operators(self):
+        assert [v for _k, v in kinds_and_values("< <= > >= <> != =")] == [
+            "<", "<=", ">", ">=", "<>", "!=", "=",
+        ]
+
+    def test_concat(self):
+        assert kinds_and_values("a || b")[1] == ("OP", "||")
+
+    def test_parameter_marker(self):
+        assert ("OP", "?") in kinds_and_values("x = ?")
+
+    def test_greater_then_greater(self):
+        # ``a > > b`` is two comparisons, not an attribute ref.
+        assert [v for _k, v in kinds_and_values("a > > b")] == \
+            ["a", ">", ">", "b"]
+
+
+class TestCommentsAndErrors:
+    def test_line_comment(self):
+        assert kinds_and_values("select -- comment\n 1") == [
+            ("KEYWORD", "SELECT"),
+            ("NUMBER", "1"),
+        ]
+
+    def test_block_comment(self):
+        assert kinds_and_values("select /* x \n y */ 1") == [
+            ("KEYWORD", "SELECT"),
+            ("NUMBER", "1"),
+        ]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(errors.SQLParseError):
+            tokenize("select /* oops")
+
+    def test_unterminated_string(self):
+        with pytest.raises(errors.SQLParseError):
+            tokenize("select 'oops")
+
+    def test_unexpected_character(self):
+        with pytest.raises(errors.SQLParseError):
+            tokenize("select @")
+
+    def test_empty_delimited_identifier(self):
+        with pytest.raises(errors.SQLParseError):
+            tokenize('select ""')
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("select\n  sales")
+        token = [t for t in tokens if t.value == "sales"][0]
+        assert token.line == 2
+        assert token.column == 3
+
+    def test_absolute_positions(self):
+        sql = "select Sales"
+        tokens = tokenize(sql)
+        token = [t for t in tokens if t.value == "sales"][0]
+        assert sql[token.pos: token.pos + 5] == "Sales"

@@ -1,0 +1,503 @@
+"""Unit tests for the SQL parser (AST construction)."""
+
+import decimal
+
+import pytest
+
+from repro import errors
+from repro.engine import ast
+from repro.engine.dialects import ACME, ZENITH
+from repro.engine.parser import parse_expression, parse_statement
+
+D = decimal.Decimal
+
+
+class TestSelect:
+    def test_simple_select(self):
+        stmt = parse_statement("select name, year from people")
+        assert isinstance(stmt, ast.Select)
+        assert len(stmt.items) == 2
+        assert isinstance(stmt.from_clause[0], ast.TableName)
+        assert stmt.from_clause[0].name == "people"
+
+    def test_star(self):
+        stmt = parse_statement("select * from t")
+        assert isinstance(stmt.items[0], ast.StarItem)
+
+    def test_qualified_star(self):
+        stmt = parse_statement("select t.* from t")
+        assert stmt.items[0].table == "t"
+
+    def test_aliases(self):
+        stmt = parse_statement("select a as x, b y from t u")
+        assert stmt.items[0].alias == "x"
+        assert stmt.items[1].alias == "y"
+        assert stmt.from_clause[0].alias == "u"
+
+    def test_where_and_order(self):
+        stmt = parse_statement(
+            "select a from t where a > 1 order by a desc, b"
+        )
+        assert isinstance(stmt.where, ast.Binary)
+        assert stmt.order_by[0].ascending is False
+        assert stmt.order_by[1].ascending is True
+
+    def test_group_by_having(self):
+        stmt = parse_statement(
+            "select state, count(*) from emps group by state "
+            "having count(*) > 1"
+        )
+        assert len(stmt.group_by) == 1
+        assert isinstance(stmt.having, ast.Binary)
+
+    def test_distinct(self):
+        assert parse_statement("select distinct a from t").distinct
+
+    def test_limit_offset(self):
+        stmt = parse_statement("select a from t limit 5 offset 2")
+        assert stmt.limit.value == 5
+        assert stmt.offset.value == 2
+
+    def test_joins(self):
+        stmt = parse_statement(
+            "select * from a join b on a.x = b.x "
+            "left outer join c on b.y = c.y"
+        )
+        join = stmt.from_clause[0]
+        assert isinstance(join, ast.Join)
+        assert join.kind == "LEFT"
+        assert join.left.kind == "INNER"
+
+    def test_cross_join(self):
+        stmt = parse_statement("select * from a cross join b")
+        assert stmt.from_clause[0].kind == "CROSS"
+
+    def test_derived_table(self):
+        stmt = parse_statement(
+            "select * from (select a from t) as sub"
+        )
+        sub = stmt.from_clause[0]
+        assert isinstance(sub, ast.SubqueryRef)
+        assert sub.alias == "sub"
+
+    def test_union(self):
+        stmt = parse_statement(
+            "select a from t union all select b from u order by 1"
+        )
+        assert isinstance(stmt, ast.SetOperation)
+        assert stmt.all is True
+        assert stmt.order_by
+
+    def test_name_keyword_usable_as_column(self):
+        # The paper's example table has a ``name`` column.
+        stmt = parse_statement("select name from emps")
+        assert stmt.items[0].expression.name == "name"
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(errors.SQLParseError):
+            parse_statement("select a from t bogus extra ,")
+
+
+class TestExpressions:
+    def test_precedence_arithmetic(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_precedence_logic(self):
+        expr = parse_expression("a = 1 or b = 2 and c = 3")
+        assert expr.op == "OR"
+        assert expr.right.op == "AND"
+
+    def test_not(self):
+        expr = parse_expression("not a = 1")
+        assert isinstance(expr, ast.Unary)
+        assert expr.op == "NOT"
+
+    def test_unary_minus(self):
+        expr = parse_expression("-5")
+        assert isinstance(expr, ast.Unary)
+
+    def test_between(self):
+        expr = parse_expression("a between 1 and 10")
+        assert isinstance(expr, ast.Between)
+
+    def test_not_between(self):
+        assert parse_expression("a not between 1 and 2").negated
+
+    def test_in_list(self):
+        expr = parse_expression("a in (1, 2, 3)")
+        assert isinstance(expr, ast.InList)
+        assert len(expr.items) == 3
+
+    def test_in_subquery(self):
+        expr = parse_expression("a in (select b from t)")
+        assert isinstance(expr, ast.InSubquery)
+
+    def test_like_with_escape(self):
+        expr = parse_expression("a like 'x%' escape '!'")
+        assert isinstance(expr, ast.Like)
+        assert expr.escape.value == "!"
+
+    def test_is_null(self):
+        assert isinstance(parse_expression("a is null"), ast.IsNull)
+        assert parse_expression("a is not null").negated
+
+    def test_case_searched(self):
+        expr = parse_expression(
+            "case when a = 1 then 'one' else 'other' end"
+        )
+        assert isinstance(expr, ast.CaseExpr)
+        assert expr.operand is None
+
+    def test_case_simple(self):
+        expr = parse_expression("case a when 1 then 'one' end")
+        assert expr.operand is not None
+
+    def test_cast(self):
+        expr = parse_expression("cast(a as decimal(6,2))")
+        assert isinstance(expr, ast.Cast)
+        assert expr.target_type == "DECIMAL(6,2)"
+
+    def test_exists(self):
+        expr = parse_expression("exists (select 1 from t)")
+        assert isinstance(expr, ast.Exists)
+
+    def test_scalar_subquery(self):
+        expr = parse_expression("(select max(a) from t)")
+        assert isinstance(expr, ast.ScalarSubquery)
+
+    def test_function_call(self):
+        expr = parse_expression("upper(name)")
+        assert isinstance(expr, ast.FunctionCall)
+        assert expr.name == "upper"
+
+    def test_count_star(self):
+        expr = parse_expression("count(*)")
+        assert isinstance(expr, ast.AggregateCall)
+        assert expr.argument is None
+
+    def test_count_distinct(self):
+        expr = parse_expression("count(distinct a)")
+        assert expr.distinct
+
+    def test_parameters_indexed_in_order(self):
+        stmt = parse_statement("select * from t where a = ? and b = ?")
+        where = stmt.where
+        assert where.left.right.index == 0
+        assert where.right.right.index == 1
+
+    def test_decimal_literal(self):
+        assert parse_expression("1.50").value == D("1.50")
+
+    def test_concat(self):
+        assert parse_expression("a || b").op == "||"
+
+    def test_current_user(self):
+        expr = parse_expression("current_user")
+        assert isinstance(expr, ast.FunctionCall)
+
+
+class TestPart2Expressions:
+    def test_attribute_ref(self):
+        expr = parse_expression("home_addr>>zip")
+        assert isinstance(expr, ast.AttributeRef)
+        assert expr.attribute == "zip"
+
+    def test_chained_attributes(self):
+        expr = parse_expression("a>>b>>c")
+        assert expr.attribute == "c"
+        assert expr.target.attribute == "b"
+
+    def test_method_call(self):
+        expr = parse_expression("home_addr>>to_string()")
+        assert isinstance(expr, ast.MethodCall)
+        assert expr.method == "to_string"
+
+    def test_method_with_args(self):
+        expr = parse_expression("addr>>contiguous(a, b)")
+        assert len(expr.args) == 2
+
+    def test_new_constructor(self):
+        expr = parse_expression("new addr('street', 'zip')")
+        assert isinstance(expr, ast.NewObject)
+        assert expr.type_name == "addr"
+        assert len(expr.args) == 2
+
+    def test_new_as_column_name(self):
+        # NEW is non-reserved: the paper declares a parameter named "new".
+        stmt = parse_statement("select new from t")
+        assert stmt.items[0].expression.name == "new"
+
+
+class TestDml:
+    def test_insert_values(self):
+        stmt = parse_statement(
+            "insert into emps values ('A', 'E1', 'CA', 1.5), "
+            "('B', 'E2', 'MN', 2.5)"
+        )
+        assert isinstance(stmt, ast.Insert)
+        assert len(stmt.source.rows) == 2
+
+    def test_insert_columns(self):
+        stmt = parse_statement("insert into t (a, b) values (1, 2)")
+        assert stmt.columns == ["a", "b"]
+
+    def test_insert_select(self):
+        stmt = parse_statement("insert into t select * from u")
+        assert isinstance(stmt.source, ast.Select)
+
+    def test_update(self):
+        stmt = parse_statement(
+            "update emps set sales = sales * 2, state = 'CA' "
+            "where name = 'Bob'"
+        )
+        assert isinstance(stmt, ast.Update)
+        assert len(stmt.assignments) == 2
+
+    def test_update_attribute_path(self):
+        stmt = parse_statement(
+            "update emps set home_addr>>zip = '99123' where name = 'Bob'"
+        )
+        target = stmt.assignments[0].target
+        assert isinstance(target, ast.AttributePath)
+        assert target.column == "home_addr"
+        assert target.attributes == ["zip"]
+
+    def test_delete(self):
+        stmt = parse_statement("delete from emps where sales is null")
+        assert isinstance(stmt, ast.Delete)
+
+
+class TestDdl:
+    def test_create_table(self):
+        stmt = parse_statement(
+            "create table emps (name varchar(50) not null, "
+            "sales decimal(6,2) default 0)"
+        )
+        assert isinstance(stmt, ast.CreateTable)
+        assert stmt.columns[0].not_null
+        assert stmt.columns[1].default.value == 0
+
+    def test_create_view(self):
+        stmt = parse_statement(
+            "create view v (a, b) as select x, y from t"
+        )
+        assert isinstance(stmt, ast.CreateView)
+        assert stmt.column_names == ["a", "b"]
+
+    def test_drop(self):
+        stmt = parse_statement("drop table emps")
+        assert stmt.kind == "TABLE"
+        assert parse_statement("drop procedure p").kind == "PROCEDURE"
+        assert parse_statement("drop type addr").kind == "TYPE"
+
+    def test_create_procedure_full(self):
+        stmt = parse_statement(
+            "create procedure correct_states(old char(20), new char(20)) "
+            "modifies sql data "
+            "external name routines1_par:routines1.correct_states "
+            "language java parameter style java"
+        )
+        assert isinstance(stmt, ast.CreateRoutine)
+        assert stmt.kind == "PROCEDURE"
+        assert stmt.data_access == "MODIFIES SQL DATA"
+        assert stmt.external_name == \
+            "routines1_par:routines1.correct_states"
+        assert stmt.language == "JAVA"
+
+    def test_external_name_preserves_case_unquoted(self):
+        stmt = parse_statement(
+            "create procedure p() external name "
+            "jar1:Routines1.correctStates language java "
+            "parameter style java"
+        )
+        assert stmt.external_name == "jar1:Routines1.correctStates"
+
+    def test_create_function(self):
+        stmt = parse_statement(
+            "create function region_of(state char(20)) returns integer "
+            "no sql external name 'r:m.region' language python "
+            "parameter style python"
+        )
+        assert stmt.kind == "FUNCTION"
+        assert stmt.returns == "INTEGER"
+        assert stmt.data_access == "NO SQL"
+
+    def test_out_parameters(self):
+        stmt = parse_statement(
+            "create procedure best2 (out n1 varchar(50), "
+            "inout x integer, region integer) external name 'a.b' "
+            "language python parameter style python"
+        )
+        modes = [p.mode for p in stmt.params]
+        assert modes == ["OUT", "INOUT", "IN"]
+
+    def test_dynamic_result_sets(self):
+        stmt = parse_statement(
+            "create procedure ranked_emps (region integer) "
+            "dynamic result sets 1 reads sql data external name 'a.b' "
+            "language python parameter style python"
+        )
+        assert stmt.dynamic_result_sets == 1
+        assert stmt.data_access == "READS SQL DATA"
+
+    def test_create_type(self):
+        stmt = parse_statement(
+            "create type addr external name 'm.Address' language python ("
+            " zip_attr char(10) external name zip,"
+            " static rec integer external name recommended_width,"
+            " method addr () returns addr external name Address,"
+            " method to_string () returns varchar(255) "
+            "   external name to_string;"
+            " static method contiguous (a1 addr, a2 addr) "
+            "   returns char(3) external name contiguous)"
+        )
+        assert isinstance(stmt, ast.CreateType)
+        assert len(stmt.attributes) == 2
+        assert stmt.attributes[1].static
+        assert len(stmt.methods) == 3
+        assert stmt.methods[0].sql_name == "addr"
+        assert stmt.methods[2].static
+
+    def test_create_type_under(self):
+        stmt = parse_statement(
+            "create type addr_2_line under addr external name 'm.A2' "
+            "language python (line2 varchar(100) external name line2)"
+        )
+        assert stmt.under == "addr"
+
+
+class TestAccessControl:
+    def test_grant_table_privilege(self):
+        stmt = parse_statement("grant select on emps to smith, jones")
+        assert stmt.privilege == "SELECT"
+        assert stmt.object_kind == "TABLE"
+        assert stmt.grantees == ["smith", "jones"]
+
+    def test_grant_usage_defaults_to_par(self):
+        stmt = parse_statement("grant usage on routines1_jar to smith")
+        assert stmt.object_kind == "PAR"
+
+    def test_grant_usage_on_datatype(self):
+        stmt = parse_statement("grant usage on datatype addr to public")
+        assert stmt.object_kind == "DATATYPE"
+        assert stmt.grantees == ["public"]
+
+    def test_grant_execute(self):
+        stmt = parse_statement("grant execute on correct_states to smith")
+        assert stmt.object_kind == "ROUTINE"
+
+    def test_revoke(self):
+        stmt = parse_statement("revoke select on emps from smith")
+        assert isinstance(stmt, ast.Revoke)
+
+
+class TestCallAndTransactions:
+    def test_call_with_args(self):
+        stmt = parse_statement("call correct_states('CAL', 'CA')")
+        assert isinstance(stmt, ast.Call)
+        assert len(stmt.args) == 2
+
+    def test_call_qualified(self):
+        stmt = parse_statement("call sqlj.install_par('u', 'p')")
+        assert stmt.procedure == "sqlj.install_par"
+
+    def test_call_with_markers(self):
+        stmt = parse_statement("call best2(?,?,?)")
+        assert all(isinstance(a, ast.Parameter) for a in stmt.args)
+
+    def test_commit_rollback(self):
+        assert isinstance(parse_statement("commit"), ast.Commit)
+        assert isinstance(parse_statement("rollback work"), ast.Rollback)
+
+
+class TestDialectParsing:
+    def test_acme_top(self):
+        stmt = parse_statement("select top 5 a from t", ACME)
+        assert stmt.limit.value == 5
+
+    def test_acme_rejects_double_pipe(self):
+        with pytest.raises(errors.SQLParseError):
+            parse_statement("select a || b from t", ACME)
+
+    def test_standard_rejects_top(self):
+        with pytest.raises(errors.SQLParseError):
+            parse_statement("select top 5 a from t")
+
+    def test_zenith_fetch_first(self):
+        stmt = parse_statement(
+            "select a from t fetch first 3 rows only", ZENITH
+        )
+        assert stmt.limit.value == 3
+
+    def test_standard_rejects_fetch_first(self):
+        with pytest.raises(errors.SQLParseError):
+            parse_statement("select a from t fetch first 3 rows only")
+
+
+class TestConstraintAndAlterParsing:
+    def test_primary_key_column(self):
+        stmt = parse_statement(
+            "create table t (id integer primary key, v varchar(10))"
+        )
+        definition = stmt.columns[0]
+        assert definition.primary_key
+        assert definition.unique
+        assert definition.not_null
+
+    def test_unique_column(self):
+        stmt = parse_statement("create table t (email varchar(30) unique)")
+        assert stmt.columns[0].unique
+        assert not stmt.columns[0].primary_key
+
+    def test_constraints_combine_with_default(self):
+        stmt = parse_statement(
+            "create table t (a integer unique not null default 7)"
+        )
+        definition = stmt.columns[0]
+        assert definition.unique and definition.not_null
+        assert definition.default.value == 7
+
+    def test_alter_add_column(self):
+        stmt = parse_statement(
+            "alter table emps add column bonus decimal(6,2) default 0"
+        )
+        assert isinstance(stmt, ast.AlterTable)
+        assert stmt.action == "ADD"
+        assert stmt.column_def.name == "bonus"
+        assert stmt.column_def.type_spelling == "DECIMAL(6,2)"
+
+    def test_alter_add_without_column_keyword(self):
+        stmt = parse_statement("alter table emps add bonus integer")
+        assert stmt.action == "ADD"
+
+    def test_alter_drop_column(self):
+        stmt = parse_statement("alter table emps drop column sales")
+        assert stmt.action == "DROP"
+        assert stmt.column_name == "sales"
+
+    def test_alter_requires_action(self):
+        with pytest.raises(errors.SQLParseError):
+            parse_statement("alter table emps rename to staff")
+
+    def test_explain_statement(self):
+        stmt = parse_statement("explain select 1")
+        assert isinstance(stmt, ast.Explain)
+
+    def test_ordering_clause_parsing(self):
+        stmt = parse_statement(
+            "create type m external name 'x.M' language python ("
+            "method compare_to (other m) returns integer "
+            "external name compare_to,"
+            "ordering full by method compare_to)"
+        )
+        assert stmt.ordering.kind == "FULL"
+        assert stmt.ordering.method == "compare_to"
+
+    def test_equals_only_ordering_parsing(self):
+        stmt = parse_statement(
+            "create type m external name 'x.M' language python ("
+            "ordering equals only by method eq)"
+        )
+        assert stmt.ordering.kind == "EQUALS"

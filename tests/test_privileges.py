@@ -1,0 +1,173 @@
+"""Tests for GRANT / REVOKE and privilege enforcement."""
+
+import pytest
+
+from repro import errors
+
+
+@pytest.fixture
+def owner(db):
+    """The paper's granting user (owns the schema objects)."""
+    session = db.create_session(user="owner", autocommit=True)
+    session.execute("create table accounts (customer varchar(20), "
+                    "balance integer)")
+    session.execute("insert into accounts values ('ann', 10)")
+    return session
+
+
+@pytest.fixture
+def smith(db):
+    return db.create_session(user="smith", autocommit=True)
+
+
+class TestTablePrivileges:
+    def test_unprivileged_select_denied(self, owner, smith):
+        with pytest.raises(errors.PrivilegeError):
+            smith.execute("select * from accounts")
+
+    def test_granted_select_allowed(self, owner, smith):
+        owner.execute("grant select on accounts to smith")
+        assert smith.execute("select * from accounts").rows == \
+            [["ann", 10]]
+
+    def test_select_does_not_imply_insert(self, owner, smith):
+        owner.execute("grant select on accounts to smith")
+        with pytest.raises(errors.PrivilegeError):
+            smith.execute("insert into accounts values ('bob', 1)")
+
+    def test_grant_all(self, owner, smith):
+        owner.execute("grant all on accounts to smith")
+        smith.execute("insert into accounts values ('bob', 1)")
+        smith.execute("update accounts set balance = 2 "
+                      "where customer = 'bob'")
+        smith.execute("delete from accounts where customer = 'bob'")
+
+    def test_revoke(self, owner, smith):
+        owner.execute("grant select on accounts to smith")
+        owner.execute("revoke select on accounts from smith")
+        with pytest.raises(errors.PrivilegeError):
+            smith.execute("select * from accounts")
+
+    def test_grant_to_public(self, owner, smith, db):
+        owner.execute("grant select on accounts to public")
+        assert smith.execute("select count(*) from accounts").rows == \
+            [[1]]
+        other = db.create_session(user="zoe")
+        assert other.execute("select count(*) from accounts").rows == \
+            [[1]]
+
+    def test_owner_always_allowed(self, owner):
+        assert owner.execute("select * from accounts").rows
+
+    def test_admin_always_allowed(self, owner, db):
+        admin = db.create_session()  # dba
+        assert admin.execute("select * from accounts").rows
+
+    def test_non_owner_cannot_grant(self, owner, smith):
+        with pytest.raises(errors.PrivilegeError):
+            smith.execute("grant select on accounts to smith")
+
+    def test_non_owner_cannot_drop(self, owner, smith):
+        with pytest.raises(errors.PrivilegeError):
+            smith.execute("drop table accounts")
+
+    def test_view_privileges_independent_of_table(self, owner, smith):
+        owner.execute(
+            "create view balances as select balance from accounts"
+        )
+        owner.execute("grant select on balances to smith")
+        # Smith may read through the view (definer's rights inside)...
+        assert smith.execute("select * from balances").rows == [[10]]
+        # ...but still not the base table.
+        with pytest.raises(errors.PrivilegeError):
+            smith.execute("select * from accounts")
+
+
+class TestRoutinePrivileges:
+    @pytest.fixture
+    def routine_db(self, payroll, db):
+        return db
+
+    def test_execute_denied_without_grant(self, routine_db):
+        smith = routine_db.create_session(user="smith", autocommit=True)
+        with pytest.raises(errors.PrivilegeError):
+            smith.execute("call correct_states('CAL', 'CA')")
+
+    def test_execute_granted(self, payroll, routine_db):
+        payroll.execute("grant execute on correct_states to smith")
+        smith = routine_db.create_session(user="smith", autocommit=True)
+        smith.execute("call correct_states('CAL', 'CA')")
+
+    def test_function_in_query_needs_execute(self, payroll, routine_db):
+        payroll.execute("grant select on emps to smith")
+        smith = routine_db.create_session(user="smith", autocommit=True)
+        with pytest.raises(errors.PrivilegeError):
+            smith.execute("select region_of(state) from emps")
+        payroll.execute("grant execute on region_of to smith")
+        assert smith.execute(
+            "select region_of(state) from emps where name = 'Alice'"
+        ).rows == [[3]]
+
+    def test_definers_rights(self, payroll, routine_db):
+        # Smith gets EXECUTE on correct_states but no table privileges;
+        # the procedure updates emps anyway (definer's rights).
+        payroll.execute("grant execute on correct_states to smith")
+        smith = routine_db.create_session(user="smith", autocommit=True)
+        smith.execute("call correct_states('TX', 'CA')")
+        assert payroll.execute(
+            "select count(*) from emps where state = 'CA'"
+        ).rows == [[2]]
+
+    def test_public_can_run_sqlj_procs(self, db, routines_par):
+        smith = db.create_session(user="smith", autocommit=True)
+        smith.execute(
+            f"call sqlj.install_par('{routines_par}', 'smith_par')"
+        )
+        assert "smith_par" in db.catalog.pars
+
+
+class TestParAndTypePrivileges:
+    def test_usage_on_par_required_for_create(self, db, routines_par):
+        installer = db.create_session(user="installer", autocommit=True)
+        installer.execute(
+            f"call sqlj.install_par('{routines_par}', 'rp')"
+        )
+        other = db.create_session(user="other", autocommit=True)
+        with pytest.raises(errors.PrivilegeError):
+            other.execute(
+                "create function r(state char(20)) returns integer "
+                "no sql external name 'rp:routines1.region' "
+                "language python parameter style python"
+            )
+        installer.execute("grant usage on rp to other")
+        other.execute(
+            "create function r(state char(20)) returns integer "
+            "no sql external name 'rp:routines1.region' "
+            "language python parameter style python"
+        )
+
+    def test_usage_on_datatype(self, address_types, db):
+        # address_types registered by dba; smith needs usage to use addr.
+        smith = db.create_session(user="smith", autocommit=True)
+        address_types.execute("create table a_t (a addr)")
+        address_types.execute("grant select on a_t to smith")
+        address_types.execute("grant insert on a_t to smith")
+        with pytest.raises(errors.PrivilegeError):
+            smith.execute(
+                "insert into a_t values (new addr('s', 'z'))"
+            )
+        address_types.execute("grant usage on datatype addr to smith")
+        smith.execute("insert into a_t values (new addr('s', 'z'))")
+
+    def test_grant_usage_on_datatype_to_public(self, address_types, db):
+        address_types.execute("grant usage on datatype addr to public")
+        smith = db.create_session(user="smith", autocommit=True)
+        address_types.execute("create table b_t (a addr)")
+        address_types.execute("grant all on b_t to smith")
+        smith.execute("insert into b_t values (new addr('s', 'z'))")
+
+    def test_unknown_privilege_kind_combination(self, db):
+        session = db.create_session(autocommit=True)
+        session.execute("create table t (a integer)")
+        with pytest.raises(errors.CatalogError):
+            session.execute("grant execute on table t to smith")

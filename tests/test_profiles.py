@@ -1,0 +1,284 @@
+"""Tests for profiles, customizations, packaging and the customizer."""
+
+import os
+
+import pytest
+
+from repro import errors
+from repro.engine import Database
+from repro.profiles import (
+    ConnectedProfile,
+    DefaultCustomization,
+    DialectCustomization,
+    EntryInfo,
+    Profile,
+    build_pjar,
+    customize_pjar,
+    customize_profile,
+    load_profile,
+    read_pjar,
+    save_profile,
+)
+from repro.profiles.customizer import customize_profile_file
+from repro.profiles.model import TypeInfo
+from repro.profiles.pjar import unpack_pjar, write_pjar_members
+from repro.profiles.serialization import (
+    profile_from_bytes,
+    profile_to_bytes,
+)
+
+
+def make_profile(name="app_SJProfile0"):
+    profile = Profile(name=name, context_type="DefaultContext")
+    profile.data.add(
+        EntryInfo(
+            index=0,
+            sql="SELECT name, sales FROM emps WHERE sales > ? "
+                "ORDER BY sales DESC LIMIT 2",
+            role="QUERY",
+            param_types=[TypeInfo(name="threshold")],
+        )
+    )
+    profile.data.add(
+        EntryInfo(
+            index=1,
+            sql="UPDATE emps SET sales = sales + ? WHERE name = ?",
+            role="UPDATE",
+        )
+    )
+    profile.data.add(
+        EntryInfo(
+            index=2,
+            sql="SELECT name || '!' FROM emps WHERE name = ?",
+            role="QUERY",
+        )
+    )
+    return profile
+
+
+def load_emps(database):
+    session = database.create_session(autocommit=True)
+    session.execute(
+        "create table emps (name varchar(50), id char(5), "
+        "state char(20), sales decimal(6,2))"
+    )
+    session.execute(
+        "insert into emps values ('Alice', 'E1', 'CA', 100.50), "
+        "('Bob', 'E2', 'MN', 50.25), ('Dan', 'E4', 'FL', 200.00)"
+    )
+    return session
+
+
+class TestModel:
+    def test_entry_describe(self):
+        profile = make_profile()
+        assert profile.get_entry(0).describe().startswith("#0 [QUERY]")
+
+    def test_entry_count(self):
+        assert make_profile().entry_count() == 3
+
+    def test_customization_replacement_by_key(self):
+        profile = make_profile()
+        database = Database()
+        customize_profile(profile, "acme")
+        customize_profile(profile, "acme")
+        keys = [c.key for c in profile.customizations]
+        assert keys == ["dialect:acme"]
+        del database
+
+
+class TestSerialization:
+    def test_bytes_roundtrip(self):
+        profile = make_profile()
+        again = profile_from_bytes(profile_to_bytes(profile))
+        assert again.name == profile.name
+        assert again.entry_count() == 3
+        assert again.get_entry(0).sql == profile.get_entry(0).sql
+
+    def test_file_roundtrip(self, tmp_path):
+        profile = make_profile()
+        path = save_profile(profile, str(tmp_path))
+        assert path.endswith("app_SJProfile0.ser")
+        again = load_profile(path)
+        assert again.entry_count() == 3
+
+    def test_customizations_survive_serialization(self, tmp_path):
+        profile = make_profile()
+        customize_profile(profile, "acme")
+        path = save_profile(profile, str(tmp_path))
+        again = load_profile(path)
+        assert len(again.customizations) == 1
+        assert again.customizations[0].dialect_name == "acme"
+        assert "TOP 2" in again.customizations[0].sql_texts[0]
+
+    def test_bad_payload(self):
+        with pytest.raises(errors.ProfileError):
+            profile_from_bytes(b"not a profile")
+
+    def test_wrong_object_type(self):
+        import pickle
+
+        with pytest.raises(errors.ProfileError):
+            profile_from_bytes(pickle.dumps({"not": "a profile"}))
+
+    def test_missing_file(self):
+        with pytest.raises(errors.ProfileError):
+            load_profile("/does/not/exist.ser")
+
+
+class TestExecutionPaths:
+    def test_default_customization_executes(self):
+        database = Database()
+        session = load_emps(database)
+        profile = make_profile()
+        connected = ConnectedProfile(profile, session)
+        result = connected.execute(0, [60])
+        assert [r[0] for r in result.rows] == ["Dan", "Alice"]
+        assert isinstance(connected.customization(),
+                          DefaultCustomization)
+
+    def test_update_through_profile(self):
+        database = Database()
+        session = load_emps(database)
+        connected = ConnectedProfile(make_profile(), session)
+        count = connected.get_statement(1).execute_update([10, "Bob"])
+        assert count == 1
+        result = session.execute(
+            "select sales from emps where name = 'Bob'"
+        )
+        assert str(result.rows[0][0]) == "60.25"
+
+    def test_statements_are_cached_per_connection(self):
+        database = Database()
+        session = load_emps(database)
+        connected = ConnectedProfile(make_profile(), session)
+        assert connected.get_statement(0) is connected.get_statement(0)
+
+    def test_dialect_customization_selected(self):
+        database = Database(dialect="acme")
+        session = load_emps(database)
+        profile = make_profile()
+        customize_profile(profile, "acme")
+        connected = ConnectedProfile(profile, session)
+        assert isinstance(connected.customization(),
+                          DialectCustomization)
+        result = connected.execute(0, [60])
+        assert [r[0] for r in result.rows] == ["Dan", "Alice"]
+
+    def test_uncustomized_profile_fails_on_foreign_dialect(self):
+        # The portability story: default (dynamic) execution ships the
+        # standard SQL text, which the acme parser rejects (LIMIT).
+        database = Database(dialect="acme")
+        session = load_emps(database)
+        connected = ConnectedProfile(make_profile(), session)
+        with pytest.raises(errors.SQLParseError):
+            connected.execute(0, [60])
+
+    def test_concat_entry_on_acme(self):
+        database = Database(dialect="acme")
+        session = load_emps(database)
+        profile = make_profile()
+        customize_profile(profile, "acme")
+        connected = ConnectedProfile(profile, session)
+        result = connected.execute(2, ["Bob"])
+        assert result.rows == [["Bob!"]]
+
+    def test_same_profile_on_all_dialects(self):
+        profile = make_profile()
+        for dialect in ("standard", "acme", "zenith"):
+            customize_profile(profile, dialect)
+        results = {}
+        for dialect in ("standard", "acme", "zenith"):
+            database = Database(name=f"db_{dialect}", dialect=dialect)
+            session = load_emps(database)
+            connected = ConnectedProfile(profile, session)
+            results[dialect] = connected.execute(0, [60]).rows
+        assert results["standard"] == results["acme"] == \
+            results["zenith"]
+
+    def test_execute_query_vs_update_guards(self):
+        database = Database()
+        session = load_emps(database)
+        connected = ConnectedProfile(make_profile(), session)
+        with pytest.raises(errors.DataError):
+            connected.get_statement(0).execute_update([60])
+        with pytest.raises(errors.DataError):
+            connected.get_statement(1).execute_query([1, "Bob"])
+
+    def test_unknown_dialect_customization(self):
+        with pytest.raises(errors.CustomizationError):
+            DialectCustomization("oracle", make_profile())
+
+
+class TestPjar:
+    def test_build_and_read(self, tmp_path):
+        profile = make_profile()
+        ser = save_profile(profile, str(tmp_path))
+        module = tmp_path / "app.py"
+        module.write_text("# generated module\n")
+        pjar = build_pjar(str(tmp_path / "app.pjar"), [str(module), ser])
+        members = read_pjar(pjar)
+        assert set(members) == {"app.py", "app_SJProfile0.ser"}
+
+    def test_unpack(self, tmp_path):
+        profile = make_profile()
+        ser = save_profile(profile, str(tmp_path))
+        pjar = build_pjar(str(tmp_path / "app.pjar"), [ser])
+        out = tmp_path / "deployed"
+        extracted = unpack_pjar(pjar, str(out))
+        assert os.path.exists(extracted["app_SJProfile0.ser"])
+        assert load_profile(
+            extracted["app_SJProfile0.ser"]
+        ).entry_count() == 3
+
+    def test_customize_pjar_adds_customizations(self, tmp_path):
+        ser = save_profile(make_profile(), str(tmp_path))
+        pjar = build_pjar(str(tmp_path / "app.pjar"), [ser])
+        names = customize_pjar(pjar, ["acme", "zenith"])
+        assert names == ["app_SJProfile0"]
+        members = read_pjar(pjar)
+        profile = profile_from_bytes(members["app_SJProfile0.ser"])
+        keys = {c.key for c in profile.customizations}
+        assert keys == {"dialect:acme", "dialect:zenith"}
+
+    def test_repeated_customization_idempotent(self, tmp_path):
+        # Slides show Customizer1 then Customizer2 running on the same jar.
+        ser = save_profile(make_profile(), str(tmp_path))
+        pjar = build_pjar(str(tmp_path / "app.pjar"), [ser])
+        customize_pjar(pjar, ["acme"])
+        customize_pjar(pjar, ["acme", "zenith"])
+        profile = profile_from_bytes(
+            read_pjar(pjar)["app_SJProfile0.ser"]
+        )
+        assert len(profile.customizations) == 2
+
+    def test_customize_profile_file(self, tmp_path):
+        path = save_profile(make_profile(), str(tmp_path))
+        customize_profile_file(path, "zenith")
+        profile = load_profile(path)
+        assert profile.customizations[0].dialect_name == "zenith"
+        assert "FETCH FIRST 2 ROWS ONLY" in \
+            profile.customizations[0].sql_texts[0]
+
+    def test_customize_pjar_without_profiles(self, tmp_path):
+        module = tmp_path / "plain.py"
+        module.write_text("x = 1\n")
+        pjar = build_pjar(str(tmp_path / "p.pjar"), [str(module)])
+        with pytest.raises(errors.CustomizationError):
+            customize_pjar(pjar, ["acme"])
+
+    def test_empty_pjar_rejected(self, tmp_path):
+        with pytest.raises(errors.ProfileError):
+            build_pjar(str(tmp_path / "e.pjar"), [])
+
+    def test_missing_member_rejected(self, tmp_path):
+        with pytest.raises(errors.ProfileError):
+            build_pjar(str(tmp_path / "m.pjar"), ["/no/such/file.py"])
+
+    def test_write_members_roundtrip(self, tmp_path):
+        ser = save_profile(make_profile(), str(tmp_path))
+        pjar = build_pjar(str(tmp_path / "w.pjar"), [ser])
+        members = read_pjar(pjar)
+        members["extra.txt"] = b"hello"
+        write_pjar_members(pjar, members)
+        assert read_pjar(pjar)["extra.txt"] == b"hello"

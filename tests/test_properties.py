@@ -1,0 +1,544 @@
+"""Property-based tests (hypothesis) over core invariants."""
+
+import decimal
+import re
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import errors
+from repro.engine import Database
+from repro.engine.ast import Select
+from repro.engine.executor import _RowSet
+from repro.engine.lexer import KEYWORDS, Token, tokenize
+from repro.engine.parser import parse_expression, parse_statement
+from repro.engine.render import render_expression, render_statement
+from repro.profiles.serialization import (
+    profile_from_bytes,
+    profile_to_bytes,
+)
+from repro.profiles.model import EntryInfo, Profile, TypeInfo
+from repro.procedures.archives import build_par_bytes, read_par
+from repro.sqltypes import (
+    CharType,
+    DecimalType,
+    IntegerType,
+    VarCharType,
+    compare_values,
+)
+from repro.sqltypes.values import sort_key
+from repro.translator.hostvars import extract_host_variables
+
+D = decimal.Decimal
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+
+identifiers = st.from_regex(r"[a-z][a-z0-9_]{0,10}", fullmatch=True).filter(
+    lambda s: s.upper() not in KEYWORDS
+)
+
+sql_strings = st.text(
+    alphabet=st.characters(
+        blacklist_categories=("Cs",), blacklist_characters="\x00"
+    ),
+    max_size=30,
+)
+
+scalar_values = st.one_of(
+    st.none(),
+    st.integers(min_value=-(10 ** 9), max_value=10 ** 9),
+    st.decimals(
+        allow_nan=False, allow_infinity=False, places=2,
+        min_value=-(10 ** 6), max_value=10 ** 6,
+    ),
+    st.text(max_size=12),
+)
+
+
+class TestLexerProperties:
+    @given(sql_strings)
+    def test_string_literal_roundtrip(self, text):
+        literal = "'" + text.replace("'", "''") + "'"
+        tokens = tokenize(literal)
+        assert tokens[0].kind == Token.STRING
+        assert tokens[0].value == text
+
+    @given(identifiers)
+    def test_identifier_roundtrip(self, name):
+        tokens = tokenize(name)
+        assert tokens[0].kind == Token.IDENT
+        assert tokens[0].value == name.lower()
+
+    @given(st.integers(min_value=0, max_value=10 ** 15))
+    def test_integer_literal_roundtrip(self, value):
+        tokens = tokenize(str(value))
+        assert tokens[0].kind == Token.NUMBER
+        assert int(tokens[0].value) == value
+
+
+class TestCompareValueProperties:
+    @given(scalar_values, scalar_values)
+    def test_antisymmetry(self, a, b):
+        try:
+            ab = compare_values(a, b)
+            ba = compare_values(b, a)
+        except errors.InvalidCastError:
+            return  # mixed domains
+        if ab is None:
+            assert ba is None
+        else:
+            assert ab == -ba
+
+    @given(scalar_values)
+    def test_reflexivity(self, a):
+        result = compare_values(a, a)
+        if a is None:
+            assert result is None
+        else:
+            assert result == 0
+
+    @given(st.lists(st.one_of(st.none(), st.integers()), max_size=20))
+    def test_sort_key_total_order_with_nulls_last(self, values):
+        ordered = sorted(values, key=sort_key)
+        non_null = [v for v in ordered if v is not None]
+        assert non_null == sorted(non_null)
+        if None in values:
+            first_null = ordered.index(None)
+            assert all(v is None for v in ordered[first_null:])
+
+
+class TestTypeProperties:
+    @given(st.integers(min_value=1, max_value=30), st.text(max_size=30))
+    def test_char_coercion_always_padded_or_error(self, length, text):
+        descriptor = CharType(length)
+        try:
+            stored = descriptor.coerce(text)
+        except errors.SQLException:
+            return
+        assert len(stored) == length
+
+    @given(
+        st.integers(min_value=1, max_value=12),
+        st.integers(min_value=0, max_value=6),
+        st.decimals(
+            allow_nan=False, allow_infinity=False,
+            min_value=-(10 ** 6), max_value=10 ** 6,
+        ),
+    )
+    def test_decimal_coercion_scale_invariant(self, precision, scale,
+                                              value):
+        if scale > precision:
+            return
+        descriptor = DecimalType(precision, scale)
+        try:
+            stored = descriptor.coerce(value)
+        except errors.SQLException:
+            return
+        assert isinstance(stored, D)
+        exponent = stored.as_tuple().exponent
+        assert exponent == -scale
+
+    @given(st.integers())
+    def test_integer_coercion_identity_in_range(self, value):
+        descriptor = IntegerType()
+        if -(2 ** 31) <= value < 2 ** 31:
+            assert descriptor.coerce(value) == value
+        else:
+            with pytest.raises(errors.NumericOverflowError):
+                descriptor.coerce(value)
+
+
+class TestParserRenderProperties:
+    @given(
+        identifiers, identifiers,
+        st.integers(min_value=0, max_value=1000),
+        sql_strings,
+    )
+    @settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+    def test_select_roundtrip(self, table, column, number, text):
+        literal = text.replace("'", "''")
+        sql = (
+            f"SELECT {column}, {number}, '{literal}' FROM {table} "
+            f"WHERE {column} > {number}"
+        )
+        first = parse_statement(sql)
+        rendered = render_statement(first)
+        second = parse_statement(rendered)
+        assert first == second
+
+    @given(st.integers(min_value=-999, max_value=999),
+           st.integers(min_value=-999, max_value=999))
+    def test_arithmetic_expression_roundtrip(self, a, b):
+        expr = parse_expression(f"{a} + {b} * ({a} - {b})")
+        rendered = render_expression(expr)
+        assert parse_expression(rendered) == expr
+
+
+class TestHostVarProperties:
+    @given(st.lists(identifiers, min_size=1, max_size=8))
+    def test_hostvar_extraction_order(self, names):
+        sql = "INSERT INTO t VALUES (" + ", ".join(
+            f":{n}" for n in names
+        ) + ")"
+        rewritten, found = extract_host_variables(sql)
+        # Bare ``:in``/``:out``/``:inout`` lex as variable names; a name
+        # that *prefixes* with a mode keyword plus space would shift, but
+        # these are single identifiers so the name list is exact.
+        assert [v.name for v in found] == names
+        assert rewritten.count("?") == len(names)
+        assert ":" not in rewritten
+
+    @given(sql_strings)
+    def test_hostvars_never_extracted_from_strings(self, text):
+        literal = text.replace("'", "''")
+        sql = f"SELECT '{literal}' FROM t"
+        rewritten, found = extract_host_variables(sql)
+        assert found == []
+        assert rewritten == sql
+
+
+class TestArchiveProperties:
+    @given(
+        st.dictionaries(
+            identifiers,
+            st.text(
+                alphabet=st.characters(
+                    min_codepoint=32, max_codepoint=126
+                ),
+                max_size=50,
+            ),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    def test_par_roundtrip(self, modules):
+        payload = build_par_bytes(modules)
+        loaded, descriptor = read_par(payload)
+        assert loaded == modules
+        assert descriptor is None
+
+
+class TestProfileProperties:
+    @given(
+        st.lists(
+            st.tuples(identifiers, st.sampled_from(
+                ["QUERY", "UPDATE", "CALL", "DDL"]
+            )),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    def test_profile_serialization_roundtrip(self, specs):
+        profile = Profile(name="p_SJProfile0", context_type="Default")
+        for index, (name, role) in enumerate(specs):
+            profile.data.add(
+                EntryInfo(
+                    index=index,
+                    sql=f"DELETE FROM {name}",
+                    role=role,
+                    param_types=[TypeInfo(name=name)],
+                )
+            )
+        again = profile_from_bytes(profile_to_bytes(profile))
+        assert again.entry_count() == len(specs)
+        for index, (name, role) in enumerate(specs):
+            entry = again.get_entry(index)
+            assert entry.sql == f"DELETE FROM {name}"
+            assert entry.role == role
+
+
+class TestRowSetProperties:
+    @given(st.lists(st.tuples(scalar_values, scalar_values), max_size=30))
+    def test_rowset_deduplicates_exactly(self, rows):
+        seen = _RowSet()
+        kept = [row for row in rows if seen.add(row)]
+
+        def key(row):
+            return tuple(
+                v.rstrip(" ") if isinstance(v, str) else
+                D(str(v)) if isinstance(v, (int, float, D)) and not
+                isinstance(v, bool) else v
+                for v in row
+            )
+
+        unique = []
+        observed = set()
+        for row in rows:
+            k = key(row)
+            if k not in observed:
+                observed.add(k)
+                unique.append(row)
+        assert len(kept) == len(unique)
+
+
+class TestEngineQueryProperties:
+    @settings(
+        max_examples=25,
+        suppress_health_check=[HealthCheck.too_slow],
+        deadline=None,
+    )
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=-100, max_value=100),
+                st.one_of(st.none(),
+                          st.integers(min_value=-100, max_value=100)),
+            ),
+            max_size=25,
+        ),
+        st.integers(min_value=-100, max_value=100),
+    )
+    def test_where_filter_matches_python_oracle(self, rows, threshold):
+        database = Database(name="prop")
+        session = database.create_session(autocommit=True)
+        session.execute("create table t (a integer, b integer)")
+        for a, b in rows:
+            b_text = "null" if b is None else str(b)
+            session.execute(f"insert into t values ({a}, {b_text})")
+        result = session.execute(
+            "select a from t where b > ? order by a", [threshold]
+        )
+        expected = sorted(
+            a for a, b in rows if b is not None and b > threshold
+        )
+        assert [r[0] for r in result.rows] == expected
+
+    @settings(
+        max_examples=25,
+        suppress_health_check=[HealthCheck.too_slow],
+        deadline=None,
+    )
+    @given(
+        st.lists(
+            st.integers(min_value=-50, max_value=50), max_size=30
+        )
+    )
+    def test_aggregates_match_python_oracle(self, values):
+        database = Database(name="prop2")
+        session = database.create_session(autocommit=True)
+        session.execute("create table t (a integer)")
+        for value in values:
+            session.execute(f"insert into t values ({value})")
+        row = session.execute(
+            "select count(*), sum(a), min(a), max(a) from t"
+        ).rows[0]
+        assert row[0] == len(values)
+        assert row[1] == (sum(values) if values else None)
+        assert row[2] == (min(values) if values else None)
+        assert row[3] == (max(values) if values else None)
+
+    @settings(
+        max_examples=25,
+        suppress_health_check=[HealthCheck.too_slow],
+        deadline=None,
+    )
+    @given(st.lists(st.text(
+        alphabet="ab_%", max_size=6
+    ), max_size=15), st.text(alphabet="ab_%", max_size=4))
+    def test_like_matches_regex_oracle(self, values, pattern):
+        database = Database(name="prop3")
+        session = database.create_session(autocommit=True)
+        session.execute("create table t (s varchar(20))")
+        for value in values:
+            escaped = value.replace("'", "''")
+            session.execute(f"insert into t values ('{escaped}')")
+        escaped_pattern = pattern.replace("'", "''")
+        result = session.execute(
+            f"select s from t where s like '{escaped_pattern}'"
+        )
+        regex = re.compile(
+            "^"
+            + "".join(
+                ".*" if c == "%" else "." if c == "_" else re.escape(c)
+                for c in pattern
+            )
+            + "$",
+            re.DOTALL,
+        )
+        expected = [v for v in values if regex.match(v)]
+        assert sorted(r[0] for r in result.rows) == sorted(expected)
+
+
+class TestTransactionProperties:
+    @settings(
+        max_examples=20,
+        suppress_health_check=[HealthCheck.too_slow],
+        deadline=None,
+    )
+    @given(
+        st.lists(
+            st.one_of(
+                st.tuples(st.just("insert"),
+                          st.integers(min_value=-99, max_value=99)),
+                st.tuples(st.just("delete"),
+                          st.integers(min_value=-99, max_value=99)),
+                st.tuples(st.just("update"),
+                          st.integers(min_value=-99, max_value=99)),
+            ),
+            max_size=12,
+        )
+    )
+    def test_rollback_restores_exact_state(self, operations):
+        database = Database(name="txprop")
+        session = database.create_session(autocommit=False)
+        session.execute("create table t (a integer)")
+        for seed in (5, 10, 15):
+            session.execute(f"insert into t values ({seed})")
+        session.commit()
+        before = session.execute("select a from t").rows
+
+        for kind, value in operations:
+            if kind == "insert":
+                session.execute(f"insert into t values ({value})")
+            elif kind == "delete":
+                session.execute(f"delete from t where a < {value}")
+            else:
+                session.execute(
+                    f"update t set a = a + 1 where a > {value}"
+                )
+        session.rollback()
+        after = session.execute("select a from t").rows
+        assert after == before
+
+    @settings(
+        max_examples=20,
+        suppress_health_check=[HealthCheck.too_slow],
+        deadline=None,
+    )
+    @given(st.lists(st.integers(min_value=-99, max_value=99),
+                    max_size=10))
+    def test_commit_then_rollback_is_noop(self, values):
+        database = Database(name="txprop2")
+        session = database.create_session(autocommit=False)
+        session.execute("create table t (a integer)")
+        for value in values:
+            session.execute(f"insert into t values ({value})")
+        session.commit()
+        committed = session.execute("select a from t").rows
+        session.rollback()
+        assert session.execute("select a from t").rows == committed
+
+
+class TestQueryOracleProperties:
+    """Engine behaviour cross-checked against plain-Python oracles."""
+
+    @settings(
+        max_examples=20,
+        suppress_health_check=[HealthCheck.too_slow],
+        deadline=None,
+    )
+    @given(st.lists(st.integers(min_value=-20, max_value=20),
+                    max_size=30))
+    def test_distinct_matches_set_oracle(self, values):
+        database = Database(name="oracle1")
+        session = database.create_session(autocommit=True)
+        session.execute("create table t (a integer)")
+        for value in values:
+            session.execute(f"insert into t values ({value})")
+        result = session.execute(
+            "select distinct a from t order by a"
+        ).rows
+        assert [r[0] for r in result] == sorted(set(values))
+
+    @settings(
+        max_examples=20,
+        suppress_health_check=[HealthCheck.too_slow],
+        deadline=None,
+    )
+    @given(st.lists(st.integers(min_value=-20, max_value=20),
+                    max_size=25),
+           st.lists(st.integers(min_value=-20, max_value=20),
+                    max_size=25))
+    def test_set_operations_match_python_oracle(self, left, right):
+        database = Database(name="oracle2")
+        session = database.create_session(autocommit=True)
+        session.execute("create table l (a integer)")
+        session.execute("create table r (a integer)")
+        for value in left:
+            session.execute(f"insert into l values ({value})")
+        for value in right:
+            session.execute(f"insert into r values ({value})")
+
+        def q(sql):
+            return sorted(
+                row[0] for row in session.execute(sql).rows
+            )
+
+        assert q("select a from l union select a from r") == \
+            sorted(set(left) | set(right))
+        assert q("select a from l intersect select a from r") == \
+            sorted(set(left) & set(right))
+        assert q("select a from l except select a from r") == \
+            sorted(set(left) - set(right))
+        assert q("select a from l union all select a from r") == \
+            sorted(left + right)
+
+        # Bag semantics for INTERSECT ALL / EXCEPT ALL.
+        from collections import Counter
+
+        lc, rc = Counter(left), Counter(right)
+        assert q("select a from l intersect all select a from r") == \
+            sorted((lc & rc).elements())
+        assert q("select a from l except all select a from r") == \
+            sorted((lc - rc).elements())
+
+    @settings(
+        max_examples=20,
+        suppress_health_check=[HealthCheck.too_slow],
+        deadline=None,
+    )
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=3),
+                st.integers(min_value=-50, max_value=50),
+            ),
+            max_size=30,
+        )
+    )
+    def test_group_by_matches_dict_oracle(self, pairs):
+        database = Database(name="oracle3")
+        session = database.create_session(autocommit=True)
+        session.execute("create table t (k integer, v integer)")
+        for key, value in pairs:
+            session.execute(f"insert into t values ({key}, {value})")
+        result = session.execute(
+            "select k, count(*), sum(v) from t group by k order by k"
+        ).rows
+        expected = {}
+        for key, value in pairs:
+            count, total = expected.get(key, (0, 0))
+            expected[key] = (count + 1, total + value)
+        assert result == [
+            [key, count, total]
+            for key, (count, total) in sorted(expected.items())
+        ]
+
+    @settings(
+        max_examples=20,
+        suppress_health_check=[HealthCheck.too_slow],
+        deadline=None,
+    )
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=-9, max_value=9),
+                st.text(alphabet="abc", min_size=1, max_size=3),
+            ),
+            max_size=20,
+        )
+    )
+    def test_order_by_two_keys_matches_sorted_oracle(self, rows_in):
+        database = Database(name="oracle4")
+        session = database.create_session(autocommit=True)
+        session.execute("create table t (a integer, s varchar(5))")
+        for a, s in rows_in:
+            session.execute(f"insert into t values ({a}, '{s}')")
+        result = session.execute(
+            "select a, s from t order by a desc, s"
+        ).rows
+        expected = sorted(rows_in, key=lambda r: (-r[0], r[1]))
+        assert [(r[0], r[1]) for r in result] == expected

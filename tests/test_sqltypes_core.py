@@ -1,0 +1,318 @@
+"""Unit tests for SQL type descriptors and coercion rules."""
+
+import datetime
+import decimal
+
+import pytest
+
+from repro import errors
+from repro.sqltypes import (
+    BigIntType,
+    BlobType,
+    BooleanType,
+    CharType,
+    ClobType,
+    DateType,
+    DecimalType,
+    DoubleType,
+    IntegerType,
+    ObjectType,
+    RealType,
+    SmallIntType,
+    TimestampType,
+    TimeType,
+    VarCharType,
+    parse_type,
+    type_from_python_value,
+    typecodes,
+)
+
+D = decimal.Decimal
+
+
+class TestCharTypes:
+    def test_char_pads_to_length(self):
+        assert CharType(5).coerce("ab") == "ab   "
+
+    def test_char_exact_length_untouched(self):
+        assert CharType(3).coerce("abc") == "abc"
+
+    def test_char_truncates_trailing_blanks_only(self):
+        assert CharType(3).coerce("ab   ") == "ab "
+
+    def test_char_overflow_raises(self):
+        with pytest.raises(errors.StringTruncationError):
+            CharType(3).coerce("abcd")
+
+    def test_char_rejects_non_string(self):
+        with pytest.raises(errors.InvalidCastError):
+            CharType(3).coerce(42)
+
+    def test_char_rejects_bool(self):
+        with pytest.raises(errors.InvalidCastError):
+            CharType(3).coerce(True)
+
+    def test_varchar_no_padding(self):
+        assert VarCharType(10).coerce("ab") == "ab"
+
+    def test_varchar_overflow(self):
+        with pytest.raises(errors.StringTruncationError):
+            VarCharType(2).coerce("abc")
+
+    def test_varchar_unbounded(self):
+        assert VarCharType(None).coerce("x" * 10000) == "x" * 10000
+
+    def test_clob_accepts_long_text(self):
+        assert ClobType().coerce("y" * 100000) == "y" * 100000
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(errors.SQLSyntaxError):
+            CharType(0)
+
+    def test_null_passes_through(self):
+        assert VarCharType(5).coerce(None) is None
+
+    def test_spelling(self):
+        assert CharType(5).sql_spelling() == "CHAR(5)"
+        assert VarCharType(None).sql_spelling() == "VARCHAR"
+
+
+class TestIntegerTypes:
+    def test_integer_accepts_int(self):
+        assert IntegerType().coerce(7) == 7
+
+    def test_integer_accepts_integral_float(self):
+        assert IntegerType().coerce(7.0) == 7
+
+    def test_integer_rejects_fractional_float(self):
+        with pytest.raises(errors.InvalidCastError):
+            IntegerType().coerce(7.5)
+
+    def test_integer_accepts_numeric_string(self):
+        assert IntegerType().coerce(" 42 ") == 42
+
+    def test_integer_rejects_garbage_string(self):
+        with pytest.raises(errors.InvalidCastError):
+            IntegerType().coerce("hello")
+
+    def test_integer_rejects_bool(self):
+        with pytest.raises(errors.InvalidCastError):
+            IntegerType().coerce(True)
+
+    @pytest.mark.parametrize(
+        "cls, limit",
+        [
+            (SmallIntType, 2 ** 15),
+            (IntegerType, 2 ** 31),
+            (BigIntType, 2 ** 63),
+        ],
+    )
+    def test_range_limits(self, cls, limit):
+        assert cls().coerce(limit - 1) == limit - 1
+        assert cls().coerce(-limit) == -limit
+        with pytest.raises(errors.NumericOverflowError):
+            cls().coerce(limit)
+        with pytest.raises(errors.NumericOverflowError):
+            cls().coerce(-limit - 1)
+
+    def test_integral_decimal(self):
+        assert IntegerType().coerce(D("5")) == 5
+        with pytest.raises(errors.InvalidCastError):
+            IntegerType().coerce(D("5.5"))
+
+
+class TestDecimalType:
+    def test_rounds_to_scale(self):
+        assert DecimalType(6, 2).coerce(D("1.005")) == D("1.01")
+
+    def test_accepts_float_via_string(self):
+        assert DecimalType(6, 2).coerce(100.5) == D("100.50")
+
+    def test_precision_overflow(self):
+        with pytest.raises(errors.NumericOverflowError):
+            DecimalType(4, 2).coerce(D("123.45"))
+
+    def test_fits_exact_precision(self):
+        assert DecimalType(5, 2).coerce(D("123.45")) == D("123.45")
+
+    def test_invalid_scale(self):
+        with pytest.raises(errors.SQLSyntaxError):
+            DecimalType(2, 3)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(errors.InvalidCastError):
+            DecimalType(6, 2).coerce("pears")
+
+    def test_spelling(self):
+        assert DecimalType(6, 2).sql_spelling() == "DECIMAL(6,2)"
+
+    def test_equality_is_structural(self):
+        assert DecimalType(6, 2) == DecimalType(6, 2)
+        assert DecimalType(6, 2) != DecimalType(6, 3)
+        assert hash(DecimalType(6, 2)) == hash(DecimalType(6, 2))
+
+
+class TestOtherScalars:
+    def test_double_widens_everything_numeric(self):
+        assert DoubleType().coerce(1) == 1.0
+        assert DoubleType().coerce(D("2.5")) == 2.5
+        assert RealType().coerce("3.5") == 3.5
+
+    def test_boolean_casts(self):
+        assert BooleanType().coerce(True) is True
+        assert BooleanType().coerce("true") is True
+        assert BooleanType().coerce("F") is False
+        assert BooleanType().coerce(0) is False
+        with pytest.raises(errors.InvalidCastError):
+            BooleanType().coerce("maybe")
+
+    def test_date_from_iso_string(self):
+        assert DateType().coerce("2024-03-01") == datetime.date(2024, 3, 1)
+
+    def test_date_from_datetime(self):
+        value = datetime.datetime(2024, 3, 1, 10, 30)
+        assert DateType().coerce(value) == datetime.date(2024, 3, 1)
+
+    def test_time_and_timestamp(self):
+        assert TimeType().coerce("10:30:00") == datetime.time(10, 30)
+        assert TimestampType().coerce("2024-03-01T10:30:00") == \
+            datetime.datetime(2024, 3, 1, 10, 30)
+
+    def test_bad_date_string(self):
+        with pytest.raises(errors.InvalidCastError):
+            DateType().coerce("not-a-date")
+
+    def test_blob(self):
+        assert BlobType().coerce(b"abc") == b"abc"
+        assert BlobType().coerce(bytearray(b"x")) == b"x"
+        with pytest.raises(errors.InvalidCastError):
+            BlobType().coerce("text")
+
+
+class TestObjectType:
+    class Widget:
+        pass
+
+    def test_unbound_accepts_anything(self):
+        descriptor = ObjectType("widget")
+        value = self.Widget()
+        assert descriptor.coerce(value) is value
+
+    def test_bound_rejects_wrong_class(self):
+        descriptor = ObjectType("widget", self.Widget)
+        with pytest.raises(errors.InvalidCastError):
+            descriptor.coerce("not a widget")
+
+    def test_bound_accepts_subclass(self):
+        class Sub(self.Widget):
+            pass
+
+        descriptor = ObjectType("widget", self.Widget)
+        value = Sub()
+        assert descriptor.coerce(value) is value
+
+    def test_assignability_follows_subclassing(self):
+        class Sub(self.Widget):
+            pass
+
+        base = ObjectType("widget", self.Widget)
+        sub = ObjectType("subwidget", Sub)
+        assert base.assignable_from(sub)
+        assert not sub.assignable_from(base)
+
+    def test_type_code_is_py_object(self):
+        assert ObjectType("w").type_code == typecodes.PY_OBJECT
+        assert typecodes.JAVA_OBJECT == typecodes.PY_OBJECT
+
+
+class TestParseType:
+    @pytest.mark.parametrize(
+        "spelling, expected",
+        [
+            ("integer", IntegerType()),
+            ("INT", IntegerType()),
+            ("smallint", SmallIntType()),
+            ("bigint", BigIntType()),
+            ("char(5)", CharType(5)),
+            ("CHAR", CharType(1)),
+            ("varchar(50)", VarCharType(50)),
+            ("decimal(6,2)", DecimalType(6, 2)),
+            ("DEC(6, 2)", DecimalType(6, 2)),
+            ("numeric(10)", DecimalType(10, 0)),
+            ("double precision", DoubleType()),
+            ("float", DoubleType()),
+            ("real", RealType()),
+            ("boolean", BooleanType()),
+            ("date", DateType()),
+            ("timestamp", TimestampType()),
+            ("blob", BlobType()),
+            ("clob", ClobType()),
+        ],
+    )
+    def test_known_types(self, spelling, expected):
+        assert parse_type(spelling) == expected
+
+    def test_unknown_name_is_udt_reference(self):
+        descriptor = parse_type("addr")
+        assert isinstance(descriptor, ObjectType)
+        assert descriptor.udt_name == "addr"
+
+    def test_parameterised_unknown_type_rejected(self):
+        with pytest.raises(errors.SQLSyntaxError):
+            parse_type("addr(5)")
+
+    def test_integer_takes_no_params(self):
+        with pytest.raises(errors.SQLSyntaxError):
+            parse_type("integer(5)")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(errors.SQLSyntaxError):
+            parse_type("???")
+
+
+class TestInference:
+    @pytest.mark.parametrize(
+        "value, expected_cls",
+        [
+            (True, BooleanType),
+            (5, IntegerType),
+            (2 ** 40, BigIntType),
+            (1.5, DoubleType),
+            ("x", VarCharType),
+            (b"x", BlobType),
+            (datetime.date(2024, 1, 1), DateType),
+            (datetime.time(1, 2), TimeType),
+            (datetime.datetime(2024, 1, 1), TimestampType),
+        ],
+    )
+    def test_python_value_inference(self, value, expected_cls):
+        assert isinstance(type_from_python_value(value), expected_cls)
+
+    def test_decimal_inference_keeps_scale(self):
+        descriptor = type_from_python_value(D("12.345"))
+        assert isinstance(descriptor, DecimalType)
+        assert descriptor.scale == 3
+
+    def test_object_inference(self):
+        class Thing:
+            pass
+
+        descriptor = type_from_python_value(Thing())
+        assert isinstance(descriptor, ObjectType)
+        assert descriptor.python_class is Thing
+
+
+class TestTypeCodes:
+    def test_names(self):
+        assert typecodes.type_code_name(typecodes.INTEGER) == "INTEGER"
+        assert typecodes.type_code_name(typecodes.PY_OBJECT) == "PY_OBJECT"
+        assert "UNKNOWN" in typecodes.type_code_name(424242)
+
+    def test_numeric_predicate(self):
+        assert typecodes.is_numeric(typecodes.DECIMAL)
+        assert not typecodes.is_numeric(typecodes.VARCHAR)
+
+    def test_character_predicate(self):
+        assert typecodes.is_character(typecodes.CHAR)
+        assert typecodes.is_character(typecodes.CLOB)
+        assert not typecodes.is_character(typecodes.BLOB)
