@@ -17,6 +17,7 @@ import tokenize as pytokenize
 import pytest
 
 from benchmarks.common import (
+    assert_tracing_overhead,
     make_emps_db,
     report,
     set_default_context,
@@ -116,6 +117,7 @@ class TestConcisenesCounts:
             rows,
             ("example", "sqlj stmts", "dbapi stmts", "stmt ratio",
              "sqlj tokens", "dbapi tokens", "token ratio"),
+            metrics=True,
         )
         # The INSERT example: the paper shows 1 clause vs 4 statements.
         assert rows[0][1] == 1
@@ -175,3 +177,28 @@ def test_dbapi_insert_prepared_once_runtime(benchmark, e1_setup):
         stmt.execute()
 
     benchmark(bound)
+
+
+def test_tracing_disabled_overhead_negligible(e1_setup):
+    """The no-op tracer must add <5% to the E1 insert workload."""
+    module, _conn, ctx = e1_setup
+    # The suite-wide autouse fixture clears the default context after
+    # every test; the module-scoped fixture installed it only once.
+    from repro.runtime import ConnectionContext
+
+    ConnectionContext.set_default_context(ctx)
+    statements = 200
+
+    def workload():
+        for _ in range(statements):
+            module.insert(7)
+
+    overhead, best = assert_tracing_overhead(
+        workload, statements_per_run=statements, budget=0.05
+    )
+    report(
+        "E1: no-op tracing overhead",
+        [(f"{best * 1e3:.2f}", f"{overhead * 1e6:.1f}",
+          f"{overhead / best:.2%}")],
+        ("workload ms", "hook cost us", "share"),
+    )

@@ -13,8 +13,10 @@ import itertools
 import os
 import sys
 import tempfile
-from typing import List, Optional, Tuple
+import time
+from typing import Callable, List, Optional, Tuple
 
+from repro import observability
 from repro.engine import Database
 from repro.procedures import build_par_bytes
 from repro.procedures.archives import build_par
@@ -268,9 +270,39 @@ def set_default_context(database: Database) -> ConnectionContext:
     return context
 
 
-def report(title: str, rows: List[Tuple], headers: Tuple) -> None:
+def metrics_summary() -> str:
+    """Compact one-cell summary of the process metrics snapshot.
+
+    Suitable as a metrics-snapshot column in :func:`report` rows (or as
+    the trailing summary line ``report(metrics=True)`` prints).
+    """
+    counters = observability.snapshot()["counters"]
+    statements = sum(
+        value for name, value in counters.items()
+        if name.startswith("statements.")
+    )
+    sql_errors = sum(
+        value for name, value in counters.items()
+        if name.startswith("errors.")
+    )
+    return (
+        f"stmts={statements}"
+        f" rows={counters.get('rows.returned', 0)}"
+        f" scanned={counters.get('rows.scanned', 0)}"
+        f" procs={counters.get('procedures.calls', 0)}"
+        f" errs={sql_errors}"
+    )
+
+
+def report(
+    title: str,
+    rows: List[Tuple],
+    headers: Tuple,
+    metrics: bool = False,
+) -> None:
     """Print a small aligned table (shows under pytest -s and in the
-    captured bench output)."""
+    captured bench output).  With ``metrics=True`` a metrics-snapshot
+    summary line follows the table."""
     widths = [
         max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows
         else len(str(h))
@@ -280,6 +312,91 @@ def report(title: str, rows: List[Tuple], headers: Tuple) -> None:
     print("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
     for row in rows:
         print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+    if metrics:
+        print(f"-- metrics: {metrics_summary()}")
+
+
+# ---------------------------------------------------------------------------
+# Tracing-overhead guard
+# ---------------------------------------------------------------------------
+
+#: Hook activations per executed statement modelled by the no-op probe:
+#: four tracer-enabled gates (SQLJ entry point, clause execution,
+#: statement execution, dispatch) and four counter updates (sqlj.clauses,
+#: statement-cache hit, statements.<kind> with its type lookup,
+#: rows.returned).  Deliberately one or two more than the fastest real
+#: path performs, so the estimate errs high.
+HOOKS_PER_STATEMENT = 8
+
+
+def measure_noop_hook_cost(samples: int = 50_000) -> float:
+    """Seconds of disabled observability work per *statement*.
+
+    Each probe iteration performs the :data:`HOOKS_PER_STATEMENT`
+    activations a statement pays with tracing off — enabled-flag gates
+    and cached-counter updates — so the result maps directly onto
+    statements executed.
+    """
+    from repro.observability import tracing
+
+    previous = tracing.get_tracer()
+    tracing.disable_tracing()
+    try:
+        counter = observability.registry.counter("bench.noop_hook_probe")
+        counters = {int: counter}
+        start = time.perf_counter()
+        for _ in range(samples):
+            if tracing.current.enabled:  # SQLJ entry-point gate
+                pass
+            if tracing.current.enabled:  # clause-execution gate
+                pass
+            if tracing.current.enabled:  # execute_statement gate
+                pass
+            if tracing.current.enabled:  # dispatch gate
+                pass
+            counter.value += 1  # sqlj.clauses
+            counter.value += 1  # statement-cache hit
+            by_type = counters.get(int)  # statements.<kind> lookup
+            by_type.value += 1
+            counter.value += 1  # rows.returned
+        elapsed = time.perf_counter() - start
+    finally:
+        tracing.set_tracer(
+            previous if previous.enabled else None
+        )
+    return elapsed / samples
+
+
+def assert_tracing_overhead(
+    workload: Callable[[], None],
+    statements_per_run: int,
+    repeats: int = 3,
+    budget: float = 0.05,
+) -> Tuple[float, float]:
+    """Assert the disabled (no-op) tracer costs < ``budget`` of a workload.
+
+    Runs ``workload`` ``repeats`` times (tracing disabled, i.e. the
+    normal configuration), takes the best time, then estimates the share
+    of it spent in no-op observability hooks from the measured
+    per-statement hook cost and ``statements_per_run``.  Returns
+    ``(overhead_seconds, workload_seconds)`` for reporting.
+    """
+    best = min(
+        _timed(workload) for _ in range(max(1, repeats))
+    )
+    hook_cost = measure_noop_hook_cost()
+    overhead = hook_cost * statements_per_run
+    assert overhead < budget * best, (
+        f"no-op tracing hooks cost {overhead * 1e6:.1f}us, which exceeds "
+        f"{budget:.0%} of the {best * 1e6:.1f}us workload"
+    )
+    return overhead, best
+
+
+def _timed(workload: Callable[[], None]) -> float:
+    start = time.perf_counter()
+    workload()
+    return time.perf_counter() - start
 
 
 class BenchAddress:

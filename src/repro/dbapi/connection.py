@@ -18,6 +18,7 @@ from repro.dbapi.statement import (
     Statement,
 )
 from repro.engine.database import Session
+from repro.observability import tracing as _tracing
 
 __all__ = ["Connection"]
 
@@ -37,6 +38,22 @@ class Connection:
         self._closed = False
         #: JDBC 2.0 per-connection type map (SQL UDT name -> Python class).
         self.type_map: Dict[str, type] = {}
+        self._tracer: Any = None
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    @property
+    def tracer(self) -> Any:
+        """Tracer for this connection's statements (process tracer
+        unless overridden)."""
+        if self._tracer is not None:
+            return self._tracer
+        return _tracing.get_tracer()
+
+    @tracer.setter
+    def tracer(self, tracer: Any) -> None:
+        self._tracer = tracer
 
     # ------------------------------------------------------------------
     # statement factories

@@ -21,6 +21,8 @@ from repro import errors
 from repro.dbapi.resultset import ResultSet
 from repro.engine import ast
 from repro.engine.database import StatementResult
+from repro.observability import metrics as _metrics
+from repro.observability import tracing as _tracing
 
 __all__ = [
     "Statement",
@@ -28,6 +30,8 @@ __all__ = [
     "CallableStatement",
     "BatchUpdateError",
 ]
+
+_EXECUTIONS = _metrics.registry.counter("dbapi.executions")
 
 _CALL_ESCAPE_RE = re.compile(
     r"^\s*\{\s*\?\s*=\s*call\s+(?P<fncall>.+?)\s*\}\s*$|"
@@ -73,7 +77,13 @@ class Statement:
     def _run(self, sql: str, params: List[Any]) -> StatementResult:
         self._check_open()
         session = self.connection.session
-        result = session.execute(strip_call_escape(sql), params)
+        _EXECUTIONS.value += 1
+        tracer = self.connection._tracer or _tracing.current
+        if tracer.enabled:
+            with tracer.span("dbapi.statement", sql=sql):
+                result = session.execute(strip_call_escape(sql), params)
+        else:
+            result = session.execute(strip_call_escape(sql), params)
         self._result = result
         self._result_set_index = 0
         return result
@@ -289,7 +299,13 @@ class PreparedStatement(Statement):
     # ------------------------------------------------------------------
     def _run_prepared(self) -> StatementResult:
         self._check_open()
-        result = self._plan.execute(self._param_list())
+        _EXECUTIONS.value += 1
+        tracer = self.connection._tracer or _tracing.current
+        if tracer.enabled:
+            with tracer.span("dbapi.prepared", sql=self.sql):
+                result = self._plan.execute(self._param_list())
+        else:
+            result = self._plan.execute(self._param_list())
         if (
             self.connection.autocommit
             and self.connection.session.transaction_log.active

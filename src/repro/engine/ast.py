@@ -471,9 +471,14 @@ class Call(Statement):
 
 @dataclass
 class Explain(Statement):
-    """EXPLAIN <query>: return the compiled plan as text rows."""
+    """EXPLAIN [ANALYZE] <query>: return the compiled plan as text rows.
+
+    With ``analyze`` the query is actually executed through an
+    instrumented plan and each line carries actual row counts/timings.
+    """
 
     query: QueryExpr = None  # type: ignore[assignment]
+    analyze: bool = False
 
 
 @dataclass

@@ -14,9 +14,12 @@ package free of upward dependencies.
 from __future__ import annotations
 
 import contextlib
+import time
 from typing import Any, Iterator, List, Optional, Sequence, Union
 
 from repro import errors
+from repro.observability import metrics as _metrics
+from repro.observability import tracing as _tracing
 from repro.engine import ast
 from repro.engine.catalog import Catalog, InstalledPar, Routine, \
     UserDefinedType
@@ -30,6 +33,23 @@ from repro.engine.storage import TransactionLog
 from repro.sqltypes import ObjectType
 
 __all__ = ["Database", "Session", "StatementResult", "PreparedStatementPlan"]
+
+# Counter handles cached at import time: the per-statement path must not
+# pay a name format plus registry lookup per execution (metrics.reset()
+# zeroes counters in place, so these handles stay registered).
+_ROWS_RETURNED = _metrics.registry.counter("rows.returned")
+_STATEMENT_SECONDS = _metrics.registry.histogram("statement.seconds")
+_STATEMENT_COUNTERS: dict = {}
+
+
+def _statement_counter(statement_type: type) -> _metrics.Counter:
+    counter = _STATEMENT_COUNTERS.get(statement_type)
+    if counter is None:
+        counter = _metrics.registry.counter(
+            "statements." + statement_type.__name__.lower()
+        )
+        _STATEMENT_COUNTERS[statement_type] = counter
+    return counter
 
 
 class StatementResult:
@@ -99,8 +119,33 @@ class PreparedStatementPlan:
 
     def execute(self, params: Sequence[Any] = ()) -> StatementResult:
         if self._query_plan is not None:
-            rows = self._query_plan.run(self.session, params)
-            return self.session.finish_rowset(rows, self._shape)
+            # Pre-planned query: runs outside execute_statement, so it
+            # carries its own span and counters.
+            counter = _STATEMENT_COUNTERS.get(self.statement.__class__)
+            if counter is None:
+                counter = _statement_counter(self.statement.__class__)
+            counter.value += 1
+            tracer = _tracing.current
+            if not tracer.enabled:
+                try:
+                    rows = self._query_plan.run(self.session, params)
+                except errors.SQLException as exc:
+                    _metrics.increment(f"errors.{exc.sqlstate}")
+                    raise
+                _ROWS_RETURNED.value += len(rows)
+                return self.session.finish_rowset(rows, self._shape)
+            with tracer.span("statement", sql=self.sql, prepared=True):
+                start = time.perf_counter()
+                try:
+                    with tracer.span("execute"):
+                        rows = self._query_plan.run(self.session, params)
+                except errors.SQLException as exc:
+                    _metrics.increment(f"errors.{exc.sqlstate}")
+                    raise
+                _STATEMENT_SECONDS.observe(time.perf_counter() - start)
+                _ROWS_RETURNED.value += len(rows)
+                with tracer.span("fetch"):
+                    return self.session.finish_rowset(rows, self._shape)
         return self.session.execute_statement(self.statement, params)
 
 
@@ -214,8 +259,14 @@ class Session:
     ) -> StatementResult:
         """Parse and execute one statement."""
         self._check_open()
-        statement = Parser(sql, self.dialect).parse_statement()
-        return self.execute_statement(statement, params)
+        tracer = _tracing.current
+        if not tracer.enabled:
+            statement = Parser(sql, self.dialect).parse_statement()
+            return self.execute_statement(statement, params)
+        with tracer.span("statement", sql=sql):
+            with tracer.span("parse"):
+                statement = Parser(sql, self.dialect).parse_statement()
+            return self.execute_statement(statement, params)
 
     def prepare(self, sql: str) -> PreparedStatementPlan:
         """Parse (and for queries, plan) once for repeated execution."""
@@ -227,7 +278,27 @@ class Session:
     ) -> StatementResult:
         """Execute a pre-parsed statement."""
         self._check_open()
-        result = self._dispatch(statement, params)
+        counter = _STATEMENT_COUNTERS.get(statement.__class__)
+        if counter is None:
+            counter = _statement_counter(statement.__class__)
+        counter.value += 1
+        timed = _tracing.current.enabled
+        start = time.perf_counter() if timed else 0.0
+        try:
+            if timed:
+                result = self._dispatch_traced(statement, params)
+            else:
+                result = self._dispatch(statement, params)
+        except errors.SQLException as exc:
+            _metrics.increment(f"errors.{exc.sqlstate}")
+            raise
+        if timed:
+            # Per-statement latency is only sampled while tracing is on:
+            # two clock reads plus a histogram update are measurable next
+            # to the fastest prepared statements.
+            _STATEMENT_SECONDS.observe(time.perf_counter() - start)
+        if result.kind == "rowset":
+            _ROWS_RETURNED.value += len(result.rows)
         if (
             self.autocommit
             and self._routine_depth == 0
@@ -235,6 +306,21 @@ class Session:
         ):
             self.transaction_log.commit()
         return result
+
+    def _dispatch_traced(
+        self, statement: ast.Statement, params: Sequence[Any]
+    ) -> StatementResult:
+        """Tracing-enabled dispatch: pipeline stages under spans."""
+        tracer = _tracing.current
+        if isinstance(statement, (ast.Select, ast.SetOperation)):
+            with tracer.span("plan"):
+                plan, shape = plan_query(statement, self)
+            with tracer.span("execute"):
+                rows = plan.run(self, params)
+            with tracer.span("fetch"):
+                return self.finish_rowset(rows, shape)
+        with tracer.span("execute", statement=type(statement).__name__):
+            return self._dispatch(statement, params)
 
     def _dispatch(
         self, statement: ast.Statement, params: Sequence[Any]
@@ -281,7 +367,7 @@ class Session:
         if isinstance(statement, ast.Call):
             return self.database._execute_call(statement, self, params)
         if isinstance(statement, ast.Explain):
-            return self._explain(statement)
+            return self._explain(statement, params)
         if isinstance(statement, ast.Commit):
             self.commit()
             return StatementResult("ddl")
@@ -301,7 +387,9 @@ class Session:
             f"cannot execute {type(statement).__name__}"
         )
 
-    def _explain(self, statement: ast.Explain) -> StatementResult:
+    def _explain(
+        self, statement: ast.Explain, params: Sequence[Any] = ()
+    ) -> StatementResult:
         from repro.engine.explain import format_plan
         from repro.sqltypes import VarCharType
         from repro.engine.expressions import ColumnInfo
@@ -310,7 +398,25 @@ class Session:
         shape = RowShape(
             [ColumnInfo(None, "query_plan", VarCharType(None))]
         )
-        rows = [[line] for line in format_plan(plan.root)]
+        if statement.analyze:
+            from repro.engine.executor import instrument_plan
+
+            # EXPLAIN ANALYZE plans its query freshly above, so in-place
+            # instrumentation never touches a cached plan.
+            instrumentation = instrument_plan(plan.root)
+            start = time.perf_counter()
+            result_rows = plan.run(self, params)
+            elapsed = time.perf_counter() - start
+            lines = format_plan(
+                plan.root, annotate=instrumentation.annotate
+            )
+            lines.append(
+                f"Total: rows={len(result_rows)} "
+                f"time={elapsed * 1000.0:.3f} ms"
+            )
+        else:
+            lines = format_plan(plan.root)
+        rows = [[line] for line in lines]
         return StatementResult("rowset", rows=rows, shape=shape)
 
     def finish_rowset(

@@ -11,13 +11,18 @@ plain Python calls.
 from __future__ import annotations
 
 import functools
-from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
+import time
+from typing import Any, Callable, Dict, Iterator, List, Optional, \
+    Sequence, Tuple
 
 from repro import errors
 from repro.engine.catalog import Table
 from repro.engine.expressions import Env, RowShape
+from repro.observability import metrics as _metrics
 from repro.sqltypes import compare_values
 from repro.sqltypes.values import sort_key
+
+_ROWS_SCANNED = _metrics.registry.counter("rows.scanned")
 
 __all__ = [
     "RuntimeContext",
@@ -34,6 +39,10 @@ __all__ = [
     "UnionOp",
     "QueryPlan",
     "AGGREGATE_FACTORIES",
+    "OperatorStats",
+    "PlanInstrumentation",
+    "instrument_plan",
+    "operator_children",
 ]
 
 
@@ -79,15 +88,22 @@ class SeqScan(Operator):
     def rows(self, ctx: RuntimeContext) -> Iterator[List[Any]]:
         # Iterate over a snapshot so DML statements reading their own
         # target table (e.g. INSERT INTO t SELECT ... FROM t) terminate.
-        return iter(list(self.table.rows))
+        snapshot = list(self.table.rows)
+        _ROWS_SCANNED.value += len(snapshot)
+        return iter(snapshot)
 
 
 class Filter(Operator):
     def __init__(
-        self, child: Operator, predicate: Callable[[Env], bool]
+        self,
+        child: Operator,
+        predicate: Callable[[Env], bool],
+        description: Optional[str] = None,
     ) -> None:
         self.child = child
         self.predicate = predicate
+        #: Optional SQL rendering of the predicate, for EXPLAIN output.
+        self.description = description
 
     def rows(self, ctx: RuntimeContext) -> Iterator[List[Any]]:
         predicate = self.predicate
@@ -554,6 +570,114 @@ class UnionOp(Operator):
                     yield row
 
 
+# ---------------------------------------------------------------------------
+# Plan introspection and instrumentation
+# ---------------------------------------------------------------------------
+
+
+def operator_children(operator: Operator) -> List[Operator]:
+    """The operator's input operators, in plan order."""
+    if isinstance(operator, (UnionOp, NestedLoopJoin)):
+        return [operator.left, operator.right]
+    child = getattr(operator, "child", None)
+    return [child] if child is not None else []
+
+
+class OperatorStats:
+    """Actual row count and cumulative wall time for one plan node.
+
+    ``seconds`` is inclusive (it covers time spent pulling rows from the
+    node's children, as in PostgreSQL's EXPLAIN ANALYZE actual times).
+    """
+
+    __slots__ = ("rows_out", "seconds")
+
+    def __init__(self) -> None:
+        self.rows_out = 0
+        self.seconds = 0.0
+
+    def describe(self) -> str:
+        return (
+            f"actual rows={self.rows_out} "
+            f"time={self.seconds * 1000.0:.3f} ms"
+        )
+
+
+class PlanInstrumentation:
+    """Per-node statistics for one instrumented plan."""
+
+    def __init__(self) -> None:
+        self._stats: Dict[int, OperatorStats] = {}
+
+    def stats_for(self, operator: Operator) -> Optional[OperatorStats]:
+        return self._stats.get(id(operator))
+
+    def annotate(self, operator: Operator) -> Optional[str]:
+        """EXPLAIN ANALYZE suffix for ``operator`` (None if unknown)."""
+        stats = self.stats_for(operator)
+        return None if stats is None else stats.describe()
+
+    def _attach(self, operator: Operator) -> None:
+        stats = self._stats.setdefault(id(operator), OperatorStats())
+        inner = operator.rows
+        timer = time.perf_counter
+
+        def rows(ctx: RuntimeContext) -> Iterator[List[Any]]:
+            begin = timer()
+            iterator = iter(inner(ctx))
+            stats.seconds += timer() - begin
+            while True:
+                begin = timer()
+                try:
+                    row = next(iterator)
+                except StopIteration:
+                    stats.seconds += timer() - begin
+                    return
+                stats.seconds += timer() - begin
+                stats.rows_out += 1
+                yield row
+
+        # Shadow the bound method on the instance; the wrapper keeps the
+        # original via closure, so instrumenting twice stacks harmlessly.
+        operator.rows = rows  # type: ignore[method-assign]
+
+
+def instrument_plan(root: Operator) -> PlanInstrumentation:
+    """Wrap every node's ``rows`` to record rows-out and cumulative time.
+
+    Mutates the plan in place, so only instrument plans built for one
+    execution (EXPLAIN ANALYZE plans its query freshly; never instrument
+    a cached prepared plan you intend to keep using untimed).
+    """
+    instrumentation = PlanInstrumentation()
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        instrumentation._attach(node)
+        stack.extend(operator_children(node))
+    return instrumentation
+
+
+def _wrap_operator_error(exc: Exception) -> errors.OperatorExecutionError:
+    """Name the innermost operator on ``exc``'s traceback."""
+    operator: Optional[Operator] = None
+    traceback = exc.__traceback__
+    while traceback is not None:
+        candidate = traceback.tb_frame.f_locals.get("self")
+        if isinstance(candidate, Operator):
+            operator = candidate
+        traceback = traceback.tb_next
+    if operator is None:
+        where = "query plan"
+    elif isinstance(operator, SeqScan):
+        where = f"SeqScan on {operator.table.name}"
+    else:
+        where = type(operator).__name__
+    return errors.OperatorExecutionError(
+        f"{type(exc).__name__} in {where}: {exc}"
+    )
+
+
 class QueryPlan:
     """A compiled query: root operator plus output shape."""
 
@@ -566,7 +690,12 @@ class QueryPlan:
     ) -> List[List[Any]]:
         """Execute and materialise all rows."""
         ctx = RuntimeContext(session, params)
-        return [list(row) for row in self.root.rows(ctx)]
+        try:
+            return [list(row) for row in self.root.rows(ctx)]
+        except errors.SQLException:
+            raise
+        except Exception as exc:
+            raise _wrap_operator_error(exc) from exc
 
     def run_correlated(
         self,
@@ -577,8 +706,13 @@ class QueryPlan:
         """Execute as a correlated subquery of ``outer_env``'s row."""
         ctx = RuntimeContext(session, outer_env.params, outer_env)
         rows: List[List[Any]] = []
-        for row in self.root.rows(ctx):
-            rows.append(list(row))
-            if limit is not None and len(rows) >= limit:
-                break
+        try:
+            for row in self.root.rows(ctx):
+                rows.append(list(row))
+                if limit is not None and len(rows) >= limit:
+                    break
+        except errors.SQLException:
+            raise
+        except Exception as exc:
+            raise _wrap_operator_error(exc) from exc
         return rows

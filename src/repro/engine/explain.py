@@ -4,16 +4,24 @@
 
     Sort (1 key)
       Project
-        Filter
+        Filter (sales > 100)
           SeqScan on emps
 
 Plans are rule-based and deterministic (see the planner), so EXPLAIN
 output is stable enough to assert on in tests.
+
+``EXPLAIN ANALYZE <query>`` executes the query with an instrumented plan
+(:func:`repro.engine.executor.instrument_plan`) and renders the same
+tree through :func:`format_plan`'s ``annotate`` hook, appending each
+node's actual row count and cumulative time::
+
+    Project (4 columns) (actual rows=3 time=0.041 ms)
+      SeqScan on emps (actual rows=10 time=0.012 ms)
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import Callable, List, Optional
 
 from repro.engine.executor import (
     Distinct,
@@ -27,6 +35,7 @@ from repro.engine.executor import (
     SingleRow,
     Sort,
     UnionOp,
+    operator_children,
 )
 
 __all__ = ["describe_operator", "format_plan"]
@@ -39,6 +48,8 @@ def describe_operator(operator: Operator) -> str:
     if isinstance(operator, SingleRow):
         return "Result (no table)"
     if isinstance(operator, Filter):
+        if operator.description:
+            return f"Filter ({operator.description})"
         return "Filter"
     if isinstance(operator, Project):
         return f"Project ({len(operator.items)} columns)"
@@ -62,16 +73,23 @@ def describe_operator(operator: Operator) -> str:
     return type(operator).__name__
 
 
-def _children(operator: Operator) -> List[Operator]:
-    if isinstance(operator, (UnionOp, NestedLoopJoin)):
-        return [operator.left, operator.right]
-    child = getattr(operator, "child", None)
-    return [child] if child is not None else []
+def format_plan(
+    operator: Operator,
+    indent: int = 0,
+    annotate: Optional[Callable[[Operator], Optional[str]]] = None,
+) -> List[str]:
+    """Render the operator tree as indented lines, root first.
 
-
-def format_plan(operator: Operator, indent: int = 0) -> List[str]:
-    """Render the operator tree as indented lines, root first."""
-    lines = ["  " * indent + describe_operator(operator)]
-    for child in _children(operator):
-        lines.extend(format_plan(child, indent + 1))
+    ``annotate`` may return a per-node suffix (EXPLAIN ANALYZE passes
+    the instrumentation's actual-rows/timing summary); None or an empty
+    string leaves the line bare.
+    """
+    line = "  " * indent + describe_operator(operator)
+    if annotate is not None:
+        suffix = annotate(operator)
+        if suffix:
+            line = f"{line} ({suffix})"
+    lines = [line]
+    for child in operator_children(operator):
+        lines.extend(format_plan(child, indent + 1, annotate))
     return lines

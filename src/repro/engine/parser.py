@@ -178,8 +178,15 @@ class Parser:
         if self._at_keyword("CALL"):
             return self._call()
         if self._accept_keyword("EXPLAIN"):
+            # ANALYZE is not reserved; it arrives as a (lowercased)
+            # identifier token.
+            analyze = False
+            if self.current.kind == Token.IDENT \
+                    and self.current.value == "analyze":
+                self._advance()
+                analyze = True
             query = self._query_expression()
-            return ast.Explain(query)
+            return ast.Explain(query, analyze=analyze)
         if self._at_keyword("ALTER"):
             return self._alter_table()
         if self._accept_keyword("COMMIT"):

@@ -50,6 +50,19 @@ from repro.sqltypes import (
 __all__ = ["plan_query", "table_shape"]
 
 
+def _predicate_summary(expression: ast.Expression) -> Optional[str]:
+    """Short SQL rendering of a predicate for EXPLAIN's Filter lines."""
+    from repro.engine.render import render_expression
+
+    try:
+        text = render_expression(expression)
+    except errors.SQLException:
+        return None
+    if len(text) > 60:
+        text = text[:57] + "..."
+    return text
+
+
 def table_shape(table: Table, alias: Optional[str] = None) -> RowShape:
     """Row shape of a base table (optionally under an alias)."""
     qualifier = alias or table.name
@@ -315,7 +328,11 @@ def _plan_select(
             raise errors.SQLSyntaxError(
                 "aggregates are not allowed in WHERE"
             )
-        operator = Filter(operator, compiler.compile_predicate(select.where))
+        operator = Filter(
+            operator,
+            compiler.compile_predicate(select.where),
+            description=_predicate_summary(select.where),
+        )
 
     # 3. Aggregation
     items = _expand_items(select.items, shape)
@@ -334,7 +351,12 @@ def _plan_select(
 
     # 4. HAVING (already rewritten to post-aggregation shape)
     if having is not None:
-        operator = Filter(operator, compiler.compile_predicate(having))
+        operator = Filter(
+            operator,
+            compiler.compile_predicate(having),
+            description=_predicate_summary(select.having)
+            if select.having is not None else None,
+        )
 
     # 5. Projection
     compiled_items = [compiler.compile(expr) for expr, _ in items]

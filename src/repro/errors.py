@@ -66,6 +66,7 @@ __all__ = [
     "InvalidCursorStateError",
     "TransactionError",
     "FeatureNotSupportedError",
+    "OperatorExecutionError",
     "ExternalRoutineError",
     "ExternalRoutineInvocationError",
     "RoutineResolutionError",
@@ -310,6 +311,19 @@ class ConnectionClosedError(ConnectionError_):
 
 class FeatureNotSupportedError(SQLException):
     default_sqlstate = "0A000"
+
+
+class OperatorExecutionError(SQLException):
+    """A raw Python exception escaped a query-plan operator.
+
+    The executor wraps such failures so they surface with pipeline
+    context (the originating operator's name) and a SQLSTATE instead of
+    an opaque traceback.  Uses the conventional internal-error class
+    ``XX`` rather than a standard SQL class, since the cause is by
+    definition outside the SQL error taxonomy.
+    """
+
+    default_sqlstate = "XX000"
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,62 @@
+"""Observability: tracing and metrics for the whole statement pipeline.
+
+The SQLJ paper's pitch is that the translator/profile machinery makes
+database access *inspectable*; this package extends that to run time.
+Two independent facilities:
+
+* :mod:`repro.observability.tracing` — hierarchical spans
+  (``statement`` → ``parse``/``plan``/``execute``/``fetch``) threaded
+  through the engine, the dbapi layer, the SQLJ runtime and external
+  procedures.  Off by default (all hooks are no-ops); enabled via the
+  ``REPRO_TRACE`` environment variable, the ``psqlj --trace`` flag, or
+  :func:`enable_tracing`.
+* :mod:`repro.observability.metrics` — always-on process-wide counters
+  and histograms.  ``repro.observability.snapshot()`` returns the
+  consolidated view.
+
+Operator-level instrumentation (per-node row counts and timings) lives
+with the executor — see ``EXPLAIN ANALYZE`` and
+:func:`repro.engine.executor.instrument_plan`.
+"""
+
+from repro.observability import metrics
+from repro.observability.metrics import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    registry,
+    snapshot,
+)
+from repro.observability.metrics import reset as reset_metrics
+from repro.observability.tracing import (
+    NullTracer,
+    Span,
+    Tracer,
+    configure_from_environment,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    set_tracer,
+    span,
+    tracing_enabled,
+)
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "metrics",
+    "registry",
+    "snapshot",
+    "reset_metrics",
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "get_tracer",
+    "set_tracer",
+    "span",
+    "tracing_enabled",
+    "enable_tracing",
+    "disable_tracing",
+    "configure_from_environment",
+]

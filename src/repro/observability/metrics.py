@@ -1,0 +1,189 @@
+"""Process-wide counters and histograms.
+
+The registry is the measurement substrate the ROADMAP's performance work
+builds on: every layer of the pipeline (engine, dbapi, SQLJ runtime,
+procedures) increments named counters as it executes, and
+``repro.observability.snapshot()`` returns one consolidated view.
+
+Counters are always on — a disabled tracer silences *span* output, but
+counting stays active because a dict lookup plus an integer add is
+negligible next to parsing or executing a statement.  Registry mutation
+(creating a counter the first time a name is seen) is guarded by a lock;
+the hot increment path is lock-free and relies on the GIL for
+consistency, which is the standard CPython trade-off for metrics that
+tolerate rare lost updates under free-threading.
+
+Well-known names used across the codebase:
+
+==============================  ============================================
+name                            meaning
+==============================  ============================================
+``statements.<kind>``           statements executed, by AST node kind
+``rows.returned``               rows materialised for rowset results
+``rows.scanned``                rows read by SeqScan from base tables
+``rows.fetched``                rows pulled through SQLJ ``FETCH``
+``sqlj.clauses``                profile entries executed (``#sql`` clauses)
+``dbapi.executions``            Statement / PreparedStatement executions
+``procedures.calls``            external procedure invocations
+``functions.calls``             external function invocations
+``profile.statement_cache.*``   RTStatement cache ``hits`` / ``misses``
+``errors.<sqlstate>``           SQLExceptions raised, by SQLSTATE
+``statement.seconds``           histogram of per-statement wall time
+==============================  ============================================
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Optional
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "registry",
+    "increment",
+    "observe",
+    "snapshot",
+    "reset",
+]
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def increment(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Histogram:
+    """Streaming summary of observed values (count/sum/min/max/mean).
+
+    Full bucketed histograms are overkill for an in-process engine; the
+    four running aggregates answer the questions the benchmarks ask
+    (how many, how much in total, best and worst case).
+    """
+
+    __slots__ = ("count", "total", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> Optional[float]:
+        if self.count == 0:
+            return None
+        return self.total / self.count
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Named counters and histograms, created on first use."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            with self._lock:
+                counter = self._counters.setdefault(name, Counter())
+        return counter
+
+    def histogram(self, name: str) -> Histogram:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            with self._lock:
+                histogram = self._histograms.setdefault(name, Histogram())
+        return histogram
+
+    # ------------------------------------------------------------------
+    # hot-path convenience
+    # ------------------------------------------------------------------
+    def increment(self, name: str, amount: int = 1) -> None:
+        self.counter(name).increment(amount)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    # ------------------------------------------------------------------
+    # inspection / lifecycle
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """Point-in-time copy: plain dicts, safe to mutate or serialise."""
+        with self._lock:
+            counters = {
+                name: counter.value
+                for name, counter in self._counters.items()
+            }
+            histograms = {
+                name: histogram.summary()
+                for name, histogram in self._histograms.items()
+            }
+        return {"counters": counters, "histograms": histograms}
+
+    def reset(self) -> None:
+        """Zero all recorded values (tests and benchmark reruns).
+
+        Resets in place rather than dropping the objects: hot paths
+        cache :class:`Counter` instances at import time, and those
+        cached handles must keep pointing at live registry entries.
+        """
+        with self._lock:
+            for counter in self._counters.values():
+                counter.value = 0
+            for histogram in self._histograms.values():
+                histogram.count = 0
+                histogram.total = 0.0
+                histogram.minimum = None
+                histogram.maximum = None
+
+
+#: The process-wide registry every layer reports into.
+registry = MetricsRegistry()
+
+
+def increment(name: str, amount: int = 1) -> None:
+    registry.increment(name, amount)
+
+
+def observe(name: str, value: float) -> None:
+    registry.observe(name, value)
+
+
+def snapshot() -> Dict[str, Any]:
+    return registry.snapshot()
+
+
+def reset() -> None:
+    registry.reset()

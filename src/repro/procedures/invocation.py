@@ -28,6 +28,8 @@ from repro.engine import ast
 from repro.engine.catalog import Routine
 from repro.engine.database import Session, StatementResult
 from repro.engine.expressions import Env, ExpressionCompiler, RowShape
+from repro.observability import metrics as _metrics
+from repro.observability import tracing as _tracing
 from repro.procedures.sqlstate import to_sql_exception
 
 __all__ = [
@@ -36,6 +38,9 @@ __all__ = [
     "default_connection_session",
     "call_routine",
 ]
+
+_FUNCTION_CALLS = _metrics.registry.counter("functions.calls")
+_PROCEDURE_CALLS = _metrics.registry.counter("procedures.calls")
 
 #: Session of the innermost routine invocation on this thread/task.
 _DEFAULT_SESSION: contextvars.ContextVar[Optional[Session]] = \
@@ -55,15 +60,31 @@ def default_connection_session() -> Session:
 
 
 def _invoke_body(session: Session, routine: Routine, args: List[Any]) -> Any:
-    """Run the routine body with the Part 1 execution environment."""
+    """Run the routine body with the Part 1 execution environment.
+
+    Functions can be invoked once per candidate row, so the trace span is
+    only opened when tracing is on.
+    """
     target = routine.callable
     if target is None:
         raise errors.RoutineResolutionError(
             f"routine {routine.name!r} has no resolved implementation"
         )
+    tracer = _tracing.current
+    if not tracer.enabled:
+        return _run_body(session, routine, target, args)
+    with tracer.span(
+        "procedure", name=routine.name, language=routine.language
+    ):
+        return _run_body(session, routine, target, args)
+
+
+def _run_body(
+    session: Session, routine: Routine, target: Any, args: List[Any]
+) -> Any:
     if routine.language == "SYSTEM":
-        # System procedures (sqlj.*) run as the caller and receive the
-        # session explicitly.
+        # System procedures (sqlj.*) run as the caller and receive
+        # the session explicitly.
         return target(session, *args)
 
     token = _DEFAULT_SESSION.set(session)
@@ -73,10 +94,11 @@ def _invoke_body(session: Session, routine: Routine, args: List[Any]) -> Any:
         # one dict for the outermost invocation and everything nested.
         session._routine_call_state = {}
     try:
-        with session.impersonate(routine.owner), session.routine_call():
+        with session.impersonate(routine.owner), \
+                session.routine_call():
             try:
                 return target(*args)
-            except Exception as exc:  # noqa: BLE001 - mapped to SQLSTATE
+            except Exception as exc:  # noqa: BLE001 - to SQLSTATE
                 raise to_sql_exception(exc) from exc
     finally:
         _DEFAULT_SESSION.reset(token)
@@ -120,6 +142,7 @@ def invoke_function(
         raise errors.SQLSyntaxError(
             f"{routine.name!r} is a procedure; use CALL"
         )
+    _FUNCTION_CALLS.value += 1
     values = _coerce_in_args(routine, args)
     result = _invoke_body(session, routine, values)
     if routine.returns is not None:
@@ -144,6 +167,7 @@ def call_routine(
         value = invoke_function(session, routine, list(in_values))
         return StatementResult("call", function_value=value)
 
+    _PROCEDURE_CALLS.value += 1
     coerced = _coerce_in_args(routine, in_values)
     coerced_iter = iter(coerced)
 

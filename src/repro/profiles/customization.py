@@ -30,6 +30,7 @@ from repro.engine.executor import QueryPlan
 from repro.engine.parser import Parser
 from repro.engine.planner import plan_query
 from repro.engine.render import render_statement
+from repro.observability import metrics as _metrics
 from repro.profiles.model import EntryInfo, Profile
 
 __all__ = [
@@ -39,6 +40,9 @@ __all__ = [
     "RTStatement",
     "ConnectedProfile",
 ]
+
+_CACHE_HITS = _metrics.registry.counter("profile.statement_cache.hits")
+_CACHE_MISSES = _metrics.registry.counter("profile.statement_cache.misses")
 
 
 class RTStatement:
@@ -215,11 +219,14 @@ class ConnectedProfile:
     def get_statement(self, index: int) -> RTStatement:
         statement = self._statements.get(index)
         if statement is None:
+            _CACHE_MISSES.value += 1
             entry = self.profile.get_entry(index)
             statement = self.customization().make_statement(
                 entry, self.session
             )
             self._statements[index] = statement
+        else:
+            _CACHE_HITS.value += 1
         return statement
 
     def execute(

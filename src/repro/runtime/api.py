@@ -18,6 +18,8 @@ from typing import Any, Optional, Sequence, Tuple, Type
 
 from repro import errors
 from repro.engine.database import StatementResult
+from repro.observability import metrics as _metrics
+from repro.observability import tracing as _tracing
 from repro.profiles.model import Profile
 from repro.profiles.serialization import SER_SUFFIX, load_profile as \
     _load_profile_file
@@ -110,6 +112,21 @@ def _context_for(context: Optional[ConnectionContext]) -> ConnectionContext:
     return context
 
 
+_ROWS_FETCHED = _metrics.registry.counter("rows.fetched")
+
+
+def _run_entry(
+    span_name: str,
+    profile: Profile,
+    index: int,
+    context: Optional[ConnectionContext],
+    params: Sequence[Any],
+) -> StatementResult:
+    """Execute a profile entry under a clause-kind span (tracing on)."""
+    with _tracing.current.span(span_name, entry=index):
+        return _context_for(context).execute_entry(profile, index, params)
+
+
 def execute(
     profile: Profile,
     index: int,
@@ -117,7 +134,9 @@ def execute(
     params: Sequence[Any] = (),
 ) -> StatementResult:
     """Execute a non-query ``#sql`` clause."""
-    return _context_for(context).execute_entry(profile, index, params)
+    if not _tracing.current.enabled:
+        return _context_for(context).execute_entry(profile, index, params)
+    return _run_entry("sqlj.execute", profile, index, context, params)
 
 
 def query(
@@ -128,7 +147,10 @@ def query(
     iterator_class: Type[SQLJIterator],
 ) -> SQLJIterator:
     """Execute a query clause and bind its result to a typed iterator."""
-    result = _context_for(context).execute_entry(profile, index, params)
+    if not _tracing.current.enabled:
+        result = _context_for(context).execute_entry(profile, index, params)
+    else:
+        result = _run_entry("sqlj.query", profile, index, context, params)
     if not result.is_rowset:
         raise errors.DataError(
             f"profile entry {index} did not produce a result set"
@@ -147,7 +169,10 @@ def scalar(
     The entry is a one-row, one-column query (the translator rewrites
     ``VALUES(expr)`` to ``SELECT expr``); returns that single value.
     """
-    result = _context_for(context).execute_entry(profile, index, params)
+    if not _tracing.current.enabled:
+        result = _context_for(context).execute_entry(profile, index, params)
+    else:
+        result = _run_entry("sqlj.scalar", profile, index, context, params)
     if not result.is_rowset:
         raise errors.DataError(
             f"profile entry {index} did not produce a value"
@@ -172,7 +197,12 @@ def select_into(
     raises a cardinality violation; otherwise the row is returned for
     assignment into the INTO host variables.
     """
-    result = _context_for(context).execute_entry(profile, index, params)
+    if not _tracing.current.enabled:
+        result = _context_for(context).execute_entry(profile, index, params)
+    else:
+        result = _run_entry(
+            "sqlj.select_into", profile, index, context, params
+        )
     if not result.is_rowset:
         raise errors.DataError(
             f"profile entry {index} is not a query"
@@ -202,7 +232,10 @@ def call_proc(
     ``out_positions`` so generated code can tuple-assign them back into
     the host variables.
     """
-    result = _context_for(context).execute_entry(profile, index, params)
+    if not _tracing.current.enabled:
+        result = _context_for(context).execute_entry(profile, index, params)
+    else:
+        result = _run_entry("sqlj.call", profile, index, context, params)
     if result.kind != "call":
         raise errors.DataError(
             f"profile entry {index} is not a CALL"
@@ -229,4 +262,12 @@ def fetch(iterator: SQLJIterator) -> Optional[Tuple[Any, ...]]:
         raise errors.InvalidCursorStateError(
             "FETCH requires a positional iterator"
         )
-    return iterator.fetch_row()
+    tracer = _tracing.current
+    if tracer.enabled:
+        with tracer.span("sqlj.fetch"):
+            row = iterator.fetch_row()
+    else:
+        row = iterator.fetch_row()
+    if row is not None:
+        _ROWS_FETCHED.value += 1
+    return row

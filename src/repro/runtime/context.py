@@ -18,10 +18,14 @@ from typing import Any, Dict, Optional, Sequence
 
 from repro import errors
 from repro.engine.database import Database, Session, StatementResult
+from repro.observability import metrics as _metrics
+from repro.observability import tracing as _tracing
 from repro.profiles.customization import ConnectedProfile
 from repro.profiles.model import Profile
 
 __all__ = ["ConnectionContext", "ExecutionContext"]
+
+_CLAUSES = _metrics.registry.counter("sqlj.clauses")
 
 
 class ExecutionContext:
@@ -55,6 +59,21 @@ class ConnectionContext:
         self.execution_context = ExecutionContext()
         self._connected_profiles: Dict[int, ConnectedProfile] = {}
         self._closed = False
+        self._tracer: Optional[Any] = None
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    @property
+    def tracer(self) -> Any:
+        """This context's tracer (the process tracer unless overridden)."""
+        if self._tracer is not None:
+            return self._tracer
+        return _tracing.get_tracer()
+
+    @tracer.setter
+    def tracer(self, tracer: Optional[Any]) -> None:
+        self._tracer = tracer
 
     def _resolve(self, target: Any, user: Optional[str]) -> Session:
         from repro.dbapi.connection import Connection
@@ -115,7 +134,18 @@ class ConnectionContext:
         self, profile: Profile, index: int, params: Sequence[Any]
     ) -> StatementResult:
         self._check_open()
-        result = self.connected_profile(profile).execute(index, params)
+        _CLAUSES.value += 1
+        tracer = self._tracer
+        if tracer is None:
+            tracer = _tracing.current
+        if tracer.enabled:
+            with tracer.span(
+                "sqlj.clause", profile=profile.name, entry=index
+            ):
+                result = self.connected_profile(profile) \
+                    .execute(index, params)
+        else:
+            result = self.connected_profile(profile).execute(index, params)
         self.execution_context.record(result)
         return result
 

@@ -57,6 +57,13 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "--warnings-as-errors", action="store_true",
         help="fail translation on checker warnings",
     )
+    parser.add_argument(
+        "--trace", nargs="?", const="tree", choices=("json", "tree"),
+        default=None, metavar="MODE",
+        help="emit observability spans while translating (json lines or "
+             "an indented tree, default tree); equivalent to setting "
+             "REPRO_TRACE",
+    )
     return parser
 
 
@@ -118,6 +125,11 @@ def _show(paths: List[str]) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_arg_parser().parse_args(argv)
 
+    if args.trace:
+        from repro.observability import enable_tracing
+
+        enable_tracing(args.trace)
+
     if args.show:
         return _show(args.inputs)
 
@@ -136,12 +148,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         ).session
     translator = Translator(options)
 
+    from repro.observability import tracing as _tracing
+
     status = 0
     for path in args.inputs:
         try:
-            result = translator.translate_file(
-                path, output_dir=args.output_dir, package=args.package
-            )
+            with _tracing.span("translate", source=path):
+                result = translator.translate_file(
+                    path, output_dir=args.output_dir, package=args.package
+                )
         except errors.TranslationError as exc:
             print(f"error: {path}: {exc}", file=sys.stderr)
             for message in getattr(exc, "messages", []):

@@ -1,0 +1,408 @@
+"""Tracing, metrics, and EXPLAIN ANALYZE (the observability subsystem).
+
+Covers span nesting and timing, metrics counter/histogram semantics,
+EXPLAIN ANALYZE actual-row agreement with real query results, trace
+sink output formats, operator error wrapping, and the no-op behaviour
+of every hook while tracing is disabled (the default).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro import errors, observability
+from repro.engine.executor import (
+    Filter,
+    QueryPlan,
+    SeqScan,
+    instrument_plan,
+)
+from repro.observability import tracing
+from repro.observability.metrics import MetricsRegistry
+from repro.runtime import ConnectionContext
+
+
+@pytest.fixture(autouse=True)
+def _reset_tracer():
+    """Every test starts and ends with tracing disabled."""
+    tracing.disable_tracing()
+    yield
+    tracing.disable_tracing()
+
+
+# ---------------------------------------------------------------------------
+# Spans
+# ---------------------------------------------------------------------------
+
+
+class TestSpans:
+    def test_nesting_builds_a_tree(self):
+        tracer = tracing.Tracer()
+        with tracer.span("statement", sql="SELECT 1") as root:
+            with tracer.span("parse"):
+                pass
+            with tracer.span("execute") as execute:
+                with tracer.span("fetch"):
+                    pass
+        assert [child.name for child in root.children] == \
+            ["parse", "execute"]
+        assert [child.name for child in execute.children] == ["fetch"]
+        assert root.attributes == {"sql": "SELECT 1"}
+
+    def test_timing_is_monotonic_and_contains_children(self):
+        tracer = tracing.Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert outer.start_time <= inner.start_time
+        assert inner.end_time <= outer.end_time
+        assert inner.duration >= 0.0
+        assert outer.duration >= inner.duration
+
+    def test_finished_roots_are_retained(self):
+        tracer = tracing.Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        with tracer.span("c"):
+            pass
+        assert [span.name for span in tracer.finished] == ["a", "c"]
+
+    def test_sibling_trees_do_not_leak_into_each_other(self):
+        tracer = tracing.Tracer()
+        with tracer.span("first") as first:
+            pass
+        with tracer.span("second") as second:
+            pass
+        assert first.children == []
+        assert second.children == []
+
+    def test_json_lines_are_valid_json_with_depths(self):
+        tracer = tracing.Tracer()
+        with tracer.span("statement", sql="SELECT 1") as root:
+            with tracer.span("execute"):
+                pass
+        records = [json.loads(line) for line in root.json_lines()]
+        assert [r["name"] for r in records] == ["statement", "execute"]
+        assert [r["depth"] for r in records] == [0, 1]
+        assert records[0]["attributes"] == {"sql": "SELECT 1"}
+        assert all(r["duration_ms"] >= 0.0 for r in records)
+
+    def test_tree_lines_indent_children(self):
+        tracer = tracing.Tracer()
+        with tracer.span("statement") as root:
+            with tracer.span("execute"):
+                pass
+        lines = root.tree_lines()
+        assert lines[0].startswith("statement [")
+        assert lines[1].startswith("  execute [")
+
+
+class TestTracerManagement:
+    def test_disabled_by_default_and_span_is_shared_noop(self):
+        tracer = tracing.get_tracer()
+        assert tracer.enabled is False
+        first = tracing.span("anything", sql="x")
+        second = tracing.span("другое")
+        assert first is second  # the singleton null span
+        with first as span:
+            span.annotate(more="attrs")  # no-op, no error
+
+    def test_enable_tracing_json_emits_to_stream(self):
+        stream = io.StringIO()
+        tracing.enable_tracing("json", stream)
+        assert tracing.tracing_enabled()
+        with tracing.span("statement", sql="SELECT 1"):
+            with tracing.span("execute"):
+                pass
+        lines = stream.getvalue().strip().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert [r["name"] for r in records] == ["statement", "execute"]
+
+    def test_enable_tracing_tree_emits_indented_text(self):
+        stream = io.StringIO()
+        tracing.enable_tracing("tree", stream)
+        with tracing.span("statement"):
+            with tracing.span("execute"):
+                pass
+        text = stream.getvalue()
+        assert "statement [" in text
+        assert "\n  execute [" in text
+
+    def test_configure_from_environment(self):
+        tracer = tracing.configure_from_environment({"REPRO_TRACE": "1"})
+        assert tracer.enabled
+        tracer = tracing.configure_from_environment({"REPRO_TRACE": "off"})
+        assert not tracer.enabled
+        tracer = tracing.configure_from_environment({})
+        assert not tracer.enabled
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            tracing.enable_tracing("bogus")
+
+    def test_unknown_env_mode_warns_but_does_not_raise(self, capsys):
+        tracer = tracing.configure_from_environment({"REPRO_TRACE": "bogus"})
+        assert not tracer.enabled
+        assert "bogus" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# Metrics
+# ---------------------------------------------------------------------------
+
+
+class TestMetrics:
+    def test_counter_semantics(self):
+        registry = MetricsRegistry()
+        registry.increment("a")
+        registry.increment("a", 4)
+        registry.increment("b")
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"a": 5, "b": 1}
+
+    def test_histogram_semantics(self):
+        registry = MetricsRegistry()
+        for value in (2.0, 1.0, 3.0):
+            registry.observe("lat", value)
+        summary = registry.snapshot()["histograms"]["lat"]
+        assert summary["count"] == 3
+        assert summary["sum"] == 6.0
+        assert summary["min"] == 1.0
+        assert summary["max"] == 3.0
+        assert summary["mean"] == 2.0
+
+    def test_empty_histogram_mean_is_none(self):
+        registry = MetricsRegistry()
+        assert registry.histogram("lat").mean is None
+
+    def test_reset_preserves_counter_identity(self):
+        # Hot paths cache Counter objects at import; reset must zero them
+        # in place so the cached handles keep reporting to the registry.
+        registry = MetricsRegistry()
+        counter = registry.counter("a")
+        counter.increment(3)
+        registry.reset()
+        assert registry.counter("a") is counter
+        counter.increment()
+        assert registry.snapshot()["counters"]["a"] == 1
+
+    def test_snapshot_is_a_copy(self):
+        registry = MetricsRegistry()
+        registry.increment("a")
+        snapshot = registry.snapshot()
+        snapshot["counters"]["a"] = 999
+        assert registry.snapshot()["counters"]["a"] == 1
+
+
+class TestPipelineMetrics:
+    def test_mixed_workload_populates_process_counters(self, payroll):
+        session = payroll
+        before = observability.snapshot()["counters"]
+        session.execute("SELECT name, state FROM emps")
+        session.execute(
+            "CALL correct_states('CA                  ', 'CA')"
+        )
+        after = observability.snapshot()["counters"]
+
+        def delta(name):
+            return after.get(name, 0) - before.get(name, 0)
+
+        assert delta("statements.select") >= 1
+        assert delta("statements.call") >= 1
+        assert delta("rows.returned") >= 1
+        assert delta("rows.scanned") >= 1
+        assert delta("procedures.calls") >= 1
+
+    def test_sql_errors_counted_by_sqlstate(self, session):
+        before = observability.snapshot()["counters"]
+        with pytest.raises(errors.SQLException) as excinfo:
+            session.execute("SELECT * FROM no_such_table")
+        state = excinfo.value.sqlstate
+        after = observability.snapshot()["counters"]
+        assert after.get(f"errors.{state}", 0) >= \
+            before.get(f"errors.{state}", 0) + 1
+
+    def test_statement_seconds_only_sampled_while_tracing(self, session):
+        histogram = observability.registry.histogram("statement.seconds")
+        untraced = histogram.count
+        session.execute("SELECT 1")
+        assert histogram.count == untraced
+        tracing.enable_tracing("json", io.StringIO())
+        session.execute("SELECT 1")
+        assert histogram.count == untraced + 1
+
+
+# ---------------------------------------------------------------------------
+# Engine pipeline tracing
+# ---------------------------------------------------------------------------
+
+
+class TestPipelineTracing:
+    def test_statement_span_tree(self, emps):
+        stream = io.StringIO()
+        tracer = tracing.enable_tracing("json", stream)
+        emps.execute("SELECT name FROM emps WHERE sales > 100")
+        root = tracer.finished[-1]
+        assert root.name == "statement"
+        assert root.attributes["sql"].startswith("SELECT name")
+        names = [span.name for span, _depth in root.walk()]
+        assert names == ["statement", "parse", "plan", "execute", "fetch"]
+
+    def test_sqlj_clause_spans(self, emps):
+        from repro.runtime import PositionalIterator, sqlj
+        from repro.translator import TranslationOptions, Translator
+
+        translator = Translator(
+            TranslationOptions(exemplar=emps.database)
+        )
+        result = translator.translate_source(
+            "#sql iterator Names (str);\n"
+            "def top():\n"
+            "    rows: Names\n"
+            "    #sql rows = { SELECT name FROM emps };\n"
+            "    return rows\n",
+            "obs_mod",
+        )
+        profile = result.profiles[0]
+        context = ConnectionContext(emps)
+
+        class Names(PositionalIterator):
+            _column_types = (str,)
+
+        tracer = tracing.enable_tracing("json", io.StringIO())
+        iterator = sqlj.query(profile, 0, context, (), Names)
+        assert iterator is not None
+        root = tracer.finished[-1]
+        names = [span.name for span, _depth in root.walk()]
+        assert names[0] == "sqlj.query"
+        assert "sqlj.clause" in names
+        assert "statement" in names
+
+    def test_procedure_span(self, payroll):
+        tracer = tracing.enable_tracing("json", io.StringIO())
+        payroll.execute(
+            "CALL correct_states('CA                  ', 'CA')"
+        )
+        root = tracer.finished[-1]
+        names = [span.name for span, _depth in root.walk()]
+        assert "procedure" in names
+        procedure = next(
+            span for span, _ in root.walk() if span.name == "procedure"
+        )
+        assert procedure.attributes["name"] == "correct_states"
+
+    def test_connection_tracer_override(self, db):
+        from repro.dbapi.driver import DriverManager
+
+        connection = DriverManager.get_connection(
+            "pydbc:standard:obs", database=db
+        )
+        private = tracing.Tracer()
+        connection.tracer = private
+        statement = connection.create_statement()
+        statement.execute_update("create table t (v integer)")
+        assert tracing.get_tracer().enabled is False  # global untouched
+        assert private.finished
+        assert private.finished[-1].name == "dbapi.statement"
+
+
+# ---------------------------------------------------------------------------
+# EXPLAIN ANALYZE
+# ---------------------------------------------------------------------------
+
+
+class TestExplainAnalyze:
+    def test_actual_rows_match_query_results(self, emps):
+        query = "SELECT name FROM emps WHERE sales > 100"
+        expected = len(emps.execute(query).rows)
+        result = emps.execute(f"EXPLAIN ANALYZE {query}")
+        lines = [row[0] for row in result.rows]
+        assert any(
+            line.strip().startswith("Filter")
+            and f"actual rows={expected}" in line
+            for line in lines
+        )
+        assert lines[-1].startswith(f"Total: rows={expected} ")
+
+    def test_join_plan_annotates_every_operator(self, session):
+        session.execute("create table a (x integer)")
+        session.execute("create table b (y integer)")
+        for value in (1, 2, 3):
+            session.execute(f"insert into a values ({value})")
+        for value in (2, 3, 4):
+            session.execute(f"insert into b values ({value})")
+        result = session.execute(
+            "EXPLAIN ANALYZE SELECT x, y FROM a JOIN b ON x = y"
+        )
+        lines = [row[0] for row in result.rows]
+        plan_lines = [line for line in lines if "(" in line]
+        assert any("NestedLoopJoin" in line for line in lines)
+        # Every operator line carries actual statistics.
+        operator_lines = [
+            line for line in lines
+            if line.strip() and not line.startswith("Total:")
+        ]
+        assert operator_lines
+        for line in operator_lines:
+            assert "actual rows=" in line, line
+        assert any("actual rows=2" in line for line in plan_lines)
+        assert lines[-1].startswith("Total: rows=2 ")
+
+    def test_plain_explain_has_no_actuals_and_does_not_execute(self, emps):
+        result = emps.execute("EXPLAIN SELECT name FROM emps")
+        lines = [row[0] for row in result.rows]
+        assert not any("actual rows=" in line for line in lines)
+        assert not any(line.startswith("Total:") for line in lines)
+
+    def test_filter_description_in_explain(self, emps):
+        result = emps.execute(
+            "EXPLAIN SELECT name FROM emps WHERE sales > 100"
+        )
+        lines = [row[0] for row in result.rows]
+        assert any("Filter (sales > 100)" in line for line in lines)
+
+    def test_instrument_plan_counts_rows_per_node(self, emps):
+        table = emps.catalog.get_table("emps")
+        scan = SeqScan(table)
+        filtered = Filter(scan, lambda env: True)
+        plan = QueryPlan(filtered, shape=None)
+        instrumentation = instrument_plan(filtered)
+        rows = plan.run(emps)
+        assert instrumentation.stats_for(scan).rows_out == len(rows)
+        assert instrumentation.stats_for(filtered).rows_out == len(rows)
+        assert instrumentation.stats_for(scan).seconds >= 0.0
+
+
+# ---------------------------------------------------------------------------
+# Operator error wrapping
+# ---------------------------------------------------------------------------
+
+
+class TestOperatorErrors:
+    def test_raw_exception_names_originating_operator(self, emps):
+        table = emps.catalog.get_table("emps")
+
+        def explode(env):
+            raise ValueError("boom")
+
+        plan = QueryPlan(Filter(SeqScan(table), explode), shape=None)
+        with pytest.raises(errors.OperatorExecutionError) as excinfo:
+            plan.run(emps)
+        message = str(excinfo.value)
+        assert "ValueError" in message
+        assert "Filter" in message
+        assert "boom" in message
+        assert excinfo.value.sqlstate == "XX000"
+
+    def test_sql_exceptions_pass_through_unwrapped(self, emps):
+        def deny(env):
+            raise errors.DataError("typed failure")
+
+        plan = QueryPlan(Filter(SeqScan(emps.catalog.get_table("emps")),
+                                deny), shape=None)
+        with pytest.raises(errors.DataError):
+            plan.run(emps)
