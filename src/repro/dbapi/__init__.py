@@ -18,6 +18,7 @@ paper prescribes.
 from repro.dbapi.connection import Connection
 from repro.dbapi.driver import DriverManager, registry
 from repro.dbapi.metadata import DatabaseMetaData
+from repro.dbapi.pool import ConnectionPool, PooledConnection
 from repro.dbapi.resultset import ResultSet
 from repro.dbapi.statement import (
     BatchUpdateError,
@@ -30,6 +31,8 @@ __all__ = [
     "DriverManager",
     "registry",
     "Connection",
+    "ConnectionPool",
+    "PooledConnection",
     "Statement",
     "PreparedStatement",
     "CallableStatement",

@@ -8,12 +8,19 @@
 * ``DBAPI:DEFAULT:CONNECTION`` / ``JDBC:DEFAULT:CONNECTION`` — inside an
   external routine, a connection sharing the invoking session (paper,
   Part 1 examples).
+
+``get_connection(url, pooled=True)`` routes the checkout through a
+process-wide :class:`repro.dbapi.pool.ConnectionPool` shared by every
+pooled caller of the same ``(url, user)`` — closing such a connection
+returns its session to the pool instead of discarding it.
+``DriverManager.get_pool`` exposes the pool itself (for tuning and
+gauges); ``DriverManager.shutdown_pools`` drains them (tests).
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from repro import errors
 from repro.dbapi.connection import Connection
@@ -69,17 +76,22 @@ registry = DatabaseRegistry()
 class DriverManager:
     """Entry point mirroring ``java.sql.DriverManager``."""
 
+    _pools: Dict[Tuple[str, Optional[str]], "ConnectionPool"] = {}
+    _pools_lock = threading.Lock()
+
     @staticmethod
     def get_connection(
         url: str,
         user: Optional[str] = None,
         database: Optional[Database] = None,
+        pooled: bool = False,
     ) -> Connection:
         """Open a connection for ``url``.
 
         ``database`` short-circuits the registry (used by tests and by the
         SQLJ runtime when a connection context wraps an existing engine
-        instance).
+        instance).  ``pooled`` checks the connection out of the shared
+        pool for ``(url, user)`` instead of opening a fresh session.
         """
         if url.lower() in _DEFAULT_URLS:
             from repro.procedures.invocation import (
@@ -89,10 +101,57 @@ class DriverManager:
             session = default_connection_session()
             return Connection(session, url=url, owns_session=False)
 
+        if pooled:
+            return DriverManager.get_pool(
+                url, user=user, database=database
+            ).checkout()
+
         if database is not None:
             session = database.create_session(user=user, autocommit=True)
             return Connection(session, url=url)
 
+        target = DriverManager._resolve_database(url)
+        session = target.create_session(user=user, autocommit=True)
+        return Connection(session, url=url)
+
+    @staticmethod
+    def get_pool(
+        url: str,
+        user: Optional[str] = None,
+        database: Optional[Database] = None,
+        **pool_options,
+    ) -> "ConnectionPool":
+        """Shared pool for ``(url, user)``, created on first use.
+
+        ``pool_options`` (``min_size``, ``max_size``,
+        ``checkout_timeout``, ``max_age``, ...) only take effect on the
+        call that creates the pool; later callers share it as-is.
+        """
+        from repro.dbapi.pool import ConnectionPool
+
+        key = (url.lower(), user)
+        with DriverManager._pools_lock:
+            pool = DriverManager._pools.get(key)
+            if pool is None or pool.closed:
+                if database is None:
+                    database = DriverManager._resolve_database(url)
+                pool = ConnectionPool(
+                    database, user=user, url=url, **pool_options
+                )
+                DriverManager._pools[key] = pool
+            return pool
+
+    @staticmethod
+    def shutdown_pools() -> None:
+        """Close and forget every shared pool (test isolation)."""
+        with DriverManager._pools_lock:
+            pools = list(DriverManager._pools.values())
+            DriverManager._pools.clear()
+        for pool in pools:
+            pool.close()
+
+    @staticmethod
+    def _resolve_database(url: str) -> Database:
         parts = url.split(":")
         if len(parts) != 3 or parts[0].lower() != "pydbc":
             raise errors.ConnectionError_(
@@ -100,6 +159,4 @@ class DriverManager:
                 "'pydbc:<dialect>:<name>'"
             )
         _scheme, dialect, name = parts
-        target = registry.get_or_create(name, dialect.lower())
-        session = target.create_session(user=user, autocommit=True)
-        return Connection(session, url=url)
+        return registry.get_or_create(name, dialect.lower())

@@ -1,0 +1,295 @@
+"""Bounded connection pooling over the embedded engine.
+
+The paper's connection-context model (Part 0) assumes many clients
+sharing one database; :class:`ConnectionPool` is the data-tier half of
+that bargain: a bounded set of engine sessions handed out as
+JDBC-shaped connections, surviving client churn and injected faults.
+
+Semantics:
+
+* **Bounded.** At most ``max_size`` sessions exist at once; ``min_size``
+  are opened eagerly.  A checkout against an exhausted pool blocks up to
+  ``checkout_timeout`` seconds, then raises
+  :class:`repro.errors.PoolTimeoutError` (SQLSTATE 08004) — never hangs
+  forever, never over-allocates.
+* **Health-checked.** Sessions are inspected on return and again on
+  checkout: a session that died (closed, killed by a fault) is discarded
+  and replaced; a session returned mid-transaction is rolled back before
+  reuse, so the next client never inherits uncommitted work.
+* **Recycled.** With ``max_age`` set, sessions older than that many
+  seconds are retired instead of being reused (stale-connection
+  recycling).
+* **Observable.** Gauges (``pool.<name>.in_use`` / ``.idle`` / ``.size``)
+  and monotonic counters (``pool.checkouts`` / ``checkins`` /
+  ``timeouts`` / ``recycled`` / ``created``) flow into
+  ``repro.observability.snapshot()``.
+
+The fault-injection site ``pool.checkout`` fires inside
+:meth:`ConnectionPool.checkout` (see :mod:`repro.faultpoints`), and
+``pool.checkin`` pipes the returning session so tests can kill it in
+flight.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import warnings
+from typing import Any, Dict, List, Optional
+
+from repro import errors, faultpoints
+from repro.dbapi.connection import Connection
+from repro.engine.database import Database, Session
+from repro.observability import metrics as _metrics
+
+__all__ = ["ConnectionPool", "PooledConnection"]
+
+_CHECKOUTS = _metrics.registry.counter("pool.checkouts")
+_CHECKINS = _metrics.registry.counter("pool.checkins")
+_TIMEOUTS = _metrics.registry.counter("pool.timeouts")
+_RECYCLED = _metrics.registry.counter("pool.recycled")
+_CREATED = _metrics.registry.counter("pool.created")
+
+
+class PooledConnection(Connection):
+    """A connection whose ``close`` returns its session to the pool."""
+
+    def __init__(
+        self, session: Session, url: str, pool: "ConnectionPool"
+    ) -> None:
+        super().__init__(session, url=url, owns_session=True)
+        self._pool = pool
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._pool._checkin(self.session)
+
+    def __del__(self) -> None:
+        if not self._closed:
+            warnings.warn(
+                f"unclosed pooled connection to {self.url!r} "
+                "(leaked without close(); its slot was reclaimed)",
+                ResourceWarning,
+                stacklevel=2,
+                source=self,
+            )
+            self._closed = True
+            self._pool._abandon(self.session)
+
+
+class ConnectionPool:
+    """A bounded pool of engine sessions on one database."""
+
+    def __init__(
+        self,
+        database: Database,
+        *,
+        min_size: int = 0,
+        max_size: int = 8,
+        checkout_timeout: float = 5.0,
+        max_age: Optional[float] = None,
+        user: Optional[str] = None,
+        autocommit: bool = True,
+        name: Optional[str] = None,
+        url: str = "",
+    ) -> None:
+        if max_size < 1:
+            raise errors.ConnectionError_("pool max_size must be >= 1")
+        if min_size < 0 or min_size > max_size:
+            raise errors.ConnectionError_(
+                "pool min_size must be between 0 and max_size"
+            )
+        self.database = database
+        self.min_size = min_size
+        self.max_size = max_size
+        self.checkout_timeout = checkout_timeout
+        self.max_age = max_age
+        self.user = user
+        self.autocommit = autocommit
+        self.name = name or database.name
+        self.url = url or f"pool:{self.name}"
+        self._cond = threading.Condition(threading.Lock())
+        self._idle: List[Session] = []
+        self._in_use = 0
+        self._closed = False
+        self._gauge_in_use = _metrics.registry.counter(
+            f"pool.{self.name}.in_use"
+        )
+        self._gauge_idle = _metrics.registry.counter(
+            f"pool.{self.name}.idle"
+        )
+        self._gauge_size = _metrics.registry.counter(
+            f"pool.{self.name}.size"
+        )
+        with self._cond:
+            for _ in range(min_size):
+                self._idle.append(self._open_session())
+            self._update_gauges_locked()
+
+    # ------------------------------------------------------------------
+    # checkout / checkin
+    # ------------------------------------------------------------------
+    def checkout(
+        self, timeout: Optional[float] = None
+    ) -> PooledConnection:
+        """Borrow a connection, blocking up to ``timeout`` seconds.
+
+        Raises :class:`repro.errors.PoolTimeoutError` when the pool
+        stays exhausted for the whole wait.
+        """
+        if timeout is None:
+            timeout = self.checkout_timeout
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            self._check_open()
+            while True:
+                session = self._take_healthy_idle_locked()
+                if session is None and \
+                        self._total_locked() < self.max_size:
+                    session = self._open_session()
+                if session is not None:
+                    self._in_use += 1
+                    self._update_gauges_locked()
+                    break
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    _TIMEOUTS.increment()
+                    raise errors.PoolTimeoutError(
+                        f"pool {self.name!r} exhausted: all "
+                        f"{self.max_size} connections in use after "
+                        f"waiting {timeout:.3f}s"
+                    )
+                self._cond.wait(remaining)
+                self._check_open()
+        try:
+            faultpoints.trigger("pool.checkout")
+        except BaseException:
+            # An injected checkout failure must not leak the slot.
+            self._checkin(session)
+            raise
+        _CHECKOUTS.increment()
+        return PooledConnection(session, self.url, self)
+
+    def _checkin(self, session: Session) -> None:
+        """Return ``session`` to the pool (health check + recycling)."""
+        session = faultpoints.pipe("pool.checkin", session)
+        _CHECKINS.increment()
+        with self._cond:
+            self._in_use = max(0, self._in_use - 1)
+            if self._closed or not self._healthy(session):
+                self._dispose(session)
+                if not self._closed:
+                    _RECYCLED.increment()
+            else:
+                session.autocommit = self.autocommit
+                self._idle.append(session)
+            self._update_gauges_locked()
+            self._cond.notify()
+
+    def _abandon(self, session: Session) -> None:
+        """Reclaim the slot of a leaked (never-closed) connection."""
+        with self._cond:
+            self._in_use = max(0, self._in_use - 1)
+            self._dispose(session)
+            _RECYCLED.increment()
+            self._update_gauges_locked()
+            self._cond.notify()
+
+    # ------------------------------------------------------------------
+    # internals (call with self._cond held)
+    # ------------------------------------------------------------------
+    def _open_session(self) -> Session:
+        session = self.database.create_session(
+            user=self.user, autocommit=self.autocommit
+        )
+        session._pool_opened_at = time.monotonic()
+        _CREATED.increment()
+        return session
+
+    def _take_healthy_idle_locked(self) -> Optional[Session]:
+        while self._idle:
+            session = self._idle.pop()
+            if self._healthy(session):
+                return session
+            self._dispose(session)
+            _RECYCLED.increment()
+        return None
+
+    def _healthy(self, session: Session) -> bool:
+        if session.closed:
+            return False
+        if self.max_age is not None:
+            opened = getattr(session, "_pool_opened_at", None)
+            if opened is not None and \
+                    time.monotonic() - opened > self.max_age:
+                return False
+        if session.transaction_log.active:
+            # Never hand uncommitted work to the next client.
+            try:
+                session.rollback()
+            except errors.SQLException:
+                return False
+        return True
+
+    def _dispose(self, session: Session) -> None:
+        try:
+            session.close()
+        except errors.SQLException:  # pragma: no cover - best effort
+            pass
+
+    def _total_locked(self) -> int:
+        return self._in_use + len(self._idle)
+
+    def _update_gauges_locked(self) -> None:
+        self._gauge_in_use.value = self._in_use
+        self._gauge_idle.value = len(self._idle)
+        self._gauge_size.value = self._total_locked()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise errors.ConnectionClosedError(
+                f"pool {self.name!r} is closed"
+            )
+
+    # ------------------------------------------------------------------
+    # inspection / lifecycle
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """Point-in-time view of pool occupancy."""
+        with self._cond:
+            return {
+                "name": self.name,
+                "in_use": self._in_use,
+                "idle": len(self._idle),
+                "size": self._total_locked(),
+                "max_size": self.max_size,
+                "closed": self._closed,
+            }
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Close all idle sessions and refuse further checkouts.
+
+        Connections currently checked out stay usable; their sessions
+        are closed when returned.
+        """
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            for session in self._idle:
+                self._dispose(session)
+            self._idle.clear()
+            self._update_gauges_locked()
+            self._cond.notify_all()
+
+    def __enter__(self) -> "ConnectionPool":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

@@ -77,7 +77,7 @@ class Statement:
     def _run(self, sql: str, params: List[Any]) -> StatementResult:
         self._check_open()
         session = self.connection.session
-        _EXECUTIONS.value += 1
+        _EXECUTIONS.increment()
         tracer = self.connection._tracer or _tracing.current
         if tracer.enabled:
             with tracer.span("dbapi.statement", sql=sql):
@@ -299,7 +299,7 @@ class PreparedStatement(Statement):
     # ------------------------------------------------------------------
     def _run_prepared(self) -> StatementResult:
         self._check_open()
-        _EXECUTIONS.value += 1
+        _EXECUTIONS.increment()
         tracer = self.connection._tracer or _tracing.current
         if tracer.enabled:
             with tracer.span("dbapi.prepared", sql=self.sql):

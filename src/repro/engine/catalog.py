@@ -9,6 +9,7 @@ UDT subtype graph for substitutability lives.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
@@ -285,9 +286,16 @@ def parse_external_name(external: str) -> Tuple[Optional[str], str, str]:
 
 
 class Catalog:
-    """Namespace of all persistent objects in one database."""
+    """Namespace of all persistent objects in one database.
+
+    Registration and removal are serialized by an internal lock so the
+    check-then-insert duplicate detection stays atomic even when DDL is
+    issued outside the database's statement lock (programmatic callers,
+    system bootstrap).  Lookups are plain dict reads and need no lock.
+    """
 
     def __init__(self) -> None:
+        self._lock = threading.RLock()
         self.tables: Dict[str, Table] = {}
         self.views: Dict[str, View] = {}
         self.routines: Dict[str, Routine] = {}
@@ -297,19 +305,21 @@ class Catalog:
     # -- tables / views ---------------------------------------------------
     def create_table(self, table: Table) -> None:
         key = table.name
-        if key in self.tables or key in self.views:
-            raise errors.DuplicateObjectError(
-                f"table or view {key!r} already exists"
-            )
-        self.tables[key] = table
+        with self._lock:
+            if key in self.tables or key in self.views:
+                raise errors.DuplicateObjectError(
+                    f"table or view {key!r} already exists"
+                )
+            self.tables[key] = table
 
     def drop_table(self, name: str) -> Table:
-        try:
-            return self.tables.pop(name)
-        except KeyError:
-            raise errors.UndefinedTableError(
-                f"table {name!r} does not exist"
-            ) from None
+        with self._lock:
+            try:
+                return self.tables.pop(name)
+            except KeyError:
+                raise errors.UndefinedTableError(
+                    f"table {name!r} does not exist"
+                ) from None
 
     def get_table(self, name: str) -> Table:
         try:
@@ -320,19 +330,21 @@ class Catalog:
             ) from None
 
     def create_view(self, view: View) -> None:
-        if view.name in self.views or view.name in self.tables:
-            raise errors.DuplicateObjectError(
-                f"table or view {view.name!r} already exists"
-            )
-        self.views[view.name] = view
+        with self._lock:
+            if view.name in self.views or view.name in self.tables:
+                raise errors.DuplicateObjectError(
+                    f"table or view {view.name!r} already exists"
+                )
+            self.views[view.name] = view
 
     def drop_view(self, name: str) -> View:
-        try:
-            return self.views.pop(name)
-        except KeyError:
-            raise errors.UndefinedObjectError(
-                f"view {name!r} does not exist"
-            ) from None
+        with self._lock:
+            try:
+                return self.views.pop(name)
+            except KeyError:
+                raise errors.UndefinedObjectError(
+                    f"view {name!r} does not exist"
+                ) from None
 
     def get_relation(self, name: str):
         """Return the Table or View called ``name``."""
@@ -346,19 +358,21 @@ class Catalog:
 
     # -- routines ----------------------------------------------------------
     def create_routine(self, routine: Routine) -> None:
-        if routine.name in self.routines:
-            raise errors.DuplicateObjectError(
-                f"routine {routine.name!r} already exists"
-            )
-        self.routines[routine.name] = routine
+        with self._lock:
+            if routine.name in self.routines:
+                raise errors.DuplicateObjectError(
+                    f"routine {routine.name!r} already exists"
+                )
+            self.routines[routine.name] = routine
 
     def drop_routine(self, name: str) -> Routine:
-        try:
-            return self.routines.pop(name)
-        except KeyError:
-            raise errors.UndefinedRoutineError(
-                f"routine {name!r} does not exist"
-            ) from None
+        with self._lock:
+            try:
+                return self.routines.pop(name)
+            except KeyError:
+                raise errors.UndefinedRoutineError(
+                    f"routine {name!r} does not exist"
+                ) from None
 
     def get_routine(self, name: str) -> Routine:
         try:
@@ -376,28 +390,31 @@ class Catalog:
 
     # -- user-defined types -------------------------------------------------
     def create_type(self, udt: UserDefinedType) -> None:
-        if udt.name in self.types:
-            raise errors.DuplicateObjectError(
-                f"type {udt.name!r} already exists"
-            )
-        self.types[udt.name] = udt
+        with self._lock:
+            if udt.name in self.types:
+                raise errors.DuplicateObjectError(
+                    f"type {udt.name!r} already exists"
+                )
+            self.types[udt.name] = udt
 
     def drop_type(self, name: str) -> UserDefinedType:
-        udt = self.get_type(name)
-        for other in self.types.values():
-            if other.supertype is udt:
-                raise errors.CatalogError(
-                    f"type {name!r} has subtype {other.name!r}; "
-                    "drop the subtype first"
-                )
-        for table in self.tables.values():
-            for column in table.columns:
-                if isinstance(column.descriptor, ObjectType) and \
-                        column.descriptor.udt_name == name:
+        with self._lock:
+            udt = self.get_type(name)
+            for other in self.types.values():
+                if other.supertype is udt:
                     raise errors.CatalogError(
-                        f"type {name!r} is used by table {table.name!r}"
+                        f"type {name!r} has subtype {other.name!r}; "
+                        "drop the subtype first"
                     )
-        return self.types.pop(name)
+            for table in self.tables.values():
+                for column in table.columns:
+                    if isinstance(column.descriptor, ObjectType) and \
+                            column.descriptor.udt_name == name:
+                        raise errors.CatalogError(
+                            f"type {name!r} is used by table "
+                            f"{table.name!r}"
+                        )
+            return self.types.pop(name)
 
     def get_type(self, name: str) -> UserDefinedType:
         try:
@@ -425,19 +442,21 @@ class Catalog:
 
     # -- archives ------------------------------------------------------------
     def install_par(self, par: InstalledPar) -> None:
-        if par.name in self.pars:
-            raise errors.ParInstallationError(
-                f"archive {par.name!r} is already installed"
-            )
-        self.pars[par.name] = par
+        with self._lock:
+            if par.name in self.pars:
+                raise errors.ParInstallationError(
+                    f"archive {par.name!r} is already installed"
+                )
+            self.pars[par.name] = par
 
     def remove_par(self, name: str) -> InstalledPar:
-        try:
-            return self.pars.pop(name)
-        except KeyError:
-            raise errors.UndefinedParError(
-                f"archive {name!r} is not installed"
-            ) from None
+        with self._lock:
+            try:
+                return self.pars.pop(name)
+            except KeyError:
+                raise errors.UndefinedParError(
+                    f"archive {name!r} is not installed"
+                ) from None
 
     def get_par(self, name: str) -> InstalledPar:
         try:

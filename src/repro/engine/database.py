@@ -26,6 +26,7 @@ from repro.engine.catalog import Catalog, InstalledPar, Routine, \
 from repro.engine.dialects import DIALECTS, STANDARD, Dialect
 from repro.engine.executor import QueryPlan
 from repro.engine.expressions import RowShape
+from repro.engine.locks import ReadWriteLock
 from repro.engine.parser import Parser
 from repro.engine.planner import plan_query
 from repro.engine.privileges import PrivilegeManager
@@ -40,6 +41,12 @@ __all__ = ["Database", "Session", "StatementResult", "PreparedStatementPlan"]
 _ROWS_RETURNED = _metrics.registry.counter("rows.returned")
 _STATEMENT_SECONDS = _metrics.registry.histogram("statement.seconds")
 _STATEMENT_COUNTERS: dict = {}
+
+#: Statement kinds that only read shared state and may run concurrently
+#: under the database's shared lock.  Everything else (DML, DDL, CALL,
+#: transaction control) acquires the lock exclusively — CALL because a
+#: routine body may execute arbitrary nested statements.
+_SHARED_STATEMENTS = (ast.Select, ast.SetOperation, ast.Explain)
 
 
 def _statement_counter(statement_type: type) -> _metrics.Counter:
@@ -113,9 +120,12 @@ class PreparedStatementPlan:
             .parse_statement()
         self._query_plan: Optional[QueryPlan] = None
         if isinstance(self.statement, (ast.Select, ast.SetOperation)):
-            self._query_plan, self._shape = plan_query(
-                self.statement, session
-            )
+            # Planning reads the catalog, so it must not race a DDL
+            # statement rewriting it.
+            with session.database.lock.read():
+                self._query_plan, self._shape = plan_query(
+                    self.statement, session
+                )
 
     def execute(self, params: Sequence[Any] = ()) -> StatementResult:
         if self._query_plan is not None:
@@ -124,27 +134,32 @@ class PreparedStatementPlan:
             counter = _STATEMENT_COUNTERS.get(self.statement.__class__)
             if counter is None:
                 counter = _statement_counter(self.statement.__class__)
-            counter.value += 1
+            counter.increment()
             tracer = _tracing.current
+            lock = self.session.database.lock
             if not tracer.enabled:
                 try:
-                    rows = self._query_plan.run(self.session, params)
+                    with lock.read():
+                        rows = self._query_plan.run(self.session, params)
+                        result = self.session.finish_rowset(
+                            rows, self._shape
+                        )
                 except errors.SQLException as exc:
                     _metrics.increment(f"errors.{exc.sqlstate}")
                     raise
-                _ROWS_RETURNED.value += len(rows)
-                return self.session.finish_rowset(rows, self._shape)
+                _ROWS_RETURNED.increment(len(rows))
+                return result
             with tracer.span("statement", sql=self.sql, prepared=True):
                 start = time.perf_counter()
                 try:
-                    with tracer.span("execute"):
+                    with tracer.span("execute"), lock.read():
                         rows = self._query_plan.run(self.session, params)
                 except errors.SQLException as exc:
                     _metrics.increment(f"errors.{exc.sqlstate}")
                     raise
                 _STATEMENT_SECONDS.observe(time.perf_counter() - start)
-                _ROWS_RETURNED.value += len(rows)
-                with tracer.span("fetch"):
+                _ROWS_RETURNED.increment(len(rows))
+                with tracer.span("fetch"), lock.read():
                     return self.session.finish_rowset(rows, self._shape)
         return self.session.execute_statement(self.statement, params)
 
@@ -170,6 +185,9 @@ class Database:
         self.admin_user = admin_user
         self.catalog = Catalog()
         self.privileges = PrivilegeManager(admin_user)
+        #: Statement-granularity reader-writer lock: queries share it,
+        #: mutating statements hold it exclusively (see engine/locks.py).
+        self.lock = ReadWriteLock()
         self._bootstrap()
 
     def _bootstrap(self) -> None:
@@ -281,14 +299,36 @@ class Session:
         counter = _STATEMENT_COUNTERS.get(statement.__class__)
         if counter is None:
             counter = _statement_counter(statement.__class__)
-        counter.value += 1
+        counter.increment()
         timed = _tracing.current.enabled
         start = time.perf_counter() if timed else 0.0
+        lock = self.database.lock
+        guard = (
+            lock.read
+            if isinstance(statement, _SHARED_STATEMENTS)
+            else lock.write
+        )
         try:
-            if timed:
-                result = self._dispatch_traced(statement, params)
-            else:
-                result = self._dispatch(statement, params)
+            with guard():
+                mark = self.transaction_log.position()
+                try:
+                    if timed:
+                        result = self._dispatch_traced(statement, params)
+                    else:
+                        result = self._dispatch(statement, params)
+                except BaseException:
+                    # Statement-level atomicity: a failing statement
+                    # (including one killed by an injected fault) backs
+                    # out its own partial mutations before propagating.
+                    if self.transaction_log.position() > mark:
+                        self.transaction_log.rollback_to_position(mark)
+                    raise
+                if (
+                    self.autocommit
+                    and self._routine_depth == 0
+                    and self.transaction_log.active
+                ):
+                    self.transaction_log.commit()
         except errors.SQLException as exc:
             _metrics.increment(f"errors.{exc.sqlstate}")
             raise
@@ -298,13 +338,7 @@ class Session:
             # to the fastest prepared statements.
             _STATEMENT_SECONDS.observe(time.perf_counter() - start)
         if result.kind == "rowset":
-            _ROWS_RETURNED.value += len(result.rows)
-        if (
-            self.autocommit
-            and self._routine_depth == 0
-            and self.transaction_log.active
-        ):
-            self.transaction_log.commit()
+            _ROWS_RETURNED.increment(len(result.rows))
         return result
 
     def _dispatch_traced(
@@ -470,16 +504,21 @@ class Session:
 
     def commit(self) -> None:
         self._check_open()
-        self.transaction_log.commit()
+        with self.database.lock.write():
+            self.transaction_log.commit()
 
     def rollback(self) -> None:
+        # Rollback replays undo actions against shared table heaps, so it
+        # needs the exclusive lock just like the DML it reverses.
         self._check_open()
-        self.transaction_log.rollback()
+        with self.database.lock.write():
+            self.transaction_log.rollback()
 
     def close(self) -> None:
         if not self.closed:
             if self.transaction_log.active:
-                self.transaction_log.rollback()
+                with self.database.lock.write():
+                    self.transaction_log.rollback()
             self.closed = True
 
     def _check_open(self) -> None:

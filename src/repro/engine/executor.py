@@ -15,7 +15,7 @@ import time
 from typing import Any, Callable, Dict, Iterator, List, Optional, \
     Sequence, Tuple
 
-from repro import errors
+from repro import errors, faultpoints
 from repro.engine.catalog import Table
 from repro.engine.expressions import Env, RowShape
 from repro.observability import metrics as _metrics
@@ -89,7 +89,7 @@ class SeqScan(Operator):
         # Iterate over a snapshot so DML statements reading their own
         # target table (e.g. INSERT INTO t SELECT ... FROM t) terminate.
         snapshot = list(self.table.rows)
-        _ROWS_SCANNED.value += len(snapshot)
+        _ROWS_SCANNED.increment(len(snapshot))
         return iter(snapshot)
 
 
@@ -689,6 +689,7 @@ class QueryPlan:
         self, session: Any, params: Sequence[Any] = ()
     ) -> List[List[Any]]:
         """Execute and materialise all rows."""
+        faultpoints.trigger("executor.run")
         ctx = RuntimeContext(session, params)
         try:
             return [list(row) for row in self.root.rows(ctx)]

@@ -16,6 +16,7 @@ with 'definer's rights'"), implemented by
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Set, Tuple
 
 from repro import errors
@@ -37,8 +38,11 @@ class PrivilegeManager:
 
     def __init__(self, admin_user: str) -> None:
         self.admin_user = admin_user
-        # (kind, object) -> privilege -> set of grantees
+        # (kind, object) -> privilege -> set of grantees.  Mutation is
+        # serialized by the lock; `holds` checks read granted sets with
+        # frozen copies so concurrent GRANT/REVOKE never corrupts them.
         self._grants: Dict[Tuple[str, str], Dict[str, Set[str]]] = {}
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     def _validate(self, privilege: str, kind: str) -> List[str]:
@@ -66,9 +70,11 @@ class PrivilegeManager:
                 f"user {grantor!r} may not grant on {object_name!r} "
                 f"(owner {owner!r})"
             )
-        for actual in self._validate(privilege, kind):
-            slot = self._grants.setdefault((kind, object_name), {})
-            slot.setdefault(actual, set()).update(grantees)
+        with self._lock:
+            for actual in self._validate(privilege, kind):
+                slot = self._grants.setdefault((kind, object_name), {})
+                holders = slot.get(actual, frozenset())
+                slot[actual] = holders | set(grantees)
 
     def revoke(
         self,
@@ -83,11 +89,12 @@ class PrivilegeManager:
             raise errors.PrivilegeError(
                 f"user {revoker!r} may not revoke on {object_name!r}"
             )
-        for actual in self._validate(privilege, kind):
-            slot = self._grants.get((kind, object_name), {})
-            holders = slot.get(actual)
-            if holders:
-                holders.difference_update(grantees)
+        with self._lock:
+            for actual in self._validate(privilege, kind):
+                slot = self._grants.get((kind, object_name), {})
+                holders = slot.get(actual)
+                if holders:
+                    slot[actual] = holders - set(grantees)
 
     # ------------------------------------------------------------------
     def holds(
@@ -100,8 +107,10 @@ class PrivilegeManager:
     ) -> bool:
         if user in (owner, self.admin_user):
             return True
+        # Lock-free read: grant/revoke replace the holder set wholesale
+        # (copy-on-write above), so this sees a consistent snapshot.
         holders = self._grants.get((kind, object_name), {}).get(
-            privilege, set()
+            privilege, frozenset()
         )
         return user in holders or "public" in holders
 
@@ -121,4 +130,5 @@ class PrivilegeManager:
 
     def drop_object(self, kind: str, object_name: str) -> None:
         """Forget grants when an object is dropped."""
-        self._grants.pop((kind, object_name), None)
+        with self._lock:
+            self._grants.pop((kind, object_name), None)

@@ -13,8 +13,10 @@ JDBC semantics.
 from __future__ import annotations
 
 import copy
+import threading
 from typing import Any, Callable, List, Optional
 
+from repro import faultpoints
 from repro.engine.catalog import Table
 from repro.sqltypes import ObjectType
 
@@ -45,70 +47,104 @@ class TransactionLog:
     A savepoint records the current undo-log length; rolling back to it
     unwinds only the mutations performed since, and discards any later
     savepoints (standard SQL savepoint semantics).
+
+    The log is owned by one session, but pooled connections migrate
+    sessions across threads, so its mutations are guarded by a reentrant
+    lock (cheap insurance next to the engine's statement lock).
     """
 
     def __init__(self) -> None:
         self._undo: List[Callable[[], None]] = []
         self._savepoints: dict = {}
+        self._lock = threading.RLock()
         self.active = False
 
     def record(self, undo: Callable[[], None]) -> None:
         """Register an undo action for a mutation just performed."""
-        self.active = True
-        self._undo.append(undo)
+        with self._lock:
+            self.active = True
+            self._undo.append(undo)
 
     def commit(self) -> int:
         """Discard undo actions; returns how many mutations were kept."""
-        count = len(self._undo)
-        self._undo.clear()
-        self._savepoints.clear()
-        self.active = False
-        return count
+        with self._lock:
+            count = len(self._undo)
+            self._undo.clear()
+            self._savepoints.clear()
+            self.active = False
+            return count
 
     def rollback(self) -> int:
         """Apply undo actions in reverse order; returns how many ran."""
-        count = len(self._undo)
-        for undo in reversed(self._undo):
-            undo()
-        self._undo.clear()
-        self._savepoints.clear()
-        self.active = False
-        return count
+        with self._lock:
+            count = len(self._undo)
+            for undo in reversed(self._undo):
+                undo()
+            self._undo.clear()
+            self._savepoints.clear()
+            self.active = False
+            return count
+
+    # -- statement-level atomicity ---------------------------------------
+    def position(self) -> int:
+        """Current undo-log position (a mark for partial rollback)."""
+        return len(self._undo)
+
+    def rollback_to_position(self, mark: int) -> int:
+        """Undo every mutation recorded after ``mark``.
+
+        Backs out the work of a statement that failed midway, so errors
+        (including injected faults) never leave half a statement behind.
+        """
+        with self._lock:
+            count = len(self._undo) - mark
+            while len(self._undo) > mark:
+                self._undo.pop()()
+            self._savepoints = {
+                name: position
+                for name, position in self._savepoints.items()
+                if position <= mark
+            }
+            self.active = bool(self._undo)
+            return count
 
     # -- savepoints ------------------------------------------------------
     def set_savepoint(self, name: str) -> None:
         """Create (or move) the named savepoint at the current position."""
-        self._savepoints[name] = len(self._undo)
+        with self._lock:
+            self._savepoints[name] = len(self._undo)
 
     def rollback_to(self, name: str) -> int:
         """Undo every mutation after the named savepoint."""
         from repro import errors
 
-        if name not in self._savepoints:
-            raise errors.TransactionError(
-                f"savepoint {name!r} does not exist"
-            )
-        mark = self._savepoints[name]
-        count = len(self._undo) - mark
-        while len(self._undo) > mark:
-            self._undo.pop()()
-        # Savepoints created after this one are gone.
-        self._savepoints = {
-            n: position
-            for n, position in self._savepoints.items()
-            if position <= mark
-        }
-        return count
+        with self._lock:
+            if name not in self._savepoints:
+                raise errors.TransactionError(
+                    f"savepoint {name!r} does not exist"
+                )
+            mark = self._savepoints[name]
+            count = len(self._undo) - mark
+            while len(self._undo) > mark:
+                self._undo.pop()()
+            # Savepoints created after this one are gone.
+            self._savepoints = {
+                n: position
+                for n, position in self._savepoints.items()
+                if position <= mark
+            }
+            return count
 
     def release(self, name: str) -> None:
         """Forget the named savepoint (its changes remain pending)."""
         from repro import errors
 
-        if name not in self._savepoints:
-            raise errors.TransactionError(
-                f"savepoint {name!r} does not exist"
-            )
-        del self._savepoints[name]
+        with self._lock:
+            if name not in self._savepoints:
+                raise errors.TransactionError(
+                    f"savepoint {name!r} does not exist"
+                )
+            del self._savepoints[name]
 
 
 class RowStore:
@@ -119,6 +155,7 @@ class RowStore:
         self.log = log
 
     def insert(self, row: List[Any]) -> None:
+        faultpoints.trigger("storage.insert")
         rows = self.table.rows
         rows.append(row)
         if self.log is not None:
@@ -134,6 +171,7 @@ class RowStore:
 
     def delete_at(self, positions: List[int]) -> int:
         """Delete rows at the given positions (any order)."""
+        faultpoints.trigger("storage.delete")
         rows = self.table.rows
         saved = [(pos, rows[pos]) for pos in sorted(positions)]
         for pos in sorted(positions, reverse=True):
@@ -146,6 +184,7 @@ class RowStore:
         return len(positions)
 
     def update_at(self, position: int, new_row: List[Any]) -> None:
+        faultpoints.trigger("storage.update")
         rows = self.table.rows
         old_row = rows[position]
         rows[position] = new_row

@@ -1,10 +1,12 @@
 """Transaction primitives.
 
 The undo-log implementation lives next to the row heaps in
-:mod:`repro.engine.storage`; this module re-exports it under the name the
-architecture documentation uses.
+:mod:`repro.engine.storage` and the engine's reader-writer lock in
+:mod:`repro.engine.locks`; this module re-exports them under the names
+the architecture documentation uses.
 """
 
+from repro.engine.locks import ReadWriteLock
 from repro.engine.storage import RowStore, TransactionLog
 
-__all__ = ["TransactionLog", "RowStore"]
+__all__ = ["TransactionLog", "RowStore", "ReadWriteLock"]

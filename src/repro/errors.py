@@ -63,6 +63,7 @@ __all__ = [
     "AuthorizationError",
     "ConnectionError_",
     "ConnectionClosedError",
+    "PoolTimeoutError",
     "InvalidCursorStateError",
     "TransactionError",
     "FeatureNotSupportedError",
@@ -307,6 +308,14 @@ class ConnectionError_(SQLException):
 
 class ConnectionClosedError(ConnectionError_):
     default_sqlstate = "08003"
+
+
+class PoolTimeoutError(ConnectionError_):
+    """Connection pool exhausted: no connection became free within the
+    checkout timeout.  Uses SQLSTATE 08004 ("server rejected the
+    connection"), the class-08 code for a refused connection attempt."""
+
+    default_sqlstate = "08004"
 
 
 class FeatureNotSupportedError(SQLException):

@@ -1,0 +1,80 @@
+"""Named fault-injection points.
+
+This is the *hook* half of the fault-injection facility: production code
+calls :func:`trigger` (or :func:`pipe` when there is a value to corrupt)
+at named sites, and :class:`repro.testing.faults.FaultPlan` installs
+itself here to make those sites raise, delay, or corrupt.  Keeping the
+hooks in this dependency-free module lets every layer participate
+(engine, storage, dbapi pool, procedures) without importing the testing
+package upward.
+
+Disarmed cost is one module-global load and a ``None`` check, so hooks
+are safe on per-statement paths.
+
+Well-known sites:
+
+======================  ===================================================
+site                    fired
+======================  ===================================================
+``executor.run``        before a compiled query plan materialises rows
+``storage.insert``      before a row is appended to a table heap
+``storage.delete``      before rows are deleted from a table heap
+``storage.update``      before a row is replaced in a table heap
+``pool.checkout``       inside :meth:`ConnectionPool.checkout`, before a
+                        connection is handed out
+``pool.checkin``        when a pooled connection is returned (pipe site:
+                        receives the session, may corrupt/kill it)
+``procedure.invoke``    before an external routine body runs
+======================  ===================================================
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Optional
+
+__all__ = ["install", "uninstall", "installed", "trigger", "pipe"]
+
+_lock = threading.Lock()
+_active: Optional[Any] = None  # duck-typed: has .fire(site, value=None)
+
+
+def install(plan: Any) -> None:
+    """Arm ``plan`` (an object with ``fire(site, value=None)``).
+
+    Only one plan may be armed at a time; installing over an armed plan
+    raises to catch tests that forget to clean up.
+    """
+    global _active
+    with _lock:
+        if _active is not None and _active is not plan:
+            raise RuntimeError(
+                "a fault plan is already installed; uninstall it first"
+            )
+        _active = plan
+
+
+def uninstall() -> None:
+    """Disarm whatever plan is installed (idempotent)."""
+    global _active
+    with _lock:
+        _active = None
+
+
+def installed() -> Optional[Any]:
+    return _active
+
+
+def trigger(site: str) -> None:
+    """Fire ``site``; no-op unless a plan is armed."""
+    plan = _active
+    if plan is not None:
+        plan.fire(site)
+
+
+def pipe(site: str, value: Any) -> Any:
+    """Fire ``site`` with a payload the plan may replace (corruption)."""
+    plan = _active
+    if plan is not None:
+        return plan.fire(site, value)
+    return value

@@ -8,10 +8,14 @@ procedures) increments named counters as it executes, and
 Counters are always on — a disabled tracer silences *span* output, but
 counting stays active because a dict lookup plus an integer add is
 negligible next to parsing or executing a statement.  Registry mutation
-(creating a counter the first time a name is seen) is guarded by a lock;
-the hot increment path is lock-free and relies on the GIL for
-consistency, which is the standard CPython trade-off for metrics that
-tolerate rare lost updates under free-threading.
+(creating a counter the first time a name is seen) is guarded by the
+registry lock, and every counter/histogram mutation takes the
+instrument's own lock, so totals are **exact** under concurrency: a
+16-thread workload reports precisely as many statements as it ran
+(``value += n`` compiles to a read-modify-write that can interleave
+even under the GIL).  The per-instrument lock is uncontended in the
+common case and costs well under a microsecond next to parsing or
+executing a statement.
 
 Well-known names used across the codebase:
 
@@ -50,15 +54,22 @@ __all__ = [
 
 
 class Counter:
-    """A monotonically increasing integer."""
+    """A monotonically increasing integer.
 
-    __slots__ = ("value",)
+    Mutate through :meth:`increment` (locked, exact under threads);
+    ``value`` stays public for reads and for gauge-style assignment
+    (e.g. pool occupancy), where the writer provides its own ordering.
+    """
+
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
         self.value = 0
+        self._lock = threading.Lock()
 
     def increment(self, amount: int = 1) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 class Histogram:
@@ -69,22 +80,24 @@ class Histogram:
     (how many, how much in total, best and worst case).
     """
 
-    __slots__ = ("count", "total", "minimum", "maximum")
+    __slots__ = ("count", "total", "minimum", "maximum", "_lock")
 
     def __init__(self) -> None:
         self.count = 0
         self.total = 0.0
         self.minimum: Optional[float] = None
         self.maximum: Optional[float] = None
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         value = float(value)
-        self.count += 1
-        self.total += value
-        if self.minimum is None or value < self.minimum:
-            self.minimum = value
-        if self.maximum is None or value > self.maximum:
-            self.maximum = value
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if self.minimum is None or value < self.minimum:
+                self.minimum = value
+            if self.maximum is None or value > self.maximum:
+                self.maximum = value
 
     @property
     def mean(self) -> Optional[float]:
@@ -93,13 +106,18 @@ class Histogram:
         return self.total / self.count
 
     def summary(self) -> Dict[str, Any]:
-        return {
-            "count": self.count,
-            "sum": self.total,
-            "min": self.minimum,
-            "max": self.maximum,
-            "mean": self.mean,
-        }
+        # Under the instrument lock so a concurrent observe() cannot
+        # produce a summary whose count and sum disagree.
+        with self._lock:
+            count = self.count
+            total = self.total
+            return {
+                "count": count,
+                "sum": total,
+                "min": self.minimum,
+                "max": self.maximum,
+                "mean": (total / count) if count else None,
+            }
 
 
 class MetricsRegistry:
@@ -161,12 +179,14 @@ class MetricsRegistry:
         """
         with self._lock:
             for counter in self._counters.values():
-                counter.value = 0
+                with counter._lock:
+                    counter.value = 0
             for histogram in self._histograms.values():
-                histogram.count = 0
-                histogram.total = 0.0
-                histogram.minimum = None
-                histogram.maximum = None
+                with histogram._lock:
+                    histogram.count = 0
+                    histogram.total = 0.0
+                    histogram.minimum = None
+                    histogram.maximum = None
 
 
 #: The process-wide registry every layer reports into.

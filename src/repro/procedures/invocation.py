@@ -23,7 +23,7 @@ from __future__ import annotations
 import contextvars
 from typing import Any, List, Optional, Sequence
 
-from repro import errors
+from repro import errors, faultpoints
 from repro.engine import ast
 from repro.engine.catalog import Routine
 from repro.engine.database import Session, StatementResult
@@ -70,6 +70,7 @@ def _invoke_body(session: Session, routine: Routine, args: List[Any]) -> Any:
         raise errors.RoutineResolutionError(
             f"routine {routine.name!r} has no resolved implementation"
         )
+    faultpoints.trigger("procedure.invoke")
     tracer = _tracing.current
     if not tracer.enabled:
         return _run_body(session, routine, target, args)
@@ -142,7 +143,7 @@ def invoke_function(
         raise errors.SQLSyntaxError(
             f"{routine.name!r} is a procedure; use CALL"
         )
-    _FUNCTION_CALLS.value += 1
+    _FUNCTION_CALLS.increment()
     values = _coerce_in_args(routine, args)
     result = _invoke_body(session, routine, values)
     if routine.returns is not None:
@@ -167,7 +168,7 @@ def call_routine(
         value = invoke_function(session, routine, list(in_values))
         return StatementResult("call", function_value=value)
 
-    _PROCEDURE_CALLS.value += 1
+    _PROCEDURE_CALLS.increment()
     coerced = _coerce_in_args(routine, in_values)
     coerced_iter = iter(coerced)
 

@@ -22,11 +22,17 @@ is provided by :mod:`repro.engine.persistence`.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Dict
 
 from repro.procedures.invocation import default_connection_session
 
 __all__ = ["session_state", "call_state"]
+
+# Guards lazy creation of the per-session state dicts: two threads
+# sharing one (pooled) session must not each install a fresh dict and
+# drop the other's writes.
+_CREATION_LOCK = threading.Lock()
 
 
 def session_state() -> Dict[str, Any]:
@@ -38,8 +44,11 @@ def session_state() -> Dict[str, Any]:
     session = default_connection_session()
     state = getattr(session, "_routine_session_state", None)
     if state is None:
-        state = {}
-        session._routine_session_state = state
+        with _CREATION_LOCK:
+            state = getattr(session, "_routine_session_state", None)
+            if state is None:
+                state = {}
+                session._routine_session_state = state
     return state
 
 

@@ -219,14 +219,14 @@ class ConnectedProfile:
     def get_statement(self, index: int) -> RTStatement:
         statement = self._statements.get(index)
         if statement is None:
-            _CACHE_MISSES.value += 1
+            _CACHE_MISSES.increment()
             entry = self.profile.get_entry(index)
             statement = self.customization().make_statement(
                 entry, self.session
             )
             self._statements[index] = statement
         else:
-            _CACHE_HITS.value += 1
+            _CACHE_HITS.increment()
         return statement
 
     def execute(

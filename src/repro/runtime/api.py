@@ -269,5 +269,5 @@ def fetch(iterator: SQLJIterator) -> Optional[Tuple[Any, ...]]:
     else:
         row = iterator.fetch_row()
     if row is not None:
-        _ROWS_FETCHED.value += 1
+        _ROWS_FETCHED.increment()
     return row

@@ -47,15 +47,25 @@ class ConnectionContext:
 
     Accepts a PyDBC URL, a :class:`repro.dbapi.Connection`, an engine
     :class:`Session`, or a :class:`Database` (a session is opened on it).
+
+    With ``pooled=True`` and a URL target, the underlying connection is
+    checked out of the process-wide pool for that URL (every pooled
+    context on the same URL shares one
+    :class:`repro.dbapi.pool.ConnectionPool`), and :meth:`close` returns
+    it to the pool instead of discarding the session.
     """
 
     _default_context: Optional["ConnectionContext"] = None
 
     def __init__(
-        self, target: Any = None, user: Optional[str] = None
+        self,
+        target: Any = None,
+        user: Optional[str] = None,
+        pooled: bool = False,
     ) -> None:
         self._owns_session = False
-        self.session = self._resolve(target, user)
+        self._owned_connection: Optional[Any] = None
+        self.session = self._resolve(target, user, pooled)
         self.execution_context = ExecutionContext()
         self._connected_profiles: Dict[int, ConnectedProfile] = {}
         self._closed = False
@@ -75,7 +85,9 @@ class ConnectionContext:
     def tracer(self, tracer: Optional[Any]) -> None:
         self._tracer = tracer
 
-    def _resolve(self, target: Any, user: Optional[str]) -> Session:
+    def _resolve(
+        self, target: Any, user: Optional[str], pooled: bool = False
+    ) -> Session:
         from repro.dbapi.connection import Connection
         from repro.dbapi.driver import DriverManager
 
@@ -84,9 +96,19 @@ class ConnectionContext:
         if isinstance(target, Connection):
             return target.session
         if isinstance(target, Database):
+            if pooled:
+                self._owned_connection = DriverManager.get_pool(
+                    f"pool:{target.name}", user=user, database=target
+                ).checkout()
+                return self._owned_connection.session
             self._owns_session = True
             return target.create_session(user=user, autocommit=True)
         if isinstance(target, str):
+            if pooled:
+                self._owned_connection = DriverManager.get_connection(
+                    target, user=user, pooled=True
+                )
+                return self._owned_connection.session
             self._owns_session = True
             return DriverManager.get_connection(target, user=user).session
         if target is None:
@@ -134,7 +156,7 @@ class ConnectionContext:
         self, profile: Profile, index: int, params: Sequence[Any]
     ) -> StatementResult:
         self._check_open()
-        _CLAUSES.value += 1
+        _CLAUSES.increment()
         tracer = self._tracer
         if tracer is None:
             tracer = _tracing.current
@@ -165,7 +187,10 @@ class ConnectionContext:
             return
         self._closed = True
         self._connected_profiles.clear()
-        if self._owns_session:
+        if self._owned_connection is not None:
+            # Pooled: hand the session back rather than closing it.
+            self._owned_connection.close()
+        elif self._owns_session:
             self.session.close()
         if ConnectionContext._default_context is self:
             ConnectionContext._default_context = None

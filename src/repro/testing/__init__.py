@@ -1,0 +1,18 @@
+"""Testing toolkit: deterministic fault injection, a barrier-driven
+concurrency harness, and seeded SQL workload generation.
+
+Production code never imports this package; faults reach the engine
+through the neutral hooks in :mod:`repro.faultpoints`.
+"""
+
+from repro.testing.concurrency import ConcurrentResult, run_concurrent
+from repro.testing.faults import FaultPlan, FaultRule
+from repro.testing.generators import WorkloadGenerator
+
+__all__ = [
+    "ConcurrentResult",
+    "FaultPlan",
+    "FaultRule",
+    "WorkloadGenerator",
+    "run_concurrent",
+]

@@ -1,0 +1,126 @@
+"""Barrier-driven concurrency harness.
+
+:func:`run_concurrent` launches N threads, optionally lines them all up
+on a :class:`threading.Barrier` so their first operation races for real
+(without the barrier, thread 0 often finishes before thread N-1 even
+starts), and collects every per-thread return value and exception.
+Nothing is swallowed and nothing can hang the test process: worker
+exceptions are captured and re-raisable via :meth:`ConcurrentResult.raise_first`,
+and both the barrier and the join carry timeouts.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, List, Optional, Sequence, Union
+
+__all__ = ["ConcurrentResult", "run_concurrent"]
+
+
+class ConcurrentResult:
+    """Outcome of a :func:`run_concurrent` run.
+
+    ``values[i]`` / ``errors[i]`` are thread *i*'s return value and
+    captured exception (exactly one of the pair is meaningful).
+    """
+
+    def __init__(
+        self,
+        values: List[Any],
+        errors: List[Optional[BaseException]],
+        stragglers: int,
+    ) -> None:
+        self.values = values
+        self.errors = errors
+        #: threads that failed to finish within the join timeout.
+        self.stragglers = stragglers
+
+    @property
+    def failures(self) -> List[BaseException]:
+        return [exc for exc in self.errors if exc is not None]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures and not self.stragglers
+
+    def raise_first(self) -> "ConcurrentResult":
+        """Re-raise the first captured exception, if any (chainable)."""
+        if self.stragglers:
+            raise TimeoutError(
+                f"{self.stragglers} worker thread(s) did not finish"
+            )
+        for exc in self.errors:
+            if exc is not None:
+                raise exc
+        return self
+
+
+def run_concurrent(
+    n_threads: int,
+    ops: Union[Callable[[int], Any], Sequence[Callable[[], Any]]],
+    *,
+    barrier: bool = True,
+    repeat: int = 1,
+    timeout: float = 60.0,
+) -> ConcurrentResult:
+    """Run ``ops`` across ``n_threads`` threads and collect outcomes.
+
+    ``ops`` is either one callable invoked as ``ops(thread_index)`` on
+    every thread, or a sequence of ``n_threads`` zero-argument callables
+    (one per thread).  With ``barrier=True`` (the default) all threads
+    rendezvous before their first call, maximising real interleaving.
+    ``repeat`` reruns each thread's op that many times, returning the
+    list of per-iteration results as the thread's value; the first
+    exception stops that thread's loop and is recorded.
+    """
+    if n_threads < 1:
+        raise ValueError("n_threads must be >= 1")
+    if callable(ops):
+        workers = [
+            (lambda i=i: ops(i)) for i in range(n_threads)
+        ]
+    else:
+        workers = list(ops)
+        if len(workers) != n_threads:
+            raise ValueError(
+                f"got {len(workers)} ops for {n_threads} threads"
+            )
+
+    start = (
+        threading.Barrier(n_threads) if barrier and n_threads > 1 else None
+    )
+    values: List[Any] = [None] * n_threads
+    errors: List[Optional[BaseException]] = [None] * n_threads
+
+    def runner(index: int, work: Callable[[], Any]) -> None:
+        try:
+            if start is not None:
+                start.wait(timeout)
+            if repeat == 1:
+                values[index] = work()
+            else:
+                out = []
+                for _ in range(repeat):
+                    out.append(work())
+                values[index] = out
+        except BaseException as exc:  # noqa: BLE001 - harness captures all
+            errors[index] = exc
+            if start is not None:
+                # Don't strand threads still waiting on the barrier.
+                start.abort()
+
+    threads = [
+        threading.Thread(
+            target=runner, args=(i, work), name=f"run-concurrent-{i}",
+            daemon=True,
+        )
+        for i, work in enumerate(workers)
+    ]
+    for thread in threads:
+        thread.start()
+    stragglers = 0
+    for thread in threads:
+        thread.join(timeout)
+        if thread.is_alive():
+            stragglers += 1
+    return ConcurrentResult(values, errors, stragglers)

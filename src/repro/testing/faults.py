@@ -1,0 +1,196 @@
+"""Deterministic fault injection.
+
+A :class:`FaultPlan` is a list of rules bound to the named sites in
+:mod:`repro.faultpoints` (executor, storage, pool checkout/checkin,
+procedure invocation).  Each rule can **raise** a typed SQL error,
+**delay** execution, or **corrupt** the value flowing through a pipe
+site — governed by a *seeded* RNG, so a failing schedule replays
+exactly under the same seed and single-threaded order (under threads,
+determinism is per-interleaving; use ``times``/``after`` for exact
+multi-thread scripts).
+
+Cookbook::
+
+    plan = FaultPlan(seed=7)
+    plan.inject("storage.insert", error=errors.OperatorExecutionError,
+                probability=0.25)
+    plan.inject("pool.checkout", delay=0.01, times=3)
+    with plan.armed():
+        run_workload()
+    assert plan.fired["storage.insert"] > 0
+
+Rules fire in registration order; every fired rule is tallied in
+``plan.fired`` (site -> count).  ``error`` may be an exception class
+(instantiated with an "injected fault" message), an instance, or a
+zero-argument factory.  Omitting ``error``, ``delay`` and ``corrupt``
+still counts matches — useful as a probe that a site is reached.
+"""
+
+from __future__ import annotations
+
+import collections
+import contextlib
+import random
+import threading
+import time
+from typing import Any, Callable, Iterator, List, Optional, Union
+
+from repro import errors, faultpoints
+
+__all__ = ["FaultPlan", "FaultRule"]
+
+ErrorSpec = Union[
+    BaseException, type, Callable[[], BaseException], None
+]
+
+
+class FaultRule:
+    """One injection rule: where, what, and how often."""
+
+    def __init__(
+        self,
+        site: str,
+        *,
+        error: ErrorSpec = None,
+        delay: Optional[float] = None,
+        corrupt: Optional[Callable[[Any], Any]] = None,
+        probability: float = 1.0,
+        times: Optional[int] = None,
+        after: int = 0,
+    ) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("probability must be within [0, 1]")
+        self.site = site
+        self.error = error
+        self.delay = delay
+        self.corrupt = corrupt
+        self.probability = probability
+        self.times = times
+        self.after = after
+        self.matches = 0  # site hits considered by this rule
+        self.fired = 0  # times the rule actually fired
+
+    def _should_fire(self, rng: random.Random) -> bool:
+        self.matches += 1
+        if self.matches <= self.after:
+            return False
+        if self.times is not None and self.fired >= self.times:
+            return False
+        if self.probability < 1.0 and rng.random() >= self.probability:
+            return False
+        self.fired += 1
+        return True
+
+    def _raise_error(self, site: str) -> None:
+        spec = self.error
+        if spec is None:
+            return
+        if isinstance(spec, BaseException):
+            raise spec
+        if isinstance(spec, type) and issubclass(spec, BaseException):
+            raise spec(f"injected fault at {site!r}")
+        raise spec()
+
+
+class FaultPlan:
+    """A seeded, replayable set of fault rules."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._rules: List[FaultRule] = []
+        self._lock = threading.Lock()
+        #: site -> number of rule firings observed there.
+        self.fired: collections.Counter = collections.Counter()
+
+    # ------------------------------------------------------------------
+    # rule registration (chainable)
+    # ------------------------------------------------------------------
+    def inject(
+        self,
+        site: str,
+        *,
+        error: ErrorSpec = None,
+        delay: Optional[float] = None,
+        corrupt: Optional[Callable[[Any], Any]] = None,
+        probability: float = 1.0,
+        times: Optional[int] = None,
+        after: int = 0,
+    ) -> "FaultPlan":
+        """Add a rule for ``site``; returns ``self`` for chaining.
+
+        ``after`` skips the first N hits (fire on the N+1th onwards);
+        ``times`` caps total firings; ``probability`` gates each hit on
+        the plan's seeded RNG.
+        """
+        self._rules.append(
+            FaultRule(
+                site,
+                error=error,
+                delay=delay,
+                corrupt=corrupt,
+                probability=probability,
+                times=times,
+                after=after,
+            )
+        )
+        return self
+
+    # ------------------------------------------------------------------
+    # the faultpoints contract
+    # ------------------------------------------------------------------
+    def fire(self, site: str, value: Any = None) -> Any:
+        """Called by :mod:`repro.faultpoints` at an armed site."""
+        to_raise: Optional[FaultRule] = None
+        total_delay = 0.0
+        with self._lock:
+            for rule in self._rules:
+                if rule.site != site:
+                    continue
+                if not rule._should_fire(self._rng):
+                    continue
+                self.fired[site] += 1
+                if rule.delay:
+                    total_delay += rule.delay
+                if rule.corrupt is not None:
+                    value = rule.corrupt(value)
+                if rule.error is not None and to_raise is None:
+                    to_raise = rule
+        # Sleep and raise outside the plan lock so a delaying rule never
+        # serialises unrelated sites through the plan.
+        if total_delay:
+            time.sleep(total_delay)
+        if to_raise is not None:
+            to_raise._raise_error(site)
+        return value
+
+    # ------------------------------------------------------------------
+    # arming
+    # ------------------------------------------------------------------
+    def install(self) -> None:
+        faultpoints.install(self)
+
+    def uninstall(self) -> None:
+        if faultpoints.installed() is self:
+            faultpoints.uninstall()
+
+    @contextlib.contextmanager
+    def armed(self) -> Iterator["FaultPlan"]:
+        """Arm the plan for the duration of a ``with`` block."""
+        self.install()
+        try:
+            yield self
+        finally:
+            self.uninstall()
+
+    # ------------------------------------------------------------------
+    # replay support
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Rewind counters and reseed the RNG for an exact replay."""
+        with self._lock:
+            self._rng = random.Random(self.seed)
+            self.fired.clear()
+            for rule in self._rules:
+                rule.matches = 0
+                rule.fired = 0

@@ -1,0 +1,141 @@
+"""Seeded SQL workload generation.
+
+:class:`WorkloadGenerator` emits a stream of SELECT / INSERT / UPDATE /
+DELETE statements over one fixed table, drawn from a ``random.Random``
+seeded at construction — the same seed always yields the same workload,
+so a differential or property failure replays exactly from its printed
+seed.
+
+The generated dialect is the intersection the differential harness
+needs: every statement is valid both for the repro engine and for
+stdlib ``sqlite3``.  That rules out a few constructs on purpose:
+
+* only INTEGER and VARCHAR columns (no CHAR pad semantics, no float
+  rounding);
+* no division (divide-by-zero taxonomies differ);
+* no LIMIT without ORDER BY (result would be legitimately
+  non-deterministic) — generated SELECTs carry no LIMIT at all, since
+  results are compared as multisets.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+__all__ = ["WorkloadGenerator"]
+
+_LABELS = ["alpha", "beta", "gamma", "delta", "epsilon", "zeta"]
+
+
+class WorkloadGenerator:
+    """Deterministic single-table SELECT/DML statement stream."""
+
+    #: (name, type) schema shared by every generated workload.
+    COLUMNS: Tuple[Tuple[str, str], ...] = (
+        ("id", "INTEGER"),
+        ("grp", "INTEGER"),
+        ("amount", "INTEGER"),
+        ("label", "VARCHAR(16)"),
+    )
+
+    def __init__(self, seed: int = 0, table: str = "workload") -> None:
+        self.seed = seed
+        self.table = table
+        self.rng = random.Random(seed)
+        self._next_id = 1
+
+    # ------------------------------------------------------------------
+    # schema / seed data
+    # ------------------------------------------------------------------
+    def ddl(self) -> str:
+        cols = ", ".join(f"{name} {typ}" for name, typ in self.COLUMNS)
+        return f"CREATE TABLE {self.table} ({cols})"
+
+    def seed_statements(self, rows: int = 20) -> List[str]:
+        return [self.insert() for _ in range(rows)]
+
+    # ------------------------------------------------------------------
+    # statement constructors (each is itself deterministic given the RNG)
+    # ------------------------------------------------------------------
+    def _label_literal(self) -> str:
+        if self.rng.random() < 0.15:
+            return "NULL"
+        return f"'{self.rng.choice(_LABELS)}'"
+
+    def insert(self) -> str:
+        row_id = self._next_id
+        self._next_id += 1
+        grp = self.rng.randint(0, 4)
+        amount = self.rng.randint(-50, 150)
+        return (
+            f"INSERT INTO {self.table} (id, grp, amount, label) "
+            f"VALUES ({row_id}, {grp}, {amount}, {self._label_literal()})"
+        )
+
+    def _predicate(self) -> str:
+        choice = self.rng.randrange(6)
+        if choice == 0:
+            return f"grp = {self.rng.randint(0, 4)}"
+        if choice == 1:
+            return f"amount > {self.rng.randint(-50, 150)}"
+        if choice == 2:
+            return f"amount < {self.rng.randint(-50, 150)}"
+        if choice == 3:
+            return f"label = '{self.rng.choice(_LABELS)}'"
+        if choice == 4:
+            return "label IS NULL"
+        return f"id <= {self.rng.randint(1, max(1, self._next_id - 1))}"
+
+    def _where(self) -> str:
+        roll = self.rng.random()
+        if roll < 0.25:
+            return ""
+        first = self._predicate()
+        if roll < 0.70:
+            return f" WHERE {first}"
+        joiner = self.rng.choice(["AND", "OR"])
+        return f" WHERE {first} {joiner} {self._predicate()}"
+
+    def select(self) -> str:
+        choice = self.rng.randrange(4)
+        if choice == 0:
+            projection = "*"
+        elif choice == 1:
+            names = [name for name, _ in self.COLUMNS]
+            take = self.rng.randint(1, len(names))
+            projection = ", ".join(self.rng.sample(names, take))
+        elif choice == 2:
+            projection = "COUNT(*)"
+        else:
+            projection = "SUM(amount)"
+        return f"SELECT {projection} FROM {self.table}{self._where()}"
+
+    def update(self) -> str:
+        if self.rng.random() < 0.5:
+            assignment = f"amount = amount + {self.rng.randint(1, 25)}"
+        else:
+            assignment = f"label = {self._label_literal()}"
+        return f"UPDATE {self.table} SET {assignment}{self._where()}"
+
+    def delete(self) -> str:
+        # Always predicated: an unconditional DELETE empties the table
+        # and makes the rest of the workload trivially agree on nothing.
+        return f"DELETE FROM {self.table} WHERE {self._predicate()}"
+
+    # ------------------------------------------------------------------
+    # mixed stream
+    # ------------------------------------------------------------------
+    def statement(self) -> str:
+        """One weighted-random statement (select-heavy, rare deletes)."""
+        roll = self.rng.random()
+        if roll < 0.45:
+            return self.select()
+        if roll < 0.70:
+            return self.insert()
+        if roll < 0.92:
+            return self.update()
+        return self.delete()
+
+    def statements(self, count: int) -> List[str]:
+        return [self.statement() for _ in range(count)]

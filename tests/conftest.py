@@ -8,7 +8,8 @@ import os
 
 import pytest
 
-from repro.dbapi.driver import registry
+from repro import faultpoints
+from repro.dbapi.driver import DriverManager, registry
 from repro.engine import Database
 from repro.procedures import build_par
 from repro.runtime import ConnectionContext
@@ -18,8 +19,11 @@ from tests import paper_assets
 
 @pytest.fixture(autouse=True)
 def _clean_global_state():
-    """Isolate tests from the process-wide registry and default context."""
+    """Isolate tests from the process-wide registry, shared connection
+    pools, armed fault plans, and the default connection context."""
     yield
+    faultpoints.uninstall()
+    DriverManager.shutdown_pools()
     registry.clear()
     ConnectionContext.set_default_context(None)
 

@@ -406,3 +406,76 @@ class TestOperatorErrors:
                                 deny), shape=None)
         with pytest.raises(errors.DataError):
             plan.run(emps)
+
+
+class TestMetricsConcurrency:
+    """Regression: counter/histogram updates used to be bare
+    ``value += n`` read-modify-writes, which lost increments when
+    threads interleaved.  Totals must now be exact, and a concurrent
+    ``snapshot()`` must never see a histogram whose count and sum
+    disagree."""
+
+    def test_counter_increments_are_exact_under_threads(self):
+        from repro.testing import run_concurrent
+
+        reg = MetricsRegistry()
+        counter = reg.counter("hammered")
+        threads, per_thread = 16, 2000
+
+        def hammer(_i):
+            for _ in range(per_thread):
+                counter.increment()
+
+        run_concurrent(threads, hammer).raise_first()
+        assert counter.value == threads * per_thread
+
+    def test_histogram_totals_exact_and_snapshots_consistent(self):
+        from repro.testing import run_concurrent
+
+        reg = MetricsRegistry()
+        histogram = reg.histogram("latency")
+        threads, per_thread = 8, 1000
+        torn = []
+
+        def observe(_i):
+            for _ in range(per_thread):
+                histogram.observe(2.0)
+
+        def snapshot(_i):
+            for _ in range(300):
+                summary = reg.snapshot()["histograms"]["latency"]
+                # Every value is 2.0, so sum must equal 2 * count in
+                # every snapshot, not just the final one.
+                if summary["sum"] != 2.0 * summary["count"]:
+                    torn.append(summary)
+
+        ops = [
+            (lambda i=i: observe(i)) if i < threads
+            else (lambda i=i: snapshot(i))
+            for i in range(threads + 4)
+        ]
+        run_concurrent(threads + 4, ops).raise_first()
+        assert not torn, f"inconsistent snapshots: {torn[:3]}"
+        summary = histogram.summary()
+        assert summary["count"] == threads * per_thread
+        assert summary["sum"] == 2.0 * threads * per_thread
+        assert summary["min"] == summary["max"] == 2.0
+
+    def test_registry_reset_under_concurrent_increments(self):
+        from repro.testing import run_concurrent
+
+        reg = MetricsRegistry()
+        counter = reg.counter("resettable")
+
+        def bump(_i):
+            for _ in range(500):
+                counter.increment()
+
+        def reset(_i):
+            for _ in range(50):
+                reg.reset()
+
+        ops = [(lambda: bump(0)), (lambda: bump(1)), (lambda: reset(2))]
+        run_concurrent(3, ops).raise_first()
+        reg.reset()
+        assert counter.value == 0
