@@ -1,0 +1,308 @@
+"""Standalone benchmark runner for the fast-path query work.
+
+Runs the three acceptance experiments from the performance PR and
+writes ``BENCH_<date>.json`` next to this file:
+
+* **hash_join** — N x N equality join, HashJoin vs NestedLoopJoin
+  (``PlannerOptions.hash_joins`` off);
+* **index_lookup** — repeated point lookups on an N-row table, with and
+  without a secondary index (plan cache ON in both arms, fixed literal
+  SQL, so the delta is purely scan vs probe);
+* **plan_cache** — the same small statement executed repeatedly against
+  a cache-enabled and a cache-disabled engine.
+
+Each experiment records wall time, rows/sec, speedup, and the
+plan-cache hit rate observed during the run.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_all.py           # full sizes
+    PYTHONPATH=src python benchmarks/run_all.py --smoke   # CI: small +
+                                                          # exit 1 if the
+                                                          # cached path is
+                                                          # < 2x dynamic
+
+The full run demonstrates the PR's acceptance numbers (HashJoin >= 10x,
+IndexScan >= 20x, plan cache >= 2x); ``--smoke`` shrinks the data so the
+whole thing finishes in seconds and enforces only the plan-cache floor,
+which is size-independent.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import datetime
+import json
+import os
+import sys
+import time
+from decimal import Decimal
+from typing import Any, Dict
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+)
+
+from repro import observability  # noqa: E402
+from repro.engine import Database  # noqa: E402
+
+
+def _hit_rate(before: Dict[str, int]) -> Dict[str, Any]:
+    after = observability.snapshot()["counters"]
+
+    def delta(name: str) -> int:
+        return after.get(name, 0) - before.get(name, 0)
+
+    hits = delta("plan_cache.hits")
+    misses = delta("plan_cache.misses")
+    total = hits + misses
+    return {
+        "plan_cache_hits": hits,
+        "plan_cache_misses": misses,
+        "plan_cache_hit_rate": (hits / total) if total else None,
+    }
+
+
+def _timed(workload) -> float:
+    start = time.perf_counter()
+    workload()
+    return time.perf_counter() - start
+
+
+# ---------------------------------------------------------------------------
+# experiments
+# ---------------------------------------------------------------------------
+
+
+def bench_hash_join(rows: int) -> Dict[str, Any]:
+    """N x N equality join: HashJoin vs NestedLoopJoin."""
+    database = Database(name="bench_hj")
+    session = database.create_session(autocommit=True)
+    session.execute("create table l (k integer, tag varchar(10))")
+    session.execute("create table r (k integer, tag varchar(10))")
+    left = database.catalog.get_table("l")
+    right = database.catalog.get_table("r")
+    for i in range(rows):
+        left.rows.append([i, f"l{i}"])
+        right.rows.append([i, f"r{i}"])
+
+    sql = "select count(*) from l join r on l.k = r.k"
+
+    def run() -> int:
+        return session.execute(sql).rows[0][0]
+
+    assert "HashJoin" in session.execute("explain " + sql).rows[0][0] \
+        or any(
+            "HashJoin" in row[0]
+            for row in session.execute("explain " + sql).rows
+        )
+    hash_seconds = _timed(run)
+    matched = run()
+    assert matched == rows
+
+    database.planner_options = dataclasses.replace(
+        database.planner_options, hash_joins=False
+    )
+    database.plan_cache.clear()
+    assert any(
+        "NestedLoopJoin" in row[0]
+        for row in session.execute("explain " + sql).rows
+    )
+    nl_seconds = _timed(run)
+    assert run() == matched
+
+    return {
+        "experiment": "hash_join",
+        "rows_per_side": rows,
+        "hash_join_seconds": hash_seconds,
+        "nested_loop_seconds": nl_seconds,
+        "speedup": nl_seconds / hash_seconds,
+        "rows_per_second_hash": rows / hash_seconds,
+        "rows_per_second_nested_loop": rows / nl_seconds,
+    }
+
+
+def bench_index_lookup(rows: int, lookups: int) -> Dict[str, Any]:
+    """Repeated point lookups: IndexScan vs SeqScan.
+
+    Both arms run with the plan cache enabled and byte-identical SQL, so
+    parse/plan cost amortises identically and the measured gap is the
+    access path alone.
+    """
+    database = Database(name="bench_ix")
+    session = database.create_session(autocommit=True)
+    session.execute("create table t (k integer, v varchar(10))")
+    table = database.catalog.get_table("t")
+    for i in range(rows):
+        table.rows.append([i, f"v{i}"])
+
+    sql = f"select v from t where k = {rows // 2}"
+
+    def run() -> None:
+        for _ in range(lookups):
+            result = session.execute(sql).rows
+            assert result == [[f"v{rows // 2}"]]
+
+    seq_seconds = _timed(run)
+
+    session.execute("create index tk on t (k)")
+    assert any(
+        "IndexScan using tk on t" in row[0]
+        for row in session.execute("explain " + sql).rows
+    )
+    before = observability.snapshot()["counters"]
+    index_seconds = _timed(run)
+    stats = _hit_rate(before)
+
+    result = {
+        "experiment": "index_lookup",
+        "table_rows": rows,
+        "lookups": lookups,
+        "seqscan_seconds": seq_seconds,
+        "indexscan_seconds": index_seconds,
+        "speedup": seq_seconds / index_seconds,
+        "lookups_per_second_indexed": lookups / index_seconds,
+    }
+    result.update(stats)
+    return result
+
+
+def bench_plan_cache(iterations: int) -> Dict[str, Any]:
+    """The same statement, repeated: plan cache on vs off.
+
+    Small table, non-trivial statement text: the repeated-statement
+    workload the cache targets, where parse + plan dominate the per-row
+    work (an OLTP point query, not an analytical scan).
+    """
+    sql = (
+        "select state, count(*) as n, sum(sales) as total from emps "
+        "where sales > 100 and state <> 'XX' "
+        "group by state having count(*) > 0 order by total desc limit 5"
+    )
+
+    def build(cache_size: int) -> Any:
+        database = Database(
+            name=f"bench_pc_{cache_size}", plan_cache_size=cache_size
+        )
+        session = database.create_session(autocommit=True)
+        session.execute(
+            "create table emps (name varchar(50), state char(20), "
+            "sales decimal(8,2))"
+        )
+        table = database.catalog.get_table("emps")
+        for i in range(50):
+            table.rows.append(
+                [f"Emp{i}", f"S{i % 10}".ljust(20), Decimal(i * 10)]
+            )
+        return session
+
+    cached_session = build(128)
+    uncached_session = build(0)
+
+    def run(session) -> None:
+        for _ in range(iterations):
+            session.execute(sql)
+
+    uncached_seconds = _timed(lambda: run(uncached_session))
+    before = observability.snapshot()["counters"]
+    cached_seconds = _timed(lambda: run(cached_session))
+    stats = _hit_rate(before)
+
+    result = {
+        "experiment": "plan_cache",
+        "iterations": iterations,
+        "uncached_seconds": uncached_seconds,
+        "cached_seconds": cached_seconds,
+        "speedup": uncached_seconds / cached_seconds,
+        "statements_per_second_cached": iterations / cached_seconds,
+    }
+    result.update(stats)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# driver
+# ---------------------------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small datasets; exit 1 if the plan cache is < 2x",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="path for the JSON report (default: BENCH_<date>.json "
+        "next to this script)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        sizes = {"join_rows": 1000, "table_rows": 2000,
+                 "lookups": 200, "iterations": 500}
+    else:
+        sizes = {"join_rows": 10_000, "table_rows": 10_000,
+                 "lookups": 500, "iterations": 2000}
+
+    results = []
+    for name, run in (
+        ("hash_join", lambda: bench_hash_join(sizes["join_rows"])),
+        ("index_lookup", lambda: bench_index_lookup(
+            sizes["table_rows"], sizes["lookups"])),
+        ("plan_cache", lambda: bench_plan_cache(sizes["iterations"])),
+    ):
+        print(f"running {name} ...", flush=True)
+        outcome = run()
+        print(
+            f"  {name}: speedup {outcome['speedup']:.1f}x "
+            f"({outcome})",
+            flush=True,
+        )
+        results.append(outcome)
+
+    stamp = datetime.date.today().isoformat()
+    output = args.output or os.path.join(
+        os.path.dirname(os.path.abspath(__file__)),
+        os.pardir,
+        f"BENCH_{stamp}.json",
+    )
+    payload = {
+        "date": stamp,
+        "mode": "smoke" if args.smoke else "full",
+        "sizes": sizes,
+        "experiments": results,
+    }
+    with open(output, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {os.path.abspath(output)}")
+
+    failures = []
+    by_name = {r["experiment"]: r for r in results}
+    if by_name["plan_cache"]["speedup"] < 2.0:
+        failures.append(
+            f"plan cache speedup {by_name['plan_cache']['speedup']:.2f}x "
+            "< 2x floor"
+        )
+    if not args.smoke:
+        if by_name["hash_join"]["speedup"] < 10.0:
+            failures.append(
+                f"hash join speedup "
+                f"{by_name['hash_join']['speedup']:.2f}x < 10x floor"
+            )
+        if by_name["index_lookup"]["speedup"] < 20.0:
+            failures.append(
+                f"index lookup speedup "
+                f"{by_name['index_lookup']['speedup']:.2f}x < 20x floor"
+            )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

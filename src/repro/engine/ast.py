@@ -22,7 +22,8 @@ __all__ = [
     "SelectItem", "StarItem", "TableName", "SubqueryRef", "Join", "OrderItem",
     "Select", "SetOperation", "ValuesSource", "Insert", "AttributePath",
     "Assignment", "Update", "Delete", "ColumnDef", "CreateTable",
-    "CreateView", "AlterTable", "Drop", "ParamDef", "CreateRoutine", "AttrDef", "MethodDef",
+    "CreateView", "AlterTable", "CreateIndex", "Drop", "ParamDef",
+    "CreateRoutine", "AttrDef", "MethodDef",
     "OrderingSpec", "CreateType", "Grant", "Revoke", "Call", "Commit",
     "Explain", "Rollback", "Savepoint", "RollbackTo",
     "ReleaseSavepoint", "QueryExpr",
@@ -355,8 +356,17 @@ class AlterTable(Statement):
 
 
 @dataclass
+class CreateIndex(Statement):
+    """CREATE INDEX <name> ON <table> (<column> [, <column> ...])."""
+
+    name: str
+    table: str
+    columns: List[str] = field(default_factory=list)
+
+
+@dataclass
 class Drop(Statement):
-    kind: str  # TABLE, VIEW, PROCEDURE, FUNCTION, TYPE
+    kind: str  # TABLE, VIEW, PROCEDURE, FUNCTION, TYPE, INDEX
     name: str
     if_exists: bool = False
 

@@ -51,6 +51,9 @@ class Table:
         self.columns = columns
         self.owner = owner
         self.rows: List[List[Any]] = []
+        #: secondary indexes over this table (engine.indexes.Index),
+        #: maintained by RowStore DML and rebuilt on ALTER TABLE.
+        self.indexes: List[Any] = []
         self._column_index = {c.name: i for i, c in enumerate(columns)}
         if len(self._column_index) != len(columns):
             raise errors.DuplicateObjectError(
@@ -301,6 +304,18 @@ class Catalog:
         self.routines: Dict[str, Routine] = {}
         self.types: Dict[str, UserDefinedType] = {}
         self.pars: Dict[str, InstalledPar] = {}
+        #: index name -> Index; each is also listed on its table.
+        self.indexes: Dict[str, Any] = {}
+        #: monotonically increasing schema version.  Every catalog
+        #: mutation (DDL, grants) bumps it; the plan cache and prepared
+        #: statements compare it to detect stale plans.
+        self.version = 0
+
+    def bump_version(self) -> int:
+        """Record a schema/privilege change; returns the new version."""
+        with self._lock:
+            self.version += 1
+            return self.version
 
     # -- tables / views ---------------------------------------------------
     def create_table(self, table: Table) -> None:
@@ -311,15 +326,21 @@ class Catalog:
                     f"table or view {key!r} already exists"
                 )
             self.tables[key] = table
+            self.version += 1
 
     def drop_table(self, name: str) -> Table:
         with self._lock:
             try:
-                return self.tables.pop(name)
+                table = self.tables.pop(name)
             except KeyError:
                 raise errors.UndefinedTableError(
                     f"table {name!r} does not exist"
                 ) from None
+            for index in list(table.indexes):
+                self.indexes.pop(index.name, None)
+            table.indexes = []
+            self.version += 1
+            return table
 
     def get_table(self, name: str) -> Table:
         try:
@@ -336,15 +357,52 @@ class Catalog:
                     f"table or view {view.name!r} already exists"
                 )
             self.views[view.name] = view
+            self.version += 1
 
     def drop_view(self, name: str) -> View:
         with self._lock:
             try:
-                return self.views.pop(name)
+                view = self.views.pop(name)
             except KeyError:
                 raise errors.UndefinedObjectError(
                     f"view {name!r} does not exist"
                 ) from None
+            self.version += 1
+            return view
+
+    # -- indexes -----------------------------------------------------------
+    def create_index(self, index: Any) -> None:
+        with self._lock:
+            if index.name in self.indexes:
+                raise errors.DuplicateObjectError(
+                    f"index {index.name!r} already exists"
+                )
+            self.indexes[index.name] = index
+            index.table.indexes.append(index)
+            self.version += 1
+
+    def drop_index(self, name: str) -> Any:
+        with self._lock:
+            try:
+                index = self.indexes.pop(name)
+            except KeyError:
+                raise errors.UndefinedObjectError(
+                    f"index {name!r} does not exist"
+                ) from None
+            try:
+                index.table.indexes.remove(index)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+            self.version += 1
+            return index
+
+    def get_index(self, name: str) -> Any:
+        try:
+            return self.indexes[name]
+        except KeyError:
+            raise errors.UndefinedObjectError(
+                f"index {name!r} does not exist"
+            ) from None
 
     def get_relation(self, name: str):
         """Return the Table or View called ``name``."""
@@ -364,15 +422,18 @@ class Catalog:
                     f"routine {routine.name!r} already exists"
                 )
             self.routines[routine.name] = routine
+            self.version += 1
 
     def drop_routine(self, name: str) -> Routine:
         with self._lock:
             try:
-                return self.routines.pop(name)
+                routine = self.routines.pop(name)
             except KeyError:
                 raise errors.UndefinedRoutineError(
                     f"routine {name!r} does not exist"
                 ) from None
+            self.version += 1
+            return routine
 
     def get_routine(self, name: str) -> Routine:
         try:
@@ -396,6 +457,7 @@ class Catalog:
                     f"type {udt.name!r} already exists"
                 )
             self.types[udt.name] = udt
+            self.version += 1
 
     def drop_type(self, name: str) -> UserDefinedType:
         with self._lock:
@@ -414,7 +476,9 @@ class Catalog:
                             f"type {name!r} is used by table "
                             f"{table.name!r}"
                         )
-            return self.types.pop(name)
+            udt = self.types.pop(name)
+            self.version += 1
+            return udt
 
     def get_type(self, name: str) -> UserDefinedType:
         try:
@@ -448,15 +512,18 @@ class Catalog:
                     f"archive {par.name!r} is already installed"
                 )
             self.pars[par.name] = par
+            self.version += 1
 
     def remove_par(self, name: str) -> InstalledPar:
         with self._lock:
             try:
-                return self.pars.pop(name)
+                par = self.pars.pop(name)
             except KeyError:
                 raise errors.UndefinedParError(
                     f"archive {name!r} is not installed"
                 ) from None
+            self.version += 1
+            return par
 
     def get_par(self, name: str) -> InstalledPar:
         try:

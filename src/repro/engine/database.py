@@ -28,7 +28,8 @@ from repro.engine.executor import QueryPlan
 from repro.engine.expressions import RowShape
 from repro.engine.locks import ReadWriteLock
 from repro.engine.parser import Parser
-from repro.engine.planner import plan_query
+from repro.engine.plancache import CachedPlan, PlanCache
+from repro.engine.planner import DEFAULT_PLANNER_OPTIONS, plan_query
 from repro.engine.privileges import PrivilegeManager
 from repro.engine.storage import TransactionLog
 from repro.sqltypes import ObjectType
@@ -119,13 +120,27 @@ class PreparedStatementPlan:
         self.statement = Parser(sql, session.database.dialect) \
             .parse_statement()
         self._query_plan: Optional[QueryPlan] = None
+        self._plan_version = -1
         if isinstance(self.statement, (ast.Select, ast.SetOperation)):
             # Planning reads the catalog, so it must not race a DDL
             # statement rewriting it.
             with session.database.lock.read():
-                self._query_plan, self._shape = plan_query(
-                    self.statement, session
-                )
+                self._replan()
+
+    def _replan(self) -> None:
+        """(Re)plan the query; caller holds the shared lock."""
+        self._query_plan, self._shape = plan_query(
+            self.statement, self.session
+        )
+        self._plan_version = self.session.catalog.version
+
+    def _run_planned(self, params: Sequence[Any]) -> List[List[Any]]:
+        """Execute under the already-held shared lock, replanning if the
+        catalog changed since the statement was prepared (DDL between
+        executions: new indexes, dropped columns, revoked privileges)."""
+        if self._plan_version != self.session.catalog.version:
+            self._replan()
+        return self._query_plan.run(self.session, params)
 
     def execute(self, params: Sequence[Any] = ()) -> StatementResult:
         if self._query_plan is not None:
@@ -140,7 +155,7 @@ class PreparedStatementPlan:
             if not tracer.enabled:
                 try:
                     with lock.read():
-                        rows = self._query_plan.run(self.session, params)
+                        rows = self._run_planned(params)
                         result = self.session.finish_rowset(
                             rows, self._shape
                         )
@@ -153,7 +168,7 @@ class PreparedStatementPlan:
                 start = time.perf_counter()
                 try:
                     with tracer.span("execute"), lock.read():
-                        rows = self._query_plan.run(self.session, params)
+                        rows = self._run_planned(params)
                 except errors.SQLException as exc:
                     _metrics.increment(f"errors.{exc.sqlstate}")
                     raise
@@ -172,6 +187,7 @@ class Database:
         name: str = "db",
         dialect: Union[str, Dialect] = STANDARD,
         admin_user: str = "dba",
+        plan_cache_size: int = 128,
     ) -> None:
         if isinstance(dialect, str):
             try:
@@ -188,6 +204,14 @@ class Database:
         #: Statement-granularity reader-writer lock: queries share it,
         #: mutating statements hold it exclusively (see engine/locks.py).
         self.lock = ReadWriteLock()
+        #: Compiled SELECT plans keyed by (sql, dialect, user), invalidated
+        #: by catalog-version bumps.  ``plan_cache_size=0`` disables it.
+        self.plan_cache: Optional[PlanCache] = (
+            PlanCache(plan_cache_size) if plan_cache_size > 0 else None
+        )
+        #: Feature switches for the planner's fast-path rewrites
+        #: (pushdown / index scans / hash joins); see engine/planner.py.
+        self.planner_options = DEFAULT_PLANNER_OPTIONS
         self._bootstrap()
 
     def _bootstrap(self) -> None:
@@ -278,13 +302,122 @@ class Session:
         """Parse and execute one statement."""
         self._check_open()
         tracer = _tracing.current
+        cache = self.database.plan_cache
+        key = (sql, self.dialect.name, self.user)
+        if cache is not None:
+            # Optimistic peek before parsing: a hit skips the parser and
+            # planner entirely.  The catalog version is re-validated under
+            # the shared lock in _execute_query_cached, so a DDL statement
+            # racing this peek can at worst force a replan, never a stale
+            # execution.  peek (not get): the statement may turn out to
+            # be uncacheable DML, which must not count as a miss.
+            entry = cache.peek(key, self.catalog.version)
+            if entry is not None:
+                return self._execute_query_cached(
+                    sql, key, entry.statement, entry, params
+                )
         if not tracer.enabled:
             statement = Parser(sql, self.dialect).parse_statement()
+            if cache is not None and isinstance(
+                statement, (ast.Select, ast.SetOperation)
+            ):
+                return self._execute_query_cached(
+                    sql, key, statement, None, params
+                )
             return self.execute_statement(statement, params)
         with tracer.span("statement", sql=sql):
             with tracer.span("parse"):
                 statement = Parser(sql, self.dialect).parse_statement()
+            if cache is not None and isinstance(
+                statement, (ast.Select, ast.SetOperation)
+            ):
+                return self._execute_query_cached(
+                    sql, key, statement, None, params, in_span=True
+                )
             return self.execute_statement(statement, params)
+
+    def _execute_query_cached(
+        self,
+        sql: str,
+        key: Any,
+        statement: ast.Statement,
+        entry: Optional[CachedPlan],
+        params: Sequence[Any],
+        in_span: bool = False,
+    ) -> StatementResult:
+        """Run a SELECT/set-operation through the plan cache.
+
+        Mirrors :meth:`execute_statement` exactly (counters, shared lock,
+        statement-level atomicity, autocommit, error accounting), but
+        reuses the cached plan instead of replanning — or plans once and
+        stores the result.  ``entry`` is None on a cache miss.
+        """
+        cache = self.database.plan_cache
+        if entry is None:
+            cache.miss()
+        counter = _STATEMENT_COUNTERS.get(statement.__class__)
+        if counter is None:
+            counter = _statement_counter(statement.__class__)
+        counter.increment()
+        tracer = _tracing.current
+        timed = tracer.enabled
+        start = time.perf_counter() if timed else 0.0
+
+        def run_locked() -> StatementResult:
+            # Holding the shared lock: DDL (which takes the lock
+            # exclusively) cannot change the catalog under us, so this
+            # version check is authoritative.
+            local = entry
+            mark = self.transaction_log.position()
+            try:
+                version = self.catalog.version
+                if local is None or local.catalog_version != version:
+                    if timed:
+                        with tracer.span("plan"):
+                            plan, shape = plan_query(statement, self)
+                    else:
+                        plan, shape = plan_query(statement, self)
+                    local = CachedPlan(statement, plan, shape, version)
+                    cache.put(key, local)
+                if timed:
+                    with tracer.span("execute"):
+                        rows = local.plan.run(self, params)
+                    with tracer.span("fetch"):
+                        result = self.finish_rowset(rows, local.shape)
+                else:
+                    rows = local.plan.run(self, params)
+                    result = self.finish_rowset(rows, local.shape)
+            except BaseException:
+                if self.transaction_log.position() > mark:
+                    self.transaction_log.rollback_to_position(mark)
+                raise
+            if (
+                self.autocommit
+                and self._routine_depth == 0
+                and self.transaction_log.active
+            ):
+                self.transaction_log.commit()
+            return result
+
+        lock = self.database.lock
+        try:
+            if not timed or in_span:
+                # Untraced, or the caller already opened the
+                # statement/parse spans.
+                with lock.read():
+                    result = run_locked()
+            else:
+                # Cache hit before parsing: no parse span to emit.
+                with tracer.span("statement", sql=sql, cached=True):
+                    with lock.read():
+                        result = run_locked()
+        except errors.SQLException as exc:
+            _metrics.increment(f"errors.{exc.sqlstate}")
+            raise
+        if timed:
+            _STATEMENT_SECONDS.observe(time.perf_counter() - start)
+        _ROWS_RETURNED.increment(len(result.rows))
+        return result
 
     def prepare(self, sql: str) -> PreparedStatementPlan:
         """Parse (and for queries, plan) once for repeated execution."""
@@ -382,6 +515,9 @@ class Session:
             return StatementResult("ddl")
         if isinstance(statement, ast.AlterTable):
             ddl.execute_alter_table(statement, self)
+            return StatementResult("ddl")
+        if isinstance(statement, ast.CreateIndex):
+            ddl.execute_create_index(statement, self)
             return StatementResult("ddl")
         if isinstance(statement, ast.CreateRoutine):
             self.database._execute_create_routine(statement, self)

@@ -14,12 +14,15 @@ from typing import Any
 from repro import errors
 from repro.engine import ast
 from repro.engine.catalog import Column, Table, View
+from repro.engine.indexes import Index
 from repro.engine.planner import plan_query
+from repro.sqltypes import ObjectType
 
 __all__ = [
     "execute_create_table",
     "execute_alter_table",
     "execute_create_view",
+    "execute_create_index",
     "execute_drop",
     "execute_grant",
     "execute_revoke",
@@ -98,11 +101,24 @@ def execute_alter_table(stmt: ast.AlterTable, session: Any) -> None:
                     "default would duplicate the default value"
                 )
         table.add_column(column, fill)
+        _refresh_indexes(session, table)
         return
 
     assert stmt.action == "DROP"
     assert stmt.column_name is not None
+    # Indexes covering the dropped column are dropped with it; the rest
+    # are rebuilt because column positions shift.
+    for index in list(table.indexes):
+        if index.covers_column(stmt.column_name):
+            session.catalog.drop_index(index.name)
     table.remove_column(stmt.column_name)
+    _refresh_indexes(session, table)
+
+
+def _refresh_indexes(session: Any, table: Table) -> None:
+    for index in table.indexes:
+        index.rebuild()
+    session.catalog.bump_version()
 
 
 def execute_create_view(stmt: ast.CreateView, session: Any) -> None:
@@ -112,6 +128,28 @@ def execute_create_view(stmt: ast.CreateView, session: Any) -> None:
     session.catalog.create_view(
         View(stmt.name, stmt.query, session.user, stmt.column_names)
     )
+
+
+def execute_create_index(stmt: ast.CreateIndex, session: Any) -> None:
+    """CREATE INDEX: validate, build from existing rows, register."""
+    catalog = session.catalog
+    table = catalog.get_table(stmt.table)
+    _require_ownership(session, table.owner, "TABLE", stmt.table)
+    seen = set()
+    for column_name in stmt.columns:
+        position = table.column_position(column_name)  # raises if absent
+        if column_name in seen:
+            raise errors.SQLSyntaxError(
+                f"column {column_name!r} listed twice in index "
+                f"{stmt.name!r}"
+            )
+        seen.add(column_name)
+        if isinstance(table.columns[position].descriptor, ObjectType):
+            raise errors.FeatureNotSupportedError(
+                f"cannot index object column {column_name!r}: "
+                "user-defined types have no total hashable order"
+            )
+    catalog.create_index(Index(stmt.name, table, stmt.columns))
 
 
 def execute_drop(stmt: ast.Drop, session: Any) -> None:
@@ -147,6 +185,12 @@ def execute_drop(stmt: ast.Drop, session: Any) -> None:
         _require_ownership(session, udt.owner, "DATATYPE", stmt.name)
         catalog.drop_type(stmt.name)
         privileges.drop_object("DATATYPE", stmt.name)
+    elif kind == "INDEX":
+        index = catalog.get_index(stmt.name)
+        _require_ownership(
+            session, index.table.owner, "TABLE", stmt.name
+        )
+        catalog.drop_index(stmt.name)
     else:  # pragma: no cover - parser restricts kinds
         raise errors.FeatureNotSupportedError(f"cannot DROP {kind}")
 
@@ -184,6 +228,9 @@ def execute_grant(stmt: ast.Grant, session: Any) -> None:
         grantor=session.user,
         owner=owner,
     )
+    # Privileges are checked at plan time, so cached plans must not
+    # outlive a privilege change.
+    session.catalog.bump_version()
 
 
 def execute_revoke(stmt: ast.Revoke, session: Any) -> None:
@@ -196,3 +243,4 @@ def execute_revoke(stmt: ast.Revoke, session: Any) -> None:
         revoker=session.user,
         owner=owner,
     )
+    session.catalog.bump_version()

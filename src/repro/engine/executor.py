@@ -23,15 +23,21 @@ from repro.sqltypes import compare_values
 from repro.sqltypes.values import sort_key
 
 _ROWS_SCANNED = _metrics.registry.counter("rows.scanned")
+_INDEX_LOOKUPS = _metrics.registry.counter("index.lookups")
+
+#: sort_key() image of SQL NULL (see HashJoin key handling).
+_NULL_SORT_KEY = sort_key(None)
 
 __all__ = [
     "RuntimeContext",
     "Operator",
     "SingleRow",
     "SeqScan",
+    "IndexScan",
     "Filter",
     "Project",
     "NestedLoopJoin",
+    "HashJoin",
     "Sort",
     "Limit",
     "Distinct",
@@ -91,6 +97,64 @@ class SeqScan(Operator):
         snapshot = list(self.table.rows)
         _ROWS_SCANNED.increment(len(snapshot))
         return iter(snapshot)
+
+
+class IndexScan(Operator):
+    """Probe a secondary index instead of scanning the heap.
+
+    Either an equality probe over the index's full key (``equal`` holds
+    one compiled closure per key column, evaluated against the empty
+    row — they may reference parameters but no columns) or a range
+    probe on a single-column index (``lower``/``upper`` bound closures,
+    either may be absent).  A bound or probe value evaluating to NULL
+    yields no rows: no SQL comparison against NULL is TRUE.
+    """
+
+    def __init__(
+        self,
+        index: Any,
+        table: Table,
+        equal: Optional[List[Callable[[Env], Any]]] = None,
+        lower: Optional[Callable[[Env], Any]] = None,
+        upper: Optional[Callable[[Env], Any]] = None,
+        lower_inclusive: bool = True,
+        upper_inclusive: bool = True,
+        description: Optional[str] = None,
+    ) -> None:
+        self.index = index
+        self.table = table
+        self.equal = equal
+        self.lower = lower
+        self.upper = upper
+        self.lower_inclusive = lower_inclusive
+        self.upper_inclusive = upper_inclusive
+        #: SQL rendering of the probe predicate, for EXPLAIN output.
+        self.description = description
+
+    def rows(self, ctx: RuntimeContext) -> Iterator[List[Any]]:
+        _INDEX_LOOKUPS.increment()
+        env = ctx.env([])
+        if self.equal is not None:
+            values = tuple(fn(env) for fn in self.equal)
+            matches = list(self.index.lookup(values))
+        else:
+            lower = upper = None
+            if self.lower is not None:
+                lower = self.lower(env)
+                if lower is None:
+                    return iter(())
+            if self.upper is not None:
+                upper = self.upper(env)
+                if upper is None:
+                    return iter(())
+            matches = list(
+                self.index.range(
+                    lower, upper,
+                    self.lower_inclusive, self.upper_inclusive,
+                )
+            )
+        _ROWS_SCANNED.increment(len(matches))
+        return iter(matches)
 
 
 class Filter(Operator):
@@ -170,6 +234,102 @@ class NestedLoopJoin(Operator):
                     yield null_left + list(right_row)
 
 
+class HashJoin(Operator):
+    """Hash join on equality keys, for INNER/LEFT/RIGHT/FULL joins.
+
+    ``left_keys`` / ``right_keys`` are compiled against the *merged*
+    row shape but reference only their own side's columns, so each side
+    is evaluated with the other side padded with NULLs.  Keys are
+    normalised with :func:`sort_key` (``1 = 1.0 = DECIMAL '1'``, CHAR
+    pad spaces insignificant), matching SQL ``=``.
+
+    The hash table is strictly a *candidate* filter: every candidate
+    pair is re-checked with ``predicate`` — the full compiled ON
+    condition (equalities plus any residual conjuncts) — so semantics
+    are identical to :class:`NestedLoopJoin` with the same predicate.
+    That also gives graceful degradation: a build row whose key cannot
+    be hashed (exotic Part 2 object, normally rejected at plan time)
+    joins the ``loose`` list and is linearly probed; a probe row whose
+    key cannot be hashed falls back to scanning all build rows.
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        left: Operator,
+        right: Operator,
+        left_keys: List[Callable[[Env], Any]],
+        right_keys: List[Callable[[Env], Any]],
+        predicate: Optional[Callable[[Env], bool]],
+        left_width: int,
+        right_width: int,
+        description: Optional[str] = None,
+    ) -> None:
+        self.kind = kind
+        self.left = left
+        self.right = right
+        self.left_keys = left_keys
+        self.right_keys = right_keys
+        self.predicate = predicate
+        self.left_width = left_width
+        self.right_width = right_width
+        #: SQL rendering of the join keys, for EXPLAIN output.
+        self.description = description
+
+    def rows(self, ctx: RuntimeContext) -> Iterator[List[Any]]:
+        right_rows = list(self.right.rows(ctx))
+        right_matched = [False] * len(right_rows)
+        null_right = [None] * self.right_width
+        null_left = [None] * self.left_width
+        predicate = self.predicate
+        kind = self.kind
+
+        # Build: bucket right rows by normalised key.  NULL keys can
+        # never satisfy an equality, so those rows are left unbucketed
+        # (they surface only through RIGHT/FULL null extension).
+        buckets: Dict[tuple, List[Tuple[int, List[Any]]]] = {}
+        loose: List[Tuple[int, List[Any]]] = []
+        for index, right_row in enumerate(right_rows):
+            env = ctx.env(null_left + list(right_row))
+            try:
+                key = tuple(
+                    sort_key(fn(env)) for fn in self.right_keys
+                )
+                if _NULL_SORT_KEY in key:
+                    continue
+                buckets.setdefault(key, []).append((index, right_row))
+            except TypeError:
+                loose.append((index, right_row))
+
+        # Probe with left rows.
+        for left_row in self.left.rows(ctx):
+            env = ctx.env(list(left_row) + null_right)
+            try:
+                key = tuple(sort_key(fn(env)) for fn in self.left_keys)
+                if _NULL_SORT_KEY in key:
+                    candidates = loose
+                else:
+                    candidates = buckets.get(key, [])
+                    if loose:
+                        candidates = candidates + loose
+            except TypeError:
+                candidates = list(enumerate(right_rows))
+            matched = False
+            for index, right_row in candidates:
+                combined = list(left_row) + list(right_row)
+                if predicate is None or predicate(ctx.env(combined)):
+                    matched = True
+                    right_matched[index] = True
+                    yield combined
+            if not matched and kind in ("LEFT", "FULL"):
+                yield list(left_row) + null_right
+
+        if kind in ("RIGHT", "FULL"):
+            for index, right_row in enumerate(right_rows):
+                if not right_matched[index]:
+                    yield null_left + list(right_row)
+
+
 class Sort(Operator):
     def __init__(
         self,
@@ -224,12 +384,40 @@ class Limit(Operator):
             yield row
 
 
+#: Skeleton placeholder for a value whose sort_key cannot be hashed.
+_UNKEYABLE = object()
+
+
+def _row_skeleton(key: tuple) -> Tuple[tuple, Tuple[int, ...]]:
+    """Hashable skeleton of a row key that itself failed to hash.
+
+    Each element becomes its :func:`sort_key` image (hashable for every
+    scalar, and normalising ``1``/``1.0``/``Decimal('1')`` to one key);
+    elements whose sort_key is unhashable too (exotic Part 2 objects)
+    become a sentinel, and their positions are returned so callers
+    linear-probe *only those positions* within a skeleton bucket —
+    turning the old O(n²) whole-row fallback into a hash lookup plus a
+    comparison over the truly incomparable values.
+    """
+    skeleton: List[Any] = []
+    loose: List[int] = []
+    for position, value in enumerate(key):
+        try:
+            image = sort_key(value)
+            hash(image)
+        except Exception:
+            image = _UNKEYABLE
+            loose.append(position)
+        skeleton.append(image)
+    return tuple(skeleton), tuple(loose)
+
+
 class _RowSet:
     """Duplicate detector tolerating unhashable (Part 2 object) values."""
 
     def __init__(self) -> None:
         self._hashed: set = set()
-        self._unhashable: List[tuple] = []
+        self._buckets: Dict[tuple, List[tuple]] = {}
 
     @staticmethod
     def _normalise(value: Any) -> Any:
@@ -253,12 +441,14 @@ class _RowSet:
             self._hashed.add(key)
             return True
         except TypeError:
-            for seen in self._unhashable:
-                if len(seen) == len(key) and all(
-                    self._values_equal(a, b) for a, b in zip(seen, key)
+            skeleton, loose = _row_skeleton(key)
+            bucket = self._buckets.setdefault(skeleton, [])
+            for seen in bucket:
+                if all(
+                    self._values_equal(seen[p], key[p]) for p in loose
                 ):
                     return False
-            self._unhashable.append(key)
+            bucket.append(key)
             return True
 
 
@@ -434,7 +624,11 @@ class GroupAggregate(Operator):
     def rows(self, ctx: RuntimeContext) -> Iterator[List[Any]]:
         groups: dict = {}
         order: List[Any] = []
-        unhashable_groups: List[Tuple[tuple, list, list]] = []
+        # Unhashable keys bucket by their _row_skeleton; within a
+        # bucket only the truly incomparable positions are probed
+        # linearly (see _row_skeleton).
+        unhashable_buckets: Dict[tuple, List[Tuple[tuple, tuple]]] = {}
+        unhashable_order: List[Tuple[list, list]] = []
 
         for row in self.child.rows(ctx):
             env = ctx.env(row)
@@ -453,31 +647,29 @@ class GroupAggregate(Operator):
                     groups[key] = state
                     order.append(key)
             except TypeError:
+                skeleton, loose = _row_skeleton(key)
+                bucket = unhashable_buckets.setdefault(skeleton, [])
                 state = None
-                for existing_key, values, accs in unhashable_groups:
+                for existing_key, existing_state in bucket:
                     if all(
-                        (a is None and b is None)
-                        or (
-                            a is not None
-                            and b is not None
-                            and compare_values(a, b) == 0
-                        )
-                        for a, b in zip(existing_key, key)
+                        _RowSet._values_equal(existing_key[p], key[p])
+                        for p in loose
                     ):
-                        state = (values, accs)
+                        state = existing_state
                         break
                 if state is None:
                     state = (
                         key_values,
                         [spec.new_accumulator() for spec in self.aggregates],
                     )
-                    unhashable_groups.append((key, state[0], state[1]))
+                    bucket.append((key, state))
+                    unhashable_order.append(state)
             for spec, accumulator in zip(self.aggregates, state[1]):
                 accumulator.add(
                     spec.argument(env) if spec.argument is not None else 0
                 )
 
-        if not groups and not unhashable_groups and not self.keys:
+        if not groups and not unhashable_order and not self.keys:
             yield [acc.result() for acc in (
                 spec.new_accumulator() for spec in self.aggregates
             )]
@@ -486,7 +678,7 @@ class GroupAggregate(Operator):
         for key in order:
             key_values, accumulators = groups[key]
             yield list(key_values) + [a.result() for a in accumulators]
-        for _key, key_values, accumulators in unhashable_groups:
+        for key_values, accumulators in unhashable_order:
             yield list(key_values) + [a.result() for a in accumulators]
 
 
@@ -577,7 +769,7 @@ class UnionOp(Operator):
 
 def operator_children(operator: Operator) -> List[Operator]:
     """The operator's input operators, in plan order."""
-    if isinstance(operator, (UnionOp, NestedLoopJoin)):
+    if isinstance(operator, (UnionOp, NestedLoopJoin, HashJoin)):
         return [operator.left, operator.right]
     child = getattr(operator, "child", None)
     return [child] if child is not None else []
@@ -671,6 +863,11 @@ def _wrap_operator_error(exc: Exception) -> errors.OperatorExecutionError:
         where = "query plan"
     elif isinstance(operator, SeqScan):
         where = f"SeqScan on {operator.table.name}"
+    elif isinstance(operator, IndexScan):
+        where = (
+            f"IndexScan using {operator.index.name} "
+            f"on {operator.table.name}"
+        )
     else:
         where = type(operator).__name__
     return errors.OperatorExecutionError(

@@ -27,6 +27,8 @@ from repro.engine.executor import (
     Distinct,
     Filter,
     GroupAggregate,
+    HashJoin,
+    IndexScan,
     Limit,
     NestedLoopJoin,
     Operator,
@@ -45,6 +47,14 @@ def describe_operator(operator: Operator) -> str:
     """One-line description of a single operator."""
     if isinstance(operator, SeqScan):
         return f"SeqScan on {operator.table.name}"
+    if isinstance(operator, IndexScan):
+        line = (
+            f"IndexScan using {operator.index.name} "
+            f"on {operator.table.name}"
+        )
+        if operator.description:
+            line = f"{line} ({operator.description})"
+        return line
     if isinstance(operator, SingleRow):
         return "Result (no table)"
     if isinstance(operator, Filter):
@@ -55,6 +65,11 @@ def describe_operator(operator: Operator) -> str:
         return f"Project ({len(operator.items)} columns)"
     if isinstance(operator, NestedLoopJoin):
         return f"NestedLoopJoin ({operator.kind})"
+    if isinstance(operator, HashJoin):
+        line = f"HashJoin ({operator.kind})"
+        if operator.description:
+            line = f"{line} ({operator.description})"
+        return line
     if isinstance(operator, Sort):
         keys = len(operator.keys)
         return f"Sort ({keys} key{'s' if keys != 1 else ''})"

@@ -1,0 +1,153 @@
+"""Secondary index structures.
+
+An :class:`Index` shadows one table with a hash map from normalised key
+tuples to the rows holding them, plus a sorted key list for range
+probes.  Keys are built with :func:`repro.sqltypes.values.sort_key`, so
+an index probe equates exactly what ``=`` equates: ``1``, ``1.0`` and
+``Decimal("1")`` share a bucket, CHAR values ignore trailing pad
+spaces, and SQL NULL never matches an equality probe (it compares
+UNKNOWN, not TRUE).
+
+Buckets hold row *objects* (the ``list`` instances stored in
+``Table.rows``), matched by identity on removal — the same convention
+:class:`repro.engine.storage.RowStore` undo closures rely on.  The
+:class:`RowStore` DML paths keep indexes synchronised and register
+symmetric undo actions, so a rolled-back statement leaves its indexes
+exactly as they were.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.sqltypes.values import sort_key
+
+__all__ = ["Index"]
+
+#: sort_key() output for SQL NULL; any key tuple containing it is kept
+#: in the structure (so rebuilds stay cheap) but equality probes skip
+#: NULL keys and range probes stop before them.
+_NULL_KEY = sort_key(None)
+
+
+class Index:
+    """A secondary index over one or more columns of a table."""
+
+    def __init__(self, name: str, table: Any,
+                 column_names: List[str]) -> None:
+        self.name = name
+        self.table = table
+        self.column_names = list(column_names)
+        #: column positions in the owning table; refreshed by rebuild()
+        #: because ALTER TABLE shifts positions.
+        self.positions: List[int] = []
+        self._buckets: Dict[tuple, List[list]] = {}
+        self._ordered: List[tuple] = []  # sorted bucket keys
+        self.rebuild()
+
+    # ------------------------------------------------------------------
+    # key construction
+    # ------------------------------------------------------------------
+    def key_of_row(self, row: List[Any]) -> tuple:
+        return tuple(sort_key(row[p]) for p in self.positions)
+
+    @staticmethod
+    def key_of_values(values: Tuple[Any, ...]) -> tuple:
+        return tuple(sort_key(v) for v in values)
+
+    @staticmethod
+    def _has_null(key: tuple) -> bool:
+        return any(part == _NULL_KEY for part in key)
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def rebuild(self) -> None:
+        """Re-derive the whole structure from the table's current rows.
+
+        Used at CREATE INDEX time (rows may predate the index) and
+        after ALTER TABLE ADD/DROP COLUMN (positions shift).
+        """
+        self.positions = [
+            self.table.column_position(name)
+            for name in self.column_names
+        ]
+        self._buckets = {}
+        for row in self.table.rows:
+            self._buckets.setdefault(
+                self.key_of_row(row), []
+            ).append(row)
+        self._ordered = sorted(self._buckets)
+
+    def add(self, row: List[Any]) -> None:
+        key = self.key_of_row(row)
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            self._buckets[key] = [row]
+            bisect.insort(self._ordered, key)
+        else:
+            bucket.append(row)
+
+    def remove(self, row: List[Any]) -> None:
+        key = self.key_of_row(row)
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            return
+        for position, candidate in enumerate(bucket):
+            if candidate is row:
+                del bucket[position]
+                break
+        if not bucket:
+            del self._buckets[key]
+            ordered_at = bisect.bisect_left(self._ordered, key)
+            if ordered_at < len(self._ordered) and \
+                    self._ordered[ordered_at] == key:
+                del self._ordered[ordered_at]
+
+    def covers_column(self, column_name: str) -> bool:
+        return column_name in self.column_names
+
+    # ------------------------------------------------------------------
+    # probes
+    # ------------------------------------------------------------------
+    def lookup(self, values: Tuple[Any, ...]) -> Iterator[list]:
+        """Rows whose key columns equal ``values`` (SQL equality)."""
+        key = self.key_of_values(values)
+        if self._has_null(key):
+            return iter(())  # NULL = anything is UNKNOWN
+        return iter(self._buckets.get(key, ()))
+
+    def range(self, lower: Optional[Any], upper: Optional[Any],
+              lower_inclusive: bool = True,
+              upper_inclusive: bool = True) -> Iterator[list]:
+        """Rows of a single-column index within [lower, upper].
+
+        ``None`` bounds mean unbounded on that side; NULL-keyed rows are
+        never yielded (no SQL comparison is TRUE for NULL).
+        """
+        lo = 0
+        if lower is not None:
+            probe = (sort_key(lower),)
+            lo = (bisect.bisect_left(self._ordered, probe)
+                  if lower_inclusive
+                  else bisect.bisect_right(self._ordered, probe))
+        hi = len(self._ordered)
+        if upper is not None:
+            probe = (sort_key(upper),)
+            hi = (bisect.bisect_right(self._ordered, probe)
+                  if upper_inclusive
+                  else bisect.bisect_left(self._ordered, probe))
+        for key in self._ordered[lo:hi]:
+            if self._has_null(key):
+                continue
+            for row in self._buckets[key]:
+                yield row
+
+    def __len__(self) -> int:
+        return sum(len(b) for b in self._buckets.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        cols = ", ".join(self.column_names)
+        return (f"<Index {self.name} on {self.table.name}({cols}) "
+                f"{len(self)} entries>")

@@ -491,9 +491,26 @@ class Parser:
             return self._create_routine()
         if self._at_keyword("TYPE"):
             return self._create_type()
+        # INDEX is a soft keyword (not reserved): it lexes as an
+        # identifier, exactly like EXPLAIN's ANALYZE.
+        if self.current.kind == Token.IDENT and \
+                self.current.value == "index":
+            return self._create_index()
         raise self._error(
             f"cannot CREATE {self.current.value!r}"
         )
+
+    def _create_index(self) -> ast.CreateIndex:
+        self._advance()  # the soft keyword INDEX
+        name = self._qualified_name()
+        self._expect_keyword("ON")
+        table = self._qualified_name()
+        self._expect_op("(")
+        columns = [self._expect_identifier("column name")]
+        while self._accept_op(","):
+            columns.append(self._expect_identifier("column name"))
+        self._expect_op(")")
+        return ast.CreateIndex(name, table, columns)
 
     def _create_table(self) -> ast.CreateTable:
         self._expect_keyword("TABLE")
@@ -806,9 +823,14 @@ class Parser:
 
     def _drop(self) -> ast.Drop:
         self._expect_keyword("DROP")
-        kind = self._expect_keyword(
-            "TABLE", "VIEW", "PROCEDURE", "FUNCTION", "TYPE"
-        )
+        if self.current.kind == Token.IDENT and \
+                self.current.value == "index":
+            self._advance()  # soft keyword, see _create_index
+            kind = "INDEX"
+        else:
+            kind = self._expect_keyword(
+                "TABLE", "VIEW", "PROCEDURE", "FUNCTION", "TYPE"
+            )
         name = self._qualified_name()
         self._accept_keyword("CASCADE", "RESTRICT")
         return ast.Drop(kind, name)

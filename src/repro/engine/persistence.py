@@ -34,6 +34,7 @@ from repro.engine.catalog import (
     View,
 )
 from repro.engine.database import Database
+from repro.engine.indexes import Index
 
 __all__ = ["save_database", "load_database", "DatabaseImage"]
 
@@ -56,6 +57,8 @@ class _TableImage:
     owner: str
     columns: List[_ColumnImage]
     rows: List[List[Any]]
+    # (index name, column names); defaulted so pre-index images load.
+    indexes: List[Tuple[str, List[str]]] = field(default_factory=list)
 
 
 @dataclass
@@ -191,6 +194,10 @@ def _image_of(database: Database) -> DatabaseImage:
                     for c in table.columns
                 ],
                 rows=[list(row) for row in table.rows],
+                indexes=[
+                    (index.name, list(index.column_names))
+                    for index in table.indexes
+                ],
             )
         )
 
@@ -333,6 +340,11 @@ def load_database(path: str) -> Database:
         table = Table(table_image.name, columns, table_image.owner)
         table.rows = [list(row) for row in table_image.rows]
         catalog.create_table(table)
+        for index_name, column_names in getattr(
+            table_image, "indexes", []
+        ):
+            index = Index(index_name, table, list(column_names))
+            catalog.create_index(index)
     for view_image in image.views:
         catalog.create_view(
             View(

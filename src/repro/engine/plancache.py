@@ -1,0 +1,139 @@
+"""Engine-level LRU plan cache.
+
+Parsing and planning dominate the cost of small queries (the per-row
+work of a point lookup is a couple of dict probes, the plan for it is a
+few thousand lines of Python), so repeated statements pay for the same
+plan over and over.  This cache keys compiled query plans by
+``(sql, dialect, user)`` and tags each entry with the catalog version it
+was planned under:
+
+* **sql** — byte-exact statement text (no normalisation; two spellings
+  of the same query are two entries);
+* **dialect** — dialect name, since it changes how the text parses;
+* **user** — privilege checks run at plan time, so a plan is only valid
+  for the user it was planned for;
+* **catalog version** — :class:`repro.engine.catalog.Catalog` bumps a
+  monotonic counter on every DDL/GRANT/REVOKE mutation; an entry whose
+  version is stale is evicted on lookup and the statement replans.
+
+Only SELECT and set-operation statements are cached (by the session
+layer): DML re-binds names per execution, EXPLAIN must plan freshly so
+EXPLAIN ANALYZE can instrument the tree in place.
+
+Thread safety: lookups and inserts take a private lock; the *plans*
+themselves are only executed under the database's reader-writer lock,
+and the session layer re-validates the catalog version after acquiring
+it, so a plan can never run against a schema it was not built for.
+
+Metrics: ``plan_cache.hits`` / ``plan_cache.misses`` /
+``plan_cache.evictions`` (both capacity and staleness evictions).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Optional, Tuple
+
+from repro.observability import metrics as _metrics
+
+__all__ = ["CachedPlan", "PlanCache"]
+
+_HITS = _metrics.registry.counter("plan_cache.hits")
+_MISSES = _metrics.registry.counter("plan_cache.misses")
+_EVICTIONS = _metrics.registry.counter("plan_cache.evictions")
+
+#: (sql text, dialect name, user)
+CacheKey = Tuple[str, str, str]
+
+
+class CachedPlan:
+    """One cached statement: parsed AST, compiled plan, output shape."""
+
+    __slots__ = ("statement", "plan", "shape", "catalog_version")
+
+    def __init__(
+        self,
+        statement: Any,
+        plan: Any,
+        shape: Any,
+        catalog_version: int,
+    ) -> None:
+        self.statement = statement
+        self.plan = plan
+        self.shape = shape
+        self.catalog_version = catalog_version
+
+
+class PlanCache:
+    """LRU cache of :class:`CachedPlan` entries."""
+
+    def __init__(self, capacity: int = 128) -> None:
+        self.capacity = capacity
+        self._entries: "OrderedDict[CacheKey, CachedPlan]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(
+        self, key: CacheKey, catalog_version: int
+    ) -> Optional[CachedPlan]:
+        """Return a fresh entry for ``key``, or None (counting a miss).
+
+        An entry planned under an older catalog version is evicted here:
+        schema, index set, or privileges changed since it was built.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                _MISSES.increment()
+                return None
+            if entry.catalog_version != catalog_version:
+                del self._entries[key]
+                _EVICTIONS.increment()
+                _MISSES.increment()
+                return None
+            self._entries.move_to_end(key)
+            _HITS.increment()
+            return entry
+
+    def peek(
+        self, key: CacheKey, catalog_version: int
+    ) -> Optional[CachedPlan]:
+        """Like :meth:`get`, but absence is not counted as a miss.
+
+        The session layer probes the cache *before parsing*, when the
+        statement may turn out not to be cacheable at all (DML, DDL);
+        counting those probes as misses would make the hit rate
+        meaningless.  The caller reports the miss through :meth:`miss`
+        once it knows the statement was a cacheable query.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            if entry.catalog_version != catalog_version:
+                del self._entries[key]
+                _EVICTIONS.increment()
+                return None
+            self._entries.move_to_end(key)
+            _HITS.increment()
+            return entry
+
+    def miss(self) -> None:
+        """Record a miss for a cacheable statement (see :meth:`peek`)."""
+        _MISSES.increment()
+
+    def put(self, key: CacheKey, entry: CachedPlan) -> None:
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                _EVICTIONS.increment()
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

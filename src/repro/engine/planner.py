@@ -5,15 +5,32 @@ star expansion), aggregate rewriting (GROUP BY keys and aggregate calls
 become columns of an intermediate shape), ORDER BY alias/position
 substitution, and privilege checks on referenced relations.
 
-The planner is deliberately rule-based (no cost model): scans feed
-nested-loop joins feed filters.  For the paper's workloads that is
-sufficient, and it keeps plans deterministic for the benchmark harness.
+The planner is rule-based (no cost model), but no longer "scans feed
+nested-loop joins" only.  Three rewrites build the fast path:
+
+* **predicate pushdown** — WHERE conjuncts are routed to the deepest
+  operator that can evaluate them: onto individual scans, through the
+  projections of simple derived tables, and into the inputs of joins
+  (with the standard outer-join restrictions: only the non-null-padded
+  side of an outer join may be filtered early);
+* **index selection** — a pushed-down sargable conjunct (``col = v``,
+  ``col < v``, ``col BETWEEN a AND b`` …) over an indexed column turns
+  its SeqScan into an :class:`IndexScan` point/range probe;
+* **hash joins** — equality join conjuncts whose two sides come from
+  the two join inputs (from ON or from pushed WHERE conjuncts) become
+  :class:`HashJoin` keys; non-equi joins and type-incompatible keys
+  fall back to :class:`NestedLoopJoin`.
+
+All three are gated by :class:`PlannerOptions`
+(``database.planner_options``) so benchmarks can A/B them; with every
+option off the planner reproduces the original scans-feed-nested-loops
+plans.  Plans remain deterministic for the benchmark harness.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, List, Optional, Sequence, Set, Tuple
 
 from repro import errors
 from repro.engine import ast
@@ -23,6 +40,8 @@ from repro.engine.executor import (
     Distinct,
     Filter,
     GroupAggregate,
+    HashJoin,
+    IndexScan,
     Limit,
     NestedLoopJoin,
     Operator,
@@ -46,8 +65,32 @@ from repro.sqltypes import (
     TypeDescriptor,
     common_supertype,
 )
+from repro.sqltypes import typecodes
 
-__all__ = ["plan_query", "table_shape"]
+__all__ = [
+    "plan_query",
+    "table_shape",
+    "PlannerOptions",
+    "DEFAULT_PLANNER_OPTIONS",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class PlannerOptions:
+    """Feature switches for the planner's fast-path rewrites."""
+
+    predicate_pushdown: bool = True
+    index_scans: bool = True
+    hash_joins: bool = True
+
+
+DEFAULT_PLANNER_OPTIONS = PlannerOptions()
+
+
+def _options(session: Any) -> PlannerOptions:
+    database = getattr(session, "database", None)
+    options = getattr(database, "planner_options", None)
+    return options if options is not None else DEFAULT_PLANNER_OPTIONS
 
 
 def _predicate_summary(expression: ast.Expression) -> Optional[str]:
@@ -61,6 +104,20 @@ def _predicate_summary(expression: ast.Expression) -> Optional[str]:
     if len(text) > 60:
         text = text[:57] + "..."
     return text
+
+
+def _conjuncts_summary(
+    conjuncts: Sequence[ast.Expression],
+) -> Optional[str]:
+    """EXPLAIN text for exactly the conjuncts an operator enforces.
+
+    Built per-operator so a pushed-down predicate is summarised on the
+    operator it actually landed on, not on the WHERE clause's original
+    position.
+    """
+    parts = [_predicate_summary(c) for c in conjuncts]
+    kept = [p for p in parts if p]
+    return " AND ".join(kept) if kept else None
 
 
 def table_shape(table: Table, alias: Optional[str] = None) -> RowShape:
@@ -155,6 +212,468 @@ def _contains_aggregate(node: Any) -> bool:
 
 
 # ---------------------------------------------------------------------------
+# Predicate pushdown: conjunct splitting and source attribution
+# ---------------------------------------------------------------------------
+
+
+def _split_conjuncts(expression: ast.Expression) -> List[ast.Expression]:
+    """Flatten a predicate's top-level AND chain into conjuncts."""
+    if isinstance(expression, ast.Binary) and expression.op == "AND":
+        return _split_conjuncts(expression.left) + _split_conjuncts(
+            expression.right
+        )
+    return [expression]
+
+
+def _and_all(conjuncts: Sequence[ast.Expression]) -> ast.Expression:
+    expression = conjuncts[0]
+    for conjunct in conjuncts[1:]:
+        expression = ast.Binary("AND", expression, conjunct)
+    return expression
+
+
+class _Scope:
+    """Name footprint of one FROM item, computed without planning it."""
+
+    __slots__ = ("aliases", "columns", "opaque")
+
+    def __init__(
+        self, aliases: Set[str], columns: Set[str], opaque: bool
+    ) -> None:
+        self.aliases = aliases
+        self.columns = columns
+        # An opaque scope's column set is unknown (star-expanding derived
+        # table, unresolvable relation …): unqualified names can never be
+        # attributed with confidence while one is present.
+        self.opaque = opaque
+
+
+def _query_output_names(query: ast.Node) -> Optional[List[str]]:
+    """Output column names of a query expression, or None if unknown."""
+    if isinstance(query, ast.SetOperation):
+        return _query_output_names(query.left)
+    if not isinstance(query, ast.Select):
+        return None
+    names: List[str] = []
+    for position, item in enumerate(query.items):
+        if not isinstance(item, ast.SelectItem):
+            return None  # star expansion needs the inner shape
+        names.append(_output_name(item.expression, item.alias, position))
+    return names
+
+
+def _ref_scope(ref: ast.TableRef, session: Any) -> _Scope:
+    if isinstance(ref, ast.TableName):
+        alias = ref.alias or ref.name
+        try:
+            relation = session.catalog.get_relation(ref.name)
+        except errors.SQLException:
+            # Planning the item will raise the real error; until then the
+            # scope is opaque so nothing is routed by guesswork.
+            return _Scope({alias}, set(), True)
+        if isinstance(relation, View):
+            names = relation.column_names or _query_output_names(
+                relation.query
+            )
+            if names is None:
+                return _Scope({alias}, set(), True)
+            return _Scope({alias}, set(names), False)
+        return _Scope({alias}, {c.name for c in relation.columns}, False)
+    if isinstance(ref, ast.SubqueryRef):
+        names = _query_output_names(ref.query)
+        if names is None:
+            return _Scope({ref.alias}, set(), True)
+        return _Scope({ref.alias}, set(names), False)
+    if isinstance(ref, ast.Join):
+        left = _ref_scope(ref.left, session)
+        right = _ref_scope(ref.right, session)
+        return _Scope(
+            left.aliases | right.aliases,
+            left.columns | right.columns,
+            left.opaque or right.opaque,
+        )
+    return _Scope(set(), set(), True)
+
+
+def _attribute_column(
+    ref: ast.ColumnRef, scopes: Sequence[_Scope]
+) -> Optional[int]:
+    """Index of the single scope providing ``ref``, else None.
+
+    None means "cannot attribute": an outer reference, an ambiguous
+    name, or a name that an opaque scope might also provide.  Such
+    conjuncts stay where the original planner would have evaluated them,
+    preserving ambiguity errors.
+    """
+    if ref.table is not None:
+        matches = [
+            i for i, s in enumerate(scopes) if ref.table in s.aliases
+        ]
+        return matches[0] if len(matches) == 1 else None
+    matches = [i for i, s in enumerate(scopes) if ref.name in s.columns]
+    if len(matches) != 1:
+        return None
+    if any(s.opaque for i, s in enumerate(scopes) if i != matches[0]):
+        return None
+    return matches[0]
+
+
+def _conjunct_sources(
+    conjunct: ast.Expression, scopes: Sequence[_Scope]
+) -> Tuple[Set[int], bool]:
+    """(scope indexes referenced, routable?) for one conjunct.
+
+    Subqueries make a conjunct unroutable: they may be correlated with
+    any FROM item, so it is evaluated where the original planner would
+    have put it.
+    """
+    sources: Set[int] = set()
+    routable = True
+
+    def visit(node: ast.Node) -> bool:
+        nonlocal routable
+        if isinstance(node, _SUBQUERY_FIELDS):
+            routable = False
+            return False
+        if isinstance(node, ast.ColumnRef):
+            index = _attribute_column(node, scopes)
+            if index is None:
+                routable = False
+            else:
+                sources.add(index)
+        return True
+
+    _walk(conjunct, visit)
+    return sources, routable
+
+
+# ---------------------------------------------------------------------------
+# Index selection and type-family gates
+# ---------------------------------------------------------------------------
+
+
+def _type_family(descriptor: Optional[TypeDescriptor]) -> Optional[Any]:
+    code = getattr(descriptor, "type_code", None)
+    if code is None:
+        return None
+    if code == typecodes.BOOLEAN or typecodes.is_numeric(code):
+        return "numeric"  # booleans hash and compare as 0/1
+    if typecodes.is_character(code):
+        return "character"
+    if code in (typecodes.PY_OBJECT, typecodes.STRUCT, typecodes.OTHER):
+        return None  # no reliable hash or total order
+    return code  # temporal/binary families: exact code match only
+
+
+def _compatible_families(
+    left: Optional[TypeDescriptor], right: Optional[TypeDescriptor]
+) -> bool:
+    """True when values of the two types compare without InvalidCastError.
+
+    :func:`repro.sqltypes.compare_values` *raises* for mismatched scalar
+    domains (``1 = 'one'``), so an index probe or hash-join key may only
+    replace per-row evaluation when the families are known compatible —
+    otherwise the rewrite would silently swallow the error.
+    """
+    lf, rf = _type_family(left), _type_family(right)
+    return lf is not None and lf == rf
+
+
+def _is_probe_expression(expr: ast.Expression) -> bool:
+    """True when ``expr`` can be evaluated once, before the scan starts
+    (no column references, subqueries, or aggregates)."""
+    ok = True
+
+    def visit(node: ast.Node) -> bool:
+        nonlocal ok
+        if isinstance(
+            node, (ast.ColumnRef, ast.AggregateCall) + _SUBQUERY_FIELDS
+        ):
+            ok = False
+            return False
+        return True
+
+    _walk(expr, visit)
+    return ok
+
+
+def _bare_column_position(
+    expr: ast.Expression, shape: RowShape
+) -> Optional[int]:
+    if not isinstance(expr, ast.ColumnRef):
+        return None
+    try:
+        return shape.find(expr.name, expr.table)
+    except errors.SQLException:  # pragma: no cover - single-table shape
+        return None
+
+
+_FLIPPED_OPS = {"=": "=", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+def _sargable_forms(
+    conjunct: ast.Expression, shape: RowShape
+) -> List[Tuple[int, str, ast.Expression]]:
+    """Decompose ``conjunct`` into index-probe forms, if possible.
+
+    Returns ``[(column_position, op, value_expr), ...]`` where every
+    entry must be honoured together for the conjunct to be consumed
+    (BETWEEN contributes a lower and an upper bound), or ``[]`` when the
+    conjunct is not sargable.
+    """
+    if isinstance(conjunct, ast.Between) and not conjunct.negated:
+        position = _bare_column_position(conjunct.operand, shape)
+        if (
+            position is not None
+            and _is_probe_expression(conjunct.low)
+            and _is_probe_expression(conjunct.high)
+        ):
+            return [
+                (position, ">=", conjunct.low),
+                (position, "<=", conjunct.high),
+            ]
+        return []
+    if not isinstance(conjunct, ast.Binary):
+        return []
+    if conjunct.op not in ("=", "<", "<=", ">", ">="):
+        return []
+    for column_side, value_side, op in (
+        (conjunct.left, conjunct.right, conjunct.op),
+        (conjunct.right, conjunct.left, _FLIPPED_OPS[conjunct.op]),
+    ):
+        position = _bare_column_position(column_side, shape)
+        if position is not None and _is_probe_expression(value_side):
+            return [(position, op, value_side)]
+    return []
+
+
+def _probe_type_ok(
+    column_descriptor: TypeDescriptor,
+    value_expr: ast.Expression,
+    compiled: Compiled,
+) -> bool:
+    if isinstance(value_expr, ast.Parameter):
+        # Runtime-typed: a mistyped parameter makes the probe empty
+        # rather than raising the per-row InvalidCastError a Filter
+        # would (the tolerance SQLite shows).  See docs/PERFORMANCE.md.
+        return True
+    return _compatible_families(column_descriptor, compiled.descriptor)
+
+
+def _try_index_scan(
+    scan: SeqScan,
+    shape: RowShape,
+    conjuncts: List[ast.Expression],
+    session: Any,
+    outer: Optional[ExpressionCompiler],
+) -> Tuple[Operator, List[ast.Expression]]:
+    """Replace a SeqScan with an IndexScan if the conjuncts allow it.
+
+    Returns the (possibly unchanged) scan operator and the conjuncts a
+    Filter above it must still enforce.
+    """
+    table = scan.table
+    compiler = ExpressionCompiler(RowShape([]), session, outer)
+    equalities: dict = {}  # column position -> (probe fn, conjunct)
+    ranges: dict = {}  # column position -> [(op, probe fn, conjunct)]
+    for conjunct in conjuncts:
+        forms = _sargable_forms(conjunct, shape)
+        if not forms:
+            continue
+        prepared = []
+        for position, op, value_expr in forms:
+            try:
+                compiled = compiler.compile(value_expr)
+            except errors.SQLException:
+                prepared = None
+                break
+            descriptor = table.columns[position].descriptor
+            if not _probe_type_ok(descriptor, value_expr, compiled):
+                prepared = None
+                break
+            prepared.append((position, op, compiled.fn))
+        if prepared is None:
+            continue
+        for position, op, fn in prepared:
+            if op == "=":
+                equalities.setdefault(position, (fn, conjunct))
+            else:
+                ranges.setdefault(position, []).append((op, fn, conjunct))
+
+    # Full-key equality probe: every index column pinned by `col = v`.
+    for index in table.indexes:
+        positions = [table.column_position(n) for n in index.column_names]
+        if not all(p in equalities for p in positions):
+            continue
+        used_ids = {id(equalities[p][1]) for p in positions}
+        used = [c for c in conjuncts if id(c) in used_ids]
+        remaining = [c for c in conjuncts if id(c) not in used_ids]
+        operator = IndexScan(
+            index,
+            table,
+            equal=[equalities[p][0] for p in positions],
+            description=_conjuncts_summary(used),
+        )
+        return operator, remaining
+
+    # Range probe over a single-column index.
+    for index in table.indexes:
+        if len(index.column_names) != 1:
+            continue
+        position = table.column_position(index.column_names[0])
+        entries = ranges.get(position)
+        if not entries:
+            continue
+        lower = upper = None
+        lower_inclusive = upper_inclusive = True
+        used: List[ast.Expression] = []
+        for conjunct in conjuncts:
+            forms = [
+                (op, fn) for op, fn, c in entries if c is conjunct
+            ]
+            if not forms:
+                continue
+            needs_lower = any(op in (">", ">=") for op, _ in forms)
+            needs_upper = any(op in ("<", "<=") for op, _ in forms)
+            # A conjunct is consumed only if all of its bounds fit the
+            # one slot each the probe offers (first bound wins; extra
+            # bounds stay in the Filter).
+            if (needs_lower and lower is not None) or (
+                needs_upper and upper is not None
+            ):
+                continue
+            for op, fn in forms:
+                if op == ">":
+                    lower, lower_inclusive = fn, False
+                elif op == ">=":
+                    lower, lower_inclusive = fn, True
+                elif op == "<":
+                    upper, upper_inclusive = fn, False
+                else:
+                    upper, upper_inclusive = fn, True
+            used.append(conjunct)
+        if lower is None and upper is None:
+            continue
+        remaining = [
+            c for c in conjuncts if not any(c is u for u in used)
+        ]
+        operator = IndexScan(
+            index,
+            table,
+            lower=lower,
+            upper=upper,
+            lower_inclusive=lower_inclusive,
+            upper_inclusive=upper_inclusive,
+            description=_conjuncts_summary(used),
+        )
+        return operator, remaining
+
+    return scan, conjuncts
+
+
+def _apply_conjuncts(
+    operator: Operator,
+    shape: RowShape,
+    conjuncts: List[ast.Expression],
+    session: Any,
+    outer: Optional[ExpressionCompiler],
+    options: PlannerOptions,
+) -> Operator:
+    """Enforce ``conjuncts`` on top of ``operator``.
+
+    A SeqScan over an indexed table may become an IndexScan; whatever
+    the probe cannot guarantee stays in a Filter whose EXPLAIN text
+    lists exactly the conjuncts it enforces.
+    """
+    if not conjuncts:
+        return operator
+    remaining = list(conjuncts)
+    if (
+        options.index_scans
+        and isinstance(operator, SeqScan)
+        and operator.table.indexes
+    ):
+        operator, remaining = _try_index_scan(
+            operator, shape, remaining, session, outer
+        )
+    if not remaining:
+        return operator
+    compiler = ExpressionCompiler(shape, session, outer)
+    return Filter(
+        operator,
+        compiler.compile_predicate(_and_all(remaining)),
+        description=_conjuncts_summary(remaining),
+    )
+
+
+def _push_into_query(
+    query: ast.Node,
+    conjuncts: List[ast.Expression],
+    alias: Optional[str],
+) -> Tuple[ast.Node, List[ast.Expression]]:
+    """Rewrite conjuncts into the WHERE of a simple derived SELECT.
+
+    Only projection-through-rename is attempted: the derived query must
+    be a plain SELECT (no DISTINCT / GROUP BY / HAVING / LIMIT), and a
+    conjunct is only moved when every column it references maps back to
+    a plain column or literal of the inner query — duplicating a
+    computed expression could double-evaluate it.  The rewrite never
+    mutates shared AST nodes (:func:`_transform` copies).
+    """
+    if not isinstance(query, ast.Select):
+        return query, conjuncts
+    if (
+        query.distinct
+        or query.group_by
+        or query.having is not None
+        or query.limit is not None
+        or query.offset is not None
+    ):
+        return query, conjuncts
+    mapping: dict = {}
+    for position, item in enumerate(query.items):
+        if not isinstance(item, ast.SelectItem):
+            return query, conjuncts
+        if _contains_aggregate(item.expression):
+            return query, conjuncts
+        name = _output_name(item.expression, item.alias, position)
+        if name in mapping:
+            return query, conjuncts  # duplicate output name: ambiguous
+        mapping[name] = item.expression
+
+    pushed_in: List[ast.Expression] = []
+    remaining: List[ast.Expression] = []
+    for conjunct in conjuncts:
+        ok = True
+
+        def replace(node: ast.Node) -> Optional[ast.Node]:
+            nonlocal ok
+            if isinstance(node, ast.ColumnRef):
+                if node.table is not None and node.table != alias:
+                    ok = False
+                    return None
+                inner = mapping.get(node.name)
+                if inner is None or not isinstance(
+                    inner, (ast.ColumnRef, ast.Literal)
+                ):
+                    ok = False
+                    return None
+                return inner
+            return None
+
+        rewritten = _transform(conjunct, replace)
+        if ok:
+            pushed_in.append(rewritten)
+        else:
+            remaining.append(conjunct)
+    if not pushed_in:
+        return query, conjuncts
+    existing = [query.where] if query.where is not None else []
+    new_where = _and_all(existing + pushed_in)
+    return dataclasses.replace(query, where=new_where), remaining
+
+
+# ---------------------------------------------------------------------------
 # FROM clause
 # ---------------------------------------------------------------------------
 
@@ -163,14 +682,29 @@ def _plan_table_ref(
     ref: ast.TableRef,
     session: Any,
     outer: Optional[ExpressionCompiler],
+    pushed: Optional[List[ast.Expression]] = None,
 ) -> Tuple[Operator, RowShape]:
+    """Plan one FROM item, enforcing any pushed-down WHERE conjuncts."""
+    pushed = list(pushed or [])
+    options = _options(session)
     if isinstance(ref, ast.TableName):
-        return _plan_named_relation(ref, session)
+        operator, shape = _plan_named_relation(ref, session)
+        operator = _apply_conjuncts(
+            operator, shape, pushed, session, outer, options
+        )
+        return operator, shape
     if isinstance(ref, ast.SubqueryRef):
-        plan, shape = plan_query(ref.query, session, outer=outer)
-        return plan.root, shape.with_alias(ref.alias)
+        query, remaining = ref.query, pushed
+        if pushed and options.predicate_pushdown:
+            query, remaining = _push_into_query(query, pushed, ref.alias)
+        plan, shape = plan_query(query, session, outer=outer)
+        shape = shape.with_alias(ref.alias)
+        operator = _apply_conjuncts(
+            plan.root, shape, remaining, session, outer, options
+        )
+        return operator, shape
     if isinstance(ref, ast.Join):
-        return _plan_join(ref, session, outer)
+        return _plan_join(ref, session, outer, pushed)
     raise errors.FeatureNotSupportedError(
         f"unsupported FROM item {type(ref).__name__}"
     )
@@ -204,27 +738,183 @@ def _plan_named_relation(
     return SeqScan(relation), table_shape(relation, ref.alias)
 
 
+def _fold_join(
+    kind: str,
+    left_op: Operator,
+    left_shape: RowShape,
+    right_op: Operator,
+    right_shape: RowShape,
+    conjuncts: List[ast.Expression],
+    side_of: Callable[[ast.Expression], Optional[str]],
+    session: Any,
+    outer: Optional[ExpressionCompiler],
+    options: PlannerOptions,
+) -> Tuple[Operator, RowShape]:
+    """Build the join operator enforcing ``conjuncts``.
+
+    ``side_of(expr)`` classifies an expression as ``"left"``,
+    ``"right"`` or neither; equality conjuncts with one pure side each
+    (and hash-compatible types on both) become HashJoin keys.  The
+    join predicate is always the AND of *all* conjuncts — the hash
+    table only pre-filters candidates, it never decides matches.
+    """
+    merged = left_shape.merge(right_shape)
+    compiler = ExpressionCompiler(merged, session, outer)
+    left_keys: List[Callable] = []
+    right_keys: List[Callable] = []
+    if options.hash_joins:
+        for conjunct in conjuncts:
+            if not isinstance(conjunct, ast.Binary) or conjunct.op != "=":
+                continue
+            for a, b in (
+                (conjunct.left, conjunct.right),
+                (conjunct.right, conjunct.left),
+            ):
+                if side_of(a) == "left" and side_of(b) == "right":
+                    try:
+                        ca = compiler.compile(a)
+                        cb = compiler.compile(b)
+                    except errors.SQLException:
+                        break
+                    if _compatible_families(ca.descriptor, cb.descriptor):
+                        left_keys.append(ca.fn)
+                        right_keys.append(cb.fn)
+                    break
+    predicate = (
+        compiler.compile_predicate(_and_all(conjuncts))
+        if conjuncts
+        else None
+    )
+    if left_keys:
+        operator: Operator = HashJoin(
+            "INNER" if kind == "CROSS" else kind,
+            left_op,
+            right_op,
+            left_keys,
+            right_keys,
+            predicate,
+            len(left_shape),
+            len(right_shape),
+            description=_conjuncts_summary(conjuncts),
+        )
+    else:
+        operator = NestedLoopJoin(
+            kind,
+            left_op,
+            right_op,
+            predicate,
+            len(left_shape),
+            len(right_shape),
+        )
+    return operator, merged
+
+
 def _plan_join(
     ref: ast.Join,
     session: Any,
     outer: Optional[ExpressionCompiler],
+    pushed: Optional[List[ast.Expression]] = None,
 ) -> Tuple[Operator, RowShape]:
-    left_op, left_shape = _plan_table_ref(ref.left, session, outer)
-    right_op, right_shape = _plan_table_ref(ref.right, session, outer)
-    merged = left_shape.merge(right_shape)
-    predicate = None
-    if ref.condition is not None:
-        compiler = ExpressionCompiler(merged, session, outer)
-        predicate = compiler.compile_predicate(ref.condition)
-    operator = NestedLoopJoin(
-        ref.kind,
-        left_op,
-        right_op,
-        predicate,
-        len(left_shape),
-        len(right_shape),
+    options = _options(session)
+    pushed = list(pushed or [])
+    if not options.predicate_pushdown:
+        left_op, left_shape = _plan_table_ref(ref.left, session, outer)
+        right_op, right_shape = _plan_table_ref(ref.right, session, outer)
+        merged = left_shape.merge(right_shape)
+        predicate = None
+        if ref.condition is not None:
+            compiler = ExpressionCompiler(merged, session, outer)
+            predicate = compiler.compile_predicate(ref.condition)
+        operator: Operator = NestedLoopJoin(
+            ref.kind,
+            left_op,
+            right_op,
+            predicate,
+            len(left_shape),
+            len(right_shape),
+        )
+        return _apply_conjuncts(
+            operator, merged, pushed, session, outer, options
+        ), merged
+
+    scopes = [
+        _ref_scope(ref.left, session),
+        _ref_scope(ref.right, session),
+    ]
+    kind = ref.kind
+    on_conjuncts = (
+        _split_conjuncts(ref.condition)
+        if ref.condition is not None
+        else []
     )
-    return operator, merged
+    left_pushed: List[ast.Expression] = []
+    right_pushed: List[ast.Expression] = []
+    join_list: List[ast.Expression] = []
+    above: List[ast.Expression] = []
+
+    # WHERE conjuncts pushed from the enclosing query filter the join's
+    # *output*: they may only descend past a side that is never
+    # null-extended (an outer join's preserved side keeps them above —
+    # filtering early would change which rows get null-extended).
+    for conjunct in pushed:
+        sources, routable = _conjunct_sources(conjunct, scopes)
+        if routable and sources == {0} and kind in (
+            "INNER", "CROSS", "LEFT"
+        ):
+            left_pushed.append(conjunct)
+        elif routable and sources == {1} and kind in (
+            "INNER", "CROSS", "RIGHT"
+        ):
+            right_pushed.append(conjunct)
+        elif routable and sources and kind in ("INNER", "CROSS"):
+            join_list.append(conjunct)
+        else:
+            above.append(conjunct)
+
+    # ON conjuncts decide *matches*: a one-sided conjunct may descend
+    # into the side whose non-matching rows are never emitted (for
+    # LEFT, the right input; for RIGHT, the left; both for INNER).
+    for conjunct in on_conjuncts:
+        sources, routable = _conjunct_sources(conjunct, scopes)
+        if routable and sources == {0} and kind in ("INNER", "RIGHT"):
+            left_pushed.append(conjunct)
+        elif routable and sources == {1} and kind in ("INNER", "LEFT"):
+            right_pushed.append(conjunct)
+        else:
+            join_list.append(conjunct)
+
+    left_op, left_shape = _plan_table_ref(
+        ref.left, session, outer, left_pushed
+    )
+    right_op, right_shape = _plan_table_ref(
+        ref.right, session, outer, right_pushed
+    )
+
+    def side_of(expr: ast.Expression) -> Optional[str]:
+        sources, routable = _conjunct_sources(expr, scopes)
+        if not routable or not sources:
+            return None
+        if sources == {0}:
+            return "left"
+        if sources == {1}:
+            return "right"
+        return None
+
+    operator, merged = _fold_join(
+        kind,
+        left_op,
+        left_shape,
+        right_op,
+        right_shape,
+        join_list,
+        side_of,
+        session,
+        outer,
+        options,
+    )
+    return _apply_conjuncts(
+        operator, merged, above, session, outer, options
+    ), merged
 
 
 # ---------------------------------------------------------------------------
@@ -305,33 +995,44 @@ def _plan_select(
     session: Any,
     outer: Optional[ExpressionCompiler],
 ) -> Tuple[QueryPlan, RowShape]:
-    # 1. FROM
-    if select.from_clause:
-        operator, shape = _plan_table_ref(
-            select.from_clause[0], session, outer
+    options = _options(session)
+    where = select.where
+    if where is not None and _contains_aggregate(where):
+        raise errors.SQLSyntaxError(
+            "aggregates are not allowed in WHERE"
         )
-        for extra in select.from_clause[1:]:
-            right_op, right_shape = _plan_table_ref(extra, session, outer)
-            operator = NestedLoopJoin(
-                "CROSS", operator, right_op, None, len(shape),
-                len(right_shape),
+
+    # 1. FROM (+ WHERE, when pushdown routes its conjuncts itself)
+    if select.from_clause:
+        if options.predicate_pushdown and where is not None:
+            operator, shape = _plan_from_pushdown(
+                select, session, outer, options
             )
-            shape = shape.merge(right_shape)
+            where = None  # fully consumed, residual Filters included
+        else:
+            operator, shape = _plan_table_ref(
+                select.from_clause[0], session, outer
+            )
+            for extra in select.from_clause[1:]:
+                right_op, right_shape = _plan_table_ref(
+                    extra, session, outer
+                )
+                operator = NestedLoopJoin(
+                    "CROSS", operator, right_op, None, len(shape),
+                    len(right_shape),
+                )
+                shape = shape.merge(right_shape)
     else:
         operator, shape = SingleRow(), RowShape([])
 
     compiler = ExpressionCompiler(shape, session, outer)
 
-    # 2. WHERE
-    if select.where is not None:
-        if _contains_aggregate(select.where):
-            raise errors.SQLSyntaxError(
-                "aggregates are not allowed in WHERE"
-            )
+    # 2. WHERE (only when step 1 did not already consume it)
+    if where is not None:
         operator = Filter(
             operator,
-            compiler.compile_predicate(select.where),
-            description=_predicate_summary(select.where),
+            compiler.compile_predicate(where),
+            description=_predicate_summary(where),
         )
 
     # 3. Aggregation
@@ -405,6 +1106,93 @@ def _plan_select(
         operator = Limit(operator, limit_fn, offset_fn)
 
     return QueryPlan(operator, output_shape), output_shape
+
+
+def _plan_from_pushdown(
+    select: ast.Select,
+    session: Any,
+    outer: Optional[ExpressionCompiler],
+    options: PlannerOptions,
+) -> Tuple[Operator, RowShape]:
+    """Plan FROM and WHERE together, routing conjuncts to their sources.
+
+    Single-source conjuncts descend into the FROM item they reference
+    (enabling index scans); conjuncts spanning several items attach to
+    the join step that first brings those items together (enabling hash
+    joins for comma-list joins); everything else — subqueries, outer
+    references, ambiguous names — stays in a Filter over the full row,
+    exactly where the original planner put the whole WHERE clause.
+    """
+    from_clause = select.from_clause
+    scopes = [_ref_scope(ref, session) for ref in from_clause]
+    conjuncts = _split_conjuncts(select.where)
+    routed: List[List[ast.Expression]] = [[] for _ in from_clause]
+    join_conjuncts: List[Tuple[Set[int], ast.Expression]] = []
+    residual: List[ast.Expression] = []
+    for conjunct in conjuncts:
+        sources, routable = _conjunct_sources(conjunct, scopes)
+        if not routable or not sources:
+            residual.append(conjunct)
+        elif len(sources) == 1:
+            routed[next(iter(sources))].append(conjunct)
+        else:
+            join_conjuncts.append((sources, conjunct))
+
+    operator: Optional[Operator] = None
+    shape: Optional[RowShape] = None
+    planned: Set[int] = set()
+    for position, ref in enumerate(from_clause):
+        right_op, right_shape = _plan_table_ref(
+            ref, session, outer, routed[position]
+        )
+        if operator is None:
+            operator, shape = right_op, right_shape
+            planned = {position}
+            continue
+        merged_now = planned | {position}
+        here = [c for s, c in join_conjuncts if s <= merged_now]
+        join_conjuncts = [
+            (s, c) for s, c in join_conjuncts if not s <= merged_now
+        ]
+        previous = set(planned)
+
+        def side_of(
+            expr: ast.Expression,
+            previous: Set[int] = previous,
+            position: int = position,
+        ) -> Optional[str]:
+            sources, routable = _conjunct_sources(expr, scopes)
+            if not routable or not sources:
+                return None
+            if sources <= previous:
+                return "left"
+            if sources == {position}:
+                return "right"
+            return None
+
+        operator, shape = _fold_join(
+            "INNER" if here else "CROSS",
+            operator,
+            shape,
+            right_op,
+            right_shape,
+            here,
+            side_of,
+            session,
+            outer,
+            options,
+        )
+        planned = merged_now
+
+    leftovers = residual + [c for _, c in join_conjuncts]
+    if leftovers:
+        compiler = ExpressionCompiler(shape, session, outer)
+        operator = Filter(
+            operator,
+            compiler.compile_predicate(_and_all(leftovers)),
+            description=_conjuncts_summary(leftovers),
+        )
+    return operator, shape
 
 
 def _compile_limits(select: ast.Select, session: Any):

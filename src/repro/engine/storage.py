@@ -148,25 +148,41 @@ class TransactionLog:
 
 
 class RowStore:
-    """Transactional mutation interface over a table's row list."""
+    """Transactional mutation interface over a table's row list.
+
+    Secondary indexes on the table are maintained in step with the heap:
+    every mutation updates them on the forward path, and the recorded
+    undo action reverses both the heap change *and* the index change, so
+    a rollback leaves indexes consistent without a rebuild.
+    """
 
     def __init__(self, table: Table, log: Optional[TransactionLog]) -> None:
         self.table = table
         self.log = log
 
+    def _index_add(self, row: List[Any]) -> None:
+        for index in self.table.indexes:
+            index.add(row)
+
+    def _index_remove(self, row: List[Any]) -> None:
+        for index in self.table.indexes:
+            index.remove(row)
+
     def insert(self, row: List[Any]) -> None:
         faultpoints.trigger("storage.insert")
         rows = self.table.rows
         rows.append(row)
+        self._index_add(row)
         if self.log is not None:
-            def undo(r=row, rs=rows) -> None:
+            def undo(r=row, rs=rows, store=self) -> None:
                 # Remove by identity: list.remove would delete the first
                 # *equal* row, which reorders the table when the insert
                 # duplicated an existing row.
                 for index in range(len(rs) - 1, -1, -1):
                     if rs[index] is r:
                         del rs[index]
-                        return
+                        break
+                store._index_remove(r)
             self.log.record(undo)
 
     def delete_at(self, positions: List[int]) -> int:
@@ -176,10 +192,13 @@ class RowStore:
         saved = [(pos, rows[pos]) for pos in sorted(positions)]
         for pos in sorted(positions, reverse=True):
             del rows[pos]
+        for _, row in saved:
+            self._index_remove(row)
         if self.log is not None:
-            def undo(saved=saved, rs=rows) -> None:
+            def undo(saved=saved, rs=rows, store=self) -> None:
                 for pos, row in saved:
                     rs.insert(pos, row)
+                    store._index_add(row)
             self.log.record(undo)
         return len(positions)
 
@@ -188,7 +207,12 @@ class RowStore:
         rows = self.table.rows
         old_row = rows[position]
         rows[position] = new_row
+        self._index_remove(old_row)
+        self._index_add(new_row)
         if self.log is not None:
-            def undo(pos=position, row=old_row, rs=rows) -> None:
+            def undo(pos=position, row=old_row, new=new_row,
+                     rs=rows, store=self) -> None:
                 rs[pos] = row
+                store._index_remove(new)
+                store._index_add(row)
             self.log.record(undo)

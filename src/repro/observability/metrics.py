@@ -24,7 +24,10 @@ name                            meaning
 ==============================  ============================================
 ``statements.<kind>``           statements executed, by AST node kind
 ``rows.returned``               rows materialised for rowset results
-``rows.scanned``                rows read by SeqScan from base tables
+``rows.scanned``                rows read by SeqScan/IndexScan from tables
+``index.lookups``               IndexScan probes (point or range)
+``plan_cache.*``                engine plan cache ``hits`` / ``misses`` /
+                                ``evictions`` (capacity or stale schema)
 ``rows.fetched``                rows pulled through SQLJ ``FETCH``
 ``sqlj.clauses``                profile entries executed (``#sql`` clauses)
 ``dbapi.executions``            Statement / PreparedStatement executions

@@ -96,13 +96,22 @@ class _PrecompiledRTStatement(RTStatement):
         super().__init__(entry, session)
         self.statement = statement
         self._plan: Optional[QueryPlan] = None
+        self._plan_version = -1
         if isinstance(
             statement, (engine_ast.Select, engine_ast.SetOperation)
         ):
-            self._plan, self._shape = plan_query(statement, session)
+            self._replan()
+
+    def _replan(self) -> None:
+        self._plan, self._shape = plan_query(self.statement, self.session)
+        self._plan_version = self.session.catalog.version
 
     def execute(self, params: Sequence[Any] = ()) -> StatementResult:
         if self._plan is not None:
+            if self._plan_version != self.session.catalog.version:
+                # DDL since this entry was compiled (new index, dropped
+                # column, revoked privilege): rebuild the plan.
+                self._replan()
             rows = self._plan.run(self.session, params)
             return self.session.finish_rowset(rows, self._shape)
         return self.session.execute_statement(self.statement, params)

@@ -100,8 +100,20 @@ class TestExplain:
                 "e.state = r2.state"
             ).rows
         ]
-        assert any("NestedLoopJoin (INNER)" in line for line in lines)
+        # An equi-join now plans as a hash join.
+        assert any("HashJoin (INNER)" in line for line in lines)
         assert sum("SeqScan" in line for line in lines) == 2
+
+    def test_non_equi_join_plan(self, emps):
+        emps.execute("create table r3 (state char(20), n integer)")
+        lines = [
+            r[0] for r in emps.execute(
+                "explain select * from emps e join r3 on "
+                "e.sales > r3.n"
+            ).rows
+        ]
+        # No equality key: falls back to the nested loop.
+        assert any("NestedLoopJoin (INNER)" in line for line in lines)
 
     def test_union_plan(self, emps):
         lines = [

@@ -340,7 +340,7 @@ class TestExplainAnalyze:
         )
         lines = [row[0] for row in result.rows]
         plan_lines = [line for line in lines if "(" in line]
-        assert any("NestedLoopJoin" in line for line in lines)
+        assert any("HashJoin" in line for line in lines)
         # Every operator line carries actual statistics.
         operator_lines = [
             line for line in lines

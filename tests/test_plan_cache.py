@@ -1,0 +1,250 @@
+"""Engine-level plan cache: hits, invalidation, and concurrency.
+
+``Session.execute`` caches compiled plans for SELECT / set-operation
+statements keyed by ``(sql, dialect, user)``; every catalog mutation
+(DDL, GRANT/REVOKE) bumps ``Catalog.version`` and invalidates stale
+entries.  These tests pin the cache's observable contract: repeated
+statements hit, schema changes replan, revoked users cannot ride a
+cached plan past a privilege check, and concurrent DDL never produces
+wrong answers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors, observability
+from repro.engine import Database
+from repro.engine.plancache import CachedPlan, PlanCache
+from repro.testing import run_concurrent
+
+
+def _counter(name):
+    return observability.snapshot()["counters"].get(name, 0)
+
+
+def _explain(session, sql):
+    return "\n".join(
+        row[0] for row in session.execute("explain " + sql).rows
+    )
+
+
+def _entry(tag, version):
+    return CachedPlan(None, tag, None, version)
+
+
+class TestPlanCacheUnit:
+    def test_lru_eviction(self):
+        cache = PlanCache(capacity=2)
+        cache.put(("a", "std", "dba"), _entry("A", 1))
+        cache.put(("b", "std", "dba"), _entry("B", 1))
+        assert cache.get(("a", "std", "dba"), 1).plan == "A"
+        cache.put(("c", "std", "dba"), _entry("C", 1))
+        assert len(cache) == 2
+        # b was least recently used (a was touched by get) — evicted.
+        assert cache.get(("b", "std", "dba"), 1) is None
+        assert cache.get(("c", "std", "dba"), 1).plan == "C"
+
+    def test_stale_version_evicts(self):
+        cache = PlanCache()
+        cache.put(("q", "std", "dba"), _entry("plan", 7))
+        assert cache.get(("q", "std", "dba"), 8) is None
+        assert len(cache) == 0
+
+    def test_clear(self):
+        cache = PlanCache()
+        cache.put(("q", "std", "dba"), _entry("plan", 1))
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestPlanCacheHits:
+    def test_repeated_select_hits(self, emps):
+        emps.execute("select name from emps where sales > 100")
+        before = _counter("plan_cache.hits")
+        for _ in range(5):
+            rows = emps.execute(
+                "select name from emps where sales > 100"
+            ).rows
+        assert _counter("plan_cache.hits") == before + 5
+        assert rows  # cached plan still returns the data
+
+    def test_different_sql_misses(self, emps):
+        before = _counter("plan_cache.misses")
+        emps.execute("select name from emps")
+        emps.execute("select sales from emps")
+        assert _counter("plan_cache.misses") >= before + 2
+
+    def test_parameters_reuse_one_plan(self, emps):
+        emps.execute("select name from emps where sales > ?", (0,))
+        before = _counter("plan_cache.hits")
+        first = emps.execute(
+            "select name from emps where sales > ?", (100,)
+        ).rows
+        second = emps.execute(
+            "select name from emps where sales > ?", (99999,)
+        ).rows
+        assert _counter("plan_cache.hits") == before + 2
+        assert first != second  # parameters still applied per execution
+
+    def test_distinct_users_cached_separately(self, db, emps):
+        emps.execute("grant select on emps to smith")
+        smith = db.create_session(user="smith", autocommit=True)
+        emps.execute("select name from emps")
+        before = _counter("plan_cache.hits")
+        smith.execute("select name from emps")
+        # Different user: no hit on dba's entry.
+        assert _counter("plan_cache.hits") == before
+
+    def test_non_queries_not_cached(self, session):
+        session.execute("create table nq (k integer)")
+        before = _counter("plan_cache.misses")
+        session.execute("insert into nq values (1)")
+        session.execute("insert into nq values (1)")
+        assert _counter("plan_cache.misses") == before
+
+    def test_cache_disabled(self, emps):
+        db = Database(name="nocache", plan_cache_size=0)
+        assert db.plan_cache is None
+        session = db.create_session(autocommit=True)
+        session.execute("create table t (k integer)")
+        before = _counter("plan_cache.hits")
+        session.execute("select * from t")
+        session.execute("select * from t")
+        assert _counter("plan_cache.hits") == before
+
+
+class TestInvalidation:
+    def test_create_index_changes_cached_plan(self, session):
+        session.execute("create table t (k integer)")
+        for i in range(20):
+            session.execute(f"insert into t values ({i})")
+        sql = "select * from t where k = 5"
+        session.execute(sql)  # populate the cache with a SeqScan plan
+        session.execute("create index tk on t (k)")
+        assert "IndexScan using tk on t" in _explain(session, sql)
+        assert session.execute(sql).rows == [[5]]
+
+    def test_drop_index_changes_cached_plan(self, session):
+        session.execute("create table t (k integer)")
+        session.execute("insert into t values (5)")
+        session.execute("create index tk on t (k)")
+        sql = "select * from t where k = 5"
+        assert session.execute(sql).rows == [[5]]
+        session.execute("drop index tk")
+        assert "IndexScan" not in _explain(session, sql)
+        assert session.execute(sql).rows == [[5]]
+
+    def test_alter_table_invalidates(self, session):
+        session.execute("create table t (k integer)")
+        session.execute("insert into t values (1)")
+        assert session.execute("select * from t").rows == [[1]]
+        session.execute("alter table t add column v varchar(5)")
+        # The cached plan predates the new column; a hit would return
+        # one-column rows.
+        assert session.execute("select * from t").rows == [[1, None]]
+
+    def test_drop_table_invalidates(self, session):
+        session.execute("create table t (k integer)")
+        session.execute("select * from t")
+        session.execute("drop table t")
+        with pytest.raises(errors.UndefinedTableError):
+            session.execute("select * from t")
+
+    def test_revoke_invalidates(self, db, emps):
+        emps.execute("grant select on emps to smith")
+        smith = db.create_session(user="smith", autocommit=True)
+        assert smith.execute("select name from emps").rows
+        emps.execute("revoke select on emps from smith")
+        # The cached plan must not let smith bypass the privilege check.
+        with pytest.raises(errors.PrivilegeError):
+            smith.execute("select name from emps")
+
+    def test_prepared_statement_replans_after_ddl(self, session):
+        session.execute("create table t (k integer)")
+        session.execute("insert into t values (1)")
+        prepared = session.prepare("select * from t")
+        assert prepared.execute().rows == [[1]]
+        session.execute("alter table t add column v varchar(5)")
+        assert prepared.execute().rows == [[1, None]]
+
+
+class TestConcurrency:
+    def test_execute_races_ddl(self, db):
+        session = db.create_session(autocommit=True)
+        session.execute("create table t (k integer)")
+        for i in range(50):
+            session.execute(f"insert into t values ({i})")
+
+        def reader(thread_index):
+            local = db.create_session(autocommit=True)
+            for _ in range(20):
+                rows = local.execute(
+                    "select k from t where k < 10"
+                ).rows
+                assert len(rows) == 10
+
+        def ddl(thread_index):
+            local = db.create_session(autocommit=True)
+            for i in range(10):
+                local.execute(
+                    f"create index cix{thread_index}_{i} on t (k)"
+                )
+                local.execute(f"drop index cix{thread_index}_{i}")
+
+        def worker(thread_index):
+            if thread_index % 2:
+                ddl(thread_index)
+            else:
+                reader(thread_index)
+
+        run_concurrent(6, worker, timeout=60).raise_first()
+
+    def test_concurrent_hits_are_exact(self, db):
+        session = db.create_session(autocommit=True)
+        session.execute("create table t (k integer)")
+        session.execute("insert into t values (1)")
+        session.execute("select k from t")  # prime the cache
+        before = _counter("plan_cache.hits")
+
+        def worker(thread_index):
+            local = db.create_session(autocommit=True)
+            for _ in range(25):
+                assert local.execute("select k from t").rows == [[1]]
+
+        run_concurrent(4, worker).raise_first()
+        assert _counter("plan_cache.hits") == before + 100
+
+
+class TestTracingIntegration:
+    def test_cache_hit_trace_shape(self, emps):
+        import io
+
+        from repro.observability import tracing
+
+        emps.execute("select name from emps")  # prime the cache
+        try:
+            tracer = tracing.enable_tracing("json", io.StringIO())
+            emps.execute("select name from emps")
+        finally:
+            tracing.disable_tracing()
+        root = tracer.finished[-1]
+        assert root.name == "statement"
+        assert root.attributes.get("cached") is True
+        names = [span.name for span, _depth in root.walk()]
+        # No parse/plan work on a hit — straight to execution.
+        assert names == ["statement", "execute", "fetch"]
+
+    def test_cache_miss_trace_shape_unchanged(self, emps):
+        import io
+
+        from repro.observability import tracing
+
+        try:
+            tracer = tracing.enable_tracing("json", io.StringIO())
+            emps.execute("select id from emps")
+        finally:
+            tracing.disable_tracing()
+        root = tracer.finished[-1]
+        names = [span.name for span, _depth in root.walk()]
+        assert names == ["statement", "parse", "plan", "execute", "fetch"]
