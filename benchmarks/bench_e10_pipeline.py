@@ -17,7 +17,7 @@ import time
 import pytest
 
 from benchmarks.common import fresh_name, report
-from repro.engine import Database
+from repro import Database
 from repro.profiles.customizer import customize_profile
 from repro.profiles.serialization import (
     profile_from_bytes,

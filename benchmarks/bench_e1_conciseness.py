@@ -140,7 +140,7 @@ def e1_setup():
             SQLJ_PROGRAM, "e1_sqlj_mod", database, workdir
         )
         context = set_default_context(database)
-        from repro.dbapi import DriverManager
+        from repro import DriverManager
 
         conn = DriverManager.get_connection(
             "pydbc:standard:x", database=database
@@ -184,7 +184,7 @@ def test_tracing_disabled_overhead_negligible(e1_setup):
     module, _conn, ctx = e1_setup
     # The suite-wide autouse fixture clears the default context after
     # every test; the module-scoped fixture installed it only once.
-    from repro.runtime import ConnectionContext
+    from repro import ConnectionContext
 
     ConnectionContext.set_default_context(ctx)
     statements = 200

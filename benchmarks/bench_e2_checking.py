@@ -18,7 +18,7 @@ The pytest-benchmark group measures the cost of checking itself.
 import pytest
 
 from repro import errors
-from repro.engine import Database
+from repro import Database
 from repro.translator import (
     TranslationOptions,
     Translator,

@@ -20,7 +20,7 @@ import pytest
 
 from benchmarks.common import make_emps_db, report
 from repro import errors
-from repro.dbapi import DriverManager
+from repro import DriverManager
 from repro.runtime import NamedIterator, PositionalIterator
 
 N_ROWS = 2000

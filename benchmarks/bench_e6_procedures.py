@@ -24,7 +24,7 @@ from benchmarks.common import (
     make_emps_db,
     report,
 )
-from repro.dbapi import DriverManager
+from repro import DriverManager
 
 
 def build(rows):

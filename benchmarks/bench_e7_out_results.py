@@ -26,7 +26,7 @@ from benchmarks.common import (
     make_emps_db,
     report,
 )
-from repro.dbapi import DriverManager
+from repro import DriverManager
 from repro.sqltypes import typecodes
 
 N_ROWS = 1000

@@ -33,8 +33,8 @@ from repro.datatypes.serialization import (
     deserialize_object,
     serialize_object,
 )
-from repro.dbapi import DriverManager
-from repro.engine import Database
+from repro import DriverManager
+from repro import Database
 
 N_ROWS = 500
 

@@ -23,7 +23,7 @@ from benchmarks.common import (
     install_address_types,
     report,
 )
-from repro.engine import Database
+from repro import Database
 
 N_ROWS = 400
 

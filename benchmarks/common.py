@@ -17,18 +17,18 @@ import time
 from typing import Callable, List, Optional, Tuple
 
 from repro import observability
-from repro.engine import Database
+from repro import Database
 from repro.procedures import build_par_bytes
 from repro.procedures.archives import build_par
 from repro.profiles.serialization import save_profile
-from repro.runtime import ConnectionContext
+from repro import ConnectionContext
 from repro.translator import TranslationOptions, Translator
 
 #: States used to synthesise employee rows; mix of mapped and unmapped.
 STATES = ["CA", "MN", "NV", "FL", "VT", "GA", "AZ", "TX", "WA", "NH"]
 
 ROUTINES1_SOURCE = '''
-from repro.dbapi import DriverManager
+from repro import DriverManager
 
 
 def region(s):
@@ -51,7 +51,7 @@ def correct_states(old_spelling, new_spelling):
 '''
 
 ROUTINES2_SOURCE = '''
-from repro.dbapi import DriverManager
+from repro import DriverManager
 
 
 def best_two_emps(n1, id1, r1, s1, n2, id2, r2, s2, region_parm):
@@ -80,7 +80,7 @@ def best_two_emps(n1, id1, r1, s1, n2, id2, r2, s2, region_parm):
 '''
 
 ROUTINES3_SOURCE = '''
-from repro.dbapi import DriverManager
+from repro import DriverManager
 
 
 def ordered_emps(region_parm, rs):

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.dbapi.driver import registry
-from repro.runtime import ConnectionContext
+from repro import ConnectionContext
 
 
 @pytest.fixture(autouse=True)

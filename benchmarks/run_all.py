@@ -9,7 +9,10 @@ writes ``BENCH_<date>.json`` next to this file:
   without a secondary index (plan cache ON in both arms, fixed literal
   SQL, so the delta is purely scan vs probe);
 * **plan_cache** — the same small statement executed repeatedly against
-  a cache-enabled and a cache-disabled engine.
+  a cache-enabled and a cache-disabled engine;
+* **durability** — group commit: serial fsync-per-commit vs concurrent
+  committers sharing fsyncs through the group-commit window (floor:
+  >= 2 commits per fsync at batch size 16).
 
 Each experiment records wall time, rows/sec, speedup, and the
 plan-cache hit rate observed during the run.
@@ -45,7 +48,7 @@ sys.path.insert(
 )
 
 from repro import observability  # noqa: E402
-from repro.engine import Database  # noqa: E402
+from repro import Database  # noqa: E402
 
 
 def _hit_rate(before: Dict[str, int]) -> Dict[str, Any]:
@@ -221,6 +224,113 @@ def bench_plan_cache(iterations: int) -> Dict[str, Any]:
     return result
 
 
+def bench_durability(commits: int, threads: int) -> Dict[str, Any]:
+    """Group commit: fsync-per-commit vs fsyncs shared across committers.
+
+    Arm A commits serially with no grouping window — every commit pays
+    its own fsync.  Arm B runs the same number of commits from
+    ``threads`` concurrent sessions with a 5 ms group-commit window and
+    batch size 16, so one fsync acknowledges many commits.  The reported
+    "speedup" is the amortization factor (commits per fsync) in the
+    grouped arm; the serial arm pins the 1.0x baseline.
+    """
+    import shutil
+    import tempfile
+    import threading as _threading
+
+    from repro.engine.durability import open_database
+
+    def counters() -> Dict[str, int]:
+        return observability.snapshot()["counters"]
+
+    base = tempfile.mkdtemp(prefix="bench_dur_")
+    try:
+        # Arm A: serial, no grouping window.
+        db_a = open_database(
+            os.path.join(base, "serial"),
+            name="bench_dur_serial",
+            checkpoint_interval=0,
+        )
+        serial_session = db_a.create_session(autocommit=True)
+        serial_session.execute("create table t (k integer, v integer)")
+        before = counters()
+
+        def serial() -> None:
+            for i in range(commits):
+                serial_session.execute(
+                    f"insert into t values ({i}, {i})"
+                )
+
+        serial_seconds = _timed(serial)
+        after = counters()
+        serial_fsyncs = after["wal.fsyncs"] - before.get("wal.fsyncs", 0)
+        serial_commits = after["wal.commits"] - before.get(
+            "wal.commits", 0
+        )
+        serial_session.close()
+        db_a.close()
+
+        # Arm B: concurrent committers sharing the group-commit window.
+        db_b = open_database(
+            os.path.join(base, "grouped"),
+            name="bench_dur_grouped",
+            group_window=0.005,
+            group_size=16,
+            checkpoint_interval=0,
+        )
+        init = db_b.create_session(autocommit=True)
+        init.execute("create table t (k integer, v integer)")
+        init.close()
+        per_thread = commits // threads
+        before = counters()
+
+        def worker(tid: int) -> None:
+            session = db_b.create_session(autocommit=True)
+            for j in range(per_thread):
+                session.execute(
+                    f"insert into t values ({tid * 1000000 + j}, {j})"
+                )
+            session.close()
+
+        def grouped() -> None:
+            pool = [
+                _threading.Thread(target=worker, args=(tid,))
+                for tid in range(threads)
+            ]
+            for thread in pool:
+                thread.start()
+            for thread in pool:
+                thread.join()
+
+        grouped_seconds = _timed(grouped)
+        after = counters()
+        grouped_fsyncs = after["wal.fsyncs"] - before.get(
+            "wal.fsyncs", 0
+        )
+        grouped_commits = after["wal.commits"] - before.get(
+            "wal.commits", 0
+        )
+        db_b.close()
+    finally:
+        shutil.rmtree(base, ignore_errors=True)
+
+    amortization = grouped_commits / max(1, grouped_fsyncs)
+    return {
+        "experiment": "durability",
+        "commits": commits,
+        "threads": threads,
+        "serial_seconds": serial_seconds,
+        "serial_commits": serial_commits,
+        "serial_fsyncs": serial_fsyncs,
+        "grouped_seconds": grouped_seconds,
+        "grouped_commits": grouped_commits,
+        "grouped_fsyncs": grouped_fsyncs,
+        "commits_per_fsync": amortization,
+        "speedup": amortization,
+        "commits_per_second_grouped": grouped_commits / grouped_seconds,
+    }
+
+
 # ---------------------------------------------------------------------------
 # driver
 # ---------------------------------------------------------------------------
@@ -243,10 +353,12 @@ def main(argv=None) -> int:
 
     if args.smoke:
         sizes = {"join_rows": 1000, "table_rows": 2000,
-                 "lookups": 200, "iterations": 500}
+                 "lookups": 200, "iterations": 500,
+                 "commits": 64, "commit_threads": 8}
     else:
         sizes = {"join_rows": 10_000, "table_rows": 10_000,
-                 "lookups": 500, "iterations": 2000}
+                 "lookups": 500, "iterations": 2000,
+                 "commits": 256, "commit_threads": 16}
 
     results = []
     for name, run in (
@@ -254,6 +366,8 @@ def main(argv=None) -> int:
         ("index_lookup", lambda: bench_index_lookup(
             sizes["table_rows"], sizes["lookups"])),
         ("plan_cache", lambda: bench_plan_cache(sizes["iterations"])),
+        ("durability", lambda: bench_durability(
+            sizes["commits"], sizes["commit_threads"])),
     ):
         print(f"running {name} ...", flush=True)
         outcome = run()
@@ -287,6 +401,12 @@ def main(argv=None) -> int:
         failures.append(
             f"plan cache speedup {by_name['plan_cache']['speedup']:.2f}x "
             "< 2x floor"
+        )
+    if by_name["durability"]["commits_per_fsync"] < 2.0:
+        failures.append(
+            f"group commit amortization "
+            f"{by_name['durability']['commits_per_fsync']:.2f} "
+            "commits/fsync < 2x floor"
         )
     if not args.smoke:
         if by_name["hash_join"]["speedup"] < 10.0:

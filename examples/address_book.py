@@ -12,7 +12,7 @@ Run:  python examples/address_book.py
 import os
 import tempfile
 
-from repro.engine import Database
+from repro import Database
 from repro.procedures import build_par
 
 ADDRESS_MODULE = '''

@@ -11,8 +11,8 @@ Run:  python examples/followons_demo.py
 import os
 import tempfile
 
-from repro.dbapi import DriverManager
-from repro.engine import Database
+from repro import DriverManager
+from repro import Database
 from repro.engine.persistence import load_database, save_database
 from repro.procedures import build_par
 

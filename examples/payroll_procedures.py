@@ -12,14 +12,14 @@ Run:  python examples/payroll_procedures.py
 import os
 import tempfile
 
-from repro.dbapi import DriverManager
-from repro.engine import Database
+from repro import DriverManager
+from repro import Database
 from repro.procedures import build_par
 from repro.sqltypes import typecodes
 
 ROUTINES1 = '''
 """Routines1: region (no SQL) and correct_states (SQL update)."""
-from repro.dbapi import DriverManager
+from repro import DriverManager
 
 
 def region(s):
@@ -43,7 +43,7 @@ def correct_states(old_spelling, new_spelling):
 
 ROUTINES2 = '''
 """Routines2: best_two_emps with OUT-parameter containers."""
-from repro.dbapi import DriverManager
+from repro import DriverManager
 
 
 def best_two_emps(n1, id1, r1, s1, n2, id2, r2, s2, region_parm):
@@ -73,7 +73,7 @@ def best_two_emps(n1, id1, r1, s1, n2, id2, r2, s2, region_parm):
 
 ROUTINES3 = '''
 """Routines3: ordered_emps returning a dynamic result set."""
-from repro.dbapi import DriverManager
+from repro import DriverManager
 
 
 def ordered_emps(region_parm, rs):

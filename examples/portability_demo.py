@@ -18,7 +18,7 @@ import os
 import sys
 import tempfile
 
-from repro.engine import Database
+from repro import Database
 from repro.profiles.customizer import customize_pjar
 from repro.profiles.pjar import read_pjar, unpack_pjar
 from repro.profiles.serialization import profile_from_bytes

@@ -13,9 +13,9 @@ import os
 import sys
 import tempfile
 
-from repro.engine import Database
+from repro import Database
 from repro.profiles.serialization import save_profile
-from repro.runtime import ConnectionContext
+from repro import ConnectionContext
 from repro.translator import TranslationOptions, Translator
 
 # An embedded-SQL program: Python plus #sql clauses.  Host variables are

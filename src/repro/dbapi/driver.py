@@ -19,6 +19,7 @@ gauges); ``DriverManager.shutdown_pools`` drains them (tests).
 
 from __future__ import annotations
 
+import os
 import threading
 from typing import Dict, Optional, Tuple
 
@@ -56,17 +57,80 @@ class DatabaseRegistry:
                 )
             return database
 
+    def get_or_open_durable(
+        self,
+        name: str,
+        dialect: str,
+        directory: str,
+        **durability_options,
+    ) -> Database:
+        """Open (or share) the durable database ``name`` at ``directory``.
+
+        The first call runs crash recovery via
+        :func:`repro.engine.durability.open_database`; later calls with
+        the same name share the already-open instance, so every
+        ``repro.connect`` against the same data directory sees one
+        engine.  Clashes are errors: a same-named in-memory database, a
+        different directory for the same name, or a dialect mismatch all
+        raise :class:`repro.errors.ConnectionError_`.
+        """
+        directory = os.path.abspath(directory)
+        with self._lock:
+            database = self._databases.get(name)
+            if database is not None:
+                manager = database.durability
+                if manager is None:
+                    raise errors.ConnectionError_(
+                        f"database {name!r} is already open in-memory; "
+                        "close it before reopening durably"
+                    )
+                if os.path.abspath(str(manager.directory)) != directory:
+                    raise errors.ConnectionError_(
+                        f"database {name!r} is already open from "
+                        f"{manager.directory!r}, not {directory!r}"
+                    )
+                if database.dialect.name != dialect:
+                    raise errors.ConnectionError_(
+                        f"database {name!r} runs dialect "
+                        f"{database.dialect.name!r}, not {dialect!r}"
+                    )
+                return database
+            from repro.engine.durability import open_database
+
+            database = open_database(
+                directory,
+                name=name,
+                dialect=dialect,
+                **durability_options,
+            )
+            self._databases[database.name] = database
+            return database
+
     def lookup(self, name: str) -> Optional[Database]:
         with self._lock:
             return self._databases.get(name)
 
     def drop(self, name: str) -> None:
         with self._lock:
-            self._databases.pop(name, None)
+            database = self._databases.pop(name, None)
+        self._close_durable(database)
 
     def clear(self) -> None:
         with self._lock:
+            databases = list(self._databases.values())
             self._databases.clear()
+        for database in databases:
+            self._close_durable(database)
+
+    @staticmethod
+    def _close_durable(database: Optional[Database]) -> None:
+        """Best-effort final checkpoint + WAL close for durable dbs."""
+        if database is None or database.durability is None:
+            return
+        try:
+            database.close()
+        except errors.ReproError:  # pragma: no cover - best effort
+            pass
 
 
 #: Default process-wide registry used by DriverManager.

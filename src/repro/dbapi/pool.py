@@ -9,7 +9,8 @@ Semantics:
 
 * **Bounded.** At most ``max_size`` sessions exist at once; ``min_size``
   are opened eagerly.  A checkout against an exhausted pool blocks up to
-  ``checkout_timeout`` seconds, then raises
+  ``timeout`` seconds (the pre-façade spelling ``checkout_timeout``
+  still works but warns), then raises
   :class:`repro.errors.PoolTimeoutError` (SQLSTATE 08004) — never hangs
   forever, never over-allocates.
 * **Health-checked.** Sessions are inspected on return and again on
@@ -88,13 +89,25 @@ class ConnectionPool:
         *,
         min_size: int = 0,
         max_size: int = 8,
-        checkout_timeout: float = 5.0,
+        timeout: Optional[float] = None,
         max_age: Optional[float] = None,
         user: Optional[str] = None,
         autocommit: bool = True,
         name: Optional[str] = None,
         url: str = "",
+        checkout_timeout: Optional[float] = None,
     ) -> None:
+        if checkout_timeout is not None:
+            warnings.warn(
+                "ConnectionPool(checkout_timeout=...) is deprecated; "
+                "use the unified spelling timeout=...",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if timeout is None:
+                timeout = checkout_timeout
+        if timeout is None:
+            timeout = 5.0
         if max_size < 1:
             raise errors.ConnectionError_("pool max_size must be >= 1")
         if min_size < 0 or min_size > max_size:
@@ -104,7 +117,9 @@ class ConnectionPool:
         self.database = database
         self.min_size = min_size
         self.max_size = max_size
-        self.checkout_timeout = checkout_timeout
+        #: Default checkout wait in seconds (``timeout=`` at
+        #: construction; per-call override via ``checkout(timeout=...)``).
+        self.timeout = timeout
         self.max_age = max_age
         self.user = user
         self.autocommit = autocommit
@@ -140,7 +155,7 @@ class ConnectionPool:
         stays exhausted for the whole wait.
         """
         if timeout is None:
-            timeout = self.checkout_timeout
+            timeout = self.timeout
         deadline = time.monotonic() + timeout
         with self._cond:
             self._check_open()
@@ -267,6 +282,17 @@ class ConnectionPool:
                 "max_size": self.max_size,
                 "closed": self._closed,
             }
+
+    @property
+    def checkout_timeout(self) -> float:
+        """Deprecated alias for :attr:`timeout`."""
+        warnings.warn(
+            "ConnectionPool.checkout_timeout is deprecated; "
+            "read .timeout instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.timeout
 
     @property
     def closed(self) -> bool:

@@ -49,6 +49,37 @@ _STATEMENT_COUNTERS: dict = {}
 #: routine body may execute arbitrary nested statements.
 _SHARED_STATEMENTS = (ast.Select, ast.SetOperation, ast.Explain)
 
+#: Statements that are redo-logged as their own immediately-committed
+#: transaction when durability is on.  DDL in this engine is
+#: non-transactional (it creates no undo entries and takes effect at
+#: once), so its WAL record must not wait for a session COMMIT that may
+#: never come.
+_DDL_STATEMENTS = (
+    ast.CreateTable,
+    ast.CreateView,
+    ast.AlterTable,
+    ast.CreateIndex,
+    ast.CreateRoutine,
+    ast.CreateType,
+    ast.Drop,
+    ast.Grant,
+    ast.Revoke,
+)
+
+#: Statements that join the session's open durable transaction: their
+#: redo records become durable when the transaction's COMMIT marker is
+#: fsynced.  Savepoint statements are included so a replayed
+#: ROLLBACK TO reproduces partial rollbacks.
+_TXN_STATEMENTS = (
+    ast.Insert,
+    ast.Update,
+    ast.Delete,
+    ast.Call,
+    ast.Savepoint,
+    ast.RollbackTo,
+    ast.ReleaseSavepoint,
+)
+
 
 def _statement_counter(statement_type: type) -> _metrics.Counter:
     counter = _STATEMENT_COUNTERS.get(statement_type)
@@ -176,7 +207,9 @@ class PreparedStatementPlan:
                 _ROWS_RETURNED.increment(len(rows))
                 with tracer.span("fetch"), lock.read():
                     return self.session.finish_rowset(rows, self._shape)
-        return self.session.execute_statement(self.statement, params)
+        return self.session.execute_statement(
+            self.statement, params, sql=self.sql
+        )
 
 
 class Database:
@@ -212,6 +245,10 @@ class Database:
         #: Feature switches for the planner's fast-path rewrites
         #: (pushdown / index scans / hash joins); see engine/planner.py.
         self.planner_options = DEFAULT_PLANNER_OPTIONS
+        #: Durability manager (WAL + checkpointing), attached by
+        #: ``repro.open_database``; ``None`` for an in-memory database.
+        #: Duck-typed to avoid an import cycle with engine.durability.
+        self.durability: Optional[Any] = None
         self._bootstrap()
 
     def _bootstrap(self) -> None:
@@ -233,6 +270,22 @@ class Database:
     ) -> "Session":
         return Session(self, user or self.admin_user, autocommit)
 
+    def checkpoint(self) -> bool:
+        """Fold the write-ahead log into the snapshot now.
+
+        Returns True if a checkpoint was taken, False when the database
+        is not durable or a transaction is still in flight.
+        """
+        if self.durability is None:
+            return False
+        return self.durability.checkpoint()
+
+    def close(self) -> None:
+        """Close the database, checkpointing and closing the WAL if it
+        is durable.  Idempotent; an in-memory database is a no-op."""
+        if self.durability is not None:
+            self.durability.close()
+
 
 class Session:
     """One user's connection to a database."""
@@ -245,6 +298,13 @@ class Session:
         self.autocommit = autocommit
         self.transaction_log = TransactionLog()
         self._routine_depth = 0
+        #: Open durable (WAL) transaction id, or None.  Allocated
+        #: lazily by the first redo-logged statement, resolved by the
+        #: next commit/rollback.
+        self._durable_txn: Optional[int] = None
+        #: Rows affected by the most recent DML statement (see
+        #: :meth:`after_mutation`).
+        self.last_rows_affected = 0
         self.closed = False
 
     # ------------------------------------------------------------------
@@ -324,7 +384,7 @@ class Session:
                 return self._execute_query_cached(
                     sql, key, statement, None, params
                 )
-            return self.execute_statement(statement, params)
+            return self.execute_statement(statement, params, sql=sql)
         with tracer.span("statement", sql=sql):
             with tracer.span("parse"):
                 statement = Parser(sql, self.dialect).parse_statement()
@@ -334,7 +394,7 @@ class Session:
                 return self._execute_query_cached(
                     sql, key, statement, None, params, in_span=True
                 )
-            return self.execute_statement(statement, params)
+            return self.execute_statement(statement, params, sql=sql)
 
     def _execute_query_cached(
         self,
@@ -425,9 +485,17 @@ class Session:
         return PreparedStatementPlan(self, sql)
 
     def execute_statement(
-        self, statement: ast.Statement, params: Sequence[Any] = ()
+        self,
+        statement: ast.Statement,
+        params: Sequence[Any] = (),
+        sql: Optional[str] = None,
     ) -> StatementResult:
-        """Execute a pre-parsed statement."""
+        """Execute a pre-parsed statement.
+
+        ``sql`` is the statement's original text when the caller has it
+        (``execute``, prepared statements); redo logging falls back to
+        rendering the AST when it is absent (profile-driven execution).
+        """
         self._check_open()
         counter = _STATEMENT_COUNTERS.get(statement.__class__)
         if counter is None:
@@ -441,6 +509,7 @@ class Session:
             if isinstance(statement, _SHARED_STATEMENTS)
             else lock.write
         )
+        pending: Optional[int] = None
         try:
             with guard():
                 mark = self.transaction_log.position()
@@ -449,6 +518,11 @@ class Session:
                         result = self._dispatch_traced(statement, params)
                     else:
                         result = self._dispatch(statement, params)
+                    # Redo-log only statements that succeeded; a logging
+                    # failure (unpicklable parameter, unrenderable AST)
+                    # rolls the statement back below, keeping the WAL
+                    # and the heap in agreement.
+                    pending = self._log_durable(statement, params, sql)
                 except BaseException:
                     # Statement-level atomicity: a failing statement
                     # (including one killed by an injected fault) backs
@@ -456,15 +530,20 @@ class Session:
                     if self.transaction_log.position() > mark:
                         self.transaction_log.rollback_to_position(mark)
                     raise
-                if (
-                    self.autocommit
-                    and self._routine_depth == 0
-                    and self.transaction_log.active
-                ):
-                    self.transaction_log.commit()
+                if self.autocommit and self._routine_depth == 0:
+                    if self.transaction_log.active:
+                        self.transaction_log.commit()
+                    committed = self._commit_durable()
+                    if committed is not None:
+                        pending = committed
         except errors.SQLException as exc:
             _metrics.increment(f"errors.{exc.sqlstate}")
             raise
+        if pending is not None:
+            # fsync AFTER the engine lock is released: concurrent
+            # committers pile onto one group-commit fsync instead of
+            # serialising the whole engine behind the disk.
+            self._after_commit(pending)
         if timed:
             # Per-statement latency is only sampled while tracing is on:
             # two clock reads plus a histogram update are measurable next
@@ -633,15 +712,97 @@ class Session:
             self._routine_depth -= 1
 
     # ------------------------------------------------------------------
+    # durability (redo logging)
+    # ------------------------------------------------------------------
+    def _log_durable(
+        self,
+        statement: ast.Statement,
+        params: Sequence[Any],
+        sql: Optional[str],
+    ) -> Optional[int]:
+        """Append the redo record for a just-executed statement.
+
+        Returns a WAL position the caller must make durable after
+        releasing the engine lock (DDL commits immediately), or None
+        (reads, non-durable databases, statements that join the
+        session transaction and become durable at its COMMIT).
+
+        Statements executed inside an external routine are *not*
+        logged: the outer CALL is, and replaying it re-runs the body.
+        """
+        durability = self.database.durability
+        if durability is None or self._routine_depth > 0:
+            return None
+        if isinstance(statement, _DDL_STATEMENTS):
+            text = sql if sql is not None else self._render_for_log(
+                statement
+            )
+            txn = durability.begin()
+            durability.log_statement(txn, self.user, text, params)
+            return durability.log_commit(txn)
+        if isinstance(statement, _TXN_STATEMENTS):
+            text = sql if sql is not None else self._render_for_log(
+                statement
+            )
+            if self._durable_txn is None:
+                self._durable_txn = durability.begin()
+            durability.log_statement(
+                self._durable_txn, self.user, text, params
+            )
+            return None
+        return None  # reads, EXPLAIN, COMMIT/ROLLBACK (logged as markers)
+
+    def _render_for_log(self, statement: ast.Statement) -> str:
+        from repro.engine.render import render_statement
+
+        return render_statement(statement, self.dialect)
+
+    def _commit_durable(self) -> Optional[int]:
+        """Write the COMMIT marker for the session's open durable
+        transaction; returns its WAL position, or None."""
+        if self._durable_txn is None:
+            return None
+        txn, self._durable_txn = self._durable_txn, None
+        durability = self.database.durability
+        if durability is None:
+            return None
+        return durability.log_commit(txn)
+
+    def _abort_durable(self) -> None:
+        if self._durable_txn is None:
+            return
+        txn, self._durable_txn = self._durable_txn, None
+        durability = self.database.durability
+        if durability is not None:
+            durability.log_abort(txn)
+
+    def _after_commit(self, pending: Optional[int]) -> None:
+        """Durability barrier, called with no engine lock held: wait
+        for the group-commit fsync covering ``pending``, then give the
+        checkpointer a chance to run."""
+        durability = self.database.durability
+        if durability is None or pending is None:
+            return
+        durability.wait_durable(pending)
+        durability.maybe_checkpoint()
+
+    # ------------------------------------------------------------------
     # transactions / lifecycle
     # ------------------------------------------------------------------
-    def after_mutation(self) -> None:
-        """Hook called by DML execution; reserved for statistics."""
+    def after_mutation(self, rows: int = 0) -> None:
+        """Hook called by DML execution with the affected-row count."""
+        self.last_rows_affected = rows
 
     def commit(self) -> None:
         self._check_open()
         with self.database.lock.write():
             self.transaction_log.commit()
+            pending = self._commit_durable()
+        # The fsync happens outside the engine lock so that concurrent
+        # committers share one group-commit flush.  (A SQL-level COMMIT
+        # statement reaches here with the statement lock still held —
+        # reentrant, correct, just without cross-session batching.)
+        self._after_commit(pending)
 
     def rollback(self) -> None:
         # Rollback replays undo actions against shared table heaps, so it
@@ -649,12 +810,14 @@ class Session:
         self._check_open()
         with self.database.lock.write():
             self.transaction_log.rollback()
+            self._abort_durable()
 
     def close(self) -> None:
         if not self.closed:
-            if self.transaction_log.active:
+            if self.transaction_log.active or self._durable_txn is not None:
                 with self.database.lock.write():
                     self.transaction_log.rollback()
+                    self._abort_durable()
             self.closed = True
 
     def _check_open(self) -> None:

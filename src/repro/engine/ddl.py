@@ -5,6 +5,14 @@ statements CREATE PROCEDURE/FUNCTION (Part 1) and CREATE TYPE (Part 2)
 are dispatched by :mod:`repro.engine.database` to
 :mod:`repro.procedures.registration` and
 :mod:`repro.datatypes.registration`, which own their resolution rules.
+
+Durability: DDL in this engine is non-transactional — it takes effect
+immediately and creates no undo entries — so on a durable database the
+session layer redo-logs each DDL statement as its own immediately
+committed WAL transaction (see ``_DDL_STATEMENTS`` in
+:mod:`repro.engine.database`).  Nothing in this module touches the WAL
+directly; it only has to keep being replayable, i.e. driven entirely by
+the statement AST and catalog state.
 """
 
 from __future__ import annotations
@@ -16,6 +24,7 @@ from repro.engine import ast
 from repro.engine.catalog import Column, Table, View
 from repro.engine.indexes import Index
 from repro.engine.planner import plan_query
+from repro.observability import metrics as _metrics
 from repro.sqltypes import ObjectType
 
 __all__ = [
@@ -28,8 +37,13 @@ __all__ = [
     "execute_revoke",
 ]
 
+#: Catalog-changing operations executed (all kinds); complements the
+#: per-kind ``statements.<kind>`` counters with one schema-churn gauge.
+_DDL_OPERATIONS = _metrics.registry.counter("ddl.operations")
+
 
 def execute_create_table(stmt: ast.CreateTable, session: Any) -> None:
+    _DDL_OPERATIONS.increment()
     columns = []
     primary_keys = [d.name for d in stmt.columns if d.primary_key]
     if len(primary_keys) > 1:
@@ -60,6 +74,7 @@ def execute_alter_table(stmt: ast.AlterTable, session: Any) -> None:
     works on tables with at most one row, for the same reason it would
     in any SQL engine.
     """
+    _DDL_OPERATIONS.increment()
     table = session.catalog.get_table(stmt.table)
     _require_ownership(session, table.owner, "TABLE", stmt.table)
 
@@ -122,6 +137,7 @@ def _refresh_indexes(session: Any, table: Table) -> None:
 
 
 def execute_create_view(stmt: ast.CreateView, session: Any) -> None:
+    _DDL_OPERATIONS.increment()
     # Plan once now to validate the query and check privileges; the plan
     # itself is rebuilt at each use so later schema changes are observed.
     plan_query(stmt.query, session)
@@ -132,6 +148,7 @@ def execute_create_view(stmt: ast.CreateView, session: Any) -> None:
 
 def execute_create_index(stmt: ast.CreateIndex, session: Any) -> None:
     """CREATE INDEX: validate, build from existing rows, register."""
+    _DDL_OPERATIONS.increment()
     catalog = session.catalog
     table = catalog.get_table(stmt.table)
     _require_ownership(session, table.owner, "TABLE", stmt.table)
@@ -153,6 +170,7 @@ def execute_create_index(stmt: ast.CreateIndex, session: Any) -> None:
 
 
 def execute_drop(stmt: ast.Drop, session: Any) -> None:
+    _DDL_OPERATIONS.increment()
     catalog = session.catalog
     privileges = session.database.privileges
     kind = stmt.kind
@@ -219,6 +237,7 @@ def _object_owner(session: Any, kind: str, name: str) -> str:
 
 
 def execute_grant(stmt: ast.Grant, session: Any) -> None:
+    _DDL_OPERATIONS.increment()
     owner = _object_owner(session, stmt.object_kind, stmt.object_name)
     session.database.privileges.grant(
         stmt.privilege,
@@ -234,6 +253,7 @@ def execute_grant(stmt: ast.Grant, session: Any) -> None:
 
 
 def execute_revoke(stmt: ast.Revoke, session: Any) -> None:
+    _DDL_OPERATIONS.increment()
     owner = _object_owner(session, stmt.object_kind, stmt.object_name)
     session.database.privileges.revoke(
         stmt.privilege,

@@ -132,7 +132,7 @@ def execute_insert(
             _check_unique(table, row)
             store.insert(row)
             inserted += 1
-        session.after_mutation()
+        session.after_mutation(rows=inserted)
         return inserted
 
     plan, shape = plan_query(stmt.source, session)
@@ -148,7 +148,7 @@ def execute_insert(
         _check_unique(table, row)
         store.insert(row)
         inserted += 1
-    session.after_mutation()
+    session.after_mutation(rows=inserted)
     return inserted
 
 
@@ -211,7 +211,7 @@ def execute_delete(
     positions = _matching_positions(table, stmt.where, session, params)
     if positions:
         RowStore(table, session.transaction_log).delete_at(positions)
-    session.after_mutation()
+    session.after_mutation(rows=len(positions))
     return len(positions)
 
 
@@ -280,7 +280,7 @@ def execute_update(
 
     for position, new_row in replacements:
         store.update_at(position, new_row)
-    session.after_mutation()
+    session.after_mutation(rows=len(replacements))
     return len(replacements)
 
 

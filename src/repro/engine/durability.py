@@ -1,0 +1,452 @@
+"""Durability manager: WAL + checkpoint + crash recovery.
+
+This module ties the :mod:`repro.engine.wal` log to the engine:
+
+* :func:`open_database` opens (or creates) a durable database in a
+  directory, running crash recovery first — load the last checkpoint
+  snapshot, truncate the WAL's torn tail, replay every *committed*
+  transaction the snapshot does not already contain, and discard
+  uncommitted ones.
+* :class:`DurabilityManager` is attached to the database as
+  ``database.durability`` and receives redo records from the session
+  layer (see ``Session._log_durable`` in
+  :mod:`repro.engine.database`): one ``stmt`` record per mutating
+  statement, a ``commit``/``abort`` marker per transaction, and an
+  fsync barrier (:meth:`DurabilityManager.wait_durable`) that the
+  session calls *after* releasing the engine lock so concurrent
+  committers group-commit.
+* :meth:`DurabilityManager.checkpoint` folds the log into the snapshot
+  persistence format of :mod:`repro.engine.persistence` (same
+  ``DatabaseImage``, wrapped with the last folded WAL sequence number)
+  and truncates the log.
+
+Redo is *logical*, at statement granularity: a record stores the
+statement's SQL text, its parameters and the executing user, and
+recovery re-executes it through the normal session path.  That makes
+index maintenance, constraint checks, triggers-of-the-future and UDT
+columns redo-covered by construction — replay runs the same code the
+original execution ran.  The documented limit (docs/DURABILITY.md) is
+determinism: a statement whose effect depends on the outside world
+(an external routine reading the clock, say) may replay differently.
+
+Crash safety of the checkpoint itself: the snapshot is written to a
+temp file, fsynced, and atomically ``os.replace``d over the previous
+one *before* the log is truncated.  A crash between those two steps
+leaves a snapshot that already contains every WAL record — recovery
+skips records with ``seq <= snapshot.last_seq``, so nothing is applied
+twice.
+
+Fault-injection sites: ``wal.checkpoint`` fires before the snapshot is
+written, ``wal.checkpoint.install`` fires after the snapshot is
+installed but before the log is truncated (the classic torn-checkpoint
+window).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import threading
+import time
+from typing import Any, Dict, Union
+
+from repro import errors, faultpoints
+from repro.observability import metrics as _metrics
+from repro.engine.database import Database, Session
+from repro.engine.dialects import STANDARD, Dialect
+from repro.engine.persistence import (
+    DatabaseImage,
+    image_of,
+    restore_database,
+)
+from repro.engine.wal import (
+    KIND_ABORT,
+    KIND_COMMIT,
+    KIND_STATEMENT,
+    WalRecord,
+    WriteAheadLog,
+    scan_records,
+)
+
+__all__ = [
+    "DurabilityManager",
+    "open_database",
+    "SNAPSHOT_FILENAME",
+    "WAL_FILENAME",
+]
+
+SNAPSHOT_FILENAME = "snapshot.db"
+WAL_FILENAME = "wal.log"
+
+#: Version of the ``{image, last_seq}`` checkpoint wrapper (the inner
+#: ``DatabaseImage`` carries its own FORMAT_VERSION).
+CHECKPOINT_VERSION = 1
+
+_CHECKPOINTS = _metrics.registry.counter("wal.checkpoints")
+_CHECKPOINT_SECONDS = _metrics.registry.histogram("wal.checkpoint.seconds")
+_RECOVERIES = _metrics.registry.counter("wal.recoveries")
+_RECOVERY_SECONDS = _metrics.registry.histogram("wal.recovery.seconds")
+_RECOVERED_TXNS = _metrics.registry.counter("wal.recovered_txns")
+_DISCARDED_TXNS = _metrics.registry.counter("wal.discarded_txns")
+
+
+class DurabilityManager:
+    """Owns a database's WAL, transaction ids, and checkpoint policy.
+
+    Attached to the database as ``database.durability`` by
+    :func:`open_database`; ``None`` on a purely in-memory database.
+    All methods that append are called with the engine write lock held
+    (the session layer guarantees ordering); :meth:`wait_durable` and
+    :meth:`maybe_checkpoint` are called *after* the lock is released.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        wal: WriteAheadLog,
+        directory: str,
+        *,
+        last_seq: int = 0,
+        checkpoint_interval: int = 256,
+    ) -> None:
+        self.database = database
+        self.wal = wal
+        self.directory = directory
+        self.checkpoint_interval = checkpoint_interval
+        self._state_lock = threading.Lock()
+        self._next_seq = last_seq + 1
+        self._next_txn = 1
+        self._snapshot_seq = last_seq  # highest seq folded into snapshot
+        self._commits_since_checkpoint = 0
+        self.active_txns: set = set()
+        self.closed = False
+
+    # ------------------------------------------------------------------
+    # logging (called under the engine write lock)
+    # ------------------------------------------------------------------
+    def begin(self) -> int:
+        """Allocate a transaction id and mark it active."""
+        with self._state_lock:
+            txn = self._next_txn
+            self._next_txn += 1
+            self.active_txns.add(txn)
+        return txn
+
+    def _alloc_seq(self) -> int:
+        with self._state_lock:
+            seq = self._next_seq
+            self._next_seq += 1
+        return seq
+
+    def log_statement(
+        self,
+        txn: int,
+        user: str,
+        sql: str,
+        params: Any,
+    ) -> None:
+        """Append one redo record for a successfully executed statement."""
+        record = WalRecord(
+            self._alloc_seq(), KIND_STATEMENT, txn,
+            (user, sql, tuple(params or ())),
+        )
+        self.wal.append(record)
+
+    def log_commit(self, txn: int) -> int:
+        """Append the commit marker; returns the WAL position to pass to
+        :meth:`wait_durable` once the engine lock is released."""
+        record = WalRecord(self._alloc_seq(), KIND_COMMIT, txn, None)
+        position = self.wal.append(record)
+        with self._state_lock:
+            self.active_txns.discard(txn)
+            self._commits_since_checkpoint += 1
+        return position
+
+    def log_abort(self, txn: int) -> None:
+        """Append the abort marker.  Aborts are never fsynced — losing
+        one is harmless, recovery discards uncommitted transactions
+        anyway."""
+        record = WalRecord(self._alloc_seq(), KIND_ABORT, txn, None)
+        self.wal.append(record)
+        with self._state_lock:
+            self.active_txns.discard(txn)
+
+    # ------------------------------------------------------------------
+    # durability barrier (called with no engine lock held)
+    # ------------------------------------------------------------------
+    def wait_durable(self, position: int) -> None:
+        """Block until the log is fsynced through ``position`` (group
+        commit: one fsync may cover many callers)."""
+        self.wal.sync_to(position)
+
+    def maybe_checkpoint(self) -> bool:
+        """Checkpoint if enough commits have accumulated."""
+        with self._state_lock:
+            due = (
+                self.checkpoint_interval > 0
+                and self._commits_since_checkpoint
+                >= self.checkpoint_interval
+            )
+        if not due:
+            return False
+        return self.checkpoint()
+
+    # ------------------------------------------------------------------
+    # checkpoint
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> bool:
+        """Fold the WAL into the snapshot and truncate it.
+
+        Runs under the exclusive engine lock and only when no durable
+        transaction is in flight (an open transaction's uncommitted
+        heap changes must not leak into the snapshot); returns False
+        when skipped for that reason.  Safe against a crash at any
+        point: the snapshot is installed atomically *before* the log
+        is truncated, and recovery skips already-folded records.
+        """
+        start = time.perf_counter()
+        with self.database.lock.write():
+            with self._state_lock:
+                if self.closed:
+                    return False
+                if self.active_txns:
+                    return False
+                last_seq = self._next_seq - 1
+            image = image_of(self.database)
+            payload = {
+                "version": CHECKPOINT_VERSION,
+                "image": image,
+                "last_seq": last_seq,
+            }
+            faultpoints.trigger("wal.checkpoint")
+            path = os.path.join(self.directory, SNAPSHOT_FILENAME)
+            tmp_path = path + ".tmp"
+            try:
+                data = pickle.dumps(
+                    payload, protocol=pickle.HIGHEST_PROTOCOL
+                )
+            except Exception as exc:
+                raise errors.DataError(
+                    "database is not checkpointable — object columns "
+                    "may only hold instances of importable classes: "
+                    f"{exc}"
+                ) from exc
+            with open(tmp_path, "wb") as handle:
+                handle.write(data)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_path, path)
+            self._fsync_directory()
+            faultpoints.trigger("wal.checkpoint.install")
+            self.wal.reset()
+            with self._state_lock:
+                self._snapshot_seq = last_seq
+                self._commits_since_checkpoint = 0
+        _CHECKPOINTS.increment()
+        _CHECKPOINT_SECONDS.observe(time.perf_counter() - start)
+        return True
+
+    def _fsync_directory(self) -> None:
+        try:
+            fd = os.open(self.directory, os.O_RDONLY)
+        except OSError:  # pragma: no cover - platform-dependent
+            return
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self, *, checkpoint: bool = True) -> None:
+        """Flush and close the WAL, checkpointing first on a clean
+        close (skipped when a transaction is still open)."""
+        if self.closed:
+            return
+        if checkpoint:
+            try:
+                self.checkpoint()
+            except errors.ReproError:
+                pass  # an unpicklable row must not block close
+        with self._state_lock:
+            self.closed = True
+        self.wal.close()
+
+
+# ---------------------------------------------------------------------------
+# recovery / open
+# ---------------------------------------------------------------------------
+
+
+def _load_snapshot(path: str):
+    """Read a checkpoint snapshot; returns ``(image, last_seq)`` or
+    ``(None, 0)`` when no snapshot exists."""
+    if not os.path.exists(path):
+        return None, 0
+    with open(path, "rb") as handle:
+        try:
+            payload = pickle.load(handle)
+        except Exception as exc:
+            raise errors.DataError(
+                f"cannot load checkpoint snapshot {path!r}: {exc}"
+            ) from exc
+    if (
+        not isinstance(payload, dict)
+        or not isinstance(payload.get("image"), DatabaseImage)
+        or payload.get("version") != CHECKPOINT_VERSION
+    ):
+        raise errors.DataError(
+            f"{path!r} does not contain a supported checkpoint snapshot"
+        )
+    return payload["image"], int(payload["last_seq"])
+
+
+def _read_wal(path: str):
+    """Scan the WAL, truncating any torn tail left by a crash.
+
+    Returns ``(records, max_seq)``.
+    """
+    if not os.path.exists(path):
+        return [], 0
+    with open(path, "rb") as handle:
+        data = handle.read()
+    records, valid = scan_records(data)
+    if valid < len(data):
+        # Torn tail: a crash mid-write left a partial or corrupt frame.
+        # Physically discard it so the append handle starts at a clean
+        # record boundary.
+        with open(path, "r+b") as handle:
+            handle.truncate(valid)
+            handle.flush()
+            os.fsync(handle.fileno())
+    max_seq = records[-1].seq if records else 0
+    return records, max_seq
+
+
+def _replay(database: Database, records, last_seq: int) -> int:
+    """Re-execute committed transactions with ``seq > last_seq``.
+
+    Uncommitted transactions (no commit marker survived) and aborted
+    ones are discarded — exactly the semantics of "the committed
+    prefix".  Returns the number of transactions replayed.
+    """
+    committed = {r.txn for r in records if r.kind == KIND_COMMIT}
+    aborted = {r.txn for r in records if r.kind == KIND_ABORT}
+    sessions: Dict[int, Session] = {}
+    lost: set = set()
+    replayed = 0
+    try:
+        for record in records:
+            if record.seq <= last_seq:
+                continue  # already folded into the snapshot
+            if record.txn not in committed:
+                # In-flight at the crash (no marker survived) or
+                # explicitly aborted: either way, not replayed.
+                if record.txn not in aborted:
+                    lost.add(record.txn)
+                continue
+            if record.kind == KIND_STATEMENT:
+                user, sql, params = record.data
+                session = sessions.get(record.txn)
+                if session is None:
+                    session = database.create_session(
+                        user, autocommit=False
+                    )
+                    sessions[record.txn] = session
+                with session.impersonate(user):
+                    session.execute(sql, list(params))
+            elif record.kind == KIND_COMMIT:
+                session = sessions.pop(record.txn, None)
+                if session is not None:
+                    session.commit()
+                    session.close()
+                replayed += 1
+    finally:
+        for session in sessions.values():
+            session.close()  # rolls back anything uncommitted
+    if lost:
+        _DISCARDED_TXNS.increment(len(lost))
+    return replayed
+
+
+def _verify_indexes(database: Database) -> None:
+    """Cross-check every secondary index against its heap after replay."""
+    for table in database.catalog.tables.values():
+        for index in table.indexes:
+            index.verify_against_heap()
+
+
+def open_database(
+    directory: str,
+    *,
+    name: str = "db",
+    dialect: Union[str, Dialect] = STANDARD,
+    admin_user: str = "dba",
+    plan_cache_size: int = 128,
+    sync: bool = True,
+    group_window: float = 0.0,
+    group_size: int = 16,
+    checkpoint_interval: int = 256,
+) -> Database:
+    """Open (or create) a durable database rooted at ``directory``.
+
+    Recovery runs first: the last checkpoint snapshot is restored, the
+    WAL's torn tail is truncated, and committed-but-uncheckpointed
+    transactions are replayed in log order.  The returned database has
+    a :class:`DurabilityManager` attached as ``database.durability``;
+    ``name``/``dialect``/``admin_user`` only apply when the directory
+    is empty (an existing snapshot's identity wins).
+
+    ``sync=False`` turns off fsync (for tests and bulk loads);
+    ``group_window``/``group_size`` tune group commit (see
+    :class:`repro.engine.wal.WriteAheadLog`); a checkpoint is taken
+    every ``checkpoint_interval`` commits (0 disables automatic
+    checkpoints — call :meth:`Database.checkpoint` yourself).
+    """
+    started = time.perf_counter()
+    os.makedirs(directory, exist_ok=True)
+    snapshot_path = os.path.join(directory, SNAPSHOT_FILENAME)
+    wal_path = os.path.join(directory, WAL_FILENAME)
+
+    image, last_seq = _load_snapshot(snapshot_path)
+    if image is not None:
+        database = restore_database(
+            image, plan_cache_size=plan_cache_size
+        )
+    else:
+        database = Database(
+            name=name,
+            dialect=dialect,
+            admin_user=admin_user,
+            plan_cache_size=plan_cache_size,
+        )
+
+    records, max_seq = _read_wal(wal_path)
+    replayed = _replay(database, records, last_seq)
+    if replayed:
+        _verify_indexes(database)
+        _RECOVERED_TXNS.increment(replayed)
+
+    wal = WriteAheadLog(
+        wal_path,
+        sync=sync,
+        group_window=group_window,
+        group_size=group_size,
+    )
+    manager = DurabilityManager(
+        database,
+        wal,
+        directory,
+        last_seq=max(last_seq, max_seq),
+        checkpoint_interval=checkpoint_interval,
+    )
+    database.durability = manager
+    if records:
+        # Fold the surviving log into a fresh snapshot so the WAL
+        # restarts empty; skipping already-folded records made the
+        # replay idempotent, this makes the on-disk state canonical.
+        manager.checkpoint()
+    _RECOVERIES.increment()
+    _RECOVERY_SECONDS.observe(time.perf_counter() - started)
+    return database

@@ -108,6 +108,33 @@ class Index:
     def covers_column(self, column_name: str) -> bool:
         return column_name in self.column_names
 
+    def verify_against_heap(self) -> None:
+        """Assert the index agrees exactly with the table heap.
+
+        Used by crash recovery (:mod:`repro.engine.durability`) after
+        replaying the write-ahead log: replay maintains indexes through
+        the ordinary DML path, and this check proves it — every heap
+        row present in its bucket (by identity), no phantom entries,
+        matching cardinality.  Raises :class:`repro.errors.DataError`
+        on any divergence.
+        """
+        from repro import errors
+
+        entries = len(self)
+        heap = len(self.table.rows)
+        if entries != heap:
+            raise errors.DataError(
+                f"index {self.name!r} on {self.table.name!r} holds "
+                f"{entries} entries for {heap} heap rows"
+            )
+        for row in self.table.rows:
+            bucket = self._buckets.get(self.key_of_row(row), ())
+            if not any(candidate is row for candidate in bucket):
+                raise errors.DataError(
+                    f"index {self.name!r} on {self.table.name!r} is "
+                    f"missing a heap row (key {self.key_of_row(row)!r})"
+                )
+
     # ------------------------------------------------------------------
     # probes
     # ------------------------------------------------------------------

@@ -36,7 +36,13 @@ from repro.engine.catalog import (
 from repro.engine.database import Database
 from repro.engine.indexes import Index
 
-__all__ = ["save_database", "load_database", "DatabaseImage"]
+__all__ = [
+    "save_database",
+    "load_database",
+    "image_of",
+    "restore_database",
+    "DatabaseImage",
+]
 
 FORMAT_VERSION = 1
 
@@ -153,7 +159,13 @@ def _member_image(binding: MethodBinding) -> _MemberImage:
     )
 
 
-def _image_of(database: Database) -> DatabaseImage:
+def image_of(database: Database) -> DatabaseImage:
+    """Capture ``database`` as a picklable :class:`DatabaseImage`.
+
+    Used by :func:`save_database` and by the durability checkpointer
+    (:mod:`repro.engine.durability`), which folds the write-ahead log
+    into exactly this snapshot format.
+    """
     catalog = database.catalog
 
     types: List[_TypeImage] = []
@@ -251,9 +263,13 @@ def _image_of(database: Database) -> DatabaseImage:
     )
 
 
+#: Backwards-compatible private alias (pre-durability callers).
+_image_of = image_of
+
+
 def save_database(database: Database, path: str) -> str:
     """Serialise ``database`` to ``path``; returns the path."""
-    image = _image_of(database)
+    image = image_of(database)
     try:
         payload = pickle.dumps(image, protocol=pickle.HIGHEST_PROTOCOL)
     except Exception as exc:
@@ -285,6 +301,14 @@ def load_database(path: str) -> Database:
         raise errors.DataError(
             "file does not contain a PySQLJ database image"
         )
+    return restore_database(image)
+
+
+def restore_database(
+    image: DatabaseImage, *, plan_cache_size: int = 128
+) -> Database:
+    """Reconstruct a live :class:`Database` from a
+    :class:`DatabaseImage` (the inverse of :func:`image_of`)."""
     if image.version != FORMAT_VERSION:
         raise errors.DataError(
             f"database image version {image.version} is not supported"
@@ -294,6 +318,7 @@ def load_database(path: str) -> Database:
         name=image.name,
         dialect=image.dialect,
         admin_user=image.admin_user,
+        plan_cache_size=plan_cache_size,
     )
     catalog = database.catalog
     session = database.create_session()

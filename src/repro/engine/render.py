@@ -3,7 +3,11 @@
 Used by profile customizers to show (and test) the vendor-specific SQL a
 customization produces — e.g. the standard dialect's ``LIMIT n`` becomes
 ``SELECT TOP n`` for the acme dialect and ``FETCH FIRST n ROWS ONLY`` for
-zenith, and ``||`` concatenation becomes ``+`` where required.
+zenith, and ``||`` concatenation becomes ``+`` where required — and by
+the durability layer (:mod:`repro.engine.durability`) as the fallback
+source of redo-log SQL text when a statement arrives as a bare AST
+(profile-driven execution), which is why DDL and savepoint statements
+render too.
 """
 
 from __future__ import annotations
@@ -43,9 +47,67 @@ class _Renderer:
             return "COMMIT"
         if isinstance(node, ast.Rollback):
             return "ROLLBACK"
+        if isinstance(node, ast.CreateTable):
+            columns = ", ".join(
+                self.column_def(c) for c in node.columns
+            )
+            return f"CREATE TABLE {node.name} ({columns})"
+        if isinstance(node, ast.CreateView):
+            text = f"CREATE VIEW {node.name}"
+            if node.column_names:
+                text += f" ({', '.join(node.column_names)})"
+            return f"{text} AS {self.query(node.query)}"
+        if isinstance(node, ast.AlterTable):
+            if node.action == "ADD":
+                return (
+                    f"ALTER TABLE {node.table} ADD COLUMN "
+                    f"{self.column_def(node.column_def)}"
+                )
+            return (
+                f"ALTER TABLE {node.table} DROP COLUMN "
+                f"{node.column_name}"
+            )
+        if isinstance(node, ast.CreateIndex):
+            columns = ", ".join(node.columns)
+            return (
+                f"CREATE INDEX {node.name} ON {node.table} ({columns})"
+            )
+        if isinstance(node, ast.Drop):
+            exists = "IF EXISTS " if node.if_exists else ""
+            return f"DROP {node.kind} {exists}{node.name}"
+        if isinstance(node, ast.Grant):
+            grantees = ", ".join(node.grantees)
+            return (
+                f"GRANT {node.privilege} ON {node.object_name} "
+                f"TO {grantees}"
+            )
+        if isinstance(node, ast.Revoke):
+            grantees = ", ".join(node.grantees)
+            return (
+                f"REVOKE {node.privilege} ON {node.object_name} "
+                f"FROM {grantees}"
+            )
+        if isinstance(node, ast.Savepoint):
+            return f"SAVEPOINT {node.name}"
+        if isinstance(node, ast.RollbackTo):
+            return f"ROLLBACK TO SAVEPOINT {node.name}"
+        if isinstance(node, ast.ReleaseSavepoint):
+            return f"RELEASE SAVEPOINT {node.name}"
         raise errors.FeatureNotSupportedError(
             f"cannot render {type(node).__name__}"
         )
+
+    def column_def(self, definition: ast.ColumnDef) -> str:
+        parts = [definition.name, definition.type_spelling]
+        if definition.default is not None:
+            parts.append(f"DEFAULT {self.expr(definition.default)}")
+        if definition.not_null:
+            parts.append("NOT NULL")
+        if definition.primary_key:
+            parts.append("PRIMARY KEY")
+        elif definition.unique:
+            parts.append("UNIQUE")
+        return " ".join(parts)
 
     def select(self, node: ast.Select) -> str:
         parts: List[str] = ["SELECT"]

@@ -18,9 +18,14 @@ from typing import Any, Callable, List, Optional
 
 from repro import faultpoints
 from repro.engine.catalog import Table
+from repro.observability import metrics as _metrics
 from repro.sqltypes import ObjectType
 
 __all__ = ["TransactionLog", "store_value", "fetch_value", "RowStore"]
+
+#: Heap mutations (rows inserted + deleted + replaced) across every
+#: table; pairs with the ``wal.*`` counters to show write amplification.
+_ROWS_MUTATED = _metrics.registry.counter("rows.mutated")
 
 
 def store_value(value: Any, descriptor: Any) -> Any:
@@ -173,6 +178,7 @@ class RowStore:
         rows = self.table.rows
         rows.append(row)
         self._index_add(row)
+        _ROWS_MUTATED.increment()
         if self.log is not None:
             def undo(r=row, rs=rows, store=self) -> None:
                 # Remove by identity: list.remove would delete the first
@@ -194,6 +200,7 @@ class RowStore:
             del rows[pos]
         for _, row in saved:
             self._index_remove(row)
+        _ROWS_MUTATED.increment(len(saved))
         if self.log is not None:
             def undo(saved=saved, rs=rows, store=self) -> None:
                 for pos, row in saved:
@@ -209,6 +216,7 @@ class RowStore:
         rows[position] = new_row
         self._index_remove(old_row)
         self._index_add(new_row)
+        _ROWS_MUTATED.increment()
         if self.log is not None:
             def undo(pos=position, row=old_row, new=new_row,
                      rs=rows, store=self) -> None:

@@ -1,12 +1,24 @@
-"""Transaction primitives.
+"""Transaction and durability primitives.
 
 The undo-log implementation lives next to the row heaps in
-:mod:`repro.engine.storage` and the engine's reader-writer lock in
-:mod:`repro.engine.locks`; this module re-exports them under the names
-the architecture documentation uses.
+:mod:`repro.engine.storage`, the engine's reader-writer lock in
+:mod:`repro.engine.locks`, and the redo half — write-ahead log,
+group commit, checkpointing and crash recovery — in
+:mod:`repro.engine.wal` and :mod:`repro.engine.durability`; this module
+re-exports them under the names the architecture documentation uses.
 """
 
+from repro.engine.durability import DurabilityManager, open_database
 from repro.engine.locks import ReadWriteLock
 from repro.engine.storage import RowStore, TransactionLog
+from repro.engine.wal import WalRecord, WriteAheadLog
 
-__all__ = ["TransactionLog", "RowStore", "ReadWriteLock"]
+__all__ = [
+    "TransactionLog",
+    "RowStore",
+    "ReadWriteLock",
+    "WriteAheadLog",
+    "WalRecord",
+    "DurabilityManager",
+    "open_database",
+]

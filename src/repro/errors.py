@@ -37,6 +37,7 @@ from __future__ import annotations
 from typing import Iterator, Optional
 
 __all__ = [
+    "ReproError",
     "SQLException",
     "SQLWarning",
     "SQLSyntaxError",
@@ -81,8 +82,15 @@ __all__ = [
 ]
 
 
-class SQLException(Exception):
-    """Root of all database errors, mirroring ``java.sql.SQLException``.
+class ReproError(Exception):
+    """Root of every PySQLJ error, across all layers.
+
+    Everything the package raises on purpose — engine errors, dbapi and
+    pool failures, procedure/SQLJ errors, operator wrappers, durability
+    faults — derives from this class and carries a five-character ISO
+    ``sqlstate``, so one ``except repro.ReproError`` catches the whole
+    public surface.  (:class:`SQLException` remains the JDBC-flavoured
+    alias the paper-facing layers use; it *is* a ``ReproError``.)
 
     Parameters
     ----------
@@ -131,6 +139,15 @@ class SQLException(Exception):
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return f"[SQLSTATE {self.sqlstate}] {self.message}"
+
+
+class SQLException(ReproError):
+    """JDBC-flavoured alias for :class:`ReproError`.
+
+    Mirrors ``java.sql.SQLException``; kept as the name the engine,
+    dbapi and SQLJ layers raise so paper-facing code reads like the
+    tutorial.  New code should catch :class:`ReproError`.
+    """
 
 
 class SQLWarning(SQLException):

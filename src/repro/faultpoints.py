@@ -13,19 +13,28 @@ are safe on per-statement paths.
 
 Well-known sites:
 
-======================  ===================================================
-site                    fired
-======================  ===================================================
-``executor.run``        before a compiled query plan materialises rows
-``storage.insert``      before a row is appended to a table heap
-``storage.delete``      before rows are deleted from a table heap
-``storage.update``      before a row is replaced in a table heap
-``pool.checkout``       inside :meth:`ConnectionPool.checkout`, before a
-                        connection is handed out
-``pool.checkin``        when a pooled connection is returned (pipe site:
-                        receives the session, may corrupt/kill it)
-``procedure.invoke``    before an external routine body runs
-======================  ===================================================
+==========================  ===============================================
+site                        fired
+==========================  ===============================================
+``executor.run``            before a compiled query plan materialises rows
+``storage.insert``          before a row is appended to a table heap
+``storage.delete``          before rows are deleted from a table heap
+``storage.update``          before a row is replaced in a table heap
+``pool.checkout``           inside :meth:`ConnectionPool.checkout`, before
+                            a connection is handed out
+``pool.checkin``            when a pooled connection is returned (pipe
+                            site: receives the session, may corrupt/kill)
+``procedure.invoke``        before an external routine body runs
+``wal.append``              before a redo record is framed and written
+``wal.write``               pipe site: receives the framed record bytes
+                            (corrupting them models a torn write)
+``wal.written``             after the OS write, before the record is
+                            durable (the classic lost-write window)
+``wal.fsync``               just before ``os.fsync`` of the log
+``wal.checkpoint``          before the checkpoint snapshot is written
+``wal.checkpoint.install``  after the snapshot is atomically installed,
+                            before the log is truncated
+==========================  ===============================================
 """
 
 from __future__ import annotations

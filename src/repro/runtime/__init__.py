@@ -7,10 +7,20 @@ iterator classes in :mod:`repro.runtime.iterators` implement the paper's
 strongly typed cursors, and :mod:`repro.runtime.api` holds the entry
 points the translator's generated code calls (``sqlj.execute``,
 ``sqlj.query``, ``sqlj.fetch``, ``sqlj.load_profile``).
+
+``sqlj`` and the iterator classes stay eagerly importable here — they
+are the translator's code-generation targets.  ``ConnectionContext``
+and ``ExecutionContext`` moved to the top-level :mod:`repro` façade;
+importing them from ``repro.runtime`` still works but emits
+:class:`DeprecationWarning`.
 """
 
+from __future__ import annotations
+
+import warnings
+from typing import Any, List
+
 from repro.runtime import api as sqlj
-from repro.runtime.context import ConnectionContext, ExecutionContext
 from repro.runtime.iterators import (
     NamedIterator,
     PositionalIterator,
@@ -25,3 +35,25 @@ __all__ = [
     "PositionalIterator",
     "NamedIterator",
 ]
+
+_FACADE_NAMES = ("ConnectionContext", "ExecutionContext")
+
+
+def __getattr__(name: str) -> Any:
+    if name not in _FACADE_NAMES:
+        raise AttributeError(
+            f"module 'repro.runtime' has no attribute {name!r}"
+        )
+    warnings.warn(
+        f"importing {name} from repro.runtime is deprecated; "
+        "import it from the top-level repro package instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.runtime import context
+
+    return getattr(context, name)
+
+
+def __dir__() -> List[str]:
+    return sorted(set(globals()) | set(__all__))

@@ -14,6 +14,7 @@ mirroring ``sqlj.runtime.ref.DefaultContext``.
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, Dict, Optional, Sequence
 
 from repro import errors
@@ -29,11 +30,18 @@ _CLAUSES = _metrics.registry.counter("sqlj.clauses")
 
 
 class ExecutionContext:
-    """Per-context execution bookkeeping (update counts, warnings)."""
+    """Per-context execution bookkeeping (update counts, warnings).
 
-    def __init__(self) -> None:
+    ``timeout`` is accepted for ctor consistency with the rest of the
+    public surface (:class:`ConnectionContext`,
+    :class:`repro.dbapi.pool.ConnectionPool`); it is recorded on the
+    instance but not enforced per-statement by the embedded engine.
+    """
+
+    def __init__(self, *, timeout: Optional[float] = None) -> None:
         self.update_count: int = -1
         self.warnings: list = []
+        self.timeout = timeout
 
     def record(self, result: StatementResult) -> None:
         if result.kind == "update":
@@ -59,14 +67,27 @@ class ConnectionContext:
 
     def __init__(
         self,
-        target: Any = None,
+        url: Any = None,
+        *,
         user: Optional[str] = None,
         pooled: bool = False,
+        timeout: Optional[float] = None,
+        target: Any = None,
     ) -> None:
+        if target is not None:
+            warnings.warn(
+                "ConnectionContext(target=...) is deprecated; pass the "
+                "connection source as the first argument (url=...)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if url is None:
+                url = target
         self._owns_session = False
         self._owned_connection: Optional[Any] = None
-        self.session = self._resolve(target, user, pooled)
-        self.execution_context = ExecutionContext()
+        self.timeout = timeout
+        self.session = self._resolve(url, user, pooled, timeout)
+        self.execution_context = ExecutionContext(timeout=timeout)
         self._connected_profiles: Dict[int, ConnectedProfile] = {}
         self._closed = False
         self._tracer: Optional[Any] = None
@@ -86,7 +107,11 @@ class ConnectionContext:
         self._tracer = tracer
 
     def _resolve(
-        self, target: Any, user: Optional[str], pooled: bool = False
+        self,
+        target: Any,
+        user: Optional[str],
+        pooled: bool = False,
+        timeout: Optional[float] = None,
     ) -> Session:
         from repro.dbapi.connection import Connection
         from repro.dbapi.driver import DriverManager
@@ -99,15 +124,15 @@ class ConnectionContext:
             if pooled:
                 self._owned_connection = DriverManager.get_pool(
                     f"pool:{target.name}", user=user, database=target
-                ).checkout()
+                ).checkout(timeout=timeout)
                 return self._owned_connection.session
             self._owns_session = True
             return target.create_session(user=user, autocommit=True)
         if isinstance(target, str):
             if pooled:
-                self._owned_connection = DriverManager.get_connection(
-                    target, user=user, pooled=True
-                )
+                self._owned_connection = DriverManager.get_pool(
+                    target, user=user
+                ).checkout(timeout=timeout)
                 return self._owned_connection.session
             self._owns_session = True
             return DriverManager.get_connection(target, user=user).session

@@ -9,10 +9,10 @@ import os
 import pytest
 
 from repro import faultpoints
-from repro.dbapi.driver import DriverManager, registry
-from repro.engine import Database
+from repro import DriverManager, registry
+from repro import Database
 from repro.procedures import build_par
-from repro.runtime import ConnectionContext
+from repro import ConnectionContext
 
 from tests import paper_assets
 

@@ -67,7 +67,7 @@ ROUTINES1_SOURCE = '''
 """The paper's Routines1: region (plain computation) and correct_states
 (SQL update through the default connection)."""
 
-from repro.dbapi import DriverManager
+from repro import DriverManager
 
 
 def region(s):
@@ -92,7 +92,7 @@ def correct_states(old_spelling, new_spelling):
 ROUTINES2_SOURCE = '''
 """The paper's Routines2: best_two_emps with eight OUT parameters."""
 
-from repro.dbapi import DriverManager
+from repro import DriverManager
 
 
 def best_two_emps(n1, id1, r1, s1, n2, id2, r2, s2, region_parm):
@@ -123,7 +123,7 @@ def best_two_emps(n1, id1, r1, s1, n2, id2, r2, s2, region_parm):
 ROUTINES3_SOURCE = '''
 """The paper's Routines3: ordered_emps returning a dynamic result set."""
 
-from repro.dbapi import DriverManager
+from repro import DriverManager
 
 
 def ordered_emps(region_parm, rs):

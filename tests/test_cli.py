@@ -5,7 +5,7 @@ import os
 import pytest
 
 from repro.dbapi.driver import registry
-from repro.engine import Database
+from repro import Database
 from repro.profiles.pjar import read_pjar
 from repro.profiles.serialization import load_profile, profile_from_bytes
 from repro.translator.cli import main

@@ -15,7 +15,7 @@ import pytest
 from repro import errors
 from repro.dbapi.driver import DriverManager
 from repro.dbapi.pool import ConnectionPool
-from repro.engine import Database
+from repro import Database
 from repro.observability import metrics as _metrics
 from repro.testing import FaultPlan, WorkloadGenerator, run_concurrent
 
@@ -35,7 +35,7 @@ class TestLostUpdates:
         db, admin = pooled_db
         admin.execute("CREATE TABLE counter (n INTEGER)")
         admin.execute("INSERT INTO counter VALUES (0)")
-        pool = ConnectionPool(db, max_size=8, checkout_timeout=30.0)
+        pool = ConnectionPool(db, max_size=8, timeout=30.0)
         increments = 25
 
         def bump(_thread_index):
@@ -56,7 +56,7 @@ class TestLostUpdates:
     def test_concurrent_inserts_all_land(self, pooled_db):
         db, admin = pooled_db
         admin.execute("CREATE TABLE log (thread INTEGER, seq INTEGER)")
-        pool = ConnectionPool(db, max_size=6, checkout_timeout=30.0)
+        pool = ConnectionPool(db, max_size=6, timeout=30.0)
         per_thread = 20
 
         def writer(i):
@@ -120,7 +120,7 @@ class TestTornReads:
 class TestPoolLimits:
     def test_exhaustion_times_out_with_sqlstate(self, pooled_db):
         db, _admin = pooled_db
-        pool = ConnectionPool(db, max_size=2, checkout_timeout=0.05)
+        pool = ConnectionPool(db, max_size=2, timeout=0.05)
         held = [pool.checkout(), pool.checkout()]
         with pytest.raises(errors.PoolTimeoutError) as excinfo:
             pool.checkout(timeout=0.05)
@@ -133,7 +133,7 @@ class TestPoolLimits:
 
     def test_waiter_gets_connection_when_one_frees(self, pooled_db):
         db, _admin = pooled_db
-        pool = ConnectionPool(db, max_size=1, checkout_timeout=10.0)
+        pool = ConnectionPool(db, max_size=1, timeout=10.0)
         first = pool.checkout()
         release = threading.Timer(0.05, first.close)
         release.start()
@@ -181,7 +181,7 @@ class TestPoolLimits:
 class TestPoolFaults:
     def test_checkout_fault_does_not_leak_slot(self, pooled_db):
         db, _admin = pooled_db
-        pool = ConnectionPool(db, max_size=1, checkout_timeout=0.2)
+        pool = ConnectionPool(db, max_size=1, timeout=0.2)
         plan = FaultPlan(seed=3).inject(
             "pool.checkout",
             error=errors.ConnectionError_,
@@ -284,7 +284,7 @@ class TestMixedWorkloadUnderFaults:
         admin.execute(gen.ddl())
         for stmt in gen.seed_statements(30):
             admin.execute(stmt)
-        pool = ConnectionPool(db, max_size=8, checkout_timeout=30.0)
+        pool = ConnectionPool(db, max_size=8, timeout=30.0)
         plan = (
             FaultPlan(seed=11)
             .inject(
@@ -384,7 +384,7 @@ class TestFaultReplay:
 
 class TestSharedPoolWiring:
     def test_pooled_contexts_share_one_pool(self, pooled_db):
-        from repro.runtime import ConnectionContext
+        from repro import ConnectionContext
 
         db, _admin = pooled_db
         ctx1 = ConnectionContext(db, pooled=True)

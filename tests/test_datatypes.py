@@ -223,7 +223,7 @@ class TestColumnsOfObjectType:
     def test_objects_by_value_on_insert(self, people, db):
         # Mutating the host object after set_object must not affect the
         # stored row.
-        from repro.dbapi import DriverManager
+        from repro import DriverManager
 
         par = db.catalog.get_par("address_par")
         loader = db.par_loader
@@ -244,7 +244,7 @@ class TestColumnsOfObjectType:
         ).rows == [["First Street"]]
 
     def test_get_object_returns_copy(self, people, db):
-        from repro.dbapi import DriverManager
+        from repro import DriverManager
 
         conn = DriverManager.get_connection("pydbc:standard:x",
                                             database=db)

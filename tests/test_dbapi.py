@@ -5,7 +5,7 @@ import decimal
 import pytest
 
 from repro import errors
-from repro.dbapi import DriverManager
+from repro import DriverManager
 from repro.dbapi.statement import strip_call_escape
 from repro.sqltypes import typecodes
 

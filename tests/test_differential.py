@@ -25,7 +25,7 @@ import sqlite3
 from typing import Any, List, Optional, Tuple
 
 from repro import errors
-from repro.engine import Database
+from repro import Database
 from repro.testing import WorkloadGenerator
 
 #: Accepted engine-vs-sqlite divergences: substring of the offending

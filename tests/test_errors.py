@@ -44,7 +44,14 @@ class TestSQLStates:
         for name in errors.__all__:
             obj = getattr(errors, name)
             if isinstance(obj, type) and issubclass(obj, Exception):
-                assert issubclass(obj, errors.SQLException)
+                assert issubclass(obj, errors.ReproError)
+
+    def test_sqlexception_is_the_jdbc_alias(self):
+        # Catching the unified root catches the JDBC-flavoured name and
+        # everything beneath it.
+        assert issubclass(errors.SQLException, errors.ReproError)
+        with pytest.raises(errors.ReproError):
+            raise errors.UniqueViolationError("dup")
 
     def test_message_attribute(self):
         exc = errors.DataError("bad value")

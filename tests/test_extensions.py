@@ -4,8 +4,9 @@ session state, and database persistence."""
 import pytest
 
 from repro import errors
-from repro.dbapi import BatchUpdateError, DriverManager
-from repro.engine import Database
+from repro import DriverManager
+from repro.dbapi import BatchUpdateError
+from repro import Database
 from repro.engine.persistence import load_database, save_database
 from repro.procedures import build_par
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 import pytest
 
 from repro import errors, observability
-from repro.engine import Database
+from repro import Database
 
 
 def _explain(session, sql):

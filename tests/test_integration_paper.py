@@ -16,11 +16,11 @@ import sys
 import pytest
 
 from repro import errors
-from repro.dbapi import DriverManager
-from repro.engine import Database
+from repro import DriverManager
+from repro import Database
 from repro.profiles.customizer import customize_pjar
 from repro.profiles.pjar import unpack_pjar
-from repro.runtime import ConnectionContext
+from repro import ConnectionContext
 from repro.sqltypes import typecodes
 from repro.translator import TranslationOptions, Translator
 

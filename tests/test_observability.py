@@ -22,7 +22,7 @@ from repro.engine.executor import (
 )
 from repro.observability import tracing
 from repro.observability.metrics import MetricsRegistry
-from repro.runtime import ConnectionContext
+from repro import ConnectionContext
 
 
 @pytest.fixture(autouse=True)

@@ -14,7 +14,7 @@ from __future__ import annotations
 import pytest
 
 from repro import errors, observability
-from repro.engine import Database
+from repro import Database
 from repro.engine.plancache import CachedPlan, PlanCache
 from repro.testing import run_concurrent
 

@@ -5,7 +5,7 @@ import os
 import pytest
 
 from repro import errors
-from repro.dbapi import DriverManager
+from repro import DriverManager
 from repro.procedures import build_par, build_par_bytes, read_par
 from repro.procedures.archives import url_to_path
 from repro.procedures.descriptors import (
@@ -464,7 +464,7 @@ class TestDynamicResultSets:
             str(tmp_path / "multi.par"),
             {
                 "multi": (
-                    "from repro.dbapi import DriverManager\n"
+                    "from repro import DriverManager\n"
                     "def two_sets(rs1, rs2):\n"
                     "    conn = DriverManager.get_connection("
                     "'DBAPI:DEFAULT:CONNECTION')\n"
@@ -585,7 +585,7 @@ class TestSqlStateMapping:
 
 class TestNestedProcedureCalls:
     NESTED = '''
-from repro.dbapi import DriverManager
+from repro import DriverManager
 
 
 def leaf(amount):

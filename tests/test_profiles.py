@@ -5,7 +5,7 @@ import os
 import pytest
 
 from repro import errors
-from repro.engine import Database
+from repro import Database
 from repro.profiles import (
     ConnectedProfile,
     DefaultCustomization,

@@ -8,7 +8,7 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro import errors
-from repro.engine import Database
+from repro import Database
 from repro.engine.ast import Select
 from repro.engine.executor import _RowSet
 from repro.engine.lexer import KEYWORDS, Token, tokenize

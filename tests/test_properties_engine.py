@@ -23,7 +23,7 @@ import random
 
 from repro import errors
 from repro.dbapi.pool import ConnectionPool
-from repro.engine import Database
+from repro import Database
 from repro.engine.dialects import STANDARD
 from repro.engine.parser import parse_statement
 from repro.engine.render import render_statement
@@ -145,7 +145,7 @@ class TestTransactionInvariants:
 class TestPoolConservation:
     def test_random_checkout_return_kill_conserves_slots(self):
         db = Database(name="poolprop")
-        pool = ConnectionPool(db, max_size=5, checkout_timeout=0.05)
+        pool = ConnectionPool(db, max_size=5, timeout=0.05)
         rng = random.Random(51)
         held = []
         for _step in range(200):

@@ -5,11 +5,11 @@ import decimal
 import pytest
 
 from repro import errors
-from repro.dbapi import DriverManager
-from repro.engine import Database
+from repro import DriverManager
+from repro import Database
 from repro.engine.database import StatementResult
+from repro import ConnectionContext
 from repro.runtime import (
-    ConnectionContext,
     NamedIterator,
     PositionalIterator,
 )

@@ -12,7 +12,7 @@ import textwrap
 
 import pytest
 
-from repro.engine import Database
+from repro import Database
 from repro.profiles.customizer import customize_pjar
 from repro.profiles.pjar import unpack_pjar
 from repro.translator import TranslationOptions, Translator
@@ -37,7 +37,7 @@ RUNNER = """
 import sys
 sys.path.insert(0, {deploy_dir!r})
 
-from repro.engine import Database
+from repro import Database
 
 database = Database(name="runner", dialect={dialect!r})
 session = database.create_session(autocommit=True)

@@ -7,9 +7,9 @@ import sys
 import pytest
 
 from repro import errors
-from repro.engine import Database
+from repro import Database
 from repro.profiles.serialization import save_profile
-from repro.runtime import ConnectionContext
+from repro import ConnectionContext
 from repro.translator import (
     TranslationOptions,
     Translator,
@@ -581,7 +581,7 @@ class TestOutHostVariablesAndValues:
         import sys
 
         from repro.profiles.serialization import save_profile
-        from repro.runtime import ConnectionContext
+        from repro import ConnectionContext
 
         options = TranslationOptions(exemplar=db)
         result = Translator(options).translate_source(
@@ -643,7 +643,7 @@ class TestOutHostVariablesAndValues:
 
         from repro.procedures import build_par
         from repro.profiles.serialization import save_profile
-        from repro.runtime import ConnectionContext
+        from repro import ConnectionContext
 
         session = db.create_session(autocommit=True)
         par = build_par(
