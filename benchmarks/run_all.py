@@ -331,6 +331,104 @@ def bench_durability(commits: int, threads: int) -> Dict[str, Any]:
     }
 
 
+def bench_server(requests: int, client_counts=(1, 8, 32)) -> Dict[str, Any]:
+    """Network round-trip cost: remote driver vs in-process connection.
+
+    Starts a :class:`repro.server.ReproServer` in-process, then drives
+    the same single-row SELECT workload through (a) a plain in-process
+    connection and (b) ``repro://`` connections at 1, 8 and 32
+    concurrent clients.  Per-request wall times are collected
+    client-side, so the report carries real p50/p99 latencies plus
+    aggregate requests/sec for every arm.
+
+    There is no speedup floor: the point of this experiment is to
+    *measure* the wire tax (the ``speedup`` field is remote/local
+    throughput at one client, expected well below 1.0).
+    """
+    import statistics
+    import threading as _threading
+
+    import repro
+    from repro.server import ReproServer
+
+    def percentile(samples, fraction: float) -> float:
+        ordered = sorted(samples)
+        index = min(len(ordered) - 1, int(len(ordered) * fraction))
+        return ordered[index]
+
+    def drive(connection_factory, n_clients: int) -> Dict[str, Any]:
+        latencies: list = []
+        lock = _threading.Lock()
+        per_client = max(1, requests // n_clients)
+
+        def client() -> None:
+            conn = connection_factory()
+            stmt = conn.create_statement()
+            mine = []
+            for _ in range(per_client):
+                begin = time.perf_counter()
+                rs = stmt.execute_query(
+                    "select v from bench_net where k = 7"
+                )
+                rs.next()
+                mine.append(time.perf_counter() - begin)
+            conn.close()
+            with lock:
+                latencies.extend(mine)
+
+        pool = [
+            _threading.Thread(target=client) for _ in range(n_clients)
+        ]
+        start = time.perf_counter()
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        elapsed = time.perf_counter() - start
+        return {
+            "clients": n_clients,
+            "requests": len(latencies),
+            "seconds": elapsed,
+            "requests_per_second": len(latencies) / elapsed,
+            "p50_ms": percentile(latencies, 0.50) * 1000,
+            "p99_ms": percentile(latencies, 0.99) * 1000,
+            "mean_ms": statistics.fmean(latencies) * 1000,
+        }
+
+    server = ReproServer().start_background()
+    try:
+        url = f"repro://127.0.0.1:{server.port}/bench_net"
+        setup = repro.connect(url)
+        stmt = setup.create_statement()
+        stmt.execute_update("create table bench_net (k integer, v integer)")
+        for i in range(32):
+            stmt.execute_update(f"insert into bench_net values ({i}, {i})")
+        setup.close()
+
+        baseline = drive(
+            lambda: repro.connect("pydbc:standard:bench_net"), 1
+        )
+        remote_arms = [
+            drive(lambda: repro.connect(url), n) for n in client_counts
+        ]
+    finally:
+        server.stop_background()
+        repro.registry.clear()
+
+    one_client = remote_arms[0]
+    return {
+        "experiment": "server",
+        "requests": requests,
+        "baseline_local": baseline,
+        "remote": remote_arms,
+        "speedup": (
+            one_client["requests_per_second"]
+            / baseline["requests_per_second"]
+        ),
+        "wire_overhead_ms": one_client["p50_ms"] - baseline["p50_ms"],
+    }
+
+
 # ---------------------------------------------------------------------------
 # driver
 # ---------------------------------------------------------------------------
@@ -354,11 +452,13 @@ def main(argv=None) -> int:
     if args.smoke:
         sizes = {"join_rows": 1000, "table_rows": 2000,
                  "lookups": 200, "iterations": 500,
-                 "commits": 64, "commit_threads": 8}
+                 "commits": 64, "commit_threads": 8,
+                 "server_requests": 256}
     else:
         sizes = {"join_rows": 10_000, "table_rows": 10_000,
                  "lookups": 500, "iterations": 2000,
-                 "commits": 256, "commit_threads": 16}
+                 "commits": 256, "commit_threads": 16,
+                 "server_requests": 2048}
 
     results = []
     for name, run in (
@@ -368,6 +468,7 @@ def main(argv=None) -> int:
         ("plan_cache", lambda: bench_plan_cache(sizes["iterations"])),
         ("durability", lambda: bench_durability(
             sizes["commits"], sizes["commit_threads"])),
+        ("server", lambda: bench_server(sizes["server_requests"])),
     ):
         print(f"running {name} ...", flush=True)
         outcome = run()

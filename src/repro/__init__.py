@@ -103,9 +103,14 @@ def connect(
 ) -> Connection:
     """Open a DB-API connection to an embedded database.
 
-    ``url`` is a PyDBC URL, ``pydbc:<dialect>:<name>``.  The named
-    database is created on first use and shared process-wide by every
-    later ``connect`` to the same name.
+    ``url`` is either a PyDBC URL, ``pydbc:<dialect>:<name>`` — the
+    named embedded database is created on first use and shared
+    process-wide by every later ``connect`` to the same name — or a
+    remote URL, ``repro://host:port/<name>``, which dials a
+    :mod:`repro.server` over TCP and returns the same DB-API surface
+    (see ``docs/SERVER.md``).  For remote URLs durability is the
+    *server's* concern: ``data_dir`` and durability options are
+    rejected client-side.
 
     Durability: when ``data_dir`` is given (or the ``REPRO_DATA_DIR``
     environment variable is set) and ``durable`` is true, the database
@@ -124,6 +129,18 @@ def connect(
     fresh session, blocking up to ``timeout`` seconds (the pool default
     when ``None``); closing the connection returns it to the pool.
     """
+    if url.lower().startswith("repro:"):
+        if data_dir is not None or durability_options:
+            raise errors.ConnectionError_(
+                "data_dir and durability options configure the server "
+                "side of a repro:// connection; pass them to "
+                "ReproServer or 'python -m repro.server' instead"
+            )
+        if pooled:
+            return DriverManager.get_pool(url, user=user).checkout(
+                timeout=timeout
+            )
+        return DriverManager.get_connection(url, user=user)
     if data_dir is None:
         data_dir = os.environ.get(DATA_DIR_ENV) or None
     database: Optional[Database] = None

@@ -215,12 +215,25 @@ class DriverManager:
             pool.close()
 
     @staticmethod
-    def _resolve_database(url: str) -> Database:
+    def _resolve_database(url: str):
+        """Resolve ``url`` to a session factory.
+
+        ``pydbc:`` URLs resolve to a registered embedded
+        :class:`Database`; ``repro://host:port/name`` URLs resolve to a
+        :class:`repro.dbapi.remote.RemoteTarget`, whose sessions speak
+        the network protocol.  Both expose ``create_session``, so every
+        caller (plain connections, pools, connection contexts) is
+        location-transparent.
+        """
+        if url.lower().startswith("repro:"):
+            from repro.dbapi.remote import RemoteTarget
+
+            return RemoteTarget.from_url(url)
         parts = url.split(":")
         if len(parts) != 3 or parts[0].lower() != "pydbc":
             raise errors.ConnectionError_(
                 f"malformed PyDBC URL {url!r}; expected "
-                "'pydbc:<dialect>:<name>'"
+                "'pydbc:<dialect>:<name>' or 'repro://host:port/<name>'"
             )
         _scheme, dialect, name = parts
         return registry.get_or_create(name, dialect.lower())

@@ -240,6 +240,13 @@ class ConnectionPool:
             if opened is not None and \
                     time.monotonic() - opened > self.max_age:
                 return False
+        # Sessions with a liveness probe (remote repro:// sessions) get
+        # round-tripped: a TCP connection whose server died looks open
+        # locally until the next read, so `closed` alone cannot catch
+        # it.  A failed probe marks the session dead and frees the slot.
+        probe = getattr(session, "ping", None)
+        if probe is not None and not probe():
+            return False
         if session.transaction_log.active:
             # Never hand uncommitted work to the next client.
             try:

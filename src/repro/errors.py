@@ -64,7 +64,10 @@ __all__ = [
     "AuthorizationError",
     "ConnectionError_",
     "ConnectionClosedError",
+    "ConnectionLostError",
     "PoolTimeoutError",
+    "ProtocolError",
+    "QueryCanceledError",
     "InvalidCursorStateError",
     "TransactionError",
     "FeatureNotSupportedError",
@@ -327,12 +330,37 @@ class ConnectionClosedError(ConnectionError_):
     default_sqlstate = "08003"
 
 
+class ConnectionLostError(ConnectionError_):
+    """The network peer went away mid-conversation: the TCP connection
+    to a ``repro://`` server was reset, the server closed the socket
+    while a response was outstanding, or a read/write failed after the
+    handshake succeeded."""
+
+    default_sqlstate = "08006"
+
+
+class ProtocolError(ConnectionError_):
+    """The ``repro://`` wire protocol was violated: bad magic, an
+    unsupported protocol version, a torn or oversized frame, or a
+    response frame of an unexpected type."""
+
+    default_sqlstate = "08P01"
+
+
 class PoolTimeoutError(ConnectionError_):
     """Connection pool exhausted: no connection became free within the
     checkout timeout.  Uses SQLSTATE 08004 ("server rejected the
     connection"), the class-08 code for a refused connection attempt."""
 
     default_sqlstate = "08004"
+
+
+class QueryCanceledError(SQLException):
+    """The statement was cancelled at the user's request (class 57,
+    operator intervention) — e.g. a ``repro://`` client sent a CANCEL
+    frame while the statement was queued or executing."""
+
+    default_sqlstate = "57014"
 
 
 class FeatureNotSupportedError(SQLException):

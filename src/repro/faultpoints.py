@@ -34,6 +34,19 @@ site                        fired
 ``wal.checkpoint``          before the checkpoint snapshot is written
 ``wal.checkpoint.install``  after the snapshot is atomically installed,
                             before the log is truncated
+``net.connect``             in the remote driver, before the TCP
+                            connection to a ``repro://`` server is dialed
+``net.write``               pipe site: receives each outgoing frame's
+                            bytes on the client (truncating them models a
+                            torn frame; a ``delay`` models a slow peer)
+``net.read``                on the client, before a response frame is
+                            read off the socket
+``net.accept``              on the server, when a new client connection
+                            is accepted
+``net.respond``             pipe site on the server: receives each
+                            response frame's bytes before they are sent
+                            (corrupt/truncate to model a mid-response
+                            disconnect or garbled reply)
 ==========================  ===============================================
 """
 

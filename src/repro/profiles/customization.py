@@ -186,6 +186,12 @@ class DialectCustomization(Customization):
             self.statements.append(vendor_statement)
 
     def accepts_session(self, session: Session) -> bool:
+        # Precompiled plans execute against local storage structures;
+        # a remote (repro://) session has none, so it falls back to the
+        # dynamic customization, which only needs session.prepare() —
+        # the statement then planned and cached server-side.
+        if getattr(session, "is_remote", False):
+            return False
         return session.dialect.name == self.dialect_name
 
     def make_statement(

@@ -1,0 +1,29 @@
+"""Network server for PySQLJ: serve a durable engine over TCP.
+
+The paper's deployment model is client programs talking to a *remote*
+DBMS through a portable driver layer; this package supplies the server
+half of that boundary.  :class:`ReproServer` listens on a TCP port,
+speaks the versioned framed protocol in :mod:`repro.server.protocol`,
+and multiplexes client sessions onto one in-process engine per database
+name (durable via ``registry.get_or_open_durable`` when a data
+directory is configured).
+
+Clients connect with ``repro.connect("repro://host:port/dbname")`` — the
+remote driver in :mod:`repro.dbapi.remote` — and get back the same
+DB-API surface as a local connection.
+
+Run a server from the command line::
+
+    python -m repro.server --port 7878 --data-dir /var/lib/mydata
+
+See ``docs/SERVER.md`` for the protocol reference and a deployment
+guide, and ``docs/ARCHITECTURE.md`` for where this layer sits in the
+stack.
+"""
+
+from __future__ import annotations
+
+from repro.server.protocol import DEFAULT_PORT, PROTOCOL_VERSION
+from repro.server.server import ReproServer
+
+__all__ = ["ReproServer", "DEFAULT_PORT", "PROTOCOL_VERSION"]

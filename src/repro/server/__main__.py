@@ -1,0 +1,86 @@
+"""``python -m repro.server`` — run a PySQLJ network server.
+
+Examples::
+
+    # in-memory databases, ephemeral port (printed on startup)
+    python -m repro.server --port 0
+
+    # durable databases under /var/lib/mydata, 128 clients max
+    python -m repro.server --host 0.0.0.0 --port 7878 \\
+        --data-dir /var/lib/mydata --max-connections 128
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+from typing import Optional, Sequence
+
+from repro.server.protocol import DEFAULT_PORT
+from repro.server.server import ReproServer
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.server",
+        description="Serve PySQLJ databases over TCP (repro:// protocol).",
+    )
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="listen address (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=DEFAULT_PORT,
+                        help=f"listen port, 0 for ephemeral "
+                             f"(default {DEFAULT_PORT})")
+    parser.add_argument("--data-dir", default=None,
+                        help="directory for durable databases "
+                             "(omit for in-memory)")
+    parser.add_argument("--dialect", default="standard",
+                        choices=["standard", "acme", "zenith"],
+                        help="dialect for databases this server creates")
+    parser.add_argument("--max-connections", type=int, default=64,
+                        help="concurrent client cap (default 64)")
+    parser.add_argument("--threads", type=int, default=8,
+                        help="engine executor threads (default 8)")
+    parser.add_argument("--page-size", type=int, default=256,
+                        help="rows per result page (default 256)")
+    parser.add_argument("--auth-token", default=None,
+                        help="require this token from clients")
+    parser.add_argument("--drain-timeout", type=float, default=10.0,
+                        help="seconds to drain in-flight work on "
+                             "shutdown (default 10)")
+    return parser
+
+
+async def _serve(server: ReproServer, drain_timeout: float) -> None:
+    await server.start()
+    print(f"repro server listening on {server.host}:{server.port}",
+          flush=True)
+    try:
+        await server.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await server.stop(drain_timeout)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    options = build_parser().parse_args(argv)
+    server = ReproServer(
+        options.host,
+        options.port,
+        data_dir=options.data_dir,
+        dialect=options.dialect,
+        max_connections=options.max_connections,
+        executor_threads=options.threads,
+        page_size=options.page_size,
+        auth_token=options.auth_token,
+    )
+    try:
+        asyncio.run(_serve(server, options.drain_timeout))
+    except KeyboardInterrupt:
+        print("repro server stopped", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,292 @@
+"""Wire protocol shared by :mod:`repro.server` and the remote driver.
+
+Every message is one *frame*::
+
+    +----------------+-----------+------------------------+
+    | length (u32 LE)| type (u8) | payload (pickle)       |
+    +----------------+-----------+------------------------+
+
+``length`` counts the payload bytes only (the type byte is excluded), so
+an empty payload is a 5-byte frame.  Payloads are Python objects
+serialised with :mod:`pickle`; the protocol is versioned through the
+HELLO/WELCOME handshake, and a server refuses clients whose
+``PROTOCOL_VERSION`` it does not speak.
+
+The conversation is strict request/response from the client's point of
+view, with two exceptions: CANCEL may be sent while an EXECUTE is
+outstanding (the reply to the EXECUTE then becomes an ERROR with
+SQLSTATE 57014), and the server may send an unsolicited GOODBYE when it
+is shutting down and the session has no request in flight.
+
+Message types and their payload dictionaries:
+
+==============  ======  ====================================================
+message         dir     payload
+==============  ======  ====================================================
+HELLO           c->s    magic, version, database, dialect, user, auth,
+                        autocommit
+WELCOME         s->c    server_version, protocol, database, dialect,
+                        session_id, page_size
+EXECUTE         c->s    sql, params, trace (optional trace-context dict)
+RESULT          s->c    kind, update_count, out_values, result_sets,
+                        function_value, columns, shape, rows (first page),
+                        row_count, cursor (id or None), in_txn
+FETCH           c->s    cursor, max_rows
+ROWS            s->c    rows, done
+CLOSE_CURSOR    c->s    cursor
+COMMIT          c->s    --
+ROLLBACK        c->s    --
+AUTOCOMMIT      c->s    value
+PING            c->s    --
+OK              s->c    in_txn
+CANCEL          c->s    -- (out of band)
+GOODBYE         both    reason
+ERROR           s->c    error (class name), sqlstate, message, vendor_code
+==============  ======  ====================================================
+
+Security note: payloads are pickled, so the wire format is only suitable
+for trusted networks — the same trust model as the engine itself, which
+executes external routines from installed archives.  The optional
+``auth`` token in HELLO gates the handshake, not the serialisation.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+from typing import Any, Dict, Optional, Tuple
+
+from repro import errors, faultpoints
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAGIC",
+    "DEFAULT_PORT",
+    "MAX_FRAME",
+    "MSG_HELLO",
+    "MSG_WELCOME",
+    "MSG_EXECUTE",
+    "MSG_RESULT",
+    "MSG_FETCH",
+    "MSG_ROWS",
+    "MSG_CLOSE_CURSOR",
+    "MSG_COMMIT",
+    "MSG_ROLLBACK",
+    "MSG_AUTOCOMMIT",
+    "MSG_PING",
+    "MSG_OK",
+    "MSG_CANCEL",
+    "MSG_GOODBYE",
+    "MSG_ERROR",
+    "MESSAGE_NAMES",
+    "encode_frame",
+    "decode_payload",
+    "recv_frame",
+    "send_frame",
+    "error_payload",
+    "rebuild_error",
+]
+
+PROTOCOL_VERSION = 1
+MAGIC = "pysqlj"
+DEFAULT_PORT = 7878
+
+#: Upper bound on a single frame's payload; a peer announcing more is
+#: treated as garbage (a torn frame read as a length, or an attack).
+MAX_FRAME = 64 * 1024 * 1024
+
+_HEADER = struct.Struct("<IB")  # payload length, message type
+
+MSG_HELLO = 1
+MSG_WELCOME = 2
+MSG_EXECUTE = 3
+MSG_RESULT = 4
+MSG_FETCH = 5
+MSG_ROWS = 6
+MSG_CLOSE_CURSOR = 7
+MSG_COMMIT = 8
+MSG_ROLLBACK = 9
+MSG_AUTOCOMMIT = 10
+MSG_PING = 11
+MSG_OK = 12
+MSG_CANCEL = 13
+MSG_GOODBYE = 14
+MSG_ERROR = 15
+
+MESSAGE_NAMES = {
+    MSG_HELLO: "HELLO",
+    MSG_WELCOME: "WELCOME",
+    MSG_EXECUTE: "EXECUTE",
+    MSG_RESULT: "RESULT",
+    MSG_FETCH: "FETCH",
+    MSG_ROWS: "ROWS",
+    MSG_CLOSE_CURSOR: "CLOSE_CURSOR",
+    MSG_COMMIT: "COMMIT",
+    MSG_ROLLBACK: "ROLLBACK",
+    MSG_AUTOCOMMIT: "AUTOCOMMIT",
+    MSG_PING: "PING",
+    MSG_OK: "OK",
+    MSG_CANCEL: "CANCEL",
+    MSG_GOODBYE: "GOODBYE",
+    MSG_ERROR: "ERROR",
+}
+
+
+def encode_frame(msg_type: int, payload: Any = None) -> bytes:
+    """Serialise one message to its on-wire bytes."""
+    body = b"" if payload is None else pickle.dumps(
+        payload, protocol=pickle.HIGHEST_PROTOCOL
+    )
+    if len(body) > MAX_FRAME:
+        raise errors.ProtocolError(
+            f"frame payload of {len(body)} bytes exceeds the "
+            f"{MAX_FRAME}-byte limit"
+        )
+    return _HEADER.pack(len(body), msg_type) + body
+
+
+def decode_payload(body: bytes) -> Any:
+    if not body:
+        return None
+    return pickle.loads(body)
+
+
+def parse_header(header: bytes) -> Tuple[int, int]:
+    """Return ``(payload_length, msg_type)``, validating the length."""
+    length, msg_type = _HEADER.unpack(header)
+    if length > MAX_FRAME:
+        raise errors.ProtocolError(
+            f"peer announced a {length}-byte frame "
+            f"(limit {MAX_FRAME}); stream is corrupt"
+        )
+    return length, msg_type
+
+
+HEADER_SIZE = _HEADER.size
+
+
+# ---------------------------------------------------------------------------
+# Blocking-socket helpers (client side)
+# ---------------------------------------------------------------------------
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    remaining = n
+    while remaining:
+        try:
+            chunk = sock.recv(remaining)
+        except OSError as exc:
+            raise errors.ConnectionLostError(
+                f"connection lost while reading: {exc}"
+            ) from exc
+        if not chunk:
+            raise errors.ConnectionLostError(
+                f"peer closed the connection mid-frame "
+                f"({n - remaining} of {n} bytes read)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> Tuple[int, Any]:
+    """Read one frame from a blocking socket.
+
+    Returns ``(msg_type, payload)``.  Raises
+    :class:`~repro.errors.ConnectionLostError` on EOF or a torn frame
+    and :class:`~repro.errors.ProtocolError` on an invalid header.
+    """
+    faultpoints.trigger("net.read")
+    length, msg_type = parse_header(_recv_exact(sock, HEADER_SIZE))
+    body = _recv_exact(sock, length) if length else b""
+    try:
+        return msg_type, decode_payload(body)
+    except errors.ReproError:
+        raise
+    except Exception as exc:
+        raise errors.ProtocolError(
+            f"undecodable {MESSAGE_NAMES.get(msg_type, msg_type)} payload: "
+            f"{exc}"
+        ) from exc
+
+
+def send_frame(sock: socket.socket, msg_type: int, payload: Any = None) -> None:
+    """Write one frame to a blocking socket.
+
+    The encoded bytes pass through the ``net.write`` faultpoint, so a
+    test plan can truncate them (torn frame) or delay them (slow peer).
+    A *modified* payload means the plan tore the frame mid-write; since
+    the stream is now desynchronised, that is reported as a lost
+    connection — exactly what a real half-written frame becomes.
+    """
+    data = encode_frame(msg_type, payload)
+    sent = faultpoints.pipe("net.write", data)
+    try:
+        sock.sendall(sent)
+    except OSError as exc:
+        raise errors.ConnectionLostError(
+            f"connection lost while writing: {exc}"
+        ) from exc
+    if sent != data:
+        raise errors.ConnectionLostError(
+            "connection torn mid-frame (fault injected)"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Error frames
+# ---------------------------------------------------------------------------
+
+
+def error_payload(exc: BaseException) -> Dict[str, Any]:
+    """Flatten an exception into an ERROR frame payload.
+
+    Non-:class:`~repro.errors.ReproError` exceptions (a bug in the
+    server, an unpicklable value) are reported as internal errors so the
+    client always receives a typed, SQLSTATE-carrying exception.
+    """
+    if isinstance(exc, errors.ReproError):
+        return {
+            "error": type(exc).__name__,
+            "sqlstate": exc.sqlstate,
+            "message": exc.message,
+            "vendor_code": exc.vendor_code,
+        }
+    return {
+        "error": "OperatorExecutionError",
+        "sqlstate": "XX000",
+        "message": f"{type(exc).__name__}: {exc}",
+        "vendor_code": 0,
+    }
+
+
+def rebuild_error(payload: Optional[Dict[str, Any]]) -> errors.ReproError:
+    """Reconstruct a typed exception from an ERROR frame payload.
+
+    The class is looked up by name in :mod:`repro.errors`; unknown names
+    (a newer server) degrade to :class:`~repro.errors.SQLException`
+    carrying the original SQLSTATE, so error *codes* survive version
+    skew even when error *classes* do not.
+    """
+    payload = payload or {}
+    cls = getattr(errors, payload.get("error", ""), None)
+    if not (isinstance(cls, type) and issubclass(cls, errors.ReproError)):
+        cls = errors.SQLException
+    message = payload.get("message", "unknown server error")
+    try:
+        error = cls(
+            message,
+            sqlstate=payload.get("sqlstate") or None,
+            vendor_code=payload.get("vendor_code", 0),
+        )
+    except TypeError:
+        # Subclasses with bespoke constructors (position-carrying parse
+        # errors, ...) still take the message; restore the wire codes on
+        # the instance afterwards.
+        error = cls(message)
+        if payload.get("sqlstate"):
+            error.sqlstate = payload["sqlstate"]
+        error.vendor_code = payload.get("vendor_code", 0)
+    return error

@@ -1,0 +1,593 @@
+"""Asyncio TCP server multiplexing clients onto the embedded engine.
+
+One :class:`ReproServer` owns a listening socket, a bounded thread-pool
+executor for engine work (the engine is thread-safe but blocking), and
+one engine :class:`~repro.engine.database.Database` per database name a
+client asks for — durable via ``registry.get_or_open_durable`` when the
+server is configured with a data directory.
+
+Per client connection the server runs two coroutines:
+
+* a **reader** that decodes frames off the socket and enqueues them.
+  CANCEL frames bypass the queue and set the connection's cancel flag,
+  which is how a cancel can overtake the statement it targets.
+* a **worker** that drains the queue strictly in order, runs engine
+  calls on the executor (never on the event loop), and writes exactly
+  one response frame per request.
+
+Graceful shutdown enqueues a drain sentinel behind every connection's
+pending requests: in-flight and already-queued statements complete and
+get their responses, then each session receives GOODBYE and is closed.
+Connections that do not drain within the timeout are force-closed.
+
+Statement cancellation is best-effort, as in real servers: a statement
+still waiting in the queue is cancelled for certain (SQLSTATE 57014);
+a statement already executing runs to completion inside the engine and
+its *response* is replaced by the 57014 error.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import hmac
+import os
+import threading
+import time
+from typing import Any, Dict, Optional, Tuple
+
+from repro import errors, faultpoints
+from repro.dbapi.driver import registry
+from repro.observability import metrics as _metrics
+from repro.observability import tracing as _tracing
+from repro.server import protocol
+from repro.server.protocol import (
+    MSG_AUTOCOMMIT,
+    MSG_CLOSE_CURSOR,
+    MSG_COMMIT,
+    MSG_ERROR,
+    MSG_EXECUTE,
+    MSG_FETCH,
+    MSG_GOODBYE,
+    MSG_HELLO,
+    MSG_OK,
+    MSG_PING,
+    MSG_RESULT,
+    MSG_ROLLBACK,
+    MSG_ROWS,
+    MSG_WELCOME,
+)
+
+__all__ = ["ReproServer"]
+
+_CONNECTIONS = _metrics.registry.counter("server.connections")
+_REJECTED = _metrics.registry.counter("server.rejected")
+_REQUESTS = _metrics.registry.counter("server.requests")
+_ERRORS = _metrics.registry.counter("server.errors")
+_CANCELLED = _metrics.registry.counter("server.cancelled")
+_FETCHES = _metrics.registry.counter("server.fetches")
+
+#: Worker-queue sentinels.  _DRAIN asks the worker to finish everything
+#: already queued, say GOODBYE, and exit; _CLOSE means the peer is gone.
+_DRAIN = object()
+_CLOSE = object()
+
+
+class _ClientConnection:
+    """Per-connection state shared by the reader and worker coroutines."""
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        session_id: int,
+    ) -> None:
+        self.reader = reader
+        self.writer = writer
+        self.session_id = session_id
+        self.session: Any = None
+        self.database_name = ""
+        self.queue: "asyncio.Queue[Any]" = asyncio.Queue()
+        self.cancel_event = threading.Event()
+        self.cursors: Dict[int, Tuple[list, int]] = {}
+        self.next_cursor = 1
+        self.done = asyncio.Event()
+        self.task: Optional[asyncio.Task] = None
+        self.reader_task: Optional[asyncio.Task] = None
+
+
+class ReproServer:
+    """Serve one or more engine databases over TCP.
+
+    Parameters
+    ----------
+    host, port:
+        Listen address.  ``port=0`` binds an ephemeral port; the bound
+        port is available as ``self.port`` after :meth:`start`.
+    data_dir:
+        When set, databases are opened durably under
+        ``<data_dir>/<name>`` (WAL + checkpoints + crash recovery).
+        When ``None``, databases are in-memory.
+    dialect:
+        Engine dialect for databases this server creates.
+    max_connections:
+        Hard cap on concurrent client connections; clients beyond it
+        are refused with SQLSTATE 08004.
+    executor_threads:
+        Size of the thread pool running engine statements.  Bounds
+        engine-side concurrency exactly like a connection pool's
+        ``max_size`` does in-process.
+    page_size:
+        Rows per result page on the wire.  The first page rides on the
+        RESULT frame; the remainder is fetched on demand.
+    auth_token:
+        When set, clients must present the same token in HELLO.
+    durability_options:
+        Passed through to ``registry.get_or_open_durable`` (e.g.
+        ``group_commit_window=...``).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        data_dir: Optional[str] = None,
+        dialect: str = "standard",
+        max_connections: int = 64,
+        executor_threads: int = 8,
+        page_size: int = 256,
+        auth_token: Optional[str] = None,
+        **durability_options: Any,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.data_dir = data_dir
+        self.dialect = dialect
+        self.max_connections = max_connections
+        self.page_size = page_size
+        self.auth_token = auth_token
+        self.durability_options = durability_options
+        self._executor = concurrent.futures.ThreadPoolExecutor(
+            max_workers=executor_threads, thread_name_prefix="repro-server"
+        )
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._connections: set = set()
+        self._closing = False
+        self._next_session_id = 1
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> "ReproServer":
+        """Bind the listening socket (call from the event loop)."""
+        self._server = await asyncio.start_server(
+            self._handle_client, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "start() first"
+        await self._server.serve_forever()
+
+    async def stop(self, drain_timeout: float = 10.0) -> None:
+        """Graceful shutdown: refuse new connections, drain in-flight
+        requests, GOODBYE every session, then force-close stragglers."""
+        self._closing = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        conns = list(self._connections)
+        for conn in conns:
+            conn.queue.put_nowait(_DRAIN)
+        if conns:
+            waits = [
+                asyncio.ensure_future(conn.done.wait()) for conn in conns
+            ]
+            done, pending = await asyncio.wait(waits, timeout=drain_timeout)
+            for fut in pending:
+                fut.cancel()
+            for conn in conns:
+                if not conn.done.is_set() and conn.task is not None:
+                    conn.task.cancel()
+            await asyncio.gather(
+                *(conn.done.wait() for conn in conns), return_exceptions=True
+            )
+        self._executor.shutdown(wait=True)
+
+    # -- background (own event loop thread) helpers --------------------
+
+    def start_background(self) -> "ReproServer":
+        """Run this server on a dedicated event-loop thread.
+
+        Returns once the socket is bound (``self.port`` is final).
+        Intended for tests and for embedding a server in an existing
+        process; the CLI uses :meth:`serve_forever` directly.
+        """
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever,
+            name="repro-server-loop",
+            daemon=True,
+        )
+        self._thread.start()
+        future = asyncio.run_coroutine_threadsafe(self.start(), self._loop)
+        future.result(timeout=30)
+        return self
+
+    def stop_background(self, drain_timeout: float = 10.0) -> None:
+        """Gracefully stop a server started with :meth:`start_background`."""
+        if self._loop is None:
+            return
+        future = asyncio.run_coroutine_threadsafe(
+            self.stop(drain_timeout), self._loop
+        )
+        future.result(timeout=drain_timeout + 30)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+        self._loop.close()
+        self._loop = None
+        self._thread = None
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    async def _handle_client(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            faultpoints.trigger("net.accept")
+        except Exception:
+            writer.close()
+            return
+        session_id = self._next_session_id
+        self._next_session_id += 1
+        conn = _ClientConnection(reader, writer, session_id)
+        conn.task = asyncio.current_task()
+        try:
+            if self._closing or len(self._connections) >= self.max_connections:
+                _REJECTED.increment()
+                await self._send(
+                    conn,
+                    MSG_ERROR,
+                    protocol.error_payload(
+                        errors.ConnectionError_(
+                            "server connection limit reached"
+                            if not self._closing
+                            else "server is shutting down",
+                            sqlstate="08004",
+                        )
+                    ),
+                )
+                return
+            if not await self._handshake(conn):
+                return
+            self._connections.add(conn)
+            _CONNECTIONS.increment()
+            _metrics.increment(f"server.{conn.database_name}.sessions")
+            conn.reader_task = asyncio.ensure_future(self._read_loop(conn))
+            try:
+                await self._worker_loop(conn)
+            finally:
+                conn.reader_task.cancel()
+                self._connections.discard(conn)
+                _metrics.increment(
+                    f"server.{conn.database_name}.sessions", -1
+                )
+        except asyncio.CancelledError:
+            pass
+        finally:
+            if conn.session is not None and not conn.session.closed:
+                try:
+                    await self._run_engine(conn.session.close)
+                except Exception:
+                    pass
+            conn.cursors.clear()
+            try:
+                writer.close()
+            except Exception:
+                pass
+            conn.done.set()
+
+    async def _handshake(self, conn: _ClientConnection) -> bool:
+        """Validate HELLO, open the session, answer WELCOME or ERROR."""
+        try:
+            msg_type, payload = await asyncio.wait_for(
+                self._read_frame(conn.reader), timeout=30.0
+            )
+        except Exception:
+            return False
+        try:
+            if msg_type != MSG_HELLO or not isinstance(payload, dict):
+                raise errors.ProtocolError("expected HELLO")
+            if payload.get("magic") != protocol.MAGIC:
+                raise errors.ProtocolError("bad protocol magic")
+            if payload.get("version") != protocol.PROTOCOL_VERSION:
+                raise errors.ProtocolError(
+                    f"unsupported protocol version "
+                    f"{payload.get('version')!r} "
+                    f"(server speaks {protocol.PROTOCOL_VERSION})"
+                )
+            if self.auth_token is not None:
+                token = payload.get("auth") or ""
+                if not hmac.compare_digest(str(token), self.auth_token):
+                    raise errors.AuthorizationError(
+                        "invalid authentication token"
+                    )
+            database_name = payload.get("database") or "db"
+            dialect = payload.get("dialect") or self.dialect
+            user = payload.get("user") or "PUBLIC"
+            autocommit = bool(payload.get("autocommit", True))
+            database = await self._run_engine(
+                self._open_database, database_name, dialect
+            )
+            conn.session = await self._run_engine(
+                database.create_session, user=user, autocommit=autocommit
+            )
+            conn.database_name = database_name
+        except Exception as exc:
+            _ERRORS.increment()
+            await self._send(conn, MSG_ERROR, protocol.error_payload(exc))
+            return False
+        from repro import __version__
+
+        await self._send(
+            conn,
+            MSG_WELCOME,
+            {
+                "server_version": __version__,
+                "protocol": protocol.PROTOCOL_VERSION,
+                "database": conn.database_name,
+                "dialect": conn.session.dialect.name,
+                "session_id": conn.session_id,
+                "page_size": self.page_size,
+            },
+        )
+        return True
+
+    def _open_database(self, name: str, dialect: str) -> Any:
+        if self.data_dir is not None:
+            return registry.get_or_open_durable(
+                name,
+                dialect,
+                os.path.join(self.data_dir, name),
+                **self.durability_options,
+            )
+        return registry.get_or_create(name, dialect)
+
+    # ------------------------------------------------------------------
+    # Reader / worker
+    # ------------------------------------------------------------------
+
+    async def _read_loop(self, conn: _ClientConnection) -> None:
+        try:
+            while True:
+                msg_type, payload = await self._read_frame(conn.reader)
+                if msg_type == protocol.MSG_CANCEL:
+                    # Out of band: overtake queued work.
+                    conn.cancel_event.set()
+                elif msg_type == MSG_GOODBYE:
+                    await conn.queue.put(_CLOSE)
+                    return
+                else:
+                    await conn.queue.put((msg_type, payload))
+        except asyncio.CancelledError:
+            raise
+        except Exception:
+            # EOF, reset, torn frame: the worker shuts the session down.
+            await conn.queue.put(_CLOSE)
+
+    async def _worker_loop(self, conn: _ClientConnection) -> None:
+        while True:
+            item = await conn.queue.get()
+            if item is _CLOSE:
+                return
+            if item is _DRAIN:
+                await self._send(
+                    conn, MSG_GOODBYE, {"reason": "server shutting down"}
+                )
+                return
+            msg_type, payload = item
+            _REQUESTS.increment()
+            start = time.perf_counter()
+            try:
+                reply_type, reply = await self._dispatch(
+                    conn, msg_type, payload
+                )
+            except Exception as exc:
+                _ERRORS.increment()
+                if (
+                    isinstance(exc, errors.ReproError)
+                    and exc.sqlstate == "57014"
+                ):
+                    _CANCELLED.increment()
+                reply_type, reply = MSG_ERROR, protocol.error_payload(exc)
+            _metrics.observe(
+                "server.request.seconds", time.perf_counter() - start
+            )
+            try:
+                await self._send(conn, reply_type, reply)
+            except Exception:
+                return  # peer is gone; _handle_client cleans up
+
+    async def _dispatch(
+        self, conn: _ClientConnection, msg_type: int, payload: Any
+    ) -> Tuple[int, Any]:
+        session = conn.session
+        if msg_type == MSG_EXECUTE:
+            return await self._do_execute(conn, payload or {})
+        if msg_type == MSG_FETCH:
+            _FETCHES.increment()
+            return self._do_fetch(conn, payload or {})
+        if msg_type == MSG_CLOSE_CURSOR:
+            conn.cursors.pop((payload or {}).get("cursor"), None)
+            return MSG_OK, {"in_txn": self._in_txn(session)}
+        if msg_type == MSG_COMMIT:
+            await self._run_engine(session.commit)
+            return MSG_OK, {"in_txn": self._in_txn(session)}
+        if msg_type == MSG_ROLLBACK:
+            await self._run_engine(session.rollback)
+            return MSG_OK, {"in_txn": self._in_txn(session)}
+        if msg_type == MSG_AUTOCOMMIT:
+            session.autocommit = bool((payload or {}).get("value", True))
+            return MSG_OK, {"in_txn": self._in_txn(session)}
+        if msg_type == MSG_PING:
+            return MSG_OK, {"in_txn": self._in_txn(session)}
+        raise errors.ProtocolError(
+            f"unexpected message type "
+            f"{protocol.MESSAGE_NAMES.get(msg_type, msg_type)}"
+        )
+
+    async def _do_execute(
+        self, conn: _ClientConnection, payload: Dict[str, Any]
+    ) -> Tuple[int, Any]:
+        if conn.cancel_event.is_set():
+            conn.cancel_event.clear()
+            raise errors.QueryCanceledError(
+                "statement cancelled before execution"
+            )
+        sql = payload.get("sql", "")
+        params = payload.get("params") or ()
+        trace = payload.get("trace")
+        start = time.perf_counter()
+        tracer = _tracing.current
+        if tracer.enabled:
+            with tracer.span(
+                "server.execute",
+                sql=sql,
+                session=conn.session_id,
+                remote_trace=(trace or {}).get("trace_id", ""),
+            ):
+                result = await self._run_engine(
+                    conn.session.execute, sql, params
+                )
+        else:
+            result = await self._run_engine(conn.session.execute, sql, params)
+        _metrics.observe("server.execute.seconds", time.perf_counter() - start)
+        if conn.cancel_event.is_set():
+            # The engine finished anyway (statements are not
+            # interruptible mid-flight); honour the cancel by replacing
+            # the response, as real servers racing a cancel packet do.
+            conn.cancel_event.clear()
+            raise errors.QueryCanceledError("statement cancelled")
+        return MSG_RESULT, self._result_payload(conn, result)
+
+    def _do_fetch(
+        self, conn: _ClientConnection, payload: Dict[str, Any]
+    ) -> Tuple[int, Any]:
+        cursor_id = payload.get("cursor")
+        entry = conn.cursors.get(cursor_id)
+        if entry is None:
+            raise errors.InvalidCursorStateError(
+                f"unknown or exhausted cursor {cursor_id!r}"
+            )
+        rows, position = entry
+        max_rows = int(payload.get("max_rows") or self.page_size)
+        page = rows[position : position + max_rows]
+        position += len(page)
+        if position >= len(rows):
+            del conn.cursors[cursor_id]
+            return MSG_ROWS, {"rows": page, "done": True}
+        conn.cursors[cursor_id] = (rows, position)
+        return MSG_ROWS, {"rows": page, "done": False}
+
+    def _result_payload(
+        self, conn: _ClientConnection, result: Any
+    ) -> Dict[str, Any]:
+        rows = result.rows
+        first_page = rows[: self.page_size]
+        cursor_id = None
+        if len(rows) > self.page_size:
+            cursor_id = conn.next_cursor
+            conn.next_cursor += 1
+            conn.cursors[cursor_id] = (rows, self.page_size)
+        return {
+            "kind": result.kind,
+            "update_count": result.update_count,
+            "out_values": result.out_values,
+            "result_sets": result.result_sets,
+            "function_value": result.function_value,
+            "columns": result.column_names(),
+            "shape": result.shape,
+            "rows": first_page,
+            "row_count": len(rows),
+            "cursor": cursor_id,
+            "in_txn": self._in_txn(conn.session),
+        }
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _in_txn(session: Any) -> bool:
+        return bool(
+            session is not None
+            and not session.closed
+            and (
+                session.transaction_log.active
+                or getattr(session, "_durable_txn", None) is not None
+            )
+        )
+
+    async def _run_engine(self, fn, *args, **kwargs):
+        loop = asyncio.get_event_loop()
+        if kwargs:
+            return await loop.run_in_executor(
+                self._executor, lambda: fn(*args, **kwargs)
+            )
+        return await loop.run_in_executor(self._executor, fn, *args)
+
+    async def _read_frame(
+        self, reader: asyncio.StreamReader
+    ) -> Tuple[int, Any]:
+        header = await reader.readexactly(protocol.HEADER_SIZE)
+        length, msg_type = protocol.parse_header(header)
+        body = await reader.readexactly(length) if length else b""
+        return msg_type, protocol.decode_payload(body)
+
+    async def _send(
+        self, conn: _ClientConnection, msg_type: int, payload: Any
+    ) -> None:
+        try:
+            data = protocol.encode_frame(msg_type, payload)
+        except Exception as exc:
+            # Unpicklable result (e.g. a shape or rows holding
+            # archive-loaded classes, which the README documents as
+            # unserialisable).  First retry without the shape — column
+            # names still travel — then degrade to a typed error rather
+            # than a hung client.
+            data = None
+            if isinstance(payload, dict) and payload.get("shape") is not None:
+                try:
+                    data = protocol.encode_frame(
+                        msg_type, dict(payload, shape=None)
+                    )
+                except Exception:
+                    data = None
+            if data is None:
+                data = protocol.encode_frame(
+                    MSG_ERROR,
+                    protocol.error_payload(
+                        errors.FeatureNotSupportedError(
+                            "result is not serialisable over the wire: "
+                            f"{exc}"
+                        )
+                    ),
+                )
+        sent = faultpoints.pipe("net.respond", data)
+        conn.writer.write(sent)
+        await conn.writer.drain()
+        if sent != data:
+            # The fault plan tore/garbled this response: the stream is
+            # desynchronised, so drop the link the way a real
+            # mid-response disconnect would.
+            raise ConnectionResetError("response torn by fault injection")

@@ -1,0 +1,758 @@
+"""Network server + remote driver: the client/server boundary.
+
+Covers the tentpole of the server PR: multi-client TCP concurrency,
+cursor paging, SQLSTATE round-trips through error frames, graceful
+shutdown draining, seeded ``net.*`` fault replay, pool health checks
+for dead TCP connections, and a differential run proving remote and
+local connections are indistinguishable on a generated workload.
+
+The second-process acceptance test at the bottom starts the server via
+``python -m repro.server`` and runs the TUTORIAL.md §2 embedded-SQL
+example, translated here, in a fresh interpreter over ``repro://``.
+"""
+
+import socket
+import subprocess
+import sys
+import textwrap
+import threading
+import time
+
+import pytest
+
+import repro
+from repro import ConnectionContext, errors
+from repro.dbapi.remote import RemoteRows, RemoteTarget, parse_remote_url
+from repro.server import ReproServer
+from repro.server import protocol
+from repro.testing import FaultPlan, WorkloadGenerator, run_concurrent
+
+
+@pytest.fixture
+def server():
+    srv = ReproServer(page_size=16).start_background()
+    yield srv
+    srv.stop_background()
+
+
+def url_of(srv, name):
+    return f"repro://127.0.0.1:{srv.port}/{name}"
+
+
+# ---------------------------------------------------------------------------
+# basics
+# ---------------------------------------------------------------------------
+
+
+class TestRemoteBasics:
+    def test_roundtrip_ddl_dml_query(self, server):
+        with repro.connect(url_of(server, "basics")) as conn:
+            stmt = conn.create_statement()
+            stmt.execute_update(
+                "create table emps (name varchar(50), sales int)"
+            )
+            assert stmt.execute_update(
+                "insert into emps values ('Ann', 10), ('Bob', 20)"
+            ) == 2
+            rs = stmt.execute_query(
+                "select name, sales from emps order by sales desc"
+            )
+            assert rs.next()
+            assert (rs.get_string(1), rs.get_int("sales")) == ("Bob", 20)
+            assert rs.next() and rs.get_string("name") == "Ann"
+            assert not rs.next()
+
+    def test_prepared_statement_remote(self, server):
+        with repro.connect(url_of(server, "prepared")) as conn:
+            conn.create_statement().execute_update(
+                "create table t (n int, s varchar(10))"
+            )
+            ps = conn.prepare_statement("insert into t values (?, ?)")
+            for i in range(5):
+                ps.set_int(1, i)
+                ps.set_string(2, f"v{i}")
+                ps.execute_update()
+            ps = conn.prepare_statement("select s from t where n = ?")
+            ps.set_int(1, 3)
+            rs = ps.execute_query()
+            assert rs.next() and rs.get_string(1) == "v3"
+
+    def test_prepare_parses_client_side(self, server):
+        with repro.connect(url_of(server, "parse")) as conn:
+            with pytest.raises(errors.SQLSyntaxError):
+                conn.prepare_statement("selec broken")
+
+    def test_callable_statement_out_params(self, server, tmp_path):
+        # Install the routine through the shared registry (the server
+        # runs in-process), then CALL it over the wire: the routine
+        # executes server-side and the OUT value rides the RESULT frame.
+        from repro.procedures import build_par
+        from repro.sqltypes import typecodes
+
+        with repro.connect(url_of(server, "routines")) as conn:
+            conn.create_statement().execute_update(
+                "create table seen (n int)"
+            )
+        par = build_par(
+            str(tmp_path / "r.par"),
+            {"mod": "def fill(container):\n    container[0] = 'remote'\n"},
+        )
+        local = repro.registry.lookup("routines").create_session(
+            autocommit=True
+        )
+        local.execute(f"call sqlj.install_par('{par}', 'rp')")
+        local.execute(
+            "create procedure fill(out x varchar(10)) no sql "
+            "external name 'rp:mod.fill' language python "
+            "parameter style python"
+        )
+        local.execute("grant execute on fill to public")
+        local.close()
+
+        with repro.connect(url_of(server, "routines")) as conn:
+            stmt = conn.prepare_call("{call fill(?)}")
+            stmt.register_out_parameter(1, typecodes.VARCHAR)
+            stmt.execute()
+            assert stmt.get_string(1) == "remote"
+
+    def test_autocommit_and_transactions(self, server):
+        with repro.connect(url_of(server, "txn")) as conn:
+            st = conn.create_statement()
+            st.execute_update("create table t (n int)")
+            conn.set_auto_commit(False)
+            st.execute_update("insert into t values (1)")
+            assert conn.session.transaction_log.active
+            conn.rollback()
+            assert not conn.session.transaction_log.active
+            rs = st.execute_query("select count(*) from t")
+            rs.next()
+            assert rs.get_int(1) == 0
+            st.execute_update("insert into t values (2)")
+            conn.commit()
+            rs = st.execute_query("select count(*) from t")
+            rs.next()
+            assert rs.get_int(1) == 1
+
+    def test_sqlstate_error_roundtrip(self, server):
+        with repro.connect(url_of(server, "errs")) as conn:
+            st = conn.create_statement()
+            with pytest.raises(errors.UndefinedTableError) as exc:
+                st.execute_query("select * from nope")
+            assert exc.value.sqlstate == "42P01"
+            with pytest.raises(errors.SQLSyntaxError) as exc:
+                st.execute_update("not sql at all")
+            assert exc.value.sqlstate.startswith("42")
+            st.execute_update("create table u (n int unique)")
+            st.execute_update("insert into u values (1)")
+            with pytest.raises(errors.UniqueViolationError) as exc:
+                st.execute_update("insert into u values (1)")
+            assert exc.value.sqlstate == "23505"
+
+    def test_connect_rejects_data_dir_for_remote(self, server):
+        with pytest.raises(errors.ConnectionError_):
+            repro.connect(url_of(server, "x"), data_dir="/tmp/nope")
+
+    def test_malformed_remote_urls(self):
+        for bad in ("repro://", "repro://host:1", "repro:standard:x"):
+            with pytest.raises(errors.ConnectionError_):
+                parse_remote_url(bad)
+        parts = parse_remote_url("repro://h:9/db?user=smith&dialect=acme")
+        assert parts == {
+            "host": "h", "port": 9, "database": "db",
+            "user": "smith", "dialect": "acme", "auth": None,
+        }
+
+
+# ---------------------------------------------------------------------------
+# cursor paging
+# ---------------------------------------------------------------------------
+
+
+class TestCursorPaging:
+    def test_large_result_pages_through_cursor(self, server):
+        with repro.connect(url_of(server, "paging")) as conn:
+            st = conn.create_statement()
+            st.execute_update("create table big (n int)")
+            ps = conn.prepare_statement("insert into big values (?)")
+            for i in range(100):
+                ps.set_int(1, i)
+                ps.execute_update()
+            before = repro.observability.snapshot()["counters"].get(
+                "remote.fetches", 0
+            )
+            rs = st.execute_query("select n from big order by n")
+            rows = [rs.get_int(1) for _ in iter(rs.next, False)]
+            assert rows == list(range(100))
+            after = repro.observability.snapshot()["counters"].get(
+                "remote.fetches", 0
+            )
+            # page_size=16 → 100 rows need several FETCH round trips
+            assert after - before >= 5
+
+    def test_slice_and_negative_index(self, server):
+        with repro.connect(url_of(server, "slices")) as conn:
+            st = conn.create_statement()
+            st.execute_update("create table s (n int)")
+            for i in range(40):
+                st.execute_update(f"insert into s values ({i})")
+            result = conn.session.execute("select n from s order by n")
+            assert isinstance(result.rows, RemoteRows)
+            assert len(result.rows) == 40
+            assert result.rows[-1] == [39]
+            assert result.rows[10:13] == [[10], [11], [12]]
+            rs_all = [row[0] for row in result.rows]
+            assert rs_all == list(range(40))
+
+    def test_scrollable_resultset_over_remote_rows(self, server):
+        with repro.connect(url_of(server, "scroll")) as conn:
+            st = conn.create_statement()
+            st.execute_update("create table s (n int)")
+            for i in range(50):
+                st.execute_update(f"insert into s values ({i})")
+            rs = st.execute_query("select n from s order by n")
+            assert rs.last() and rs.get_int(1) == 49
+            assert rs.first() and rs.get_int(1) == 0
+            assert rs.absolute(25) and rs.get_int(1) == 24
+            assert rs.fetch_all() == [[n] for n in range(25, 50)]
+
+
+# ---------------------------------------------------------------------------
+# multi-client concurrency
+# ---------------------------------------------------------------------------
+
+
+class TestMultiClient:
+    def test_concurrent_clients_serialise_writes(self, server):
+        setup = repro.connect(url_of(server, "conc"))
+        setup.create_statement().execute_update(
+            "create table counter (n int)"
+        )
+        setup.create_statement().execute_update(
+            "insert into counter values (0)"
+        )
+        setup.close()
+
+        def bump(_thread):
+            with repro.connect(url_of(server, "conc")) as conn:
+                for _ in range(5):
+                    conn.create_statement().execute_update(
+                        "update counter set n = n + 1"
+                    )
+
+        result = run_concurrent(8, bump, timeout=60.0)
+        result.raise_first()
+        with repro.connect(url_of(server, "conc")) as conn:
+            rs = conn.create_statement().execute_query(
+                "select n from counter"
+            )
+            rs.next()
+            assert rs.get_int(1) == 40
+
+    def test_connection_limit_refused_with_08004(self):
+        srv = ReproServer(max_connections=1).start_background()
+        try:
+            keep = repro.connect(url_of(srv, "limit"))
+            with pytest.raises(errors.ConnectionError_) as exc:
+                repro.connect(url_of(srv, "limit"))
+            assert exc.value.sqlstate == "08004"
+            keep.close()
+        finally:
+            srv.stop_background()
+
+    def test_auth_token_gate(self):
+        srv = ReproServer(auth_token="sesame").start_background()
+        try:
+            with pytest.raises(errors.AuthorizationError) as exc:
+                repro.connect(url_of(srv, "authy"))
+            assert exc.value.sqlstate == "28000"
+            conn = repro.connect(url_of(srv, "authy") + "?auth=sesame")
+            conn.create_statement().execute_update(
+                "create table ok (n int)"
+            )
+            conn.close()
+        finally:
+            srv.stop_background()
+
+
+# ---------------------------------------------------------------------------
+# cancel + graceful shutdown
+# ---------------------------------------------------------------------------
+
+
+class TestLifecycle:
+    def test_cancel_inflight_statement_57014(self, server):
+        conn = repro.connect(url_of(server, "cancel"))
+        conn.create_statement().execute_update("create table t (n int)")
+        plan = FaultPlan(seed=1).inject("executor.run", delay=0.4, times=1)
+        outcome = {}
+
+        def run():
+            try:
+                conn.create_statement().execute_query("select * from t")
+                outcome["error"] = None
+            except errors.ReproError as exc:
+                outcome["error"] = exc
+
+        with plan.armed():
+            worker = threading.Thread(target=run)
+            worker.start()
+            time.sleep(0.15)
+            conn.session.cancel()
+            worker.join(timeout=30)
+        assert isinstance(outcome["error"], errors.QueryCanceledError)
+        assert outcome["error"].sqlstate == "57014"
+        # the session survives a cancel
+        rs = conn.create_statement().execute_query(
+            "select count(*) from t"
+        )
+        rs.next()
+        assert rs.get_int(1) == 0
+        conn.close()
+
+    def test_graceful_shutdown_drains_inflight(self):
+        srv = ReproServer().start_background()
+        conn = repro.connect(url_of(srv, "drain"))
+        conn.create_statement().execute_update("create table t (n int)")
+        conn.create_statement().execute_update("insert into t values (7)")
+        plan = FaultPlan(seed=2).inject("executor.run", delay=0.5, times=1)
+        outcome = {}
+
+        def run():
+            try:
+                rs = conn.create_statement().execute_query(
+                    "select n from t"
+                )
+                rs.next()
+                outcome["value"] = rs.get_int(1)
+            except errors.ReproError as exc:  # pragma: no cover
+                outcome["value"] = exc
+
+        with plan.armed():
+            worker = threading.Thread(target=run)
+            worker.start()
+            time.sleep(0.15)
+            srv.stop_background()  # graceful: drains the slow SELECT
+            worker.join(timeout=30)
+        assert outcome["value"] == 7
+        # afterwards the link is down and typed as such
+        with pytest.raises(errors.ConnectionError_):
+            conn.create_statement().execute_query("select n from t")
+
+    def test_server_refuses_while_draining_or_after(self):
+        srv = ReproServer().start_background()
+        url = url_of(srv, "gone")
+        repro.connect(url).close()
+        srv.stop_background()
+        with pytest.raises(errors.ConnectionError_):
+            repro.connect(url)
+
+
+# ---------------------------------------------------------------------------
+# net.* fault replay
+# ---------------------------------------------------------------------------
+
+
+class TestNetFaults:
+    def test_torn_client_frame_is_connection_lost(self, server):
+        conn = repro.connect(url_of(server, "torn"))
+        conn.create_statement().execute_update("create table t (n int)")
+        plan = FaultPlan(seed=3).inject(
+            "net.write", corrupt=lambda data: data[:7], times=1
+        )
+        with plan.armed():
+            with pytest.raises(errors.ConnectionLostError) as exc:
+                conn.create_statement().execute_query("select * from t")
+        assert exc.value.sqlstate == "08006"
+        assert plan.fired["net.write"] == 1
+        assert conn.session.closed  # desynced stream must not be reused
+
+    def test_mid_response_disconnect(self, server):
+        conn = repro.connect(url_of(server, "midresp"))
+        conn.create_statement().execute_update("create table t (n int)")
+        plan = FaultPlan(seed=4).inject(
+            "net.respond", corrupt=lambda data: data[:3], times=1
+        )
+        with plan.armed():
+            with pytest.raises(errors.ConnectionLostError):
+                conn.create_statement().execute_query("select * from t")
+        assert plan.fired["net.respond"] == 1
+
+    def test_slow_peer_delay_still_succeeds(self, server):
+        conn = repro.connect(url_of(server, "slow"))
+        conn.create_statement().execute_update("create table t (n int)")
+        plan = FaultPlan(seed=5).inject("net.write", delay=0.2, times=1)
+        with plan.armed():
+            started = time.monotonic()
+            conn.create_statement().execute_update(
+                "insert into t values (1)"
+            )
+            assert time.monotonic() - started >= 0.2
+        conn.close()
+
+    def test_seeded_replay_is_exact(self, server):
+        conn = repro.connect(url_of(server, "replay"))
+        conn.create_statement().execute_update("create table t (n int)")
+
+        def workload(plan):
+            failures = 0
+            with plan.armed():
+                for _ in range(10):
+                    try:
+                        conn2 = repro.connect(url_of(server, "replay"))
+                        conn2.create_statement().execute_update(
+                            "insert into t values (1)"
+                        )
+                        conn2.close()
+                    except errors.ConnectionError_:
+                        failures += 1
+            return failures, dict(plan.fired)
+
+        plan = FaultPlan(seed=6).inject(
+            "net.write", corrupt=lambda data: data[:5], probability=0.3
+        )
+        first = workload(plan)
+        plan.reset()
+        second = workload(plan)
+        assert first == second
+        assert first[1].get("net.write", 0) > 0
+
+
+# ---------------------------------------------------------------------------
+# pool health for remote connections (the PR's bugfix)
+# ---------------------------------------------------------------------------
+
+
+class TestRemotePoolHealth:
+    def test_dead_tcp_connection_replaced_on_checkout(self):
+        srv = ReproServer().start_background()
+        url = url_of(srv, "poolheal")
+        pool = repro.DriverManager.get_pool(url, max_size=2)
+        conn = pool.checkout()
+        conn.create_statement().execute_update("create table t (n int)")
+        first_session = conn.session
+        conn.close()  # idle, healthy
+        port = srv.port
+        srv.stop_background()  # the idle session's peer dies
+
+        srv2 = ReproServer(port=port).start_background()
+        try:
+            conn2 = pool.checkout()  # must NOT hand out the dead session
+            assert conn2.session is not first_session
+            conn2.create_statement().execute_update(
+                "create table t2 (n int)"
+            )
+            conn2.close()
+            assert first_session.closed  # ping probe marked it dead
+        finally:
+            srv2.stop_background()
+
+    def test_fault_injected_silent_socket_death(self):
+        srv = ReproServer().start_background()
+        try:
+            url = url_of(srv, "silent")
+            pool = repro.DriverManager.get_pool(url, max_size=2)
+            conn = pool.checkout()
+            victim = conn.session
+            # Kill the socket under the session without marking it
+            # closed — a silently dropped TCP connection.  The ping
+            # probe at checkin notices, disposes the session, and the
+            # next checkout gets a fresh one.
+            plan = FaultPlan(seed=7).inject(
+                "pool.checkin",
+                corrupt=lambda s: (s._sock.close() or s),
+                times=1,
+            )
+            with plan.armed():
+                conn.close()
+            assert victim.closed  # probe caught the dead link
+            conn2 = pool.checkout()
+            assert conn2.session is not victim
+            conn2.create_statement().execute_update(
+                "create table ok (n int)"
+            )
+            conn2.close()
+        finally:
+            srv.stop_background()
+
+    def test_max_age_recycles_remote_sessions(self):
+        srv = ReproServer().start_background()
+        try:
+            url = url_of(srv, "aged")
+            pool = repro.DriverManager.get_pool(
+                url, max_size=2, max_age=0.05
+            )
+            conn = pool.checkout()
+            old = conn.session
+            conn.close()
+            time.sleep(0.1)
+            conn2 = pool.checkout()
+            assert conn2.session is not old
+            assert old.closed  # retired session was closed, not leaked
+            conn2.close()
+        finally:
+            srv.stop_background()
+
+
+# ---------------------------------------------------------------------------
+# protocol-level hygiene
+# ---------------------------------------------------------------------------
+
+
+class TestProtocol:
+    def test_handshake_rejects_bad_magic_and_version(self, server):
+        for hello in (
+            {"magic": "wrong", "version": protocol.PROTOCOL_VERSION},
+            {"magic": protocol.MAGIC, "version": 999},
+        ):
+            with socket.create_connection(
+                ("127.0.0.1", server.port), timeout=10
+            ) as sock:
+                protocol.send_frame(
+                    sock, protocol.MSG_HELLO, dict(hello, database="x")
+                )
+                msg_type, payload = protocol.recv_frame(sock)
+                assert msg_type == protocol.MSG_ERROR
+                error = protocol.rebuild_error(payload)
+                assert error.sqlstate == "08P01"
+
+    def test_oversized_frame_announcement_rejected(self):
+        header = (protocol.MAX_FRAME + 1).to_bytes(4, "little") + b"\x01"
+        with pytest.raises(errors.ProtocolError):
+            protocol.parse_header(header)
+
+    def test_error_rebuild_unknown_class_degrades(self):
+        error = protocol.rebuild_error(
+            {"error": "SomeFutureError", "sqlstate": "58000",
+             "message": "m", "vendor_code": 3}
+        )
+        assert isinstance(error, errors.SQLException)
+        assert error.sqlstate == "58000"
+        assert error.vendor_code == 3
+
+
+# ---------------------------------------------------------------------------
+# SQLJ runtime over the wire (location transparency)
+# ---------------------------------------------------------------------------
+
+
+class TestConnectionContextRemote:
+    def test_context_and_pooled_context(self, server):
+        url = url_of(server, "ctx")
+        with repro.connect(url) as conn:
+            conn.create_statement().execute_update(
+                "create table people (name varchar(50), year int)"
+            )
+            conn.create_statement().execute_update(
+                "insert into people values ('Ada', 1815), ('Alan', 1912)"
+            )
+        with ConnectionContext(url) as ctx:
+            result = ctx.session.execute(
+                "select name from people order by year"
+            )
+            assert list(result.rows) == [["Ada"], ["Alan"]]
+        with ConnectionContext(url, pooled=True) as ctx:
+            assert ctx.session.ping()
+
+    def test_observability_counters_flow(self, server):
+        with repro.connect(url_of(server, "obs")) as conn:
+            conn.create_statement().execute_update(
+                "create table t (n int)"
+            )
+            conn.create_statement().execute_update(
+                "insert into t values (1)"
+            )
+        counters = repro.observability.snapshot()["counters"]
+        assert counters.get("server.connections", 0) >= 1
+        assert counters.get("server.requests", 0) >= 2
+        assert counters.get("remote.executions", 0) >= 2
+        assert counters.get("remote.connects", 0) >= 1
+
+    def test_trace_propagation_across_the_wire(self, server):
+        import io
+        import json
+
+        from repro.observability import tracing
+
+        with repro.connect(url_of(server, "traced")) as conn:
+            conn.create_statement().execute_update(
+                "create table t (n int)"
+            )
+            buffer = io.StringIO()
+            tracing.enable_tracing("json", stream=buffer)
+            try:
+                conn.create_statement().execute_update(
+                    "insert into t values (1)"
+                )
+            finally:
+                tracing.disable_tracing()
+        spans = [json.loads(line) for line in buffer.getvalue().splitlines()]
+        names = {span["name"] for span in spans}
+        # both halves of the wire appear in one trace stream: the client
+        # span and the server-side execution span it propagated to
+        assert "remote.execute" in names
+        assert "server.execute" in names
+
+
+# ---------------------------------------------------------------------------
+# differential: remote vs local must be indistinguishable
+# ---------------------------------------------------------------------------
+
+
+class TestDifferential:
+    def test_workload_identical_remote_and_local(self, server):
+        generator = WorkloadGenerator(seed=11)
+        statements = (
+            [generator.ddl()]
+            + generator.seed_statements(20)
+            + generator.statements(120)
+        )
+        local = repro.connect("pydbc:standard:wl_local", durable=False)
+        remote = repro.connect(url_of(server, "wl_remote"))
+        try:
+            for sql in statements:
+                local_outcome = self._apply(local, sql)
+                remote_outcome = self._apply(remote, sql)
+                assert local_outcome == remote_outcome, sql
+        finally:
+            local.close()
+            remote.close()
+
+    @staticmethod
+    def _apply(conn, sql):
+        try:
+            result = conn.session.execute(sql, ())
+        except errors.ReproError as exc:
+            return ("error", exc.sqlstate)
+        if result.is_rowset:
+            key = lambda row: tuple((v is None, v) for v in row)
+            return ("rows", sorted(map(tuple, result.rows), key=key))
+        return ("update", result.update_count)
+
+
+# ---------------------------------------------------------------------------
+# acceptance: second process runs the TUTORIAL §2 example over repro://
+# ---------------------------------------------------------------------------
+
+
+TUTORIAL_SECTION_2_PROGRAM = """
+#sql iterator ByPos (str, int);
+#sql public iterator ByName (int year, str name);
+#sql context Department;
+
+def load(n):
+    #sql { INSERT INTO emp VALUES (:n) };
+    pass
+
+def scan():
+    positer: ByPos
+    #sql positer = { SELECT name, year FROM people };
+    name = None; year = 0
+    out = []
+    while True:
+        #sql { FETCH :positer INTO :name, :year };
+        if positer.endfetch():
+            break
+        out.append((name, year))
+    positer.close()
+    return out
+"""
+
+CLIENT_SCRIPT = """
+import sys
+sys.path.insert(0, {build_dir!r})
+
+import repro
+from repro import ConnectionContext, errors
+from repro.testing import FaultPlan
+
+url = "repro://127.0.0.1:{port}/tutorial"
+conn = repro.connect(url)
+stmt = conn.create_statement()
+stmt.execute_update("create table emp (n int)")
+stmt.execute_update(
+    "create table people (name varchar(50), year int)")
+stmt.execute_update(
+    "insert into people values ('Ada', 1815), ('Alan', 1912)")
+
+ConnectionContext.set_default_context(ConnectionContext(conn))
+import tutorial_app
+
+tutorial_app.load(41)
+tutorial_app.load(42)
+print("scan:", sorted(tutorial_app.scan()))
+rs = stmt.execute_query("select count(*) from emp")
+rs.next(); print("emp:", rs.get_int(1))
+
+plan = FaultPlan(seed=9).inject(
+    "net.write", corrupt=lambda data: data[:6], times=1)
+with plan.armed():
+    try:
+        stmt.execute_query("select * from people")
+        print("fault: MISSED")
+    except errors.ConnectionError_ as exc:
+        print("fault:", exc.sqlstate)
+"""
+
+
+class TestSecondProcessAcceptance:
+    def test_tutorial_section2_over_the_wire(self, tmp_path):
+        from repro import Database
+        from repro.translator import TranslationOptions, Translator
+
+        # Translate the §2 program against a local exemplar schema.
+        exemplar = Database(name="exemplar")
+        session = exemplar.create_session(autocommit=True)
+        session.execute("create table emp (n int)")
+        session.execute(
+            "create table people (name varchar(50), year int)"
+        )
+        source = tmp_path / "tutorial_app.psqlj"
+        source.write_text(TUTORIAL_SECTION_2_PROGRAM)
+        build_dir = tmp_path / "build"
+        Translator(TranslationOptions(exemplar=exemplar)).translate_file(
+            str(source), output_dir=str(build_dir)
+        )
+
+        # Server: its own process, via the CLI.
+        server_proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.server", "--port", "0"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=_subprocess_env(),
+        )
+        try:
+            banner = server_proc.stdout.readline()
+            assert "listening on" in banner, banner
+            port = int(banner.rsplit(":", 1)[1])
+
+            # Client: a third process, connecting over TCP.
+            script = textwrap.dedent(
+                CLIENT_SCRIPT.format(build_dir=str(build_dir), port=port)
+            )
+            completed = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                timeout=120,
+                env=_subprocess_env(),
+            )
+            assert completed.returncode == 0, completed.stderr
+            lines = completed.stdout.strip().splitlines()
+            assert lines[0] == "scan: [('Ada', 1815), ('Alan', 1912)]"
+            assert lines[1] == "emp: 2"
+            assert lines[2] == "fault: 08006"
+        finally:
+            server_proc.terminate()
+            server_proc.wait(timeout=30)
+
+
+def _subprocess_env():
+    import os
+
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src) + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return env

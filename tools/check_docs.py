@@ -1,0 +1,204 @@
+#!/usr/bin/env python
+"""Execute every fenced ``python`` block in README.md and docs/*.md.
+
+Documentation drifts when examples are prose; this tool keeps them
+executable.  It walks the repo's markdown files, extracts every fenced
+code block tagged ``python``, and runs them top-to-bottom — blocks in
+one file share a namespace, so later examples can build on earlier
+ones, exactly as a reader would type them into one interpreter.
+
+Escape hatches, both HTML comments (invisible in rendered markdown):
+
+* ``<!-- check-docs: skip -->`` on the line(s) right before a fence
+  marks the next block illustrative (pseudo-code, fragments of a
+  larger program, output samples) and skips it;
+* a ``<!-- check-docs: setup`` ... ``-->`` comment block contains
+  hidden Python that runs at its position in the file — staging
+  (creating a table an example queries, defining a constant the prose
+  introduced) without cluttering the rendered page.
+
+Blocks written as REPL transcripts (lines starting with ``>>>``) have
+their statements executed; the printed outputs in the transcript are
+treated as illustrative and are not diffed (counters and timings vary
+run to run).
+
+Every file runs in its own scratch working directory, and global
+engine state (registries, pools, faultpoints, default SQLJ context) is
+reset between files, so docs cannot depend on each other by accident.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_docs.py            # whole repo
+    PYTHONPATH=src python tools/check_docs.py docs/X.md  # one file
+
+Exit status 0 when every block runs clean; 1 otherwise, with a
+per-block report naming the file and fence line of each failure.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import sys
+import tempfile
+import traceback
+from dataclasses import dataclass
+from typing import List
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO, "src"))
+
+SKIP_MARKER = "<!-- check-docs: skip -->"
+SETUP_OPEN = "<!-- check-docs: setup"
+SETUP_CLOSE = "-->"
+
+
+@dataclass
+class Block:
+    path: str
+    line: int  # 1-based line of the opening fence / setup marker
+    source: str
+    hidden: bool = False  # True for check-docs: setup blocks
+
+    @property
+    def label(self) -> str:
+        kind = "setup" if self.hidden else "block"
+        return f"{self.path}:{self.line} ({kind})"
+
+
+def extract_blocks(path: str) -> List[Block]:
+    """Parse one markdown file into runnable blocks, in file order."""
+    lines = open(path, encoding="utf-8").read().splitlines()
+    blocks: List[Block] = []
+    i = 0
+    skip_next = False
+    while i < len(lines):
+        line = lines[i]
+        if line.strip() == SKIP_MARKER:
+            skip_next = True
+        elif line.strip() == SETUP_OPEN:
+            start = i + 1
+            body = []
+            i += 1
+            while i < len(lines) and lines[i].strip() != SETUP_CLOSE:
+                body.append(lines[i])
+                i += 1
+            blocks.append(
+                Block(path, start, "\n".join(body), hidden=True)
+            )
+        elif line.startswith("```"):
+            lang = line[3:].strip().lower()
+            fence_line = i + 1
+            body = []
+            i += 1
+            while i < len(lines) and not lines[i].startswith("```"):
+                body.append(lines[i])
+                i += 1
+            if lang == "python":
+                if skip_next:
+                    skip_next = False
+                else:
+                    blocks.append(
+                        Block(path, fence_line, "\n".join(body))
+                    )
+        elif line.strip():
+            # any other non-blank line cancels a pending skip marker
+            skip_next = False
+        i += 1
+    return blocks
+
+
+def repl_to_source(source: str) -> str:
+    """Strip a ``>>>`` transcript down to its statements."""
+    out = []
+    for line in source.splitlines():
+        stripped = line.lstrip()
+        if stripped.startswith(">>> "):
+            out.append(stripped[4:])
+        elif stripped == ">>>":
+            out.append("")
+        elif stripped.startswith("... "):
+            out.append(stripped[4:])
+        elif stripped == "...":
+            out.append("")
+        # anything else is expected output: illustrative, not diffed
+    return "\n".join(out)
+
+
+def is_repl(source: str) -> bool:
+    for line in source.splitlines():
+        if line.strip():
+            return line.lstrip().startswith(">>>")
+    return False
+
+
+def reset_global_state() -> None:
+    """Undo anything a doc example left behind."""
+    import repro
+    from repro import faultpoints
+    from repro.observability import tracing
+    from repro.runtime.context import ConnectionContext
+
+    faultpoints.uninstall()
+    repro.DriverManager.shutdown_pools()
+    repro.registry.clear()
+    ConnectionContext.set_default_context(None)
+    tracing.disable_tracing()
+
+
+def run_file(path: str) -> List[str]:
+    """Execute one file's blocks; return a list of failure reports."""
+    rel = os.path.relpath(path, REPO)
+    blocks = extract_blocks(path)
+    if not blocks:
+        return []
+    failures: List[str] = []
+    namespace: dict = {"__name__": f"docs_{os.path.basename(path)}"}
+    cwd = os.getcwd()
+    with tempfile.TemporaryDirectory(prefix="check_docs_") as scratch:
+        os.chdir(scratch)
+        try:
+            for block in blocks:
+                source = block.source
+                if is_repl(source):
+                    source = repl_to_source(source)
+                try:
+                    code = compile(source, block.label, "exec")
+                    exec(code, namespace)
+                except Exception:
+                    failures.append(
+                        f"{block.label}\n"
+                        + traceback.format_exc(limit=8)
+                    )
+                    # a broken block poisons its file's namespace;
+                    # stop here rather than cascade
+                    break
+        finally:
+            os.chdir(cwd)
+            reset_global_state()
+    status = "FAIL" if failures else "ok"
+    print(f"{rel}: {len(blocks)} block(s) ... {status}", flush=True)
+    return failures
+
+
+def main(argv: List[str]) -> int:
+    if argv:
+        paths = [os.path.abspath(p) for p in argv]
+    else:
+        paths = [os.path.join(REPO, "README.md")] + sorted(
+            glob.glob(os.path.join(REPO, "docs", "*.md"))
+        )
+    failures: List[str] = []
+    for path in paths:
+        failures.extend(run_file(path))
+    if failures:
+        print(f"\n{len(failures)} failing doc block(s):\n")
+        for report in failures:
+            print(report)
+        return 1
+    print("all documentation examples executed cleanly")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
