@@ -16,7 +16,10 @@ Semantics:
 * **Health-checked.** Sessions are inspected on return and again on
   checkout: a session that died (closed, killed by a fault) is discarded
   and replaced; a session returned mid-transaction is rolled back before
-  reuse, so the next client never inherits uncommitted work.
+  reuse, so the next client never inherits uncommitted work.  Probes,
+  dials and closes — network round-trips for ``repro://`` sessions —
+  always run *outside* the pool lock, so one unresponsive peer slows
+  only its own checkout, never the whole pool.
 * **Recycled.** With ``max_age`` set, sessions older than that many
   seconds are retired instead of being reused (stale-connection
   recycling).
@@ -36,7 +39,7 @@ from __future__ import annotations
 import threading
 import time
 import warnings
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro import errors, faultpoints
 from repro.dbapi.connection import Connection
@@ -138,9 +141,11 @@ class ConnectionPool:
         self._gauge_size = _metrics.registry.counter(
             f"pool.{self.name}.size"
         )
+        # Eager sessions are dialled outside the lock: opening a remote
+        # session is a network handshake and must never run under _cond.
+        eager = [self._open_session() for _ in range(min_size)]
         with self._cond:
-            for _ in range(min_size):
-                self._idle.append(self._open_session())
+            self._idle.extend(eager)
             self._update_gauges_locked()
 
     # ------------------------------------------------------------------
@@ -157,17 +162,59 @@ class ConnectionPool:
         if timeout is None:
             timeout = self.timeout
         deadline = time.monotonic() + timeout
+        while True:
+            candidate, open_new = self._reserve_slot(deadline, timeout)
+            # The slot is reserved; everything that can touch the
+            # network — dialling a new session, the PING health probe,
+            # rolling back stale work, closing the unhealthy — runs
+            # outside the pool lock, so one hung peer cannot freeze
+            # every other checkout and checkin.
+            session = None
+            try:
+                if open_new:
+                    session = self._open_session()
+                elif self._healthy(candidate):
+                    session = candidate
+                else:
+                    self._dispose(candidate)
+                    _RECYCLED.increment()
+            except BaseException:
+                self._release_slot()
+                raise
+            if session is not None:
+                break
+            self._release_slot()  # unhealthy idle session: try again
+        try:
+            faultpoints.trigger("pool.checkout")
+        except BaseException:
+            # An injected checkout failure must not leak the slot.
+            self._checkin(session)
+            raise
+        _CHECKOUTS.increment()
+        return PooledConnection(session, self.url, self)
+
+    def _reserve_slot(
+        self, deadline: float, timeout: float
+    ) -> "Tuple[Optional[Session], bool]":
+        """Claim an idle session or the right to open a new one.
+
+        Returns ``(candidate, open_new)`` with the slot already counted
+        in-use, so the caller may probe or dial without the lock while
+        the pool stays bounded.  Blocks until the deadline when the
+        pool is exhausted.
+        """
         with self._cond:
             self._check_open()
             while True:
-                session = self._take_healthy_idle_locked()
-                if session is None and \
-                        self._total_locked() < self.max_size:
-                    session = self._open_session()
-                if session is not None:
+                if self._idle:
+                    self._in_use += 1
+                    session = self._idle.pop()
+                    self._update_gauges_locked()
+                    return session, False
+                if self._total_locked() < self.max_size:
                     self._in_use += 1
                     self._update_gauges_locked()
-                    break
+                    return None, True
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
                     _TIMEOUTS.increment()
@@ -178,42 +225,55 @@ class ConnectionPool:
                     )
                 self._cond.wait(remaining)
                 self._check_open()
-        try:
-            faultpoints.trigger("pool.checkout")
-        except BaseException:
-            # An injected checkout failure must not leak the slot.
-            self._checkin(session)
-            raise
-        _CHECKOUTS.increment()
-        return PooledConnection(session, self.url, self)
+
+    def _release_slot(self) -> None:
+        """Give back a reserved slot (probe failed or dial raised)."""
+        with self._cond:
+            self._in_use = max(0, self._in_use - 1)
+            self._update_gauges_locked()
+            self._cond.notify()
 
     def _checkin(self, session: Session) -> None:
         """Return ``session`` to the pool (health check + recycling)."""
         session = faultpoints.pipe("pool.checkin", session)
         _CHECKINS.increment()
         with self._cond:
-            self._in_use = max(0, self._in_use - 1)
-            if self._closed or not self._healthy(session):
-                self._dispose(session)
-                if not self._closed:
-                    _RECYCLED.increment()
-            else:
+            pool_closed = self._closed
+        # Probe and reset outside the lock: ping() and rollback() are
+        # network round-trips for remote sessions.
+        healthy = not pool_closed and self._healthy(session)
+        if healthy:
+            try:
                 session.autocommit = self.autocommit
+            except errors.SQLException:
+                healthy = False
+        if not healthy:
+            self._dispose(session)
+            if not pool_closed:
+                _RECYCLED.increment()
+        dispose_late: Optional[Session] = None
+        with self._cond:
+            self._in_use = max(0, self._in_use - 1)
+            if healthy and not self._closed:
                 self._idle.append(session)
+            elif healthy:
+                dispose_late = session  # pool closed while we probed
             self._update_gauges_locked()
             self._cond.notify()
+        if dispose_late is not None:
+            self._dispose(dispose_late)
 
     def _abandon(self, session: Session) -> None:
         """Reclaim the slot of a leaked (never-closed) connection."""
+        self._dispose(session)
+        _RECYCLED.increment()
         with self._cond:
             self._in_use = max(0, self._in_use - 1)
-            self._dispose(session)
-            _RECYCLED.increment()
             self._update_gauges_locked()
             self._cond.notify()
 
     # ------------------------------------------------------------------
-    # internals (call with self._cond held)
+    # internals — session I/O; never call these with self._cond held
     # ------------------------------------------------------------------
     def _open_session(self) -> Session:
         session = self.database.create_session(
@@ -222,15 +282,6 @@ class ConnectionPool:
         session._pool_opened_at = time.monotonic()
         _CREATED.increment()
         return session
-
-    def _take_healthy_idle_locked(self) -> Optional[Session]:
-        while self._idle:
-            session = self._idle.pop()
-            if self._healthy(session):
-                return session
-            self._dispose(session)
-            _RECYCLED.increment()
-        return None
 
     def _healthy(self, session: Session) -> bool:
         if session.closed:
@@ -261,6 +312,9 @@ class ConnectionPool:
         except errors.SQLException:  # pragma: no cover - best effort
             pass
 
+    # ------------------------------------------------------------------
+    # internals (call with self._cond held)
+    # ------------------------------------------------------------------
     def _total_locked(self) -> int:
         return self._in_use + len(self._idle)
 
@@ -315,11 +369,12 @@ class ConnectionPool:
             if self._closed:
                 return
             self._closed = True
-            for session in self._idle:
-                self._dispose(session)
+            doomed = list(self._idle)
             self._idle.clear()
             self._update_gauges_locked()
             self._cond.notify_all()
+        for session in doomed:
+            self._dispose(session)
 
     def __enter__(self) -> "ConnectionPool":
         return self

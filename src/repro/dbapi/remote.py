@@ -47,6 +47,7 @@ from repro.server import protocol
 from repro.server.protocol import (
     MSG_AUTOCOMMIT,
     MSG_CANCEL,
+    MSG_CLOSE_CURSOR,
     MSG_COMMIT,
     MSG_ERROR,
     MSG_EXECUTE,
@@ -145,10 +146,28 @@ class RemoteRows:
     def __bool__(self) -> bool:
         return self._total > 0
 
+    def close(self) -> None:
+        """Release the server-side cursor of a partially read result.
+
+        Idempotent; a fully fetched result has no cursor left to close.
+        Without this, abandoning a paged result would pin its remaining
+        rows server-side until the TCP connection goes away — a leak on
+        long-lived pooled connections.  :class:`~repro.dbapi.resultset
+        .ResultSet.close` calls it automatically.
+        """
+        cursor, self._cursor = self._cursor, None
+        if cursor is None or self._session.closed:
+            return
+        try:
+            self._session._close_cursor(cursor)
+        except errors.ReproError:
+            pass  # dead link: the server reclaims cursors with the session
+
     def _fetch_more(self) -> None:
         if self._cursor is None:
             raise errors.InvalidCursorStateError(
-                "remote cursor exhausted early (connection recycled?)"
+                "remote cursor closed or exhausted early "
+                "(result closed, or connection recycled?)"
             )
         _FETCHES.increment()
         payload = self._session._fetch_page(self._cursor)
@@ -226,8 +245,13 @@ class RemoteSession:
         self.database_name = database
         self.transaction_log = _RemoteTransactionLog()
         self._autocommit = bool(autocommit)
+        self._connect_timeout = connect_timeout
         self._request_lock = threading.RLock()
         self._send_lock = threading.RLock()
+        #: Client-assigned EXECUTE sequence numbers; CANCEL names the
+        #: sequence it targets so the server can discard stale cancels.
+        self._seq = 0
+        self._inflight_seq = 0
         faultpoints.trigger("net.connect")
         _CONNECTS.increment()
         try:
@@ -239,7 +263,9 @@ class RemoteSession:
                 f"cannot connect to repro server at {host}:{port}: {exc}"
             ) from exc
         try:
-            self._sock.settimeout(None)
+            # The connect timeout stays armed through the handshake: a
+            # server that accepts but never answers HELLO must fail the
+            # dial, not hang the caller (or a pool) indefinitely.
             protocol.send_frame(
                 self._sock,
                 MSG_HELLO,
@@ -263,6 +289,7 @@ class RemoteSession:
         except BaseException:
             self._sock.close()
             raise
+        self._sock.settimeout(None)  # statements may legitimately be slow
         self.server_version = payload.get("server_version", "")
         self.session_id = payload.get("session_id", 0)
         self._page_size = int(payload.get("page_size") or 256)
@@ -336,22 +363,17 @@ class RemoteSession:
         self, sql: str, params: Sequence[Any] = ()
     ) -> StatementResult:
         _EXECUTIONS.increment()
+        with self._send_lock:
+            self._seq += 1
+            seq = self._inflight_seq = self._seq
+        payload = {"sql": sql, "params": list(params), "seq": seq}
         tracer = _tracing.current
-        trace = None
         if tracer.enabled:
-            trace = {"trace_id": f"client-{self.session_id}"}
+            payload["trace"] = {"trace_id": f"client-{self.session_id}"}
             with tracer.span("remote.execute", sql=sql):
-                reply = self._expect(
-                    MSG_EXECUTE,
-                    {"sql": sql, "params": list(params), "trace": trace},
-                    MSG_RESULT,
-                )
+                reply = self._expect(MSG_EXECUTE, payload, MSG_RESULT)
         else:
-            reply = self._expect(
-                MSG_EXECUTE,
-                {"sql": sql, "params": list(params)},
-                MSG_RESULT,
-            )
+            reply = self._expect(MSG_EXECUTE, payload, MSG_RESULT)
         return self._build_result(reply)
 
     def prepare(self, sql: str) -> RemotePreparedPlan:
@@ -388,18 +410,38 @@ class RemoteSession:
         finally:
             self._teardown()
 
-    def ping(self) -> bool:
+    def ping(self, timeout: Optional[float] = None) -> bool:
         """Round-trip liveness probe; False means the link is dead.
 
         ``ConnectionPool._healthy`` calls this (when present) so a dead
         TCP connection is detected at checkout, not handed to a caller.
+        The probe is bounded: a server that accepted the connection but
+        stopped responding fails the ping after ``timeout`` seconds
+        (the connect timeout by default) instead of hanging the pool,
+        and the timed-out session is marked dead — the stream may hold
+        a late reply, so it cannot be reused.
         """
         if self.closed:
             return False
+        if timeout is None:
+            timeout = self._connect_timeout
         try:
-            self._expect(MSG_PING, None, MSG_OK)
+            with self._request_lock:
+                self._sock.settimeout(timeout)
+                try:
+                    self._expect(MSG_PING, None, MSG_OK)
+                finally:
+                    if not self.closed:
+                        try:
+                            self._sock.settimeout(None)
+                        except OSError:
+                            pass
             return True
         except errors.ReproError:
+            return False
+        except OSError:
+            # The socket died under us (silently dropped connection).
+            self._teardown()
             return False
 
     def cancel(self) -> None:
@@ -407,12 +449,17 @@ class RemoteSession:
 
         Sent out of band (it does not wait for a response); the
         statement being cancelled fails with SQLSTATE 57014.  May be
-        called from any thread.
+        called from any thread.  The frame names the sequence number of
+        the latest EXECUTE, so a cancel that arrives after its target
+        already answered is discarded server-side rather than spilling
+        onto the next statement.
         """
         if self.closed:
             return
         with self._send_lock:
-            protocol.send_frame(self._sock, MSG_CANCEL, None)
+            protocol.send_frame(
+                self._sock, MSG_CANCEL, {"seq": self._inflight_seq}
+            )
 
     # ------------------------------------------------------------------
     # result materialisation
@@ -425,8 +472,12 @@ class RemoteSession:
             MSG_ROWS,
         )
 
+    def _close_cursor(self, cursor_id: int) -> None:
+        """Release a server-side cursor a result abandoned early."""
+        self._expect(MSG_CLOSE_CURSOR, {"cursor": cursor_id}, MSG_OK)
+
     def _build_result(self, payload: Dict[str, Any]) -> StatementResult:
-        shape = payload.get("shape")
+        shape = protocol.decode_shape(payload.get("shape"))
         if shape is None and payload.get("columns"):
             shape = RowShape(
                 [
@@ -445,7 +496,14 @@ class RemoteSession:
             shape=shape,
             update_count=payload.get("update_count", 0),
             out_values=payload.get("out_values") or [],
-            result_sets=payload.get("result_sets") or [],
+            result_sets=[
+                StatementResult(
+                    "rowset",
+                    rows=nested.get("rows") or [],
+                    shape=protocol.decode_shape(nested.get("shape")),
+                )
+                for nested in payload.get("result_sets") or []
+            ],
             function_value=payload.get("function_value"),
         )
         result.rows = rows

@@ -160,7 +160,14 @@ class ResultSet:
             yield self
 
     def close(self) -> None:
+        if self._closed:
+            return
         self._closed = True
+        # Remote row containers hold a server-side cursor while pages
+        # remain unfetched; closing the result set must release it.
+        release = getattr(self._result.rows, "close", None)
+        if release is not None:
+            release()
 
     @property
     def closed(self) -> bool:

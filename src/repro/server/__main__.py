@@ -8,6 +8,11 @@ Examples::
     # durable databases under /var/lib/mydata, 128 clients max
     python -m repro.server --host 0.0.0.0 --port 7878 \\
         --data-dir /var/lib/mydata --max-connections 128
+
+The wire protocol is data-only (no code can reach the server through
+frames), but it is cleartext: ``--auth-token`` gates the handshake and
+nothing more.  Bind ``0.0.0.0`` only on trusted networks or behind a
+TLS tunnel — see ``docs/SERVER.md``.
 """
 
 from __future__ import annotations
@@ -43,8 +48,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="engine executor threads (default 8)")
     parser.add_argument("--page-size", type=int, default=256,
                         help="rows per result page (default 256)")
+    parser.add_argument("--max-cursors", type=int, default=64,
+                        help="open paged-result cursors per session "
+                             "before LRU eviction (default 64)")
     parser.add_argument("--auth-token", default=None,
-                        help="require this token from clients")
+                        help="require this token from clients (gates the "
+                             "handshake only; traffic stays cleartext)")
     parser.add_argument("--drain-timeout", type=float, default=10.0,
                         help="seconds to drain in-flight work on "
                              "shutdown (default 10)")
@@ -73,6 +82,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         max_connections=options.max_connections,
         executor_threads=options.threads,
         page_size=options.page_size,
+        max_cursors=options.max_cursors,
         auth_token=options.auth_token,
     )
     try:

@@ -23,7 +23,10 @@ Connections that do not drain within the timeout are force-closed.
 Statement cancellation is best-effort, as in real servers: a statement
 still waiting in the queue is cancelled for certain (SQLSTATE 57014);
 a statement already executing runs to completion inside the engine and
-its *response* is replaced by the 57014 error.
+its *response* is replaced by the 57014 error.  Each EXECUTE carries a
+client-assigned sequence number and CANCEL names the sequence it
+targets, so a cancel that loses the race (arriving after its statement
+already answered) is discarded instead of killing the next statement.
 """
 
 from __future__ import annotations
@@ -89,6 +92,8 @@ class _ClientConnection:
         self.database_name = ""
         self.queue: "asyncio.Queue[Any]" = asyncio.Queue()
         self.cancel_event = threading.Event()
+        #: Sequence number the armed CANCEL targets (None = any).
+        self.cancel_seq: Optional[int] = None
         self.cursors: Dict[int, Tuple[list, int]] = {}
         self.next_cursor = 1
         self.done = asyncio.Event()
@@ -120,8 +125,15 @@ class ReproServer:
     page_size:
         Rows per result page on the wire.  The first page rides on the
         RESULT frame; the remainder is fetched on demand.
+    max_cursors:
+        Open paged-result cursors a session may pin at once; beyond it
+        the least-recently-fetched cursor is dropped, so clients that
+        abandon partially read results cannot pin rows server-side
+        forever.  (Well-behaved clients CLOSE_CURSOR explicitly.)
     auth_token:
-        When set, clients must present the same token in HELLO.
+        When set, clients must present the same token in HELLO.  The
+        token gates the handshake only — frames are cleartext and
+        carry data, not credentials; see ``docs/SERVER.md``.
     durability_options:
         Passed through to ``registry.get_or_open_durable`` (e.g.
         ``group_commit_window=...``).
@@ -137,6 +149,7 @@ class ReproServer:
         max_connections: int = 64,
         executor_threads: int = 8,
         page_size: int = 256,
+        max_cursors: int = 64,
         auth_token: Optional[str] = None,
         **durability_options: Any,
     ) -> None:
@@ -146,6 +159,7 @@ class ReproServer:
         self.dialect = dialect
         self.max_connections = max_connections
         self.page_size = page_size
+        self.max_cursors = max_cursors
         self.auth_token = auth_token
         self.durability_options = durability_options
         self._executor = concurrent.futures.ThreadPoolExecutor(
@@ -153,6 +167,10 @@ class ReproServer:
         )
         self._server: Optional[asyncio.base_events.Server] = None
         self._connections: set = set()
+        #: Accepted sockets still inside the HELLO handshake; they count
+        #: toward ``max_connections`` so a flood of silent pre-handshake
+        #: peers cannot exceed the cap during their 30s HELLO window.
+        self._pending: set = set()
         self._closing = False
         self._next_session_id = 1
         self._loop: Optional[asyncio.AbstractEventLoop] = None
@@ -253,7 +271,10 @@ class ReproServer:
         conn = _ClientConnection(reader, writer, session_id)
         conn.task = asyncio.current_task()
         try:
-            if self._closing or len(self._connections) >= self.max_connections:
+            if self._closing or (
+                len(self._connections) + len(self._pending)
+                >= self.max_connections
+            ):
                 _REJECTED.increment()
                 await self._send(
                     conn,
@@ -268,9 +289,11 @@ class ReproServer:
                     ),
                 )
                 return
+            self._pending.add(conn)
             if not await self._handshake(conn):
                 return
             self._connections.add(conn)
+            self._pending.discard(conn)
             _CONNECTIONS.increment()
             _metrics.increment(f"server.{conn.database_name}.sessions")
             conn.reader_task = asyncio.ensure_future(self._read_loop(conn))
@@ -285,6 +308,7 @@ class ReproServer:
         except asyncio.CancelledError:
             pass
         finally:
+            self._pending.discard(conn)
             if conn.session is not None and not conn.session.closed:
                 try:
                     await self._run_engine(conn.session.close)
@@ -372,7 +396,15 @@ class ReproServer:
             while True:
                 msg_type, payload = await self._read_frame(conn.reader)
                 if msg_type == protocol.MSG_CANCEL:
-                    # Out of band: overtake queued work.
+                    # Out of band: overtake queued work.  The payload
+                    # names the EXECUTE sequence it targets so a cancel
+                    # landing after its statement already answered
+                    # cannot spill onto the next unrelated statement.
+                    conn.cancel_seq = (
+                        payload.get("seq")
+                        if isinstance(payload, dict)
+                        else None
+                    )
                     conn.cancel_event.set()
                 elif msg_type == MSG_GOODBYE:
                     await conn.queue.put(_CLOSE)
@@ -446,11 +478,32 @@ class ReproServer:
             f"{protocol.MESSAGE_NAMES.get(msg_type, msg_type)}"
         )
 
+    @staticmethod
+    def _consume_cancel(conn: _ClientConnection, seq: Optional[int]) -> bool:
+        """True when an armed CANCEL targets statement ``seq``.
+
+        A stale cancel — one naming a statement that already answered —
+        is discarded instead of cancelling the next unrelated
+        statement; a cancel naming a later, still-queued statement
+        stays armed until that statement reaches the worker.
+        """
+        if not conn.cancel_event.is_set():
+            return False
+        target = conn.cancel_seq
+        if target is None or seq is None or target == seq:
+            conn.cancel_event.clear()
+            conn.cancel_seq = None
+            return True
+        if target < seq:
+            conn.cancel_event.clear()
+            conn.cancel_seq = None
+        return False
+
     async def _do_execute(
         self, conn: _ClientConnection, payload: Dict[str, Any]
     ) -> Tuple[int, Any]:
-        if conn.cancel_event.is_set():
-            conn.cancel_event.clear()
+        seq = payload.get("seq")
+        if self._consume_cancel(conn, seq):
             raise errors.QueryCanceledError(
                 "statement cancelled before execution"
             )
@@ -472,11 +525,10 @@ class ReproServer:
         else:
             result = await self._run_engine(conn.session.execute, sql, params)
         _metrics.observe("server.execute.seconds", time.perf_counter() - start)
-        if conn.cancel_event.is_set():
+        if self._consume_cancel(conn, seq):
             # The engine finished anyway (statements are not
             # interruptible mid-flight); honour the cancel by replacing
             # the response, as real servers racing a cancel packet do.
-            conn.cancel_event.clear()
             raise errors.QueryCanceledError("statement cancelled")
         return MSG_RESULT, self._result_payload(conn, result)
 
@@ -493,9 +545,11 @@ class ReproServer:
         max_rows = int(payload.get("max_rows") or self.page_size)
         page = rows[position : position + max_rows]
         position += len(page)
+        del conn.cursors[cursor_id]
         if position >= len(rows):
-            del conn.cursors[cursor_id]
             return MSG_ROWS, {"rows": page, "done": True}
+        # Re-insert so the dict's order is least-recently-fetched first,
+        # which is the eviction order when max_cursors overflows.
         conn.cursors[cursor_id] = (rows, position)
         return MSG_ROWS, {"rows": page, "done": False}
 
@@ -509,14 +563,22 @@ class ReproServer:
             cursor_id = conn.next_cursor
             conn.next_cursor += 1
             conn.cursors[cursor_id] = (rows, self.page_size)
+            while len(conn.cursors) > self.max_cursors:
+                conn.cursors.pop(next(iter(conn.cursors)))
         return {
             "kind": result.kind,
             "update_count": result.update_count,
             "out_values": result.out_values,
-            "result_sets": result.result_sets,
+            "result_sets": [
+                {
+                    "rows": nested.rows,
+                    "shape": protocol.encode_shape(nested.shape),
+                }
+                for nested in result.result_sets
+            ],
             "function_value": result.function_value,
             "columns": result.column_names(),
-            "shape": result.shape,
+            "shape": protocol.encode_shape(result.shape),
             "rows": first_page,
             "row_count": len(rows),
             "cursor": cursor_id,
@@ -560,29 +622,18 @@ class ReproServer:
         try:
             data = protocol.encode_frame(msg_type, payload)
         except Exception as exc:
-            # Unpicklable result (e.g. a shape or rows holding
-            # archive-loaded classes, which the README documents as
-            # unserialisable).  First retry without the shape — column
-            # names still travel — then degrade to a typed error rather
-            # than a hung client.
-            data = None
-            if isinstance(payload, dict) and payload.get("shape") is not None:
-                try:
-                    data = protocol.encode_frame(
-                        msg_type, dict(payload, shape=None)
+            # Result outside the data-only vocabulary (e.g. rows or OUT
+            # values holding archive-loaded objects, which the README
+            # documents as engine-local).  Degrade to a typed error
+            # rather than a hung client.
+            data = protocol.encode_frame(
+                MSG_ERROR,
+                protocol.error_payload(
+                    errors.FeatureNotSupportedError(
+                        f"result is not serialisable over the wire: {exc}"
                     )
-                except Exception:
-                    data = None
-            if data is None:
-                data = protocol.encode_frame(
-                    MSG_ERROR,
-                    protocol.error_payload(
-                        errors.FeatureNotSupportedError(
-                            "result is not serialisable over the wire: "
-                            f"{exc}"
-                        )
-                    ),
-                )
+                ),
+            )
         sent = faultpoints.pipe("net.respond", data)
         conn.writer.write(sent)
         await conn.writer.drain()

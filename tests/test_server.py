@@ -273,6 +273,26 @@ class TestMultiClient:
         finally:
             srv.stop_background()
 
+    def test_pre_handshake_sockets_count_toward_limit(self):
+        # Sockets that dialled but never sent HELLO occupy their slot
+        # during the handshake window — the cap is on connections, not
+        # on completed handshakes.
+        srv = ReproServer(max_connections=2).start_background()
+        idlers = []
+        try:
+            idlers = [
+                socket.create_connection(("127.0.0.1", srv.port))
+                for _ in range(2)
+            ]
+            time.sleep(0.3)  # let the event loop accept both
+            with pytest.raises(errors.ConnectionError_) as exc:
+                repro.connect(url_of(srv, "flood"))
+            assert exc.value.sqlstate == "08004"
+        finally:
+            for sock in idlers:
+                sock.close()
+            srv.stop_background()
+
 
 # ---------------------------------------------------------------------------
 # cancel + graceful shutdown
@@ -308,6 +328,21 @@ class TestLifecycle:
         rs.next()
         assert rs.get_int(1) == 0
         conn.close()
+
+    def test_stale_cancel_does_not_kill_next_statement(self, server):
+        # A cancel that loses the race — its target already answered —
+        # must be discarded by sequence number, not left armed to
+        # spuriously cancel whatever runs next.  TCP ordering makes
+        # this deterministic: the CANCEL frame is written before the
+        # next EXECUTE, so the server always sees it first.
+        with repro.connect(url_of(server, "stale")) as conn:
+            st = conn.create_statement()
+            st.execute_update("create table t (n int)")
+            st.execute_update("insert into t values (1)")
+            conn.session.cancel()  # targets the finished INSERT
+            rs = st.execute_query("select count(*) from t")
+            rs.next()
+            assert rs.get_int(1) == 1  # no spurious 57014
 
     def test_graceful_shutdown_drains_inflight(self):
         srv = ReproServer().start_background()
@@ -492,6 +527,66 @@ class TestRemotePoolHealth:
         finally:
             srv.stop_background()
 
+    def test_handshake_timeout_is_bounded(self):
+        # A server that accepts the TCP dial but never answers HELLO
+        # must fail the handshake within the connect timeout instead of
+        # blocking forever on an unbounded read.
+        from repro.dbapi.remote import RemoteSession
+
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        port = listener.getsockname()[1]
+        try:
+            started = time.monotonic()
+            with pytest.raises(errors.ConnectionError_):
+                RemoteSession(
+                    "127.0.0.1", port, "db", connect_timeout=0.5
+                )
+            assert time.monotonic() - started < 5
+        finally:
+            listener.close()
+
+    def test_health_probe_runs_outside_pool_lock(self):
+        # A hung health probe must slow only its own checkout; other
+        # pool operations (here: stats(), which takes the pool lock)
+        # keep working while the probe is stuck.
+        srv = ReproServer().start_background()
+        try:
+            pool = repro.DriverManager.get_pool(
+                url_of(srv, "nolock"), max_size=2
+            )
+            conn = pool.checkout()
+            victim = conn.session
+            conn.close()  # one idle session
+            release = threading.Event()
+
+            def stuck_ping(timeout=None):
+                release.wait(10)
+                return False
+
+            victim.ping = stuck_ping
+            picked = {}
+
+            def blocked_checkout():
+                c = pool.checkout(timeout=15)
+                picked["session"] = c.session
+                c.close()
+
+            worker = threading.Thread(target=blocked_checkout)
+            worker.start()
+            time.sleep(0.3)  # worker is now inside the stuck probe
+            started = time.monotonic()
+            stats = pool.stats()
+            assert time.monotonic() - started < 1.0
+            assert stats["in_use"] == 1  # the probing slot is reserved
+            release.set()
+            worker.join(timeout=30)
+            assert picked["session"] is not victim  # probe said dead
+            pool.close()
+        finally:
+            srv.stop_background()
+
 
 # ---------------------------------------------------------------------------
 # protocol-level hygiene
@@ -528,6 +623,125 @@ class TestProtocol:
         assert isinstance(error, errors.SQLException)
         assert error.sqlstate == "58000"
         assert error.vendor_code == 3
+
+
+# ---------------------------------------------------------------------------
+# wire safety: the payload encoding is data-only
+# ---------------------------------------------------------------------------
+
+
+class TestWireSafety:
+    """Frames carry data, never code.
+
+    Protocol v1 pickled payloads, which handed arbitrary code execution
+    to any peer that could reach the socket — before the auth token was
+    even looked at.  v2's typed encoding can only decode into plain SQL
+    data values; these tests pin that property.
+    """
+
+    def test_typed_encoding_roundtrips_sql_data(self):
+        import datetime
+        import decimal
+
+        payload = {
+            "none": None, "flag": True, "off": False,
+            "int": -42, "big": 2 ** 90, "float": 2.5,
+            "text": "héllo", "blob": b"\x00\xff",
+            "dec": decimal.Decimal("12.34"),
+            "date": datetime.date(1999, 12, 31),
+            "time": datetime.time(23, 59, 58),
+            "ts": datetime.datetime(2000, 1, 1, 12, 30, 45, 123456),
+            "list": [1, [2, None]], "tuple": (1, "a"),
+        }
+        frame = protocol.encode_frame(protocol.MSG_RESULT, payload)
+        decoded = protocol.decode_payload(frame[protocol.HEADER_SIZE:])
+        assert decoded == payload
+        assert isinstance(decoded["tuple"], tuple)
+        assert isinstance(decoded["dec"], decimal.Decimal)
+        assert decoded["big"] == 2 ** 90
+
+    def test_arbitrary_objects_cannot_cross(self):
+        with pytest.raises(errors.ProtocolError):
+            protocol.encode_frame(protocol.MSG_RESULT, {"x": object()})
+
+    def test_pickle_payload_is_garbage_not_code(self):
+        import pickle
+
+        body = pickle.dumps({"magic": protocol.MAGIC})
+        with pytest.raises(errors.ProtocolError):
+            protocol.decode_payload(body)
+
+    def test_malicious_hello_does_not_execute_preauth(self, server, tmp_path):
+        # A pickle bomb in place of HELLO must be rejected as garbage
+        # without any side effect — even though no token was presented.
+        import os
+        import pickle
+
+        marker = tmp_path / "owned"
+
+        class Evil:
+            def __reduce__(self):
+                return (os.mkdir, (str(marker),))
+
+        body = pickle.dumps(Evil())
+        frame = (
+            len(body).to_bytes(4, "little")
+            + bytes([protocol.MSG_HELLO])
+            + body
+        )
+        with socket.create_connection(
+            ("127.0.0.1", server.port), timeout=10
+        ) as sock:
+            sock.sendall(frame)
+            sock.settimeout(10)
+            assert sock.recv(1024) == b""  # dropped, no code ran
+        assert not marker.exists()
+
+
+# ---------------------------------------------------------------------------
+# cursor hygiene: abandoned paged results must not pin rows server-side
+# ---------------------------------------------------------------------------
+
+
+class TestCursorHygiene:
+    def test_resultset_close_releases_server_cursor(self, server):
+        with repro.connect(url_of(server, "curclose")) as conn:
+            st = conn.create_statement()
+            st.execute_update("create table big (n int)")
+            ps = conn.prepare_statement("insert into big values (?)")
+            for i in range(60):
+                ps.set_int(1, i)
+                ps.execute_update()
+            rs = st.execute_query("select n from big order by n")
+            assert rs.next()
+            rows = rs.to_statement_result().rows
+            cursor_id = rows._cursor
+            assert cursor_id is not None  # 60 rows > page_size 16
+            rs.close()  # sends CLOSE_CURSOR for the unread remainder
+            assert rows._cursor is None
+            with pytest.raises(errors.InvalidCursorStateError):
+                conn.session._fetch_page(cursor_id)
+
+    def test_abandoned_cursors_are_lru_capped(self):
+        srv = ReproServer(page_size=4, max_cursors=2).start_background()
+        try:
+            with repro.connect(url_of(srv, "lru")) as conn:
+                st = conn.create_statement()
+                st.execute_update("create table t (n int)")
+                for i in range(12):
+                    st.execute_update(f"insert into t values ({i})")
+                results = [
+                    conn.session.execute("select n from t order by n")
+                    for _ in range(3)
+                ]
+                # three live cursors > max_cursors=2: the oldest was
+                # evicted server-side, the newer two still page fine
+                with pytest.raises(errors.InvalidCursorStateError):
+                    list(results[0].rows)
+                assert [r[0] for r in results[2].rows] == list(range(12))
+                assert [r[0] for r in results[1].rows] == list(range(12))
+        finally:
+            srv.stop_background()
 
 
 # ---------------------------------------------------------------------------
