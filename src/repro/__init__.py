@@ -99,6 +99,7 @@ def connect(
     durable: bool = True,
     data_dir: Optional[str] = None,
     timeout: Optional[float] = None,
+    slow_query_ms: Optional[float] = None,
     **durability_options,
 ) -> Connection:
     """Open a DB-API connection to an embedded database.
@@ -128,6 +129,11 @@ def connect(
     :class:`ConnectionPool` for ``(url, user)`` instead of opening a
     fresh session, blocking up to ``timeout`` seconds (the pool default
     when ``None``); closing the connection returns it to the pool.
+
+    ``slow_query_ms`` sets this connection's slow-query threshold:
+    statements slower than that many milliseconds are emitted to the
+    structured slow-query log (see ``docs/OBSERVABILITY.md``),
+    overriding the process-wide ``REPRO_SLOW_QUERY_MS`` setting.
     """
     if url.lower().startswith("repro:"):
         if data_dir is not None or durability_options:
@@ -137,10 +143,14 @@ def connect(
                 "ReproServer or 'python -m repro.server' instead"
             )
         if pooled:
-            return DriverManager.get_pool(url, user=user).checkout(
+            connection = DriverManager.get_pool(url, user=user).checkout(
                 timeout=timeout
             )
-        return DriverManager.get_connection(url, user=user)
+        else:
+            connection = DriverManager.get_connection(url, user=user)
+        if slow_query_ms is not None:
+            connection.session.slow_query_ms = float(slow_query_ms)
+        return connection
     if data_dir is None:
         data_dir = os.environ.get(DATA_DIR_ENV) or None
     database: Optional[Database] = None
@@ -159,10 +169,16 @@ def connect(
             "data_dir (or REPRO_DATA_DIR)"
         )
     if pooled:
-        return DriverManager.get_pool(
+        connection = DriverManager.get_pool(
             url, user=user, database=database
         ).checkout(timeout=timeout)
-    return DriverManager.get_connection(url, user=user, database=database)
+    else:
+        connection = DriverManager.get_connection(
+            url, user=user, database=database
+        )
+    if slow_query_ms is not None:
+        connection.session.slow_query_ms = float(slow_query_ms)
+    return connection
 
 
 def _parse_url(url: str) -> Tuple[str, str]:

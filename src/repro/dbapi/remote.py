@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import socket
 import threading
+import time
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 from urllib.parse import parse_qs, urlsplit
 
@@ -42,6 +43,7 @@ from repro.engine.dialects import DIALECTS, Dialect
 from repro.engine.expressions import ColumnInfo, RowShape
 from repro.engine.parser import Parser
 from repro.observability import metrics as _metrics
+from repro.observability import slowlog as _slowlog
 from repro.observability import tracing as _tracing
 from repro.server import protocol
 from repro.server.protocol import (
@@ -243,6 +245,10 @@ class RemoteSession:
         self.closed = True  # until the handshake succeeds
         self.user = user or "PUBLIC"
         self.database_name = database
+        #: Client-side slow-query threshold (ms); set by
+        #: ``repro.connect(slow_query_ms=...)``, None defers to the
+        #: process-wide ``REPRO_SLOW_QUERY_MS`` setting.
+        self.slow_query_ms: Optional[float] = None
         self.transaction_log = _RemoteTransactionLog()
         self._autocommit = bool(autocommit)
         self._connect_timeout = connect_timeout
@@ -368,12 +374,30 @@ class RemoteSession:
             seq = self._inflight_seq = self._seq
         payload = {"sql": sql, "params": list(params), "seq": seq}
         tracer = _tracing.current
+        slow_ms = _slowlog.effective_threshold(self)
+        start = time.perf_counter() if slow_ms is not None else 0.0
         if tracer.enabled:
-            payload["trace"] = {"trace_id": f"client-{self.session_id}"}
-            with tracer.span("remote.execute", sql=sql):
+            with tracer.span("remote.execute", sql=sql) as span:
+                # Ship this span's identity so the server parents its
+                # spans under ours: one connected trace, two processes.
+                payload["trace"] = {
+                    "trace_id": span.trace_id,
+                    "span_id": span.span_id,
+                }
                 reply = self._expect(MSG_EXECUTE, payload, MSG_RESULT)
         else:
             reply = self._expect(MSG_EXECUTE, payload, MSG_RESULT)
+        if slow_ms is not None:
+            # Client-side view of the same statement: includes network
+            # time, carries no wait breakdown (that is in the server's
+            # own record and in repro_stats.statements).
+            _slowlog.maybe_log(
+                self,
+                sql=sql,
+                key=None,
+                seconds=time.perf_counter() - start,
+                source="client",
+            )
         return self._build_result(reply)
 
     def prepare(self, sql: str) -> RemotePreparedPlan:

@@ -15,10 +15,14 @@ from __future__ import annotations
 
 import contextlib
 import time
+from time import perf_counter as _perf_counter
+import weakref
 from typing import Any, Iterator, List, Optional, Sequence, Union
 
 from repro import errors
 from repro.observability import metrics as _metrics
+from repro.observability import slowlog as _slowlog
+from repro.observability import stats as _stats
 from repro.observability import tracing as _tracing
 from repro.engine import ast
 from repro.engine.catalog import Catalog, InstalledPar, Routine, \
@@ -176,37 +180,88 @@ class PreparedStatementPlan:
     def execute(self, params: Sequence[Any] = ()) -> StatementResult:
         if self._query_plan is not None:
             # Pre-planned query: runs outside execute_statement, so it
-            # carries its own span and counters.
+            # carries its own span, counters and statistics hooks.  The
+            # reused plan is recorded as a plan-cache hit — preparing IS
+            # this path's plan cache.
             counter = _STATEMENT_COUNTERS.get(self.statement.__class__)
             if counter is None:
                 counter = _statement_counter(self.statement.__class__)
             counter.increment()
             tracer = _tracing.current
-            lock = self.session.database.lock
+            session = self.session
+            collect = _stats.enabled
+            context = _stats.begin() if collect else None
+            lock = session.database.lock
             if not tracer.enabled:
+                start = _perf_counter() if collect else 0.0
                 try:
                     with lock.read():
                         rows = self._run_planned(params)
-                        result = self.session.finish_rowset(
+                        result = session.finish_rowset(
                             rows, self._shape
                         )
                 except errors.SQLException as exc:
                     _metrics.increment(f"errors.{exc.sqlstate}")
+                    if context is not None:
+                        session._record_statement(
+                            context,
+                            self.sql,
+                            _perf_counter() - start,
+                            error_sqlstate=exc.sqlstate,
+                            cache_hit=True,
+                        )
+                        context = None
+                    raise
+                except BaseException:
+                    if context is not None:
+                        _stats.abandon(context)
                     raise
                 _ROWS_RETURNED.increment(len(rows))
+                if context is not None:
+                    session._record_statement(
+                        context,
+                        self.sql,
+                        _perf_counter() - start,
+                        len(rows),
+                        None,
+                        True,
+                    )
                 return result
             with tracer.span("statement", sql=self.sql, prepared=True):
-                start = time.perf_counter()
+                start = _perf_counter()
                 try:
                     with tracer.span("execute"), lock.read():
                         rows = self._run_planned(params)
+                    _STATEMENT_SECONDS.observe(_perf_counter() - start)
+                    _ROWS_RETURNED.increment(len(rows))
+                    with tracer.span("fetch"), lock.read():
+                        result = session.finish_rowset(rows, self._shape)
                 except errors.SQLException as exc:
                     _metrics.increment(f"errors.{exc.sqlstate}")
+                    if context is not None:
+                        session._record_statement(
+                            context,
+                            self.sql,
+                            _perf_counter() - start,
+                            error_sqlstate=exc.sqlstate,
+                            cache_hit=True,
+                        )
+                        context = None
                     raise
-                _STATEMENT_SECONDS.observe(time.perf_counter() - start)
-                _ROWS_RETURNED.increment(len(rows))
-                with tracer.span("fetch"), lock.read():
-                    return self.session.finish_rowset(rows, self._shape)
+                except BaseException:
+                    if context is not None:
+                        _stats.abandon(context)
+                    raise
+                if context is not None:
+                    session._record_statement(
+                        context,
+                        self.sql,
+                        _perf_counter() - start,
+                        len(rows),
+                        None,
+                        True,
+                    )
+                return result
         return self.session.execute_statement(
             self.statement, params, sql=self.sql
         )
@@ -249,6 +304,12 @@ class Database:
         #: ``repro.open_database``; ``None`` for an in-memory database.
         #: Duck-typed to avoid an import cycle with engine.durability.
         self.durability: Optional[Any] = None
+        #: Per-normalized-statement execution profile, served by the
+        #: ``repro_stats.statements``/``.locks`` views (observability/stats).
+        self.statement_stats = _stats.StatementStats()
+        #: Live sessions of this database (``repro_stats.sessions``);
+        #: weak so an abandoned session never outlives its last reference.
+        self.sessions: "weakref.WeakSet[Session]" = weakref.WeakSet()
         self._bootstrap()
 
     def _bootstrap(self) -> None:
@@ -258,12 +319,14 @@ class Database:
         from repro.procedures.registration import execute_create_routine
         from repro.procedures.system import register_system_routines
         from repro.datatypes.registration import execute_create_type
+        from repro.engine.virtual import register_stats_views
 
         self._invoke_function = invoke_function
         self._execute_call = execute_call
         self._execute_create_routine = execute_create_routine
         self._execute_create_type = execute_create_type
         register_system_routines(self)
+        register_stats_views(self)
 
     def create_session(
         self, user: Optional[str] = None, autocommit: bool = False
@@ -305,7 +368,18 @@ class Session:
         #: Rows affected by the most recent DML statement (see
         #: :meth:`after_mutation`).
         self.last_rows_affected = 0
+        #: Statements recorded by the statistics collector for this
+        #: session (``repro_stats.sessions``).
+        self.statements_executed = 0
+        #: Per-session slow-query threshold in milliseconds; overrides
+        #: the global ``REPRO_SLOW_QUERY_MS`` setting when not None.
+        self.slow_query_ms: Optional[float] = None
+        #: Bound once: the statistics fold runs on every statement, and
+        #: the three-attribute chain it replaces is measurable against
+        #: the <5% observability budget.
+        self._stats_record = database.statement_stats.record
         self.closed = False
+        database.sessions.add(self)
 
     # ------------------------------------------------------------------
     # convenience accessors
@@ -356,6 +430,49 @@ class Session:
     # ------------------------------------------------------------------
     # statement execution
     # ------------------------------------------------------------------
+    def _record_statement(
+        self,
+        context: "_stats.StatementContext",
+        sql_text: str,
+        seconds: float,
+        rows: int = 0,
+        error_sqlstate: Optional[str] = None,
+        cache_hit: bool = False,
+    ) -> None:
+        """Finish one statement's statistics: emit a slow-query record
+        when the statement crossed the threshold, then fold the
+        execution into the per-statement collector (which consumes the
+        wait-attribution context and closes the bracket opened by
+        ``_stats.begin``).  Called exactly once per statement on every
+        exit path of the three terminal executors."""
+        self.statements_executed += 1
+        # Module-global peek before the call: with no threshold set
+        # anywhere (the default) the slow-query log must cost two
+        # attribute reads, not a function call per statement.  Logging
+        # runs *before* the record() below resets the context, while
+        # its wait breakdown still describes this statement.
+        if (
+            self.slow_query_ms is not None
+            or _slowlog._threshold_ms is not None
+        ):
+            _slowlog.maybe_log(
+                self,
+                sql=sql_text,
+                key=_stats.normalize_statement(sql_text),
+                seconds=seconds,
+                rows=rows,
+                context=context,
+                error_sqlstate=error_sqlstate,
+            )
+        self._stats_record(
+            sql_text,
+            seconds,
+            rows,
+            context,
+            error_sqlstate,
+            cache_hit,
+        )
+
     def execute(
         self, sql: str, params: Sequence[Any] = ()
     ) -> StatementResult:
@@ -421,7 +538,9 @@ class Session:
         counter.increment()
         tracer = _tracing.current
         timed = tracer.enabled
-        start = time.perf_counter() if timed else 0.0
+        collect = _stats.enabled
+        context = _stats.begin() if collect else None
+        start = _perf_counter() if (timed or collect) else 0.0
 
         def run_locked() -> StatementResult:
             # Holding the shared lock: DDL (which takes the lock
@@ -473,10 +592,32 @@ class Session:
                         result = run_locked()
         except errors.SQLException as exc:
             _metrics.increment(f"errors.{exc.sqlstate}")
+            if context is not None:
+                self._record_statement(
+                    context,
+                    sql,
+                    _perf_counter() - start,
+                    error_sqlstate=exc.sqlstate,
+                    cache_hit=entry is not None,
+                )
+                context = None
+            raise
+        except BaseException:
+            if context is not None:
+                _stats.abandon(context)
             raise
         if timed:
-            _STATEMENT_SECONDS.observe(time.perf_counter() - start)
+            _STATEMENT_SECONDS.observe(_perf_counter() - start)
         _ROWS_RETURNED.increment(len(result.rows))
+        if context is not None:
+            self._record_statement(
+                context,
+                sql,
+                _perf_counter() - start,
+                len(result.rows),
+                None,
+                entry is not None,
+            )
         return result
 
     def prepare(self, sql: str) -> PreparedStatementPlan:
@@ -502,7 +643,9 @@ class Session:
             counter = _statement_counter(statement.__class__)
         counter.increment()
         timed = _tracing.current.enabled
-        start = time.perf_counter() if timed else 0.0
+        collect = _stats.enabled
+        context = _stats.begin() if collect else None
+        start = _perf_counter() if (timed or collect) else 0.0
         lock = self.database.lock
         guard = (
             lock.read
@@ -538,19 +681,41 @@ class Session:
                         pending = committed
         except errors.SQLException as exc:
             _metrics.increment(f"errors.{exc.sqlstate}")
+            if context is not None:
+                self._record_statement(
+                    context,
+                    sql if sql is not None
+                    else f"<{type(statement).__name__}>",
+                    _perf_counter() - start,
+                    error_sqlstate=exc.sqlstate,
+                )
+                context = None
+            raise
+        except BaseException:
+            if context is not None:
+                _stats.abandon(context)
             raise
         if pending is not None:
             # fsync AFTER the engine lock is released: concurrent
             # committers pile onto one group-commit fsync instead of
-            # serialising the whole engine behind the disk.
+            # serialising the whole engine behind the disk.  The wait
+            # context is still active here so the fsync stall is charged
+            # to this statement (waits.wal.sync).
             self._after_commit(pending)
         if timed:
             # Per-statement latency is only sampled while tracing is on:
             # two clock reads plus a histogram update are measurable next
             # to the fastest prepared statements.
-            _STATEMENT_SECONDS.observe(time.perf_counter() - start)
+            _STATEMENT_SECONDS.observe(_perf_counter() - start)
         if result.kind == "rowset":
             _ROWS_RETURNED.increment(len(result.rows))
+        if context is not None:
+            self._record_statement(
+                context,
+                sql if sql is not None else f"<{type(statement).__name__}>",
+                _perf_counter() - start,
+                len(result.rows) if result.kind == "rowset" else 0,
+            )
         return result
 
     def _dispatch_traced(
@@ -653,9 +818,9 @@ class Session:
             # EXPLAIN ANALYZE plans its query freshly above, so in-place
             # instrumentation never touches a cached plan.
             instrumentation = instrument_plan(plan.root)
-            start = time.perf_counter()
+            start = _perf_counter()
             result_rows = plan.run(self, params)
-            elapsed = time.perf_counter() - start
+            elapsed = _perf_counter() - start
             lines = format_plan(
                 plan.root, annotate=instrumentation.annotate
             )

@@ -24,6 +24,7 @@ from repro.engine import ast
 from repro.engine.catalog import Column, Table, View
 from repro.engine.indexes import Index
 from repro.engine.planner import plan_query
+from repro.engine.virtual import VirtualTable
 from repro.observability import metrics as _metrics
 from repro.sqltypes import ObjectType
 
@@ -76,6 +77,8 @@ def execute_alter_table(stmt: ast.AlterTable, session: Any) -> None:
     """
     _DDL_OPERATIONS.increment()
     table = session.catalog.get_table(stmt.table)
+    if isinstance(table, VirtualTable):
+        raise table.readonly_error("alter")
     _require_ownership(session, table.owner, "TABLE", stmt.table)
 
     if stmt.action == "ADD":
@@ -151,6 +154,8 @@ def execute_create_index(stmt: ast.CreateIndex, session: Any) -> None:
     _DDL_OPERATIONS.increment()
     catalog = session.catalog
     table = catalog.get_table(stmt.table)
+    if isinstance(table, VirtualTable):
+        raise table.readonly_error("index")
     _require_ownership(session, table.owner, "TABLE", stmt.table)
     seen = set()
     for column_name in stmt.columns:
@@ -176,6 +181,8 @@ def execute_drop(stmt: ast.Drop, session: Any) -> None:
     kind = stmt.kind
     if kind == "TABLE":
         table = catalog.get_table(stmt.name)
+        if isinstance(table, VirtualTable):
+            raise table.readonly_error("drop")
         _require_ownership(session, table.owner, "TABLE", stmt.name)
         catalog.drop_table(stmt.name)
         privileges.drop_object("TABLE", stmt.name)

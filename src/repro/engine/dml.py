@@ -24,6 +24,7 @@ from repro.engine.catalog import Column, Table
 from repro.engine.expressions import Env, ExpressionCompiler, RowShape
 from repro.engine.planner import plan_query, table_shape
 from repro.engine.storage import RowStore, store_value
+from repro.engine.virtual import VirtualTable
 from repro.sqltypes import ObjectType
 
 __all__ = ["execute_insert", "execute_update", "execute_delete"]
@@ -96,11 +97,17 @@ def _default_value(
     return compiler.compile(column.default).fn(Env([], params, None, session))
 
 
+def _reject_virtual(table: Table) -> None:
+    if isinstance(table, VirtualTable):
+        raise table.readonly_error("modify")
+
+
 def execute_insert(
     stmt: ast.Insert, session: Any, params: Sequence[Any]
 ) -> int:
     table = session.catalog.get_table(stmt.table)
     session.check_table_privilege("INSERT", stmt.table)
+    _reject_virtual(table)
 
     if stmt.columns is None:
         target_positions = list(range(len(table.columns)))
@@ -208,6 +215,7 @@ def execute_delete(
 ) -> int:
     table = session.catalog.get_table(stmt.table)
     session.check_table_privilege("DELETE", stmt.table)
+    _reject_virtual(table)
     positions = _matching_positions(table, stmt.where, session, params)
     if positions:
         RowStore(table, session.transaction_log).delete_at(positions)
@@ -220,6 +228,7 @@ def execute_update(
 ) -> int:
     table = session.catalog.get_table(stmt.table)
     session.check_table_privilege("UPDATE", stmt.table)
+    _reject_virtual(table)
     shape = table_shape(table)
     compiler = ExpressionCompiler(shape, session)
 

@@ -52,6 +52,7 @@ from typing import Any, Dict, Union
 
 from repro import errors, faultpoints
 from repro.observability import metrics as _metrics
+from repro.observability import stats as _stats
 from repro.engine.database import Database, Session
 from repro.engine.dialects import STANDARD, Dialect
 from repro.engine.persistence import (
@@ -176,8 +177,12 @@ class DurabilityManager:
     # ------------------------------------------------------------------
     def wait_durable(self, position: int) -> None:
         """Block until the log is fsynced through ``position`` (group
-        commit: one fsync may cover many callers)."""
+        commit: one fsync may cover many callers).  The time spent in
+        the barrier is reported as the ``waits.wal.sync`` wait event
+        and attributed to the committing statement."""
+        start = time.perf_counter()
         self.wal.sync_to(position)
+        _stats.note_wal_wait(time.perf_counter() - start)
 
     def maybe_checkpoint(self) -> bool:
         """Checkpoint if enough commits have accumulated."""

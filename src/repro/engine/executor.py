@@ -19,6 +19,7 @@ from repro import errors, faultpoints
 from repro.engine.catalog import Table
 from repro.engine.expressions import Env, RowShape
 from repro.observability import metrics as _metrics
+from repro.observability import stats as _stats
 from repro.sqltypes import compare_values
 from repro.sqltypes.values import sort_key
 
@@ -96,6 +97,7 @@ class SeqScan(Operator):
         # target table (e.g. INSERT INTO t SELECT ... FROM t) terminate.
         snapshot = list(self.table.rows)
         _ROWS_SCANNED.increment(len(snapshot))
+        _stats.note_scan(len(snapshot))
         return iter(snapshot)
 
 
@@ -154,6 +156,7 @@ class IndexScan(Operator):
                 )
             )
         _ROWS_SCANNED.increment(len(matches))
+        _stats.note_scan(len(matches))
         return iter(matches)
 
 

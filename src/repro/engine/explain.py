@@ -39,12 +39,15 @@ from repro.engine.executor import (
     UnionOp,
     operator_children,
 )
+from repro.engine.virtual import VirtualScan
 
 __all__ = ["describe_operator", "format_plan"]
 
 
 def describe_operator(operator: Operator) -> str:
     """One-line description of a single operator."""
+    if isinstance(operator, VirtualScan):
+        return f"VirtualScan on {operator.table.name}"
     if isinstance(operator, SeqScan):
         return f"SeqScan on {operator.table.name}"
     if isinstance(operator, IndexScan):

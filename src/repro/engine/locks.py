@@ -30,15 +30,25 @@ from __future__ import annotations
 
 import contextlib
 import threading
+import time
 from typing import Dict, Iterator, Optional
 
 from repro import errors
+from repro.observability import stats as _stats
 
 __all__ = ["ReadWriteLock"]
 
 
 class ReadWriteLock:
-    """Shared-read / exclusive-write lock, reentrant per thread."""
+    """Shared-read / exclusive-write lock, reentrant per thread.
+
+    Blocked acquisitions are timed and reported to
+    :func:`repro.observability.stats.note_lock_wait` (global
+    ``waits.lock.*`` histograms plus per-statement attribution) and
+    accumulated on the lock itself (:attr:`shared_wait_seconds` /
+    :attr:`exclusive_wait_seconds`) for the ``repro_stats.locks`` view.
+    The uncontended path takes no clock readings at all.
+    """
 
     def __init__(self) -> None:
         self._cond = threading.Condition(threading.Lock())
@@ -49,6 +59,11 @@ class ReadWriteLock:
         self._upgrader: Optional[int] = None
         # Read depth stashed while a reader holds an upgraded write lock.
         self._suspended_read_depth: Dict[int, int] = {}
+        #: Cumulative blocked-acquisition totals (under self._cond).
+        self.shared_wait_seconds = 0.0
+        self.exclusive_wait_seconds = 0.0
+        self.shared_wait_count = 0
+        self.exclusive_wait_count = 0
 
     # ------------------------------------------------------------------
     # shared (read) side
@@ -63,12 +78,22 @@ class ReadWriteLock:
             if me in self._readers:
                 self._readers[me] += 1
                 return
-            while (
+            if (
                 self._writer is not None
                 or self._waiting_writers
                 or self._upgrader is not None
             ):
-                self._cond.wait()
+                start = time.perf_counter()
+                while (
+                    self._writer is not None
+                    or self._waiting_writers
+                    or self._upgrader is not None
+                ):
+                    self._cond.wait()
+                waited = time.perf_counter() - start
+                self.shared_wait_seconds += waited
+                self.shared_wait_count += 1
+                _stats.note_lock_wait(False, waited)
             self._readers[me] = 1
 
     def release_read(self) -> None:
@@ -102,8 +127,14 @@ class ReadWriteLock:
                 return
             self._waiting_writers += 1
             try:
-                while self._writer is not None or self._readers:
-                    self._cond.wait()
+                if self._writer is not None or self._readers:
+                    start = time.perf_counter()
+                    while self._writer is not None or self._readers:
+                        self._cond.wait()
+                    waited = time.perf_counter() - start
+                    self.exclusive_wait_seconds += waited
+                    self.exclusive_wait_count += 1
+                    _stats.note_lock_wait(True, waited)
             finally:
                 self._waiting_writers -= 1
             self._writer = me
@@ -118,8 +149,14 @@ class ReadWriteLock:
             )
         self._upgrader = me
         try:
-            while self._writer is not None or len(self._readers) > 1:
-                self._cond.wait()
+            if self._writer is not None or len(self._readers) > 1:
+                start = time.perf_counter()
+                while self._writer is not None or len(self._readers) > 1:
+                    self._cond.wait()
+                waited = time.perf_counter() - start
+                self.exclusive_wait_seconds += waited
+                self.exclusive_wait_count += 1
+                _stats.note_lock_wait(True, waited)
         finally:
             self._upgrader = None
         self._suspended_read_depth[me] = self._readers.pop(me)

@@ -35,6 +35,7 @@ from repro.engine.catalog import (
 )
 from repro.engine.database import Database
 from repro.engine.indexes import Index
+from repro.engine.virtual import VirtualTable
 
 __all__ = [
     "save_database",
@@ -194,6 +195,8 @@ def image_of(database: Database) -> DatabaseImage:
 
     tables: List[_TableImage] = []
     for table in catalog.tables.values():
+        if isinstance(table, VirtualTable):
+            continue  # re-registered by Database bootstrap
         tables.append(
             _TableImage(
                 name=table.name,

@@ -58,6 +58,7 @@ from repro.engine.expressions import (
     ExpressionCompiler,
     RowShape,
 )
+from repro.engine.virtual import VirtualScan, VirtualTable
 from repro.sqltypes import (
     DecimalType,
     DoubleType,
@@ -735,6 +736,11 @@ def _plan_named_relation(
             )
         return plan.root, shape.with_alias(ref.alias or ref.name)
     session.check_table_privilege("SELECT", ref.name)
+    if isinstance(relation, VirtualTable):
+        # System statistics views: rows are produced at execution time,
+        # so even a plan-cache hit reads live numbers.  Pushed conjuncts
+        # land in a Filter above the scan (no indexes to exploit).
+        return VirtualScan(relation), table_shape(relation, ref.alias)
     return SeqScan(relation), table_shape(relation, ref.alias)
 
 

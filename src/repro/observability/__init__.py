@@ -13,6 +13,11 @@ Two independent facilities:
 * :mod:`repro.observability.metrics` — always-on process-wide counters
   and histograms.  ``repro.observability.snapshot()`` returns the
   consolidated view.
+* :mod:`repro.observability.stats` — per-normalized-statement execution
+  profile with wait attribution, served as the SQL-queryable
+  ``repro_stats.*`` views (see ``docs/OBSERVABILITY.md``).
+* :mod:`repro.observability.slowlog` — structured JSON-lines slow-query
+  log, thresholded per session or process-wide.
 
 Operator-level instrumentation (per-node row counts and timings) lives
 with the executor — see ``EXPLAIN ANALYZE`` and
@@ -20,6 +25,8 @@ with the executor — see ``EXPLAIN ANALYZE`` and
 """
 
 from repro.observability import metrics
+from repro.observability import slowlog
+from repro.observability import stats
 from repro.observability.metrics import (
     Counter,
     Histogram,
@@ -46,6 +53,8 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "metrics",
+    "slowlog",
+    "stats",
     "registry",
     "snapshot",
     "reset_metrics",

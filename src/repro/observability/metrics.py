@@ -36,6 +36,15 @@ name                            meaning
 ``profile.statement_cache.*``   RTStatement cache ``hits`` / ``misses``
 ``errors.<sqlstate>``           SQLExceptions raised, by SQLSTATE
 ``statement.seconds``           histogram of per-statement wall time
+``waits.lock.shared``           histogram of blocked shared (reader)
+                                acquisitions of the database lock, seconds
+``waits.lock.exclusive``        histogram of blocked exclusive (writer)
+                                acquisitions, seconds
+``waits.wal.sync``              histogram of time spent waiting for a WAL
+                                fsync (group commit included), seconds
+``slow_query.count``            slow-query log records emitted
+``stats.evictions``             statement-statistics entries evicted at
+                                capacity (see observability/stats.py)
 ==============================  ============================================
 """
 
@@ -71,8 +80,15 @@ class Counter:
         self._lock = threading.Lock()
 
     def increment(self, amount: int = 1) -> None:
-        with self._lock:
+        # acquire/release instead of ``with``: several counters sit on
+        # the per-statement path, and the context-manager protocol
+        # costs more than the uncontended acquire itself (try/finally
+        # is free on 3.11, so the unlock guarantee stays).
+        self._lock.acquire()
+        try:
             self.value += amount
+        finally:
+            self._lock.release()
 
 
 class Histogram:
@@ -94,13 +110,16 @@ class Histogram:
 
     def observe(self, value: float) -> None:
         value = float(value)
-        with self._lock:
+        self._lock.acquire()  # see Counter.increment
+        try:
             self.count += 1
             self.total += value
             if self.minimum is None or value < self.minimum:
                 self.minimum = value
             if self.maximum is None or value > self.maximum:
                 self.maximum = value
+        finally:
+            self._lock.release()
 
     @property
     def mean(self) -> Optional[float]:
@@ -161,12 +180,20 @@ class MetricsRegistry:
     # inspection / lifecycle
     # ------------------------------------------------------------------
     def snapshot(self) -> Dict[str, Any]:
-        """Point-in-time copy: plain dicts, safe to mutate or serialise."""
+        """Point-in-time copy: plain dicts, safe to mutate or serialise.
+
+        Each value is read under its instrument's own lock — the same
+        lock ``increment``/``observe``/``reset`` take — so a snapshot
+        racing a reset never sees a counter that was read mid-update,
+        and each histogram's count and sum always agree.  (The snapshot
+        is per-instrument consistent, not a global atomic cut; a cut
+        would require stopping every writer.)
+        """
         with self._lock:
-            counters = {
-                name: counter.value
-                for name, counter in self._counters.items()
-            }
+            counters = {}
+            for name, counter in self._counters.items():
+                with counter._lock:
+                    counters[name] = counter.value
             histograms = {
                 name: histogram.summary()
                 for name, histogram in self._histograms.items()

@@ -1,0 +1,169 @@
+"""Structured slow-query log: one JSON object per line.
+
+Any statement whose wall time crosses a threshold is emitted as a
+single JSON line carrying everything needed to find it again: the raw
+statement, its normalized key (the join column against
+``repro_stats.statements``), timings, the wait breakdown, the user and
+database, and the active trace/span ids when tracing is on.
+
+Thresholds, most specific wins:
+
+* per session — ``repro.connect(slow_query_ms=...)`` sets
+  ``session.slow_query_ms``;
+* process-wide — :func:`configure`, the server's ``--slow-query-ms``
+  CLI flag, or the ``REPRO_SLOW_QUERY_MS`` environment variable.
+
+Unset everywhere means disabled; ``0`` logs every statement (handy in
+tests and when building a workload profile).  Records go to stderr by
+default; :func:`configure` accepts any text stream.  Every emission
+also bumps the ``slow_query.count`` counter so the log's activity is
+visible from ``repro_stats.metrics`` without tailing a file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+import time
+from typing import Any, Dict, Optional, TextIO
+
+from repro.observability import metrics as _metrics
+from repro.observability import stats as _stats
+from repro.observability import tracing as _tracing
+
+__all__ = [
+    "ENV_VAR",
+    "configure",
+    "threshold_ms",
+    "effective_threshold",
+    "maybe_log",
+    "emit",
+]
+
+ENV_VAR = "REPRO_SLOW_QUERY_MS"
+
+_SLOW_QUERIES = _metrics.registry.counter("slow_query.count")
+
+_lock = threading.Lock()
+_threshold_ms: Optional[float] = None
+_stream: Optional[TextIO] = None
+
+
+def _parse_env(value: str) -> Optional[float]:
+    value = value.strip()
+    if not value:
+        return None
+    try:
+        return float(value)
+    except ValueError:
+        sys.stderr.write(
+            f"repro: ignoring non-numeric {ENV_VAR}={value!r}\n"
+        )
+        return None
+
+
+def configure(
+    threshold: Optional[float],
+    stream: Optional[TextIO] = None,
+) -> None:
+    """Set the process-wide threshold (ms) and optionally the stream.
+
+    ``None`` disables the process-wide log (per-session thresholds
+    still apply).  The stream persists across reconfigurations until
+    replaced; ``None`` leaves the current stream (default stderr).
+    """
+    global _threshold_ms, _stream
+    with _lock:
+        _threshold_ms = None if threshold is None else float(threshold)
+        if stream is not None:
+            _stream = stream
+
+
+def threshold_ms() -> Optional[float]:
+    """The process-wide threshold in milliseconds, or None."""
+    return _threshold_ms
+
+
+def effective_threshold(session: Any = None) -> Optional[float]:
+    """Threshold for ``session``: its own override, else the global."""
+    if session is not None:
+        override = getattr(session, "slow_query_ms", None)
+        if override is not None:
+            return float(override)
+    return _threshold_ms
+
+
+def emit(record: Dict[str, Any]) -> None:
+    """Write one record as a JSON line (and count it)."""
+    _SLOW_QUERIES.increment()
+    out = _stream if _stream is not None else sys.stderr
+    try:
+        out.write(json.dumps(record, default=str) + "\n")
+    except (OSError, ValueError):
+        pass  # a torn log stream must never fail the statement
+
+
+def maybe_log(
+    session: Any,
+    *,
+    sql: str,
+    key: Optional[str],
+    seconds: float,
+    rows: int = 0,
+    context: Any = None,
+    error_sqlstate: Optional[str] = None,
+    source: str = "engine",
+) -> bool:
+    """Emit a record when ``seconds`` crosses the session's threshold.
+
+    Returns True when a record was written.  ``context`` is the
+    statement's :class:`repro.observability.stats.StatementContext`
+    (wait breakdown) when the engine has one; remote/client callers
+    pass None and get a record without waits.
+    """
+    threshold = effective_threshold(session)
+    if threshold is None:
+        return False
+    duration_ms = seconds * 1000.0
+    if duration_ms < threshold:
+        return False
+    db_name = getattr(session, "database_name", None)
+    if db_name is None:
+        # Engine sessions expose the Database object; remote sessions
+        # raise on the ``database`` property, hence the name-first order.
+        try:
+            db_name = getattr(
+                getattr(session, "database", None), "name", None
+            )
+        except Exception:
+            db_name = None
+    record: Dict[str, Any] = {
+        "ts": time.time(),
+        "source": source,
+        "db": db_name,
+        "user": getattr(session, "user", None),
+        "statement": sql,
+        "key": key,
+        "duration_ms": duration_ms,
+        "rows": rows,
+    }
+    if context is not None:
+        breakdown = _stats.wait_breakdown(context)
+        record["rows_scanned"] = breakdown.pop("rows_scanned")
+        record["waits"] = breakdown
+    if error_sqlstate is not None:
+        record["sqlstate"] = error_sqlstate
+    tracer = _tracing.current
+    if tracer.enabled:
+        span = tracer.current()
+        if span is not None:
+            record["trace_id"] = span.trace_id
+            record["span_id"] = span.span_id
+    emit(record)
+    return True
+
+
+# Environment configuration at import, mirroring tracing's REPRO_TRACE.
+configure(_parse_env(os.environ.get(ENV_VAR, "")))

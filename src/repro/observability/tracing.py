@@ -52,11 +52,25 @@ __all__ = [
 ENV_VAR = "REPRO_TRACE"
 
 
+def _new_id() -> str:
+    """A 64-bit random hex id (W3C-trace-context sized span id)."""
+    return os.urandom(8).hex()
+
+
 class Span:
     """One timed region; acts as its own context manager.
 
     ``start_time`` / ``end_time`` come from ``time.perf_counter`` — they
     order and measure spans but are not wall-clock timestamps.
+
+    Identity: every span gets a random ``span_id`` when opened; child
+    spans inherit ``trace_id`` from their parent and record its span id
+    as ``parent_id``, so a whole tree shares one trace id.  A span may
+    also be parented on a *remote* span (:meth:`set_remote_parent`) —
+    that is how the protocol-v2 server continues a client's trace: the
+    server-side root keeps the client's trace id and points its
+    ``parent_id`` at the client's span, producing one connected tree
+    across the wire.
     """
 
     __slots__ = (
@@ -65,6 +79,9 @@ class Span:
         "start_time",
         "end_time",
         "children",
+        "trace_id",
+        "span_id",
+        "parent_id",
         "_tracer",
     )
 
@@ -79,7 +96,26 @@ class Span:
         self.start_time: Optional[float] = None
         self.end_time: Optional[float] = None
         self.children: List["Span"] = []
+        self.trace_id: Optional[str] = None
+        self.span_id: Optional[str] = None
+        self.parent_id: Optional[str] = None
         self._tracer = tracer
+
+    def set_remote_parent(
+        self,
+        trace_id: Optional[str],
+        span_id: Optional[str] = None,
+    ) -> "Span":
+        """Adopt a trace/span id propagated from another process.
+
+        Must be called before ``__enter__``; the tracer then keeps the
+        remote trace id instead of minting a fresh one.  Returns self.
+        """
+        if trace_id:
+            self.trace_id = str(trace_id)
+        if span_id:
+            self.parent_id = str(span_id)
+        return self
 
     # ------------------------------------------------------------------
     @property
@@ -123,6 +159,11 @@ class Span:
             "start": self.start_time,
             "duration_ms": None if duration is None else duration * 1000.0,
         }
+        if self.trace_id is not None:
+            record["trace_id"] = self.trace_id
+            record["span_id"] = self.span_id
+        if self.parent_id is not None:
+            record["parent_id"] = self.parent_id
         if self.attributes:
             record["attributes"] = self.attributes
         return record
@@ -164,6 +205,9 @@ class _NullSpan:
         pass
 
     def annotate(self, **attributes: Any) -> "_NullSpan":
+        return self
+
+    def set_remote_parent(self, *ids: Any) -> "_NullSpan":
         return self
 
 
@@ -228,7 +272,16 @@ class Tracer:
     def _open(self, span_: Span) -> None:
         stack = self._stack()
         if stack:
-            stack[-1].children.append(span_)
+            parent = stack[-1]
+            parent.children.append(span_)
+            if span_.trace_id is None:
+                span_.trace_id = parent.trace_id
+            if span_.parent_id is None:
+                span_.parent_id = parent.span_id
+        elif span_.trace_id is None:
+            # Root of a fresh tree (no remote parent adopted).
+            span_.trace_id = _new_id()
+        span_.span_id = _new_id()
         stack.append(span_)
         span_.start_time = self.clock()
 

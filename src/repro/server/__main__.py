@@ -54,6 +54,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--auth-token", default=None,
                         help="require this token from clients (gates the "
                              "handshake only; traffic stays cleartext)")
+    parser.add_argument("--slow-query-ms", type=float, default=None,
+                        help="log statements slower than this many "
+                             "milliseconds as JSON lines on stderr "
+                             "(overrides REPRO_SLOW_QUERY_MS)")
     parser.add_argument("--drain-timeout", type=float, default=10.0,
                         help="seconds to drain in-flight work on "
                              "shutdown (default 10)")
@@ -84,6 +88,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         page_size=options.page_size,
         max_cursors=options.max_cursors,
         auth_token=options.auth_token,
+        slow_query_ms=options.slow_query_ms,
     )
     try:
         asyncio.run(_serve(server, options.drain_timeout))

@@ -134,6 +134,10 @@ class ReproServer:
         When set, clients must present the same token in HELLO.  The
         token gates the handshake only — frames are cleartext and
         carry data, not credentials; see ``docs/SERVER.md``.
+    slow_query_ms:
+        When set, every session this server opens logs statements
+        slower than this threshold to the structured slow-query log
+        (``docs/OBSERVABILITY.md``); overrides ``REPRO_SLOW_QUERY_MS``.
     durability_options:
         Passed through to ``registry.get_or_open_durable`` (e.g.
         ``group_commit_window=...``).
@@ -151,6 +155,7 @@ class ReproServer:
         page_size: int = 256,
         max_cursors: int = 64,
         auth_token: Optional[str] = None,
+        slow_query_ms: Optional[float] = None,
         **durability_options: Any,
     ) -> None:
         self.host = host
@@ -161,6 +166,9 @@ class ReproServer:
         self.page_size = page_size
         self.max_cursors = max_cursors
         self.auth_token = auth_token
+        #: Per-session slow-query threshold applied to every session this
+        #: server opens; ``None`` falls back to ``REPRO_SLOW_QUERY_MS``.
+        self.slow_query_ms = slow_query_ms
         self.durability_options = durability_options
         self._executor = concurrent.futures.ThreadPoolExecutor(
             max_workers=executor_threads, thread_name_prefix="repro-server"
@@ -356,6 +364,8 @@ class ReproServer:
             conn.session = await self._run_engine(
                 database.create_session, user=user, autocommit=autocommit
             )
+            if self.slow_query_ms is not None:
+                conn.session.slow_query_ms = self.slow_query_ms
             conn.database_name = database_name
         except Exception as exc:
             _ERRORS.increment()
@@ -513,15 +523,28 @@ class ReproServer:
         start = time.perf_counter()
         tracer = _tracing.current
         if tracer.enabled:
-            with tracer.span(
-                "server.execute",
-                sql=sql,
-                session=conn.session_id,
-                remote_trace=(trace or {}).get("trace_id", ""),
-            ):
-                result = await self._run_engine(
-                    conn.session.execute, sql, params
+            # Continue the client's trace: the server.execute span
+            # adopts the client's span as its remote parent, and it is
+            # opened *inside* the engine thread so the engine's own
+            # statement/plan/execute spans nest under it — one
+            # connected span tree across the wire.
+            session = conn.session
+            session_id = conn.session_id
+
+            def traced_execute() -> Any:
+                span = _tracing.current.span(
+                    "server.execute", sql=sql, session=session_id
                 )
+                if isinstance(trace, dict) and trace.get("trace_id"):
+                    span.set_remote_parent(
+                        str(trace["trace_id"]),
+                        str(trace["span_id"])
+                        if trace.get("span_id") else None,
+                    )
+                with span:
+                    return session.execute(sql, params)
+
+            result = await self._run_engine(traced_execute)
         else:
             result = await self._run_engine(conn.session.execute, sql, params)
         _metrics.observe("server.execute.seconds", time.perf_counter() - start)

@@ -11,6 +11,7 @@ import pytest
 from repro import faultpoints
 from repro import DriverManager, registry
 from repro import Database
+from repro.observability import slowlog, stats
 from repro.procedures import build_par
 from repro import ConnectionContext
 
@@ -20,12 +21,15 @@ from tests import paper_assets
 @pytest.fixture(autouse=True)
 def _clean_global_state():
     """Isolate tests from the process-wide registry, shared connection
-    pools, armed fault plans, and the default connection context."""
+    pools, armed fault plans, the default connection context, and
+    observability configuration (slow-query threshold, stats switch)."""
     yield
     faultpoints.uninstall()
     DriverManager.shutdown_pools()
     registry.clear()
     ConnectionContext.set_default_context(None)
+    slowlog.configure(None)
+    stats.set_enabled(True)
 
 
 @pytest.fixture

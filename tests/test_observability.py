@@ -479,3 +479,117 @@ class TestMetricsConcurrency:
         run_concurrent(3, ops).raise_first()
         reg.reset()
         assert counter.value == 0
+
+    def test_snapshot_never_tears_against_reset_and_writers(self):
+        """Regression: snapshot() reads under the instrument locks.
+
+        Writers observe a fixed value into a histogram while another
+        thread resets the registry and a fourth takes snapshots.  With
+        per-instrument locking every snapshot satisfies
+        ``sum == count * value`` exactly; a snapshot reading ``count``
+        and ``total`` around a concurrent observe/reset would not.
+        """
+        from repro.testing import run_concurrent
+
+        reg = MetricsRegistry()
+        hist = reg.histogram("torn.check")
+        counter = reg.counter("torn.counter")
+        snapshots = []
+
+        def write(_i):
+            for _ in range(2000):
+                hist.observe(2.0)
+                counter.increment()
+
+        def reset(_i):
+            for _ in range(200):
+                reg.reset()
+
+        def snapshot(_i):
+            for _ in range(500):
+                snapshots.append(reg.snapshot())
+
+        ops = [
+            (lambda: write(0)),
+            (lambda: write(1)),
+            (lambda: reset(2)),
+            (lambda: snapshot(3)),
+        ]
+        run_concurrent(4, ops).raise_first()
+
+        assert len(snapshots) == 500
+        for snap in snapshots:
+            summary = snap["histograms"]["torn.check"]
+            count = summary["count"]
+            assert 0 <= count <= 4000
+            assert summary["sum"] == count * 2.0
+            if count == 0:
+                assert summary["mean"] is None
+            else:
+                assert summary["mean"] == 2.0
+                assert summary["min"] == summary["max"] == 2.0
+            value = snap["counters"]["torn.counter"]
+            assert isinstance(value, int) and 0 <= value <= 4000
+
+
+# ---------------------------------------------------------------------------
+# Trace-context propagation over the wire
+# ---------------------------------------------------------------------------
+
+
+class TestDistributedTracing:
+    """Client trace context rides the EXECUTE frame to the server."""
+
+    def test_remote_execution_is_one_connected_span_tree(self):
+        import repro
+        from repro.server import ReproServer
+
+        tracer = tracing.Tracer()
+        tracing.set_tracer(tracer)
+        srv = ReproServer(page_size=16).start_background()
+        try:
+            url = f"repro://127.0.0.1:{srv.port}/tracedb"
+            with repro.connect(url) as conn:
+                st = conn.create_statement()
+                st.execute_update("CREATE TABLE pts (x INT)")
+                st.execute_update("INSERT INTO pts VALUES (7)")
+                rs = st.execute_query("SELECT x FROM pts")
+                assert rs.next() and rs.get_int(1) == 7
+                st.close()
+        finally:
+            srv.stop_background()
+
+        sql = "SELECT x FROM pts"
+        client_spans = [
+            span
+            for root in tracer.finished
+            for span, _ in root.walk()
+            if span.name == "remote.execute"
+            and span.attributes.get("sql") == sql
+        ]
+        server_roots = [
+            root
+            for root in tracer.finished
+            if root.name == "server.execute"
+            and root.attributes.get("sql") == sql
+        ]
+        assert len(client_spans) == 1
+        assert len(server_roots) == 1
+        client, server = client_spans[0], server_roots[0]
+
+        # One tree: the server-side root adopted the client's trace id
+        # and points its parent at the client's remote.execute span.
+        assert server.trace_id == client.trace_id
+        assert server.parent_id == client.span_id
+        assert client.trace_id is not None
+
+        # The engine's own statement spans hang off the server root, so
+        # the full pipeline is reachable from the client's trace id.
+        nested = [span.name for span, depth in server.walk() if depth > 0]
+        assert "statement" in nested
+        assert "execute" in nested
+
+        # Timing order sanity: the server span is contained within the
+        # client's round trip (same perf_counter clock, same process).
+        assert client.start_time <= server.start_time
+        assert server.end_time <= client.end_time

@@ -1,0 +1,173 @@
+#!/usr/bin/env python
+"""Compare the two most recent benchmark reports; fail on regressions.
+
+``benchmarks/run_all.py`` writes ``BENCH_<tag>.json`` reports.  This
+tool finds the two most recent reports with the same ``mode`` (a smoke
+run is never compared against a full run), pairs their experiments by
+name, and compares every *headline* metric — the higher-is-better
+numbers each experiment leads with:
+
+* ``speedup``
+* anything matching ``*_per_second*``
+* ``commits_per_fsync``
+* anything matching ``*_hit_rate``
+
+A headline metric that drops by more than the threshold (default 25%)
+fails the run with exit code 1 and a per-metric report.  Experiments or
+metrics present in only one report are noted but never fail the diff —
+adding a benchmark must not break CI retroactively.
+
+With fewer than two same-mode reports the tool exits 0 with a note:
+the first run on a fresh checkout has nothing to compare against.
+
+Usage::
+
+    python tools/bench_diff.py [--dir .] [--threshold 0.25]
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import sys
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Metric-name predicates that identify headline (higher-is-better)
+#: numbers.  Raw second counts and row totals are deliberately not
+#: compared: wall times swing with CI load, while the ratios the
+#: benchmarks are *about* (speedups, throughput, hit rates) are the
+#: contract.
+def is_headline(name: str) -> bool:
+    return (
+        name == "speedup"
+        or name == "commits_per_fsync"
+        or "_per_second" in name
+        or name.endswith("_hit_rate")
+    )
+
+
+def load_reports(directory: str) -> List[Tuple[str, Dict[str, Any]]]:
+    """All parseable BENCH_*.json reports, most recent first."""
+    paths = glob.glob(os.path.join(directory, "BENCH_*.json"))
+    reports: List[Tuple[float, str, Dict[str, Any]]] = []
+    for path in paths:
+        try:
+            with open(path) as handle:
+                data = json.load(handle)
+        except (OSError, ValueError) as exc:
+            print(f"bench_diff: skipping unreadable {path}: {exc}")
+            continue
+        if not isinstance(data, dict):
+            continue
+        reports.append((os.path.getmtime(path), path, data))
+    reports.sort(key=lambda item: item[0], reverse=True)
+    return [(path, data) for _mtime, path, data in reports]
+
+
+def pick_pair(
+    reports: List[Tuple[str, Dict[str, Any]]]
+) -> Optional[Tuple[Tuple[str, Dict[str, Any]], Tuple[str, Dict[str, Any]]]]:
+    """The most recent report and the next report sharing its mode."""
+    if not reports:
+        return None
+    current_path, current = reports[0]
+    mode = current.get("mode")
+    for path, data in reports[1:]:
+        if data.get("mode") == mode:
+            return (current_path, current), (path, data)
+    return None
+
+
+def experiments_by_name(data: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
+    result: Dict[str, Dict[str, Any]] = {}
+    for experiment in data.get("experiments") or []:
+        if isinstance(experiment, dict) and "experiment" in experiment:
+            result[str(experiment["experiment"])] = experiment
+    return result
+
+
+def diff(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    threshold: float,
+) -> Tuple[List[str], List[str]]:
+    """Compare headline metrics; returns (regressions, notes)."""
+    regressions: List[str] = []
+    notes: List[str] = []
+    current_experiments = experiments_by_name(current)
+    baseline_experiments = experiments_by_name(baseline)
+    for name in sorted(set(current_experiments) | set(baseline_experiments)):
+        if name not in current_experiments:
+            notes.append(f"{name}: only in baseline (experiment removed?)")
+            continue
+        if name not in baseline_experiments:
+            notes.append(f"{name}: new experiment, no baseline")
+            continue
+        now = current_experiments[name]
+        then = baseline_experiments[name]
+        for metric in sorted(set(now) | set(then)):
+            if not is_headline(metric):
+                continue
+            new_value = now.get(metric)
+            old_value = then.get(metric)
+            if not isinstance(new_value, (int, float)) or not isinstance(
+                old_value, (int, float)
+            ):
+                notes.append(f"{name}.{metric}: present in only one report")
+                continue
+            if old_value <= 0:
+                continue
+            change = (new_value - old_value) / old_value
+            line = (
+                f"{name}.{metric}: {old_value:.4g} -> {new_value:.4g} "
+                f"({change:+.1%})"
+            )
+            if change < -threshold:
+                regressions.append(line)
+            else:
+                notes.append(line)
+    return regressions, notes
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail when a headline benchmark metric regresses "
+        "against the previous same-mode report."
+    )
+    parser.add_argument(
+        "--dir", default=".",
+        help="directory holding BENCH_*.json reports (default .)",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.25,
+        help="maximum tolerated fractional drop (default 0.25 = 25%%)",
+    )
+    options = parser.parse_args(argv)
+    pair = pick_pair(load_reports(options.dir))
+    if pair is None:
+        print(
+            "bench_diff: fewer than two comparable reports, nothing to "
+            "diff (OK)"
+        )
+        return 0
+    (current_path, current), (baseline_path, baseline) = pair
+    print(f"bench_diff: {baseline_path} -> {current_path}")
+    regressions, notes = diff(current, baseline, options.threshold)
+    for note in notes:
+        print(f"  {note}")
+    if regressions:
+        print(
+            f"bench_diff: {len(regressions)} headline metric(s) regressed "
+            f"more than {options.threshold:.0%}:"
+        )
+        for line in regressions:
+            print(f"  REGRESSION {line}")
+        return 1
+    print("bench_diff: no headline regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
