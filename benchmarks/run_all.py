@@ -12,7 +12,13 @@ writes ``BENCH_<date>.json`` next to this file:
   a cache-enabled and a cache-disabled engine;
 * **durability** — group commit: serial fsync-per-commit vs concurrent
   committers sharing fsyncs through the group-commit window (floor:
-  >= 2 commits per fsync at batch size 16).
+  >= 2 commits per fsync at batch size 16);
+* **server** — the wire tax: one SELECT workload through an in-process
+  connection vs ``repro://`` at 1/8/32 clients (measured, no floor);
+* **server_writes** — MVCC multi-writer scaling: the same total count
+  of durable autocommit INSERTs through a ``repro://`` server at 1 vs
+  8 concurrent writers (floor: >= 3x aggregate commit throughput at
+  8 writers).
 
 Each experiment records wall time, rows/sec, speedup, and the
 plan-cache hit rate observed during the run.
@@ -86,9 +92,8 @@ def bench_hash_join(rows: int) -> Dict[str, Any]:
     session.execute("create table r (k integer, tag varchar(10))")
     left = database.catalog.get_table("l")
     right = database.catalog.get_table("r")
-    for i in range(rows):
-        left.rows.append([i, f"l{i}"])
-        right.rows.append([i, f"r{i}"])
+    left.rows = [[i, f"l{i}"] for i in range(rows)]
+    right.rows = [[i, f"r{i}"] for i in range(rows)]
 
     sql = "select count(*) from l join r on l.k = r.k"
 
@@ -137,8 +142,7 @@ def bench_index_lookup(rows: int, lookups: int) -> Dict[str, Any]:
     session = database.create_session(autocommit=True)
     session.execute("create table t (k integer, v varchar(10))")
     table = database.catalog.get_table("t")
-    for i in range(rows):
-        table.rows.append([i, f"v{i}"])
+    table.rows = [[i, f"v{i}"] for i in range(rows)]
 
     sql = f"select v from t where k = {rows // 2}"
 
@@ -194,10 +198,10 @@ def bench_plan_cache(iterations: int) -> Dict[str, Any]:
             "sales decimal(8,2))"
         )
         table = database.catalog.get_table("emps")
-        for i in range(50):
-            table.rows.append(
-                [f"Emp{i}", f"S{i % 10}".ljust(20), Decimal(i * 10)]
-            )
+        table.rows = [
+            [f"Emp{i}", f"S{i % 10}".ljust(20), Decimal(i * 10)]
+            for i in range(50)
+        ]
         return session
 
     cached_session = build(128)
@@ -429,6 +433,106 @@ def bench_server(requests: int, client_counts=(1, 8, 32)) -> Dict[str, Any]:
     }
 
 
+def bench_server_writes(
+    commits: int, writer_counts=(1, 8)
+) -> Dict[str, Any]:
+    """Write-heavy multi-writer scaling over the wire.
+
+    A durable server (sync WAL, 5 ms group-commit window, batch 16 —
+    the same configuration as the grouped arm of ``bench_durability``)
+    takes autocommit INSERTs from N concurrent ``repro://`` writers,
+    each writer on its own key range so no row conflicts occur.  The
+    same *total* number of durable commits runs at every writer count;
+    the report compares aggregate commits/sec.
+
+    Under the old single-writer exclusive lock, DML from concurrent
+    clients serialised end to end and aggregate throughput flat-lined
+    as writers were added.  With MVCC, writers share the statement lock
+    and only the commit stamp allocation is serialised, so concurrent
+    committers overlap their WAL waits and share fsyncs through group
+    commit.  ``write_throughput_scaling`` (also reported as
+    ``speedup``) is commits/sec at the highest writer count over
+    commits/sec at one writer; the acceptance floor is 3x.
+    """
+    import shutil
+    import tempfile
+    import threading as _threading
+
+    import repro
+    from repro.server import ReproServer
+
+    base = tempfile.mkdtemp(prefix="bench_wr_")
+    server = ReproServer(
+        data_dir=base,
+        group_window=0.005,
+        group_size=16,
+        checkpoint_interval=0,
+    ).start_background()
+    arms = []
+    try:
+        url = f"repro://127.0.0.1:{server.port}/bench_writes"
+        setup = repro.connect(url)
+        setup.create_statement().execute_update(
+            "create table payments (k integer, v integer)"
+        )
+        setup.close()
+
+        for n_writers in writer_counts:
+            per_writer = commits // n_writers
+            failures: list = []
+
+            def writer(wid: int) -> None:
+                try:
+                    conn = repro.connect(url)
+                    stmt = conn.create_statement()
+                    for j in range(per_writer):
+                        stmt.execute_update(
+                            f"insert into payments values "
+                            f"({wid * 1000000 + j}, {j})"
+                        )
+                    conn.close()
+                except Exception as exc:  # pragma: no cover - report
+                    failures.append(exc)
+
+            pool = [
+                _threading.Thread(target=writer, args=(wid,))
+                for wid in range(n_writers)
+            ]
+            start = time.perf_counter()
+            for thread in pool:
+                thread.start()
+            for thread in pool:
+                thread.join()
+            elapsed = time.perf_counter() - start
+            if failures:
+                raise failures[0]
+            done = per_writer * n_writers
+            arms.append(
+                {
+                    "writers": n_writers,
+                    "commits": done,
+                    "seconds": elapsed,
+                    "commits_per_second": done / elapsed,
+                }
+            )
+    finally:
+        server.stop_background()
+        repro.registry.clear()
+        shutil.rmtree(base, ignore_errors=True)
+
+    single = arms[0]["commits_per_second"]
+    peak = arms[-1]["commits_per_second"]
+    return {
+        "experiment": "server_writes",
+        "commits": commits,
+        "arms": arms,
+        "commits_per_second_single_writer": single,
+        "commits_per_second_peak": peak,
+        "write_throughput_scaling": peak / single,
+        "speedup": peak / single,
+    }
+
+
 # ---------------------------------------------------------------------------
 # driver
 # ---------------------------------------------------------------------------
@@ -453,12 +557,12 @@ def main(argv=None) -> int:
         sizes = {"join_rows": 1000, "table_rows": 2000,
                  "lookups": 200, "iterations": 500,
                  "commits": 64, "commit_threads": 8,
-                 "server_requests": 256}
+                 "server_requests": 256, "write_commits": 192}
     else:
         sizes = {"join_rows": 10_000, "table_rows": 10_000,
                  "lookups": 500, "iterations": 2000,
                  "commits": 256, "commit_threads": 16,
-                 "server_requests": 2048}
+                 "server_requests": 2048, "write_commits": 512}
 
     results = []
     for name, run in (
@@ -469,6 +573,8 @@ def main(argv=None) -> int:
         ("durability", lambda: bench_durability(
             sizes["commits"], sizes["commit_threads"])),
         ("server", lambda: bench_server(sizes["server_requests"])),
+        ("server_writes", lambda: bench_server_writes(
+            sizes["write_commits"])),
     ):
         print(f"running {name} ...", flush=True)
         outcome = run()
@@ -508,6 +614,12 @@ def main(argv=None) -> int:
             f"group commit amortization "
             f"{by_name['durability']['commits_per_fsync']:.2f} "
             "commits/fsync < 2x floor"
+        )
+    if by_name["server_writes"]["write_throughput_scaling"] < 3.0:
+        failures.append(
+            f"multi-writer commit scaling "
+            f"{by_name['server_writes']['write_throughput_scaling']:.2f}x "
+            "at 8 writers < 3x floor"
         )
     if not args.smoke:
         if by_name["hash_join"]["speedup"] < 10.0:

@@ -44,13 +44,23 @@ class Column:
 
 
 class Table:
-    """Base table: schema plus a row heap (attached by the storage layer)."""
+    """Base table: schema plus a versioned row heap.
+
+    The heap is ``versions`` — an append-only list of
+    :class:`repro.engine.mvcc.RowVersion` objects; deletes and updates
+    only stamp existing versions, so concurrent snapshot readers can
+    iterate a ``list()`` copy without locking.  ``mutation_lock``
+    serializes structural writes (appends, claim/unclaim, index
+    maintenance) on this table only; it is never held while waiting on
+    another transaction.
+    """
 
     def __init__(self, name: str, columns: List[Column], owner: str) -> None:
         self.name = name
         self.columns = columns
         self.owner = owner
-        self.rows: List[List[Any]] = []
+        self.versions: List[Any] = []  # List[mvcc.RowVersion]
+        self.mutation_lock = threading.RLock()
         #: secondary indexes over this table (engine.indexes.Index),
         #: maintained by RowStore DML and rebuilt on ALTER TABLE.
         self.indexes: List[Any] = []
@@ -59,6 +69,29 @@ class Table:
             raise errors.DuplicateObjectError(
                 f"duplicate column name in table {name!r}"
             )
+
+    @property
+    def rows(self) -> List[List[Any]]:
+        """Committed live rows, as a fresh list of value lists.
+
+        Bulk-load convenience and persistence interface: assigning
+        ``table.rows = [...]`` replaces the heap with bootstrap
+        versions (committed since stamp 0).  Query execution does NOT
+        go through this — scans filter ``versions`` through the
+        reading transaction's snapshot.
+        """
+        return [
+            v.row
+            for v in self.versions
+            if v.begin is not None and v.end is None
+        ]
+
+    @rows.setter
+    def rows(self, value: List[List[Any]]) -> None:
+        from repro.engine.mvcc import RowVersion
+
+        with self.mutation_lock:
+            self.versions = [RowVersion(row) for row in value]
 
     def add_column(self, column: Column, fill_value: Any = None) -> None:
         """Append a column, extending every stored row with ``fill``."""
@@ -69,8 +102,9 @@ class Table:
             )
         self.columns.append(column)
         self._column_index[column.name] = len(self.columns) - 1
-        for row in self.rows:
-            row.append(fill_value)
+        with self.mutation_lock:
+            for version in self.versions:
+                version.row.append(fill_value)
 
     def remove_column(self, name: str) -> Column:
         """Drop a column and its values from every stored row."""
@@ -83,8 +117,9 @@ class Table:
         self._column_index = {
             c.name: i for i, c in enumerate(self.columns)
         }
-        for row in self.rows:
-            del row[position]
+        with self.mutation_lock:
+            for version in self.versions:
+                del version.row[position]
         return column
 
     def column_position(self, name: str) -> int:

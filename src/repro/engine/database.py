@@ -14,12 +14,13 @@ package free of upward dependencies.
 from __future__ import annotations
 
 import contextlib
+import threading
 import time
 from time import perf_counter as _perf_counter
 import weakref
 from typing import Any, Iterator, List, Optional, Sequence, Union
 
-from repro import errors
+from repro import errors, faultpoints
 from repro.observability import metrics as _metrics
 from repro.observability import slowlog as _slowlog
 from repro.observability import stats as _stats
@@ -31,6 +32,7 @@ from repro.engine.dialects import DIALECTS, STANDARD, Dialect
 from repro.engine.executor import QueryPlan
 from repro.engine.expressions import RowShape
 from repro.engine.locks import ReadWriteLock
+from repro.engine.mvcc import TransactionManager, WriteConflict
 from repro.engine.parser import Parser
 from repro.engine.plancache import CachedPlan, PlanCache
 from repro.engine.planner import DEFAULT_PLANNER_OPTIONS, plan_query
@@ -47,11 +49,28 @@ _ROWS_RETURNED = _metrics.registry.counter("rows.returned")
 _STATEMENT_SECONDS = _metrics.registry.histogram("statement.seconds")
 _STATEMENT_COUNTERS: dict = {}
 
-#: Statement kinds that only read shared state and may run concurrently
-#: under the database's shared lock.  Everything else (DML, DDL, CALL,
-#: transaction control) acquires the lock exclusively — CALL because a
-#: routine body may execute arbitrary nested statements.
-_SHARED_STATEMENTS = (ast.Select, ast.SetOperation, ast.Explain)
+#: Statement kinds that may run concurrently under the database's
+#: shared lock.  With MVCC row versioning this is everything except
+#: DDL (which rewrites the catalog that planning reads) and CALL
+#: (a routine body may execute arbitrary nested statements, including
+#: DDL): reads see a consistent snapshot without blocking, and DML
+#: serializes per row through version claims, not through the engine
+#: lock.  Transaction control is shared too — commit stamping has its
+#: own mutex and rollback undo only touches rows this transaction
+#: already claimed or created.
+_SHARED_STATEMENTS = (
+    ast.Select,
+    ast.SetOperation,
+    ast.Explain,
+    ast.Insert,
+    ast.Update,
+    ast.Delete,
+    ast.Commit,
+    ast.Rollback,
+    ast.Savepoint,
+    ast.RollbackTo,
+    ast.ReleaseSavepoint,
+)
 
 #: Statements that are redo-logged as their own immediately-committed
 #: transaction when durability is on.  DDL in this engine is
@@ -200,7 +219,9 @@ class PreparedStatementPlan:
                         result = session.finish_rowset(
                             rows, self._shape
                         )
+                        session._after_read_statement()
                 except errors.SQLException as exc:
+                    session._after_read_statement(failed=True)
                     _metrics.increment(f"errors.{exc.sqlstate}")
                     if context is not None:
                         session._record_statement(
@@ -236,7 +257,9 @@ class PreparedStatementPlan:
                     _ROWS_RETURNED.increment(len(rows))
                     with tracer.span("fetch"), lock.read():
                         result = session.finish_rowset(rows, self._shape)
+                        session._after_read_statement()
                 except errors.SQLException as exc:
+                    session._after_read_statement(failed=True)
                     _metrics.increment(f"errors.{exc.sqlstate}")
                     if context is not None:
                         session._record_statement(
@@ -304,6 +327,20 @@ class Database:
         #: ``repro.open_database``; ``None`` for an in-memory database.
         #: Duck-typed to avoid an import cycle with engine.durability.
         self.durability: Optional[Any] = None
+        #: MVCC transaction manager: snapshots, commit stamps,
+        #: write-conflict waits (see engine/mvcc.py).
+        self.transactions = TransactionManager()
+        #: Serializes commit-stamp allocation with WAL commit-marker
+        #: appends and snapshot capture, so marker order == stamp order
+        #: and no snapshot observes a commit whose marker is not yet in
+        #: the log.  Always acquired *after* the engine lock, never the
+        #: other way around.
+        self.commit_mutex = threading.Lock()
+        #: Committed-dead version count that triggers a background
+        #: vacuum pass (see :meth:`vacuum`).
+        self.vacuum_threshold = 1000
+        self._vacuum_gate = threading.Lock()
+        self._vacuum_thread: Optional[threading.Thread] = None
         #: Per-normalized-statement execution profile, served by the
         #: ``repro_stats.statements``/``.locks`` views (observability/stats).
         self.statement_stats = _stats.StatementStats()
@@ -343,9 +380,82 @@ class Database:
             return False
         return self.durability.checkpoint()
 
+    def vacuum(self) -> int:
+        """Physically reclaim dead row versions; returns versions removed.
+
+        A version is reclaimable once its ``end`` stamp is at or below
+        every live snapshot — no transaction can ever see it again.
+        Runs under the exclusive engine lock (brief and occasional) so
+        lock-free scans never observe a heap shrink mid-iteration;
+        vacuum is *not* WAL-logged, so a crash mid-vacuum is
+        recovery-neutral: replay rebuilds the same committed state and
+        simply leaves the garbage for the next pass.
+        """
+        from repro.engine.virtual import VirtualTable
+
+        horizon = self.transactions.oldest_visible_seq()
+        removed = 0
+        with self.lock.write():
+            for table in list(self.catalog.tables.values()):
+                if isinstance(table, VirtualTable):
+                    continue
+                # Fires once per table, so fault injection can model a
+                # crash after *some* tables were already reclaimed.
+                faultpoints.trigger("storage.vacuum")
+                with table.mutation_lock:
+                    dead = [
+                        v for v in table.versions
+                        if v.end is not None and v.end <= horizon
+                    ]
+                    if not dead:
+                        continue
+                    dead_ids = {id(v) for v in dead}
+                    table.versions = [
+                        v for v in table.versions
+                        if id(v) not in dead_ids
+                    ]
+                    for index in table.indexes:
+                        for version in dead:
+                            index.remove(version)
+                    removed += len(dead)
+            self.transactions.dead_versions = 0
+        if removed:
+            _metrics.increment("mvcc.vacuumed", removed)
+        return removed
+
+    def _maybe_vacuum(self) -> None:
+        """Kick off a background vacuum once enough garbage accumulated.
+
+        Called after commits with no engine lock required; at most one
+        vacuum thread runs at a time and it is a daemon, so it never
+        blocks interpreter shutdown.
+        """
+        if self.transactions.dead_versions < self.vacuum_threshold:
+            return
+        with self._vacuum_gate:
+            thread = self._vacuum_thread
+            if thread is not None and thread.is_alive():
+                return
+            thread = threading.Thread(
+                target=self._vacuum_quietly,
+                name=f"repro-vacuum-{self.name}",
+                daemon=True,
+            )
+            self._vacuum_thread = thread
+            thread.start()
+
+    def _vacuum_quietly(self) -> None:
+        try:
+            self.vacuum()
+        except errors.ReproError:
+            pass  # injected faults target the foreground vacuum tests
+
     def close(self) -> None:
         """Close the database, checkpointing and closing the WAL if it
         is durable.  Idempotent; an in-memory database is a no-op."""
+        thread = self._vacuum_thread
+        if thread is not None and thread.is_alive():
+            thread.join(timeout=5.0)
         if self.durability is not None:
             self.durability.close()
 
@@ -361,6 +471,17 @@ class Session:
         self.autocommit = autocommit
         self.transaction_log = TransactionLog()
         self._routine_depth = 0
+        #: Open MVCC transaction, begun lazily by the first statement
+        #: that needs a snapshot (see :attr:`mvcc_txn`).
+        self._mvcc_txn: Optional[Any] = None
+        #: Crash-recovery replay overrides: pin the next transaction's
+        #: snapshot / the next commit's stamp to the values recorded in
+        #: the WAL, reproducing the original execution's visibility.
+        self._forced_snapshot: Optional[int] = None
+        self._forced_commit_stamp: Optional[int] = None
+        #: How long a statement waits for a conflicting transaction
+        #: before giving up with SQLSTATE 40001 (suspected deadlock).
+        self.lock_timeout = 10.0
         #: Open durable (WAL) transaction id, or None.  Allocated
         #: lazily by the first redo-logged statement, resolved by the
         #: next commit/rollback.
@@ -426,6 +547,79 @@ class Session:
             yield
         finally:
             self.user = previous
+
+    # ------------------------------------------------------------------
+    # MVCC transaction lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def mvcc_txn(self) -> Any:
+        """The session's open MVCC transaction, begun on first use.
+
+        The snapshot is captured here — at the transaction's first
+        statement, not at BEGIN — under the commit mutex so it can
+        never land between a concurrent commit's stamp allocation and
+        its WAL marker append.
+        """
+        txn = self._mvcc_txn
+        if txn is None:
+            with self.database.commit_mutex:
+                txn = self.database.transactions.begin(
+                    self._forced_snapshot
+                )
+            self._mvcc_txn = txn
+        return txn
+
+    def _end_mvcc(self, commit: bool) -> None:
+        """Finish the open MVCC transaction without stamping (read-only
+        commit, or abort after undo has run)."""
+        txn = self._mvcc_txn
+        if txn is None:
+            return
+        self._mvcc_txn = None
+        if commit:
+            self.database.transactions.commit(txn)
+        else:
+            self.database.transactions.abort(txn)
+
+    def _after_read_statement(self, failed: bool = False) -> None:
+        """Close out the implicit transaction of a bare query.
+
+        Autocommit queries end their snapshot immediately (read-only
+        commit, or abort on failure); inside an explicit transaction a
+        completed query pins the snapshot (``pristine`` off) so later
+        statements repeat exactly the same reads.
+        """
+        if self._routine_depth > 0:
+            return
+        if self.autocommit:
+            if not failed and self.transaction_log.active:
+                self.transaction_log.commit()
+            self._end_mvcc(commit=not failed)
+        elif not failed:
+            txn = self._mvcc_txn
+            if txn is not None:
+                txn.pristine = False
+
+    def _wait_for_conflict(self, blocker: int) -> None:
+        """Wait out a write-write conflict; called with NO engine lock
+        held, after the conflicting statement rolled itself back.
+
+        A transaction that has not completed a statement yet may take a
+        fresh snapshot and transparently absorb the blocker's outcome;
+        a pinned snapshot retries the statement as-is and surfaces
+        SQLSTATE 40001 from the claim if the blocker committed.
+        """
+        tm = self.database.transactions
+        if not tm.wait_for(blocker, self.lock_timeout):
+            raise errors.SerializationFailureError(
+                "timed out waiting for a conflicting transaction "
+                "(suspected deadlock); roll back and retry the "
+                "transaction"
+            )
+        txn = self._mvcc_txn
+        if txn is not None and txn.pristine:
+            with self.database.commit_mutex:
+                tm.refresh_snapshot(txn)
 
     # ------------------------------------------------------------------
     # statement execution
@@ -569,13 +763,9 @@ class Session:
             except BaseException:
                 if self.transaction_log.position() > mark:
                     self.transaction_log.rollback_to_position(mark)
+                self._after_read_statement(failed=True)
                 raise
-            if (
-                self.autocommit
-                and self._routine_depth == 0
-                and self.transaction_log.active
-            ):
-                self.transaction_log.commit()
+            self._after_read_statement()
             return result
 
         lock = self.database.lock
@@ -654,31 +844,69 @@ class Session:
         )
         pending: Optional[int] = None
         try:
-            with guard():
-                mark = self.transaction_log.position()
+            # Write-write conflicts retry the whole statement: the
+            # failed attempt rolled itself back under the lock, then the
+            # wait for the blocking transaction happens with NO engine
+            # lock held (the blocker needs the lock to finish).
+            while True:
                 try:
-                    if timed:
-                        result = self._dispatch_traced(statement, params)
-                    else:
-                        result = self._dispatch(statement, params)
-                    # Redo-log only statements that succeeded; a logging
-                    # failure (unpicklable parameter, unrenderable AST)
-                    # rolls the statement back below, keeping the WAL
-                    # and the heap in agreement.
-                    pending = self._log_durable(statement, params, sql)
-                except BaseException:
-                    # Statement-level atomicity: a failing statement
-                    # (including one killed by an injected fault) backs
-                    # out its own partial mutations before propagating.
-                    if self.transaction_log.position() > mark:
-                        self.transaction_log.rollback_to_position(mark)
-                    raise
-                if self.autocommit and self._routine_depth == 0:
-                    if self.transaction_log.active:
-                        self.transaction_log.commit()
-                    committed = self._commit_durable()
-                    if committed is not None:
-                        pending = committed
+                    with guard():
+                        mark = self.transaction_log.position()
+                        try:
+                            if timed:
+                                result = self._dispatch_traced(
+                                    statement, params
+                                )
+                            else:
+                                result = self._dispatch(statement, params)
+                            # Redo-log only statements that succeeded; a
+                            # logging failure (unpicklable parameter,
+                            # unrenderable AST) rolls the statement back
+                            # below, keeping the WAL and the heap in
+                            # agreement.
+                            pending = self._log_durable(
+                                statement, params, sql
+                            )
+                        except BaseException:
+                            # Statement-level atomicity: a failing
+                            # statement (including one killed by an
+                            # injected fault) backs out its own partial
+                            # mutations before propagating.
+                            if self.transaction_log.position() > mark:
+                                self.transaction_log.rollback_to_position(
+                                    mark
+                                )
+                            if (
+                                self.autocommit
+                                and self._routine_depth == 0
+                            ):
+                                # The implicit per-statement transaction
+                                # holds no surviving work; end it so its
+                                # snapshot stops pinning the vacuum
+                                # horizon and conflict waiters move on.
+                                self._end_mvcc(commit=False)
+                            raise
+                        if self.autocommit and self._routine_depth == 0:
+                            committed = self._commit_all()
+                            if committed is not None:
+                                pending = committed
+                        else:
+                            txn = self._mvcc_txn
+                            if txn is not None:
+                                txn.pristine = False
+                    break
+                except WriteConflict as conflict:
+                    if self.database.lock.held_exclusive():
+                        # Still inside an outer exclusive statement (a
+                        # routine body): the blocker can never finish
+                        # while we hold the engine lock, so waiting is
+                        # futile — fail fast, retryably.
+                        raise errors.SerializationFailureError(
+                            "write-write conflict inside an exclusive "
+                            "statement; roll back and retry the "
+                            "transaction"
+                        ) from None
+                    self._wait_for_conflict(conflict.blocker)
         except errors.SQLException as exc:
             _metrics.increment(f"errors.{exc.sqlstate}")
             if context is not None:
@@ -898,12 +1126,21 @@ class Session:
         durability = self.database.durability
         if durability is None or self._routine_depth > 0:
             return None
+        # Record the snapshot the statement actually executed with, so
+        # crash-recovery replay reproduces its visibility even when the
+        # original history interleaved with concurrent commits.
+        open_txn = self._mvcc_txn
+        snapshot = (
+            open_txn.snapshot_seq
+            if open_txn is not None
+            else self.database.transactions.commit_seq
+        )
         if isinstance(statement, _DDL_STATEMENTS):
             text = sql if sql is not None else self._render_for_log(
                 statement
             )
             txn = durability.begin()
-            durability.log_statement(txn, self.user, text, params)
+            durability.log_statement(txn, self.user, text, params, snapshot)
             return durability.log_commit(txn)
         if isinstance(statement, _TXN_STATEMENTS):
             text = sql if sql is not None else self._render_for_log(
@@ -912,7 +1149,7 @@ class Session:
             if self._durable_txn is None:
                 self._durable_txn = durability.begin()
             durability.log_statement(
-                self._durable_txn, self.user, text, params
+                self._durable_txn, self.user, text, params, snapshot
             )
             return None
         return None  # reads, EXPLAIN, COMMIT/ROLLBACK (logged as markers)
@@ -922,16 +1159,59 @@ class Session:
 
         return render_statement(statement, self.dialect)
 
-    def _commit_durable(self) -> Optional[int]:
-        """Write the COMMIT marker for the session's open durable
-        transaction; returns its WAL position, or None."""
+    def _commit_durable(self, stamp: Optional[int] = None) -> Optional[int]:
+        """Write the COMMIT marker (carrying the MVCC commit stamp) for
+        the session's open durable transaction; returns its WAL
+        position, or None."""
         if self._durable_txn is None:
             return None
         txn, self._durable_txn = self._durable_txn, None
         durability = self.database.durability
         if durability is None:
             return None
-        return durability.log_commit(txn)
+        return durability.log_commit(txn, stamp)
+
+    def _commit_all(self) -> Optional[int]:
+        """Commit the session's open work: undo log, MVCC stamps, WAL
+        COMMIT marker.
+
+        Stamp allocation and marker append happen together under the
+        database's commit mutex, so the WAL's marker order equals
+        commit-stamp order — crash recovery replays commits in exactly
+        the order their stamps made them visible.  Waiting
+        transactions are only released (``finish``) after the marker is
+        in the log, which keeps *their* subsequent statement records
+        behind this commit in the WAL.  The fsync wait stays with the
+        caller, outside every lock.
+        """
+        txn = self._mvcc_txn
+        forced = self._forced_commit_stamp
+        self._forced_commit_stamp = None
+        has_writes = (
+            (txn is not None and txn.has_writes())
+            or forced is not None
+            or self._durable_txn is not None
+        )
+        if not has_writes:
+            # Read-only: nothing to stamp, log or order.  Committing
+            # the (empty) undo log still clears any savepoints.
+            self.transaction_log.commit()
+            self._end_mvcc(commit=True)
+            return None
+        tm = self.database.transactions
+        self._mvcc_txn = None
+        pending: Optional[int] = None
+        with self.database.commit_mutex:
+            self.transaction_log.commit()
+            try:
+                stamp = tm.stamp(txn, forced) if txn is not None else forced
+                faultpoints.trigger("mvcc.commit")
+                pending = self._commit_durable(stamp)
+            finally:
+                if txn is not None:
+                    tm.finish(txn)
+        self.database._maybe_vacuum()
+        return pending
 
     def _abort_durable(self) -> None:
         if self._durable_txn is None:
@@ -960,28 +1240,37 @@ class Session:
 
     def commit(self) -> None:
         self._check_open()
-        with self.database.lock.write():
-            self.transaction_log.commit()
-            pending = self._commit_durable()
+        # The shared lock suffices: commit touches only this
+        # transaction's own versions (stamping under the commit mutex)
+        # and must not exclude concurrent readers or writers.
+        with self.database.lock.read():
+            pending = self._commit_all()
         # The fsync happens outside the engine lock so that concurrent
-        # committers share one group-commit flush.  (A SQL-level COMMIT
-        # statement reaches here with the statement lock still held —
-        # reentrant, correct, just without cross-session batching.)
+        # committers share one group-commit flush.
         self._after_commit(pending)
 
     def rollback(self) -> None:
-        # Rollback replays undo actions against shared table heaps, so it
-        # needs the exclusive lock just like the DML it reverses.
+        # Undo replays against table heaps, but every action touches
+        # only versions this transaction created or claimed — invisible
+        # or irrelevant to everyone else — and takes the per-table
+        # mutation lock for structural changes, so the shared engine
+        # lock is enough.
         self._check_open()
-        with self.database.lock.write():
+        with self.database.lock.read():
             self.transaction_log.rollback()
+            self._end_mvcc(commit=False)
             self._abort_durable()
 
     def close(self) -> None:
         if not self.closed:
-            if self.transaction_log.active or self._durable_txn is not None:
-                with self.database.lock.write():
+            if (
+                self.transaction_log.active
+                or self._durable_txn is not None
+                or self._mvcc_txn is not None
+            ):
+                with self.database.lock.read():
                     self.transaction_log.rollback()
+                    self._end_mvcc(commit=False)
                     self._abort_durable()
             self.closed = True
 

@@ -107,13 +107,16 @@ def execute_alter_table(stmt: ast.AlterTable, session: Any) -> None:
                     Env([], (), None, session)
                 )
             )
-        if table.rows:
+        # DDL runs under the exclusive lock, so the heap is quiescent;
+        # every version (even uncommitted or dead) receives the fill
+        # value, which keeps old snapshots type-correct.
+        if table.versions:
             if column.not_null and fill is None:
                 raise errors.NotNullViolationError(
                     f"cannot add NOT NULL column {column.name!r} "
                     "without a default to a non-empty table"
                 )
-            if column.unique and fill is not None and len(table.rows) > 1:
+            if column.unique and fill is not None and len(table.versions) > 1:
                 raise errors.UniqueViolationError(
                     f"adding UNIQUE column {column.name!r} with a "
                     "default would duplicate the default value"

@@ -22,6 +22,7 @@ from repro import errors
 from repro.engine import ast
 from repro.engine.catalog import Column, Table
 from repro.engine.expressions import Env, ExpressionCompiler, RowShape
+from repro.engine.mvcc import MvccTransaction, RowVersion, WriteConflict
 from repro.engine.planner import plan_query, table_shape
 from repro.engine.storage import RowStore, store_value
 from repro.engine.virtual import VirtualTable
@@ -59,33 +60,66 @@ def _values_collide(left: Any, right: Any) -> bool:
 def _check_unique(
     table: Table,
     row: List[Any],
-    exclude_positions: Optional[set] = None,
+    txn: MvccTransaction,
     extra_rows: Sequence[List[Any]] = (),
 ) -> None:
-    """Raise if ``row`` collides with stored (or pending) rows on any
-    UNIQUE/PRIMARY KEY column."""
-    for position in _unique_columns(table):
+    """Raise if ``row`` collides on a UNIQUE/PRIMARY KEY column.
+
+    Unique enforcement reads the *latest* heap state, not the
+    transaction's snapshot — like PostgreSQL, a constraint must hold
+    against what is actually committed, even when the colliding row is
+    invisible to this snapshot.  Per colliding live version:
+
+    * our own pending insert (or an ``extra_rows`` entry of the same
+      statement) → :class:`~repro.errors.UniqueViolationError`;
+    * claimed or inserted by another *in-flight* transaction →
+      :class:`~repro.engine.mvcc.WriteConflict` — the outcome depends
+      on whether that transaction commits, so the session waits for it
+      and re-runs the statement;
+    * committed live (and not being replaced by us) →
+      :class:`~repro.errors.UniqueViolationError`.
+
+    Versions this transaction has claimed (``xmax == txn.id``) are the
+    rows it is deleting or replacing — they no longer count.
+    """
+    unique_positions = _unique_columns(table)
+    if not unique_positions:
+        return
+    heap = list(table.versions)
+    for position in unique_positions:
         value = row[position]
         if value is None:
             continue
         column = table.columns[position]
         label = "PRIMARY KEY" if column.primary_key else "UNIQUE"
-        for index, existing in enumerate(table.rows):
-            if exclude_positions and index in exclude_positions:
+        message = (
+            f"duplicate value for {label} column "
+            f"{column.name!r} of table {table.name!r}"
+        )
+        for version in heap:
+            if version.end is not None:
+                continue  # committed-deleted: slot is free
+            if version.xmax == txn.id:
+                continue  # being deleted/replaced by this statement
+            if version.row is row:
                 continue
-            if _values_collide(existing[position], value):
-                raise errors.UniqueViolationError(
-                    f"duplicate value for {label} column "
-                    f"{column.name!r} of table {table.name!r}"
-                )
+            if not _values_collide(version.row[position], value):
+                continue
+            if version.begin is None and version.xmin != txn.id:
+                # Another transaction's uncommitted insert: wait for
+                # it — only then do we know whether this is a
+                # duplicate or a free slot.
+                raise WriteConflict(version.xmin)
+            if version.xmax is not None and version.begin is not None:
+                # Committed row claimed by a live transaction that may
+                # be deleting it; wait for the claimant.
+                raise WriteConflict(version.xmax)
+            raise errors.UniqueViolationError(message)
         for pending in extra_rows:
             if pending is not row and _values_collide(
                 pending[position], value
             ):
-                raise errors.UniqueViolationError(
-                    f"duplicate value for {label} column "
-                    f"{column.name!r} of table {table.name!r}"
-                )
+                raise errors.UniqueViolationError(message)
 
 
 def _default_value(
@@ -120,7 +154,7 @@ def execute_insert(
                 "duplicate column in INSERT column list"
             )
 
-    store = RowStore(table, session.transaction_log)
+    store = RowStore(table, session)
     inserted = 0
 
     if isinstance(stmt.source, ast.ValuesSource):
@@ -136,7 +170,7 @@ def execute_insert(
             row = _build_row(
                 table, target_positions, values, session, params
             )
-            _check_unique(table, row)
+            _check_unique(table, row, store.txn)
             store.insert(row)
             inserted += 1
         session.after_mutation(rows=inserted)
@@ -152,7 +186,7 @@ def execute_insert(
         row = _build_row(
             table, target_positions, source_row, session, params
         )
-        _check_unique(table, row)
+        _check_unique(table, row, store.txn)
         store.insert(row)
         inserted += 1
     session.after_mutation(rows=inserted)
@@ -192,21 +226,24 @@ def _check_udt_usage(session: Any, column: Column) -> None:
             session.check_usage_privilege(udt)
 
 
-def _matching_positions(
+def _matching_versions(
     table: Table,
     where: Optional[ast.Expression],
     session: Any,
     params: Sequence[Any],
-) -> List[int]:
+) -> List[RowVersion]:
+    """Heap versions visible to the session's snapshot matching WHERE."""
+    txn = session.mvcc_txn
+    visible = [v for v in list(table.versions) if txn.sees(v)]
     if where is None:
-        return list(range(len(table.rows)))
+        return visible
     shape = table_shape(table)
     compiler = ExpressionCompiler(shape, session)
     predicate = compiler.compile_predicate(where)
     return [
-        index
-        for index, row in enumerate(table.rows)
-        if predicate(Env(row, params, None, session))
+        version
+        for version in visible
+        if predicate(Env(version.row, params, None, session))
     ]
 
 
@@ -216,11 +253,11 @@ def execute_delete(
     table = session.catalog.get_table(stmt.table)
     session.check_table_privilege("DELETE", stmt.table)
     _reject_virtual(table)
-    positions = _matching_positions(table, stmt.where, session, params)
-    if positions:
-        RowStore(table, session.transaction_log).delete_at(positions)
-    session.after_mutation(rows=len(positions))
-    return len(positions)
+    versions = _matching_versions(table, stmt.where, session, params)
+    if versions:
+        RowStore(table, session).delete(versions)
+    session.after_mutation(rows=len(versions))
+    return len(versions)
 
 
 def execute_update(
@@ -261,13 +298,18 @@ def execute_update(
                 )
         compiled.append((assignment, value.fn))
 
-    positions = _matching_positions(table, stmt.where, session, params)
-    store = RowStore(table, session.transaction_log)
+    targets = _matching_versions(table, stmt.where, session, params)
+    store = RowStore(table, session)
 
-    # Evaluate all replacement rows against pre-update state, then apply.
-    replacements: List[Tuple[int, List[Any]]] = []
-    for position in positions:
-        old_row = table.rows[position]
+    # Claim every target first (first-updater-wins conflict detection),
+    # then evaluate all replacement rows against pre-update state —
+    # old versions are immutable, so the images cannot shift under us.
+    for version in targets:
+        store.claim(version)
+
+    replacements: List[Tuple[RowVersion, List[Any]]] = []
+    for version in targets:
+        old_row = version.row
         env = Env(old_row, params, None, session)
         new_row = list(old_row)
         for assignment, value_fn in compiled:
@@ -275,20 +317,17 @@ def execute_update(
             _apply_assignment(table, new_row, assignment, value, session)
         for column, cell in zip(table.columns, new_row):
             _check_not_null(column, cell, table)
-        replacements.append((position, new_row))
+        replacements.append((version, new_row))
 
-    replaced_positions = {position for position, _row in replacements}
-    pending_rows = [row for _position, row in replacements]
-    for _position, new_row in replacements:
-        _check_unique(
-            table,
-            new_row,
-            exclude_positions=replaced_positions,
-            extra_rows=pending_rows,
-        )
+    # Unique validation: claimed old versions are excluded by their
+    # xmax stamp; replacement rows not yet in the heap are cross-checked
+    # via extra_rows.
+    pending_rows = [row for _version, row in replacements]
+    for _version, new_row in replacements:
+        _check_unique(table, new_row, store.txn, extra_rows=pending_rows)
 
-    for position, new_row in replacements:
-        store.update_at(position, new_row)
+    for _version, new_row in replacements:
+        store.replace(new_row)
     session.after_mutation(rows=len(replacements))
     return len(replacements)
 

@@ -79,9 +79,14 @@ __all__ = [
 SNAPSHOT_FILENAME = "snapshot.db"
 WAL_FILENAME = "wal.log"
 
-#: Version of the ``{image, last_seq}`` checkpoint wrapper (the inner
-#: ``DatabaseImage`` carries its own FORMAT_VERSION).
-CHECKPOINT_VERSION = 1
+#: Version of the ``{image, last_seq, commit_seq}`` checkpoint wrapper
+#: (the inner ``DatabaseImage`` carries its own FORMAT_VERSION).
+#: Version 2 added ``commit_seq`` — the MVCC commit counter at
+#: checkpoint time, restored so post-recovery stamps continue above
+#: everything durable.  Version-1 snapshots are still readable (their
+#: counter restarts at 0, which is safe: a checkpoint is quiesced, so
+#: every surviving version is a bootstrap version with stamp 0).
+CHECKPOINT_VERSION = 2
 
 _CHECKPOINTS = _metrics.registry.counter("wal.checkpoints")
 _CHECKPOINT_SECONDS = _metrics.registry.histogram("wal.checkpoint.seconds")
@@ -145,18 +150,34 @@ class DurabilityManager:
         user: str,
         sql: str,
         params: Any,
+        snapshot_seq: int = 0,
     ) -> None:
-        """Append one redo record for a successfully executed statement."""
+        """Append one redo record for a successfully executed statement.
+
+        ``snapshot_seq`` is the MVCC snapshot the statement executed
+        under; replay pins the recovered transaction to the same
+        snapshot so a predicate evaluated during recovery sees exactly
+        the rows the original execution saw, however the original
+        history interleaved.
+        """
         record = WalRecord(
             self._alloc_seq(), KIND_STATEMENT, txn,
-            (user, sql, tuple(params or ())),
+            (user, sql, tuple(params or ()), snapshot_seq),
         )
         self.wal.append(record)
 
-    def log_commit(self, txn: int) -> int:
+    def log_commit(self, txn: int, stamp: Any = None) -> int:
         """Append the commit marker; returns the WAL position to pass to
-        :meth:`wait_durable` once the engine lock is released."""
-        record = WalRecord(self._alloc_seq(), KIND_COMMIT, txn, None)
+        :meth:`wait_durable` once the engine lock is released.
+
+        ``stamp`` is the transaction's MVCC commit stamp (None for a
+        transaction whose surviving write set is empty); replay forces
+        the same stamp, reproducing the original commit order and
+        visibility.  The session layer appends markers under the
+        database's commit mutex, so marker order always equals stamp
+        order.
+        """
+        record = WalRecord(self._alloc_seq(), KIND_COMMIT, txn, stamp)
         position = self.wal.append(record)
         with self._state_lock:
             self.active_txns.discard(txn)
@@ -222,6 +243,7 @@ class DurabilityManager:
                 "version": CHECKPOINT_VERSION,
                 "image": image,
                 "last_seq": last_seq,
+                "commit_seq": self.database.transactions.commit_seq,
             }
             faultpoints.trigger("wal.checkpoint")
             path = os.path.join(self.directory, SNAPSHOT_FILENAME)
@@ -285,10 +307,11 @@ class DurabilityManager:
 
 
 def _load_snapshot(path: str):
-    """Read a checkpoint snapshot; returns ``(image, last_seq)`` or
-    ``(None, 0)`` when no snapshot exists."""
+    """Read a checkpoint snapshot; returns ``(image, last_seq,
+    commit_seq)`` or ``(None, 0, 0)`` when no snapshot exists.
+    Version-1 snapshots (pre-MVCC) load with ``commit_seq`` 0."""
     if not os.path.exists(path):
-        return None, 0
+        return None, 0, 0
     with open(path, "rb") as handle:
         try:
             payload = pickle.load(handle)
@@ -299,12 +322,16 @@ def _load_snapshot(path: str):
     if (
         not isinstance(payload, dict)
         or not isinstance(payload.get("image"), DatabaseImage)
-        or payload.get("version") != CHECKPOINT_VERSION
+        or payload.get("version") not in (1, CHECKPOINT_VERSION)
     ):
         raise errors.DataError(
             f"{path!r} does not contain a supported checkpoint snapshot"
         )
-    return payload["image"], int(payload["last_seq"])
+    return (
+        payload["image"],
+        int(payload["last_seq"]),
+        int(payload.get("commit_seq", 0)),
+    )
 
 
 def _read_wal(path: str):
@@ -352,18 +379,28 @@ def _replay(database: Database, records, last_seq: int) -> int:
                     lost.add(record.txn)
                 continue
             if record.kind == KIND_STATEMENT:
-                user, sql, params = record.data
+                # v2 records carry the original snapshot as a fourth
+                # element; legacy 3-tuples replay on the current
+                # counter, which is equivalent for serial pre-MVCC logs.
+                user, sql, params = record.data[:3]
+                snapshot = (
+                    record.data[3] if len(record.data) > 3 else None
+                )
                 session = sessions.get(record.txn)
                 if session is None:
                     session = database.create_session(
                         user, autocommit=False
                     )
                     sessions[record.txn] = session
+                if session._mvcc_txn is None:
+                    session._forced_snapshot = snapshot
                 with session.impersonate(user):
                     session.execute(sql, list(params))
             elif record.kind == KIND_COMMIT:
                 session = sessions.pop(record.txn, None)
                 if session is not None:
+                    if isinstance(record.data, int):
+                        session._forced_commit_stamp = record.data
                     session.commit()
                     session.close()
                 replayed += 1
@@ -414,7 +451,7 @@ def open_database(
     snapshot_path = os.path.join(directory, SNAPSHOT_FILENAME)
     wal_path = os.path.join(directory, WAL_FILENAME)
 
-    image, last_seq = _load_snapshot(snapshot_path)
+    image, last_seq, commit_seq = _load_snapshot(snapshot_path)
     if image is not None:
         database = restore_database(
             image, plan_cache_size=plan_cache_size
@@ -426,6 +463,9 @@ def open_database(
             admin_user=admin_user,
             plan_cache_size=plan_cache_size,
         )
+    # Resume the MVCC commit counter above everything in the snapshot
+    # so replayed (and future) stamps stay monotonic.
+    database.transactions.restore(commit_seq)
 
     records, max_seq = _read_wal(wal_path)
     replayed = _replay(database, records, last_seq)

@@ -93,12 +93,20 @@ class SeqScan(Operator):
         self.table = table
 
     def rows(self, ctx: RuntimeContext) -> Iterator[List[Any]]:
-        # Iterate over a snapshot so DML statements reading their own
-        # target table (e.g. INSERT INTO t SELECT ... FROM t) terminate.
-        snapshot = list(self.table.rows)
-        _ROWS_SCANNED.increment(len(snapshot))
-        _stats.note_scan(len(snapshot))
-        return iter(snapshot)
+        # Iterate over a list() copy so DML statements reading their own
+        # target table (e.g. INSERT INTO t SELECT ... FROM t) terminate,
+        # and so concurrent appends by other transactions cannot disturb
+        # the iteration (the heap is append-only; claimed/dead versions
+        # are filtered by the snapshot, never removed mid-scan).
+        txn = ctx.session.mvcc_txn
+        visible = [
+            version.row
+            for version in list(self.table.versions)
+            if txn.sees(version)
+        ]
+        _ROWS_SCANNED.increment(len(visible))
+        _stats.note_scan(len(visible))
+        return iter(visible)
 
 
 class IndexScan(Operator):
@@ -138,7 +146,7 @@ class IndexScan(Operator):
         env = ctx.env([])
         if self.equal is not None:
             values = tuple(fn(env) for fn in self.equal)
-            matches = list(self.index.lookup(values))
+            candidates = list(self.index.lookup(values))
         else:
             lower = upper = None
             if self.lower is not None:
@@ -149,12 +157,18 @@ class IndexScan(Operator):
                 upper = self.upper(env)
                 if upper is None:
                     return iter(())
-            matches = list(
+            candidates = list(
                 self.index.range(
                     lower, upper,
                     self.lower_inclusive, self.upper_inclusive,
                 )
             )
+        # Index buckets hold every version regardless of visibility;
+        # apply the reading snapshot exactly as SeqScan does.
+        txn = ctx.session.mvcc_txn
+        matches = [
+            version.row for version in candidates if txn.sees(version)
+        ]
         _ROWS_SCANNED.increment(len(matches))
         _stats.note_scan(len(matches))
         return iter(matches)

@@ -1,19 +1,22 @@
 """Secondary index structures.
 
 An :class:`Index` shadows one table with a hash map from normalised key
-tuples to the rows holding them, plus a sorted key list for range
-probes.  Keys are built with :func:`repro.sqltypes.values.sort_key`, so
-an index probe equates exactly what ``=`` equates: ``1``, ``1.0`` and
-``Decimal("1")`` share a bucket, CHAR values ignore trailing pad
-spaces, and SQL NULL never matches an equality probe (it compares
-UNKNOWN, not TRUE).
+tuples to the row *versions* holding them, plus a sorted key list for
+range probes.  Keys are built with
+:func:`repro.sqltypes.values.sort_key`, so an index probe equates
+exactly what ``=`` equates: ``1``, ``1.0`` and ``Decimal("1")`` share a
+bucket, CHAR values ignore trailing pad spaces, and SQL NULL never
+matches an equality probe (it compares UNKNOWN, not TRUE).
 
-Buckets hold row *objects* (the ``list`` instances stored in
-``Table.rows``), matched by identity on removal — the same convention
-:class:`repro.engine.storage.RowStore` undo closures rely on.  The
-:class:`RowStore` DML paths keep indexes synchronised and register
-symmetric undo actions, so a rolled-back statement leaves its indexes
-exactly as they were.
+Buckets hold :class:`repro.engine.mvcc.RowVersion` objects (the same
+instances stored in ``Table.versions``), matched by identity on
+removal.  The index mirrors the heap *including* provisional and dead
+versions — probes return candidates, and the executor filters them
+through the reading transaction's snapshot exactly as a sequential
+scan would.  :class:`repro.engine.storage.RowStore` DML keeps indexes
+synchronised and registers symmetric undo actions, so a rolled-back
+statement leaves its indexes exactly as they were; vacuum removes the
+entries of reclaimed versions.
 """
 
 from __future__ import annotations
@@ -42,7 +45,7 @@ class Index:
         #: column positions in the owning table; refreshed by rebuild()
         #: because ALTER TABLE shifts positions.
         self.positions: List[int] = []
-        self._buckets: Dict[tuple, List[list]] = {}
+        self._buckets: Dict[tuple, List[Any]] = {}
         self._ordered: List[tuple] = []  # sorted bucket keys
         self.rebuild()
 
@@ -64,38 +67,40 @@ class Index:
     # maintenance
     # ------------------------------------------------------------------
     def rebuild(self) -> None:
-        """Re-derive the whole structure from the table's current rows.
+        """Re-derive the whole structure from the table's heap.
 
-        Used at CREATE INDEX time (rows may predate the index) and
-        after ALTER TABLE ADD/DROP COLUMN (positions shift).
+        Used at CREATE INDEX time (versions may predate the index) and
+        after ALTER TABLE ADD/DROP COLUMN (positions shift).  Every
+        version is indexed, whatever its visibility — probes are
+        snapshot-filtered downstream.
         """
         self.positions = [
             self.table.column_position(name)
             for name in self.column_names
         ]
         self._buckets = {}
-        for row in self.table.rows:
+        for version in self.table.versions:
             self._buckets.setdefault(
-                self.key_of_row(row), []
-            ).append(row)
+                self.key_of_row(version.row), []
+            ).append(version)
         self._ordered = sorted(self._buckets)
 
-    def add(self, row: List[Any]) -> None:
-        key = self.key_of_row(row)
+    def add(self, version: Any) -> None:
+        key = self.key_of_row(version.row)
         bucket = self._buckets.get(key)
         if bucket is None:
-            self._buckets[key] = [row]
+            self._buckets[key] = [version]
             bisect.insort(self._ordered, key)
         else:
-            bucket.append(row)
+            bucket.append(version)
 
-    def remove(self, row: List[Any]) -> None:
-        key = self.key_of_row(row)
+    def remove(self, version: Any) -> None:
+        key = self.key_of_row(version.row)
         bucket = self._buckets.get(key)
         if bucket is None:
             return
         for position, candidate in enumerate(bucket):
-            if candidate is row:
+            if candidate is version:
                 del bucket[position]
                 break
         if not bucket:
@@ -114,32 +119,37 @@ class Index:
         Used by crash recovery (:mod:`repro.engine.durability`) after
         replaying the write-ahead log: replay maintains indexes through
         the ordinary DML path, and this check proves it — every heap
-        row present in its bucket (by identity), no phantom entries,
-        matching cardinality.  Raises :class:`repro.errors.DataError`
-        on any divergence.
+        version present in its bucket (by identity), no phantom
+        entries, matching cardinality.  Raises
+        :class:`repro.errors.DataError` on any divergence.
         """
         from repro import errors
 
         entries = len(self)
-        heap = len(self.table.rows)
+        heap = len(self.table.versions)
         if entries != heap:
             raise errors.DataError(
                 f"index {self.name!r} on {self.table.name!r} holds "
-                f"{entries} entries for {heap} heap rows"
+                f"{entries} entries for {heap} heap versions"
             )
-        for row in self.table.rows:
-            bucket = self._buckets.get(self.key_of_row(row), ())
-            if not any(candidate is row for candidate in bucket):
+        for version in self.table.versions:
+            bucket = self._buckets.get(self.key_of_row(version.row), ())
+            if not any(candidate is version for candidate in bucket):
                 raise errors.DataError(
                     f"index {self.name!r} on {self.table.name!r} is "
-                    f"missing a heap row (key {self.key_of_row(row)!r})"
+                    f"missing a heap version "
+                    f"(key {self.key_of_row(version.row)!r})"
                 )
 
     # ------------------------------------------------------------------
     # probes
     # ------------------------------------------------------------------
-    def lookup(self, values: Tuple[Any, ...]) -> Iterator[list]:
-        """Rows whose key columns equal ``values`` (SQL equality)."""
+    def lookup(self, values: Tuple[Any, ...]) -> Iterator[Any]:
+        """Versions whose key columns equal ``values`` (SQL equality).
+
+        Yields candidate :class:`RowVersion` objects across all
+        snapshots; the caller filters for visibility.
+        """
         key = self.key_of_values(values)
         if self._has_null(key):
             return iter(())  # NULL = anything is UNKNOWN
@@ -147,11 +157,12 @@ class Index:
 
     def range(self, lower: Optional[Any], upper: Optional[Any],
               lower_inclusive: bool = True,
-              upper_inclusive: bool = True) -> Iterator[list]:
-        """Rows of a single-column index within [lower, upper].
+              upper_inclusive: bool = True) -> Iterator[Any]:
+        """Versions of a single-column index within [lower, upper].
 
-        ``None`` bounds mean unbounded on that side; NULL-keyed rows are
-        never yielded (no SQL comparison is TRUE for NULL).
+        ``None`` bounds mean unbounded on that side; NULL-keyed entries
+        are never yielded (no SQL comparison is TRUE for NULL).  Yields
+        candidate versions; the caller filters for visibility.
         """
         lo = 0
         if lower is not None:
@@ -168,8 +179,8 @@ class Index:
         for key in self._ordered[lo:hi]:
             if self._has_null(key):
                 continue
-            for row in self._buckets[key]:
-                yield row
+            for version in self._buckets[key]:
+                yield version
 
     def __len__(self) -> int:
         return sum(len(b) for b in self._buckets.values())

@@ -1,9 +1,12 @@
 """Reader-writer locking for the engine.
 
 One :class:`ReadWriteLock` guards each :class:`repro.engine.database.
-Database`: queries acquire it shared, anything that can mutate shared
-state (DML, DDL, CALL, transaction control) acquires it exclusive, and
-acquisition happens once per statement in
+Database`.  Since MVCC (:mod:`repro.engine.mvcc`) made reads and DML
+snapshot-isolated, queries, DML and transaction control all acquire it
+*shared* — concurrent writers coordinate through row-version claims
+and the commit mutex instead of this lock.  Only catalog-shape changes
+(DDL) and CALL (routines may run arbitrary nested statements) still
+acquire it exclusive.  Acquisition happens once per statement in
 :meth:`repro.engine.database.Session.execute_statement` — never nested
 across two databases, which is what keeps the ordering deadlock-free.
 

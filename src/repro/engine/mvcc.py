@@ -1,0 +1,318 @@
+"""Multi-version concurrency control: versions, snapshots, transactions.
+
+The engine stores every table as an append-only list of
+:class:`RowVersion` objects.  A version carries its creating
+transaction (``xmin``) and that transaction's commit stamp (``begin``),
+plus — once deleted or replaced — the deleting transaction (``xmax``)
+and *its* commit stamp (``end``).  Readers decide per version whether
+their snapshot can see it; nothing is ever modified in place, so
+readers never block writers and writers never block readers.
+
+Commit stamps come from one global commit-sequence counter owned by the
+:class:`TransactionManager`.  A snapshot is just the counter value at
+the moment the transaction's first statement ran: version ``v`` is
+visible iff it was committed with ``begin <= snapshot`` and not deleted
+with ``end <= snapshot`` (own uncommitted writes are always visible,
+own deletions never).  Commit is atomic with respect to snapshots: the
+counter is advanced and every version stamped *inside* the manager's
+lock, so no snapshot can observe a half-committed transaction.
+
+Write-write conflicts are detected eagerly, first-updater-wins: an
+UPDATE/DELETE *claims* the target version by writing its transaction id
+into ``xmax`` (under the owning table's mutation lock).  Finding the
+version already claimed by a live transaction raises
+:class:`WriteConflict` — internal control flow; the session layer waits
+for the blocker to finish and retries the statement.  Finding it
+deleted by a transaction that committed *after* this snapshot raises
+:class:`repro.errors.SerializationFailureError` (SQLSTATE 40001): the
+caller lost the race and must retry on a fresh snapshot.
+
+Dead versions (``end`` stamped at or below every live snapshot) are
+physically reclaimed by vacuum — see ``Database.vacuum`` in
+:mod:`repro.engine.database`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time as _time
+from typing import Any, Dict, List, Optional
+
+from repro.observability import metrics as _metrics
+
+__all__ = [
+    "RowVersion",
+    "MvccTransaction",
+    "TransactionManager",
+    "WriteConflict",
+]
+
+#: Pseudo transaction id for bootstrap rows (bulk loads, snapshot
+#: restore): committed "since forever" with commit stamp 0.
+TXN_BOOTSTRAP = 0
+
+_TXN_COMMITS = _metrics.registry.counter("mvcc.commits")
+_TXN_ABORTS = _metrics.registry.counter("mvcc.aborts")
+_TXN_CONFLICT_WAITS = _metrics.registry.counter("mvcc.conflict_waits")
+
+
+class WriteConflict(Exception):
+    """A write touched a version claimed by a live transaction.
+
+    Internal control flow, never user-visible: the session layer
+    catches it, rolls the statement back, waits for ``blocker`` to
+    commit or abort, and re-executes the statement.  If the blocker
+    committed and this transaction's snapshot is pinned, the retry
+    surfaces :class:`repro.errors.SerializationFailureError` instead.
+    """
+
+    def __init__(self, blocker: int) -> None:
+        super().__init__(f"row claimed by transaction {blocker}")
+        self.blocker = blocker
+
+
+class RowVersion:
+    """One immutable row image plus its visibility interval.
+
+    ``row`` is the value list; it is never replaced after creation (an
+    UPDATE creates a *new* version).  ``begin``/``end`` are commit
+    stamps (``None`` while the creating/deleting transaction is still
+    in flight); ``xmin``/``xmax`` are the transaction ids that wrote
+    them.  ``xmax`` doubles as the row-level write claim.
+    """
+
+    __slots__ = ("row", "xmin", "begin", "xmax", "end")
+
+    def __init__(
+        self,
+        row: List[Any],
+        xmin: int = TXN_BOOTSTRAP,
+        begin: Optional[int] = 0,
+    ) -> None:
+        self.row = row
+        self.xmin = xmin
+        self.begin = begin
+        self.xmax: Optional[int] = None
+        self.end: Optional[int] = None
+
+    def committed_live(self) -> bool:
+        """Committed and not (even provisionally) deleted or replaced."""
+        return self.begin is not None and self.end is None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<RowVersion {self.row!r} xmin={self.xmin} "
+            f"begin={self.begin} xmax={self.xmax} end={self.end}>"
+        )
+
+
+class MvccTransaction:
+    """Per-transaction MVCC state: snapshot plus write sets.
+
+    ``created``/``claimed`` are identity sets of the versions this
+    transaction inserted / write-claimed; commit stamps them, rollback
+    undo actions remove them again (the storage layer keeps the sets in
+    step with the undo log, so a partial statement rollback or a
+    ROLLBACK TO SAVEPOINT never leaves a stale entry to be stamped).
+    """
+
+    __slots__ = (
+        "id", "snapshot_seq", "created", "claimed", "pristine", "started",
+    )
+
+    def __init__(self, txn_id: int, snapshot_seq: int) -> None:
+        self.id = txn_id
+        self.snapshot_seq = snapshot_seq
+        self.created: set = set()
+        self.claimed: set = set()
+        #: True until the first statement completes: while pristine the
+        #: snapshot may still be replaced (used to transparently retry
+        #: a conflicting first statement on a fresh snapshot).
+        self.pristine = True
+        self.started = True
+
+    def has_writes(self) -> bool:
+        return bool(self.created or self.claimed)
+
+    # ------------------------------------------------------------------
+    # visibility
+    # ------------------------------------------------------------------
+    def sees(self, version: RowVersion) -> bool:
+        """Snapshot-isolation visibility of ``version`` to this txn.
+
+        Reads of ``begin``/``end`` race with concurrent commits on
+        purpose: a commit that lands after this snapshot was taken
+        always receives a stamp greater than ``snapshot_seq``, so both
+        the pre-stamp (``None``) and post-stamp readings classify the
+        version identically.
+        """
+        if version.xmin == self.id:
+            pass  # own insert: visible (unless self-deleted below)
+        else:
+            begin = version.begin
+            if begin is None or begin > self.snapshot_seq:
+                return False
+        xmax = version.xmax
+        if xmax is None:
+            return True
+        if xmax == self.id:
+            return False  # own delete/update claim
+        end = version.end
+        return end is None or end > self.snapshot_seq
+
+
+class TransactionManager:
+    """Owns the commit-sequence counter and the live-transaction table.
+
+    One per :class:`repro.engine.database.Database`.  All state changes
+    happen under one condition variable, which is also what conflicting
+    writers wait on (:meth:`wait_for`): every transaction end —
+    commit or abort — wakes the waiters.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition(threading.Lock())
+        self._next_txn = 1
+        self._commit_seq = 0
+        self._active: Dict[int, MvccTransaction] = {}
+        #: Committed-dead versions since the last vacuum (advisory; the
+        #: database layer uses it to decide when to trigger vacuum).
+        self.dead_versions = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def begin(
+        self, snapshot_seq: Optional[int] = None
+    ) -> MvccTransaction:
+        """Start a transaction with a consistent snapshot.
+
+        ``snapshot_seq`` forces the snapshot (crash-recovery replay
+        reproduces the original execution's visibility); normally the
+        snapshot is simply the current commit counter.
+        """
+        with self._cond:
+            txn_id = self._next_txn
+            self._next_txn += 1
+            if snapshot_seq is None:
+                snapshot_seq = self._commit_seq
+            txn = MvccTransaction(txn_id, snapshot_seq)
+            self._active[txn_id] = txn
+            return txn
+
+    def refresh_snapshot(self, txn: MvccTransaction) -> None:
+        """Re-take the snapshot (only valid while no statement has
+        completed in the transaction — the session layer guards this
+        with ``txn.pristine``)."""
+        with self._cond:
+            txn.snapshot_seq = self._commit_seq
+
+    def stamp(
+        self, txn: MvccTransaction, stamp: Optional[int] = None
+    ) -> Optional[int]:
+        """Allocate the commit stamp and make the writes visible.
+
+        Advances the commit counter and stamps every created version's
+        ``begin`` and every claimed version's ``end`` while holding the
+        manager lock, so a concurrent :meth:`begin` observes either
+        none or all of the transaction's writes.  ``stamp`` forces the
+        commit stamp (recovery replay); it must be greater than any
+        stamp issued so far.  Returns the stamp, or None for a
+        read-only transaction.  The transaction stays *active* until
+        :meth:`finish` — the session layer appends the WAL commit
+        marker in between, keeping marker order equal to stamp order
+        even for transactions currently blocked on this one.
+        """
+        with self._cond:
+            if not txn.has_writes() and stamp is None:
+                return None  # read-only: nothing to stamp
+            if stamp is None:
+                stamp = self._commit_seq + 1
+            self._commit_seq = max(self._commit_seq, stamp)
+            for version in txn.created:
+                version.begin = stamp
+            for version in txn.claimed:
+                version.end = stamp
+            self.dead_versions += len(txn.claimed)
+            return stamp
+
+    def finish(self, txn: MvccTransaction) -> None:
+        """Retire a stamped transaction and wake conflict waiters."""
+        with self._cond:
+            self._active.pop(txn.id, None)
+            self._cond.notify_all()
+        _TXN_COMMITS.increment()
+
+    def commit(
+        self, txn: MvccTransaction, stamp: Optional[int] = None
+    ) -> Optional[int]:
+        """Stamp and finish in one step (non-durable commit path)."""
+        result = self.stamp(txn, stamp)
+        self.finish(txn)
+        return result
+
+    def abort(self, txn: MvccTransaction) -> None:
+        """Finish an aborted transaction.
+
+        The caller must have run the undo log *first*: undo physically
+        removes created versions and releases claims, so by the time
+        waiters wake up here the heap carries no trace of the
+        transaction.
+        """
+        with self._cond:
+            self._active.pop(txn.id, None)
+            self._cond.notify_all()
+        _TXN_ABORTS.increment()
+
+    # ------------------------------------------------------------------
+    # conflict waits
+    # ------------------------------------------------------------------
+    def wait_for(self, txn_id: int, timeout: float) -> bool:
+        """Block until transaction ``txn_id`` commits or aborts.
+
+        Returns False on timeout (suspected deadlock: the caller holds
+        claims the blocker may in turn be waiting on, so it must give
+        up with SQLSTATE 40001 rather than wait forever).
+        """
+        _TXN_CONFLICT_WAITS.increment()
+        deadline = _time.monotonic() + timeout
+        with self._cond:
+            while txn_id in self._active:
+                remaining = deadline - _time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._cond.wait(remaining)
+        return True
+
+    def is_active(self, txn_id: int) -> bool:
+        with self._cond:
+            return txn_id in self._active
+
+    # ------------------------------------------------------------------
+    # introspection / recovery
+    # ------------------------------------------------------------------
+    @property
+    def commit_seq(self) -> int:
+        with self._cond:
+            return self._commit_seq
+
+    def restore(self, commit_seq: int) -> None:
+        """Fast-forward the counter after loading a checkpoint, so new
+        stamps continue above everything already durable."""
+        with self._cond:
+            self._commit_seq = max(self._commit_seq, commit_seq)
+
+    def oldest_visible_seq(self) -> int:
+        """Vacuum horizon: versions with ``end <=`` this are invisible
+        to every live snapshot and may be physically reclaimed."""
+        with self._cond:
+            if not self._active:
+                return self._commit_seq
+            return min(
+                min(t.snapshot_seq for t in self._active.values()),
+                self._commit_seq,
+            )
+
+    def active_transactions(self) -> List[MvccTransaction]:
+        with self._cond:
+            return list(self._active.values())

@@ -1,8 +1,21 @@
 """Row storage and undo logging.
 
-Tables keep their rows in Python lists (this is an in-memory engine); what
-this module adds is *transactional mutation*: every insert/delete/update
-goes through a :class:`TransactionLog` that can undo the work on ROLLBACK.
+Tables keep their rows as append-only lists of
+:class:`repro.engine.mvcc.RowVersion` objects; what this module adds is
+*transactional mutation*: every insert/delete/update goes through a
+:class:`TransactionLog` that can undo the work on ROLLBACK, and through
+the session's MVCC transaction so concurrent snapshots never observe
+uncommitted state.
+
+An INSERT appends a provisional version (``begin`` unstamped until
+commit); DELETE/UPDATE never remove anything — they *claim* the target
+version by writing the transaction id into ``xmax``, and an UPDATE
+additionally appends the replacement as a new version.  Claiming a
+version another live transaction already claimed raises
+:class:`repro.engine.mvcc.WriteConflict` (the session layer waits and
+retries); claiming one a *committed* transaction already ended raises
+:class:`repro.errors.SerializationFailureError` — first-updater-wins,
+SQLSTATE 40001.
 
 Part 2 objects are stored **by value**: inserting an object deep-copies it
 into the heap and fetching copies it back out, so a caller mutating its
@@ -16,8 +29,9 @@ import copy
 import threading
 from typing import Any, Callable, List, Optional
 
-from repro import faultpoints
+from repro import errors, faultpoints
 from repro.engine.catalog import Table
+from repro.engine.mvcc import RowVersion, WriteConflict
 from repro.observability import metrics as _metrics
 from repro.sqltypes import ObjectType
 
@@ -153,74 +167,109 @@ class TransactionLog:
 
 
 class RowStore:
-    """Transactional mutation interface over a table's row list.
+    """Transactional mutation interface over a table's version heap.
 
-    Secondary indexes on the table are maintained in step with the heap:
-    every mutation updates them on the forward path, and the recorded
-    undo action reverses both the heap change *and* the index change, so
-    a rollback leaves indexes consistent without a rebuild.
+    Secondary indexes on the table are maintained in step with the
+    heap: an insert adds the new version to every index on the forward
+    path, and the recorded undo action reverses both the heap change
+    *and* the index change, so a rollback leaves indexes consistent
+    without a rebuild.  Undo actions also unwind the owning MVCC
+    transaction's ``created``/``claimed`` sets — a version backed out
+    by ROLLBACK TO SAVEPOINT must never be stamped at commit.
     """
 
-    def __init__(self, table: Table, log: Optional[TransactionLog]) -> None:
+    def __init__(self, table: Table, session: Any) -> None:
         self.table = table
-        self.log = log
+        self.session = session
+        self.log: TransactionLog = session.transaction_log
+        self.txn = session.mvcc_txn
 
-    def _index_add(self, row: List[Any]) -> None:
+    def _index_add(self, version: RowVersion) -> None:
         for index in self.table.indexes:
-            index.add(row)
+            index.add(version)
 
-    def _index_remove(self, row: List[Any]) -> None:
+    def _index_remove(self, version: RowVersion) -> None:
         for index in self.table.indexes:
-            index.remove(row)
+            index.remove(version)
 
-    def insert(self, row: List[Any]) -> None:
-        faultpoints.trigger("storage.insert")
-        rows = self.table.rows
-        rows.append(row)
-        self._index_add(row)
+    def insert(self, row: List[Any],
+               faultpoint: str = "storage.insert") -> RowVersion:
+        """Append a provisional version of ``row`` to the heap."""
+        faultpoints.trigger(faultpoint)
+        version = RowVersion(row, xmin=self.txn.id, begin=None)
+        with self.table.mutation_lock:
+            self.table.versions.append(version)
+            self._index_add(version)
+        self.txn.created.add(version)
         _ROWS_MUTATED.increment()
-        if self.log is not None:
-            def undo(r=row, rs=rows, store=self) -> None:
-                # Remove by identity: list.remove would delete the first
-                # *equal* row, which reorders the table when the insert
-                # duplicated an existing row.
-                for index in range(len(rs) - 1, -1, -1):
-                    if rs[index] is r:
-                        del rs[index]
+
+        def undo(v=version, store=self) -> None:
+            with store.table.mutation_lock:
+                versions = store.table.versions
+                # Remove by identity, newest-first: the version was
+                # appended, so it is near the tail.
+                for at in range(len(versions) - 1, -1, -1):
+                    if versions[at] is v:
+                        del versions[at]
                         break
-                store._index_remove(r)
-            self.log.record(undo)
+                store._index_remove(v)
+            store.txn.created.discard(v)
 
-    def delete_at(self, positions: List[int]) -> int:
-        """Delete rows at the given positions (any order)."""
+        self.log.record(undo)
+        return version
+
+    def claim(self, version: RowVersion) -> None:
+        """Write-claim ``version`` for deletion or replacement.
+
+        First-updater-wins: raises
+        :class:`~repro.errors.SerializationFailureError` when a
+        transaction that committed after this snapshot already ended
+        the version, :class:`~repro.engine.mvcc.WriteConflict` when a
+        still-running transaction holds the claim.
+        """
+        txn = self.txn
+        with self.table.mutation_lock:
+            xmax = version.xmax
+            if xmax == txn.id:
+                return  # already claimed by this transaction
+            if xmax is not None or version.end is not None:
+                if version.end is not None:
+                    # The claimant committed; its stamp is necessarily
+                    # above our snapshot (we could not see the version
+                    # otherwise), so we lost the write-write race.
+                    raise errors.SerializationFailureError(
+                        f"could not serialize access to table "
+                        f"{self.table.name!r}: row updated by a "
+                        f"concurrent transaction; retry the transaction"
+                    )
+                raise WriteConflict(xmax)
+            version.xmax = txn.id
+        txn.claimed.add(version)
+
+        def undo(v=version, owner=txn) -> None:
+            v.xmax = None
+            owner.claimed.discard(v)
+
+        self.log.record(undo)
+
+    def delete(self, versions: List[RowVersion]) -> int:
+        """Mark the given visible versions deleted (claim them all).
+
+        Nothing leaves the heap or the indexes here — the versions stay
+        visible to older snapshots until vacuum reclaims them after the
+        deleting transaction commits.
+        """
         faultpoints.trigger("storage.delete")
-        rows = self.table.rows
-        saved = [(pos, rows[pos]) for pos in sorted(positions)]
-        for pos in sorted(positions, reverse=True):
-            del rows[pos]
-        for _, row in saved:
-            self._index_remove(row)
-        _ROWS_MUTATED.increment(len(saved))
-        if self.log is not None:
-            def undo(saved=saved, rs=rows, store=self) -> None:
-                for pos, row in saved:
-                    rs.insert(pos, row)
-                    store._index_add(row)
-            self.log.record(undo)
-        return len(positions)
+        for version in versions:
+            self.claim(version)
+        _ROWS_MUTATED.increment(len(versions))
+        return len(versions)
 
-    def update_at(self, position: int, new_row: List[Any]) -> None:
-        faultpoints.trigger("storage.update")
-        rows = self.table.rows
-        old_row = rows[position]
-        rows[position] = new_row
-        self._index_remove(old_row)
-        self._index_add(new_row)
-        _ROWS_MUTATED.increment()
-        if self.log is not None:
-            def undo(pos=position, row=old_row, new=new_row,
-                     rs=rows, store=self) -> None:
-                rs[pos] = row
-                store._index_remove(new)
-                store._index_add(row)
-            self.log.record(undo)
+    def replace(self, new_row: List[Any]) -> RowVersion:
+        """Insert the replacement version of an UPDATE.
+
+        The old version must already be claimed (see :meth:`claim`);
+        the statement layer claims every target first so unique checks
+        can recognise rows being replaced.
+        """
+        return self.insert(new_row, faultpoint="storage.update")

@@ -1,6 +1,8 @@
 """Transaction and durability primitives.
 
-The undo-log implementation lives next to the row heaps in
+The MVCC core — row versions, snapshots, the transaction manager with
+its commit-sequence counter — lives in :mod:`repro.engine.mvcc`; the
+undo-log implementation next to the row heaps in
 :mod:`repro.engine.storage`, the engine's reader-writer lock in
 :mod:`repro.engine.locks`, and the redo half — write-ahead log,
 group commit, checkpointing and crash recovery — in
@@ -10,12 +12,22 @@ re-exports them under the names the architecture documentation uses.
 
 from repro.engine.durability import DurabilityManager, open_database
 from repro.engine.locks import ReadWriteLock
+from repro.engine.mvcc import (
+    MvccTransaction,
+    RowVersion,
+    TransactionManager,
+    WriteConflict,
+)
 from repro.engine.storage import RowStore, TransactionLog
 from repro.engine.wal import WalRecord, WriteAheadLog
 
 __all__ = [
     "TransactionLog",
     "RowStore",
+    "RowVersion",
+    "MvccTransaction",
+    "TransactionManager",
+    "WriteConflict",
     "ReadWriteLock",
     "WriteAheadLog",
     "WalRecord",

@@ -16,7 +16,10 @@ Registered views (see ``docs/OBSERVABILITY.md`` for column meanings):
 * ``repro_stats.statements`` — per-normalized-statement profile
   (calls, errors by SQLSTATE, total/mean/p99 time, rows, plan-cache
   hits, wait breakdown),
-* ``repro_stats.sessions`` — live sessions of this database,
+* ``repro_stats.sessions`` — live sessions of this database (with
+  their MVCC transaction id and snapshot, when one is open),
+* ``repro_stats.transactions`` — live MVCC transactions: snapshot,
+  write-set sizes, pristine flag,
 * ``repro_stats.locks`` — reader-writer-lock and WAL wait attribution,
 * ``repro_stats.metrics`` — the process-wide metrics registry,
 * ``repro_stats.pool`` — connection pools of this process,
@@ -104,6 +107,7 @@ def _sessions_rows(session: Any) -> List[List[Any]]:
     for other in list(session.database.sessions):
         if other.closed:
             continue
+        txn = other._mvcc_txn
         rows.append([
             other.user,
             bool(other.autocommit),
@@ -112,7 +116,24 @@ def _sessions_rows(session: Any) -> List[List[Any]]:
                 or other._durable_txn is not None
             ),
             other.statements_executed,
+            txn.id if txn is not None else None,
+            txn.snapshot_seq if txn is not None else None,
         ])
+    return rows
+
+
+def _transactions_rows(session: Any) -> List[List[Any]]:
+    manager = session.database.transactions
+    rows: List[List[Any]] = []
+    for txn in manager.active_transactions():
+        rows.append([
+            txn.id,
+            txn.snapshot_seq,
+            len(txn.created),
+            len(txn.claimed),
+            bool(txn.pristine),
+        ])
+    rows.sort(key=lambda row: row[0])
     return rows
 
 
@@ -213,8 +234,21 @@ _VIEW_SPECS = [
             ("autocommit", "BOOLEAN"),
             ("in_txn", "BOOLEAN"),
             ("statements", "INT"),
+            ("txn_id", "INT"),
+            ("snapshot_seq", "INT"),
         ),
         _sessions_rows,
+    ),
+    (
+        "repro_stats.transactions",
+        (
+            ("txn_id", "INT"),
+            ("snapshot_seq", "INT"),
+            ("rows_created", "INT"),
+            ("rows_claimed", "INT"),
+            ("pristine", "BOOLEAN"),
+        ),
+        _transactions_rows,
     ),
     (
         "repro_stats.locks",

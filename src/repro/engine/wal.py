@@ -25,8 +25,14 @@ Each record is length-prefixed and checksummed::
     which is what makes recovery idempotent when a crash lands between
     "snapshot installed" and "log truncated".
 ``kind``
-    ``"stmt"`` (redo: ``data = (user, sql, params)``), ``"commit"`` or
-    ``"abort"`` (``data = None``).
+    ``"stmt"`` (redo: ``data = (user, sql, params, snapshot_seq)``;
+    legacy logs carry 3-tuples without the MVCC snapshot), ``"commit"``
+    (``data`` = the MVCC commit stamp, or ``None`` for read-only and
+    legacy commits) or ``"abort"`` (``data = None``).  Commit markers
+    are appended in commit-stamp order (the session layer holds the
+    database's commit mutex across stamp-and-append), so replaying the
+    log serially with the recorded snapshots and stamps reproduces the
+    original visibility exactly.
 ``txn``
     Transaction id the record belongs to.
 
@@ -85,7 +91,8 @@ _WAL_COMMITS = _metrics.registry.counter("wal.commits")
 _WAL_FSYNCS = _metrics.registry.counter("wal.fsyncs")
 _WAL_BATCH = _metrics.registry.histogram("wal.group_commit.batch")
 
-#: Record kinds.  ``stmt`` carries ``(user, sql, params)`` redo data.
+#: Record kinds.  ``stmt`` carries ``(user, sql, params, snapshot_seq)``
+#: redo data; ``commit`` carries the MVCC commit stamp (or None).
 KIND_STATEMENT = "stmt"
 KIND_COMMIT = "commit"
 KIND_ABORT = "abort"

@@ -70,6 +70,7 @@ __all__ = [
     "QueryCanceledError",
     "InvalidCursorStateError",
     "TransactionError",
+    "SerializationFailureError",
     "FeatureNotSupportedError",
     "OperatorExecutionError",
     "ExternalRoutineError",
@@ -295,6 +296,27 @@ class InvalidCursorStateError(SQLException):
 
 class TransactionError(SQLException):
     default_sqlstate = "25000"
+
+
+class SerializationFailureError(TransactionError):
+    """The transaction lost a write-write conflict under snapshot
+    isolation (class 40, transaction rollback).
+
+    Raised when this transaction tried to update or delete a row
+    version that a concurrent transaction — invisible to this
+    transaction's snapshot — already deleted or replaced and committed
+    (first-updater-wins), or when a row-claim wait timed out (suspected
+    deadlock).  The transaction's effects are rolled back by the time
+    the error reaches the caller.
+
+    This error is *retryable by design*: re-run the whole transaction
+    on a fresh snapshot and it will usually succeed.  See
+    ``docs/TRANSACTIONS.md`` for retry-loop recipes
+    (:func:`repro.testing.retry_serialization` packages one for
+    tests).
+    """
+
+    default_sqlstate = "40001"
 
 
 # ---------------------------------------------------------------------------

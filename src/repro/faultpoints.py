@@ -20,6 +20,10 @@ site                        fired
 ``storage.insert``          before a row is appended to a table heap
 ``storage.delete``          before rows are deleted from a table heap
 ``storage.update``          before a row is replaced in a table heap
+``storage.vacuum``          once per table in a vacuum pass, before
+                            that table's dead versions are reclaimed
+``mvcc.commit``             between commit-stamp allocation and the WAL
+                            commit-marker append (the commit window)
 ``pool.checkout``           inside :meth:`ConnectionPool.checkout`, before
                             a connection is handed out
 ``pool.checkin``            when a pooled connection is returned (pipe

@@ -8,11 +8,13 @@ through the neutral hooks in :mod:`repro.faultpoints`.
 from repro.testing.concurrency import ConcurrentResult, run_concurrent
 from repro.testing.faults import FaultPlan, FaultRule
 from repro.testing.generators import WorkloadGenerator
+from repro.testing.retry import retry_serialization
 
 __all__ = [
     "ConcurrentResult",
     "FaultPlan",
     "FaultRule",
     "WorkloadGenerator",
+    "retry_serialization",
     "run_concurrent",
 ]

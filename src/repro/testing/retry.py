@@ -1,0 +1,49 @@
+"""Retry helper for serialization failures (SQLSTATE 40001).
+
+Under snapshot isolation a transaction can lose a write-write race and
+fail with :class:`repro.errors.SerializationFailureError`; the standard
+application response is to roll back and run the whole transaction
+again on a fresh snapshot.  :func:`retry_serialization` packages that
+loop so tests (and example programs in ``docs/TRANSACTIONS.md``) state
+*what* the transaction does, not how it retries.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, TypeVar
+
+from repro import errors
+
+__all__ = ["retry_serialization"]
+
+T = TypeVar("T")
+
+
+def retry_serialization(
+    attempt: Callable[[], T],
+    *,
+    attempts: int = 10,
+    on_failure: Optional[Callable[[], Any]] = None,
+) -> T:
+    """Run ``attempt`` until it succeeds or ``attempts`` is exhausted.
+
+    ``attempt`` must be a complete transaction: begin-to-commit for an
+    engine session, or a function driving a dbapi connection that
+    commits at the end.  On :class:`~repro.errors.SerializationFailureError`
+    (and only that error — other failures propagate immediately)
+    ``on_failure`` is called if given (typically ``session.rollback``
+    or ``connection.rollback`` to reset the failed transaction) and the
+    attempt is repeated.  The last failure is re-raised when the budget
+    runs out, so a genuinely stuck workload still surfaces 40001.
+    """
+    if attempts < 1:
+        raise ValueError("attempts must be at least 1")
+    for remaining in range(attempts - 1, -1, -1):
+        try:
+            return attempt()
+        except errors.SerializationFailureError:
+            if on_failure is not None:
+                on_failure()
+            if remaining == 0:
+                raise
+    raise AssertionError("unreachable")  # pragma: no cover

@@ -17,7 +17,12 @@ from repro.dbapi.driver import DriverManager
 from repro.dbapi.pool import ConnectionPool
 from repro import Database
 from repro.observability import metrics as _metrics
-from repro.testing import FaultPlan, WorkloadGenerator, run_concurrent
+from repro.testing import (
+    FaultPlan,
+    WorkloadGenerator,
+    retry_serialization,
+    run_concurrent,
+)
 
 N_THREADS = 16
 
@@ -52,6 +57,45 @@ class TestLostUpdates:
         rows = admin.execute("SELECT n FROM counter").rows
         assert rows == [[N_THREADS * increments]]
         pool.close()
+
+    def test_retry_helper_recovers_pinned_snapshot_conflicts(
+        self, pooled_db
+    ):
+        """Explicit read-modify-write transactions pin their snapshot,
+        so racing threads hit genuine 40001 serialization failures;
+        :func:`repro.testing.retry_serialization` must absorb every one
+        of them and still produce the exact serial count."""
+        db, admin = pooled_db
+        admin.execute("CREATE TABLE acct (id INTEGER, n INTEGER)")
+        admin.execute("INSERT INTO acct VALUES (1, 0)")
+        threads, increments = 8, 10
+
+        def bump(_thread_index):
+            session = db.create_session(autocommit=False)
+            session.lock_timeout = 2.0
+            try:
+                for _ in range(increments):
+
+                    def txn():
+                        [[n]] = session.execute(
+                            "SELECT n FROM acct WHERE id = 1"
+                        ).rows
+                        session.execute(
+                            "UPDATE acct SET n = ? WHERE id = 1",
+                            (n + 1,),
+                        )
+                        session.commit()
+
+                    retry_serialization(
+                        txn, attempts=200, on_failure=session.rollback
+                    )
+            finally:
+                session.close()
+
+        run_concurrent(threads, bump, timeout=120.0).raise_first()
+        assert admin.execute("SELECT n FROM acct").rows == [
+            [threads * increments]
+        ]
 
     def test_concurrent_inserts_all_land(self, pooled_db):
         db, admin = pooled_db

@@ -398,6 +398,10 @@ CRASH_SITES = [
     "storage.insert",
     "storage.update",
     "storage.delete",
+    # MVCC commit window: the stamp is allocated (writes visible
+    # in-process) but the WAL commit marker was never appended, so the
+    # transaction must vanish on recovery.
+    "mvcc.commit",
     "wal.append",
     "wal.written",
     "wal.fsync",
@@ -453,6 +457,74 @@ class TestCrashMatrix:
         # Index structures must agree with the recovered heap.
         for index in db2.catalog.tables["t"].indexes:
             index.verify_against_heap()
+        db2.close()
+
+    @pytest.mark.parametrize("after", [0, 1])
+    def test_crash_mid_vacuum_is_recovery_neutral(self, tmp_path, after):
+        """Vacuum is not WAL-logged, so a crash when only *some* tables
+        were reclaimed (``after=1``: the fault fires on the second
+        table) must recover the exact committed state regardless."""
+        d = str(tmp_path)
+        statements = _workload_statements()
+        expected = _shadow_states(statements)[-1]
+
+        db = open_database(d)
+        s = db.create_session(autocommit=True)
+        s.execute("CREATE TABLE t (k INT, v INT)")
+        s.execute("CREATE INDEX t_k ON t (k)")
+        s.execute("CREATE TABLE side (k INT, v INT)")
+        for sql in statements:
+            s.execute(sql)
+        s.execute("INSERT INTO side VALUES (1, 1)")
+        s.execute("DELETE FROM side WHERE k = 1")
+
+        plan = FaultPlan(seed=after + 11)
+        plan.inject(
+            "storage.vacuum", error=errors.OperatorExecutionError,
+            after=after, times=1,
+        )
+        with plan.armed():
+            with pytest.raises(errors.ReproError):
+                db.vacuum()
+        assert plan.fired["storage.vacuum"] == 1
+        del s, db  # crash: no close, no final checkpoint
+
+        db2 = open_database(d)
+        assert table_state(db2) == expected
+        assert table_state(db2, "side") == {}
+        for index in db2.catalog.tables["t"].indexes:
+            index.verify_against_heap()
+        # The next vacuum pass finishes the job.
+        db2.vacuum()
+        assert table_state(db2) == expected
+        for index in db2.catalog.tables["t"].indexes:
+            index.verify_against_heap()
+        db2.close()
+
+    def test_commit_window_crash_discards_stamped_txn(self, tmp_path):
+        """A crash after commit-stamp allocation but before the WAL
+        marker append (the ``mvcc.commit`` window) loses the
+        transaction: it was never acknowledged, and recovery must
+        replay exactly the prefix *without* it."""
+        d = str(tmp_path)
+        db = open_database(d)
+        s = db.create_session(autocommit=False)
+        s.execute("CREATE TABLE t (k INT, v INT)")
+        s.execute("INSERT INTO t VALUES (1, 10)")
+        s.commit()
+
+        s.execute("INSERT INTO t VALUES (2, 20)")
+        plan = FaultPlan(seed=5)
+        plan.inject(
+            "mvcc.commit", error=errors.OperatorExecutionError, times=1
+        )
+        with plan.armed():
+            with pytest.raises(errors.ReproError):
+                s.commit()
+        del s, db  # crash
+
+        db2 = open_database(d)
+        assert table_state(db2) == {1: 10}
         db2.close()
 
     def test_torn_write_truncated_and_prefix_preserved(self, tmp_path):

@@ -13,6 +13,7 @@ from repro.engine.catalog import (
 )
 from repro.engine.dialects import ACME, DIALECTS, STANDARD, ZENITH
 from repro.engine.functions import BUILTINS, NULL_TOLERANT, lookup_builtin
+from repro.engine.mvcc import TransactionManager, WriteConflict
 from repro.engine.privileges import PrivilegeManager
 from repro.engine.storage import RowStore, TransactionLog
 from repro.sqltypes import IntegerType, VarCharType
@@ -88,61 +89,110 @@ class TestCatalog:
             parse_external_name("par:mod.")
 
 
+class _StoreSession:
+    """Bare-bones stand-in for :class:`repro.engine.database.Session`:
+    just the two attributes :class:`RowStore` needs."""
+
+    def __init__(self, manager=None):
+        self.manager = manager or TransactionManager()
+        self.transaction_log = TransactionLog()
+        self.mvcc_txn = self.manager.begin()
+
+
 class TestStorageAndTransactions:
     def test_insert_undo(self):
         table = make_table()
-        log = TransactionLog()
-        store = RowStore(table, log)
+        session = _StoreSession()
+        store = RowStore(table, session)
         store.insert([1, "x"])
         store.insert([2, "y"])
-        assert len(table.rows) == 2
-        log.rollback()
+        assert len(table.versions) == 2
+        # Uncommitted inserts are invisible to the committed-rows view
+        # but visible to their own transaction.
         assert table.rows == []
+        assert all(session.mvcc_txn.sees(v) for v in table.versions)
+        session.transaction_log.rollback()
+        assert table.versions == []
+        assert session.mvcc_txn.created == set()
 
-    def test_delete_undo_restores_positions(self):
-        table = make_table()
-        table.rows = [[1, "a"], [2, "b"], [3, "c"], [4, "d"]]
-        log = TransactionLog()
-        RowStore(table, log).delete_at([0, 2])
-        assert table.rows == [[2, "b"], [4, "d"]]
-        log.rollback()
-        assert table.rows == [[1, "a"], [2, "b"], [3, "c"], [4, "d"]]
-
-    def test_update_undo(self):
+    def test_commit_stamps_versions(self):
         table = make_table()
         table.rows = [[1, "a"]]
-        log = TransactionLog()
-        RowStore(table, log).update_at(0, [9, "z"])
+        session = _StoreSession()
+        store = RowStore(table, session)
+        old = table.versions[0]
+        store.claim(old)
+        new = store.replace([9, "z"])
+        stamp = session.manager.commit(session.mvcc_txn)
+        assert old.end == stamp
+        assert new.begin == stamp
         assert table.rows == [[9, "z"]]
-        log.rollback()
-        assert table.rows == [[1, "a"]]
+
+    def test_delete_claim_and_undo(self):
+        table = make_table()
+        table.rows = [[1, "a"], [2, "b"]]
+        session = _StoreSession()
+        store = RowStore(table, session)
+        target = table.versions[0]
+        store.delete([target])
+        assert target.xmax == session.mvcc_txn.id
+        assert not session.mvcc_txn.sees(target)
+        # Claimed but uncommitted: still committed-live for others.
+        assert table.rows == [[1, "a"], [2, "b"]]
+        session.transaction_log.rollback()
+        assert target.xmax is None
+        assert session.mvcc_txn.sees(target)
+        assert session.mvcc_txn.claimed == set()
 
     def test_commit_clears_log(self):
         table = make_table()
-        log = TransactionLog()
-        RowStore(table, log).insert([1, "a"])
+        session = _StoreSession()
+        RowStore(table, session).insert([1, "a"])
+        log = session.transaction_log
         assert log.active
-        committed = log.commit()
-        assert committed == 1
+        assert log.commit() == 1
         assert not log.active
         assert log.rollback() == 0
-        assert table.rows == [[1, "a"]]
 
     def test_interleaved_operations_roll_back_in_order(self):
         table = make_table()
         table.rows = [[1, "a"], [2, "b"]]
-        log = TransactionLog()
-        store = RowStore(table, log)
-        store.update_at(0, [10, "a"])
+        session = _StoreSession()
+        store = RowStore(table, session)
+        seeded = list(table.versions)
+        store.claim(seeded[0])
+        store.replace([10, "a"])
         store.insert([3, "c"])
-        store.delete_at([1])
-        log.rollback()
+        store.delete([seeded[1]])
+        session.transaction_log.rollback()
         assert table.rows == [[1, "a"], [2, "b"]]
+        assert all(v.xmax is None for v in seeded)
+        assert len(table.versions) == 2
 
-    def test_no_log_means_no_undo(self):
+    def test_claim_conflict_between_live_transactions(self):
+        manager = TransactionManager()
         table = make_table()
-        RowStore(table, None).insert([1, "a"])
-        assert table.rows == [[1, "a"]]
+        table.rows = [[1, "a"]]
+        first = _StoreSession(manager)
+        second = _StoreSession(manager)
+        version = table.versions[0]
+        RowStore(table, first).claim(version)
+        with pytest.raises(WriteConflict) as conflict:
+            RowStore(table, second).claim(version)
+        assert conflict.value.blocker == first.mvcc_txn.id
+
+    def test_claim_of_committed_delete_is_serialization_failure(self):
+        manager = TransactionManager()
+        table = make_table()
+        table.rows = [[1, "a"]]
+        first = _StoreSession(manager)
+        second = _StoreSession(manager)  # snapshot before first commits
+        version = table.versions[0]
+        RowStore(table, first).claim(version)
+        manager.commit(first.mvcc_txn)
+        with pytest.raises(errors.SerializationFailureError) as info:
+            RowStore(table, second).claim(version)
+        assert info.value.sqlstate == "40001"
 
 
 class TestPrivilegeManager:

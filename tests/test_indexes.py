@@ -101,10 +101,15 @@ class TestIndexMaintenance:
         assert indexed.execute(
             "select name from t where id = 1000").rows == [["name7"]]
 
-    def test_delete_removes_entries(self, indexed):
+    def test_delete_removes_entries_after_vacuum(self, indexed):
         indexed.execute("delete from t where id = 3")
         assert indexed.execute("select * from t where id = 3").rows == []
+        # The dead version stays indexed (older snapshots may need it)
+        # until vacuum physically reclaims it.
+        assert len(indexed.catalog.get_index("t_id")) == 50
+        indexed.database.vacuum()
         assert len(indexed.catalog.get_index("t_id")) == 49
+        assert indexed.execute("select * from t where id = 3").rows == []
 
     def test_rollback_restores_index(self, db):
         session = db.create_session()  # manual transactions
@@ -133,6 +138,45 @@ class TestIndexMaintenance:
         with pytest.raises(errors.UniqueViolationError):
             indexed.execute("insert into v values (1)")
         assert len(indexed.catalog.get_index("vk")) == 1
+
+    def test_failed_statement_on_fresh_index_same_txn(self, db):
+        """Regression: a statement that fails mid-way must undo its
+        index entries in an index created *earlier in the same
+        transaction* — the undo actions have to consult the table's
+        live index list, not the set of indexes that existed when the
+        row went in."""
+        session = db.create_session()  # manual transactions
+        session.execute("create table w (k integer unique, v integer)")
+        session.execute("insert into w values (1, 10)")
+        session.execute("commit")
+        # Same txn: fresh index, then a multi-row INSERT whose last row
+        # fails the unique check after earlier rows were indexed.
+        session.execute("create index wv on w (v)")
+        with pytest.raises(errors.UniqueViolationError):
+            session.execute(
+                "insert into w values (2, 20), (3, 30), (1, 99)"
+            )
+        index = session.catalog.get_index("wv")
+        index.verify_against_heap()
+        assert len(index) == 1
+        session.execute("rollback")
+        index.verify_against_heap()
+        assert session.execute("select * from w").rows == [[1, 10]]
+
+    def test_rollback_unwinds_inserts_indexed_after_the_fact(self, db):
+        """Rows inserted before CREATE INDEX in the same transaction
+        are picked up by the index build; rolling the transaction back
+        must remove them from that index too."""
+        session = db.create_session()
+        session.execute("create table x (k integer)")
+        session.execute("insert into x values (1), (2)")
+        session.execute("create index xk on x (k)")
+        index = session.catalog.get_index("xk")
+        assert len(index) == 2  # uncommitted versions are indexed
+        session.execute("rollback")
+        index.verify_against_heap()
+        assert len(index) == 0
+        assert session.execute("select * from x").rows == []
 
 
 class TestIndexScanPlanning:

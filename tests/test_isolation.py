@@ -1,0 +1,379 @@
+"""Isolation-anomaly battery for MVCC snapshot isolation.
+
+Each classic anomaly gets a seeded, deterministic scenario asserting
+the *exact* outcome snapshot isolation promises: dirty reads, non-
+repeatable reads, phantoms and lost updates are impossible; write-write
+conflicts resolve first-committer-wins with SQLSTATE 40001 for the
+loser; readers never block writers and writers never block readers.
+
+Every scenario runs twice — against in-process engine sessions and
+over ``repro://`` through the network server — behind one small
+harness facade, proving the guarantees survive the wire protocol
+unchanged (the paper's location transparency, applied to transaction
+semantics).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+import repro
+from repro import errors
+from repro.engine.database import Database
+from repro.server import ReproServer
+from repro.testing import retry_serialization, run_concurrent
+
+
+# ---------------------------------------------------------------------------
+# harness: one facade over engine sessions and remote connections
+# ---------------------------------------------------------------------------
+
+
+class EngineHandle:
+    def __init__(self, session):
+        self.session = session
+
+    def execute(self, sql, params=()):
+        result = self.session.execute(sql, params)
+        return [list(row) for row in result.rows]
+
+    def commit(self):
+        self.session.commit()
+
+    def rollback(self):
+        self.session.rollback()
+
+    def close(self):
+        self.session.close()
+
+
+class RemoteHandle:
+    def __init__(self, connection):
+        self.connection = connection
+        self.statement = connection.create_statement()
+
+    def execute(self, sql, params=()):
+        if params:
+            prepared = self.connection.prepare_statement(sql)
+            for position, value in enumerate(params, start=1):
+                prepared.set_object(position, value)
+            if not prepared.execute():
+                return []
+            rows = self._drain(prepared.get_result_set())
+            prepared.close()
+            return rows
+        if not self.statement.execute(sql):
+            return []
+        return self._drain(self.statement.get_result_set())
+
+    @staticmethod
+    def _drain(result_set):
+        width = result_set.get_meta_data().get_column_count()
+        rows = []
+        while result_set.next():
+            rows.append(
+                [result_set.get_object(i) for i in range(1, width + 1)]
+            )
+        return rows
+
+    def commit(self):
+        self.connection.commit()
+
+    def rollback(self):
+        self.connection.rollback()
+
+    def close(self):
+        self.connection.close()
+
+
+class Harness:
+    """Opens transactional handles against one shared database."""
+
+    def __init__(self, mode, server=None, name="iso"):
+        self.mode = mode
+        self.server = server
+        self.name = name
+        if mode == "engine":
+            self.database = Database(name=name)
+        else:
+            self.database = None
+
+    def open(self, autocommit=False):
+        if self.mode == "engine":
+            session = self.database.create_session(
+                "dba", autocommit=autocommit
+            )
+            return EngineHandle(session)
+        url = f"repro://127.0.0.1:{self.server.port}/{self.name}"
+        connection = repro.connect(url)
+        connection.set_auto_commit(autocommit)
+        return RemoteHandle(connection)
+
+    def close(self):
+        if self.database is not None:
+            self.database.close()
+
+
+@pytest.fixture(params=["engine", "remote"])
+def iso(request, tmp_path):
+    if request.param == "engine":
+        harness = Harness("engine")
+        yield harness
+        harness.close()
+    else:
+        server = ReproServer().start_background()
+        harness = Harness(
+            "remote", server=server, name=f"iso_{request.node.name}"
+        )
+        try:
+            yield harness
+        finally:
+            server.stop_background()
+
+
+def seed_accounts(handle):
+    handle.execute(
+        "create table accounts (id int primary key, balance int)"
+    )
+    handle.execute("insert into accounts values (1, 100), (2, 200)")
+    handle.commit()
+
+
+def balances(handle):
+    return handle.execute(
+        "select id, balance from accounts order by id"
+    )
+
+
+# ---------------------------------------------------------------------------
+# the battery
+# ---------------------------------------------------------------------------
+
+
+class TestDirtyRead:
+    def test_uncommitted_update_is_invisible(self, iso):
+        setup = iso.open()
+        seed_accounts(setup)
+        writer = iso.open()
+        reader = iso.open()
+        writer.execute("update accounts set balance = 999 where id = 1")
+        # The reader's snapshot must show the committed value, not the
+        # in-flight one — and reading must not block on the writer.
+        assert balances(reader) == [[1, 100], [2, 200]]
+        writer.rollback()
+        reader.rollback()
+        assert balances(setup) == [[1, 100], [2, 200]]
+        for handle in (setup, writer, reader):
+            handle.close()
+
+    def test_uncommitted_insert_is_invisible(self, iso):
+        setup = iso.open()
+        seed_accounts(setup)
+        writer = iso.open()
+        reader = iso.open()
+        writer.execute("insert into accounts values (3, 300)")
+        assert balances(reader) == [[1, 100], [2, 200]]
+        # The writer sees its own uncommitted insert.
+        assert balances(writer) == [[1, 100], [2, 200], [3, 300]]
+        writer.rollback()
+        assert balances(reader) == [[1, 100], [2, 200]]
+        for handle in (setup, writer, reader):
+            handle.close()
+
+
+class TestNonRepeatableRead:
+    def test_reread_returns_snapshot_value(self, iso):
+        setup = iso.open()
+        seed_accounts(setup)
+        reader = iso.open()
+        writer = iso.open(autocommit=True)
+        first = balances(reader)  # pins the reader's snapshot
+        writer.execute("update accounts set balance = 150 where id = 1")
+        # A new transaction sees the committed change...
+        fresh = iso.open()
+        assert balances(fresh) == [[1, 150], [2, 200]]
+        # ...but the pinned snapshot rereads the original value.
+        assert balances(reader) == first == [[1, 100], [2, 200]]
+        reader.commit()
+        assert balances(reader) == [[1, 150], [2, 200]]
+        for handle in (setup, reader, writer, fresh):
+            handle.close()
+
+
+class TestPhantom:
+    def test_predicate_reread_sees_no_phantom(self, iso):
+        setup = iso.open()
+        seed_accounts(setup)
+        reader = iso.open()
+        writer = iso.open(autocommit=True)
+        count_sql = (
+            "select count(*) from accounts where balance >= 100"
+        )
+        assert reader.execute(count_sql) == [[2]]
+        writer.execute("insert into accounts values (3, 300)")
+        writer.execute("update accounts set balance = 400 where id = 1")
+        # Neither the new matching row nor the updated one leaks into
+        # the open snapshot.
+        assert reader.execute(count_sql) == [[2]]
+        assert balances(reader) == [[1, 100], [2, 200]]
+        reader.commit()
+        assert reader.execute(count_sql) == [[3]]
+        for handle in (setup, reader, writer):
+            handle.close()
+
+
+class TestLostUpdate:
+    def test_second_writer_gets_40001(self, iso):
+        """Read-modify-write on a pinned snapshot: the first committer
+        wins, the second writer fails with SQLSTATE 40001 rather than
+        silently overwriting."""
+        setup = iso.open()
+        seed_accounts(setup)
+        first = iso.open()
+        second = iso.open()
+        # Both transactions read (pinning their snapshots)...
+        assert balances(first)[0] == [1, 100]
+        assert balances(second)[0] == [1, 100]
+        # ...the first updates and commits...
+        first.execute(
+            "update accounts set balance = balance + 10 where id = 1"
+        )
+        first.commit()
+        # ...so the second's conflicting update must fail, retryably.
+        with pytest.raises(errors.SerializationFailureError) as info:
+            second.execute(
+                "update accounts set balance = balance + 5 where id = 1"
+            )
+            second.commit()
+        assert info.value.sqlstate == "40001"
+        second.rollback()
+        # The committed outcome is exactly the first writer's update.
+        assert balances(setup)[0] == [1, 110]
+        for handle in (setup, first, second):
+            handle.close()
+
+    def test_retry_loop_recovers_both_updates(self, iso):
+        setup = iso.open()
+        seed_accounts(setup)
+        second = iso.open()
+
+        def transfer():
+            [[balance]] = second.execute(
+                "select balance from accounts where id = 1"
+            )
+            if balance == 100:
+                # Only on the first attempt: a rival commits in the
+                # middle of our read-modify-write.
+                rival = iso.open()
+                rival.execute(
+                    "update accounts set balance = balance + 10 "
+                    "where id = 1"
+                )
+                rival.commit()
+                rival.close()
+            second.execute(
+                "update accounts set balance = ? where id = 1",
+                (balance + 5,),
+            )
+            second.commit()
+
+        retry_serialization(transfer, on_failure=second.rollback)
+        # Both increments survive: 100 + 10 (rival) + 5 (retried).
+        assert balances(setup)[0] == [1, 115]
+        for handle in (setup, second):
+            handle.close()
+
+
+class TestFirstCommitterWins:
+    def test_concurrent_claims_one_wins(self, iso):
+        """Two transactions race to update the same row with pinned
+        snapshots: exactly one commits, the loser gets 40001 while the
+        winner's value is the committed outcome."""
+        setup = iso.open()
+        seed_accounts(setup)
+
+        gate = threading.Barrier(2, timeout=30)
+
+        def contender(index):
+            handle = iso.open()
+            try:
+                balances(handle)  # pin the snapshot
+                gate.wait()
+                handle.execute(
+                    "update accounts set balance = ? where id = 2",
+                    (1000 + index,),
+                )
+                handle.commit()
+                return 1000 + index
+            except errors.SerializationFailureError as exc:
+                assert exc.sqlstate == "40001"
+                handle.rollback()
+                return None
+            finally:
+                handle.close()
+
+        outcome = run_concurrent(2, contender, barrier=True)
+        outcome.raise_first()
+        winners = [value for value in outcome.values if value is not None]
+        assert len(winners) == 1
+        assert balances(setup)[1] == [2, winners[0]]
+        setup.close()
+
+
+class TestReadersAndWritersDontBlock:
+    def test_reader_completes_while_writer_holds_claims(self, iso):
+        setup = iso.open()
+        seed_accounts(setup)
+        writer = iso.open()
+        writer.execute("update accounts set balance = 0 where id = 1")
+
+        finished = threading.Event()
+
+        def read():
+            reader = iso.open()
+            try:
+                assert balances(reader) == [[1, 100], [2, 200]]
+            finally:
+                reader.rollback()
+                reader.close()
+            finished.set()
+
+        thread = threading.Thread(target=read)
+        thread.start()
+        thread.join(timeout=10)
+        assert finished.is_set(), "reader blocked behind a writer"
+        writer.rollback()
+        for handle in (setup, writer):
+            handle.close()
+
+    def test_writer_commits_while_reader_snapshot_open(self, iso):
+        setup = iso.open()
+        seed_accounts(setup)
+        reader = iso.open()
+        assert balances(reader) == [[1, 100], [2, 200]]
+
+        finished = threading.Event()
+
+        def write():
+            writer = iso.open()
+            try:
+                writer.execute(
+                    "update accounts set balance = 500 where id = 2"
+                )
+                writer.commit()
+            finally:
+                writer.close()
+            finished.set()
+
+        thread = threading.Thread(target=write)
+        thread.start()
+        thread.join(timeout=10)
+        assert finished.is_set(), "writer blocked behind a reader"
+        # The open snapshot still reads the old state.
+        assert balances(reader) == [[1, 100], [2, 200]]
+        reader.commit()
+        assert balances(reader) == [[1, 100], [2, 500]]
+        for handle in (setup, reader):
+            handle.close()

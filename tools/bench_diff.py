@@ -11,6 +11,8 @@ numbers each experiment leads with:
 * anything matching ``*_per_second*``
 * ``commits_per_fsync``
 * anything matching ``*_hit_rate``
+* anything matching ``*_scaling`` (e.g. the ``server_writes``
+  multi-writer commit-throughput ratio)
 
 A headline metric that drops by more than the threshold (default 25%)
 fails the run with exit code 1 and a per-metric report.  Experiments or
@@ -45,6 +47,7 @@ def is_headline(name: str) -> bool:
         or name == "commits_per_fsync"
         or "_per_second" in name
         or name.endswith("_hit_rate")
+        or name.endswith("_scaling")
     )
 
 
