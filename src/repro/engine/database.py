@@ -896,11 +896,14 @@ class Session:
                                 txn.pristine = False
                     break
                 except WriteConflict as conflict:
-                    if self.database.lock.held_exclusive():
+                    if self.database.lock.held_exclusive_by_me():
                         # Still inside an outer exclusive statement (a
                         # routine body): the blocker can never finish
                         # while we hold the engine lock, so waiting is
-                        # futile — fail fast, retryably.
+                        # futile — fail fast, retryably.  Ownership
+                        # matters: an unrelated thread holding the
+                        # exclusive lock will release it, so that case
+                        # falls through to the normal wait below.
                         raise errors.SerializationFailureError(
                             "write-write conflict inside an exclusive "
                             "statement; roll back and retry the "

@@ -65,6 +65,12 @@ def _check_unique(
 ) -> None:
     """Raise if ``row`` collides on a UNIQUE/PRIMARY KEY column.
 
+    Callers pass this as the ``precondition`` of the matching
+    :meth:`RowStore.insert`/:meth:`RowStore.replace` so the scan and
+    the heap append happen atomically under the table's mutation lock;
+    checking first and appending later would let two concurrent
+    inserts of the same key both pass.
+
     Unique enforcement reads the *latest* heap state, not the
     transaction's snapshot — like PostgreSQL, a constraint must hold
     against what is actually committed, even when the colliding row is
@@ -170,8 +176,12 @@ def execute_insert(
             row = _build_row(
                 table, target_positions, values, session, params
             )
-            _check_unique(table, row, store.txn)
-            store.insert(row)
+            store.insert(
+                row,
+                precondition=lambda row=row: _check_unique(
+                    table, row, store.txn
+                ),
+            )
             inserted += 1
         session.after_mutation(rows=inserted)
         return inserted
@@ -186,8 +196,12 @@ def execute_insert(
         row = _build_row(
             table, target_positions, source_row, session, params
         )
-        _check_unique(table, row, store.txn)
-        store.insert(row)
+        store.insert(
+            row,
+            precondition=lambda row=row: _check_unique(
+                table, row, store.txn
+            ),
+        )
         inserted += 1
     session.after_mutation(rows=inserted)
     return inserted
@@ -319,15 +333,19 @@ def execute_update(
             _check_not_null(column, cell, table)
         replacements.append((version, new_row))
 
-    # Unique validation: claimed old versions are excluded by their
-    # xmax stamp; replacement rows not yet in the heap are cross-checked
-    # via extra_rows.
+    # Unique validation runs as each replacement's insert precondition
+    # (atomically with the append, under the table's mutation lock):
+    # claimed old versions are excluded by their xmax stamp, earlier
+    # replacements of this statement are already in the heap, and later
+    # ones not yet appended are cross-checked via extra_rows.
     pending_rows = [row for _version, row in replacements]
     for _version, new_row in replacements:
-        _check_unique(table, new_row, store.txn, extra_rows=pending_rows)
-
-    for _version, new_row in replacements:
-        store.replace(new_row)
+        store.replace(
+            new_row,
+            precondition=lambda row=new_row: _check_unique(
+                table, row, store.txn, extra_rows=pending_rows
+            ),
+        )
     session.after_mutation(rows=len(replacements))
     return len(replacements)
 

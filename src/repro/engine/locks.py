@@ -211,6 +211,15 @@ class ReadWriteLock:
     def held_exclusive(self) -> bool:
         return self._writer is not None
 
+    def held_exclusive_by_me(self) -> bool:
+        """True when the *calling thread* holds the exclusive lock.
+
+        Distinct from :meth:`held_exclusive`: a writer deciding whether
+        it is nested inside its own exclusive statement must not be
+        fooled by some other thread happening to hold the lock.
+        """
+        return self._writer == threading.get_ident()
+
     def reader_count(self) -> int:
         with self._cond:
             return len(self._readers)

@@ -193,11 +193,25 @@ class RowStore:
             index.remove(version)
 
     def insert(self, row: List[Any],
-               faultpoint: str = "storage.insert") -> RowVersion:
-        """Append a provisional version of ``row`` to the heap."""
+               faultpoint: str = "storage.insert",
+               precondition: Optional[Callable[[], None]] = None
+               ) -> RowVersion:
+        """Append a provisional version of ``row`` to the heap.
+
+        ``precondition`` runs under the table's mutation lock
+        immediately before the append.  The statement layer passes its
+        unique/PRIMARY KEY check here so check-and-insert is one atomic
+        step: without the shared lock span, two concurrent INSERTs of
+        the same key could each scan the heap before either appends its
+        provisional version, and both would pass.  Whatever the
+        precondition raises (UniqueViolationError, WriteConflict)
+        propagates with the heap untouched.
+        """
         faultpoints.trigger(faultpoint)
         version = RowVersion(row, xmin=self.txn.id, begin=None)
         with self.table.mutation_lock:
+            if precondition is not None:
+                precondition()
             self.table.versions.append(version)
             self._index_add(version)
         self.txn.created.add(version)
@@ -223,9 +237,11 @@ class RowStore:
 
         First-updater-wins: raises
         :class:`~repro.errors.SerializationFailureError` when a
-        transaction that committed after this snapshot already ended
-        the version, :class:`~repro.engine.mvcc.WriteConflict` when a
-        still-running transaction holds the claim.
+        transaction that committed after this *pinned* snapshot already
+        ended the version, :class:`~repro.engine.mvcc.WriteConflict`
+        when a still-running transaction holds the claim — or when the
+        claimant committed but this transaction is still pristine, so
+        the statement can transparently retry on a fresh snapshot.
         """
         txn = self.txn
         with self.table.mutation_lock:
@@ -233,22 +249,31 @@ class RowStore:
             if xmax == txn.id:
                 return  # already claimed by this transaction
             if xmax is not None or version.end is not None:
-                if version.end is not None:
+                if version.end is not None and not txn.pristine:
                     # The claimant committed; its stamp is necessarily
                     # above our snapshot (we could not see the version
-                    # otherwise), so we lost the write-write race.
+                    # otherwise), so we lost the write-write race and
+                    # our pinned snapshot cannot absorb the outcome.
                     raise errors.SerializationFailureError(
                         f"could not serialize access to table "
                         f"{self.table.name!r}: row updated by a "
                         f"concurrent transaction; retry the transaction"
                     )
+                # Claimant still in flight — or already committed while
+                # our snapshot is still pristine, in which case the
+                # conflict wait returns immediately, the snapshot is
+                # refreshed, and the statement transparently retries.
                 raise WriteConflict(xmax)
             version.xmax = txn.id
         txn.claimed.add(version)
 
-        def undo(v=version, owner=txn) -> None:
-            v.xmax = None
-            owner.claimed.discard(v)
+        def undo(v=version, owner=txn, store=self) -> None:
+            # The mutation lock serializes every xmax check-then-set
+            # (see claim above); unclaiming must hold it too so a
+            # concurrent claimant never reads a half-released stamp.
+            with store.table.mutation_lock:
+                v.xmax = None
+                owner.claimed.discard(v)
 
         self.log.record(undo)
 
@@ -265,11 +290,16 @@ class RowStore:
         _ROWS_MUTATED.increment(len(versions))
         return len(versions)
 
-    def replace(self, new_row: List[Any]) -> RowVersion:
+    def replace(self, new_row: List[Any],
+                precondition: Optional[Callable[[], None]] = None
+                ) -> RowVersion:
         """Insert the replacement version of an UPDATE.
 
         The old version must already be claimed (see :meth:`claim`);
         the statement layer claims every target first so unique checks
-        can recognise rows being replaced.
+        can recognise rows being replaced.  ``precondition`` is the
+        atomic check-before-append hook, as in :meth:`insert`.
         """
-        return self.insert(new_row, faultpoint="storage.update")
+        return self.insert(
+            new_row, faultpoint="storage.update", precondition=precondition
+        )

@@ -124,6 +124,80 @@ class TestLostUpdates:
         pool.close()
 
 
+class TestUniqueUnderConcurrency:
+    def test_duplicate_key_race_admits_exactly_one_row(self, pooled_db):
+        """Unique check and heap append are one atomic step.
+
+        All threads race to INSERT the same PRIMARY KEY value per
+        round; without the check running under the table's mutation
+        lock, two inserts could both scan before either appends and
+        both commit a duplicate.  Exactly one row per key must land,
+        every loser getting SQLSTATE 23505.
+        """
+        db, admin = pooled_db
+        admin.execute(
+            "CREATE TABLE reg (id INTEGER PRIMARY KEY, who INTEGER)"
+        )
+        rounds = 10
+        wins = []
+        wins_lock = threading.Lock()
+
+        def contender(i):
+            session = db.create_session(autocommit=True)
+            try:
+                for key in range(rounds):
+                    try:
+                        session.execute(
+                            f"INSERT INTO reg VALUES ({key}, {i})"
+                        )
+                        with wins_lock:
+                            wins.append(key)
+                    except errors.UniqueViolationError as exc:
+                        assert exc.sqlstate == "23505"
+            finally:
+                session.close()
+
+        run_concurrent(N_THREADS, contender).raise_first()
+        assert sorted(wins) == list(range(rounds))
+        assert admin.execute("SELECT COUNT(*) FROM reg").rows == [[rounds]]
+
+    def test_check_and_append_atomic_under_injected_delay(self, pooled_db):
+        """Deterministic replay of the unique-check TOCTOU window.
+
+        The ``storage.insert`` fault site fires before the heap append;
+        injecting a delay there held both racing inserts between a
+        *non-atomic* unique scan and their appends, letting both pass
+        the check and commit a duplicate key.  With the check running
+        under the table's mutation lock the delay is harmless: exactly
+        one row commits, the other insert fails with 23505.
+        """
+        db, admin = pooled_db
+        admin.execute("CREATE TABLE slot (id INTEGER PRIMARY KEY)")
+        plan = FaultPlan(seed=7).inject(
+            "storage.insert", delay=0.05, times=2
+        )
+        outcomes = []
+        outcomes_lock = threading.Lock()
+
+        def contender(_i):
+            session = db.create_session(autocommit=True)
+            try:
+                try:
+                    session.execute("INSERT INTO slot VALUES (1)")
+                    result = "ok"
+                except errors.UniqueViolationError:
+                    result = "dup"
+                with outcomes_lock:
+                    outcomes.append(result)
+            finally:
+                session.close()
+
+        with plan.armed():
+            run_concurrent(2, contender).raise_first()
+        assert sorted(outcomes) == ["dup", "ok"]
+        assert admin.execute("SELECT COUNT(*) FROM slot").rows == [[1]]
+
+
 class TestTornReads:
     def test_readers_never_observe_partial_statement(self, pooled_db):
         """A single-statement flip keeps SUM(balance) = 100 invariant.

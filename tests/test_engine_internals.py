@@ -187,12 +187,30 @@ class TestStorageAndTransactions:
         table.rows = [[1, "a"]]
         first = _StoreSession(manager)
         second = _StoreSession(manager)  # snapshot before first commits
+        second.mvcc_txn.pristine = False  # a completed statement pins it
         version = table.versions[0]
         RowStore(table, first).claim(version)
         manager.commit(first.mvcc_txn)
         with pytest.raises(errors.SerializationFailureError) as info:
             RowStore(table, second).claim(version)
         assert info.value.sqlstate == "40001"
+
+    def test_claim_of_committed_delete_retryable_while_pristine(self):
+        """A pristine transaction is not condemned to 40001: the claim
+        raises WriteConflict so the session layer can refresh the
+        snapshot and transparently re-run the statement."""
+        manager = TransactionManager()
+        table = make_table()
+        table.rows = [[1, "a"]]
+        first = _StoreSession(manager)
+        second = _StoreSession(manager)  # snapshot before first commits
+        version = table.versions[0]
+        RowStore(table, first).claim(version)
+        manager.commit(first.mvcc_txn)
+        assert second.mvcc_txn.pristine
+        with pytest.raises(WriteConflict) as conflict:
+            RowStore(table, second).claim(version)
+        assert conflict.value.blocker == first.mvcc_txn.id
 
 
 class TestPrivilegeManager:
