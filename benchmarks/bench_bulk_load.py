@@ -1,0 +1,230 @@
+"""Bulk-load benchmark: star-schema ingest, per-row vs batch.
+
+A small star schema (two dimension tables plus a fact table) is loaded
+the way an ETL job would: resolve each incoming record's dimension keys,
+then insert the fact row.  Two arms load the same fact rows into a
+durable database:
+
+* **per_row** — one autocommit INSERT per fact: one parse, one WAL
+  record, one group-commit fsync wait, and (remotely) one round trip
+  per row;
+* **batch** — the same rows through the batch fast path
+  (``Cursor.executemany`` / ``Session.execute_batch``): one parse, one
+  transaction, one logical WAL record and fsync barrier, and one
+  ``MSG_EXECUTE_BATCH`` frame for the entire load.
+
+Both arms run locally (in-process durable database) and remotely
+(``repro://`` against a durable server).  ``speedup`` is the smaller of
+the two batch-over-per-row rows/sec ratios, so the acceptance floor
+(>= 10x full, >= 5x smoke) must hold on both paths.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_bulk_load.py [--facts N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+from typing import Any, Dict, List, Tuple
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+)
+
+PRODUCTS = [
+    ("prod-%03d" % n, ("widget", "gadget", "gizmo", "sprocket")[n % 4])
+    for n in range(40)
+]
+STORES = [
+    ("store-%02d" % n, ("CA", "NY", "TX", "WA", "IL")[n % 5])
+    for n in range(12)
+]
+
+SCHEMA = (
+    "create table dim_product (id integer unique, sku varchar(20), "
+    "category varchar(20))",
+    "create table dim_store (id integer unique, code varchar(20), "
+    "state varchar(5))",
+    "create table fact_sales (product_id integer, store_id integer, "
+    "quantity integer, cents integer)",
+)
+
+FACT_INSERT = "insert into fact_sales values (?, ?, ?, ?)"
+
+
+def _records(facts: int) -> List[Tuple[str, str, int, int]]:
+    """Incoming ETL records: (sku, store code, quantity, cents)."""
+    return [
+        (
+            PRODUCTS[n % len(PRODUCTS)][0],
+            STORES[n % len(STORES)][0],
+            1 + n % 7,
+            99 + n % 1000,
+        )
+        for n in range(facts)
+    ]
+
+
+def _load_dimensions(session) -> Tuple[Dict[str, int], Dict[str, int]]:
+    """Populate the dimensions (batch, naturally) and return the
+    sku -> id and store-code -> id lookup maps an ETL job would build."""
+    session.execute_batch(
+        "insert into dim_product values (?, ?, ?)",
+        [[n, sku, cat] for n, (sku, cat) in enumerate(PRODUCTS)],
+    )
+    session.execute_batch(
+        "insert into dim_store values (?, ?, ?)",
+        [[n, code, state] for n, (code, state) in enumerate(STORES)],
+    )
+    products = {
+        row[1]: row[0]
+        for row in session.execute("select id, sku from dim_product").rows
+    }
+    stores = {
+        row[1]: row[0]
+        for row in session.execute("select id, code from dim_store").rows
+    }
+    return products, stores
+
+
+def _fact_rows(
+    records, products: Dict[str, int], stores: Dict[str, int]
+) -> List[List[Any]]:
+    """Dimension lookups: resolve each record to a fact row."""
+    return [
+        [products[sku], stores[code], quantity, cents]
+        for sku, code, quantity, cents in records
+    ]
+
+
+def _arm(label: str, rows: int, seconds: float) -> Dict[str, Any]:
+    return {
+        "arm": label,
+        "rows": rows,
+        "seconds": seconds,
+        "rows_per_second": rows / seconds if seconds else float("inf"),
+    }
+
+
+def _run_local(facts: int) -> Dict[str, Any]:
+    from repro.engine.durability import open_database
+
+    records = _records(facts)
+    arms = {}
+    for label in ("per_row", "batch"):
+        base = tempfile.mkdtemp(prefix="bench_bulk_")
+        db = open_database(
+            base, name="bulk", group_window=0.005, group_size=16,
+            checkpoint_interval=0,
+        )
+        try:
+            session = db.create_session(autocommit=True)
+            for ddl in SCHEMA:
+                session.execute(ddl)
+            products, stores = _load_dimensions(session)
+            start = time.perf_counter()
+            fact_rows = _fact_rows(records, products, stores)
+            if label == "batch":
+                session.execute_batch(FACT_INSERT, fact_rows)
+            else:
+                for row in fact_rows:
+                    session.execute(FACT_INSERT, row)
+            elapsed = time.perf_counter() - start
+            [[count]] = session.execute(
+                "select count(*) from fact_sales"
+            ).rows
+            assert count == facts, (count, facts)
+            arms[label] = _arm(label, facts, elapsed)
+        finally:
+            db.close()
+            shutil.rmtree(base, ignore_errors=True)
+    speedup = (
+        arms["batch"]["rows_per_second"]
+        / arms["per_row"]["rows_per_second"]
+    )
+    return {"arms": list(arms.values()), "speedup": speedup}
+
+
+def _run_remote(facts: int) -> Dict[str, Any]:
+    import repro
+    from repro.server import ReproServer
+
+    records = _records(facts)
+    arms = {}
+    for label in ("per_row", "batch"):
+        base = tempfile.mkdtemp(prefix="bench_bulk_srv_")
+        server = ReproServer(
+            data_dir=base,
+            group_window=0.005,
+            group_size=16,
+            checkpoint_interval=0,
+        ).start_background()
+        try:
+            url = f"repro://127.0.0.1:{server.port}/bulk"
+            conn = repro.connect(url)
+            cur = conn.cursor()
+            for ddl in SCHEMA:
+                cur.execute(ddl)
+            products, stores = _load_dimensions(conn.session)
+            prepared = conn.prepare_statement(FACT_INSERT)
+            start = time.perf_counter()
+            fact_rows = _fact_rows(records, products, stores)
+            if label == "batch":
+                cur.executemany(FACT_INSERT, fact_rows)
+            else:
+                for product_id, store_id, quantity, cents in fact_rows:
+                    prepared.set_int(1, product_id)
+                    prepared.set_int(2, store_id)
+                    prepared.set_int(3, quantity)
+                    prepared.set_int(4, cents)
+                    prepared.execute_update()
+            elapsed = time.perf_counter() - start
+            cur.execute("select count(*) from fact_sales")
+            assert cur.fetchone() == (facts,)
+            conn.close()
+            arms[label] = _arm(label, facts, elapsed)
+        finally:
+            server.stop_background()
+            repro.registry.clear()
+            shutil.rmtree(base, ignore_errors=True)
+    speedup = (
+        arms["batch"]["rows_per_second"]
+        / arms["per_row"]["rows_per_second"]
+    )
+    return {"arms": list(arms.values()), "speedup": speedup}
+
+
+def bench_bulk_load(facts: int) -> Dict[str, Any]:
+    """Run both paths; ``speedup`` is the weaker of the two ratios."""
+    local = _run_local(facts)
+    remote = _run_remote(facts)
+    return {
+        "experiment": "bulk_load",
+        "facts": facts,
+        "local": local,
+        "remote": remote,
+        "speedup_local": local["speedup"],
+        "speedup_remote": remote["speedup"],
+        "speedup": min(local["speedup"], remote["speedup"]),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--facts", type=int, default=2000)
+    args = parser.parse_args(argv)
+    result = bench_bulk_load(args.facts)
+    json.dump(result, sys.stdout, indent=2)
+    sys.stdout.write("\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

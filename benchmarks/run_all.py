@@ -18,7 +18,11 @@ writes ``BENCH_<date>.json`` next to this file:
 * **server_writes** — MVCC multi-writer scaling: the same total count
   of durable autocommit INSERTs through a ``repro://`` server at 1 vs
   8 concurrent writers (floor: >= 3x aggregate commit throughput at
-  8 writers).
+  8 writers);
+* **bulk_load** — star-schema ingest through the batch fast path
+  (``executemany`` / ``MSG_EXECUTE_BATCH``) vs per-row INSERTs, local
+  and over ``repro://`` (floor: >= 10x rows/sec full, >= 5x smoke, on
+  the weaker of the two paths; see ``bench_bulk_load.py``).
 
 Each experiment records wall time, rows/sec, speedup, and the
 plan-cache hit rate observed during the run.
@@ -538,6 +542,16 @@ def bench_server_writes(
 # ---------------------------------------------------------------------------
 
 
+def _bench_bulk_load(facts: int) -> Dict[str, Any]:
+    """Run the bulk-load experiment (lives in ``bench_bulk_load.py``)."""
+    try:
+        from benchmarks.bench_bulk_load import bench_bulk_load
+    except ImportError:
+        sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+        from bench_bulk_load import bench_bulk_load
+    return bench_bulk_load(facts)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -557,12 +571,14 @@ def main(argv=None) -> int:
         sizes = {"join_rows": 1000, "table_rows": 2000,
                  "lookups": 200, "iterations": 500,
                  "commits": 64, "commit_threads": 8,
-                 "server_requests": 256, "write_commits": 192}
+                 "server_requests": 256, "write_commits": 192,
+                 "bulk_facts": 300}
     else:
         sizes = {"join_rows": 10_000, "table_rows": 10_000,
                  "lookups": 500, "iterations": 2000,
                  "commits": 256, "commit_threads": 16,
-                 "server_requests": 2048, "write_commits": 512}
+                 "server_requests": 2048, "write_commits": 512,
+                 "bulk_facts": 2000}
 
     results = []
     for name, run in (
@@ -575,6 +591,7 @@ def main(argv=None) -> int:
         ("server", lambda: bench_server(sizes["server_requests"])),
         ("server_writes", lambda: bench_server_writes(
             sizes["write_commits"])),
+        ("bulk_load", lambda: _bench_bulk_load(sizes["bulk_facts"])),
     ):
         print(f"running {name} ...", flush=True)
         outcome = run()
@@ -620,6 +637,14 @@ def main(argv=None) -> int:
             f"multi-writer commit scaling "
             f"{by_name['server_writes']['write_throughput_scaling']:.2f}x "
             "at 8 writers < 3x floor"
+        )
+    bulk_floor = 5.0 if args.smoke else 10.0
+    if by_name["bulk_load"]["speedup"] < bulk_floor:
+        failures.append(
+            f"bulk load speedup {by_name['bulk_load']['speedup']:.2f}x "
+            f"< {bulk_floor:.0f}x floor (local "
+            f"{by_name['bulk_load']['speedup_local']:.1f}x, remote "
+            f"{by_name['bulk_load']['speedup_remote']:.1f}x)"
         )
     if not args.smoke:
         if by_name["hash_join"]["speedup"] < 10.0:

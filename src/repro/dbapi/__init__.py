@@ -29,6 +29,7 @@ import importlib
 import warnings
 from typing import Any, List
 
+from repro.dbapi.cursor import Cursor, apilevel, paramstyle
 from repro.dbapi.metadata import DatabaseMetaData
 from repro.dbapi.resultset import ResultSet
 from repro.dbapi.statement import (
@@ -49,7 +50,10 @@ __all__ = [
     "CallableStatement",
     "BatchUpdateError",
     "ResultSet",
+    "Cursor",
     "DatabaseMetaData",
+    "apilevel",
+    "paramstyle",
 ]
 
 # Names that moved to the repro façade: lazy PEP 562 shims that warn.

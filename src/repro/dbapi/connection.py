@@ -70,6 +70,18 @@ class Connection:
         self._check_open()
         return CallableStatement(self, sql)
 
+    def cursor(self) -> "Cursor":
+        """A PEP 249 cursor over this connection's session.
+
+        The DB-API face of the same session the JDBC-shaped statements
+        use; its ``executemany`` is the bulk-load fast path (see
+        :mod:`repro.dbapi.cursor`).
+        """
+        from repro.dbapi.cursor import Cursor
+
+        self._check_open()
+        return Cursor(self)
+
     # ------------------------------------------------------------------
     # transactions
     # ------------------------------------------------------------------

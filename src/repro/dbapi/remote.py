@@ -53,6 +53,7 @@ from repro.server.protocol import (
     MSG_COMMIT,
     MSG_ERROR,
     MSG_EXECUTE,
+    MSG_EXECUTE_BATCH,
     MSG_FETCH,
     MSG_GOODBYE,
     MSG_HELLO,
@@ -399,6 +400,55 @@ class RemoteSession:
                 source="client",
             )
         return self._build_result(reply)
+
+    def execute_batch(
+        self, sql: str, param_rows: Sequence[Sequence[Any]]
+    ) -> List[int]:
+        """Execute one DML statement against many parameter rows in a
+        single round trip.
+
+        The whole batch rides on ONE ``MSG_EXECUTE_BATCH`` frame —
+        thousands of parameter rows cost one request/response cycle
+        instead of one per row — and the server runs it through
+        ``Session.execute_batch``, so the engine-side guarantees (one
+        parse, one WAL record, one fsync barrier, all-or-nothing
+        rollback) hold over the wire too.  Returns the per-row affected
+        counts.
+        """
+        rows = [list(row) for row in param_rows]
+        if not rows:
+            return []
+        _EXECUTIONS.increment()
+        with self._send_lock:
+            self._seq += 1
+            seq = self._inflight_seq = self._seq
+        payload = {"sql": sql, "params": rows, "seq": seq}
+        tracer = _tracing.current
+        slow_ms = _slowlog.effective_threshold(self)
+        start = time.perf_counter() if slow_ms is not None else 0.0
+        if tracer.enabled:
+            with tracer.span(
+                "remote.execute_batch", sql=sql, batch=len(rows)
+            ) as span:
+                payload["trace"] = {
+                    "trace_id": span.trace_id,
+                    "span_id": span.span_id,
+                }
+                reply = self._expect(
+                    MSG_EXECUTE_BATCH, payload, MSG_RESULT
+                )
+        else:
+            reply = self._expect(MSG_EXECUTE_BATCH, payload, MSG_RESULT)
+        if slow_ms is not None:
+            _slowlog.maybe_log(
+                self,
+                sql=sql,
+                key=None,
+                seconds=time.perf_counter() - start,
+                source="client",
+                batch_rows=len(rows),
+            )
+        return list(reply.get("update_counts") or [])
 
     def prepare(self, sql: str) -> RemotePreparedPlan:
         return RemotePreparedPlan(self, sql)

@@ -52,8 +52,10 @@ def strip_call_escape(sql: str) -> str:
 class BatchUpdateError(errors.SQLException):
     """A batch execution failed part-way (JDBC's BatchUpdateException).
 
-    ``update_counts`` holds the counts of the statements that completed
-    before the failure.
+    ``update_counts`` holds the counts of the statements that executed
+    before the failure.  Batches run inside a single transaction, so in
+    autocommit mode these counts are informational only: the whole
+    batch was rolled back and none of them remain committed.
     """
 
     default_sqlstate = "HY000"
@@ -61,6 +63,34 @@ class BatchUpdateError(errors.SQLException):
     def __init__(self, message: str, update_counts: List[int]) -> None:
         super().__init__(message)
         self.update_counts = update_counts
+
+
+def _run_batch_atomically(connection: Any, run: Any) -> List[int]:
+    """Execute ``run()`` (a queued batch) inside ONE transaction.
+
+    In autocommit mode the session temporarily drops to manual commit,
+    runs the whole batch, and commits once at the end; any error rolls
+    the entire batch back before the flag is restored, so a mid-batch
+    failure never leaves a committed prefix behind (MVCC makes the
+    rollback invisible to concurrent readers).  Inside an explicit
+    transaction the batch simply joins it — completed statements stay
+    pending and the caller's COMMIT/ROLLBACK decides.
+    """
+    session = connection.session
+    if not connection.autocommit:
+        return run()
+    session.autocommit = False
+    try:
+        counts = run()
+        session.commit()
+    except BaseException:
+        try:
+            session.rollback()
+        finally:
+            session.autocommit = True
+        raise
+    session.autocommit = True
+    return counts
 
 
 class Statement:
@@ -141,7 +171,17 @@ class Statement:
     # batch updates (JDBC 2.0)
     # ------------------------------------------------------------------
     def add_batch(self, sql: str) -> None:
-        """Queue a statement for batched execution."""
+        """Queue one complete SQL statement for batched execution.
+
+        Plain statements batch *literal* SQL text — every queued entry
+        carries its own values and may target a different table, and
+        each is re-parsed at ``execute_batch`` time.  There is no
+        parameter binding here: to bind many parameter rows against one
+        statement (and get the engine's bulk fast path — one parse, one
+        WAL record, one round trip), use
+        :meth:`PreparedStatement.add_batch`, the JDBC 2.0
+        prepared-batch form.
+        """
         self._check_open()
         self._batch.append(sql)
 
@@ -149,33 +189,48 @@ class Statement:
         self._batch.clear()
 
     def execute_batch(self) -> List[int]:
-        """Run the queued statements; returns their update counts.
+        """Run the queued statements as ONE transaction; returns their
+        update counts.
 
-        A failure raises :class:`BatchUpdateError` carrying the counts of
-        the statements that completed; the rest are not attempted (and
-        the batch is cleared either way).
+        Partial-failure semantics (JDBC leaves them to the driver; this
+        driver's choice): the batch is a single unit of work.  In
+        autocommit mode the connection switches to manual commit for
+        the duration, executes every queued statement, and commits once
+        at the end — a mid-batch error rolls the WHOLE batch back under
+        MVCC, so a failure never leaves a committed prefix behind.
+        Inside an explicit transaction the batch joins it and the
+        caller's COMMIT/ROLLBACK decides.
+
+        A failure raises :class:`BatchUpdateError` whose
+        ``update_counts`` carries the counts of the statements that
+        executed before the error (informational — in autocommit mode
+        none of them remain committed).  The queue is cleared either
+        way.  DDL statements commit immediately and are not
+        transactional, so they are outside the all-or-nothing
+        guarantee.
         """
         self._check_open()
+        batch, self._batch = list(self._batch), []
         counts: List[int] = []
-        try:
-            for sql in self._batch:
+
+        def run() -> List[int]:
+            for sql in batch:
                 result = self._run(sql, [])
                 if result.is_rowset:
                     raise errors.DataError(
                         "queries are not allowed in a batch"
                     )
                 counts.append(result.update_count)
+            return counts
+
+        try:
+            return _run_batch_atomically(self.connection, run)
         except errors.SQLException as exc:
-            self._batch.clear()
-            error = BatchUpdateError(
+            raise BatchUpdateError(
                 f"batch failed after {len(counts)} statement(s): "
                 f"{exc.message}",
                 counts,
-            )
-            error.__cause__ = exc
-            raise error from exc
-        self._batch.clear()
-        return counts
+            ) from exc
 
     # ------------------------------------------------------------------
     def close(self) -> None:
@@ -252,7 +307,15 @@ class PreparedStatement(Statement):
     # batch updates (JDBC 2.0): one prepared statement, many bindings
     # ------------------------------------------------------------------
     def add_batch(self, sql: Optional[str] = None) -> None:
-        """Queue the current parameter bindings for batched execution."""
+        """Queue the current parameter bindings as one batch row
+        (JDBC 2.0 prepared-batch form).
+
+        Bind parameters with the ``set_xxx`` methods, call
+        ``add_batch()`` with no argument, repeat, then
+        :meth:`execute_batch` runs every queued row against the one
+        prepared statement.  The bindings are snapshotted here, so the
+        usual JDBC loop — rebind, ``add_batch()``, rebind — works.
+        """
         if sql is not None:
             raise errors.DataError(
                 "prepared statements batch their own SQL; bind "
@@ -262,33 +325,63 @@ class PreparedStatement(Statement):
         self._batch.append(self._param_list())
 
     def execute_batch(self) -> List[int]:
-        """Execute once per queued binding; returns the update counts."""
+        """Execute every queued parameter row as ONE atomic batch;
+        returns the per-row update counts.
+
+        DML statements (INSERT/UPDATE/DELETE) take the engine's bulk
+        fast path via ``session.execute_batch``: one parse, one
+        transaction, one logical WAL record and one fsync barrier for
+        the whole batch — and over ``repro://``, one
+        ``MSG_EXECUTE_BATCH`` round trip however many rows are queued.
+        CALL statements fall back to per-row execution, still inside a
+        single transaction.
+
+        The batch is all-or-nothing: a mid-batch failure (constraint
+        violation, coercion error) raises :class:`BatchUpdateError`
+        with EMPTY ``update_counts`` — no row of the batch was
+        committed in autocommit mode, and inside an explicit
+        transaction the batch's own work was rolled back while the
+        surrounding transaction stays open.  The queue is cleared
+        either way.
+        """
         self._check_open()
+        batch, self._batch = list(self._batch), []
+        if not batch:
+            return []
+        session = self.connection.session
+        statement = self._plan.statement
+        _EXECUTIONS.increment()
+        if isinstance(statement, (ast.Insert, ast.Update, ast.Delete)):
+            try:
+                return list(session.execute_batch(self.sql, batch))
+            except errors.SQLException as exc:
+                raise BatchUpdateError(
+                    f"batch of {len(batch)} parameter row(s) failed "
+                    f"atomically: {exc.message}",
+                    [],
+                ) from exc
+        if isinstance(statement, (ast.Select, ast.SetOperation)):
+            raise errors.DataError("queries are not allowed in a batch")
         counts: List[int] = []
-        try:
-            for params in self._batch:
+
+        def run() -> List[int]:
+            for params in batch:
                 result = self._plan.execute(params)
                 if result.is_rowset:
                     raise errors.DataError(
                         "queries are not allowed in a batch"
                     )
                 counts.append(result.update_count)
-            if (
-                self.connection.autocommit
-                and self.connection.session.transaction_log.active
-            ):
-                self.connection.session.commit()
+            return counts
+
+        try:
+            return _run_batch_atomically(self.connection, run)
         except errors.SQLException as exc:
-            self._batch.clear()
-            error = BatchUpdateError(
+            raise BatchUpdateError(
                 f"batch failed after {len(counts)} statement(s): "
                 f"{exc.message}",
                 counts,
-            )
-            error.__cause__ = exc
-            raise error from exc
-        self._batch.clear()
-        return counts
+            ) from exc
 
     def _param_list(self) -> List[Any]:
         if not self._params:

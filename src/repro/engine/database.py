@@ -48,6 +48,10 @@ __all__ = ["Database", "Session", "StatementResult", "PreparedStatementPlan"]
 _ROWS_RETURNED = _metrics.registry.counter("rows.returned")
 _STATEMENT_SECONDS = _metrics.registry.histogram("statement.seconds")
 _STATEMENT_COUNTERS: dict = {}
+#: Batch fast-path traffic: batches executed and parameter rows bound
+#: through them; ``batch.rows / batch.executed`` is the mean batch size.
+_BATCH_EXECUTED = _metrics.registry.counter("batch.executed")
+_BATCH_ROWS = _metrics.registry.counter("batch.rows")
 
 #: Statement kinds that may run concurrently under the database's
 #: shared lock.  With MVCC row versioning this is everything except
@@ -632,6 +636,7 @@ class Session:
         rows: int = 0,
         error_sqlstate: Optional[str] = None,
         cache_hit: bool = False,
+        batch_rows: Optional[int] = None,
     ) -> None:
         """Finish one statement's statistics: emit a slow-query record
         when the statement crossed the threshold, then fold the
@@ -657,6 +662,7 @@ class Session:
                 rows=rows,
                 context=context,
                 error_sqlstate=error_sqlstate,
+                batch_rows=batch_rows,
             )
         self._stats_record(
             sql_text,
@@ -949,6 +955,160 @@ class Session:
             )
         return result
 
+    def execute_batch(
+        self,
+        sql: str,
+        param_rows: Sequence[Sequence[Any]],
+    ) -> List[int]:
+        """Execute one DML statement against many parameter rows as a
+        single atomic unit.
+
+        This is the engine end of ``executemany`` / JDBC
+        ``executeBatch``: the statement is parsed once, ``INSERT ...
+        VALUES`` batches take the bulk heap path
+        (:func:`repro.engine.dml.execute_insert_batch` — one
+        ``mutation_lock`` span, amortized unique checks, one deferred
+        index pass), and durability writes ONE logical WAL record for
+        the whole batch, so group commit fsyncs once per batch.
+
+        The batch is one statement for every purpose that matters:
+
+        * **atomicity** — any failure rolls back every row of the batch
+          (statement-level rollback to the batch's start); in
+          autocommit mode nothing is committed, inside an explicit
+          transaction the surrounding transaction stays open and
+          undisturbed;
+        * **observability** — one ``repro_stats.statements`` entry with
+          the total affected-row count, one slow-query record carrying
+          the batch size and per-row mean.
+
+        Returns the per-parameter-row affected counts (JDBC
+        ``updateCounts``).
+        """
+        self._check_open()
+        from repro.engine import dml
+
+        rows = [list(row) for row in param_rows]
+        if not rows:
+            return []
+        statement = Parser(sql, self.dialect).parse_statement()
+        if not isinstance(statement, (ast.Insert, ast.Update, ast.Delete)):
+            raise errors.FeatureNotSupportedError(
+                "execute_batch supports only INSERT, UPDATE and DELETE "
+                "statements"
+            )
+        counter = _STATEMENT_COUNTERS.get(statement.__class__)
+        if counter is None:
+            counter = _statement_counter(statement.__class__)
+        counter.increment()
+        _BATCH_EXECUTED.increment()
+        _BATCH_ROWS.increment(len(rows))
+        fast_insert = isinstance(statement, ast.Insert) and isinstance(
+            statement.source, ast.ValuesSource
+        )
+        tracer = _tracing.current
+        collect = _stats.enabled
+        context = _stats.begin() if collect else None
+        start = _perf_counter() if (tracer.enabled or collect) else 0.0
+        span = (
+            tracer.span("statement", sql=sql, batch=len(rows))
+            if tracer.enabled
+            else contextlib.nullcontext()
+        )
+        lock = self.database.lock
+        pending: Optional[int] = None
+        counts: List[int] = []
+        try:
+            with span:
+                while True:
+                    try:
+                        with lock.read():
+                            mark = self.transaction_log.position()
+                            counts = []
+                            try:
+                                if fast_insert:
+                                    counts = dml.execute_insert_batch(
+                                        statement, self, rows
+                                    )
+                                else:
+                                    # UPDATE / DELETE / INSERT..SELECT:
+                                    # no bulk heap path, but the parse,
+                                    # the WAL record and the commit are
+                                    # still amortized over the batch.
+                                    for row_params in rows:
+                                        result = self._dispatch(
+                                            statement, row_params
+                                        )
+                                        counts.append(result.update_count)
+                                    self.after_mutation(rows=sum(counts))
+                                self._log_durable_batch(
+                                    statement, rows, sql
+                                )
+                            except BaseException:
+                                # All-or-nothing: back out every row of
+                                # the batch before propagating.
+                                if self.transaction_log.position() > mark:
+                                    self.transaction_log \
+                                        .rollback_to_position(mark)
+                                if (
+                                    self.autocommit
+                                    and self._routine_depth == 0
+                                ):
+                                    self._end_mvcc(commit=False)
+                                raise
+                            if (
+                                self.autocommit
+                                and self._routine_depth == 0
+                            ):
+                                committed = self._commit_all()
+                                if committed is not None:
+                                    pending = committed
+                            else:
+                                txn = self._mvcc_txn
+                                if txn is not None:
+                                    txn.pristine = False
+                        break
+                    except WriteConflict as conflict:
+                        if self.database.lock.held_exclusive_by_me():
+                            raise errors.SerializationFailureError(
+                                "write-write conflict inside an "
+                                "exclusive statement; roll back and "
+                                "retry the transaction"
+                            ) from None
+                        self._wait_for_conflict(conflict.blocker)
+                if pending is not None:
+                    # fsync after the engine lock is released so
+                    # concurrent committers share one group-commit
+                    # flush — one barrier for the whole batch.
+                    self._after_commit(pending)
+        except errors.SQLException as exc:
+            _metrics.increment(f"errors.{exc.sqlstate}")
+            if context is not None:
+                self._record_statement(
+                    context,
+                    sql,
+                    _perf_counter() - start,
+                    error_sqlstate=exc.sqlstate,
+                    batch_rows=len(rows),
+                )
+                context = None
+            raise
+        except BaseException:
+            if context is not None:
+                _stats.abandon(context)
+            raise
+        if tracer.enabled:
+            _STATEMENT_SECONDS.observe(_perf_counter() - start)
+        if context is not None:
+            self._record_statement(
+                context,
+                sql,
+                _perf_counter() - start,
+                rows=sum(counts),
+                batch_rows=len(rows),
+            )
+        return counts
+
     def _dispatch_traced(
         self, statement: ast.Statement, params: Sequence[Any]
     ) -> StatementResult:
@@ -1156,6 +1316,36 @@ class Session:
             )
             return None
         return None  # reads, EXPLAIN, COMMIT/ROLLBACK (logged as markers)
+
+    def _log_durable_batch(
+        self,
+        statement: ast.Statement,
+        param_rows: Sequence[Sequence[Any]],
+        sql: Optional[str],
+    ) -> None:
+        """Append ONE logical redo record for a whole executed batch.
+
+        The record carries the statement text plus every parameter row,
+        so a batch of N rows costs one WAL append (and, at commit, one
+        group-commit fsync barrier) instead of N statement records.
+        Recovery replays the batch through :meth:`execute_batch`, which
+        restores its all-or-nothing semantics.
+        """
+        durability = self.database.durability
+        if durability is None or self._routine_depth > 0:
+            return
+        open_txn = self._mvcc_txn
+        snapshot = (
+            open_txn.snapshot_seq
+            if open_txn is not None
+            else self.database.transactions.commit_seq
+        )
+        text = sql if sql is not None else self._render_for_log(statement)
+        if self._durable_txn is None:
+            self._durable_txn = durability.begin()
+        durability.log_batch(
+            self._durable_txn, self.user, text, param_rows, snapshot
+        )
 
     def _render_for_log(self, statement: ast.Statement) -> str:
         from repro.engine.render import render_statement

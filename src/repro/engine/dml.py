@@ -28,7 +28,12 @@ from repro.engine.storage import RowStore, store_value
 from repro.engine.virtual import VirtualTable
 from repro.sqltypes import ObjectType
 
-__all__ = ["execute_insert", "execute_update", "execute_delete"]
+__all__ = [
+    "execute_insert",
+    "execute_insert_batch",
+    "execute_update",
+    "execute_delete",
+]
 
 
 def _check_not_null(column: Column, value: Any, table: Table) -> None:
@@ -128,6 +133,80 @@ def _check_unique(
                 raise errors.UniqueViolationError(message)
 
 
+def _check_unique_batch(
+    table: Table, rows: List[List[Any]], txn: MvccTransaction
+) -> None:
+    """Batch-amortized unique check: one heap pass per UNIQUE column.
+
+    Runs as the ``precondition`` of :meth:`RowStore.insert_many`, under
+    the table's mutation lock and *before* any of ``rows`` is appended,
+    so a violation leaves the heap untouched (all-or-nothing).
+
+    Semantics match :func:`_check_unique` exactly — same skip rules,
+    same :class:`WriteConflict` escalation for in-flight colliders —
+    but the cost is O(heap + batch) per unique column instead of
+    O(heap × batch): live values are folded into a dict once and each
+    new row is a hash probe, with a batch-local ``seen`` set catching
+    intra-batch duplicates.  Values that cannot be hashed (or whose
+    equality may disagree with ``compare_values``) fall back to the
+    per-row linear check.
+    """
+    unique_positions = _unique_columns(table)
+    if not unique_positions:
+        return
+
+    def fallback() -> None:
+        for row in rows:
+            _check_unique(table, row, txn, extra_rows=rows)
+
+    heap = list(table.versions)
+    for position in unique_positions:
+        column = table.columns[position]
+        label = "PRIMARY KEY" if column.primary_key else "UNIQUE"
+        message = (
+            f"duplicate value for {label} column "
+            f"{column.name!r} of table {table.name!r}"
+        )
+        live: dict = {}
+        try:
+            for version in heap:
+                if version.end is not None:
+                    continue  # committed-deleted: slot is free
+                if version.xmax == txn.id:
+                    continue  # being deleted/replaced by this txn
+                value = version.row[position]
+                if value is None:
+                    continue  # NULLs never collide
+                live[value] = version
+        except TypeError:
+            return fallback()  # unhashable stored value
+        seen: set = set()
+        for row in rows:
+            value = row[position]
+            if value is None:
+                continue
+            try:
+                collider = live.get(value)
+                duplicate_in_batch = value in seen
+                seen.add(value)
+            except TypeError:
+                return fallback()  # unhashable batch value
+            if duplicate_in_batch:
+                raise errors.UniqueViolationError(message)
+            if collider is None:
+                continue
+            if collider.begin is None and collider.xmin != txn.id:
+                # Another transaction's uncommitted insert: wait for
+                # it — only then do we know whether this is a
+                # duplicate or a free slot.
+                raise WriteConflict(collider.xmin)
+            if collider.xmax is not None and collider.begin is not None:
+                # Committed row claimed by a live transaction that may
+                # be deleting it; wait for the claimant.
+                raise WriteConflict(collider.xmax)
+            raise errors.UniqueViolationError(message)
+
+
 def _default_value(
     column: Column, session: Any, params: Sequence[Any]
 ) -> Any:
@@ -205,6 +284,80 @@ def execute_insert(
         inserted += 1
     session.after_mutation(rows=inserted)
     return inserted
+
+
+def execute_insert_batch(
+    stmt: ast.Insert,
+    session: Any,
+    param_rows: Sequence[Sequence[Any]],
+) -> List[int]:
+    """Bulk ``INSERT ... VALUES`` fast path: one parse, one plan, one
+    heap pass.
+
+    Executes the already-parsed statement once per parameter row, but
+    amortizes every per-statement cost over the batch: the VALUES
+    expressions are compiled once, all rows are built up front, the
+    unique check is one heap pass per constrained column
+    (:func:`_check_unique_batch`), and every version lands in the heap
+    under a single ``mutation_lock`` acquisition with one deferred
+    index-maintenance pass (:meth:`RowStore.insert_many`).
+
+    Returns the per-parameter-row insert counts (JDBC
+    ``executeBatch``-style ``updateCounts``).  Any failure — constraint
+    violation, coercion error, injected fault — propagates with the
+    heap untouched, so the caller's statement-level rollback makes the
+    batch all-or-nothing.
+    """
+    table = session.catalog.get_table(stmt.table)
+    session.check_table_privilege("INSERT", stmt.table)
+    _reject_virtual(table)
+
+    if stmt.columns is None:
+        target_positions = list(range(len(table.columns)))
+    else:
+        target_positions = [
+            table.column_position(name) for name in stmt.columns
+        ]
+        if len(set(target_positions)) != len(target_positions):
+            raise errors.SQLSyntaxError(
+                "duplicate column in INSERT column list"
+            )
+
+    source = stmt.source
+    if not isinstance(source, ast.ValuesSource):
+        raise errors.FeatureNotSupportedError(
+            "batch INSERT requires a VALUES source"
+        )
+    compiler = ExpressionCompiler(RowShape([]), session)
+    compiled_rows = []
+    for value_row in source.rows:
+        if len(value_row) != len(target_positions):
+            raise errors.SQLSyntaxError(
+                f"INSERT expects {len(target_positions)} values, "
+                f"got {len(value_row)}"
+            )
+        compiled_rows.append(
+            [compiler.compile(expr).fn for expr in value_row]
+        )
+
+    built: List[List[Any]] = []
+    counts: List[int] = []
+    for params in param_rows:
+        for value_fns in compiled_rows:
+            env = Env([], params, None, session)
+            values = [fn(env) for fn in value_fns]
+            built.append(
+                _build_row(table, target_positions, values, session, params)
+            )
+        counts.append(len(compiled_rows))
+
+    store = RowStore(table, session)
+    store.insert_many(
+        built,
+        precondition=lambda: _check_unique_batch(table, built, store.txn),
+    )
+    session.after_mutation(rows=len(built))
+    return counts
 
 
 def _build_row(

@@ -62,6 +62,7 @@ from repro.engine.persistence import (
 )
 from repro.engine.wal import (
     KIND_ABORT,
+    KIND_BATCH,
     KIND_COMMIT,
     KIND_STATEMENT,
     WalRecord,
@@ -163,6 +164,34 @@ class DurabilityManager:
         record = WalRecord(
             self._alloc_seq(), KIND_STATEMENT, txn,
             (user, sql, tuple(params or ()), snapshot_seq),
+        )
+        self.wal.append(record)
+
+    def log_batch(
+        self,
+        txn: int,
+        user: str,
+        sql: str,
+        param_rows: Any,
+        snapshot_seq: int = 0,
+    ) -> None:
+        """Append ONE redo record for a whole executed batch.
+
+        ``param_rows`` is the full sequence of parameter rows bound
+        against ``sql`` by :meth:`Session.execute_batch`.  A batch of N
+        rows therefore costs one WAL append (plus the transaction's
+        commit marker) instead of N statement records, and recovery
+        replays it through the same batch path — atomically, so a
+        crash can never surface a partial batch.
+        """
+        record = WalRecord(
+            self._alloc_seq(), KIND_BATCH, txn,
+            (
+                user,
+                sql,
+                tuple(tuple(row) for row in param_rows),
+                snapshot_seq,
+            ),
         )
         self.wal.append(record)
 
@@ -378,7 +407,7 @@ def _replay(database: Database, records, last_seq: int) -> int:
                 if record.txn not in aborted:
                     lost.add(record.txn)
                 continue
-            if record.kind == KIND_STATEMENT:
+            if record.kind in (KIND_STATEMENT, KIND_BATCH):
                 # v2 records carry the original snapshot as a fourth
                 # element; legacy 3-tuples replay on the current
                 # counter, which is equivalent for serial pre-MVCC logs.
@@ -395,7 +424,16 @@ def _replay(database: Database, records, last_seq: int) -> int:
                 if session._mvcc_txn is None:
                     session._forced_snapshot = snapshot
                 with session.impersonate(user):
-                    session.execute(sql, list(params))
+                    if record.kind == KIND_BATCH:
+                        # One logical record for a whole batch: replay
+                        # it through the batch path so the restored
+                        # heap gets the same all-or-nothing semantics
+                        # the original execution had.
+                        session.execute_batch(
+                            sql, [list(row) for row in params]
+                        )
+                    else:
+                        session.execute(sql, list(params))
             elif record.kind == KIND_COMMIT:
                 session = sessions.pop(record.txn, None)
                 if session is not None:

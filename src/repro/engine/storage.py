@@ -232,6 +232,53 @@ class RowStore:
         self.log.record(undo)
         return version
 
+    def insert_many(
+        self,
+        rows: List[List[Any]],
+        precondition: Optional[Callable[[], None]] = None,
+    ) -> List[RowVersion]:
+        """Append provisional versions of every row in one lock span.
+
+        The batch counterpart of :meth:`insert`: the table's mutation
+        lock is taken once for the whole batch, ``precondition`` (the
+        batch-amortized unique check) runs before *any* append so a
+        violation leaves the heap untouched, and secondary-index
+        maintenance is one deferred pass over the new versions instead
+        of an interleaved per-row update.  A single undo action backs
+        out the entire batch, so statement-level rollback is one
+        closure regardless of batch size.
+        """
+        faultpoints.trigger("storage.insert")
+        txn = self.txn
+        versions = [
+            RowVersion(row, xmin=txn.id, begin=None) for row in rows
+        ]
+        with self.table.mutation_lock:
+            if precondition is not None:
+                precondition()
+            self.table.versions.extend(versions)
+            for version in versions:
+                self._index_add(version)
+        created = txn.created
+        for version in versions:
+            created.add(version)
+        _ROWS_MUTATED.increment(len(versions))
+
+        def undo(batch=versions, store=self) -> None:
+            with store.table.mutation_lock:
+                doomed = {id(v) for v in batch}
+                store.table.versions[:] = [
+                    v for v in store.table.versions
+                    if id(v) not in doomed
+                ]
+                for v in batch:
+                    store._index_remove(v)
+            for v in batch:
+                store.txn.created.discard(v)
+
+        self.log.record(undo)
+        return versions
+
     def claim(self, version: RowVersion) -> None:
         """Write-claim ``version`` for deletion or replacement.
 

@@ -26,7 +26,9 @@ Each record is length-prefixed and checksummed::
     "snapshot installed" and "log truncated".
 ``kind``
     ``"stmt"`` (redo: ``data = (user, sql, params, snapshot_seq)``;
-    legacy logs carry 3-tuples without the MVCC snapshot), ``"commit"``
+    legacy logs carry 3-tuples without the MVCC snapshot), ``"batch"``
+    (redo: ``data = (user, sql, param_rows, snapshot_seq)`` — one
+    logical record for a whole batch execution), ``"commit"``
     (``data`` = the MVCC commit stamp, or ``None`` for read-only and
     legacy commits) or ``"abort"`` (``data = None``).  Commit markers
     are appended in commit-stamp order (the session layer holds the
@@ -92,8 +94,12 @@ _WAL_FSYNCS = _metrics.registry.counter("wal.fsyncs")
 _WAL_BATCH = _metrics.registry.histogram("wal.group_commit.batch")
 
 #: Record kinds.  ``stmt`` carries ``(user, sql, params, snapshot_seq)``
-#: redo data; ``commit`` carries the MVCC commit stamp (or None).
+#: redo data; ``batch`` carries ``(user, sql, param_rows, snapshot_seq)``
+#: — ONE logical record for a whole ``execute_batch`` (N parameter rows
+#: bound against one statement, replayed atomically); ``commit`` carries
+#: the MVCC commit stamp (or None).
 KIND_STATEMENT = "stmt"
+KIND_BATCH = "batch"
 KIND_COMMIT = "commit"
 KIND_ABORT = "abort"
 

@@ -115,13 +115,17 @@ def maybe_log(
     context: Any = None,
     error_sqlstate: Optional[str] = None,
     source: str = "engine",
+    batch_rows: Optional[int] = None,
 ) -> bool:
     """Emit a record when ``seconds`` crosses the session's threshold.
 
     Returns True when a record was written.  ``context`` is the
     statement's :class:`repro.observability.stats.StatementContext`
     (wait breakdown) when the engine has one; remote/client callers
-    pass None and get a record without waits.
+    pass None and get a record without waits.  ``batch_rows`` is the
+    parameter-row count of a batch execution; the record then carries
+    the batch size and the per-row mean so a slow 10k-row bulk load is
+    distinguishable from a slow single statement.
     """
     threshold = effective_threshold(session)
     if threshold is None:
@@ -149,6 +153,9 @@ def maybe_log(
         "duration_ms": duration_ms,
         "rows": rows,
     }
+    if batch_rows is not None and batch_rows > 0:
+        record["batch_rows"] = batch_rows
+        record["per_row_ms"] = duration_ms / batch_rows
     if context is not None:
         breakdown = _stats.wait_breakdown(context)
         record["rows_scanned"] = breakdown.pop("rows_scanned")

@@ -14,7 +14,7 @@ import datetime
 import decimal
 import importlib
 import os
-from typing import Any, Optional, Sequence, Tuple, Type
+from typing import Any, List, Optional, Sequence, Tuple, Type
 
 from repro import errors
 from repro.engine.database import StatementResult
@@ -33,6 +33,7 @@ from repro.runtime.iterators import (
 __all__ = [
     "load_profile",
     "execute",
+    "execute_batch",
     "query",
     "fetch",
     "scalar",
@@ -137,6 +138,31 @@ def execute(
     if not _tracing.current.enabled:
         return _context_for(context).execute_entry(profile, index, params)
     return _run_entry("sqlj.execute", profile, index, context, params)
+
+
+def execute_batch(
+    profile: Profile,
+    index: int,
+    context: Optional[ConnectionContext],
+    param_rows: Sequence[Sequence[Any]],
+) -> List[int]:
+    """Execute an UPDATE-role clause once per parameter row, atomically.
+
+    The translator emits this for ``#sql`` clauses inside loops it can
+    prove are pure binds: the generated code collects each iteration's
+    parameter tuple into a list and ships the whole list here after the
+    loop.  The rows go through ``session.execute_batch`` — one parse,
+    one transaction (all rows commit or roll back together), one logical
+    WAL record and fsync barrier, and over ``repro://`` one round trip.
+    Returns the per-row update counts.
+    """
+    resolved = _context_for(context)
+    if not _tracing.current.enabled:
+        return resolved.execute_batch_entry(profile, index, param_rows)
+    with _tracing.current.span(
+        "sqlj.execute_batch", entry=index, rows=len(param_rows)
+    ):
+        return resolved.execute_batch_entry(profile, index, param_rows)
 
 
 def query(

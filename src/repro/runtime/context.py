@@ -15,7 +15,7 @@ mirroring ``sqlj.runtime.ref.DefaultContext``.
 from __future__ import annotations
 
 import warnings
-from typing import Any, Dict, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro import errors
 from repro.engine.database import Database, Session, StatementResult
@@ -195,6 +195,31 @@ class ConnectionContext:
             result = self.connected_profile(profile).execute(index, params)
         self.execution_context.record(result)
         return result
+
+    def execute_batch_entry(
+        self,
+        profile: Profile,
+        index: int,
+        param_rows: Sequence[Sequence[Any]],
+    ) -> List[int]:
+        """Run one UPDATE-role entry against every parameter row as a
+        single atomic batch (the translator's loop-batching target).
+
+        Bypasses the per-entry RTStatement cache and hands the entry's
+        canonical SQL plus all rows to ``session.execute_batch`` in one
+        call; the execution context's update count reflects the whole
+        batch.  An empty row list executes nothing.
+        """
+        self._check_open()
+        _CLAUSES.increment()
+        rows = [list(row) for row in param_rows]
+        if not rows:
+            self.execution_context.update_count = 0
+            return []
+        entry = profile.get_entry(index)
+        counts = list(self.session.execute_batch(entry.sql, rows))
+        self.execution_context.update_count = sum(counts)
+        return counts
 
     # ------------------------------------------------------------------
     # transactions / lifecycle

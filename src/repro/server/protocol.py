@@ -93,6 +93,7 @@ __all__ = [
     "MSG_CANCEL",
     "MSG_GOODBYE",
     "MSG_ERROR",
+    "MSG_EXECUTE_BATCH",
     "MESSAGE_NAMES",
     "encode_frame",
     "decode_payload",
@@ -131,6 +132,7 @@ MSG_OK = 12
 MSG_CANCEL = 13
 MSG_GOODBYE = 14
 MSG_ERROR = 15
+MSG_EXECUTE_BATCH = 16
 
 MESSAGE_NAMES = {
     MSG_HELLO: "HELLO",
@@ -148,6 +150,7 @@ MESSAGE_NAMES = {
     MSG_CANCEL: "CANCEL",
     MSG_GOODBYE: "GOODBYE",
     MSG_ERROR: "ERROR",
+    MSG_EXECUTE_BATCH: "EXECUTE_BATCH",
 }
 
 

@@ -50,6 +50,7 @@ from repro.server.protocol import (
     MSG_COMMIT,
     MSG_ERROR,
     MSG_EXECUTE,
+    MSG_EXECUTE_BATCH,
     MSG_FETCH,
     MSG_GOODBYE,
     MSG_HELLO,
@@ -466,6 +467,8 @@ class ReproServer:
         session = conn.session
         if msg_type == MSG_EXECUTE:
             return await self._do_execute(conn, payload or {})
+        if msg_type == MSG_EXECUTE_BATCH:
+            return await self._do_execute_batch(conn, payload or {})
         if msg_type == MSG_FETCH:
             _FETCHES.increment()
             return self._do_fetch(conn, payload or {})
@@ -554,6 +557,71 @@ class ReproServer:
             # the response, as real servers racing a cancel packet do.
             raise errors.QueryCanceledError("statement cancelled")
         return MSG_RESULT, self._result_payload(conn, result)
+
+    async def _do_execute_batch(
+        self, conn: _ClientConnection, payload: Dict[str, Any]
+    ) -> Tuple[int, Any]:
+        """One EXECUTE_BATCH frame = one engine ``execute_batch`` call.
+
+        The whole parameter-row set arrives in a single frame, runs as
+        one atomic statement in the engine (one parse, one WAL record,
+        one fsync barrier), and answers with one RESULT frame carrying
+        the per-row counts — a 10k-row ingest is one round trip.
+        """
+        seq = payload.get("seq")
+        if self._consume_cancel(conn, seq):
+            raise errors.QueryCanceledError(
+                "statement cancelled before execution"
+            )
+        sql = payload.get("sql", "")
+        param_rows = payload.get("params") or []
+        trace = payload.get("trace")
+        start = time.perf_counter()
+        tracer = _tracing.current
+        if tracer.enabled:
+            session = conn.session
+            session_id = conn.session_id
+
+            def traced_batch() -> Any:
+                span = _tracing.current.span(
+                    "server.execute_batch",
+                    sql=sql,
+                    session=session_id,
+                    batch=len(param_rows),
+                )
+                if isinstance(trace, dict) and trace.get("trace_id"):
+                    span.set_remote_parent(
+                        str(trace["trace_id"]),
+                        str(trace["span_id"])
+                        if trace.get("span_id") else None,
+                    )
+                with span:
+                    return session.execute_batch(sql, param_rows)
+
+            counts = await self._run_engine(traced_batch)
+        else:
+            counts = await self._run_engine(
+                conn.session.execute_batch, sql, param_rows
+            )
+        _metrics.observe(
+            "server.execute.seconds", time.perf_counter() - start
+        )
+        if self._consume_cancel(conn, seq):
+            raise errors.QueryCanceledError("statement cancelled")
+        return MSG_RESULT, {
+            "kind": "update",
+            "update_count": sum(counts),
+            "update_counts": list(counts),
+            "out_values": [],
+            "result_sets": [],
+            "function_value": None,
+            "columns": [],
+            "shape": None,
+            "rows": [],
+            "row_count": 0,
+            "cursor": None,
+            "in_txn": self._in_txn(conn.session),
+        }
 
     def _do_fetch(
         self, conn: _ClientConnection, payload: Dict[str, Any]

@@ -53,6 +53,29 @@ SIGNATURES = [
         "repro.DriverManager.get_pool",
         lambda repro: repro.DriverManager.get_pool,
     ),
+    # batch / bulk-load fast path
+    (
+        "repro.Connection.cursor",
+        lambda repro: repro.Connection.cursor,
+    ),
+    (
+        "repro.dbapi.Cursor.executemany",
+        lambda repro: __import__(
+            "repro.dbapi", fromlist=["Cursor"]
+        ).Cursor.executemany,
+    ),
+    (
+        "repro.dbapi.PreparedStatement.execute_batch",
+        lambda repro: __import__(
+            "repro.dbapi", fromlist=["PreparedStatement"]
+        ).PreparedStatement.execute_batch,
+    ),
+    (
+        "repro.engine.database.Session.execute_batch",
+        lambda repro: __import__(
+            "repro.engine.database", fromlist=["Session"]
+        ).Session.execute_batch,
+    ),
 ]
 
 
