@@ -22,7 +22,13 @@ writes ``BENCH_<date>.json`` next to this file:
 * **bulk_load** — star-schema ingest through the batch fast path
   (``executemany`` / ``MSG_EXECUTE_BATCH``) vs per-row INSERTs, local
   and over ``repro://`` (floor: >= 10x rows/sec full, >= 5x smoke, on
-  the weaker of the two paths; see ``bench_bulk_load.py``).
+  the weaker of the two paths; see ``bench_bulk_load.py``);
+* **planner** — cost-based vs rule-based planning of an adversarially
+  FROM-ordered star join (the rule-based fold starts with a dimension
+  cross product; the ANALYZE-informed planner reorders it away) —
+  also asserts ``EXPLAIN (FORMAT JSON)`` reports the rejected
+  FROM-order plan at a higher estimated cost (floor: >= 3x, smoke and
+  full; see ``bench_planner.py``).
 
 Each experiment records wall time, rows/sec, speedup, and the
 plan-cache hit rate observed during the run.
@@ -552,6 +558,16 @@ def _bench_bulk_load(facts: int) -> Dict[str, Any]:
     return bench_bulk_load(facts)
 
 
+def _bench_planner(facts: int, dims: int) -> Dict[str, Any]:
+    """Run the planner experiment (lives in ``bench_planner.py``)."""
+    try:
+        from benchmarks.bench_planner import bench_planner
+    except ImportError:
+        sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+        from bench_planner import bench_planner
+    return bench_planner(facts, dims)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -572,13 +588,15 @@ def main(argv=None) -> int:
                  "lookups": 200, "iterations": 500,
                  "commits": 64, "commit_threads": 8,
                  "server_requests": 256, "write_commits": 192,
-                 "bulk_facts": 300}
+                 "bulk_facts": 300,
+                 "planner_facts": 4000, "planner_dims": 200}
     else:
         sizes = {"join_rows": 10_000, "table_rows": 10_000,
                  "lookups": 500, "iterations": 2000,
                  "commits": 256, "commit_threads": 16,
                  "server_requests": 2048, "write_commits": 512,
-                 "bulk_facts": 2000}
+                 "bulk_facts": 2000,
+                 "planner_facts": 20_000, "planner_dims": 400}
 
     results = []
     for name, run in (
@@ -592,6 +610,8 @@ def main(argv=None) -> int:
         ("server_writes", lambda: bench_server_writes(
             sizes["write_commits"])),
         ("bulk_load", lambda: _bench_bulk_load(sizes["bulk_facts"])),
+        ("planner", lambda: _bench_planner(
+            sizes["planner_facts"], sizes["planner_dims"])),
     ):
         print(f"running {name} ...", flush=True)
         outcome = run()
@@ -645,6 +665,11 @@ def main(argv=None) -> int:
             f"< {bulk_floor:.0f}x floor (local "
             f"{by_name['bulk_load']['speedup_local']:.1f}x, remote "
             f"{by_name['bulk_load']['speedup_remote']:.1f}x)"
+        )
+    if by_name["planner"]["speedup"] < 3.0:
+        failures.append(
+            f"cost-based planner speedup "
+            f"{by_name['planner']['speedup']:.2f}x < 3x floor"
         )
     if not args.smoke:
         if by_name["hash_join"]["speedup"] < 10.0:

@@ -83,6 +83,19 @@ class Connection:
         return Cursor(self)
 
     # ------------------------------------------------------------------
+    # plan introspection
+    # ------------------------------------------------------------------
+    def explain(self, sql: str, params: Any = (), analyze: bool = False):
+        """The compiled plan for ``sql`` as a typed PlanNode tree.
+
+        Delegates to :meth:`repro.engine.database.Session.explain`;
+        ``analyze=True`` executes the query and attaches actual row
+        counts and per-operator times to the tree.
+        """
+        self._check_open()
+        return self.session.explain(sql, params, analyze=analyze)
+
+    # ------------------------------------------------------------------
     # transactions
     # ------------------------------------------------------------------
     @property

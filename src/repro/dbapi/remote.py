@@ -453,6 +453,24 @@ class RemoteSession:
     def prepare(self, sql: str) -> RemotePreparedPlan:
         return RemotePreparedPlan(self, sql)
 
+    def explain(self, sql: str, params: Sequence[Any] = (),
+                analyze: bool = False):
+        """The server-side plan for ``sql`` as a typed PlanNode tree.
+
+        Runs ``EXPLAIN (FORMAT JSON) <sql>`` over the wire — the JSON
+        document is plain protocol-v2 data — and rebuilds the
+        :class:`repro.engine.explain.PlanNode` tree client-side, so
+        local and remote sessions expose the same introspection API.
+        """
+        import json
+
+        from repro.engine.explain import PlanNode
+
+        options = "ANALYZE, FORMAT JSON" if analyze else "FORMAT JSON"
+        result = self.execute(f"EXPLAIN ({options}) {sql}", params)
+        document = json.loads(result.rows[0][0])
+        return PlanNode.from_dict(document["plan"])
+
     def commit(self) -> None:
         self._expect(MSG_COMMIT, None, MSG_OK)
 

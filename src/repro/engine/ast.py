@@ -25,7 +25,7 @@ __all__ = [
     "CreateView", "AlterTable", "CreateIndex", "Drop", "ParamDef",
     "CreateRoutine", "AttrDef", "MethodDef",
     "OrderingSpec", "CreateType", "Grant", "Revoke", "Call", "Commit",
-    "Explain", "Rollback", "Savepoint", "RollbackTo",
+    "Explain", "Analyze", "Rollback", "Savepoint", "RollbackTo",
     "ReleaseSavepoint", "QueryExpr",
 ]
 
@@ -489,6 +489,21 @@ class Explain(Statement):
 
     query: QueryExpr = None  # type: ignore[assignment]
     analyze: bool = False
+    #: output format: ``"text"`` (default) or ``"json"``
+    #: (``EXPLAIN (FORMAT JSON) ...``).
+    format: str = "text"
+
+
+@dataclass
+class Analyze(Statement):
+    """ANALYZE [<table>]: collect planner statistics.
+
+    Without a table name every base table visible to the session is
+    analyzed.  Results land in ``Catalog.statistics`` and bump the
+    catalog's ``stats_version`` so cached plans are re-costed.
+    """
+
+    table: Optional[str] = None
 
 
 @dataclass

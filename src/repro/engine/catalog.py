@@ -345,12 +345,37 @@ class Catalog:
         #: mutation (DDL, grants) bumps it; the plan cache and prepared
         #: statements compare it to detect stale plans.
         self.version = 0
+        #: table name -> TableStatistics written by ANALYZE
+        #: (:mod:`repro.engine.statistics`).
+        self.statistics: Dict[str, Any] = {}
+        #: monotonically increasing statistics version.  Separate from
+        #: ``version`` so ANALYZE invalidates cached *plans* without
+        #: looking like a schema change to prepared statements or DDL
+        #: consumers.
+        self.stats_version = 0
 
     def bump_version(self) -> int:
         """Record a schema/privilege change; returns the new version."""
         with self._lock:
             self.version += 1
             return self.version
+
+    # -- ANALYZE statistics ----------------------------------------------
+    def set_statistics(self, name: str, stats: Any) -> int:
+        """Publish ANALYZE output for table ``name``; bumps stats_version."""
+        with self._lock:
+            self.stats_version += 1
+            stats.version = self.stats_version
+            self.statistics[name] = stats
+            return self.stats_version
+
+    def get_statistics(self, name: str) -> Any:
+        return self.statistics.get(name)
+
+    def drop_statistics(self, name: str) -> None:
+        with self._lock:
+            if self.statistics.pop(name, None) is not None:
+                self.stats_version += 1
 
     # -- tables / views ---------------------------------------------------
     def create_table(self, table: Table) -> None:
@@ -374,6 +399,8 @@ class Catalog:
             for index in list(table.indexes):
                 self.indexes.pop(index.name, None)
             table.indexes = []
+            if self.statistics.pop(name, None) is not None:
+                self.stats_version += 1
             self.version += 1
             return table
 

@@ -27,7 +27,7 @@ from repro.observability import stats as _stats
 from repro.observability import tracing as _tracing
 from repro.engine import ast
 from repro.engine.catalog import Catalog, InstalledPar, Routine, \
-    UserDefinedType
+    Table, UserDefinedType
 from repro.engine.dialects import DIALECTS, STANDARD, Dialect
 from repro.engine.executor import QueryPlan
 from repro.engine.expressions import RowShape
@@ -66,6 +66,7 @@ _SHARED_STATEMENTS = (
     ast.Select,
     ast.SetOperation,
     ast.Explain,
+    ast.Analyze,
     ast.Insert,
     ast.Update,
     ast.Delete,
@@ -91,6 +92,10 @@ _DDL_STATEMENTS = (
     ast.Drop,
     ast.Grant,
     ast.Revoke,
+    # ANALYZE rides the same path: its statistics take effect at once
+    # and must survive recovery, so replay re-runs the collection
+    # against the recovered heaps.
+    ast.Analyze,
 )
 
 #: Statements that join the session's open durable transaction: their
@@ -124,7 +129,8 @@ class StatementResult:
     Attributes
     ----------
     kind:
-        ``"rowset"``, ``"update"``, ``"ddl"`` or ``"call"``.
+        ``"rowset"``, ``"update"``, ``"ddl"``, ``"call"`` or
+        ``"analyze"`` (``update_count`` = tables analyzed).
     rows / shape:
         Materialised rows and their :class:`RowShape` (rowset results).
     update_count:
@@ -190,13 +196,16 @@ class PreparedStatementPlan:
         self._query_plan, self._shape = plan_query(
             self.statement, self.session
         )
-        self._plan_version = self.session.catalog.version
+        catalog = self.session.catalog
+        self._plan_version = (catalog.version, catalog.stats_version)
 
     def _run_planned(self, params: Sequence[Any]) -> List[List[Any]]:
         """Execute under the already-held shared lock, replanning if the
         catalog changed since the statement was prepared (DDL between
-        executions: new indexes, dropped columns, revoked privileges)."""
-        if self._plan_version != self.session.catalog.version:
+        executions: new indexes, dropped columns, revoked privileges —
+        or ANALYZE, whose fresh statistics may cost a different plan)."""
+        catalog = self.session.catalog
+        if self._plan_version != (catalog.version, catalog.stats_version):
             self._replan()
         return self._query_plan.run(self.session, params)
 
@@ -688,7 +697,9 @@ class Session:
             # racing this peek can at worst force a replan, never a stale
             # execution.  peek (not get): the statement may turn out to
             # be uncacheable DML, which must not count as a miss.
-            entry = cache.peek(key, self.catalog.version)
+            entry = cache.peek(
+                key, self.catalog.version, self.catalog.stats_version
+            )
             if entry is not None:
                 return self._execute_query_cached(
                     sql, key, entry.statement, entry, params
@@ -750,13 +761,20 @@ class Session:
             mark = self.transaction_log.position()
             try:
                 version = self.catalog.version
-                if local is None or local.catalog_version != version:
+                stats_version = self.catalog.stats_version
+                if (
+                    local is None
+                    or local.catalog_version != version
+                    or local.stats_version != stats_version
+                ):
                     if timed:
                         with tracer.span("plan"):
                             plan, shape = plan_query(statement, self)
                     else:
                         plan, shape = plan_query(statement, self)
-                    local = CachedPlan(statement, plan, shape, version)
+                    local = CachedPlan(
+                        statement, plan, shape, version, stats_version
+                    )
                     cache.put(key, local)
                 if timed:
                     with tracer.span("execute"):
@@ -1173,6 +1191,8 @@ class Session:
             return self.database._execute_call(statement, self, params)
         if isinstance(statement, ast.Explain):
             return self._explain(statement, params)
+        if isinstance(statement, ast.Analyze):
+            return self._analyze(statement)
         if isinstance(statement, ast.Commit):
             self.commit()
             return StatementResult("ddl")
@@ -1192,37 +1212,143 @@ class Session:
             f"cannot execute {type(statement).__name__}"
         )
 
+    def _explain_tree(
+        self,
+        query: ast.QueryExpr,
+        params: Sequence[Any],
+        analyze: bool,
+    ) -> "tuple":
+        """Plan (and for ANALYZE, execute) ``query``; returns
+        ``(PlanNode, total_rows, total_seconds)`` — the latter two are
+        None unless ``analyze``.  Caller holds the shared lock."""
+        from repro.engine.explain import build_plan_tree
+
+        plan, _shape = plan_query(query, self)
+        if not analyze:
+            return build_plan_tree(plan.root), None, None
+        from repro.engine.executor import instrument_plan
+
+        # EXPLAIN ANALYZE plans its query freshly above, so in-place
+        # instrumentation never touches a cached plan.
+        instrumentation = instrument_plan(plan.root)
+        start = _perf_counter()
+        result_rows = plan.run(self, params)
+        elapsed = _perf_counter() - start
+        tree = build_plan_tree(plan.root, instrumentation)
+        return tree, len(result_rows), elapsed
+
     def _explain(
         self, statement: ast.Explain, params: Sequence[Any] = ()
     ) -> StatementResult:
-        from repro.engine.explain import format_plan
+        import json
+
+        from repro.engine.explain import format_plan_tree
         from repro.sqltypes import VarCharType
         from repro.engine.expressions import ColumnInfo
 
-        plan, _shape = plan_query(statement.query, self)
+        tree, total_rows, elapsed = self._explain_tree(
+            statement.query, params, statement.analyze
+        )
         shape = RowShape(
             [ColumnInfo(None, "query_plan", VarCharType(None))]
         )
+        if statement.format == "json":
+            document: dict = {"plan": tree.to_dict()}
+            if statement.analyze:
+                document["total_rows"] = total_rows
+                document["total_ms"] = elapsed * 1000.0
+            rows = [[json.dumps(document)]]
+            return StatementResult("rowset", rows=rows, shape=shape)
+        lines = format_plan_tree(tree)
         if statement.analyze:
-            from repro.engine.executor import instrument_plan
-
-            # EXPLAIN ANALYZE plans its query freshly above, so in-place
-            # instrumentation never touches a cached plan.
-            instrumentation = instrument_plan(plan.root)
-            start = _perf_counter()
-            result_rows = plan.run(self, params)
-            elapsed = _perf_counter() - start
-            lines = format_plan(
-                plan.root, annotate=instrumentation.annotate
-            )
             lines.append(
-                f"Total: rows={len(result_rows)} "
+                f"Total: rows={total_rows} "
                 f"time={elapsed * 1000.0:.3f} ms"
             )
-        else:
-            lines = format_plan(plan.root)
         rows = [[line] for line in lines]
         return StatementResult("rowset", rows=rows, shape=shape)
+
+    def explain(
+        self,
+        sql: str,
+        params: Sequence[Any] = (),
+        analyze: bool = False,
+    ) -> Any:
+        """Structured plan introspection: the typed :class:`PlanNode`
+        tree for ``sql`` (a query, or an EXPLAIN statement whose
+        options are honoured).
+
+        With ``analyze=True`` (or ``EXPLAIN ANALYZE`` text) the query
+        is executed through an instrumented plan and each node carries
+        actual row counts and times.  The tree includes the planner's
+        estimated rows/costs and the alternatives it rejected, when
+        ANALYZE statistics made a cost model available.
+        """
+        self._check_open()
+        statement = Parser(sql, self.dialect).parse_statement()
+        if isinstance(statement, ast.Explain):
+            query = statement.query
+            analyze = analyze or statement.analyze
+        elif isinstance(statement, (ast.Select, ast.SetOperation)):
+            query = statement
+        else:
+            raise errors.FeatureNotSupportedError(
+                "explain() takes a query (SELECT / set operation)"
+            )
+        with self.database.lock.read():
+            try:
+                tree, _rows, _elapsed = self._explain_tree(
+                    query, params, analyze
+                )
+            except BaseException:
+                self._after_read_statement(failed=True)
+                raise
+            self._after_read_statement()
+        return tree
+
+    def _analyze(self, statement: ast.Analyze) -> StatementResult:
+        """Collect planner statistics for one table or every base table.
+
+        Reads the session's MVCC snapshot (the same rows a SELECT would
+        see) and publishes per-table row counts, per-column NDV, null
+        fractions, min/max, and equi-width histograms into the catalog,
+        bumping its ``stats_version`` so cached plans are re-costed.
+        """
+        from repro.engine.statistics import collect_table_statistics
+        from repro.engine.virtual import VirtualTable
+
+        catalog = self.catalog
+        if statement.table is not None:
+            relation = catalog.get_relation(statement.table)
+            if not isinstance(relation, Table) or isinstance(
+                relation, VirtualTable
+            ):
+                raise errors.FeatureNotSupportedError(
+                    f"ANALYZE targets base tables; "
+                    f"{statement.table!r} is not one"
+                )
+            targets = [relation]
+        else:
+            targets = [
+                table
+                for table in catalog.tables.values()
+                if not isinstance(table, VirtualTable)
+            ]
+        txn = self.mvcc_txn
+        for table in targets:
+            self.check_table_privilege("SELECT", table.name)
+        for table in targets:
+            visible = [
+                version.row
+                for version in list(table.versions)
+                if txn.sees(version)
+            ]
+            stats = collect_table_statistics(
+                table, visible, analyzed_txn=txn.id
+            )
+            catalog.set_statistics(table.name, stats)
+        _metrics.increment("analyze.tables", len(targets))
+        return StatementResult("analyze", update_count=len(targets))
 
     def finish_rowset(
         self, rows: List[List[Any]], shape: RowShape

@@ -268,6 +268,13 @@ class HashJoin(Operator):
     be hashed (exotic Part 2 object, normally rejected at plan time)
     joins the ``loose`` list and is linearly probed; a probe row whose
     key cannot be hashed falls back to scanning all build rows.
+
+    ``build`` selects which child is materialised into the hash table:
+    ``"right"`` (the historical default) buckets the right child and
+    streams the left; ``"left"`` buckets the left child and streams the
+    right.  The cost-based planner picks the side with the smaller
+    estimated cardinality.  Output columns are always ``left + right``
+    regardless of build side; only row order differs.
     """
 
     def __init__(
@@ -281,6 +288,7 @@ class HashJoin(Operator):
         left_width: int,
         right_width: int,
         description: Optional[str] = None,
+        build: str = "right",
     ) -> None:
         self.kind = kind
         self.left = left
@@ -292,8 +300,66 @@ class HashJoin(Operator):
         self.right_width = right_width
         #: SQL rendering of the join keys, for EXPLAIN output.
         self.description = description
+        #: which child is hashed: ``"right"`` or ``"left"``.
+        self.build = build
 
     def rows(self, ctx: RuntimeContext) -> Iterator[List[Any]]:
+        if self.build == "left":
+            yield from self._rows_build_left(ctx)
+            return
+        yield from self._rows_build_right(ctx)
+
+    def _rows_build_left(self, ctx: RuntimeContext) -> Iterator[List[Any]]:
+        """Mirror image of the default path: hash left, stream right."""
+        left_rows = list(self.left.rows(ctx))
+        left_matched = [False] * len(left_rows)
+        null_right = [None] * self.right_width
+        null_left = [None] * self.left_width
+        predicate = self.predicate
+        kind = self.kind
+
+        buckets: Dict[tuple, List[Tuple[int, List[Any]]]] = {}
+        loose: List[Tuple[int, List[Any]]] = []
+        for index, left_row in enumerate(left_rows):
+            env = ctx.env(list(left_row) + null_right)
+            try:
+                key = tuple(
+                    sort_key(fn(env)) for fn in self.left_keys
+                )
+                if _NULL_SORT_KEY in key:
+                    continue
+                buckets.setdefault(key, []).append((index, left_row))
+            except TypeError:
+                loose.append((index, left_row))
+
+        for right_row in self.right.rows(ctx):
+            env = ctx.env(null_left + list(right_row))
+            try:
+                key = tuple(sort_key(fn(env)) for fn in self.right_keys)
+                if _NULL_SORT_KEY in key:
+                    candidates = loose
+                else:
+                    candidates = buckets.get(key, [])
+                    if loose:
+                        candidates = candidates + loose
+            except TypeError:
+                candidates = list(enumerate(left_rows))
+            matched = False
+            for index, left_row in candidates:
+                combined = list(left_row) + list(right_row)
+                if predicate is None or predicate(ctx.env(combined)):
+                    matched = True
+                    left_matched[index] = True
+                    yield combined
+            if not matched and kind in ("RIGHT", "FULL"):
+                yield null_left + list(right_row)
+
+        if kind in ("LEFT", "FULL"):
+            for index, left_row in enumerate(left_rows):
+                if not left_matched[index]:
+                    yield list(left_row) + null_right
+
+    def _rows_build_right(self, ctx: RuntimeContext) -> Iterator[List[Any]]:
         right_rows = list(self.right.rows(ctx))
         right_matched = [False] * len(right_rows)
         null_right = [None] * self.right_width

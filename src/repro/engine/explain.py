@@ -1,27 +1,37 @@
-"""EXPLAIN: textual rendering of compiled query plans.
+"""EXPLAIN: structured plan introspection plus text rendering.
 
-``EXPLAIN <query>`` returns one row per plan line, e.g.::
+The supported surface is the typed :class:`PlanNode` tree returned by
+``Session.explain(sql)`` (and the ``Connection`` / ``RemoteSession``
+duck-typed equivalents) and by ``EXPLAIN (FORMAT JSON) <query>``.  Each
+node carries the operator kind, a one-line description, the planner's
+estimated rows/cost (when ANALYZE statistics exist), actual rows/time
+when the plan was executed (EXPLAIN ANALYZE), and the alternatives the
+cost-based planner *rejected* with their estimated costs — so EXPLAIN
+can show why a plan won.
+
+Text EXPLAIN remains, as a formatter over the tree::
 
     Sort (1 key)
       Project
         Filter (sales > 100)
           SeqScan on emps
 
-Plans are rule-based and deterministic (see the planner), so EXPLAIN
-output is stable enough to assert on in tests.
-
 ``EXPLAIN ANALYZE <query>`` executes the query with an instrumented plan
-(:func:`repro.engine.executor.instrument_plan`) and renders the same
-tree through :func:`format_plan`'s ``annotate`` hook, appending each
-node's actual row count and cumulative time::
+(:func:`repro.engine.executor.instrument_plan`) and each line carries
+actual row counts and cumulative time::
 
     Project (4 columns) (actual rows=3 time=0.041 ms)
       SeqScan on emps (actual rows=10 time=0.012 ms)
+
+:func:`format_plan` (render straight from an operator tree) is kept as a
+deprecation shim for pre-PlanNode callers.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+import warnings
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.engine.executor import (
     Distinct,
@@ -41,7 +51,109 @@ from repro.engine.executor import (
 )
 from repro.engine.virtual import VirtualScan
 
-__all__ = ["describe_operator", "format_plan"]
+__all__ = [
+    "PlanAlternative",
+    "PlanNode",
+    "build_plan_tree",
+    "format_plan_tree",
+    "describe_operator",
+    "format_plan",
+]
+
+
+@dataclass
+class PlanAlternative:
+    """A plan choice the planner considered and rejected, with its cost."""
+
+    description: str
+    estimated_cost: Optional[float] = None
+    estimated_rows: Optional[float] = None
+    reason: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "description": self.description,
+            "estimated_cost": self.estimated_cost,
+            "estimated_rows": self.estimated_rows,
+            "reason": self.reason,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "PlanAlternative":
+        return cls(
+            description=data.get("description", ""),
+            estimated_cost=data.get("estimated_cost"),
+            estimated_rows=data.get("estimated_rows"),
+            reason=data.get("reason", ""),
+        )
+
+
+@dataclass
+class PlanNode:
+    """One node of a compiled plan, as surfaced to API consumers.
+
+    The tree is plain data — it serialises over protocol v2 (dicts,
+    lists, scalars) via :meth:`to_dict` / :meth:`from_dict`, which is
+    exactly what ``EXPLAIN (FORMAT JSON)`` emits.
+    """
+
+    kind: str
+    description: str
+    estimated_rows: Optional[float] = None
+    estimated_cost: Optional[float] = None
+    actual_rows: Optional[int] = None
+    actual_ms: Optional[float] = None
+    rejected: List[PlanAlternative] = field(default_factory=list)
+    children: List["PlanNode"] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "kind": self.kind,
+            "description": self.description,
+        }
+        if self.estimated_rows is not None:
+            data["estimated_rows"] = self.estimated_rows
+        if self.estimated_cost is not None:
+            data["estimated_cost"] = self.estimated_cost
+        if self.actual_rows is not None:
+            data["actual_rows"] = self.actual_rows
+        if self.actual_ms is not None:
+            data["actual_ms"] = self.actual_ms
+        if self.rejected:
+            data["rejected"] = [alt.to_dict() for alt in self.rejected]
+        data["children"] = [child.to_dict() for child in self.children]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "PlanNode":
+        return cls(
+            kind=data.get("kind", "?"),
+            description=data.get("description", ""),
+            estimated_rows=data.get("estimated_rows"),
+            estimated_cost=data.get("estimated_cost"),
+            actual_rows=data.get("actual_rows"),
+            actual_ms=data.get("actual_ms"),
+            rejected=[
+                PlanAlternative.from_dict(alt)
+                for alt in data.get("rejected", ())
+            ],
+            children=[
+                cls.from_dict(child)
+                for child in data.get("children", ())
+            ],
+        )
+
+    # -- traversal helpers (handy in tests and tooling) ----------------
+    def walk(self):
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, kind: str) -> Optional["PlanNode"]:
+        for node in self.walk():
+            if node.kind == kind:
+                return node
+        return None
 
 
 def describe_operator(operator: Operator) -> str:
@@ -69,7 +181,10 @@ def describe_operator(operator: Operator) -> str:
     if isinstance(operator, NestedLoopJoin):
         return f"NestedLoopJoin ({operator.kind})"
     if isinstance(operator, HashJoin):
-        line = f"HashJoin ({operator.kind})"
+        kind = operator.kind
+        if getattr(operator, "build", "right") == "left":
+            kind = f"{kind}, build=left"
+        line = f"HashJoin ({kind})"
         if operator.description:
             line = f"{line} ({operator.description})"
         return line
@@ -91,17 +206,105 @@ def describe_operator(operator: Operator) -> str:
     return type(operator).__name__
 
 
+def _coerce_alternative(alternative: Any) -> PlanAlternative:
+    if isinstance(alternative, PlanAlternative):
+        return alternative
+    if isinstance(alternative, dict):
+        return PlanAlternative.from_dict(alternative)
+    return PlanAlternative(description=str(alternative))
+
+
+def build_plan_tree(
+    operator: Operator,
+    instrumentation: Any = None,
+) -> PlanNode:
+    """Materialise the typed :class:`PlanNode` tree for an operator tree.
+
+    Planner cost annotations (``estimated_rows`` / ``estimated_cost`` /
+    ``rejected`` attributes the cost-based planner leaves on operators)
+    are lifted onto the nodes; when ``instrumentation`` (a
+    :class:`~repro.engine.executor.PlanInstrumentation`) is given,
+    actual row counts and times from an executed plan ride along too.
+    """
+    node = PlanNode(
+        kind=type(operator).__name__,
+        description=describe_operator(operator),
+        estimated_rows=getattr(operator, "estimated_rows", None),
+        estimated_cost=getattr(operator, "estimated_cost", None),
+        rejected=[
+            _coerce_alternative(alt)
+            for alt in getattr(operator, "rejected", ()) or ()
+        ],
+    )
+    if instrumentation is not None:
+        stats = instrumentation.stats_for(operator)
+        if stats is not None:
+            node.actual_rows = stats.rows_out
+            node.actual_ms = stats.seconds * 1000.0
+    node.children = [
+        build_plan_tree(child, instrumentation)
+        for child in operator_children(operator)
+    ]
+    return node
+
+
+def format_plan_tree(node: PlanNode, indent: int = 0) -> List[str]:
+    """Render a :class:`PlanNode` tree as indented lines, root first.
+
+    This is the text EXPLAIN output; estimates appear only when the
+    planner had statistics, actuals only for EXPLAIN ANALYZE, so plans
+    over un-ANALYZEd tables render exactly as they always have.
+    """
+    line = "  " * indent + node.description
+    if node.estimated_cost is not None:
+        rows = node.estimated_rows
+        rows_text = f" rows={rows:.0f}" if rows is not None else ""
+        line = f"{line} (cost={node.estimated_cost:.1f}{rows_text})"
+    if node.actual_rows is not None:
+        time_ms = node.actual_ms if node.actual_ms is not None else 0.0
+        line = (
+            f"{line} (actual rows={node.actual_rows} "
+            f"time={time_ms:.3f} ms)"
+        )
+    lines = [line]
+    for alternative in node.rejected:
+        alt_line = "  " * (indent + 1) + f"Rejected: {alternative.description}"
+        if alternative.estimated_cost is not None:
+            alt_line = f"{alt_line} (cost={alternative.estimated_cost:.1f})"
+        if alternative.reason:
+            alt_line = f"{alt_line} [{alternative.reason}]"
+        lines.append(alt_line)
+    for child in node.children:
+        lines.extend(format_plan_tree(child, indent + 1))
+    return lines
+
+
 def format_plan(
     operator: Operator,
     indent: int = 0,
     annotate: Optional[Callable[[Operator], Optional[str]]] = None,
 ) -> List[str]:
-    """Render the operator tree as indented lines, root first.
+    """Deprecated: render an operator tree directly as text lines.
 
-    ``annotate`` may return a per-node suffix (EXPLAIN ANALYZE passes
-    the instrumentation's actual-rows/timing summary); None or an empty
-    string leaves the line bare.
+    Kept for pre-PlanNode callers.  Use ``Session.explain(sql)`` for the
+    typed tree, or :func:`build_plan_tree` + :func:`format_plan_tree`
+    when you already hold an operator tree.  ``annotate`` may return a
+    per-node suffix; None or an empty string leaves the line bare.
     """
+    warnings.warn(
+        "format_plan() is deprecated; use Session.explain() or "
+        "build_plan_tree()/format_plan_tree()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _format_operator(operator, indent, annotate)
+
+
+def _format_operator(
+    operator: Operator,
+    indent: int = 0,
+    annotate: Optional[Callable[[Operator], Optional[str]]] = None,
+) -> List[str]:
     line = "  " * indent + describe_operator(operator)
     if annotate is not None:
         suffix = annotate(operator)
@@ -109,5 +312,5 @@ def format_plan(
             line = f"{line} ({suffix})"
     lines = [line]
     for child in operator_children(operator):
-        lines.extend(format_plan(child, indent + 1, annotate))
+        lines.extend(_format_operator(child, indent + 1, annotate))
     return lines

@@ -181,12 +181,29 @@ class Parser:
             # ANALYZE is not reserved; it arrives as a (lowercased)
             # identifier token.
             analyze = False
+            fmt = "text"
+            if (
+                self._at_op("(")
+                and self._peek().kind == Token.IDENT
+                and self._peek().value in ("analyze", "format")
+            ):
+                # EXPLAIN (option, ...) — e.g. EXPLAIN (FORMAT JSON).
+                # A parenthesised *query* always starts with SELECT or
+                # another paren, so the identifier lookahead is safe.
+                analyze, fmt = self._explain_options()
             if self.current.kind == Token.IDENT \
                     and self.current.value == "analyze":
                 self._advance()
                 analyze = True
             query = self._query_expression()
-            return ast.Explain(query, analyze=analyze)
+            return ast.Explain(query, analyze=analyze, format=fmt)
+        if self.current.kind == Token.IDENT \
+                and self.current.value == "analyze":
+            self._advance()
+            table = None
+            if self._at_identifier():
+                table = self._qualified_name()
+            return ast.Analyze(table)
         if self._at_keyword("ALTER"):
             return self._alter_table()
         if self._accept_keyword("COMMIT"):
@@ -212,6 +229,34 @@ class Parser:
         raise self._error(
             f"unrecognised statement start {self.current.value!r}"
         )
+
+    def _explain_options(self) -> "tuple[bool, str]":
+        """Parse the parenthesised EXPLAIN option list.
+
+        Supports ``ANALYZE`` and ``FORMAT {TEXT | JSON}``, comma
+        separated, in the PostgreSQL style: ``EXPLAIN (FORMAT JSON)
+        SELECT ...``.
+        """
+        self._expect_op("(")
+        analyze = False
+        fmt = "text"
+        while True:
+            option = self._expect_identifier("EXPLAIN option").lower()
+            if option == "analyze":
+                analyze = True
+            elif option == "format":
+                value = self._expect_identifier("format name").lower()
+                if value not in ("text", "json"):
+                    raise self._error(
+                        f"unsupported EXPLAIN format {value!r}"
+                    )
+                fmt = value
+            else:
+                raise self._error(f"unknown EXPLAIN option {option!r}")
+            if not self._accept_op(","):
+                break
+        self._expect_op(")")
+        return analyze, fmt
 
     def _accept_work(self) -> None:
         """Consume the optional WORK noise word after COMMIT/ROLLBACK."""

@@ -66,6 +66,9 @@ class _TableImage:
     rows: List[List[Any]]
     # (index name, column names); defaulted so pre-index images load.
     indexes: List[Tuple[str, List[str]]] = field(default_factory=list)
+    # ANALYZE statistics (a TableStatistics, or None when the table was
+    # never analyzed); defaulted so pre-statistics images load.
+    stats: Any = None
 
 
 @dataclass
@@ -213,6 +216,7 @@ def image_of(database: Database) -> DatabaseImage:
                     (index.name, list(index.column_names))
                     for index in table.indexes
                 ],
+                stats=catalog.get_statistics(table.name),
             )
         )
 
@@ -373,6 +377,9 @@ def restore_database(
         ):
             index = Index(index_name, table, list(column_names))
             catalog.create_index(index)
+        stats = getattr(table_image, "stats", None)
+        if stats is not None:
+            catalog.set_statistics(table.name, stats)
     for view_image in image.views:
         catalog.create_view(
             View(

@@ -4,8 +4,8 @@ Parsing and planning dominate the cost of small queries (the per-row
 work of a point lookup is a couple of dict probes, the plan for it is a
 few thousand lines of Python), so repeated statements pay for the same
 plan over and over.  This cache keys compiled query plans by
-``(sql, dialect, user)`` and tags each entry with the catalog version it
-was planned under:
+``(sql, dialect, user)`` and tags each entry with the catalog version
+*and statistics version* it was planned under:
 
 * **sql** — byte-exact statement text (no normalisation; two spellings
   of the same query are two entries);
@@ -15,6 +15,10 @@ was planned under:
 * **catalog version** — :class:`repro.engine.catalog.Catalog` bumps a
   monotonic counter on every DDL/GRANT/REVOKE mutation; an entry whose
   version is stale is evicted on lookup and the statement replans.
+* **stats version** — ANALYZE bumps the catalog's separate
+  ``stats_version`` counter; a cached plan chosen under old statistics
+  may be the wrong plan now (seqscan-vs-index crossover, join order),
+  so stale-stats entries are evicted and re-costed the same way.
 
 Only SELECT and set-operation statements are cached (by the session
 layer): DML re-binds names per execution, EXPLAIN must plan freshly so
@@ -50,7 +54,9 @@ CacheKey = Tuple[str, str, str]
 class CachedPlan:
     """One cached statement: parsed AST, compiled plan, output shape."""
 
-    __slots__ = ("statement", "plan", "shape", "catalog_version")
+    __slots__ = (
+        "statement", "plan", "shape", "catalog_version", "stats_version"
+    )
 
     def __init__(
         self,
@@ -58,11 +64,13 @@ class CachedPlan:
         plan: Any,
         shape: Any,
         catalog_version: int,
+        stats_version: int = 0,
     ) -> None:
         self.statement = statement
         self.plan = plan
         self.shape = shape
         self.catalog_version = catalog_version
+        self.stats_version = stats_version
 
 
 class PlanCache:
@@ -74,19 +82,26 @@ class PlanCache:
         self._lock = threading.Lock()
 
     def get(
-        self, key: CacheKey, catalog_version: int
+        self,
+        key: CacheKey,
+        catalog_version: int,
+        stats_version: int = 0,
     ) -> Optional[CachedPlan]:
         """Return a fresh entry for ``key``, or None (counting a miss).
 
-        An entry planned under an older catalog version is evicted here:
-        schema, index set, or privileges changed since it was built.
+        An entry planned under an older catalog version is evicted here
+        (schema, index set, or privileges changed since it was built),
+        as is one planned under older ANALYZE statistics.
         """
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
                 _MISSES.increment()
                 return None
-            if entry.catalog_version != catalog_version:
+            if (
+                entry.catalog_version != catalog_version
+                or entry.stats_version != stats_version
+            ):
                 del self._entries[key]
                 _EVICTIONS.increment()
                 _MISSES.increment()
@@ -96,7 +111,10 @@ class PlanCache:
             return entry
 
     def peek(
-        self, key: CacheKey, catalog_version: int
+        self,
+        key: CacheKey,
+        catalog_version: int,
+        stats_version: int = 0,
     ) -> Optional[CachedPlan]:
         """Like :meth:`get`, but absence is not counted as a miss.
 
@@ -110,7 +128,10 @@ class PlanCache:
             entry = self._entries.get(key)
             if entry is None:
                 return None
-            if entry.catalog_version != catalog_version:
+            if (
+                entry.catalog_version != catalog_version
+                or entry.stats_version != stats_version
+            ):
                 del self._entries[key]
                 _EVICTIONS.increment()
                 return None

@@ -73,16 +73,41 @@ __all__ = [
     "table_shape",
     "PlannerOptions",
     "DEFAULT_PLANNER_OPTIONS",
+    "COST_SEQ_IO",
+    "COST_RANDOM_IO",
 ]
+
+#: Cost units, after the classic System R shape: touching a row in heap
+#: order costs 1, touching a row through an index costs 4 (the probe is
+#: "random I/O" — bucket lookup plus version-chain chase).  The absolute
+#: numbers only matter relative to each other; the seqscan-vs-IndexScan
+#: crossover sits at selectivity = COST_SEQ_IO / COST_RANDOM_IO = 25%.
+COST_SEQ_IO = 1.0
+COST_RANDOM_IO = 4.0
+
+#: Selectivity guessed for predicates statistics cannot estimate.
+_GUESS_SELECTIVITY = 1.0 / 3.0
+
+#: Building a hash-table entry costs about twice probing one; this is
+#: the asymmetry that makes the smaller input the better build side.
+_HASH_BUILD_FACTOR = 2.0
 
 
 @dataclasses.dataclass(frozen=True)
 class PlannerOptions:
-    """Feature switches for the planner's fast-path rewrites."""
+    """Feature switches for the planner's fast-path rewrites.
+
+    ``cost_based`` gates the ANALYZE-statistics cost model: the
+    seqscan-vs-IndexScan crossover, HashJoin build-side selection, and
+    greedy join reordering.  Tables that have never been ANALYZEd have
+    no statistics, so with ``cost_based`` on but no stats the planner
+    makes exactly the rule-based choices it always made.
+    """
 
     predicate_pushdown: bool = True
     index_scans: bool = True
     hash_joins: bool = True
+    cost_based: bool = True
 
 
 DEFAULT_PLANNER_OPTIONS = PlannerOptions()
@@ -461,6 +486,99 @@ def _probe_type_ok(
     return _compatible_families(column_descriptor, compiled.descriptor)
 
 
+# ---------------------------------------------------------------------------
+# Cost model (ANALYZE statistics)
+# ---------------------------------------------------------------------------
+
+
+def _table_stats(session: Any, table: Table) -> Any:
+    """``TableStatistics`` for ``table`` or None if never ANALYZEd."""
+    catalog = getattr(session, "catalog", None)
+    getter = getattr(catalog, "get_statistics", None)
+    if getter is None:
+        return None
+    return getter(table.name)
+
+
+def _annotate(
+    operator: Operator,
+    rows: Optional[float],
+    cost: Optional[float],
+) -> Operator:
+    """Leave the cost model's estimates on the operator for EXPLAIN."""
+    if rows is not None:
+        operator.estimated_rows = float(rows)
+    if cost is not None:
+        operator.estimated_cost = float(cost)
+    return operator
+
+
+def _estimated(operator: Operator) -> Tuple[Optional[float], Optional[float]]:
+    return (
+        getattr(operator, "estimated_rows", None),
+        getattr(operator, "estimated_cost", None),
+    )
+
+
+def _rejected_alternative(
+    operator: Operator,
+    description: str,
+    cost: Optional[float],
+    rows: Optional[float] = None,
+    reason: str = "higher estimated cost",
+) -> None:
+    from repro.engine.explain import PlanAlternative
+
+    alternatives = getattr(operator, "rejected", None)
+    if alternatives is None:
+        alternatives = []
+        operator.rejected = alternatives
+    alternatives.append(
+        PlanAlternative(
+            description=description,
+            estimated_cost=cost,
+            estimated_rows=rows,
+            reason=reason,
+        )
+    )
+
+
+def _conjunct_selectivity(
+    stats: Any,
+    table: Table,
+    shape: RowShape,
+    conjunct: ast.Expression,
+) -> float:
+    """Estimated fraction of rows satisfying ``conjunct``."""
+    forms = _sargable_forms(conjunct, shape)
+    if not forms:
+        return _GUESS_SELECTIVITY
+    selectivity = 1.0
+    for position, op, value_expr in forms:
+        column = stats.column(table.columns[position].name)
+        if column is None:
+            selectivity *= _GUESS_SELECTIVITY
+        elif op == "=":
+            selectivity *= column.eq_selectivity()
+        elif isinstance(value_expr, ast.Literal):
+            selectivity *= column.range_selectivity(op, value_expr.value)
+        else:
+            selectivity *= _GUESS_SELECTIVITY
+    return min(max(selectivity, 1e-9), 1.0)
+
+
+def _conjuncts_selectivity(
+    stats: Any,
+    table: Table,
+    shape: RowShape,
+    conjuncts: Sequence[ast.Expression],
+) -> float:
+    selectivity = 1.0
+    for conjunct in conjuncts:
+        selectivity *= _conjunct_selectivity(stats, table, shape, conjunct)
+    return selectivity
+
+
 def _try_index_scan(
     scan: SeqScan,
     shape: RowShape,
@@ -589,22 +707,79 @@ def _apply_conjuncts(
     if not conjuncts:
         return operator
     remaining = list(conjuncts)
+    stats = None
+    table = None
+    if options.cost_based and isinstance(operator, SeqScan):
+        table = operator.table
+        stats = _table_stats(session, table)
     if (
         options.index_scans
         and isinstance(operator, SeqScan)
         and operator.table.indexes
     ):
-        operator, remaining = _try_index_scan(
-            operator, shape, remaining, session, outer
+        scan = operator
+        candidate, candidate_remaining = _try_index_scan(
+            scan, shape, remaining, session, outer
         )
+        if candidate is scan:
+            pass  # no usable index; nothing to decide
+        elif stats is None:
+            # Rule-based behaviour: an index probe always wins.
+            operator, remaining = candidate, candidate_remaining
+        else:
+            # Cost the seqscan-vs-IndexScan crossover.  The probe
+            # touches est_match rows at random-I/O cost; the seqscan
+            # touches every row at sequential cost.
+            consumed = [
+                c
+                for c in remaining
+                if not any(c is r for r in candidate_remaining)
+            ]
+            row_count = float(stats.row_count)
+            est_match = row_count * _conjuncts_selectivity(
+                stats, table, shape, consumed
+            )
+            seq_cost = row_count * COST_SEQ_IO
+            index_cost = COST_RANDOM_IO * est_match + 1.0
+            index_desc = (
+                f"IndexScan using {candidate.index.name} "
+                f"on {table.name}"
+            )
+            if index_cost <= seq_cost:
+                operator, remaining = candidate, candidate_remaining
+                _annotate(operator, est_match, index_cost)
+                _rejected_alternative(
+                    operator,
+                    f"SeqScan on {table.name}",
+                    seq_cost,
+                    row_count,
+                )
+            else:
+                _annotate(scan, row_count, seq_cost)
+                _rejected_alternative(
+                    scan, index_desc, index_cost, est_match
+                )
+    if stats is not None and _estimated(operator)[0] is None:
+        row_count = float(stats.row_count)
+        _annotate(operator, row_count, row_count * COST_SEQ_IO)
     if not remaining:
         return operator
     compiler = ExpressionCompiler(shape, session, outer)
-    return Filter(
+    filtered = Filter(
         operator,
         compiler.compile_predicate(_and_all(remaining)),
         description=_conjuncts_summary(remaining),
     )
+    if stats is not None:
+        in_rows, in_cost = _estimated(operator)
+        est_out = float(stats.row_count) * _conjuncts_selectivity(
+            stats, table, shape, list(conjuncts)
+        )
+        if in_rows is not None and in_cost is not None:
+            _annotate(filtered, est_out, in_cost + in_rows)
+        else:
+            _annotate(filtered, est_out, None)
+    return filtered
 
 
 def _push_into_query(
@@ -741,7 +916,16 @@ def _plan_named_relation(
         # so even a plan-cache hit reads live numbers.  Pushed conjuncts
         # land in a Filter above the scan (no indexes to exploit).
         return VirtualScan(relation), table_shape(relation, ref.alias)
-    return SeqScan(relation), table_shape(relation, ref.alias)
+    scan = SeqScan(relation)
+    if _options(session).cost_based:
+        stats = _table_stats(session, relation)
+        if stats is not None:
+            _annotate(
+                scan,
+                float(stats.row_count),
+                float(stats.row_count) * COST_SEQ_IO,
+            )
+    return scan, table_shape(relation, ref.alias)
 
 
 def _fold_join(
@@ -791,9 +975,22 @@ def _fold_join(
         if conjuncts
         else None
     )
+    left_rows, left_cost = _estimated(left_op)
+    right_rows, right_cost = _estimated(right_op)
+    costed = (
+        options.cost_based
+        and left_rows is not None
+        and right_rows is not None
+    )
     if left_keys:
+        join_kind = "INNER" if kind == "CROSS" else kind
+        build = "right"
+        if costed and join_kind == "INNER" and left_rows < right_rows:
+            # The smaller input should be materialised into the hash
+            # table; the historical rule always built on the right.
+            build = "left"
         operator: Operator = HashJoin(
-            "INNER" if kind == "CROSS" else kind,
+            join_kind,
             left_op,
             right_op,
             left_keys,
@@ -802,7 +999,27 @@ def _fold_join(
             len(left_shape),
             len(right_shape),
             description=_conjuncts_summary(conjuncts),
+            build=build,
         )
+        if costed:
+            est_out = _hash_join_rows(left_rows, right_rows)
+            build_rows = left_rows if build == "left" else right_rows
+            probe_rows = right_rows if build == "left" else left_rows
+            cost = _hash_join_cost(
+                left_cost, right_cost, build_rows, probe_rows, est_out
+            )
+            _annotate(operator, est_out, cost)
+            if build == "left":
+                _rejected_alternative(
+                    operator,
+                    f"HashJoin ({join_kind}) building on the right "
+                    f"input (~{right_rows:.0f} rows)",
+                    _hash_join_cost(
+                        left_cost, right_cost,
+                        right_rows, left_rows, est_out,
+                    ),
+                    est_out,
+                )
     else:
         operator = NestedLoopJoin(
             kind,
@@ -812,7 +1029,50 @@ def _fold_join(
             len(left_shape),
             len(right_shape),
         )
+        if costed:
+            if conjuncts:
+                est_out = left_rows * right_rows * _GUESS_SELECTIVITY
+            else:
+                est_out = left_rows * right_rows
+            cost = _nested_loop_cost(
+                left_cost, right_cost, left_rows, right_rows
+            )
+            _annotate(operator, est_out, cost)
     return operator, merged
+
+
+def _hash_join_rows(left_rows: float, right_rows: float) -> float:
+    """Equi-join output estimate: the FK-ish ``max(|L|, |R|)`` guess."""
+    return max(left_rows, right_rows, 1.0)
+
+
+def _hash_join_cost(
+    left_cost: Optional[float],
+    right_cost: Optional[float],
+    build_rows: float,
+    probe_rows: float,
+    out_rows: float,
+) -> float:
+    return (
+        (left_cost or 0.0)
+        + (right_cost or 0.0)
+        + _HASH_BUILD_FACTOR * build_rows
+        + probe_rows
+        + out_rows
+    )
+
+
+def _nested_loop_cost(
+    left_cost: Optional[float],
+    right_cost: Optional[float],
+    left_rows: float,
+    right_rows: float,
+) -> float:
+    return (
+        (left_cost or 0.0)
+        + (right_cost or 0.0)
+        + left_rows * max(right_rows, 1.0)
+    )
 
 
 def _plan_join(
@@ -1114,6 +1374,175 @@ def _plan_select(
     return QueryPlan(operator, output_shape), output_shape
 
 
+def _from_item_estimates(
+    from_clause: Sequence[ast.TableRef],
+    routed: Sequence[Sequence[ast.Expression]],
+    session: Any,
+) -> Optional[List[Tuple[float, float]]]:
+    """Per-FROM-item ``(estimated rows out, scan cost)``.
+
+    Returns None unless *every* item is a base table with ANALYZE
+    statistics — join reordering only runs with full information, so a
+    query over un-ANALYZEd tables plans exactly as it always did.
+    """
+    estimates: List[Tuple[float, float]] = []
+    for ref, conjuncts in zip(from_clause, routed):
+        if not isinstance(ref, ast.TableName):
+            return None
+        try:
+            relation = session.catalog.get_relation(ref.name)
+        except errors.SQLException:
+            return None
+        if not isinstance(relation, Table) or isinstance(
+            relation, VirtualTable
+        ):
+            return None
+        stats = _table_stats(session, relation)
+        if stats is None:
+            return None
+        shape = table_shape(relation, ref.alias)
+        selectivity = _conjuncts_selectivity(
+            stats, relation, shape, conjuncts
+        )
+        estimates.append(
+            (
+                max(stats.row_count * selectivity, 1e-3),
+                stats.row_count * COST_SEQ_IO,
+            )
+        )
+    return estimates
+
+
+def _joinable(
+    candidate: int, placed: Set[int], join_sources: Sequence[Set[int]]
+) -> bool:
+    """True when a join conjunct ties ``candidate`` to the placed set."""
+    merged = placed | {candidate}
+    return any(
+        candidate in sources and sources <= merged
+        for sources in join_sources
+    )
+
+
+def _greedy_join_order(
+    estimates: Sequence[Tuple[float, float]],
+    join_sources: Sequence[Set[int]],
+) -> List[int]:
+    """Greedy smallest-intermediate-first join order.
+
+    Start from the item with the fewest estimated rows, then repeatedly
+    add the item producing the smallest estimated intermediate,
+    preferring items connected by a join conjunct (an unconnected item
+    is a cross product) — the classic greedy heuristic, deterministic
+    by construction (ties break on the original FROM position).
+    """
+    n = len(estimates)
+    remaining = set(range(n))
+    start = min(remaining, key=lambda i: (estimates[i][0], i))
+    order = [start]
+    placed = {start}
+    rows = estimates[start][0]
+    remaining.discard(start)
+    while remaining:
+        def score(j: int) -> Tuple[int, float, int]:
+            connected = _joinable(j, placed, join_sources)
+            out = (
+                max(rows, estimates[j][0], 1.0)
+                if connected
+                else rows * estimates[j][0]
+            )
+            return (0 if connected else 1, out, j)
+
+        best = min(remaining, key=score)
+        connected = _joinable(best, placed, join_sources)
+        rows = (
+            max(rows, estimates[best][0], 1.0)
+            if connected
+            else rows * estimates[best][0]
+        )
+        order.append(best)
+        placed.add(best)
+        remaining.discard(best)
+    return order
+
+
+def _simulate_order_cost(
+    order: Sequence[int],
+    estimates: Sequence[Tuple[float, float]],
+    join_sources: Sequence[Set[int]],
+) -> float:
+    """Estimated cost of folding the FROM items in ``order``.
+
+    Applies the same formulas :func:`_fold_join` uses when it builds
+    real operators, so the cost recorded for a rejected order is
+    comparable with the chosen plan's annotations.
+    """
+    first = order[0]
+    placed = {first}
+    rows = estimates[first][0]
+    total = estimates[first][1]
+    for position in order[1:]:
+        item_rows, scan_cost = estimates[position]
+        total += scan_cost
+        if _joinable(position, placed, join_sources):
+            out = _hash_join_rows(rows, item_rows)
+            total += (
+                _HASH_BUILD_FACTOR * min(rows, item_rows)
+                + max(rows, item_rows)
+                + out
+            )
+        else:
+            out = rows * item_rows
+            total += rows * max(item_rows, 1.0)
+        rows = out
+        placed.add(position)
+    return total
+
+
+def _from_item_label(ref: ast.TableRef) -> str:
+    if isinstance(ref, ast.TableName):
+        return ref.alias or ref.name
+    alias = getattr(ref, "alias", None)
+    return alias or type(ref).__name__
+
+
+def _restore_from_order(
+    operator: Operator,
+    order: Sequence[int],
+    item_shapes: dict,
+) -> Tuple[Operator, RowShape]:
+    """Permute a reordered join's output columns back to FROM order."""
+    widths = {
+        position: len(shape) for position, shape in item_shapes.items()
+    }
+    offsets: dict = {}
+    offset = 0
+    for position in order:
+        offsets[position] = offset
+        offset += widths[position]
+    items: List[Callable] = []
+    original = sorted(item_shapes)
+    for position in original:
+        for column in range(widths[position]):
+            source = offsets[position] + column
+            items.append(lambda env, index=source: env.row[index])
+    shape: Optional[RowShape] = None
+    for position in original:
+        shape = (
+            item_shapes[position]
+            if shape is None
+            else shape.merge(item_shapes[position])
+        )
+    project = Project(operator, items)
+    rows, cost = _estimated(operator)
+    _annotate(project, rows, cost)
+    rejected = getattr(operator, "rejected", None)
+    if rejected:
+        project.rejected = list(rejected)
+        operator.rejected = []
+    return project, shape
+
+
 def _plan_from_pushdown(
     select: ast.Select,
     session: Any,
@@ -1144,13 +1573,38 @@ def _plan_from_pushdown(
         else:
             join_conjuncts.append((sources, conjunct))
 
+    # Greedy cost-based join reordering: with ANALYZE statistics for
+    # every FROM item, fold the relations smallest-intermediate-first
+    # instead of in FROM order.  Output columns are restored to FROM
+    # order by a permutation Project so results are indistinguishable
+    # from the rule-based plan.
+    order = list(range(len(from_clause)))
+    estimates: Optional[List[Tuple[float, float]]] = None
+    join_sources = [set(s) for s, _ in join_conjuncts]
+    if options.cost_based and len(from_clause) >= 3:
+        estimates = _from_item_estimates(
+            from_clause, routed, session
+        )
+        if estimates is not None:
+            candidate = _greedy_join_order(estimates, join_sources)
+            # Adopt the greedy order only when the model says it is
+            # actually cheaper than folding in FROM order — with tiny
+            # inputs a cross product can legitimately win.
+            if _simulate_order_cost(
+                candidate, estimates, join_sources
+            ) < _simulate_order_cost(order, estimates, join_sources):
+                order = candidate
+
     operator: Optional[Operator] = None
     shape: Optional[RowShape] = None
     planned: Set[int] = set()
-    for position, ref in enumerate(from_clause):
+    item_shapes: dict = {}
+    for position in order:
+        ref = from_clause[position]
         right_op, right_shape = _plan_table_ref(
             ref, session, outer, routed[position]
         )
+        item_shapes[position] = right_shape
         if operator is None:
             operator, shape = right_op, right_shape
             planned = {position}
@@ -1193,11 +1647,44 @@ def _plan_from_pushdown(
     leftovers = residual + [c for _, c in join_conjuncts]
     if leftovers:
         compiler = ExpressionCompiler(shape, session, outer)
-        operator = Filter(
+        filtered = Filter(
             operator,
             compiler.compile_predicate(_and_all(leftovers)),
             description=_conjuncts_summary(leftovers),
         )
+        rows, cost = _estimated(operator)
+        if rows is not None:
+            _annotate(
+                filtered,
+                rows * _GUESS_SELECTIVITY ** len(leftovers),
+                (cost + rows) if cost is not None else None,
+            )
+        operator = filtered
+
+    if order != sorted(order):
+        operator, shape = _restore_from_order(
+            operator, order, item_shapes
+        )
+        if estimates is not None:
+            chosen_cost = _estimated(operator)[1]
+            original_cost = _simulate_order_cost(
+                list(range(len(from_clause))), estimates, join_sources
+            )
+            names = ", ".join(
+                _from_item_label(ref) for ref in from_clause
+            )
+            _rejected_alternative(
+                operator,
+                f"join in FROM order ({names})",
+                original_cost,
+                reason="rule-based join order; higher estimated cost",
+            )
+            if chosen_cost is None:
+                _annotate(
+                    operator,
+                    None,
+                    _simulate_order_cost(order, estimates, join_sources),
+                )
     return operator, shape
 
 

@@ -43,6 +43,10 @@ class _Renderer:
         if isinstance(node, ast.Call):
             args = ", ".join(self.expr(a) for a in node.args)
             return f"CALL {node.procedure}({args})"
+        if isinstance(node, ast.Analyze):
+            if node.table:
+                return f"ANALYZE {node.table}"
+            return "ANALYZE"
         if isinstance(node, ast.Commit):
             return "COMMIT"
         if isinstance(node, ast.Rollback):

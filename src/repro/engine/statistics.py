@@ -1,0 +1,207 @@
+"""ANALYZE statistics: per-table row counts and per-column distributions.
+
+``ANALYZE [table]`` walks the snapshot-visible rows of a table and
+records, per column, the number of distinct values (NDV), the fraction
+of NULLs, the min/max, and an equi-width histogram over numeric
+columns.  The resulting :class:`TableStatistics` live in the catalog
+(``Catalog.statistics``), survive checkpoints (they are pickled into the
+``DatabaseImage``) and WAL replay (ANALYZE is WAL-logged and re-executed
+on recovery), and feed the cost-based planner's selectivity estimates
+(:mod:`repro.engine.planner`).
+
+Everything here is deliberately plain data — dataclasses of ints,
+floats, and lists — so statistics serialise through the checkpoint
+pickle and render cleanly in the ``repro_stats.statistics`` view.
+"""
+
+from __future__ import annotations
+
+import datetime
+import decimal
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = [
+    "ColumnStatistics",
+    "TableStatistics",
+    "collect_table_statistics",
+    "DEFAULT_HISTOGRAM_BUCKETS",
+]
+
+#: Number of equi-width buckets collected for numeric columns.
+DEFAULT_HISTOGRAM_BUCKETS = 32
+
+#: Selectivity assumed for predicates we cannot estimate from data.
+DEFAULT_SELECTIVITY = 1.0 / 3.0
+
+
+def _numeric(value: Any) -> Optional[float]:
+    """Project ``value`` onto the real line for histogram math.
+
+    Returns ``None`` for values with no useful linear embedding
+    (strings, composites); those columns keep NDV/null stats only.
+    """
+    if isinstance(value, bool):
+        return None
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, decimal.Decimal):
+        return float(value)
+    if isinstance(value, datetime.datetime):
+        return value.timestamp()
+    if isinstance(value, datetime.date):
+        return float(value.toordinal())
+    return None
+
+
+@dataclass
+class ColumnStatistics:
+    """Distribution summary for one column."""
+
+    name: str
+    ndv: int = 0
+    null_fraction: float = 0.0
+    min_value: Any = None
+    max_value: Any = None
+    #: ``len(bounds) == len(counts) + 1``; ``None`` for non-numeric columns.
+    histogram_bounds: Optional[List[float]] = None
+    histogram_counts: Optional[List[int]] = None
+
+    # -- selectivity estimates -----------------------------------------
+    def eq_selectivity(self) -> float:
+        """Fraction of rows expected to match ``col = <literal>``."""
+        if self.ndv <= 0:
+            return DEFAULT_SELECTIVITY
+        return max((1.0 - self.null_fraction) / self.ndv, 1e-9)
+
+    def range_selectivity(self, op: str, value: Any) -> float:
+        """Fraction of rows expected to match ``col <op> <literal>``.
+
+        Uses the equi-width histogram with linear interpolation inside
+        the containing bucket; falls back to a min/max ratio, then to
+        :data:`DEFAULT_SELECTIVITY`.
+        """
+        point = _numeric(value)
+        if point is None:
+            return DEFAULT_SELECTIVITY
+        below = self._fraction_below(point)
+        if below is None:
+            return DEFAULT_SELECTIVITY
+        non_null = 1.0 - self.null_fraction
+        if op in ("<", "<="):
+            fraction = below
+        elif op in (">", ">="):
+            fraction = 1.0 - below
+        else:
+            return DEFAULT_SELECTIVITY
+        return min(max(fraction * non_null, 1e-9), 1.0)
+
+    def _fraction_below(self, point: float) -> Optional[float]:
+        bounds = self.histogram_bounds
+        counts = self.histogram_counts
+        if not bounds or not counts:
+            lo = _numeric(self.min_value)
+            hi = _numeric(self.max_value)
+            if lo is None or hi is None:
+                return None
+            if hi <= lo:
+                return 0.5
+            return min(max((point - lo) / (hi - lo), 0.0), 1.0)
+        total = sum(counts)
+        if total <= 0:
+            return None
+        if point <= bounds[0]:
+            return 0.0
+        if point >= bounds[-1]:
+            return 1.0
+        running = 0.0
+        for i, count in enumerate(counts):
+            lo, hi = bounds[i], bounds[i + 1]
+            if point < hi:
+                width = hi - lo
+                inside = (point - lo) / width if width > 0 else 0.5
+                return (running + count * inside) / total
+            running += count
+        return 1.0
+
+
+@dataclass
+class TableStatistics:
+    """ANALYZE output for one table."""
+
+    table: str
+    row_count: int = 0
+    columns: Dict[str, ColumnStatistics] = field(default_factory=dict)
+    #: ``Catalog.stats_version`` value assigned when these stats landed.
+    version: int = 0
+    #: MVCC transaction id whose snapshot ANALYZE read.
+    analyzed_txn: int = 0
+
+    def column(self, name: str) -> Optional[ColumnStatistics]:
+        return self.columns.get(name)
+
+
+def _build_histogram(
+    points: List[float], buckets: int
+) -> Tuple[Optional[List[float]], Optional[List[int]]]:
+    if len(points) < 2:
+        return None, None
+    lo, hi = min(points), max(points)
+    if hi <= lo:
+        return None, None
+    buckets = max(1, min(buckets, len(points)))
+    width = (hi - lo) / buckets
+    bounds = [lo + width * i for i in range(buckets)] + [hi]
+    counts = [0] * buckets
+    for point in points:
+        index = int((point - lo) / width)
+        if index >= buckets:
+            index = buckets - 1
+        counts[index] += 1
+    return bounds, counts
+
+
+def collect_table_statistics(
+    table: Any,
+    rows: List[List[Any]],
+    *,
+    buckets: int = DEFAULT_HISTOGRAM_BUCKETS,
+    version: int = 0,
+    analyzed_txn: int = 0,
+) -> TableStatistics:
+    """Summarise ``rows`` (the snapshot-visible rows of ``table``)."""
+    stats = TableStatistics(
+        table=table.name,
+        row_count=len(rows),
+        version=version,
+        analyzed_txn=analyzed_txn,
+    )
+    for position, column in enumerate(table.columns):
+        values = [row[position] for row in rows]
+        non_null = [value for value in values if value is not None]
+        nulls = len(values) - len(non_null)
+        col = ColumnStatistics(
+            name=column.name,
+            null_fraction=(nulls / len(values)) if values else 0.0,
+        )
+        try:
+            col.ndv = len(set(non_null))
+        except TypeError:  # unhashable values: count by repr
+            col.ndv = len({repr(value) for value in non_null})
+        if non_null:
+            try:
+                col.min_value = min(non_null)
+                col.max_value = max(non_null)
+            except TypeError:
+                pass
+            points = [
+                point
+                for point in (_numeric(value) for value in non_null)
+                if point is not None
+            ]
+            if len(points) == len(non_null):
+                col.histogram_bounds, col.histogram_counts = (
+                    _build_histogram(points, buckets)
+                )
+        stats.columns[column.name] = col
+    return stats

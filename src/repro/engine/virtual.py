@@ -21,6 +21,9 @@ Registered views (see ``docs/OBSERVABILITY.md`` for column meanings):
 * ``repro_stats.transactions`` — live MVCC transactions: snapshot,
   write-set sizes, pristine flag,
 * ``repro_stats.locks`` — reader-writer-lock and WAL wait attribution,
+* ``repro_stats.statistics`` — ANALYZE statistics per table column
+  (row count, NDV, null fraction, min/max, histogram bounds, stats
+  version and the analyzing transaction),
 * ``repro_stats.metrics`` — the process-wide metrics registry,
 * ``repro_stats.pool`` — connection pools of this process,
 * ``repro_stats.server`` — network-server counters and timings.
@@ -170,6 +173,40 @@ def _metrics_rows(session: Any) -> List[List[Any]]:
     return rows
 
 
+def _statistics_rows(session: Any) -> List[List[Any]]:
+    import json
+
+    catalog = session.database.catalog
+    rows: List[List[Any]] = []
+    for table_name in sorted(catalog.statistics):
+        stats = catalog.statistics[table_name]
+        if not stats.columns:
+            rows.append([
+                table_name, None, stats.row_count, None, None,
+                None, None, None, stats.version, stats.analyzed_txn,
+            ])
+            continue
+        for column_name in sorted(stats.columns):
+            column = stats.columns[column_name]
+            bounds = (
+                json.dumps(column.histogram_bounds)
+                if column.histogram_bounds else None
+            )
+            rows.append([
+                table_name,
+                column_name,
+                stats.row_count,
+                column.ndv,
+                column.null_fraction,
+                None if column.min_value is None else repr(column.min_value),
+                None if column.max_value is None else repr(column.max_value),
+                bounds,
+                stats.version,
+                stats.analyzed_txn,
+            ])
+    return rows
+
+
 def _pool_rows(session: Any) -> List[List[Any]]:
     from repro.dbapi.driver import DriverManager
 
@@ -275,6 +312,22 @@ _VIEW_SPECS = [
             ("mean", "DOUBLE PRECISION"),
         ),
         _metrics_rows,
+    ),
+    (
+        "repro_stats.statistics",
+        (
+            ("table_name", "VARCHAR"),
+            ("column_name", "VARCHAR"),
+            ("row_count", "INT"),
+            ("ndv", "INT"),
+            ("null_fraction", "DOUBLE PRECISION"),
+            ("min_value", "VARCHAR"),
+            ("max_value", "VARCHAR"),
+            ("histogram_bounds", "VARCHAR"),
+            ("stats_version", "INT"),
+            ("analyzed_txn", "INT"),
+        ),
+        _statistics_rows,
     ),
     (
         "repro_stats.pool",

@@ -76,6 +76,23 @@ SIGNATURES = [
             "repro.engine.database", fromlist=["Session"]
         ).Session.execute_batch,
     ),
+    # plan introspection
+    (
+        "repro.Connection.explain",
+        lambda repro: repro.Connection.explain,
+    ),
+    (
+        "repro.engine.database.Session.explain",
+        lambda repro: __import__(
+            "repro.engine.database", fromlist=["Session"]
+        ).Session.explain,
+    ),
+    (
+        "repro.engine.explain.PlanNode.to_dict",
+        lambda repro: __import__(
+            "repro.engine.explain", fromlist=["PlanNode"]
+        ).PlanNode.to_dict,
+    ),
 ]
 
 
