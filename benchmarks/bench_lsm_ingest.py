@@ -1,0 +1,202 @@
+"""LSM ingest benchmark: write-stall under sustained write-heavy load.
+
+Both storage engines execute, log and recover statements identically;
+what differs is what a *checkpoint* costs while writes keep arriving:
+
+* **snapshot** — each checkpoint pickles and fsyncs the entire
+  database image, so the committing thread stalls for O(database) no
+  matter how small the delta since the last checkpoint;
+* **lsm** — each checkpoint flushes only the un-flushed memtable delta
+  to an immutable sorted run, so the stall is O(delta) and stays flat
+  as the database grows.
+
+The workload makes that asymmetry measurable: preload a base table
+(the "cold" data a long-lived database accumulates), then sustain a
+per-row autocommit ingest sized at ~10 checkpoint intervals, so ten-
+plus checkpoints fire *during* the timed loop on each engine.  The
+metrics registry is reset after the preload, so each engine's own
+pause histogram — ``wal.checkpoint.seconds`` for snapshot,
+``lsm.stall_ms`` for LSM, both measured around the commit-path pause
+the checkpointing statement actually suffers — covers exactly the
+timed loop.
+
+Reported per arm: rows/sec, worst and median insert latency (the
+application's view, including background-compaction jitter), the
+engine's mean and worst pause, and flush/compaction counters.  The
+headline ``speedup`` is mean snapshot pause / mean LSM pause: the
+mean is what sustained ingest pays at *every* checkpoint, and unlike
+a max-of-a-dozen it is not dominated by single-fsync queueing jitter
+on shared CI disks.  The acceptance floor is >= 5x (the LSM flush
+stall must be at most 1/5 of the snapshot checkpoint pause), enforced
+in smoke and full runs; worst-case pauses are reported alongside.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_lsm_ingest.py [--base N]
+        [--rows N] [--interval N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import statistics
+import sys
+import tempfile
+import time
+from typing import Any, Dict
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+)
+
+SCHEMA = (
+    "create table events (id integer, kind varchar(16), payload "
+    "varchar(64), weight integer)"
+)
+INSERT = "insert into events values (?, ?, ?, ?)"
+KINDS = ("click", "view", "purchase", "refund")
+
+
+def _row(n: int):
+    return [
+        n,
+        KINDS[n % len(KINDS)],
+        f"payload-{n:08d}-{'x' * (n % 17)}",
+        n % 1000,
+    ]
+
+
+def _arm(storage: str, base: int, rows: int, interval: int) -> Dict[str, Any]:
+    from repro import observability
+    from repro.engine.durability import open_database
+
+    directory = tempfile.mkdtemp(prefix=f"bench_lsm_{storage}_")
+    db = open_database(
+        directory,
+        name="ingest",
+        storage=storage,
+        sync=False,
+        checkpoint_interval=interval,
+    )
+    try:
+        session = db.create_session(autocommit=True)
+        session.execute(SCHEMA)
+        # Preload the cold base in one batch commit, then checkpoint it
+        # out of the WAL so both engines enter the timed loop with the
+        # same durable state: base on disk, empty log.
+        session.execute_batch(
+            INSERT, [_row(n) for n in range(base)]
+        )
+        db.checkpoint()
+
+        # Scope the pause histograms to the timed loop: without this
+        # the O(base) preload flush would dominate the LSM maximum.
+        observability.reset_metrics()
+        before = observability.snapshot()
+        latencies = []
+        start = time.perf_counter()
+        for n in range(base, base + rows):
+            t0 = time.perf_counter()
+            session.execute(INSERT, _row(n))
+            latencies.append(time.perf_counter() - t0)
+        elapsed = time.perf_counter() - start
+        after = observability.snapshot()
+
+        [[count]] = session.execute(
+            "select count(*) from events"
+        ).rows
+        assert count == base + rows, (count, base + rows)
+
+        def counter_delta(name: str) -> int:
+            return after["counters"].get(name, 0) - before[
+                "counters"
+            ].get(name, 0)
+
+        checkpoints = counter_delta("wal.checkpoints")
+        assert checkpoints >= 10, (
+            f"{storage}: only {checkpoints} checkpoints fired during "
+            "ingest; grow --rows or shrink --interval"
+        )
+        if storage == "lsm":
+            pause_metric = "lsm.stall_ms"
+            pause_scale = 1.0
+        else:
+            pause_metric = "wal.checkpoint.seconds"
+            pause_scale = 1000.0
+        pause = after["histograms"].get(pause_metric) or {}
+        worst_pause = (pause.get("max") or 0.0) * pause_scale
+        mean_pause = (pause.get("mean") or 0.0) * pause_scale
+        return {
+            "arm": storage,
+            "rows": rows,
+            "seconds": elapsed,
+            "rows_per_second": rows / elapsed if elapsed else float("inf"),
+            "worst_insert_ms": max(latencies) * 1000.0,
+            "median_insert_ms": statistics.median(latencies) * 1000.0,
+            "checkpoints": checkpoints,
+            "flushes": counter_delta("lsm.flushes"),
+            "compactions": counter_delta("lsm.compactions"),
+            "pause_metric": pause_metric,
+            "mean_pause_ms": mean_pause,
+            "worst_pause_ms": worst_pause,
+        }
+    finally:
+        db.close()
+        shutil.rmtree(directory, ignore_errors=True)
+
+
+def bench_lsm_ingest(
+    base: int, rows: int, interval: int
+) -> Dict[str, Any]:
+    """Run both arms; ``speedup`` is the worst-stall ratio
+    (snapshot / lsm, higher is better for the LSM engine)."""
+    arms = {
+        storage: _arm(storage, base, rows, interval)
+        for storage in ("snapshot", "lsm")
+    }
+    stall_ratio = (
+        arms["snapshot"]["mean_pause_ms"]
+        / arms["lsm"]["mean_pause_ms"]
+    )
+    ingest_ratio = (
+        arms["lsm"]["rows_per_second"]
+        / arms["snapshot"]["rows_per_second"]
+    )
+    return {
+        "experiment": "lsm_ingest",
+        "base_rows": base,
+        "ingest_rows": rows,
+        "checkpoint_interval": interval,
+        "arms": list(arms.values()),
+        "mean_stall_ms_snapshot": arms["snapshot"]["mean_pause_ms"],
+        "mean_stall_ms_lsm": arms["lsm"]["mean_pause_ms"],
+        "worst_stall_ms_snapshot": arms["snapshot"]["worst_pause_ms"],
+        "worst_stall_ms_lsm": arms["lsm"]["worst_pause_ms"],
+        "ingest_throughput_scaling": ingest_ratio,
+        "speedup": stall_ratio,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--base", type=int, default=60_000)
+    parser.add_argument("--rows", type=int, default=2_000)
+    parser.add_argument("--interval", type=int, default=150)
+    args = parser.parse_args(argv)
+    result = bench_lsm_ingest(args.base, args.rows, args.interval)
+    print(json.dumps(result, indent=2))
+    if result["speedup"] < 5.0:
+        print(
+            f"FAIL: LSM worst stall is 1/{result['speedup']:.1f} of "
+            "the snapshot checkpoint pause; floor is 1/5",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

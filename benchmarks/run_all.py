@@ -23,6 +23,14 @@ writes ``BENCH_<date>.json`` next to this file:
   (``executemany`` / ``MSG_EXECUTE_BATCH``) vs per-row INSERTs, local
   and over ``repro://`` (floor: >= 10x rows/sec full, >= 5x smoke, on
   the weaker of the two paths; see ``bench_bulk_load.py``);
+* **lsm_ingest** — write-stall under sustained ingest: the same
+  workload (preloaded base table, per-row autocommit inserts spanning
+  ten-plus checkpoints) on the snapshot engine vs the LSM engine;
+  the snapshot arm pays an O(database) image rewrite at every
+  checkpoint while the LSM arm pays an O(delta) memtable flush
+  (floor: mean LSM flush stall <= 1/5 of the mean snapshot
+  checkpoint pause, smoke and full; see ``bench_lsm_ingest.py`` and
+  ``docs/STORAGE.md``);
 * **planner** — cost-based vs rule-based planning of an adversarially
   FROM-ordered star join (the rule-based fold starts with a dimension
   cross product; the ANALYZE-informed planner reorders it away) —
@@ -558,6 +566,18 @@ def _bench_bulk_load(facts: int) -> Dict[str, Any]:
     return bench_bulk_load(facts)
 
 
+def _bench_lsm_ingest(
+    base: int, rows: int, interval: int
+) -> Dict[str, Any]:
+    """Run the LSM ingest experiment (``bench_lsm_ingest.py``)."""
+    try:
+        from benchmarks.bench_lsm_ingest import bench_lsm_ingest
+    except ImportError:
+        sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+        from bench_lsm_ingest import bench_lsm_ingest
+    return bench_lsm_ingest(base, rows, interval)
+
+
 def _bench_planner(facts: int, dims: int) -> Dict[str, Any]:
     """Run the planner experiment (lives in ``bench_planner.py``)."""
     try:
@@ -589,6 +609,8 @@ def main(argv=None) -> int:
                  "commits": 64, "commit_threads": 8,
                  "server_requests": 256, "write_commits": 192,
                  "bulk_facts": 300,
+                 "lsm_base": 30_000, "lsm_rows": 1200,
+                 "lsm_interval": 100,
                  "planner_facts": 4000, "planner_dims": 200}
     else:
         sizes = {"join_rows": 10_000, "table_rows": 10_000,
@@ -596,6 +618,8 @@ def main(argv=None) -> int:
                  "commits": 256, "commit_threads": 16,
                  "server_requests": 2048, "write_commits": 512,
                  "bulk_facts": 2000,
+                 "lsm_base": 60_000, "lsm_rows": 2000,
+                 "lsm_interval": 150,
                  "planner_facts": 20_000, "planner_dims": 400}
 
     results = []
@@ -610,6 +634,9 @@ def main(argv=None) -> int:
         ("server_writes", lambda: bench_server_writes(
             sizes["write_commits"])),
         ("bulk_load", lambda: _bench_bulk_load(sizes["bulk_facts"])),
+        ("lsm_ingest", lambda: _bench_lsm_ingest(
+            sizes["lsm_base"], sizes["lsm_rows"],
+            sizes["lsm_interval"])),
         ("planner", lambda: _bench_planner(
             sizes["planner_facts"], sizes["planner_dims"])),
     ):
@@ -665,6 +692,12 @@ def main(argv=None) -> int:
             f"< {bulk_floor:.0f}x floor (local "
             f"{by_name['bulk_load']['speedup_local']:.1f}x, remote "
             f"{by_name['bulk_load']['speedup_remote']:.1f}x)"
+        )
+    if by_name["lsm_ingest"]["speedup"] < 5.0:
+        failures.append(
+            f"LSM write stall is 1/"
+            f"{by_name['lsm_ingest']['speedup']:.1f} of the snapshot "
+            "checkpoint pause; floor is 1/5"
         )
     if by_name["planner"]["speedup"] < 3.0:
         failures.append(

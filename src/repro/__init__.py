@@ -125,6 +125,13 @@ def connect(
     directory the database is purely in-memory and ``durable`` is
     ignored.
 
+    Storage engine: pass ``storage="lsm"`` to create the database on
+    the LSM engine — checkpoints become O(delta) memtable flushes to
+    immutable sorted runs with background compaction, instead of
+    O(database) snapshot rewrites (see ``docs/STORAGE.md``).  The
+    default is ``storage="snapshot"``; an existing directory keeps
+    whichever engine created it.
+
     ``pooled=True`` checks the connection out of the process-wide
     :class:`ConnectionPool` for ``(url, user)`` instead of opening a
     fresh session, blocking up to ``timeout`` seconds (the pool default

@@ -340,6 +340,12 @@ class Database:
         #: ``repro.open_database``; ``None`` for an in-memory database.
         #: Duck-typed to avoid an import cycle with engine.durability.
         self.durability: Optional[Any] = None
+        #: LSM run store when the database uses the LSM storage engine
+        #: (attached by ``repro.open_database(storage="lsm")`` *before*
+        #: recovery replay, so vacuum and DDL hooks fire during replay
+        #: too); ``None`` under the snapshot engine.  Duck-typed for
+        #: the same import-cycle reason as ``durability``.
+        self.lsm_store: Optional[Any] = None
         #: MVCC transaction manager: snapshots, commit stamps,
         #: write-conflict waits (see engine/mvcc.py).
         self.transactions = TransactionManager()
@@ -403,9 +409,17 @@ class Database:
         vacuum is *not* WAL-logged, so a crash mid-vacuum is
         recovery-neutral: replay rebuilds the same committed state and
         simply leaves the garbage for the next pass.
+
+        Storage-aware: under the LSM engine, reclaiming a version that
+        was already flushed to a run hands its tombstone to the store
+        (so the deletion still reaches disk at the next flush), and the
+        pass finishes by offering the store a compaction — the
+        threshold trigger does useful on-disk work instead of only
+        sweeping heap versions.
         """
         from repro.engine.virtual import VirtualTable
 
+        store = self.lsm_store
         horizon = self.transactions.oldest_visible_seq()
         removed = 0
         with self.lock.write():
@@ -431,10 +445,23 @@ class Database:
                         for version in dead:
                             index.remove(version)
                     removed += len(dead)
+                if store is not None:
+                    for version in dead:
+                        store.note_vacuumed(table.name, version)
             self.transactions.dead_versions = 0
         if removed:
             _metrics.increment("mvcc.vacuumed", removed)
+        if store is not None:
+            store.maybe_compact(self)
         return removed
+
+    def notify_rows_rewritten(self, table: Any) -> None:
+        """DDL hook: every row image of ``table`` was rewritten in
+        place (column add/drop).  The LSM store must invalidate the
+        table's on-disk runs — their row images are stale; the snapshot
+        engine needs nothing (its checkpoint always rewrites)."""
+        if self.lsm_store is not None:
+            self.lsm_store.invalidate_table(table)
 
     def _maybe_vacuum(self) -> None:
         """Kick off a background vacuum once enough garbage accumulated.

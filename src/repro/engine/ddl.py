@@ -122,6 +122,9 @@ def execute_alter_table(stmt: ast.AlterTable, session: Any) -> None:
                     "default would duplicate the default value"
                 )
         table.add_column(column, fill)
+        # Row images changed shape in place: the LSM engine must
+        # invalidate the table's flushed runs (no-op otherwise).
+        session.database.notify_rows_rewritten(table)
         _refresh_indexes(session, table)
         return
 
@@ -133,6 +136,7 @@ def execute_alter_table(stmt: ast.AlterTable, session: Any) -> None:
         if index.covers_column(stmt.column_name):
             session.catalog.drop_index(index.name)
     table.remove_column(stmt.column_name)
+    session.database.notify_rows_rewritten(table)
     _refresh_indexes(session, table)
 
 

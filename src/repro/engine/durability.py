@@ -40,6 +40,15 @@ Fault-injection sites: ``wal.checkpoint`` fires before the snapshot is
 written, ``wal.checkpoint.install`` fires after the snapshot is
 installed but before the log is truncated (the classic torn-checkpoint
 window).
+
+Storage engines: the above describes the default ``snapshot`` engine.
+``open_database(directory, storage="lsm")`` swaps the checkpoint for
+an LSM flush — the WAL, the logical replay, and every contract the
+session layer sees are identical, but folding the log writes only the
+delta since the last flush as immutable SSTable runs instead of
+rewriting the whole database (see :mod:`repro.engine.lsm` and
+docs/STORAGE.md).  The LSM analogues of the checkpoint faultpoints are
+``lsm.flush``, ``lsm.manifest`` and ``lsm.flush.install``.
 """
 
 from __future__ import annotations
@@ -115,11 +124,16 @@ class DurabilityManager:
         *,
         last_seq: int = 0,
         checkpoint_interval: int = 256,
+        lsm: Any = None,
     ) -> None:
         self.database = database
         self.wal = wal
         self.directory = directory
         self.checkpoint_interval = checkpoint_interval
+        #: LSM store when the directory uses the LSM engine; None for
+        #: the snapshot engine.  Decides what "checkpoint" means.
+        self.lsm = lsm
+        self.storage = "lsm" if lsm is not None else "snapshot"
         self._state_lock = threading.Lock()
         self._next_seq = last_seq + 1
         self._next_txn = 1
@@ -258,7 +272,14 @@ class DurabilityManager:
         when skipped for that reason.  Safe against a crash at any
         point: the snapshot is installed atomically *before* the log
         is truncated, and recovery skips already-folded records.
+
+        Under the LSM engine the same call flushes the memtable delta
+        to SSTable runs instead — same quiescence rule, same atomic
+        install-then-truncate discipline, O(delta) instead of
+        O(database).
         """
+        if self.lsm is not None:
+            return self._checkpoint_lsm()
         start = time.perf_counter()
         with self.database.lock.write():
             with self._state_lock:
@@ -302,6 +323,34 @@ class DurabilityManager:
         _CHECKPOINT_SECONDS.observe(time.perf_counter() - start)
         return True
 
+    def _checkpoint_lsm(self) -> bool:
+        """LSM flush: fold the WAL into immutable runs and truncate it.
+
+        The write pause (``lsm.stall_ms``) covers only the delta since
+        the last flush; compare ``wal.checkpoint.seconds``, which
+        rewrites the whole database.  Compaction is kicked *after* the
+        engine lock is released — it never contributes to the stall.
+        """
+        start = time.perf_counter()
+        with self.database.lock.write():
+            with self._state_lock:
+                if self.closed:
+                    return False
+                if self.active_txns:
+                    return False
+                last_seq = self._next_seq - 1
+            faultpoints.trigger("lsm.flush")
+            self.lsm.flush(self.database, last_seq=last_seq)
+            faultpoints.trigger("lsm.flush.install")
+            self.wal.reset()
+            with self._state_lock:
+                self._snapshot_seq = last_seq
+                self._commits_since_checkpoint = 0
+        _CHECKPOINTS.increment()
+        self.lsm.note_stall(time.perf_counter() - start)
+        self.lsm.maybe_compact(self.database)
+        return True
+
     def _fsync_directory(self) -> None:
         try:
             fd = os.open(self.directory, os.O_RDONLY)
@@ -328,6 +377,8 @@ class DurabilityManager:
         with self._state_lock:
             self.closed = True
         self.wal.close()
+        if self.lsm is not None:
+            self.lsm.close()
 
 
 # ---------------------------------------------------------------------------
@@ -468,15 +519,24 @@ def open_database(
     group_window: float = 0.0,
     group_size: int = 16,
     checkpoint_interval: int = 256,
+    storage: str = "snapshot",
 ) -> Database:
     """Open (or create) a durable database rooted at ``directory``.
 
-    Recovery runs first: the last checkpoint snapshot is restored, the
+    Recovery runs first: the last checkpoint snapshot (or, under the
+    LSM engine, the manifest and its SSTable runs) is restored, the
     WAL's torn tail is truncated, and committed-but-uncheckpointed
     transactions are replayed in log order.  The returned database has
     a :class:`DurabilityManager` attached as ``database.durability``;
     ``name``/``dialect``/``admin_user`` only apply when the directory
     is empty (an existing snapshot's identity wins).
+
+    ``storage`` selects the checkpoint engine for a *new* directory:
+    ``"snapshot"`` (default) rewrites one atomic database image,
+    ``"lsm"`` flushes deltas to immutable sorted runs with background
+    compaction (see docs/STORAGE.md).  An existing directory's on-disk
+    format always wins — the flag is a creation-time choice, not a
+    migration.
 
     ``sync=False`` turns off fsync (for tests and bulk loads);
     ``group_window``/``group_size`` tune group commit (see
@@ -484,23 +544,57 @@ def open_database(
     every ``checkpoint_interval`` commits (0 disables automatic
     checkpoints — call :meth:`Database.checkpoint` yourself).
     """
+    from repro.engine.lsm import LsmStore, MANIFEST_FILENAME
+
+    if storage not in ("snapshot", "lsm"):
+        raise errors.ConnectionError_(
+            f"unknown storage engine {storage!r} — "
+            "expected 'snapshot' or 'lsm'"
+        )
     started = time.perf_counter()
     os.makedirs(directory, exist_ok=True)
     snapshot_path = os.path.join(directory, SNAPSHOT_FILENAME)
     wal_path = os.path.join(directory, WAL_FILENAME)
 
-    image, last_seq, commit_seq = _load_snapshot(snapshot_path)
-    if image is not None:
-        database = restore_database(
-            image, plan_cache_size=plan_cache_size
-        )
-    else:
-        database = Database(
+    # An initialised directory dictates its own engine.
+    if os.path.exists(os.path.join(directory, MANIFEST_FILENAME)):
+        storage = "lsm"
+    elif os.path.exists(snapshot_path):
+        storage = "snapshot"
+
+    store = None
+    if storage == "lsm":
+        store = LsmStore.open(directory)
+        fresh = store._image is None
+        database = store.build_database(
             name=name,
             dialect=dialect,
             admin_user=admin_user,
             plan_cache_size=plan_cache_size,
         )
+        if fresh:
+            # The manifest is what marks the directory as LSM-format,
+            # so the creation-time choice must be durable before any
+            # commit is: a crash ahead of the first flush would
+            # otherwise reopen this directory under the snapshot
+            # engine.
+            store.initialise(database)
+        last_seq = store.last_seq
+        commit_seq = store.flushed_stamp
+        database.lsm_store = store
+    else:
+        image, last_seq, commit_seq = _load_snapshot(snapshot_path)
+        if image is not None:
+            database = restore_database(
+                image, plan_cache_size=plan_cache_size
+            )
+        else:
+            database = Database(
+                name=name,
+                dialect=dialect,
+                admin_user=admin_user,
+                plan_cache_size=plan_cache_size,
+            )
     # Resume the MVCC commit counter above everything in the snapshot
     # so replayed (and future) stamps stay monotonic.
     database.transactions.restore(commit_seq)
@@ -523,6 +617,7 @@ def open_database(
         directory,
         last_seq=max(last_seq, max_seq),
         checkpoint_interval=checkpoint_interval,
+        lsm=store,
     )
     database.durability = manager
     if records:

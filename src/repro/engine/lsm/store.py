@@ -1,0 +1,648 @@
+"""The LSM store: memtable flushes, run bookkeeping, compaction.
+
+One :class:`LsmStore` owns a durable database directory's run files
+and manifest.  The *memtable* is the un-flushed portion of the live
+MVCC heap — versions whose ``rid`` is still None, made durable by the
+existing WAL exactly as under the snapshot engine.  What changes is the
+checkpoint: instead of pickling the whole database (O(database)), a
+flush writes only the delta since the previous flush (O(new data)) as
+one immutable SSTable run per table:
+
+* a **data entry** per committed-live version not yet on disk (the
+  version is assigned its ``rid`` at this moment);
+* a **tombstone** per flushed version whose ``end`` stamp landed since
+  the last flush (plus tombstones handed over by vacuum for versions it
+  physically reclaimed before they could be flushed).
+
+Versions born *and* deleted between two flushes never touch disk at
+all.  After the runs are written the manifest is atomically installed
+and the WAL truncated — same crash discipline as the snapshot
+checkpoint, same recovery contract: the manifest covers everything with
+``seq <= last_seq``; the WAL replays the rest.
+
+Background **size-tiered compaction** merges adjacent similarly-sized
+runs of a table once enough accumulate, annihilating (data, tombstone)
+pairs whose ``end`` stamp is at or below the MVCC vacuum horizon
+(:meth:`~repro.engine.mvcc.TransactionManager.oldest_visible_seq`) —
+the same bound vacuum uses for heap versions, so no live snapshot can
+lose a row it could still see.  Compaction never blocks the engine:
+run files are immutable, the merge happens off-lock, and only the
+manifest install takes the store lock.
+
+Fault-injection sites: ``lsm.flush`` (before a flush writes anything),
+``lsm.manifest`` (runs written, manifest not yet installed),
+``lsm.flush.install`` (manifest installed, WAL not yet truncated),
+``lsm.compact`` (before the merged run is written) and
+``lsm.compact.install`` (merged manifest installed, victim runs not yet
+unlinked).  Every window is recovery-neutral by construction.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import threading
+from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
+
+from repro import errors, faultpoints
+from repro.observability import metrics as _metrics
+from repro.engine.lsm.manifest import (
+    MANIFEST_FILENAME,
+    MANIFEST_VERSION,
+    read_manifest,
+    write_manifest,
+)
+from repro.engine.lsm.sstable import Entry, SSTableReader, write_sstable
+
+__all__ = ["LsmStore", "MANIFEST_FILENAME"]
+
+_FLUSHES = _metrics.registry.counter("lsm.flushes")
+_COMPACTIONS = _metrics.registry.counter("lsm.compactions")
+_STALL_MS = _metrics.registry.histogram("lsm.stall_ms")
+_RUNS_WRITTEN = _metrics.registry.counter("lsm.runs_written")
+_TOMBSTONES_GCED = _metrics.registry.counter("lsm.tombstones_gced")
+
+_RUN_PREFIX = "run-"
+_RUN_SUFFIX = ".run"
+
+
+class LsmStore:
+    """Run files + manifest for one durable database directory.
+
+    Thread-safety: ``_lock`` guards the run lists, watermarks, rid
+    allocation and manifest writes.  :meth:`flush` is only ever called
+    under the exclusive engine lock (by the durability manager's
+    checkpoint), vacuum's tombstone handoff runs under the same engine
+    lock, and compaction touches only immutable files outside the store
+    lock — so the lock is held for bookkeeping, never for I/O-sized
+    work except the manifest install itself.
+    """
+
+    def __init__(self, directory: str, *, compact_threshold: int = 4) -> None:
+        self.directory = directory
+        #: Merge once this many similarly-sized adjacent runs accumulate.
+        self.compact_threshold = compact_threshold
+        self._lock = threading.RLock()
+        #: Live runs per table, oldest first (newest-first merges
+        #: iterate in reverse).
+        self.runs: Dict[str, List[SSTableReader]] = {}
+        #: Commit stamps <= this are fully covered by the runs.
+        self.flushed_stamp = 0
+        #: Highest WAL seq folded into the runs at the last flush.
+        self.last_seq = 0
+        self.next_rid = 1
+        self._next_file = 1
+        #: Vacuum handoff: tombstones for flushed versions the heap no
+        #: longer holds (table -> {rid: end stamp}).
+        self._pending: Dict[str, Dict[int, int]] = {}
+        #: Tables whose runs must be rewritten wholesale at the next
+        #: flush (a column add/drop rewrote every row image in place).
+        self._doomed: Set[str] = set()
+        #: Schema image from the manifest (None on a fresh store).
+        self._image: Optional[Any] = None
+        self._image_blob: Optional[bytes] = None
+        self._compact_gate = threading.Lock()
+        self._compact_thread: Optional[threading.Thread] = None
+        self.closed = False
+
+    # ------------------------------------------------------------------
+    # open / recovery
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(cls, directory: str) -> "LsmStore":
+        """Load the manifest (if any) and sweep orphaned files.
+
+        Files the manifest does not reference — runs from a crashed
+        flush or compaction, ``.tmp`` leftovers — are deleted: the
+        atomic manifest install means they were never part of the
+        durable state.
+        """
+        store = cls(directory)
+        payload = read_manifest(directory)
+        referenced: Set[str] = set()
+        if payload is not None:
+            store._image_blob = payload["image_blob"]
+            try:
+                store._image = pickle.loads(store._image_blob)
+            except Exception as exc:
+                raise errors.DataError(
+                    f"cannot load LSM manifest schema: {exc}"
+                ) from exc
+            store.flushed_stamp = int(payload["commit_seq"])
+            store.last_seq = int(payload["last_seq"])
+            store.next_rid = int(payload["next_rid"])
+            store._next_file = int(payload["next_file"])
+            for name, filenames in payload["runs"].items():
+                readers = []
+                for filename in filenames:
+                    path = os.path.join(directory, filename)
+                    if not os.path.exists(path):
+                        raise errors.DataError(
+                            f"LSM manifest references missing run "
+                            f"file {filename!r}"
+                        )
+                    readers.append(SSTableReader(path))
+                    referenced.add(filename)
+                store.runs[name] = readers
+        for filename in os.listdir(directory):
+            if filename in referenced:
+                continue
+            is_orphan_run = (
+                filename.startswith(_RUN_PREFIX)
+                and filename.endswith(_RUN_SUFFIX)
+            )
+            is_tmp = filename.endswith(".tmp") and (
+                filename.startswith(_RUN_PREFIX)
+                or filename.startswith(MANIFEST_FILENAME)
+            )
+            if is_orphan_run or is_tmp:
+                try:
+                    os.unlink(os.path.join(directory, filename))
+                except OSError:  # pragma: no cover - race with cleanup
+                    pass
+        return store
+
+    def initialise(self, database: Any) -> None:
+        """Install the creation-time manifest for a brand-new directory.
+
+        The manifest is what marks a directory as LSM-format on
+        reopen, so it must exist from the moment the database does —
+        otherwise a crash before the first flush would silently reopen
+        the directory under the snapshot engine.  Empty run set,
+        ``last_seq`` 0: the WAL replays everything, exactly as it
+        would have before this manifest was written.
+        """
+        with self._lock:
+            self._install_manifest(
+                database, {}, commit_seq=0, last_seq=0
+            )
+
+    def build_database(
+        self,
+        *,
+        name: str,
+        dialect: Any,
+        admin_user: str,
+        plan_cache_size: int,
+    ) -> Any:
+        """Reconstruct the database the manifest + runs describe.
+
+        The catalog comes from the manifest's schema image; every
+        table's heap is rebuilt by the newest-first merged run scan,
+        preserving each row's ``rid`` and original MVCC ``begin`` stamp
+        (so post-recovery snapshots see exactly the committed history).
+        Secondary indexes are rebuilt from the loaded heaps.  WAL
+        replay — run by :func:`repro.engine.durability.open_database`
+        afterwards — then refills the memtable.
+        """
+        from repro.engine.database import Database
+        from repro.engine.mvcc import TXN_BOOTSTRAP, RowVersion
+        from repro.engine.persistence import restore_database
+        from repro.engine.virtual import VirtualTable
+
+        if self._image is None:
+            return Database(
+                name=name,
+                dialect=dialect,
+                admin_user=admin_user,
+                plan_cache_size=plan_cache_size,
+            )
+        database = restore_database(
+            self._image, plan_cache_size=plan_cache_size
+        )
+        for table in database.catalog.tables.values():
+            if isinstance(table, VirtualTable):
+                continue
+            versions = []
+            for rid, begin, row in self.scan_table(table.name):
+                version = RowVersion(
+                    list(row), xmin=TXN_BOOTSTRAP, begin=begin
+                )
+                version.rid = rid
+                versions.append(version)
+            table.versions = versions
+            for index in table.indexes:
+                index.rebuild()
+        return database
+
+    # ------------------------------------------------------------------
+    # flush (the LSM checkpoint)
+    # ------------------------------------------------------------------
+    def flush(self, database: Any, *, last_seq: int) -> int:
+        """Flush the memtable delta to one new run per dirty table.
+
+        Called by the durability manager under the exclusive engine
+        lock with no durable transaction in flight, so every stamp in
+        the heap is <= the current commit counter.  Returns the number
+        of runs written.  Crash-safe at every step: runs are written
+        before the manifest references them, the manifest is installed
+        atomically, and the WAL is truncated by the *caller* only after
+        the manifest install succeeded.
+        """
+        from repro.engine.virtual import VirtualTable
+
+        cutoff = database.transactions.commit_seq
+        written = 0
+        with self._lock:
+            tables = [
+                t for t in database.catalog.tables.values()
+                if not isinstance(t, VirtualTable)
+            ]
+            live_names = {t.name for t in tables}
+            doomed_files: List[str] = []
+            new_runs: Dict[str, List[SSTableReader]] = {}
+            for table in tables:
+                entries: List[Entry] = []
+                with table.mutation_lock:
+                    for version in table.versions:
+                        if version.rid is None:
+                            # Born since the last flush.  Dead-on-
+                            # arrival versions (end already stamped)
+                            # never reach disk at all.
+                            if (
+                                version.begin is not None
+                                and version.end is None
+                            ):
+                                version.rid = self.next_rid
+                                self.next_rid += 1
+                                entries.append((
+                                    "d", version.rid, version.begin,
+                                    list(version.row),
+                                ))
+                        elif (
+                            version.end is not None
+                            and version.end > self.flushed_stamp
+                        ):
+                            # Flushed earlier, deleted since: tombstone.
+                            entries.append(
+                                ("t", version.rid, version.end)
+                            )
+                for rid, end in self._pending.get(
+                    table.name, {}
+                ).items():
+                    entries.append(("t", rid, end))
+                if table.name in self._doomed:
+                    # Every row image was rewritten in place (ALTER
+                    # ADD/DROP COLUMN): the old runs hold stale images,
+                    # so they are dropped wholesale and the loop above
+                    # re-emitted the full table (rids were reset).
+                    base: List[SSTableReader] = []
+                    doomed_files.extend(
+                        r.path for r in self.runs.get(table.name, ())
+                    )
+                else:
+                    base = list(self.runs.get(table.name, ()))
+                if entries:
+                    entries.sort(key=lambda e: e[1])
+                    path = self._allocate_run_path()
+                    write_sstable(path, entries, table=table.name)
+                    base.append(SSTableReader(path))
+                    written += 1
+                    _RUNS_WRITTEN.increment()
+                if base:
+                    new_runs[table.name] = base
+            # Runs of tables dropped from the catalog die with them.
+            for name, readers in self.runs.items():
+                if name not in live_names:
+                    doomed_files.extend(r.path for r in readers)
+            faultpoints.trigger("lsm.manifest")
+            self._install_manifest(
+                database, new_runs, commit_seq=cutoff, last_seq=last_seq
+            )
+            self.runs = new_runs
+            self.flushed_stamp = cutoff
+            self.last_seq = last_seq
+            self._pending.clear()
+            self._doomed.clear()
+            for path in doomed_files:
+                try:
+                    os.unlink(path)
+                except OSError:  # pragma: no cover
+                    pass
+        _FLUSHES.increment()
+        return written
+
+    def _install_manifest(
+        self,
+        database: Any,
+        runs: Dict[str, List[SSTableReader]],
+        *,
+        commit_seq: int,
+        last_seq: int,
+    ) -> None:
+        from repro.engine.persistence import image_of
+
+        image = image_of(database, include_rows=False)
+        try:
+            blob = pickle.dumps(
+                image, protocol=pickle.HIGHEST_PROTOCOL
+            )
+        except Exception as exc:
+            raise errors.DataError(
+                "catalog is not flushable — object defaults may only "
+                f"be instances of importable classes: {exc}"
+            ) from exc
+        self._image = image
+        self._image_blob = blob
+        write_manifest(self.directory, {
+            "version": MANIFEST_VERSION,
+            "image_blob": blob,
+            "commit_seq": commit_seq,
+            "last_seq": last_seq,
+            "next_rid": self.next_rid,
+            "next_file": self._next_file,
+            "runs": {
+                name: [os.path.basename(r.path) for r in readers]
+                for name, readers in runs.items()
+            },
+        })
+
+    def _allocate_run_path(self) -> str:
+        number = self._next_file
+        self._next_file += 1
+        return os.path.join(
+            self.directory, f"{_RUN_PREFIX}{number:08d}{_RUN_SUFFIX}"
+        )
+
+    def note_stall(self, seconds: float) -> None:
+        """Record one flush pause (the LSM analogue of the snapshot
+        checkpoint's ``wal.checkpoint.seconds``)."""
+        _STALL_MS.observe(seconds * 1000.0)
+
+    # ------------------------------------------------------------------
+    # merged reads
+    # ------------------------------------------------------------------
+    def scan_table(
+        self, name: str, memtable: Optional[Any] = None
+    ) -> Iterator[Tuple[Optional[int], Optional[int], List[Any]]]:
+        """Merged committed-row scan: memtable first, runs newest-first.
+
+        Yields ``(rid, begin, row)`` triples.  ``memtable`` is the live
+        version heap (iterable of RowVersions) and takes precedence for
+        any rid it holds; omitted (recovery, tests over cold runs) the
+        scan covers the flushed state only.  Tombstones — from the
+        vacuum-handoff buffer, from each run, and from end-stamped
+        memtable versions — shadow older data entries; a run's own
+        tombstones are unioned *before* its data entries are read, so a
+        (data, tombstone) pair kept together by compaction still
+        annihilates at read time.
+        """
+        with self._lock:
+            runs = list(self.runs.get(name, ()))
+            shadowed: Set[int] = set(self._pending.get(name, ()))
+        seen: Set[int] = set()
+        if memtable is not None:
+            for version in memtable:
+                rid = version.rid
+                if rid is not None:
+                    seen.add(rid)
+                    if version.end is not None:
+                        shadowed.add(rid)
+                if version.committed_live():
+                    yield (rid, version.begin, list(version.row))
+        for run in reversed(runs):
+            shadowed |= run.tombstone_rids
+            for entry in run.data_entries():
+                rid = entry[1]
+                if rid in shadowed or rid in seen:
+                    continue
+                seen.add(rid)
+                yield (rid, entry[2], list(entry[3]))
+
+    def get(self, name: str, rid: int) -> Optional[Entry]:
+        """Point lookup of ``rid``'s data entry across a table's runs,
+        newest first (Bloom filters skip runs that cannot hold it);
+        None if absent or tombstoned."""
+        with self._lock:
+            runs = list(self.runs.get(name, ()))
+            if rid in self._pending.get(name, ()):
+                return None
+        shadowed = False
+        for run in reversed(runs):
+            if rid in run.tombstone_rids:
+                shadowed = True
+            entry = run.get(rid)
+            if entry is not None:
+                return None if shadowed else entry
+        return None
+
+    # ------------------------------------------------------------------
+    # engine hooks (vacuum / DDL)
+    # ------------------------------------------------------------------
+    def note_vacuumed(self, table_name: str, version: Any) -> None:
+        """Vacuum handoff: the heap physically reclaimed a flushed
+        version whose deletion is not on disk yet — remember the
+        tombstone so the next flush writes it.  (Crash before that
+        flush is safe: the WAL still holds the deleting statement.)"""
+        rid = version.rid
+        end = version.end
+        if rid is None or end is None:
+            return
+        with self._lock:
+            if end <= self.flushed_stamp:
+                return  # deletion already durable in a run
+            if table_name in self._doomed:
+                return  # whole run set is being rewritten anyway
+            self._pending.setdefault(table_name, {})[rid] = end
+
+    def invalidate_table(self, table: Any) -> None:
+        """A DDL change rewrote every row image in place (column
+        add/drop): on-disk entries are stale, so reset every version's
+        rid and doom the table's runs — the next flush rewrites it
+        wholesale under the new schema."""
+        with self._lock:
+            with table.mutation_lock:
+                for version in table.versions:
+                    version.rid = None
+            self._doomed.add(table.name)
+            self._pending.pop(table.name, None)
+
+    # ------------------------------------------------------------------
+    # compaction
+    # ------------------------------------------------------------------
+    def maybe_compact(self, database: Any) -> bool:
+        """Kick off a background compaction if any table has
+        accumulated enough runs.  At most one compaction thread runs at
+        a time; it is a daemon and never holds the engine lock."""
+        if self.closed:
+            return False
+        with self._lock:
+            due = any(
+                len(readers) >= self.compact_threshold
+                for readers in self.runs.values()
+            )
+        if not due:
+            return False
+        with self._compact_gate:
+            thread = self._compact_thread
+            if thread is not None and thread.is_alive():
+                return False
+            thread = threading.Thread(
+                target=self._compact_quietly,
+                args=(database,),
+                name=f"repro-lsm-compact-{os.path.basename(self.directory)}",
+                daemon=True,
+            )
+            self._compact_thread = thread
+            thread.start()
+        return True
+
+    def _compact_quietly(self, database: Any) -> None:
+        try:
+            self.compact(database)
+        except errors.ReproError:
+            pass  # injected faults target the foreground compaction tests
+        except OSError:
+            # The directory vanished underneath us (an abandoned
+            # database in tests, an unmounted volume): background
+            # maintenance must never take the process down, and the
+            # manifest install is atomic, so the durable state is
+            # either the old or the new run set — both consistent.
+            pass
+
+    def compact(self, database: Any) -> int:
+        """One foreground compaction pass over every table; returns the
+        number of merges performed."""
+        horizon = database.transactions.oldest_visible_seq()
+        merged = 0
+        for name in list(self.runs):
+            merged += self._compact_table(name, horizon)
+        return merged
+
+    def _compact_table(self, name: str, horizon: int) -> int:
+        with self._lock:
+            readers = list(self.runs.get(name, ()))
+            span = self._pick_span(readers)
+            if span is None:
+                return 0
+            lo, hi = span
+            victims = readers[lo:hi]
+        # Merge off-lock: run files are immutable.  Newer entries win
+        # (each rid's data entry exists once, so this is really a union
+        # plus tombstone resolution).
+        data: Dict[int, Entry] = {}
+        tombstones: Dict[int, Entry] = {}
+        for reader in victims:
+            for entry in reader.entries():
+                if entry[0] == "d":
+                    data[entry[1]] = entry
+                else:
+                    tombstones[entry[1]] = entry
+        merged: List[Entry] = []
+        annihilated: Set[int] = set()
+        for rid, entry in data.items():
+            tomb = tombstones.get(rid)
+            if tomb is not None and tomb[2] <= horizon:
+                # Dead below the vacuum horizon: no live snapshot can
+                # see the row — data and tombstone annihilate.
+                annihilated.add(rid)
+            else:
+                merged.append(entry)
+        for rid, tomb in tombstones.items():
+            if rid not in annihilated:
+                # Either its data entry lives in an older (unmerged)
+                # run, or the horizon still protects a reader — keep it.
+                merged.append(tomb)
+        merged.sort(key=lambda e: e[1])
+        faultpoints.trigger("lsm.compact")
+        replacement: List[SSTableReader] = []
+        merged_path: Optional[str] = None
+        if merged:
+            with self._lock:
+                merged_path = self._allocate_run_path()
+            write_sstable(merged_path, merged, table=name)
+            replacement = [SSTableReader(merged_path)]
+        with self._lock:
+            current = list(self.runs.get(name, ()))
+            try:
+                start = current.index(victims[0])
+            except ValueError:
+                start = -1
+            if (
+                start < 0
+                or current[start:start + len(victims)] != victims
+            ):
+                # The table was rewritten (ALTER/DROP) while we merged;
+                # our input no longer exists.  Discard the output.
+                if merged_path is not None:
+                    try:
+                        os.unlink(merged_path)
+                    except OSError:  # pragma: no cover
+                        pass
+                return 0
+            self.runs[name] = (
+                current[:start]
+                + replacement
+                + current[start + len(victims):]
+            )
+            self._write_manifest_locked()
+            faultpoints.trigger("lsm.compact.install")
+        for reader in victims:
+            try:
+                os.unlink(reader.path)
+            except OSError:  # pragma: no cover
+                pass
+        _COMPACTIONS.increment()
+        if annihilated:
+            _TOMBSTONES_GCED.increment(len(annihilated))
+        return 1
+
+    def _pick_span(
+        self, readers: List[SSTableReader]
+    ) -> Optional[Tuple[int, int]]:
+        """Size-tiered victim selection: walking from the newest run
+        backwards, find the first contiguous group of at least
+        ``compact_threshold`` runs in the same size tier (tiers are
+        ~4x size buckets).  Contiguity preserves the newest-first
+        ordering invariant tombstone resolution depends on."""
+        count = len(readers)
+        if count < self.compact_threshold:
+            return None
+        hi = count
+        while hi > 0:
+            tier = self._tier(readers[hi - 1].size)
+            lo = hi - 1
+            while lo > 0 and self._tier(readers[lo - 1].size) == tier:
+                lo -= 1
+            if hi - lo >= self.compact_threshold:
+                return (lo, hi)
+            hi = lo
+        return None
+
+    @staticmethod
+    def _tier(size: int) -> int:
+        return max(1, size).bit_length() // 2
+
+    def _write_manifest_locked(self) -> None:
+        """Re-install the manifest with the current run lists but the
+        *last flush's* schema and watermarks — compaction changes which
+        files hold the durable state, never what that state is."""
+        assert self._image_blob is not None
+        write_manifest(self.directory, {
+            "version": MANIFEST_VERSION,
+            "image_blob": self._image_blob,
+            "commit_seq": self.flushed_stamp,
+            "last_seq": self.last_seq,
+            "next_rid": self.next_rid,
+            "next_file": self._next_file,
+            "runs": {
+                name: [os.path.basename(r.path) for r in readers]
+                for name, readers in self.runs.items()
+            },
+        })
+
+    # ------------------------------------------------------------------
+    # lifecycle / introspection
+    # ------------------------------------------------------------------
+    def run_count(self, name: Optional[str] = None) -> int:
+        with self._lock:
+            if name is not None:
+                return len(self.runs.get(name, ()))
+            return sum(len(r) for r in self.runs.values())
+
+    def close(self) -> None:
+        """Stop accepting compactions and wait for an in-flight one."""
+        self.closed = True
+        thread = self._compact_thread
+        if thread is not None and thread.is_alive():
+            thread.join(timeout=5.0)

@@ -79,9 +79,15 @@ class RowVersion:
     stamps (``None`` while the creating/deleting transaction is still
     in flight); ``xmin``/``xmax`` are the transaction ids that wrote
     them.  ``xmax`` doubles as the row-level write claim.
+
+    ``rid`` is the version's durable row id under the LSM storage
+    engine (see :mod:`repro.engine.lsm`): ``None`` until the version is
+    first flushed to an SSTable run, then a globally unique integer
+    that names its on-disk data entry (tombstones reference the same
+    id).  The snapshot engine never assigns it.
     """
 
-    __slots__ = ("row", "xmin", "begin", "xmax", "end")
+    __slots__ = ("row", "xmin", "begin", "xmax", "end", "rid")
 
     def __init__(
         self,
@@ -94,6 +100,7 @@ class RowVersion:
         self.begin = begin
         self.xmax: Optional[int] = None
         self.end: Optional[int] = None
+        self.rid: Optional[int] = None
 
     def committed_live(self) -> bool:
         """Committed and not (even provisionally) deleted or replaced."""

@@ -163,12 +163,17 @@ def _member_image(binding: MethodBinding) -> _MemberImage:
     )
 
 
-def image_of(database: Database) -> DatabaseImage:
+def image_of(
+    database: Database, *, include_rows: bool = True
+) -> DatabaseImage:
     """Capture ``database`` as a picklable :class:`DatabaseImage`.
 
     Used by :func:`save_database` and by the durability checkpointer
     (:mod:`repro.engine.durability`), which folds the write-ahead log
-    into exactly this snapshot format.
+    into exactly this snapshot format.  ``include_rows=False`` captures
+    the catalog only (empty row lists) — the LSM manifest
+    (:mod:`repro.engine.lsm`) stores schema this way because row data
+    lives in the SSTable runs, not the manifest.
     """
     catalog = database.catalog
 
@@ -211,7 +216,10 @@ def image_of(database: Database) -> DatabaseImage:
                     )
                     for c in table.columns
                 ],
-                rows=[list(row) for row in table.rows],
+                rows=(
+                    [list(row) for row in table.rows]
+                    if include_rows else []
+                ),
                 indexes=[
                     (index.name, list(index.column_names))
                     for index in table.indexes

@@ -45,6 +45,15 @@ name                            meaning
 ``slow_query.count``            slow-query log records emitted
 ``stats.evictions``             statement-statistics entries evicted at
                                 capacity (see observability/stats.py)
+``lsm.flushes``                 LSM memtable flushes (checkpoints on an
+                                ``storage="lsm"`` database)
+``lsm.runs_written``            SSTable run files written by flushes
+``lsm.compactions``             background run merges completed
+``lsm.tombstones_gced``         data/tombstone pairs annihilated below
+                                the MVCC horizon during compaction
+``lsm.stall_ms``                histogram of the write pause each LSM
+                                flush imposed, milliseconds (compare
+                                ``wal.checkpoint.seconds``)
 ==============================  ============================================
 """
 

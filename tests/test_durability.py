@@ -37,6 +37,21 @@ from repro.observability import metrics as _metrics
 from repro.testing.faults import FaultPlan
 
 
+def crash(database):
+    """Simulate kill -9 before abandoning ``database``.
+
+    A real crash takes background threads down with the process; in
+    the test process the LSM store's compaction daemon would survive
+    the ``del`` and keep rewriting the directory while recovery reads
+    it — which models two live processes owning one data directory,
+    explicitly unsupported.  Halting the daemon (its manifest installs
+    are atomic, so stopping after any one of them is crash-shaped)
+    restores the single-owner premise for the reopen."""
+    store = getattr(database, "lsm_store", None)
+    if store is not None:
+        store.close()
+
+
 def table_state(database, table="t"):
     """``{k: v}`` snapshot of a two-int-column table."""
     session = database.create_session(autocommit=True)
@@ -45,6 +60,16 @@ def table_state(database, table="t"):
         return {row[0]: row[1] for row in result.rows}
     finally:
         session.close()
+
+
+@pytest.fixture(params=["snapshot", "lsm"])
+def storage(request):
+    """Run recovery-sensitive tests against both storage engines.
+
+    Only the *first* open needs the flag — an initialised directory
+    dictates its own engine on every reopen, which is itself part of
+    the contract under test."""
+    return request.param
 
 
 # ---------------------------------------------------------------------------
@@ -105,9 +130,9 @@ class TestWalFraming:
 # Basic recovery
 # ---------------------------------------------------------------------------
 class TestRecovery:
-    def test_committed_work_survives_reopen(self, tmp_path):
+    def test_committed_work_survives_reopen(self, tmp_path, storage):
         d = str(tmp_path)
-        db = open_database(d, name="recov")
+        db = open_database(d, name="recov", storage=storage)
         s = db.create_session(autocommit=True)
         s.execute("CREATE TABLE t (k INT, v INT)")
         s.execute("INSERT INTO t VALUES (1, 10)")
@@ -120,24 +145,25 @@ class TestRecovery:
         assert table_state(db2) == {1: 10, 2: 20}
         db2.close()
 
-    def test_uncommitted_txn_discarded_on_crash(self, tmp_path):
+    def test_uncommitted_txn_discarded_on_crash(self, tmp_path, storage):
         d = str(tmp_path)
-        db = open_database(d)
+        db = open_database(d, storage=storage)
         s = db.create_session(autocommit=True)
         s.execute("CREATE TABLE t (k INT, v INT)")
         s.execute("INSERT INTO t VALUES (1, 10)")
         s.autocommit = False
         s.execute("INSERT INTO t VALUES (2, 20)")  # never committed
         # Crash: abandon without close/commit.
+        crash(db)
         del s, db
 
         db2 = open_database(d)
         assert table_state(db2) == {1: 10}
         db2.close()
 
-    def test_rolled_back_txn_not_replayed(self, tmp_path):
+    def test_rolled_back_txn_not_replayed(self, tmp_path, storage):
         d = str(tmp_path)
-        db = open_database(d)
+        db = open_database(d, storage=storage)
         s = db.create_session(autocommit=True)
         s.execute("CREATE TABLE t (k INT, v INT)")
         s.autocommit = False
@@ -145,26 +171,30 @@ class TestRecovery:
         s.rollback()
         s.execute("INSERT INTO t VALUES (2, 20)")
         s.commit()
+        crash(db)
         del s, db  # crash before checkpoint: state comes from the WAL
 
         db2 = open_database(d)
         assert table_state(db2) == {2: 20}
         db2.close()
 
-    def test_ddl_is_durable_without_explicit_commit(self, tmp_path):
+    def test_ddl_is_durable_without_explicit_commit(
+        self, tmp_path, storage
+    ):
         d = str(tmp_path)
-        db = open_database(d)
+        db = open_database(d, storage=storage)
         s = db.create_session(autocommit=False)  # even in a txn session
         s.execute("CREATE TABLE t (k INT, v INT)")
+        crash(db)
         del s, db  # crash
 
         db2 = open_database(d)
         assert table_state(db2) == {}
         db2.close()
 
-    def test_savepoints_replay(self, tmp_path):
+    def test_savepoints_replay(self, tmp_path, storage):
         d = str(tmp_path)
-        db = open_database(d)
+        db = open_database(d, storage=storage)
         s = db.create_session(autocommit=True)
         s.execute("CREATE TABLE t (k INT, v INT)")
         s.autocommit = False
@@ -174,21 +204,23 @@ class TestRecovery:
         s.execute("ROLLBACK TO SAVEPOINT sp1")
         s.execute("INSERT INTO t VALUES (3, 30)")
         s.commit()
+        crash(db)
         del s, db  # crash; recovery replays the savepoint dance
 
         db2 = open_database(d)
         assert table_state(db2) == {1: 10, 3: 30}
         db2.close()
 
-    def test_indexes_rebuilt_consistently(self, tmp_path):
+    def test_indexes_rebuilt_consistently(self, tmp_path, storage):
         d = str(tmp_path)
-        db = open_database(d)
+        db = open_database(d, storage=storage)
         s = db.create_session(autocommit=True)
         s.execute("CREATE TABLE t (k INT, v INT)")
         s.execute("CREATE INDEX t_k ON t (k)")
         for i in range(8):
             s.execute(f"INSERT INTO t VALUES ({i}, {i * 10})")
         s.execute("DELETE FROM t WHERE k = 3")
+        crash(db)
         del s, db  # crash
 
         db2 = open_database(d)
@@ -209,6 +241,7 @@ class TestRecovery:
         s = db.create_session(autocommit=True)
         s.execute("CREATE TABLE t (k INT, v INT)")
         s.execute("INSERT INTO t VALUES (1, 10)")
+        crash(db)
         del s, db  # crash with WAL content pending
 
         before = _metrics.snapshot()["counters"]
@@ -238,6 +271,7 @@ class TestCheckpoint:
         assert os.path.getsize(wal_path) == 0
         assert os.path.getsize(os.path.join(d, SNAPSHOT_FILENAME)) > 0
         # State must come entirely from the snapshot now.
+        crash(db)
         del s, db
         db2 = open_database(d)
         assert table_state(db2) == {1: 10}
@@ -288,6 +322,7 @@ class TestCheckpoint:
         # Snapshot exists AND the WAL still holds the same transactions.
         assert os.path.getsize(os.path.join(d, SNAPSHOT_FILENAME)) > 0
         assert os.path.getsize(os.path.join(d, WAL_FILENAME)) > 0
+        crash(db)
         del s, db  # crash
 
         db2 = open_database(d)
@@ -346,6 +381,7 @@ class TestGroupCommit:
         s = db.create_session(autocommit=True)
         s.execute("CREATE TABLE t (k INT, v INT)")
         s.execute("INSERT INTO t VALUES (1, 1)")
+        crash(db)
         del s, db  # crash right after the acked insert
 
         db2 = open_database(d)
@@ -409,18 +445,29 @@ CRASH_SITES = [
     "wal.checkpoint.install",
 ]
 
+#: The LSM engine dispatches checkpoints to memtable flushes, so the
+#: checkpoint crash windows move to the equivalent flush faultpoints
+#: (manifest installed / WAL not yet truncated, and the pre-write
+#: window); everything else is engine-independent.
+LSM_SITE_MAP = {
+    "wal.checkpoint": "lsm.flush",
+    "wal.checkpoint.install": "lsm.flush.install",
+}
+
 
 class TestCrashMatrix:
     @pytest.mark.parametrize("site", CRASH_SITES)
     @pytest.mark.parametrize("after", [0, 2, 5])
     def test_recovery_yields_exact_committed_prefix(
-        self, tmp_path, site, after
+        self, tmp_path, site, after, storage
     ):
         d = str(tmp_path)
         statements = _workload_statements()
         states = _shadow_states(statements)
+        if storage == "lsm":
+            site = LSM_SITE_MAP.get(site, site)
 
-        db = open_database(d, checkpoint_interval=3)
+        db = open_database(d, checkpoint_interval=3, storage=storage)
         s = db.create_session(autocommit=True)
         s.execute("CREATE TABLE t (k INT, v INT)")
         s.execute("CREATE INDEX t_k ON t (k)")
@@ -440,6 +487,7 @@ class TestCrashMatrix:
                 except errors.ReproError:
                     break  # crash point: abandon everything
                 acked += 1
+        crash(db)
         del s, db  # crash: no close, no final checkpoint
 
         db2 = open_database(d)
@@ -460,7 +508,9 @@ class TestCrashMatrix:
         db2.close()
 
     @pytest.mark.parametrize("after", [0, 1])
-    def test_crash_mid_vacuum_is_recovery_neutral(self, tmp_path, after):
+    def test_crash_mid_vacuum_is_recovery_neutral(
+        self, tmp_path, after, storage
+    ):
         """Vacuum is not WAL-logged, so a crash when only *some* tables
         were reclaimed (``after=1``: the fault fires on the second
         table) must recover the exact committed state regardless."""
@@ -468,7 +518,7 @@ class TestCrashMatrix:
         statements = _workload_statements()
         expected = _shadow_states(statements)[-1]
 
-        db = open_database(d)
+        db = open_database(d, storage=storage)
         s = db.create_session(autocommit=True)
         s.execute("CREATE TABLE t (k INT, v INT)")
         s.execute("CREATE INDEX t_k ON t (k)")
@@ -487,6 +537,7 @@ class TestCrashMatrix:
             with pytest.raises(errors.ReproError):
                 db.vacuum()
         assert plan.fired["storage.vacuum"] == 1
+        crash(db)
         del s, db  # crash: no close, no final checkpoint
 
         db2 = open_database(d)
@@ -501,13 +552,15 @@ class TestCrashMatrix:
             index.verify_against_heap()
         db2.close()
 
-    def test_commit_window_crash_discards_stamped_txn(self, tmp_path):
+    def test_commit_window_crash_discards_stamped_txn(
+        self, tmp_path, storage
+    ):
         """A crash after commit-stamp allocation but before the WAL
         marker append (the ``mvcc.commit`` window) loses the
         transaction: it was never acknowledged, and recovery must
         replay exactly the prefix *without* it."""
         d = str(tmp_path)
-        db = open_database(d)
+        db = open_database(d, storage=storage)
         s = db.create_session(autocommit=False)
         s.execute("CREATE TABLE t (k INT, v INT)")
         s.execute("INSERT INTO t VALUES (1, 10)")
@@ -521,17 +574,20 @@ class TestCrashMatrix:
         with plan.armed():
             with pytest.raises(errors.ReproError):
                 s.commit()
+        crash(db)
         del s, db  # crash
 
         db2 = open_database(d)
         assert table_state(db2) == {1: 10}
         db2.close()
 
-    def test_torn_write_truncated_and_prefix_preserved(self, tmp_path):
+    def test_torn_write_truncated_and_prefix_preserved(
+        self, tmp_path, storage
+    ):
         """A corrupted frame at crash time is a torn write: recovery
         truncates it and keeps every earlier committed transaction."""
         d = str(tmp_path)
-        db = open_database(d)
+        db = open_database(d, storage=storage)
         s = db.create_session(autocommit=True)
         s.execute("CREATE TABLE t (k INT, v INT)")
         s.execute("INSERT INTO t VALUES (1, 10)")
@@ -550,6 +606,7 @@ class TestCrashMatrix:
             with pytest.raises(errors.ReproError):
                 s.execute("INSERT INTO t VALUES (2, 20)")
         assert plan.fired["wal.write"] == 1
+        crash(db)
         del s, db  # crash
 
         before = _metrics.snapshot()["counters"].get(

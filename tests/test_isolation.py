@@ -6,11 +6,14 @@ repeatable reads, phantoms and lost updates are impossible; write-write
 conflicts resolve first-committer-wins with SQLSTATE 40001 for the
 loser; readers never block writers and writers never block readers.
 
-Every scenario runs twice — against in-process engine sessions and
-over ``repro://`` through the network server — behind one small
-harness facade, proving the guarantees survive the wire protocol
-unchanged (the paper's location transparency, applied to transaction
-semantics).
+Every scenario runs four ways — against in-process engine sessions
+(pure in-memory, durable on the snapshot engine, durable on the LSM
+engine) and over ``repro://`` through the network server — behind one
+small harness facade, proving the guarantees survive both the wire
+protocol and either storage engine unchanged (the paper's location
+transparency, applied to transaction semantics).  The durable modes
+use a tiny checkpoint interval so snapshot checkpoints / LSM flushes
+actually interleave with the battery.
 """
 
 from __future__ import annotations
@@ -22,6 +25,7 @@ import pytest
 import repro
 from repro import errors
 from repro.engine.database import Database
+from repro.engine.durability import open_database
 from repro.server import ReproServer
 from repro.testing import retry_serialization, run_concurrent
 
@@ -91,17 +95,28 @@ class RemoteHandle:
 class Harness:
     """Opens transactional handles against one shared database."""
 
-    def __init__(self, mode, server=None, name="iso"):
+    def __init__(
+        self, mode, server=None, name="iso",
+        directory=None, storage="snapshot",
+    ):
         self.mode = mode
         self.server = server
         self.name = name
         if mode == "engine":
             self.database = Database(name=name)
+        elif mode == "durable":
+            # checkpoint_interval=8: checkpoints (snapshot engine) /
+            # memtable flushes (LSM engine) interleave with the
+            # anomaly scenarios instead of only firing at close.
+            self.database = open_database(
+                directory, name=name, storage=storage,
+                sync=False, checkpoint_interval=8,
+            )
         else:
             self.database = None
 
     def open(self, autocommit=False):
-        if self.mode == "engine":
+        if self.database is not None:
             session = self.database.create_session(
                 "dba", autocommit=autocommit
             )
@@ -116,10 +131,20 @@ class Harness:
             self.database.close()
 
 
-@pytest.fixture(params=["engine", "remote"])
+@pytest.fixture(
+    params=["engine", "engine-snapshot", "engine-lsm", "remote"]
+)
 def iso(request, tmp_path):
     if request.param == "engine":
         harness = Harness("engine")
+        yield harness
+        harness.close()
+    elif request.param.startswith("engine-"):
+        harness = Harness(
+            "durable",
+            directory=str(tmp_path / "iso"),
+            storage=request.param.split("-", 1)[1],
+        )
         yield harness
         harness.close()
     else:
