@@ -157,15 +157,22 @@ class SSTableReader:
     """Read access to one immutable run file.
 
     The footer (sparse index, Bloom filter, tombstone list) is read
-    once at construction and cached; entry reads open the file on
-    demand, so a store can hold many readers without holding many file
-    descriptors.
+    once at construction and cached.  The file stays open for the
+    reader's lifetime: block reads use ``os.pread`` on the held
+    descriptor, so they carry no seek state (safe under concurrent
+    scans) and POSIX unlink semantics keep in-flight reads working
+    after compaction unlinks a victim run out from under them.  The
+    descriptor is released when the last reference to the reader is
+    dropped — the store never closes a reader explicitly, because a
+    concurrent scan may still hold it.
     """
 
     def __init__(self, path: str) -> None:
         self.path = path
         self.size = os.path.getsize(path)
-        with open(path, "rb") as handle:
+        self._handle = open(path, "rb")
+        try:
+            handle = self._handle
             if handle.read(len(MAGIC)) != MAGIC:
                 raise errors.DataError(
                     f"{path!r} is not an LSM run file"
@@ -182,6 +189,9 @@ class SSTableReader:
                 )
             handle.seek(footer_offset)
             footer = pickle.loads(_read_frame(handle, path))
+        except BaseException:
+            self._handle.close()
+            raise
         self.table: str = footer.get("table", "")
         self.count: int = footer["count"]
         self.data_count: int = footer["data_count"]
@@ -238,9 +248,19 @@ class SSTableReader:
 
     def _read_block(self, position: int) -> List[Entry]:
         offset = self._index[position][1]
-        with open(self.path, "rb") as handle:
-            handle.seek(offset)
-            return pickle.loads(_read_frame(handle, self.path))
+        fd = self._handle.fileno()
+        header = os.pread(fd, _FRAME.size, offset)
+        if len(header) < _FRAME.size:
+            raise errors.DataError(
+                f"truncated frame in run file {self.path!r}"
+            )
+        length, crc = _FRAME.unpack(header)
+        payload = os.pread(fd, length, offset + _FRAME.size)
+        if len(payload) < length or zlib.crc32(payload) != crc:
+            raise errors.DataError(
+                f"corrupt frame in run file {self.path!r}"
+            )
+        return pickle.loads(payload)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -9,7 +9,9 @@ flush writes only the delta since the previous flush (O(new data)) as
 one immutable SSTable run per table:
 
 * a **data entry** per committed-live version not yet on disk (the
-  version is assigned its ``rid`` at this moment);
+  version's ``rid`` is staged during collection and assigned only once
+  the manifest install succeeds, so a failed flush leaves the heap
+  re-flushable);
 * a **tombstone** per flushed version whose ``end`` stamp landed since
   the last flush (plus tombstones handed over by vacuum for versions it
   physically reclaimed before they could be flushed).
@@ -61,6 +63,7 @@ _COMPACTIONS = _metrics.registry.counter("lsm.compactions")
 _STALL_MS = _metrics.registry.histogram("lsm.stall_ms")
 _RUNS_WRITTEN = _metrics.registry.counter("lsm.runs_written")
 _TOMBSTONES_GCED = _metrics.registry.counter("lsm.tombstones_gced")
+_COMPACT_CORRUPTION = _metrics.registry.counter("lsm.compact.corruption")
 
 _RUN_PREFIX = "run-"
 _RUN_SUFFIX = ".run"
@@ -103,6 +106,10 @@ class LsmStore:
         self._image_blob: Optional[bytes] = None
         self._compact_gate = threading.Lock()
         self._compact_thread: Optional[threading.Thread] = None
+        #: First DataError a background compaction hit (CRC mismatch in
+        #: a run frame = real on-disk corruption).  Non-None disables
+        #: further background passes; surfaced by ``lsm.compact.corruption``.
+        self.corruption_error: Optional[BaseException] = None
         self.closed = False
 
     # ------------------------------------------------------------------
@@ -251,64 +258,93 @@ class LsmStore:
             live_names = {t.name for t in tables}
             doomed_files: List[str] = []
             new_runs: Dict[str, List[SSTableReader]] = {}
-            for table in tables:
-                entries: List[Entry] = []
-                with table.mutation_lock:
-                    for version in table.versions:
-                        if version.rid is None:
-                            # Born since the last flush.  Dead-on-
-                            # arrival versions (end already stamped)
-                            # never reach disk at all.
-                            if (
-                                version.begin is not None
-                                and version.end is None
+            # Heap mutations are STAGED until the manifest install
+            # succeeds: a version's rid marks it "durable in a run", so
+            # assigning rids eagerly and then failing (unpicklable row,
+            # ENOSPC) would make the next flush skip those versions and
+            # truncate the WAL over them — silent loss of committed
+            # data.  On failure the heap is untouched and this
+            # attempt's run files are unlinked, so a retry re-emits the
+            # identical delta.
+            staged_rids: List[Tuple[Any, int]] = []
+            staged_paths: List[str] = []
+            next_rid = self.next_rid
+            try:
+                for table in tables:
+                    entries: List[Entry] = []
+                    with table.mutation_lock:
+                        for version in table.versions:
+                            if version.rid is None:
+                                # Born since the last flush.  Dead-on-
+                                # arrival versions (end already stamped)
+                                # never reach disk at all.
+                                if (
+                                    version.begin is not None
+                                    and version.end is None
+                                ):
+                                    rid = next_rid
+                                    next_rid += 1
+                                    staged_rids.append((version, rid))
+                                    entries.append((
+                                        "d", rid, version.begin,
+                                        list(version.row),
+                                    ))
+                            elif (
+                                version.end is not None
+                                and version.end > self.flushed_stamp
                             ):
-                                version.rid = self.next_rid
-                                self.next_rid += 1
-                                entries.append((
-                                    "d", version.rid, version.begin,
-                                    list(version.row),
-                                ))
-                        elif (
-                            version.end is not None
-                            and version.end > self.flushed_stamp
-                        ):
-                            # Flushed earlier, deleted since: tombstone.
-                            entries.append(
-                                ("t", version.rid, version.end)
-                            )
-                for rid, end in self._pending.get(
-                    table.name, {}
-                ).items():
-                    entries.append(("t", rid, end))
-                if table.name in self._doomed:
-                    # Every row image was rewritten in place (ALTER
-                    # ADD/DROP COLUMN): the old runs hold stale images,
-                    # so they are dropped wholesale and the loop above
-                    # re-emitted the full table (rids were reset).
-                    base: List[SSTableReader] = []
-                    doomed_files.extend(
-                        r.path for r in self.runs.get(table.name, ())
-                    )
-                else:
-                    base = list(self.runs.get(table.name, ()))
-                if entries:
-                    entries.sort(key=lambda e: e[1])
-                    path = self._allocate_run_path()
-                    write_sstable(path, entries, table=table.name)
-                    base.append(SSTableReader(path))
-                    written += 1
-                    _RUNS_WRITTEN.increment()
-                if base:
-                    new_runs[table.name] = base
-            # Runs of tables dropped from the catalog die with them.
-            for name, readers in self.runs.items():
-                if name not in live_names:
-                    doomed_files.extend(r.path for r in readers)
-            faultpoints.trigger("lsm.manifest")
-            self._install_manifest(
-                database, new_runs, commit_seq=cutoff, last_seq=last_seq
-            )
+                                # Flushed earlier, deleted since:
+                                # tombstone.
+                                entries.append(
+                                    ("t", version.rid, version.end)
+                                )
+                    for rid, end in self._pending.get(
+                        table.name, {}
+                    ).items():
+                        entries.append(("t", rid, end))
+                    if table.name in self._doomed:
+                        # Every row image was rewritten in place (ALTER
+                        # ADD/DROP COLUMN): the old runs hold stale
+                        # images, so they are dropped wholesale and the
+                        # loop above re-emitted the full table (rids
+                        # were reset).
+                        base: List[SSTableReader] = []
+                        doomed_files.extend(
+                            r.path for r in self.runs.get(table.name, ())
+                        )
+                    else:
+                        base = list(self.runs.get(table.name, ()))
+                    if entries:
+                        entries.sort(key=lambda e: e[1])
+                        path = self._allocate_run_path()
+                        write_sstable(path, entries, table=table.name)
+                        staged_paths.append(path)
+                        base.append(SSTableReader(path))
+                        written += 1
+                    if base:
+                        new_runs[table.name] = base
+                # Runs of tables dropped from the catalog die with them.
+                for name, readers in self.runs.items():
+                    if name not in live_names:
+                        doomed_files.extend(r.path for r in readers)
+                faultpoints.trigger("lsm.manifest")
+                self._install_manifest(
+                    database, new_runs,
+                    commit_seq=cutoff, last_seq=last_seq,
+                    next_rid=next_rid,
+                )
+            except BaseException:
+                for path in staged_paths:
+                    try:
+                        os.unlink(path)
+                    except OSError:  # pragma: no cover
+                        pass
+                raise
+            # The manifest is durable — now (and only now) mark the
+            # flushed versions and advance the watermarks.
+            for version, rid in staged_rids:
+                version.rid = rid
+            self.next_rid = next_rid
             self.runs = new_runs
             self.flushed_stamp = cutoff
             self.last_seq = last_seq
@@ -320,6 +356,8 @@ class LsmStore:
                 except OSError:  # pragma: no cover
                     pass
         _FLUSHES.increment()
+        if written:
+            _RUNS_WRITTEN.increment(written)
         return written
 
     def _install_manifest(
@@ -329,6 +367,7 @@ class LsmStore:
         *,
         commit_seq: int,
         last_seq: int,
+        next_rid: Optional[int] = None,
     ) -> None:
         from repro.engine.persistence import image_of
 
@@ -342,20 +381,23 @@ class LsmStore:
                 "catalog is not flushable — object defaults may only "
                 f"be instances of importable classes: {exc}"
             ) from exc
-        self._image = image
-        self._image_blob = blob
         write_manifest(self.directory, {
             "version": MANIFEST_VERSION,
             "image_blob": blob,
             "commit_seq": commit_seq,
             "last_seq": last_seq,
-            "next_rid": self.next_rid,
+            "next_rid": self.next_rid if next_rid is None else next_rid,
             "next_file": self._next_file,
             "runs": {
                 name: [os.path.basename(r.path) for r in readers]
                 for name, readers in runs.items()
             },
         })
+        # Cache the image only once it is durable, so a failed install
+        # cannot leave compaction's manifest rewrites holding a schema
+        # newer than the watermarks say.
+        self._image = image
+        self._image_blob = blob
 
     def _allocate_run_path(self) -> str:
         number = self._next_file
@@ -464,7 +506,7 @@ class LsmStore:
         """Kick off a background compaction if any table has
         accumulated enough runs.  At most one compaction thread runs at
         a time; it is a daemon and never holds the engine lock."""
-        if self.closed:
+        if self.closed or self.corruption_error is not None:
             return False
         with self._lock:
             due = any(
@@ -490,6 +532,13 @@ class LsmStore:
     def _compact_quietly(self, database: Any) -> None:
         try:
             self.compact(database)
+        except errors.DataError as exc:
+            # A corrupt frame in a run file is not a transient
+            # condition: record it (counter + attribute) and stop
+            # retrying, instead of silently grinding over the damage
+            # forever.  A foreground compact() still raises it.
+            _COMPACT_CORRUPTION.increment()
+            self.corruption_error = exc
         except errors.ReproError:
             pass  # injected faults target the foreground compaction tests
         except OSError:

@@ -51,6 +51,10 @@ name                            meaning
 ``lsm.compactions``             background run merges completed
 ``lsm.tombstones_gced``         data/tombstone pairs annihilated below
                                 the MVCC horizon during compaction
+``lsm.compact.corruption``      background compactions aborted by a
+                                corrupt run frame (CRC mismatch); the
+                                store stops background passes until
+                                reopened
 ``lsm.stall_ms``                histogram of the write pause each LSM
                                 flush imposed, milliseconds (compare
                                 ``wal.checkpoint.seconds``)

@@ -98,6 +98,18 @@ class TestSSTable:
         fp = sum(1 for rid in absent if reader.might_contain(rid))
         assert fp / len(absent) < 0.05
 
+    def test_reader_survives_unlink(self, tmp_path):
+        """Compaction unlinks victim runs while a concurrent scan may
+        still hold their readers: the reader keeps its descriptor open,
+        so POSIX unlink semantics keep every block readable."""
+        path = os.path.join(str(tmp_path), "run-00000001.run")
+        entries = [("d", rid, 1, [rid]) for rid in range(1, 600)]
+        write_sstable(path, entries)
+        reader = SSTableReader(path)
+        os.unlink(path)
+        assert list(reader.entries()) == entries
+        assert reader.get(42) == ("d", 42, 1, [42])
+
     def test_torn_run_file_rejected(self, tmp_path):
         path = os.path.join(str(tmp_path), "run-00000001.run")
         write_sstable(path, [("d", 1, 1, [1])])
@@ -370,6 +382,41 @@ class TestCompaction:
         assert db.lsm_store.run_count("t") < 6
         db.close()
 
+    def test_background_compaction_surfaces_corruption(self, tmp_path):
+        """Real on-disk corruption found by a background pass is
+        reported (``lsm.compact.corruption``) and halts further
+        background compaction instead of being retried forever."""
+        db = open_lsm(tmp_path)
+        store = db.lsm_store
+        store.compact_threshold = 100  # hold background off while loading
+        s = db.create_session(autocommit=True)
+        s.execute("CREATE TABLE t (k INT, v INT)")
+        s.close()
+        _load_batches(db, batches=4, rows_per_batch=10)
+        # Corrupt one run's first data block in place (the footer was
+        # cached at open, so the reader construction already passed).
+        victim = store.runs["t"][0].path
+        offset = 20  # past magic + frame header: inside the payload
+        with open(victim, "r+b") as fh:
+            fh.seek(offset)
+            byte = fh.read(1)
+            fh.seek(offset)
+            fh.write(bytes([byte[0] ^ 0xFF]))
+        before = counters().get("lsm.compact.corruption", 0)
+        store.compact_threshold = 2
+        assert store.maybe_compact(db) is True
+        thread = store._compact_thread
+        if thread is not None:
+            thread.join(timeout=10.0)
+        assert counters()["lsm.compact.corruption"] == before + 1
+        assert isinstance(store.corruption_error, errors.DataError)
+        # No silent retry loop: background compaction refuses to run.
+        assert store.maybe_compact(db) is False
+        # A foreground pass still raises the damage to the caller.
+        with pytest.raises(errors.DataError):
+            store.compact(db)
+        db.close()
+
     def test_vacuum_triggers_compaction_for_lsm(self, tmp_path):
         """The storage-aware vacuum bugfix: a threshold-triggered
         vacuum pass offers the LSM store a compaction instead of only
@@ -470,10 +517,12 @@ class TestLsmCrashWindows:
 
     def test_crash_between_runs_and_manifest(self, tmp_path):
         """Runs written but manifest not installed: the old manifest
-        still governs, replay covers the delta, and the orphaned run
-        files are swept at open."""
+        still governs, replay covers the delta, and orphaned run files
+        (here from a simulated crash in that window) are swept at
+        open."""
         d = str(tmp_path)
         db, s = self._seed(d)
+        before = {f for f in os.listdir(d) if f.endswith(".run")}
         plan = FaultPlan(seed=22)
         plan.inject(
             "lsm.manifest", error=errors.OperatorExecutionError, times=1
@@ -482,10 +531,16 @@ class TestLsmCrashWindows:
             with pytest.raises(errors.ReproError):
                 db.checkpoint()
         assert plan.fired["lsm.manifest"] == 1
-        orphans = {
-            f for f in os.listdir(d)
-            if f.endswith(".run")
-        }
+        # The failed attempt cleaned up its own run files in-process —
+        # nothing leaks while the process lives on.
+        after = {f for f in os.listdir(d) if f.endswith(".run")}
+        assert after == before
+        # A real crash in the window leaves completed run files with no
+        # manifest referencing them; plant that state by hand.
+        orphan = os.path.join(d, "run-77777777.run")
+        write_sstable(orphan, [("d", 999, 1, [999, 0])], table="t")
+        with open(os.path.join(d, "run-77777778.run.tmp"), "wb") as fh:
+            fh.write(b"\x00half-written run")
         crash(db)
         del s, db  # crash
 
@@ -496,10 +551,44 @@ class TestLsmCrashWindows:
             for runs in db2.lsm_store.runs.values()
             for r in runs
         }
-        # Every run file on disk is manifest-referenced again.
+        # Every run file on disk is manifest-referenced again; the
+        # orphan and the temp leftovers were swept.
         on_disk = {f for f in os.listdir(d) if f.endswith(".run")}
         assert on_disk == referenced
-        assert orphans  # the aborted flush really did leave files
+        assert not os.path.exists(orphan)
+        assert not any(f.endswith(".tmp") for f in os.listdir(d))
+        db2.close()
+
+    def test_failed_flush_leaves_memtable_reflushable(self, tmp_path):
+        """A flush that fails after writing runs but before the
+        manifest install must leave the heap untouched: rid assignments
+        are staged, so the retry re-emits the identical delta.  (The
+        historical bug: rids were assigned eagerly, the retry skipped
+        those versions as already-flushed, installed a manifest without
+        their rows and truncated the WAL — silent loss of committed
+        data.)"""
+        d = str(tmp_path)
+        db, s = self._seed(d)
+        plan = FaultPlan(seed=26)
+        plan.inject(
+            "lsm.manifest", error=errors.OperatorExecutionError, times=1
+        )
+        with plan.armed():
+            with pytest.raises(errors.ReproError):
+                db.checkpoint()
+        # The retry succeeds and must cover the row the failed attempt
+        # tried to flush.
+        assert db.checkpoint() is True
+        assert os.path.getsize(os.path.join(d, WAL_FILENAME)) == 0
+        flushed = {
+            row[0]: row[1] for _, _, row in db.lsm_store.scan_table("t")
+        }
+        assert flushed == {1: 10, 2: 20}
+        crash(db)
+        del s, db  # crash: the WAL is empty, the runs must be complete
+
+        db2 = open_database(d)
+        assert table_state(db2) == {1: 10, 2: 20}
         db2.close()
 
     def test_crash_between_manifest_and_wal_truncate(self, tmp_path):
